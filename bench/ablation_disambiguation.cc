@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: run-time memory disambiguation (§2.1). Compares the full
+ * dynamic scheme (loads bypass stores with known non-conflicting
+ * addresses, byte-accurate forwarding) against a conservative machine
+ * whose loads wait for every older in-window store to execute.
+ * dyn256 + enlarged blocks across issue models, memory A and C.
+ */
+
+#include "base/strutil.hh"
+#include "bench/fig_common.hh"
+
+using namespace fgp;
+using namespace fgp::bench;
+
+int
+main()
+{
+    detail::setQuiet(true);
+    banner("Ablation: memory disambiguation",
+           "dyn256 / enlarged; dynamic vs. conservative load ordering");
+
+    Table table({"issue", "memory", "dynamic", "conservative", "gain"});
+    for (int im : {2, 5, 8}) {
+        for (char mc : {'A', 'C'}) {
+            const MachineConfig config{Discipline::Dyn256, issueModel(im),
+                                       memoryConfig(mc),
+                                       BranchMode::Enlarged};
+            ExperimentRunner dyn(envScale());
+            const double fast = dyn.meanNodesPerCycle(config);
+
+            ExperimentRunner cons(envScale());
+            ExperimentRunner::EngineTweaks tweaks;
+            tweaks.conservativeLoads = true;
+            cons.setEngineTweaks(tweaks);
+            const double slow = cons.meanNodesPerCycle(config);
+
+            table.addRow({issueModel(im).name(), std::string(1, mc),
+                          format("%.3f", fast), format("%.3f", slow),
+                          format("%+.1f%%", 100.0 * (fast / slow - 1.0))});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper §2.1: with one port to memory the schemes "
+                 "barely differ; with multiple ports and out-of-order ALU "
+                 "operations, run-time disambiguation pays.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: the ten scheduling
+ * disciplines of Figures 3/4/6 and uniform table printing.
+ */
+
+#ifndef FGP_BENCH_FIG_COMMON_HH
+#define FGP_BENCH_FIG_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "harness/experiment.hh"
+
+namespace fgp::bench {
+
+/** One line of Figures 3/4/6: a discipline plus a branch mode. */
+struct Series
+{
+    Discipline discipline;
+    BranchMode branch;
+
+    std::string
+    name() const
+    {
+        return disciplineName(discipline) + "/" + branchModeName(branch);
+    }
+};
+
+/** The ten series of Figures 3, 4 and 6, in the paper's order. */
+inline std::vector<Series>
+tenSeries()
+{
+    std::vector<Series> series;
+    for (BranchMode bm : {BranchMode::Single, BranchMode::Enlarged})
+        for (Discipline d : allDisciplines())
+            series.push_back({d, bm});
+    for (Discipline d : {Discipline::Dyn4, Discipline::Dyn256})
+        series.push_back({d, BranchMode::Perfect});
+    return series;
+}
+
+/** Input scale from FGP_SCALE (default 1.0 = the paper-sized inputs). */
+inline double
+envScale()
+{
+    if (const char *value = std::getenv("FGP_SCALE"))
+        return std::max(0.01, std::atof(value));
+    return 1.0;
+}
+
+/** Standard header printed by every figure bench. */
+inline void
+banner(const std::string &figure, const std::string &description)
+{
+    std::cout << "\n=== " << figure << " — " << description << " ===\n"
+              << "(Melvin & Patt, ISCA 1991; metric: retired nodes per "
+                 "cycle, mean over sort/grep/diff/cpp/compress)\n\n";
+}
+
+} // namespace fgp::bench
+
+#endif // FGP_BENCH_FIG_COMMON_HH

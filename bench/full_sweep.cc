@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's full data matrix: 560 configuration points per benchmark
+ * (§3.2). By default a reduced slice is printed to keep the default
+ * bench run quick; set FGP_FULL=1 for all 2800 simulations (CSV on
+ * stdout, suitable for replotting every figure).
+ */
+
+#include "base/strutil.hh"
+#include "bench/fig_common.hh"
+
+using namespace fgp;
+using namespace fgp::bench;
+
+int
+main()
+{
+    detail::setQuiet(true);
+    const bool full = std::getenv("FGP_FULL") != nullptr;
+    banner("Full sweep",
+           full ? "all 560 configurations x 5 benchmarks (CSV)"
+                : "reduced slice (set FGP_FULL=1 for all 2800 points)");
+
+    ExperimentRunner runner(envScale());
+
+    std::vector<MachineConfig> configs;
+    if (full) {
+        configs = fullConfigGrid();
+    } else {
+        for (int im : {2, 8}) {
+            for (char mc : {'A', 'G'}) {
+                for (Discipline d : allDisciplines())
+                    for (BranchMode bm :
+                         {BranchMode::Single, BranchMode::Enlarged})
+                        configs.push_back(
+                            {d, issueModel(im), memoryConfig(mc), bm});
+                for (Discipline d : {Discipline::Dyn4, Discipline::Dyn256})
+                    configs.push_back({d, issueModel(im), memoryConfig(mc),
+                                       BranchMode::Perfect});
+            }
+        }
+    }
+
+    std::cout << "benchmark,discipline,issue,memory,branch,nodes_per_cycle,"
+                 "cycles,ref_nodes,redundancy,mispredicts,faults\n";
+    for (const std::string &workload : workloadNames()) {
+        for (const MachineConfig &config : configs) {
+            const ExperimentResult r = runner.run(workload, config);
+            std::cout << workload << ','
+                      << disciplineName(config.discipline) << ','
+                      << config.issue.index << ',' << config.memory.name()
+                      << ',' << branchModeName(config.branch) << ','
+                      << format("%.4f", r.nodesPerCycle) << ',' << r.cycles
+                      << ',' << r.refNodes << ','
+                      << format("%.4f", r.engine.redundancy()) << ','
+                      << r.engine.mispredicts << ','
+                      << r.engine.faultsFired << '\n';
+        }
+    }
+    return 0;
+}

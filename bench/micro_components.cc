@@ -1,0 +1,164 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's components:
+ * cache directory, branch predictor, sparse memory, assembler, the
+ * functional VM and the cycle engine itself (simulation throughput in
+ * nodes/second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "bbe/enlarge.hh"
+#include "branch/predictor.hh"
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "memsys/memsys.hh"
+#include "tld/translate.hh"
+#include "vm/interp.hh"
+#include "vm/memory.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace fgp;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheDirectory cache(16 * 1024, 2, 16);
+    Rng rng(1);
+    std::vector<std::uint32_t> addrs(4096);
+    for (auto &addr : addrs)
+        addr = static_cast<std::uint32_t>(rng.below(1 << 18));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i], true));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PredictorLookup(benchmark::State &state)
+{
+    BranchPredictor bp;
+    Rng rng(2);
+    std::vector<std::int32_t> pcs(1024);
+    for (auto &pc : pcs)
+        pc = static_cast<std::int32_t>(rng.below(4096));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::int32_t pc = pcs[i];
+        const bool taken = bp.predictConditional(pc, pc - 10);
+        bp.updateConditional(pc, !taken);
+        i = (i + 1) & 1023;
+    }
+}
+BENCHMARK(BM_PredictorLookup);
+
+void
+BM_SparseMemoryRead32(benchmark::State &state)
+{
+    SparseMemory mem;
+    for (std::uint32_t a = 0; a < 1 << 16; a += 4)
+        mem.write32(kDataBase + a, a);
+    std::uint32_t addr = kDataBase;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.read32(addr));
+        addr = kDataBase + ((addr + 4) & 0xffff);
+    }
+}
+BENCHMARK(BM_SparseMemoryRead32);
+
+void
+BM_AssembleGrep(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const Workload wl = makeWorkload("grep");
+        benchmark::DoNotOptimize(wl.program().instrs.size());
+    }
+}
+BENCHMARK(BM_AssembleGrep);
+
+void
+BM_VmInterpret(benchmark::State &state)
+{
+    Workload wl = makeWorkload("compress");
+    wl.setScale(0.3);
+    std::uint64_t nodes = 0;
+    for (auto _ : state) {
+        SimOS os;
+        wl.prepareOs(os, InputSet::Measure);
+        const RunResult r = interpret(wl.program(), os);
+        nodes += r.dynamicNodes;
+    }
+    state.counters["nodes/s"] = benchmark::Counter(
+        static_cast<double>(nodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmInterpret);
+
+void
+BM_EngineDyn4(benchmark::State &state)
+{
+    detail::setQuiet(true);
+    Workload wl = makeWorkload("compress");
+    wl.setScale(0.3);
+    const MachineConfig config{Discipline::Dyn4, issueModel(8),
+                               memoryConfig('A'), BranchMode::Single};
+    CodeImage image = buildCfg(wl.program());
+    translate(image, config);
+
+    std::uint64_t nodes = 0;
+    for (auto _ : state) {
+        SimOS os;
+        wl.prepareOs(os, InputSet::Measure);
+        EngineOptions opts;
+        opts.config = config;
+        const EngineResult r = simulate(image, os, opts);
+        nodes += r.retiredNodes;
+    }
+    state.counters["sim_nodes/s"] = benchmark::Counter(
+        static_cast<double>(nodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineDyn4);
+
+void
+BM_EngineDyn256Enlarged(benchmark::State &state)
+{
+    detail::setQuiet(true);
+    Workload wl = makeWorkload("compress");
+    wl.setScale(0.3);
+
+    Profile profile;
+    {
+        SimOS os;
+        wl.prepareOs(os, InputSet::Profile);
+        InterpOptions opts;
+        opts.profile = &profile;
+        interpret(wl.program(), os, opts);
+    }
+    const MachineConfig config{Discipline::Dyn256, issueModel(8),
+                               memoryConfig('A'), BranchMode::Enlarged};
+    CodeImage image = enlarge(buildCfg(wl.program()), profile);
+    translate(image, config);
+
+    std::uint64_t nodes = 0;
+    for (auto _ : state) {
+        SimOS os;
+        wl.prepareOs(os, InputSet::Measure);
+        EngineOptions opts;
+        opts.config = config;
+        const EngineResult r = simulate(image, os, opts);
+        nodes += r.retiredNodes;
+    }
+    state.counters["sim_nodes/s"] = benchmark::Counter(
+        static_cast<double>(nodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineDyn256Enlarged);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 1, executed: the paper's basic-block-enlargement diagram shows
+ * a block A branching to B or C, with C looping back to A. The middle of
+ * the figure fuses A with each successor (AB and AC, faulting into each
+ * other); the right unrolls the hot A->C loop into ACAC. This example
+ * builds exactly that CFG, drives the enlargement pass along each arc
+ * profile, and prints the resulting blocks — fault nodes included.
+ *
+ *   $ ./build/examples/figure1
+ */
+
+#include <iostream>
+
+#include "bbe/enlarge.hh"
+#include "ir/cfg.hh"
+#include "ir/printer.hh"
+#include "masm/assembler.hh"
+#include "vm/interp.hh"
+
+using namespace fgp;
+
+// A: test; branches to B (taken) or falls into C.
+// C: loops back to A or exits to Z.
+static const char *const kFigure1 = R"(
+main:
+A:      lw   r8, 0(r20)      # block A
+        addi r20, r20, 4
+        bnez r8, B
+C:      add  r21, r21, r8    # block C
+        addi r22, r22, -1
+        bnez r22, A
+        j    Z
+B:      addi r21, r21, 1     # block B
+        j    A
+Z:      li   v0, 0           # exit
+        li   a0, 0
+        syscall
+)";
+
+namespace {
+
+void
+show(const char *title, const CodeImage &image)
+{
+    std::cout << "---- " << title << " ----\n";
+    for (const ImageBlock &block : image.blocks) {
+        if (!block.enlarged)
+            continue;
+        std::cout << (block.companion ? "companion" : "primary")
+                  << " block " << block.id << " (chain of "
+                  << block.chainLen << "):\n";
+        for (const Node &node : block.nodes)
+            std::cout << "    " << formatNode(node) << "\n";
+    }
+    std::cout << "\n";
+}
+
+/** Synthesize an arc profile instead of running: this IS the figure. */
+Profile
+arcProfile(const Program &prog, std::uint64_t a_taken,
+           std::uint64_t a_fall, std::uint64_t c_taken,
+           std::uint64_t c_fall)
+{
+    Profile profile;
+    const std::int32_t branch_a = prog.codeLabels.at("A") + 2;
+    const std::int32_t branch_c = prog.codeLabels.at("C") + 2;
+    profile.arcs[branch_a] = {a_taken, a_fall};
+    profile.arcs[branch_c] = {c_taken, c_fall};
+    profile.totalBranches = a_taken + a_fall + c_taken + c_fall;
+    return profile;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Program prog = assemble(kFigure1, "figure1");
+    const CodeImage single = buildCfg(prog);
+
+    EnlargeOptions opts;
+    opts.minArcCount = 10;
+    opts.minArcRatio = 0.6;
+
+    // Middle of Figure 1: A's branch favours B -> the pass builds AB
+    // with an embedded fault whose explicit fault-to is the companion
+    // covering the A->C path (they fault into each other).
+    {
+        opts.maxChainLen = 2;
+        const CodeImage enlarged = enlarge(
+            single, arcProfile(prog, 80, 20, 50, 50), opts);
+        show("AB with its AC companion (A's branch favours B)", enlarged);
+    }
+
+    // Right of Figure 1: the A->C->A loop dominates -> two iterations
+    // unroll into one ACAC block.
+    {
+        opts.maxChainLen = 4;
+        const CodeImage enlarged = enlarge(
+            single, arcProfile(prog, 10, 90, 90, 10), opts);
+        show("ACAC (two unrolled iterations of the hot loop)", enlarged);
+    }
+
+    std::cout << "Note the converted branches: each embedded 'f..' node "
+                 "executes silently on the hot path and, when it fires, "
+                 "discards the whole atomic block and resumes at its "
+                 "explicit fault-to target (paper, section 2.3).\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ILP explorer: run any of the five paper benchmarks on any machine
+ * configuration and print the full statistics block.
+ *
+ *   usage: ilp_explorer [benchmark] [discipline] [pointcode] [branchmode]
+ *     benchmark   sort | grep | diff | cpp | compress   (default grep)
+ *     discipline  static | dyn1 | dyn4 | dyn256         (default dyn4)
+ *     pointcode   issue model 1-8 + memory A-G, e.g. 8A (default 8A)
+ *     branchmode  single | enlarged | perfect           (default enlarged)
+ *
+ *   $ ./build/examples/ilp_explorer compress dyn256 8G enlarged
+ */
+
+#include <iostream>
+#include <string>
+
+#include "base/logging.hh"
+#include "harness/experiment.hh"
+
+using namespace fgp;
+
+namespace {
+
+Discipline
+parseDiscipline(const std::string &text)
+{
+    for (Discipline d : allDisciplines())
+        if (disciplineName(d) == text)
+            return d;
+    fgp_fatal("unknown discipline '", text,
+              "' (static | dyn1 | dyn4 | dyn256)");
+}
+
+BranchMode
+parseBranchMode(const std::string &text)
+{
+    for (BranchMode m :
+         {BranchMode::Single, BranchMode::Enlarged, BranchMode::Perfect})
+        if (branchModeName(m) == text)
+            return m;
+    fgp_fatal("unknown branch mode '", text,
+              "' (single | enlarged | perfect)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const std::string workload = argc > 1 ? argv[1] : "grep";
+        MachineConfig config;
+        config.discipline =
+            parseDiscipline(argc > 2 ? argv[2] : "dyn4");
+        parsePointCode(argc > 3 ? argv[3] : "8A", config.issue,
+                       config.memory);
+        config.branch = parseBranchMode(argc > 4 ? argv[4] : "enlarged");
+
+        ExperimentRunner runner;
+        const ExperimentResult r = runner.run(workload, config);
+        const EnlargeStats &en = runner.enlargeStats(workload);
+
+        std::cout << "benchmark            " << workload << "\n"
+                  << "configuration        " << config.name() << "\n"
+                  << "reference nodes      " << r.refNodes << "\n"
+                  << "cycles               " << r.cycles << "\n"
+                  << "nodes per cycle      " << r.nodesPerCycle << "\n"
+                  << "raw retired nodes    " << r.engine.retiredNodes
+                  << "\n"
+                  << "executed nodes       " << r.engine.executedNodes
+                  << "\n"
+                  << "redundancy           " << r.engine.redundancy()
+                  << "\n"
+                  << "committed blocks     " << r.engine.committedBlocks
+                  << "\n"
+                  << "squashed blocks      " << r.engine.squashedBlocks
+                  << "\n"
+                  << "mean block size      " << r.engine.blockSize.mean()
+                  << " nodes\n"
+                  << "branches resolved    " << r.engine.branchesResolved
+                  << "\n"
+                  << "mispredicts          " << r.engine.mispredicts << "\n"
+                  << "faults fired         " << r.engine.faultsFired << "\n"
+                  << "mean window (blocks) "
+                  << r.engine.windowOccupancy.mean() << "\n";
+        if (config.branch != BranchMode::Single) {
+            std::cout << "enlargement          " << en.chains
+                      << " chains, " << en.companions << " companions, "
+                      << "mean length " << en.meanChainLen << "\n";
+        }
+        std::cout << "\ndetailed counters:\n";
+        r.engine.stats.print(std::cout, "  ");
+        return 0;
+    } catch (const FatalError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+}

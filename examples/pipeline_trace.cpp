@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Pipeline trace: watch the machine issue, execute, squash and retire
+ * cycle by cycle on a tiny program with a deliberate misprediction.
+ *
+ *   $ ./build/examples/pipeline_trace
+ */
+
+#include <iostream>
+
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "tld/translate.hh"
+
+using namespace fgp;
+
+static const char *const kProgram = R"(
+main:   li   r8, 3
+        la   r9, data
+loop:   lw   r10, 0(r9)      # cache miss on config D the first time
+        add  r11, r11, r10
+        addi r9, r9, 4
+        addi r8, r8, -1
+        bnez r8, loop        # mispredicts at loop exit
+        mov  a0, r11
+        li   v0, 0
+        syscall
+        .data
+data:   .word 5, 6, 7
+)";
+
+int
+main()
+{
+    const Program prog = assemble(kProgram, "trace-demo");
+
+    const MachineConfig config{Discipline::Dyn4, issueModel(8),
+                               memoryConfig('D'), BranchMode::Single};
+    CodeImage image = buildCfg(prog);
+    translate(image, config);
+
+    SimOS os;
+    EngineOptions opts;
+    opts.config = config;
+    opts.trace = &std::cout;
+
+    std::cout << "=== " << config.name() << " pipeline trace ===\n";
+    const EngineResult r = simulate(image, os, opts);
+    std::cout << "=== done: " << r.cycles << " cycles, exit "
+              << r.exitCode << ", " << r.mispredicts
+              << " mispredicts ===\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Quickstart: assemble a tiny program, run it functionally, then
+ * simulate it on two machine configurations and compare.
+ *
+ *   $ ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "tld/translate.hh"
+#include "vm/interp.hh"
+
+using namespace fgp;
+
+// A program in the micro-op ISA: sum the integers 1..100 and print the
+// result via the write system call.
+static const char *const kProgram = R"(
+        .data
+buf:    .space 16
+        .text
+main:   li   r8, 0          # sum
+        li   r9, 1          # i
+loop:   add  r8, r8, r9
+        addi r9, r9, 1
+        li   r10, 101
+        blt  r9, r10, loop
+
+        # format r8 as decimal into buf (backwards)
+        la   r11, buf+15
+itoa:   addi r11, r11, -1
+        li   r12, 10
+        rem  r13, r8, r12
+        addi r13, r13, '0'
+        sb   r13, 0(r11)
+        div  r8, r8, r12
+        bnez r8, itoa
+
+        li   v0, 4          # write(1, r11, len)
+        li   a0, 1
+        mov  a1, r11
+        la   a2, buf+15
+        sub  a2, a2, r11
+        syscall
+        li   v0, 0          # exit(0)
+        li   a0, 0
+        syscall
+)";
+
+int
+main()
+{
+    // 1. Assemble.
+    const Program prog = assemble(kProgram, "quickstart");
+    std::cout << "assembled " << prog.instrs.size() << " nodes\n";
+
+    // 2. Golden functional run.
+    SimOS vm_os;
+    const RunResult ref = interpret(prog, vm_os);
+    std::cout << "functional run: " << ref.dynamicNodes
+              << " dynamic nodes, output \"" << vm_os.stdoutText()
+              << "\"\n\n";
+
+    // 3. Simulate two machines: a narrow static one and a wide
+    //    dynamically scheduled one (both with single basic blocks).
+    for (const auto &[label, config] : {
+             std::pair<const char *, MachineConfig>{
+                 "static, 1 mem + 1 alu, 1-cycle memory",
+                 {Discipline::Static, issueModel(2), memoryConfig('A'),
+                  BranchMode::Single}},
+             {"dynamic window 4, 4 mem + 12 alu, 1-cycle memory",
+              {Discipline::Dyn4, issueModel(8), memoryConfig('A'),
+               BranchMode::Single}},
+         }) {
+        CodeImage image = buildCfg(prog);
+        translate(image, config);
+
+        SimOS os;
+        EngineOptions opts;
+        opts.config = config;
+        const EngineResult r = simulate(image, os, opts);
+
+        std::cout << label << ":\n"
+                  << "  cycles             " << r.cycles << "\n"
+                  << "  nodes per cycle    " << r.nodesPerCycle() << "\n"
+                  << "  branch mispredicts " << r.mispredicts << "\n"
+                  << "  output             \"" << os.stdoutText() << "\"\n";
+    }
+    return 0;
+}

@@ -1,0 +1,216 @@
+#include "arch/config.hh"
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace fgp {
+
+const std::vector<Discipline> &
+allDisciplines()
+{
+    static const std::vector<Discipline> all = {
+        Discipline::Static, Discipline::Dyn1, Discipline::Dyn4,
+        Discipline::Dyn256};
+    return all;
+}
+
+int
+windowBlocks(Discipline d)
+{
+    switch (d) {
+      case Discipline::Static: return 2;
+      case Discipline::Dyn1: return 1;
+      case Discipline::Dyn4: return 4;
+      case Discipline::Dyn256: return 256;
+    }
+    fgp_panic("bad discipline");
+}
+
+bool
+isDynamic(Discipline d)
+{
+    return d != Discipline::Static;
+}
+
+std::string
+disciplineName(Discipline d)
+{
+    switch (d) {
+      case Discipline::Static: return "static";
+      case Discipline::Dyn1: return "dyn1";
+      case Discipline::Dyn4: return "dyn4";
+      case Discipline::Dyn256: return "dyn256";
+    }
+    fgp_panic("bad discipline");
+}
+
+std::string
+IssueModel::name() const
+{
+    if (sequential)
+        return "seq";
+    return format("%dM%dA", memSlots, aluSlots);
+}
+
+IssueModel
+issueModel(int index)
+{
+    // Paper §3.1: eight issue models; static ALU:MEM ratio of the
+    // benchmarks is about 2.5:1, hence the 2:1 and 3:1 shapes.
+    switch (index) {
+      case 1: return {1, true, 1, 1};
+      case 2: return {2, false, 1, 1};
+      case 3: return {3, false, 1, 2};
+      case 4: return {4, false, 1, 3};
+      case 5: return {5, false, 2, 4};
+      case 6: return {6, false, 2, 6};
+      case 7: return {7, false, 4, 8};
+      case 8: return {8, false, 4, 12};
+      default:
+        fgp_fatal("issue model index must be 1..8, got ", index);
+    }
+}
+
+IssueModel
+customIssue(int mem_slots, int alu_slots)
+{
+    if (mem_slots < 1 || alu_slots < 1)
+        fgp_fatal("custom issue model needs at least one slot of each "
+                  "kind");
+    return {0, false, mem_slots, alu_slots};
+}
+
+const std::vector<IssueModel> &
+allIssueModels()
+{
+    static const std::vector<IssueModel> all = [] {
+        std::vector<IssueModel> models;
+        for (int i = 1; i <= 8; ++i)
+            models.push_back(issueModel(i));
+        return models;
+    }();
+    return all;
+}
+
+MemoryConfig
+memoryConfig(char letter)
+{
+    switch (letter) {
+      case 'A': return {'A', 1, 1, false, 0};
+      case 'B': return {'B', 2, 2, false, 0};
+      case 'C': return {'C', 3, 3, false, 0};
+      case 'D': return {'D', 1, 10, true, 1024};
+      case 'E': return {'E', 1, 10, true, 16 * 1024};
+      case 'F': return {'F', 2, 10, true, 1024};
+      case 'G': return {'G', 2, 10, true, 16 * 1024};
+      default:
+        fgp_fatal("memory configuration must be A..G, got '", letter, "'");
+    }
+}
+
+const std::vector<MemoryConfig> &
+allMemoryConfigs()
+{
+    static const std::vector<MemoryConfig> all = [] {
+        std::vector<MemoryConfig> configs;
+        for (char c = 'A'; c <= 'G'; ++c)
+            configs.push_back(memoryConfig(c));
+        return configs;
+    }();
+    return all;
+}
+
+std::string
+branchModeName(BranchMode m)
+{
+    switch (m) {
+      case BranchMode::Single: return "single";
+      case BranchMode::Enlarged: return "enlarged";
+      case BranchMode::Perfect: return "perfect";
+    }
+    fgp_panic("bad branch mode");
+}
+
+std::string
+MachineConfig::name() const
+{
+    return disciplineName(discipline) + "/" + pointCode() + "/" +
+           branchModeName(branch);
+}
+
+std::string
+MachineConfig::pointCode() const
+{
+    return std::to_string(issue.index) + memory.name();
+}
+
+void
+parsePointCode(const std::string &code, IssueModel &issue,
+               MemoryConfig &memory)
+{
+    if (code.size() != 2)
+        fgp_fatal("point code must look like '5B', got '", code, "'");
+    const int idx = code[0] - '0';
+    if (idx < 1 || idx > 8)
+        fgp_fatal("bad issue model in point code '", code, "'");
+    issue = issueModel(idx);
+    memory = memoryConfig(static_cast<char>(std::toupper(code[1])));
+}
+
+MachineConfig
+parseMachineConfig(const std::string &name)
+{
+    const auto parts = split(name, '/');
+    if (parts.size() != 3)
+        fgp_fatal("machine config must look like 'dyn4/8A/enlarged', got '",
+                  name, "'");
+    MachineConfig config;
+    bool found = false;
+    for (Discipline d : allDisciplines()) {
+        if (disciplineName(d) == parts[0]) {
+            config.discipline = d;
+            found = true;
+        }
+    }
+    if (!found)
+        fgp_fatal("unknown discipline '", parts[0],
+                  "' (static | dyn1 | dyn4 | dyn256)");
+    parsePointCode(parts[1], config.issue, config.memory);
+    found = false;
+    for (BranchMode m :
+         {BranchMode::Single, BranchMode::Enlarged, BranchMode::Perfect}) {
+        if (branchModeName(m) == parts[2]) {
+            config.branch = m;
+            found = true;
+        }
+    }
+    if (!found)
+        fgp_fatal("unknown branch mode '", parts[2],
+                  "' (single | enlarged | perfect)");
+    return config;
+}
+
+std::vector<MachineConfig>
+fullConfigGrid()
+{
+    std::vector<MachineConfig> grid;
+    for (const auto &mem : allMemoryConfigs()) {
+        for (const auto &issue : allIssueModels()) {
+            for (Discipline d : allDisciplines()) {
+                for (BranchMode mode :
+                     {BranchMode::Single, BranchMode::Enlarged}) {
+                    grid.push_back({d, issue, mem, mode});
+                }
+            }
+            // Perfect prediction is only run for dynamic windows 4 and 256
+            // (paper §3.2).
+            for (Discipline d : {Discipline::Dyn4, Discipline::Dyn256})
+                grid.push_back({d, issue, mem, BranchMode::Perfect});
+        }
+    }
+    fgp_assert(grid.size() == 560, "grid must have 560 points, has ",
+               grid.size());
+    return grid;
+}
+
+} // namespace fgp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Abstract processor model parameters — the four dimensions of the paper's
+ * simulation study (§3.1): scheduling discipline, issue model, memory
+ * configuration and branch handling.
+ */
+
+#ifndef FGP_ARCH_CONFIG_HH
+#define FGP_ARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fgp {
+
+/** Scheduling discipline (window size measured in active basic blocks). */
+enum class Discipline : std::uint8_t {
+    Static,   ///< in-order execution of the compiler's word schedule
+    Dyn1,     ///< dynamic scheduling, window = 1 basic block
+    Dyn4,     ///< dynamic scheduling, window = 4 basic blocks
+    Dyn256,   ///< dynamic scheduling, window = 256 basic blocks
+};
+
+/** All disciplines in the paper's presentation order. */
+const std::vector<Discipline> &allDisciplines();
+
+/** Window size in basic blocks for a discipline (static machines use 2:
+ *  the block in execution plus the block being fetched). */
+int windowBlocks(Discipline d);
+
+bool isDynamic(Discipline d);
+
+std::string disciplineName(Discipline d);
+
+/** Issue models 1..8 from the paper. */
+struct IssueModel
+{
+    int index = 1;       ///< paper's model number, 1..8
+    bool sequential = false; ///< model 1: one node of any kind per cycle
+    int memSlots = 0;    ///< memory nodes per word (and memory ports)
+    int aluSlots = 0;    ///< ALU nodes per word (and ALUs)
+
+    /** Total issue slots per cycle. */
+    int width() const { return sequential ? 1 : memSlots + aluSlots; }
+
+    std::string name() const;
+};
+
+/** Lookup issue model by paper index (1..8). */
+IssueModel issueModel(int index);
+
+/**
+ * Custom issue shape outside the paper's table (index 0), e.g. for
+ * slot-mix studies or ILP-limit configurations.
+ */
+IssueModel customIssue(int mem_slots, int alu_slots);
+
+/** All eight issue models. */
+const std::vector<IssueModel> &allIssueModels();
+
+/** Memory configurations A..G from the paper. */
+struct MemoryConfig
+{
+    char letter = 'A';
+    int hitLatency = 1;     ///< cycles for a cache hit (or flat latency)
+    int missLatency = 10;   ///< total cycles for a miss
+    bool hasCache = false;  ///< false: perfect memory at hitLatency
+    std::uint32_t cacheBytes = 0; ///< 1K or 16K when hasCache
+
+    std::string name() const { return std::string(1, letter); }
+};
+
+/** Lookup by letter 'A'..'G'. */
+MemoryConfig memoryConfig(char letter);
+
+/** All seven memory configurations. */
+const std::vector<MemoryConfig> &allMemoryConfigs();
+
+/** Branch-handling mode. */
+enum class BranchMode : std::uint8_t {
+    Single,   ///< original single basic blocks, 2-bit counter prediction
+    Enlarged, ///< enlarged basic blocks, 2-bit counter prediction
+    Perfect,  ///< enlarged basic blocks, oracle prediction (upper bound)
+};
+
+std::string branchModeName(BranchMode m);
+
+/** Cache geometry constants fixed by the paper. */
+constexpr int kCacheAssoc = 2;
+constexpr int kCacheLineBytes = 16;
+/** Write-buffer entries (fully associative line buffer before the cache). */
+constexpr int kWriteBufferLines = 8;
+/** Branch target buffer entries (direct mapped, tagged). */
+constexpr int kBtbEntries = 512;
+/** Cycles lost re-directing fetch on a misprediction or fault. */
+constexpr int kRedirectPenalty = 1;
+
+/** A full machine configuration (one simulation data point). */
+struct MachineConfig
+{
+    Discipline discipline = Discipline::Dyn4;
+    IssueModel issue = issueModel(8);
+    MemoryConfig memory = memoryConfig('A');
+    BranchMode branch = BranchMode::Single;
+
+    /** Short id like "dyn4/8A/enlarged". */
+    std::string name() const;
+
+    /** Composite "5B"-style issue+memory code. */
+    std::string pointCode() const;
+};
+
+/**
+ * Parse a composite "<issue><memory>" code such as "5B" into issue model
+ * and memory config. Throws FatalError on malformed codes.
+ */
+void parsePointCode(const std::string &code, IssueModel &issue,
+                    MemoryConfig &memory);
+
+/**
+ * Parse a full "discipline/pointcode/branchmode" name (the format
+ * MachineConfig::name() prints), e.g. "dyn4/8A/enlarged". Throws
+ * FatalError on malformed names.
+ */
+MachineConfig parseMachineConfig(const std::string &name);
+
+/**
+ * The 560-points-per-benchmark grid of §3.2: (4 disciplines x 2 branch
+ * modes + 2 dynamic disciplines x perfect) x 8 issue models x 7 memory
+ * configurations.
+ */
+std::vector<MachineConfig> fullConfigGrid();
+
+} // namespace fgp
+
+#endif // FGP_ARCH_CONFIG_HH

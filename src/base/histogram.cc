@@ -1,0 +1,86 @@
+#include "base/histogram.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    fgp_assert(bucket_width >= 1, "bucket width must be positive");
+    fgp_assert(num_buckets >= 1, "need at least one bucket");
+}
+
+void
+Histogram::add(std::uint64_t sample, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    const std::size_t idx = sample / bucketWidth_;
+    if (idx < buckets_.size())
+        buckets_[idx] += weight;
+    else
+        overflow_ += weight;
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    count_ += weight;
+    sum_ += sample * weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    fgp_assert(other.bucketWidth_ == bucketWidth_ &&
+                   other.buckets_.size() == buckets_.size(),
+               "histogram geometry mismatch");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    if (other.count_) {
+        min_ = count_ ? std::min(min_, other.min_) : other.min_;
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+double
+Histogram::bucketFraction(std::size_t i) const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(buckets_.at(i)) / static_cast<double>(count_);
+}
+
+std::string
+Histogram::bucketLabel(std::size_t i) const
+{
+    const std::uint64_t lo = i * bucketWidth_;
+    const std::uint64_t hi = lo + bucketWidth_ - 1;
+    if (bucketWidth_ == 1)
+        return std::to_string(lo);
+    return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = count_ = sum_ = min_ = max_ = 0;
+}
+
+} // namespace fgp

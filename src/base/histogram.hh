@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-bucket histogram used for basic-block size distributions and window
+ * occupancy statistics (Figure 2 of the paper).
+ */
+
+#ifndef FGP_BASE_HISTOGRAM_HH
+#define FGP_BASE_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fgp {
+
+/**
+ * Histogram over non-negative integer samples with uniform bucket width.
+ * Samples at or above the top bucket fall into a sticky overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket (>= 1).
+     * @param num_buckets  Number of regular buckets (>= 1).
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    /** Record one sample. */
+    void add(std::uint64_t sample, std::uint64_t weight = 1);
+
+    /** Merge another histogram with identical geometry. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflowCount() const { return overflow_; }
+
+    /** Fraction of samples in bucket i (0 when empty). */
+    double bucketFraction(std::size_t i) const;
+
+    /** Label like "0-4" for bucket i. */
+    std::string bucketLabel(std::size_t i) const;
+
+    /** Reset all counters. */
+    void clear();
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace fgp
+
+#endif // FGP_BASE_HISTOGRAM_HH

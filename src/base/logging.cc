@@ -1,0 +1,50 @@
+#include "base/logging.hh"
+
+namespace fgp {
+namespace detail {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(msg + " (" + file + ":" + std::to_string(line) + ")");
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace fgp

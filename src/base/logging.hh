@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, in the spirit of gem5's
+ * logging discipline: panic() for internal invariant violations (simulator
+ * bugs), fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef FGP_BASE_LOGGING_HH
+#define FGP_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fgp {
+
+namespace detail {
+
+/** Compose a message from streamable parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Suppress/enable inform() output (benchmarks silence it). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace detail
+
+/**
+ * Exception carrying a fatal (user-level) error. Thrown by fatal() so that
+ * library users and tests can catch configuration errors; uncaught it
+ * terminates the process with the message.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Internal invariant violation — a simulator bug. Aborts. */
+#define fgp_panic(...)                                                        \
+    ::fgp::detail::panicImpl(__FILE__, __LINE__,                              \
+                             ::fgp::detail::composeMessage(__VA_ARGS__))
+
+/** Unrecoverable user error (bad configuration, malformed input). Throws. */
+#define fgp_fatal(...)                                                        \
+    ::fgp::detail::fatalImpl(__FILE__, __LINE__,                              \
+                             ::fgp::detail::composeMessage(__VA_ARGS__))
+
+/** Condition that should never be false regardless of user input. */
+#define fgp_assert(cond, ...)                                                 \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::fgp::detail::panicImpl(                                         \
+                __FILE__, __LINE__,                                           \
+                std::string("assertion failed: " #cond " ") +                 \
+                    ::fgp::detail::composeMessage(__VA_ARGS__));              \
+        }                                                                     \
+    } while (0)
+
+/** Status message about possibly-degraded behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Neutral status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+} // namespace fgp
+
+#endif // FGP_BASE_LOGGING_HH

@@ -1,0 +1,65 @@
+#include "base/stats.hh"
+
+#include <iomanip>
+
+namespace fgp {
+
+void
+StatGroup::set(const std::string &name, std::uint64_t value)
+{
+    ints_[name] = value;
+}
+
+void
+StatGroup::setReal(const std::string &name, double value)
+{
+    reals_[name] = value;
+}
+
+void
+StatGroup::add(const std::string &name, std::uint64_t delta)
+{
+    ints_[name] += delta;
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    const auto it = ints_.find(name);
+    return it == ints_.end() ? 0 : it->second;
+}
+
+double
+StatGroup::getReal(const std::string &name) const
+{
+    const auto it = reals_.find(name);
+    if (it != reals_.end())
+        return it->second;
+    return static_cast<double>(get(name));
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return ints_.count(name) || reals_.count(name);
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    for (const auto &[name, value] : other.ints_)
+        ints_[name] += value;
+    for (const auto &[name, value] : other.reals_)
+        reals_[name] = value;
+}
+
+void
+StatGroup::print(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : ints_)
+        os << prefix << name << " " << value << "\n";
+    for (const auto &[name, value] : reals_)
+        os << prefix << name << " " << std::setprecision(6) << value << "\n";
+}
+
+} // namespace fgp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Every simulator component exposes
+ * its counters through a StatGroup so harness code can dump a uniform
+ * name/value listing without knowing component internals.
+ */
+
+#ifndef FGP_BASE_STATS_HH
+#define FGP_BASE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace fgp {
+
+/** Ordered collection of scalar statistics. */
+class StatGroup
+{
+  public:
+    /** Set (or overwrite) an integer statistic. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Set (or overwrite) a floating point statistic. */
+    void setReal(const std::string &name, double value);
+
+    /** Add to an integer statistic (creating it at zero). */
+    void add(const std::string &name, std::uint64_t delta);
+
+    /** Integer statistic value; 0 when absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Floating point statistic value; falls back to integer; 0 if absent. */
+    double getReal(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    /** Merge: integer stats summed, real stats overwritten. */
+    void mergeFrom(const StatGroup &other);
+
+    /** Dump "name value" lines, sorted by name. */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::map<std::string, std::uint64_t> &ints() const { return ints_; }
+    const std::map<std::string, double> &reals() const { return reals_; }
+
+  private:
+    std::map<std::string, std::uint64_t> ints_;
+    std::map<std::string, double> reals_;
+};
+
+} // namespace fgp
+
+#endif // FGP_BASE_STATS_HH

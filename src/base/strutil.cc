@@ -1,0 +1,153 @@
+#include "base/strutil.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace fgp {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (auto &ch : out)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    return out;
+}
+
+std::string
+toUpper(std::string_view text)
+{
+    std::string out(text);
+    for (auto &ch : out)
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    return out;
+}
+
+std::optional<std::int64_t>
+parseInt(std::string_view text)
+{
+    text = trim(text);
+    if (text.empty())
+        return std::nullopt;
+
+    bool negative = false;
+    if (text.front() == '-' || text.front() == '+') {
+        negative = text.front() == '-';
+        text.remove_prefix(1);
+        if (text.empty())
+            return std::nullopt;
+    }
+
+    int base = 10;
+    if (startsWith(text, "0x") || startsWith(text, "0X")) {
+        base = 16;
+        text.remove_prefix(2);
+    } else if (startsWith(text, "0b") || startsWith(text, "0B")) {
+        base = 2;
+        text.remove_prefix(2);
+    }
+    if (text.empty())
+        return std::nullopt;
+
+    std::uint64_t value = 0;
+    for (char ch : text) {
+        int digit;
+        if (ch >= '0' && ch <= '9')
+            digit = ch - '0';
+        else if (ch >= 'a' && ch <= 'f')
+            digit = ch - 'a' + 10;
+        else if (ch >= 'A' && ch <= 'F')
+            digit = ch - 'A' + 10;
+        else
+            return std::nullopt;
+        if (digit >= base)
+            return std::nullopt;
+        const std::uint64_t next =
+            value * static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(digit);
+        if (next < value)
+            return std::nullopt; // overflow
+        value = next;
+    }
+
+    if (!negative && value > 0x7fffffffffffffffULL)
+        return std::nullopt;
+    if (negative && value > 0x8000000000000000ULL)
+        return std::nullopt;
+    return negative ? -static_cast<std::int64_t>(value)
+                    : static_cast<std::int64_t>(value);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    va_end(args);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &items, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+} // namespace fgp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler, the harness and the report
+ * writers.
+ */
+
+#ifndef FGP_BASE_STRUTIL_HH
+#define FGP_BASE_STRUTIL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgp {
+
+/** Split @p text on @p sep (single character); keeps empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Case-sensitive suffix check. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/** Upper-case an ASCII string. */
+std::string toUpper(std::string_view text);
+
+/**
+ * Parse a signed integer with optional 0x/0b prefix and leading minus.
+ * Returns nullopt on malformed input or overflow of int64.
+ */
+std::optional<std::int64_t> parseInt(std::string_view text);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items, std::string_view sep);
+
+} // namespace fgp
+
+#endif // FGP_BASE_STRUTIL_HH

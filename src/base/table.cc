@@ -1,0 +1,88 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    fgp_assert(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fgp_assert(cells.size() == header_.size(),
+               "row arity ", cells.size(), " != header arity ",
+               header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addNumericRow(const std::string &label,
+                     const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values) {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        cells.push_back(os.str());
+    }
+    addRow(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emit(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        rule += std::string(width[c], '-');
+        if (c + 1 < header_.size())
+            rule += "  ";
+    }
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace fgp

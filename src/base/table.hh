@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Console table / CSV writer used by the figure benches to print the
+ * paper's series in aligned rows.
+ */
+
+#ifndef FGP_BASE_TABLE_HH
+#define FGP_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fgp {
+
+/** Column-aligned table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Add a fully-formed row; must match header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: row of label + numeric cells at fixed precision. */
+    void addNumericRow(const std::string &label,
+                       const std::vector<double> &values, int precision = 3);
+
+    /** Render aligned with two-space gutters. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fgp
+
+#endif // FGP_BASE_TABLE_HH

@@ -1,0 +1,55 @@
+#include "bbe/plan.hh"
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace fgp {
+
+std::string
+serializePlan(const EnlargePlan &plan)
+{
+    std::string out = "# fgpsim enlargement plan v1\n";
+    for (const EnlargeChain &chain : plan.chains) {
+        out += "chain";
+        for (std::int32_t pc : chain.entryPcs) {
+            out += ' ';
+            out += std::to_string(pc);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+EnlargePlan
+parsePlan(std::string_view text)
+{
+    EnlargePlan plan;
+    int line_no = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
+        const std::string_view line = trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+        if (!startsWith(line, "chain"))
+            fgp_fatal("enlargement plan line ", line_no,
+                      ": expected 'chain', got '", std::string(line), "'");
+        EnlargeChain chain;
+        for (const std::string &field :
+             split(trim(line.substr(5)), ' ')) {
+            if (field.empty())
+                continue;
+            const auto pc = parseInt(field);
+            if (!pc || *pc < 0)
+                fgp_fatal("enlargement plan line ", line_no,
+                          ": bad entry pc '", field, "'");
+            chain.entryPcs.push_back(static_cast<std::int32_t>(*pc));
+        }
+        if (chain.entryPcs.size() < 2)
+            fgp_fatal("enlargement plan line ", line_no,
+                      ": a chain needs at least two blocks");
+        plan.chains.push_back(std::move(chain));
+    }
+    return plan;
+}
+
+} // namespace fgp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The basic block enlargement plan — the in-memory form of the paper's
+ * "basic block enlargement file" (§3.1): the creator program derives it
+ * from the branch-arc statistics of a profiling run, and the translating
+ * loader consumes it. A plan is a list of chains, each chain a sequence
+ * of original basic-block entry pcs to fuse into one enlarged block.
+ *
+ * The textual serialization is line oriented:
+ *
+ *     # fgpsim enlargement plan v1
+ *     chain 12 17 23 12 17
+ *     chain 40 44
+ */
+
+#ifndef FGP_BBE_PLAN_HH
+#define FGP_BBE_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgp {
+
+/** One fused chain: original block entry pcs in fusion order. */
+struct EnlargeChain
+{
+    std::vector<std::int32_t> entryPcs;
+};
+
+/** A complete enlargement plan. */
+struct EnlargePlan
+{
+    std::vector<EnlargeChain> chains;
+
+    bool empty() const { return chains.empty(); }
+};
+
+/** Serialize a plan to the textual enlargement-file format. */
+std::string serializePlan(const EnlargePlan &plan);
+
+/**
+ * Parse the textual format. Throws FatalError with a line diagnostic on
+ * malformed input.
+ */
+EnlargePlan parsePlan(std::string_view text);
+
+} // namespace fgp
+
+#endif // FGP_BBE_PLAN_HH

@@ -1,0 +1,164 @@
+#include "branch/predictor.hh"
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+BranchPredictor::BranchPredictor(const PredictorOptions &opts)
+    : opts_(opts), entries_(static_cast<std::size_t>(opts.btbEntries))
+{
+    fgp_assert(opts.btbEntries > 0, "BTB needs at least one entry");
+    if (opts_.staticHint == StaticHint::Profile && !opts_.profileHints)
+        fgp_fatal("profile static hints requested without a hint table");
+    if (opts_.direction == DirectionPredictor::Gshare) {
+        if (opts_.gshareBits < 4 || opts_.gshareBits > 24)
+            fgp_fatal("gshare table bits must be in [4, 24], got ",
+                      opts_.gshareBits);
+        gshare_.assign(std::size_t{1} << opts_.gshareBits, 1);
+        historyMask_ = (1u << opts_.gshareBits) - 1;
+    }
+}
+
+std::size_t
+BranchPredictor::gshareIndex(std::int32_t pc) const
+{
+    return (static_cast<std::uint32_t>(pc) ^ history_) & historyMask_;
+}
+
+BranchPredictor::BranchPredictor(int entries, bool static_supplement)
+    : BranchPredictor([&] {
+          PredictorOptions opts;
+          opts.btbEntries = entries;
+          opts.staticHint =
+              static_supplement ? StaticHint::Btfn : StaticHint::None;
+          return opts;
+      }())
+{
+}
+
+BranchPredictor::Entry &
+BranchPredictor::entryFor(std::int32_t pc)
+{
+    return entries_[static_cast<std::size_t>(pc) % entries_.size()];
+}
+
+bool
+BranchPredictor::staticPrediction(std::int32_t pc,
+                                  std::int32_t target_pc) const
+{
+    switch (opts_.staticHint) {
+      case StaticHint::None:
+        return false;
+      case StaticHint::Btfn:
+        return target_pc < pc; // backward taken, forward not taken
+      case StaticHint::Profile: {
+        const auto it = opts_.profileHints->find(pc);
+        if (it != opts_.profileHints->end())
+            return it->second;
+        return target_pc < pc; // fall back to BTFN off-profile
+      }
+    }
+    return false;
+}
+
+bool
+BranchPredictor::predictConditional(std::int32_t pc, std::int32_t target_pc)
+{
+    ++lookups_;
+    if (opts_.direction == DirectionPredictor::Gshare)
+        return gshare_[gshareIndex(pc)] >= 2;
+    Entry &entry = entryFor(pc);
+    if (entry.valid && entry.tag == pc)
+        return entry.counter >= 2;
+    ++cold_;
+    return staticPrediction(pc, target_pc);
+}
+
+void
+BranchPredictor::updateConditional(std::int32_t pc, bool taken)
+{
+    if (opts_.direction == DirectionPredictor::Gshare) {
+        std::uint8_t &counter = gshare_[gshareIndex(pc)];
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+        // Non-speculative history update (at resolution).
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+        return;
+    }
+    Entry &entry = entryFor(pc);
+    if (!entry.valid || entry.tag != pc) {
+        entry.valid = true;
+        entry.tag = pc;
+        entry.counter = taken ? 2 : 1;
+        entry.lastTarget = -1;
+        return;
+    }
+    if (taken) {
+        if (entry.counter < 3)
+            ++entry.counter;
+    } else {
+        if (entry.counter > 0)
+            --entry.counter;
+    }
+}
+
+std::int32_t
+BranchPredictor::predictIndirect(std::int32_t pc)
+{
+    ++lookups_;
+    Entry &entry = entryFor(pc);
+    if (entry.valid && entry.tag == pc && entry.lastTarget >= 0)
+        return entry.lastTarget;
+    ++cold_;
+    return -1;
+}
+
+void
+BranchPredictor::updateIndirect(std::int32_t pc, std::int32_t target)
+{
+    Entry &entry = entryFor(pc);
+    if (!entry.valid || entry.tag != pc) {
+        entry.valid = true;
+        entry.tag = pc;
+        entry.counter = 2;
+    }
+    entry.lastTarget = target;
+}
+
+void
+BranchPredictor::pushReturn(std::int32_t return_pc)
+{
+    if (opts_.rasDepth <= 0)
+        return;
+    if (static_cast<int>(ras_.size()) >= opts_.rasDepth)
+        ras_.erase(ras_.begin()); // overflow drops the oldest entry
+    ras_.push_back(return_pc);
+}
+
+std::int32_t
+BranchPredictor::popReturn()
+{
+    if (opts_.rasDepth <= 0 || ras_.empty())
+        return -1;
+    const std::int32_t top = ras_.back();
+    ras_.pop_back();
+    return top;
+}
+
+void
+BranchPredictor::exportStats(StatGroup &stats,
+                             const std::string &prefix) const
+{
+    stats.set(prefix + "lookups", lookups_);
+    stats.set(prefix + "resolved", resolved_);
+    stats.set(prefix + "mispredicts", mispredicts_);
+    stats.set(prefix + "cold", cold_);
+    stats.setReal(prefix + "accuracy", accuracy());
+}
+
+} // namespace fgp

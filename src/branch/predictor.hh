@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Dynamic branch prediction (§3.1): a branch target buffer of 2-bit
+ * saturating counters, optionally supplemented by static prediction for
+ * branches not present in the BTB — the paper uses static information
+ * "only the first time a branch is encountered". The BTB also records the
+ * last target of indirect jumps (JR); an optional return-address stack
+ * (an extension over the paper) can take over return prediction.
+ */
+
+#ifndef FGP_BRANCH_PREDICTOR_HH
+#define FGP_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "base/stats.hh"
+#include "branch/predictor_opts.hh"
+
+namespace fgp {
+
+/** 2-bit-counter BTB predictor with optional static hints and RAS. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const PredictorOptions &opts = {});
+
+    /** Compatibility constructor (entries + BTFN flag). */
+    BranchPredictor(int entries, bool static_supplement);
+
+    /**
+     * Predict the direction of the conditional branch at original pc
+     * @p pc whose taken-target is @p target_pc.
+     */
+    bool predictConditional(std::int32_t pc, std::int32_t target_pc);
+
+    /** Train with the resolved direction. */
+    void updateConditional(std::int32_t pc, bool taken);
+
+    /** Predict an indirect target; -1 when no history exists. */
+    std::int32_t predictIndirect(std::int32_t pc);
+
+    /** Train with the resolved indirect target. */
+    void updateIndirect(std::int32_t pc, std::int32_t target);
+
+    /**
+     * Call-stack hooks for the return-address stack. No-ops when the
+     * RAS is disabled. pushReturn() is called at fetch of a JAL with its
+     * return address; popReturn() at fetch of a JR (-1 when empty).
+     */
+    void pushReturn(std::int32_t return_pc);
+    std::int32_t popReturn();
+    bool rasEnabled() const { return opts_.rasDepth > 0; }
+
+    /** Record accuracy of a resolved conditional prediction. */
+    void
+    recordOutcome(bool correct)
+    {
+        ++resolved_;
+        if (!correct)
+            ++mispredicts_;
+    }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t resolved() const { return resolved_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    std::uint64_t coldLookups() const { return cold_; }
+
+    double
+    accuracy() const
+    {
+        return resolved_ ? 1.0 - static_cast<double>(mispredicts_) /
+                                     static_cast<double>(resolved_)
+                         : 1.0;
+    }
+
+    void exportStats(StatGroup &stats, const std::string &prefix) const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::int32_t tag = -1;
+        std::uint8_t counter = 1; ///< 0..3; >=2 predicts taken
+        std::int32_t lastTarget = -1;
+    };
+
+    Entry &entryFor(std::int32_t pc);
+    bool staticPrediction(std::int32_t pc, std::int32_t target_pc) const;
+
+    PredictorOptions opts_;
+    std::vector<Entry> entries_;
+    std::vector<std::int32_t> ras_;
+
+    // gshare state (extension): counters indexed by pc ^ history.
+    std::vector<std::uint8_t> gshare_;
+    std::uint32_t history_ = 0;
+    std::uint32_t historyMask_ = 0;
+
+    std::size_t gshareIndex(std::int32_t pc) const;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t resolved_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t cold_ = 0;
+};
+
+} // namespace fgp
+
+#endif // FGP_BRANCH_PREDICTOR_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Branch prediction configuration. The paper's baseline is a 2-bit
+ * counter BTB with a static supplement on cold branches; the conclusions
+ * single out "better branch prediction" as the first unexplored avenue,
+ * so the predictor also supports two extensions beyond the 1991 baseline:
+ * profile-derived static hints and a return-address stack.
+ */
+
+#ifndef FGP_BRANCH_PREDICTOR_OPTS_HH
+#define FGP_BRANCH_PREDICTOR_OPTS_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "arch/config.hh"
+
+namespace fgp {
+
+/** What to predict for a conditional branch missing from the BTB. */
+enum class StaticHint : std::uint8_t {
+    None,    ///< always predict not-taken
+    Btfn,    ///< backward taken, forward not taken (paper baseline)
+    Profile, ///< profile-derived per-branch hints (extension)
+};
+
+/** Conditional direction predictor organization. */
+enum class DirectionPredictor : std::uint8_t {
+    TwoBitBtb, ///< tagged BTB of 2-bit counters (paper baseline)
+    Gshare,    ///< global-history-xor-pc counter table (extension)
+};
+
+/** Predictor configuration. */
+struct PredictorOptions
+{
+    int btbEntries = kBtbEntries;
+    StaticHint staticHint = StaticHint::Btfn;
+
+    /** Direction predictor organization. */
+    DirectionPredictor direction = DirectionPredictor::TwoBitBtb;
+
+    /** log2 of the gshare table size (history length matches). */
+    int gshareBits = 12;
+
+    /**
+     * Profile hints: branch pc -> taken-is-hot. Consulted only for
+     * branches absent from the BTB and only when staticHint == Profile.
+     */
+    const std::unordered_map<std::int32_t, bool> *profileHints = nullptr;
+
+    /**
+     * Return-address-stack depth for JR prediction; 0 keeps the paper's
+     * last-target BTB scheme. (Extension: alternating call sites defeat
+     * a last-target predictor completely.)
+     */
+    int rasDepth = 0;
+};
+
+} // namespace fgp
+
+#endif // FGP_BRANCH_PREDICTOR_OPTS_HH

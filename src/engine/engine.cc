@@ -1,0 +1,1265 @@
+#include "engine/engine.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+#include "ir/printer.hh"
+
+#include "base/logging.hh"
+#include "branch/predictor.hh"
+#include "memsys/memsys.hh"
+#include "vm/exec.hh"
+
+namespace fgp {
+
+namespace {
+
+enum class NState : std::uint8_t { Waiting, Ready, Executing, Done };
+
+constexpr int kMaxSrcs = 5; // SYSCALL reads v0, a0..a3
+
+/** One issued node instance. */
+struct NodeInst
+{
+    const Node *node = nullptr;
+    std::uint32_t nodeIdx = 0; ///< index within the image block's nodes
+    std::uint32_t instIdx = 0; ///< index within the BlockInst's insts
+    std::uint64_t seq = 0;
+    NState state = NState::Waiting;
+
+    int nSrc = 0;
+    int unresolved = 0;
+    std::uint32_t srcVal[kMaxSrcs] = {};
+    bool srcReady[kMaxSrcs] = {};
+
+    std::uint32_t value = 0;
+
+    // Memory state.
+    std::uint32_t addr = 0;
+    bool addrKnown = false;
+    std::uint8_t data[4] = {};
+    std::uint32_t len = 0;
+    bool dataKnown = false;
+};
+
+/** One in-flight basic block. */
+struct BlockInst
+{
+    std::uint64_t bseq = 0;
+    std::int32_t imageId = -1;
+    std::vector<NodeInst> insts;
+    std::size_t issuedWords = 0;
+    bool fullyIssued = false;
+    std::size_t doneCount = 0;
+
+    // Next-block decision bookkeeping.
+    bool predictionMade = false;
+    bool predictedTaken = false;
+    std::int32_t predictedTargetPc = -1; ///< for JR
+    bool resolvedEarly = false;
+    bool resolvedTaken = false;
+    std::int32_t resolvedTargetPc = -1;
+};
+
+struct Ref
+{
+    std::uint64_t bseq;
+    std::uint32_t idx;
+    std::uint64_t seq;
+};
+
+struct RefNewestFirst
+{
+    bool operator()(const Ref &a, const Ref &b) const { return a.seq > b.seq; }
+};
+
+struct WaitRef
+{
+    std::uint64_t bseq;
+    std::uint32_t idx;
+    int slot;
+};
+
+struct RenameEntry
+{
+    bool ready = true;
+    std::uint32_t value = 0;
+    std::uint64_t tag = 0;
+};
+
+/** The whole machine for one simulate() call. */
+class Engine
+{
+  public:
+    Engine(const CodeImage &image, SimOS &os, const EngineOptions &opts)
+        : image_(image), os_(os), opts_(opts),
+          memsys_(opts.config.memory),
+          predictor_(opts.predictor),
+          windowCap_(opts.windowOverride > 0
+                         ? opts.windowOverride
+                         : windowBlocks(opts.config.discipline)),
+          isStatic_(opts.config.discipline == Discipline::Static),
+          perfect_(opts.config.branch == BranchMode::Perfect)
+    {
+        if (perfect_) {
+            fgp_assert(opts.perfectTrace,
+                       "perfect branch mode needs a committed-block trace");
+            trace_ = opts.perfectTrace;
+        }
+    }
+
+    EngineResult run();
+
+  private:
+    // ---- helpers ----------------------------------------------------
+    /**
+     * Find the in-flight block with exactly this bseq. Sequence numbers
+     * are monotone but NOT dense (squashes leave gaps), so this is a
+     * binary search over the sorted window.
+     */
+    BlockInst *
+    blockBy(std::uint64_t bseq)
+    {
+        BlockInst *block = firstAtOrAfter(bseq);
+        return block && block->bseq == bseq ? block : nullptr;
+    }
+
+    /** First in-flight block with bseq >= the argument, or nullptr. */
+    BlockInst *
+    firstAtOrAfter(std::uint64_t bseq)
+    {
+        if (window_.empty() || bseq > window_.back().bseq)
+            return nullptr;
+        std::size_t lo = 0;
+        std::size_t hi = window_.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (window_[mid].bseq < bseq)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return &window_[lo];
+    }
+
+    NodeInst *
+    instBy(const Ref &ref)
+    {
+        BlockInst *block = blockBy(ref.bseq);
+        if (!block || ref.idx >= block->insts.size())
+            return nullptr;
+        NodeInst *inst = &block->insts[ref.idx];
+        return inst->seq == ref.seq ? inst : nullptr;
+    }
+
+    void processCompletions();
+    void retireBlocks();
+    void refreshPending();
+    void scheduleDynamic();
+    void scheduleStaticWord();
+    void issueCycle();
+
+    void onDataReady(BlockInst &block, std::uint32_t idx);
+    void tryStoreAgen(NodeInst &inst);
+    void completeAt(std::uint64_t cycle, const Ref &ref);
+    void executeNode(BlockInst &block, NodeInst &inst);
+    bool tryExecuteLoad(BlockInst &block, NodeInst &inst);
+    void resolveControl(BlockInst &block, NodeInst &inst);
+
+    void decideNextFetch(BlockInst &block);
+    void squashFrom(std::uint64_t bseq_inclusive);
+    void rebuildRenameMap();
+    void redirectTo(std::int32_t image_block);
+    std::int32_t mapPc(std::int32_t pc);
+
+    enum class MergeStatus { Ok, NeedData, UnknownAddr };
+    MergeStatus specRead(std::uint64_t seq_limit, std::uint32_t addr,
+                         std::uint32_t len, std::uint8_t *out,
+                         bool *forwarded);
+
+    void finishExit(BlockInst &block, NodeInst &inst);
+
+    // ---- members ----------------------------------------------------
+    const CodeImage &image_;
+    SimOS &os_;
+    EngineOptions opts_;
+    MemorySystem memsys_;
+    BranchPredictor predictor_;
+    SparseMemory mem_;
+
+    const int windowCap_;
+    const bool isStatic_;
+    const bool perfect_;
+    const std::vector<std::int32_t> *trace_ = nullptr;
+    std::size_t traceIdx_ = 0;
+
+    EngineResult result_;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t seqCounter_ = 1;
+    std::uint64_t bseqCounter_ = 1;
+
+    std::deque<BlockInst> window_;
+    RenameEntry rename_[kNumRegs];
+    std::uint32_t committedRegs_[kNumRegs] = {};
+
+    std::unordered_map<std::uint64_t, std::vector<WaitRef>> waiters_;
+    std::multimap<std::uint64_t, Ref> events_; ///< completion time -> node
+
+    std::priority_queue<Ref, std::vector<Ref>, RefNewestFirst> readyAlu_;
+    std::priority_queue<Ref, std::vector<Ref>, RefNewestFirst> readyMem_;
+    std::vector<Ref> pendingLoads_;
+    std::vector<Ref> pendingSys_;
+
+    std::deque<Ref> storeQueue_;
+    std::set<std::uint64_t> unknownStoreAddrs_;
+    std::set<std::uint64_t> pendingSyscallSeqs_;
+
+    struct WordRef
+    {
+        std::uint64_t bseq;
+        std::size_t wordIdx;
+    };
+    std::deque<WordRef> wordQueue_; ///< static machine in-order word stream
+
+    /** Fault-target chooser (extension): entry pc -> alternate block. */
+    struct FaultChoice
+    {
+        std::int32_t target = -1;
+        std::uint8_t counter = 0; ///< 0..3; >=2 selects the alternate
+    };
+    std::unordered_map<std::int32_t, FaultChoice> faultChoice_;
+    std::uint64_t issueCycles_ = 0;
+
+    // Incremental window-content counters (the paper's three measures).
+    std::int64_t validCount_ = 0;  ///< issued, not retired
+    std::int64_t activeCount_ = 0; ///< issued, not scheduled
+    std::int64_t readyCount_ = 0;  ///< active and schedulable
+
+    // Fetch state.
+    std::int32_t fetchImageBlock_ = -1; ///< block being issued (-1: pick new)
+    std::int32_t nextFetchImageBlock_ = -1;
+    std::uint64_t fetchBseq_ = 0;
+    int fetchStall_ = 0;
+    bool fetchIdle_ = false; ///< no known next block (exit path or JR wait)
+    std::uint64_t jrWaitBseq_ = 0; ///< block whose JR fetch waits on
+
+    bool exited_ = false;
+
+    /** Emit one pipeline-trace line when tracing is on. */
+    template <typename... Args>
+    void
+    trace(Args &&...args)
+    {
+        if (!opts_.trace)
+            return;
+        *opts_.trace << "[" << cycle_ << "] ";
+        ((*opts_.trace) << ... << std::forward<Args>(args));
+        *opts_.trace << "\n";
+    }
+};
+
+// ---------------------------------------------------------------------
+// Rename / operand plumbing
+// ---------------------------------------------------------------------
+
+/**
+ * Address generation for stores happens as soon as the base register is
+ * available, independent of the data operand — this is what lets younger
+ * loads disambiguate and bypass (§2.1). No function unit is charged for
+ * it; the store still occupies a memory port when it executes.
+ */
+void
+Engine::tryStoreAgen(NodeInst &inst)
+{
+    if (!inst.node->isStore() || inst.addrKnown || !inst.srcReady[0])
+        return;
+    inst.addr = effectiveAddress(*inst.node, inst.srcVal[0]);
+    inst.len = accessBytes(inst.node->op);
+    inst.addrKnown = true;
+    unknownStoreAddrs_.erase(inst.seq);
+}
+
+void
+Engine::onDataReady(BlockInst &block, std::uint32_t idx)
+{
+    NodeInst &inst = block.insts[idx];
+    fgp_assert(inst.state == NState::Waiting, "double wakeup");
+    inst.state = NState::Ready;
+    ++readyCount_;
+    if (isStatic_)
+        return; // the in-order word dispatcher polls readiness itself
+
+    const Ref ref{block.bseq, idx, inst.seq};
+    if (inst.node->isSys()) {
+        pendingSys_.push_back(ref);
+    } else if (inst.node->isLoad()) {
+        pendingLoads_.push_back(ref);
+    } else if (inst.node->isMem()) {
+        readyMem_.push(ref);
+    } else {
+        readyAlu_.push(ref);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+void
+Engine::completeAt(std::uint64_t done_cycle, const Ref &ref)
+{
+    events_.emplace(done_cycle, ref);
+}
+
+Engine::MergeStatus
+Engine::specRead(std::uint64_t seq_limit, std::uint32_t addr,
+                 std::uint32_t len, std::uint8_t *out, bool *forwarded)
+{
+    // Gate: every older store must have a known address, and no older
+    // system call may still be pending (system calls write memory
+    // directly, so they are barriers for younger loads).
+    const auto oldest_unknown = unknownStoreAddrs_.begin();
+    if (oldest_unknown != unknownStoreAddrs_.end() &&
+        *oldest_unknown < seq_limit)
+        return MergeStatus::UnknownAddr;
+    const auto oldest_sys = pendingSyscallSeqs_.begin();
+    if (oldest_sys != pendingSyscallSeqs_.end() && *oldest_sys < seq_limit)
+        return MergeStatus::UnknownAddr;
+    if (opts_.conservativeLoads) {
+        for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend();
+             ++it) {
+            if (it->seq >= seq_limit)
+                continue;
+            const NodeInst *store = instBy(*it);
+            if (store && !store->dataKnown)
+                return MergeStatus::NeedData;
+        }
+    }
+
+    bool any_forward = false;
+    for (std::uint32_t b = 0; b < len; ++b) {
+        const std::uint32_t byte_addr = addr + b;
+        bool found = false;
+        for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend();
+             ++it) {
+            if (it->seq >= seq_limit)
+                continue;
+            NodeInst *store = instBy(*it);
+            fgp_assert(store && store->addrKnown, "stale store queue entry");
+            if (byte_addr < store->addr ||
+                byte_addr >= store->addr + store->len)
+                continue;
+            if (!store->dataKnown)
+                return MergeStatus::NeedData;
+            out[b] = store->data[byte_addr - store->addr];
+            any_forward = true;
+            found = true;
+            break;
+        }
+        if (!found)
+            out[b] = mem_.read8(byte_addr);
+    }
+    if (forwarded)
+        *forwarded = any_forward;
+    return MergeStatus::Ok;
+}
+
+bool
+Engine::tryExecuteLoad(BlockInst &block, NodeInst &inst)
+{
+    const std::uint32_t addr = effectiveAddress(*inst.node, inst.srcVal[0]);
+    std::uint8_t bytes[4];
+    bool forwarded = false;
+    const MergeStatus status = specRead(inst.seq, addr,
+                                        accessBytes(inst.node->op), bytes,
+                                        &forwarded);
+    if (status != MergeStatus::Ok)
+        return false;
+
+    inst.addr = addr;
+    inst.addrKnown = true;
+    inst.value = loadResult(inst.node->op, bytes);
+    inst.state = NState::Executing;
+    --activeCount_;
+    --readyCount_;
+    ++result_.executedNodes;
+    const int latency = memsys_.loadLatency(addr, forwarded);
+    trace("exec   seq=", inst.seq, " ", formatNode(*inst.node), " addr=0x",
+          std::hex, addr, std::dec, forwarded ? " (forwarded)" : "",
+          " latency=", latency);
+    completeAt(cycle_ + static_cast<std::uint64_t>(latency),
+               Ref{block.bseq, inst.instIdx, inst.seq});
+    return true;
+}
+
+void
+Engine::executeNode(BlockInst &block, NodeInst &inst)
+{
+    inst.state = NState::Executing;
+    --activeCount_;
+    --readyCount_;
+    ++result_.executedNodes;
+    trace("exec   seq=", inst.seq, " ", formatNode(*inst.node));
+    int latency = 1;
+
+    const Node &node = *inst.node;
+    switch (node.cls()) {
+      case NodeClass::IntAlu:
+        inst.value = evalAlu(node, inst.srcVal[0], inst.srcVal[1]);
+        break;
+      case NodeClass::Fault:
+        inst.value = evalCondition(node.op, inst.srcVal[0], inst.srcVal[1])
+                         ? 1
+                         : 0;
+        break;
+      case NodeClass::Control:
+        switch (node.op) {
+          case Opcode::J:
+            inst.value = 0;
+            break;
+          case Opcode::JAL:
+            inst.value = static_cast<std::uint32_t>(node.origPc + 1);
+            break;
+          case Opcode::JR:
+            inst.value = inst.srcVal[0];
+            break;
+          default: // conditional branch
+            inst.value =
+                evalCondition(node.op, inst.srcVal[0], inst.srcVal[1]) ? 1
+                                                                       : 0;
+            break;
+        }
+        break;
+      case NodeClass::Mem: {
+        fgp_assert(node.isStore(), "loads take the tryExecuteLoad path");
+        tryStoreAgen(inst); // usually already done at wakeup
+        fgp_assert(inst.addrKnown, "store executing without an address");
+        const std::uint32_t len = storeBytes(node.op, inst.srcVal[1],
+                                             inst.data);
+        fgp_assert(len == inst.len, "store width changed");
+        inst.dataKnown = true;
+        break;
+      }
+      case NodeClass::Sys: {
+        // Reads observe in-flight older stores; writes are immediate (the
+        // block is the window's oldest and cannot be squashed).
+        const MemPorts ports{
+            [&](std::uint32_t a) {
+                std::uint8_t byte;
+                const MergeStatus st =
+                    specRead(inst.seq, a, 1, &byte, nullptr);
+                fgp_assert(st == MergeStatus::Ok,
+                           "system call read raced an incomplete store");
+                return byte;
+            },
+            [&](std::uint32_t a, std::uint8_t v) { mem_.write8(a, v); },
+        };
+        const std::uint32_t res =
+            os_.syscall(inst.srcVal[0], inst.srcVal[1], inst.srcVal[2],
+                        inst.srcVal[3], inst.srcVal[4], ports);
+        pendingSyscallSeqs_.erase(inst.seq);
+        if (os_.exited()) {
+            finishExit(block, inst);
+            return;
+        }
+        inst.value = res;
+        break;
+      }
+    }
+    completeAt(cycle_ + static_cast<std::uint64_t>(latency),
+               Ref{block.bseq, inst.instIdx, inst.seq});
+}
+
+void
+Engine::finishExit(BlockInst &block, NodeInst &inst)
+{
+    exited_ = true;
+    result_.exited = true;
+    result_.exitCode = os_.exitCode();
+
+    // Commit the partial block up to and including the exit node, exactly
+    // like the functional VM counts it.
+    const std::uint64_t partial = inst.nodeIdx + 1;
+    trace("retire block#", block.bseq, " (exit, ", partial, " nodes)");
+    result_.retiredNodes += partial;
+    ++result_.committedBlocks;
+    result_.blockSize.add(partial);
+    result_.cycles = cycle_ + 1;
+}
+
+// ---------------------------------------------------------------------
+// Completion, resolution, retirement
+// ---------------------------------------------------------------------
+
+void
+Engine::processCompletions()
+{
+    std::vector<Ref> due;
+    for (auto it = events_.begin();
+         it != events_.end() && it->first <= cycle_;) {
+        due.push_back(it->second);
+        it = events_.erase(it);
+    }
+    // In-order resolution priority: an older fault/mispredict must act
+    // before younger control nodes completing in the same cycle.
+    std::sort(due.begin(), due.end(),
+              [](const Ref &a, const Ref &b) { return a.seq < b.seq; });
+
+    for (const Ref &ref : due) {
+        NodeInst *inst = instBy(ref);
+        if (!inst || inst->state != NState::Executing)
+            continue; // squashed since scheduling
+        BlockInst &block = *blockBy(ref.bseq);
+        inst->state = NState::Done;
+        ++block.doneCount;
+        trace("done   seq=", inst->seq, " ", mnemonic(inst->node->op),
+              " value=", inst->value);
+
+        // Publish to the rename map.
+        const std::uint8_t dst = inst->node->dstReg();
+        if (dst != kRegNone && dst != kRegZero) {
+            RenameEntry &entry = rename_[dst];
+            if (!entry.ready && entry.tag == inst->seq) {
+                entry.ready = true;
+                entry.value = inst->value;
+            }
+        }
+
+        // Wake consumers.
+        if (auto wit = waiters_.find(inst->seq); wit != waiters_.end()) {
+            const std::vector<WaitRef> waiting = std::move(wit->second);
+            waiters_.erase(wit);
+            for (const WaitRef &w : waiting) {
+                BlockInst *cb = blockBy(w.bseq);
+                if (!cb || w.idx >= cb->insts.size())
+                    continue; // consumer squashed
+                NodeInst &consumer = cb->insts[w.idx];
+                if (consumer.state != NState::Waiting ||
+                    consumer.srcReady[w.slot])
+                    continue;
+                consumer.srcVal[w.slot] = inst->value;
+                consumer.srcReady[w.slot] = true;
+                if (consumer.node->isStore() && w.slot == 0)
+                    tryStoreAgen(consumer);
+                if (--consumer.unresolved == 0)
+                    onDataReady(*cb, w.idx);
+            }
+        }
+
+        if (inst->node->isFault() || inst->node->isControl())
+            resolveControl(block, *inst);
+    }
+}
+
+void
+Engine::resolveControl(BlockInst &block, NodeInst &inst)
+{
+    const Node &node = *inst.node;
+
+    if (node.isFault()) {
+        if (inst.value) {
+            if (perfect_)
+                fgp_panic("fault node fired under perfect prediction");
+            ++result_.faultsFired;
+            const std::int32_t target = node.target;
+            trace("fault  block#", block.bseq, " ", formatNode(node),
+                  " -> block image ", target);
+            if (opts_.predictFaultTargets) {
+                // Strengthen the chooser toward the block we fault into.
+                FaultChoice &choice =
+                    faultChoice_[image_.block(block.imageId).entryPc];
+                if (choice.target == target) {
+                    if (choice.counter < 3)
+                        ++choice.counter;
+                } else {
+                    // A new alternate starts weak: only repeated faults
+                    // into the same block switch the entry over.
+                    choice.target = target;
+                    choice.counter = 1;
+                }
+            }
+            squashFrom(block.bseq);
+            redirectTo(target);
+        }
+        return;
+    }
+
+    if (isConditionalBranch(node.op)) {
+        const bool taken = inst.value != 0;
+        ++result_.branchesResolved;
+        if (perfect_)
+            return;
+        predictor_.updateConditional(node.origPc, taken);
+        if (!block.predictionMade) {
+            block.resolvedEarly = true;
+            block.resolvedTaken = taken;
+            return;
+        }
+        predictor_.recordOutcome(taken == block.predictedTaken);
+        trace("branch block#", block.bseq, " ", mnemonic(node.op),
+              " pc=", node.origPc, taken ? " taken" : " not-taken",
+              taken == block.predictedTaken ? " (predicted)"
+                                            : " (MISPREDICT)");
+        if (taken != block.predictedTaken) {
+            ++result_.mispredicts;
+            const ImageBlock &ib = image_.block(block.imageId);
+            const std::int32_t pc = taken ? node.target : ib.fallthroughPc;
+            squashFrom(block.bseq + 1);
+            redirectTo(mapPc(pc));
+        }
+        return;
+    }
+
+    if (node.op == Opcode::JR) {
+        const auto actual = static_cast<std::int32_t>(inst.value);
+        if (perfect_)
+            return;
+        predictor_.updateIndirect(node.origPc, actual);
+        if (!block.predictionMade) {
+            block.resolvedEarly = true;
+            block.resolvedTargetPc = actual;
+            return;
+        }
+        if (block.predictedTargetPc == actual)
+            return;
+        if (block.predictedTargetPc >= 0) {
+            // Predicted some other target: squash the wrong path.
+            ++result_.mispredicts;
+            squashFrom(block.bseq + 1);
+            const auto it = image_.entryByPc.find(actual);
+            if (it != image_.entryByPc.end()) {
+                redirectTo(it->second);
+            } else {
+                // Wrong-path JR computed a garbage target; stall fetch
+                // until an older control node repairs the path.
+                fetchIdle_ = true;
+                fetchImageBlock_ = -1;
+                nextFetchImageBlock_ = -1;
+            }
+        } else if (fetchIdle_ && jrWaitBseq_ == block.bseq) {
+            // Fetch was waiting for this JR to resolve. A wrong-path JR
+            // can compute a garbage target; stay idle in that case until
+            // an older control node repairs the path.
+            const auto it = image_.entryByPc.find(actual);
+            if (it != image_.entryByPc.end()) {
+                fetchIdle_ = false;
+                redirectTo(it->second);
+            }
+        }
+        return;
+    }
+    // J / JAL: statically determined, nothing to verify.
+}
+
+void
+Engine::retireBlocks()
+{
+    while (!window_.empty()) {
+        BlockInst &front = window_.front();
+        if (!front.fullyIssued || front.doneCount != front.insts.size())
+            break;
+
+        // Commit stores in issue order (program order for aliasing pairs).
+        while (!storeQueue_.empty() &&
+               storeQueue_.front().bseq == front.bseq) {
+            NodeInst *store = instBy(storeQueue_.front());
+            fgp_assert(store && store->state == NState::Done &&
+                           store->addrKnown && store->dataKnown,
+                       "retiring block with incomplete store");
+            mem_.writeBytes(store->addr, store->data, store->len);
+            memsys_.commitStore(store->addr, store->len);
+            storeQueue_.pop_front();
+        }
+
+        // Architectural register state.
+        for (const NodeInst &inst : front.insts) {
+            const std::uint8_t dst = inst.node->dstReg();
+            if (dst != kRegNone && dst != kRegZero)
+                committedRegs_[dst] = inst.value;
+        }
+
+        if (opts_.predictFaultTargets) {
+            const ImageBlock &ib = image_.block(front.imageId);
+            if (ib.enlarged) {
+                const auto it = faultChoice_.find(ib.entryPc);
+                if (it != faultChoice_.end() &&
+                    it->second.target != front.imageId &&
+                    it->second.counter > 0)
+                    --it->second.counter;
+            }
+        }
+        trace("retire block#", front.bseq, " (image ", front.imageId,
+              ", ", front.insts.size(), " nodes)");
+        validCount_ -= static_cast<std::int64_t>(front.insts.size());
+        result_.retiredNodes += front.insts.size();
+        result_.blockSize.add(front.insts.size());
+        ++result_.committedBlocks;
+        window_.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------
+
+void
+Engine::refreshPending()
+{
+    // Deferred loads: move back to the ready queue once resolvable.
+    for (std::size_t i = 0; i < pendingLoads_.size();) {
+        const Ref ref = pendingLoads_[i];
+        NodeInst *inst = instBy(ref);
+        if (!inst || inst->state != NState::Ready) {
+            pendingLoads_[i] = pendingLoads_.back();
+            pendingLoads_.pop_back();
+            continue;
+        }
+        std::uint8_t scratch[4];
+        const std::uint32_t addr =
+            effectiveAddress(*inst->node, inst->srcVal[0]);
+        if (specRead(inst->seq, addr, accessBytes(inst->node->op), scratch,
+                     nullptr) == MergeStatus::Ok) {
+            readyMem_.push(ref);
+            pendingLoads_[i] = pendingLoads_.back();
+            pendingLoads_.pop_back();
+            continue;
+        }
+        ++i;
+    }
+
+    // System calls become eligible when their block is the window's
+    // oldest and every older node in the block is done.
+    for (std::size_t i = 0; i < pendingSys_.size();) {
+        const Ref ref = pendingSys_[i];
+        NodeInst *inst = instBy(ref);
+        if (!inst || inst->state != NState::Ready) {
+            pendingSys_[i] = pendingSys_.back();
+            pendingSys_.pop_back();
+            continue;
+        }
+        BlockInst &block = *blockBy(ref.bseq);
+        bool eligible = !window_.empty() &&
+                        window_.front().bseq == block.bseq;
+        if (eligible) {
+            for (std::uint32_t k = 0; k < inst->instIdx && eligible; ++k)
+                eligible = block.insts[k].state == NState::Done;
+        }
+        if (eligible) {
+            readyAlu_.push(ref);
+            pendingSys_[i] = pendingSys_.back();
+            pendingSys_.pop_back();
+            continue;
+        }
+        ++i;
+    }
+}
+
+void
+Engine::scheduleDynamic()
+{
+    const IssueModel &issue = opts_.config.issue;
+
+    if (issue.sequential) {
+        // One node of any kind per cycle; oldest first.
+        for (int budget = 1; budget > 0;) {
+            Ref pick{};
+            bool have = false;
+            bool from_mem = false;
+            while (!readyAlu_.empty()) {
+                NodeInst *inst = instBy(readyAlu_.top());
+                if (inst && inst->state == NState::Ready) {
+                    pick = readyAlu_.top();
+                    have = true;
+                    break;
+                }
+                readyAlu_.pop();
+            }
+            while (!readyMem_.empty()) {
+                NodeInst *inst = instBy(readyMem_.top());
+                if (inst && inst->state == NState::Ready) {
+                    if (!have || readyMem_.top().seq < pick.seq) {
+                        pick = readyMem_.top();
+                        have = true;
+                        from_mem = true;
+                    }
+                    break;
+                }
+                readyMem_.pop();
+            }
+            if (!have)
+                break;
+            (from_mem ? readyMem_ : readyAlu_).pop();
+            NodeInst *inst = instBy(pick);
+            BlockInst &block = *blockBy(pick.bseq);
+            if (inst->node->isLoad()) {
+                if (!tryExecuteLoad(block, *inst)) {
+                    pendingLoads_.push_back(pick);
+                    continue; // try the next candidate this cycle
+                }
+            } else {
+                executeNode(block, *inst);
+            }
+            if (exited_)
+                return;
+            --budget;
+        }
+        return;
+    }
+
+    int mem_budget = issue.memSlots;
+    while (mem_budget > 0 && !readyMem_.empty()) {
+        const Ref ref = readyMem_.top();
+        readyMem_.pop();
+        NodeInst *inst = instBy(ref);
+        if (!inst || inst->state != NState::Ready)
+            continue;
+        BlockInst &block = *blockBy(ref.bseq);
+        if (inst->node->isLoad()) {
+            if (!tryExecuteLoad(block, *inst)) {
+                pendingLoads_.push_back(ref);
+                continue;
+            }
+        } else {
+            executeNode(block, *inst);
+        }
+        --mem_budget;
+    }
+
+    int alu_budget = issue.aluSlots;
+    while (alu_budget > 0 && !readyAlu_.empty()) {
+        const Ref ref = readyAlu_.top();
+        readyAlu_.pop();
+        NodeInst *inst = instBy(ref);
+        if (!inst || inst->state != NState::Ready)
+            continue;
+        BlockInst &block = *blockBy(ref.bseq);
+        executeNode(block, *inst);
+        if (exited_)
+            return;
+        --alu_budget;
+    }
+}
+
+void
+Engine::scheduleStaticWord()
+{
+    while (!wordQueue_.empty() && !blockBy(wordQueue_.front().bseq))
+        wordQueue_.pop_front();
+    if (wordQueue_.empty())
+        return;
+
+    const WordRef wr = wordQueue_.front();
+    BlockInst &block = *blockBy(wr.bseq);
+    const ImageBlock &ib = image_.block(block.imageId);
+    const Word &word = ib.words[wr.wordIdx];
+
+    // Identify the word's instances: words issue in order, so the word's
+    // instances are a contiguous run ending before later words' nodes.
+    // Find them by node index.
+    std::vector<NodeInst *> insts;
+    insts.reserve(word.size());
+    for (std::uint16_t node_idx : word) {
+        NodeInst *found = nullptr;
+        for (NodeInst &cand : block.insts) {
+            if (cand.nodeIdx == node_idx) {
+                found = &cand;
+                break;
+            }
+        }
+        if (!found)
+            return; // word not fully issued yet
+        insts.push_back(found);
+    }
+
+    // Full interlock: the word executes only when every node is ready.
+    for (NodeInst *inst : insts) {
+        if (inst->state != NState::Ready) {
+            result_.stats.add("word_stall_cycles", 1);
+            return;
+        }
+        if (inst->node->isSys()) {
+            // Serialize: block must be oldest, all older nodes done.
+            if (window_.front().bseq != block.bseq)
+                return;
+            for (std::uint32_t k = 0; k < inst->instIdx; ++k)
+                if (block.insts[k].state != NState::Done)
+                    return;
+        }
+    }
+
+    // Execute stores and ALU work first so same-word loads can
+    // disambiguate against them, then the loads.
+    for (NodeInst *inst : insts) {
+        if (!inst->node->isLoad()) {
+            executeNode(block, *inst);
+            if (exited_)
+                return;
+        }
+    }
+    for (NodeInst *inst : insts) {
+        if (inst->node->isLoad()) {
+            const bool ok = tryExecuteLoad(block, *inst);
+            fgp_assert(ok, "in-order load failed to disambiguate");
+        }
+    }
+    wordQueue_.pop_front();
+}
+
+// ---------------------------------------------------------------------
+// Fetch and issue
+// ---------------------------------------------------------------------
+
+std::int32_t
+Engine::mapPc(std::int32_t pc)
+{
+    const std::int32_t primary = image_.blockAtPc(pc);
+    if (opts_.predictFaultTargets) {
+        const auto it = faultChoice_.find(pc);
+        if (it != faultChoice_.end() && it->second.counter >= 2 &&
+            it->second.target >= 0)
+            return it->second.target;
+    }
+    return primary;
+}
+
+void
+Engine::redirectTo(std::int32_t image_block)
+{
+    nextFetchImageBlock_ = image_block;
+    fetchImageBlock_ = -1;
+    fetchStall_ = opts_.redirectPenalty;
+    fetchIdle_ = false;
+}
+
+void
+Engine::decideNextFetch(BlockInst &block)
+{
+    block.predictionMade = true;
+
+    if (perfect_) {
+        if (traceIdx_ < trace_->size())
+            nextFetchImageBlock_ = (*trace_)[traceIdx_++];
+        else
+            fetchIdle_ = true; // program exits inside a fetched block
+        return;
+    }
+
+    const ImageBlock &ib = image_.block(block.imageId);
+    const Node *term = ib.terminal();
+
+    if (!term) {
+        if (ib.fallthroughPc < 0)
+            fetchIdle_ = true; // only an exit syscall can end this path
+        else
+            nextFetchImageBlock_ = mapPc(ib.fallthroughPc);
+        return;
+    }
+
+    switch (term->op) {
+      case Opcode::J:
+        nextFetchImageBlock_ = mapPc(term->target);
+        return;
+      case Opcode::JAL:
+        predictor_.pushReturn(term->origPc + 1);
+        nextFetchImageBlock_ = mapPc(term->target);
+        return;
+      case Opcode::JR: {
+        if (block.resolvedEarly) {
+            block.predictedTargetPc = block.resolvedTargetPc;
+            const auto it = image_.entryByPc.find(block.resolvedTargetPc);
+            if (it == image_.entryByPc.end())
+                fgp_fatal("JR to unmapped pc ", block.resolvedTargetPc);
+            nextFetchImageBlock_ = it->second;
+            return;
+        }
+        std::int32_t guess = -1;
+        if (predictor_.rasEnabled())
+            guess = predictor_.popReturn();
+        if (guess < 0)
+            guess = predictor_.predictIndirect(term->origPc);
+        const auto it = guess >= 0 ? image_.entryByPc.find(guess)
+                                   : image_.entryByPc.end();
+        if (it != image_.entryByPc.end()) {
+            block.predictedTargetPc = guess;
+            nextFetchImageBlock_ = it->second;
+        } else {
+            block.predictedTargetPc = -1;
+            fetchIdle_ = true;
+            jrWaitBseq_ = block.bseq;
+        }
+        return;
+      }
+      default: { // conditional branch
+        const bool taken =
+            block.resolvedEarly
+                ? block.resolvedTaken
+                : predictor_.predictConditional(term->origPc, term->target);
+        block.predictedTaken = taken;
+        const std::int32_t pc = taken ? term->target : ib.fallthroughPc;
+        nextFetchImageBlock_ = mapPc(pc);
+        return;
+      }
+    }
+}
+
+void
+Engine::issueCycle()
+{
+    if (fetchStall_ > 0) {
+        --fetchStall_;
+        result_.stats.add("fetch_redirect_cycles", 1);
+        return;
+    }
+
+    if (fetchImageBlock_ < 0) {
+        if (fetchIdle_ || nextFetchImageBlock_ < 0) {
+            result_.stats.add("fetch_idle_cycles", 1);
+            return;
+        }
+        if (static_cast<int>(window_.size()) >= windowCap_) {
+            result_.stats.add("issue_stall_window", 1);
+            return;
+        }
+        BlockInst block;
+        block.bseq = bseqCounter_++;
+        block.imageId = nextFetchImageBlock_;
+        window_.push_back(std::move(block));
+        fetchImageBlock_ = nextFetchImageBlock_;
+        fetchBseq_ = window_.back().bseq;
+        nextFetchImageBlock_ = -1;
+    }
+
+    BlockInst &block = *blockBy(fetchBseq_);
+    const ImageBlock &ib = image_.block(block.imageId);
+    fgp_assert(!ib.words.empty(), "image block ", ib.id,
+               " has no issue words (image not translated?)");
+    const Word &word = ib.words[block.issuedWords];
+
+    for (std::uint16_t node_idx : word) {
+        const Node &node = ib.nodes[node_idx];
+        NodeInst inst;
+        inst.node = &node;
+        inst.nodeIdx = node_idx;
+        inst.instIdx = static_cast<std::uint32_t>(block.insts.size());
+        inst.seq = seqCounter_++;
+
+        std::array<std::uint8_t, 5> srcs;
+        inst.nSrc = node.srcRegs(srcs);
+        for (int slot = 0; slot < inst.nSrc; ++slot) {
+            const std::uint8_t reg = srcs[slot];
+            if (reg == kRegNone || reg == kRegZero) {
+                inst.srcVal[slot] = 0;
+                inst.srcReady[slot] = true;
+                continue;
+            }
+            const RenameEntry &entry = rename_[reg];
+            if (entry.ready) {
+                inst.srcVal[slot] = entry.value;
+                inst.srcReady[slot] = true;
+            } else {
+                ++inst.unresolved;
+                waiters_[entry.tag].push_back(
+                    {block.bseq, inst.instIdx, slot});
+            }
+        }
+
+        const std::uint8_t dst = node.dstReg();
+        if (dst != kRegNone && dst != kRegZero)
+            rename_[dst] = {false, 0, inst.seq};
+
+        const Ref ref{block.bseq, inst.instIdx, inst.seq};
+        if (node.isStore()) {
+            storeQueue_.push_back(ref);
+            unknownStoreAddrs_.insert(inst.seq);
+            tryStoreAgen(inst);
+        }
+        if (node.isSys())
+            pendingSyscallSeqs_.insert(inst.seq);
+
+        const bool ready_now = inst.unresolved == 0;
+        block.insts.push_back(inst);
+        ++result_.issuedNodes;
+        ++validCount_;
+        ++activeCount_;
+        if (ready_now)
+            onDataReady(block, block.insts.back().instIdx);
+    }
+
+    if (opts_.trace) {
+        std::string text;
+        for (std::uint16_t node_idx : word) {
+            if (!text.empty())
+                text += " | ";
+            text += formatNode(ib.nodes[node_idx]);
+        }
+        trace("issue  block#", block.bseq, " (image ", block.imageId,
+              ") word ", block.issuedWords, ": ", text);
+    }
+    ++issueCycles_;
+    if (isStatic_)
+        wordQueue_.push_back({block.bseq, block.issuedWords});
+
+    if (++block.issuedWords == ib.words.size()) {
+        block.fullyIssued = true;
+        decideNextFetch(block);
+        fetchImageBlock_ = -1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash / repair
+// ---------------------------------------------------------------------
+
+void
+Engine::squashFrom(std::uint64_t bseq_inclusive)
+{
+    const BlockInst *first = firstAtOrAfter(bseq_inclusive);
+    if (!first) {
+        // Nothing younger is in flight; still cancel any in-progress fetch.
+        fetchImageBlock_ = -1;
+        rebuildRenameMap();
+        return;
+    }
+    fgp_assert(!first->insts.empty(), "squashing an empty block");
+    const std::uint64_t seq_boundary = first->insts.front().seq;
+
+    while (!window_.empty() && window_.back().bseq >= bseq_inclusive) {
+        const BlockInst &victim = window_.back();
+        trace("squash block#", victim.bseq, " (image ", victim.imageId,
+              ", ", victim.insts.size(), " nodes)");
+        for (const NodeInst &inst : victim.insts) {
+            --validCount_;
+            if (inst.state == NState::Waiting ||
+                inst.state == NState::Ready)
+                --activeCount_;
+            if (inst.state == NState::Ready)
+                --readyCount_;
+        }
+        ++result_.squashedBlocks;
+        window_.pop_back();
+    }
+    while (!storeQueue_.empty() &&
+           storeQueue_.back().seq >= seq_boundary)
+        storeQueue_.pop_back();
+    unknownStoreAddrs_.erase(
+        unknownStoreAddrs_.lower_bound(seq_boundary),
+        unknownStoreAddrs_.end());
+    pendingSyscallSeqs_.erase(
+        pendingSyscallSeqs_.lower_bound(seq_boundary),
+        pendingSyscallSeqs_.end());
+    while (!wordQueue_.empty() && wordQueue_.back().bseq >= bseq_inclusive)
+        wordQueue_.pop_back();
+
+    fetchImageBlock_ = -1; // any in-progress fetch was on the wrong path
+    rebuildRenameMap();
+}
+
+void
+Engine::rebuildRenameMap()
+{
+    for (std::uint8_t r = 0; r < kNumRegs; ++r)
+        rename_[r] = {true, committedRegs_[r], 0};
+    for (const BlockInst &block : window_) {
+        for (const NodeInst &inst : block.insts) {
+            const std::uint8_t dst = inst.node->dstReg();
+            if (dst == kRegNone || dst == kRegZero)
+                continue;
+            if (inst.state == NState::Done)
+                rename_[dst] = {true, inst.value, 0};
+            else
+                rename_[dst] = {false, 0, inst.seq};
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+EngineResult
+Engine::run()
+{
+    validateImage(image_);
+    const Program &prog = *image_.prog;
+    if (!prog.data.empty())
+        mem_.writeBytes(kDataBase, prog.data.data(), prog.data.size());
+    os_.setInitialBrk(prog.initialBrk());
+    committedRegs_[kRegSp] = kStackTop;
+    rebuildRenameMap();
+
+    if (perfect_) {
+        fgp_assert(!trace_->empty(), "empty perfect trace");
+        nextFetchImageBlock_ = (*trace_)[0];
+        traceIdx_ = 1;
+    } else {
+        nextFetchImageBlock_ = image_.entryBlock;
+    }
+
+    std::uint64_t last_progress = 0;
+    std::uint64_t progress_marker = 0;
+
+    for (cycle_ = 0; cycle_ < opts_.maxCycles; ++cycle_) {
+        processCompletions();
+        if (exited_)
+            break;
+        retireBlocks();
+        if (!isStatic_)
+            refreshPending();
+        if (isStatic_)
+            scheduleStaticWord();
+        else
+            scheduleDynamic();
+        if (exited_)
+            break;
+        issueCycle();
+        result_.windowOccupancy.add(window_.size());
+        result_.validNodes.add(static_cast<std::uint64_t>(validCount_));
+        result_.activeNodes.add(static_cast<std::uint64_t>(activeCount_));
+        result_.readyNodes.add(static_cast<std::uint64_t>(readyCount_));
+
+        // Watchdog: the machine must make progress (issue, execute or
+        // retire something) regularly or the model has deadlocked.
+        const std::uint64_t marker = result_.issuedNodes +
+                                     result_.executedNodes +
+                                     result_.retiredNodes;
+        if (marker != progress_marker) {
+            progress_marker = marker;
+            last_progress = cycle_;
+        } else if (cycle_ - last_progress > 100000) {
+            fgp_panic("engine deadlock: no progress for 100000 cycles "
+                      "(config ", opts_.config.name(), ")");
+        }
+    }
+    if (!exited_)
+        fgp_fatal("cycle budget exceeded (", opts_.maxCycles, ") on config ",
+                  opts_.config.name());
+
+    predictor_.exportStats(result_.stats, "bpred.");
+    memsys_.exportStats(result_.stats, "mem.");
+    result_.stats.set("window_cap", static_cast<std::uint64_t>(windowCap_));
+    result_.stats.set("issue_cycles", issueCycles_);
+    if (issueCycles_) {
+        result_.stats.setReal(
+            "issue_slot_utilization",
+            static_cast<double>(result_.issuedNodes) /
+                (static_cast<double>(issueCycles_) *
+                 opts_.config.issue.width()));
+    }
+    return result_;
+}
+
+} // namespace
+
+EngineResult
+simulate(const CodeImage &image, SimOS &os, const EngineOptions &opts)
+{
+    Engine engine{image, os, opts};
+    return engine.run();
+}
+
+} // namespace fgp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The cycle-level run-time simulator (the paper's "sim", §3.1).
+ *
+ * Execution-driven: nodes compute real values on speculative state, so
+ * run-time memory disambiguation, wrong-path execution and fault repair
+ * behave like the modeled hardware. One simulate() call evaluates one
+ * machine configuration on one translated image:
+ *
+ *  - fetch/issue: one multi-node word per cycle from the current basic
+ *    block; entering a new block requires window occupancy below the
+ *    discipline's cap; branch prediction (2-bit counter BTB + BTFN, or the
+ *    perfect trace) selects the next block;
+ *  - dynamic scheduling: register renaming at issue; dataflow wakeup;
+ *    oldest-first selection onto the word-shaped function units (M memory
+ *    ports, A ALUs, fully pipelined);
+ *  - static scheduling: the compiler's words execute strictly in order
+ *    with a full interlock (a word waits until every node in it has its
+ *    operands);
+ *  - loads disambiguate at run time against the in-window store queue
+ *    (byte-accurate forwarding); stores commit to the write buffer at
+ *    block retirement;
+ *  - speculative execution: per-block checkpoint repair — a mispredicted
+ *    branch squashes younger blocks, a firing fault node squashes its own
+ *    block too and redirects to the fault-to companion.
+ */
+
+#ifndef FGP_ENGINE_ENGINE_HH
+#define FGP_ENGINE_ENGINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "arch/config.hh"
+#include "base/histogram.hh"
+#include "base/stats.hh"
+#include "branch/predictor_opts.hh"
+#include "ir/image.hh"
+#include "vm/memory.hh"
+#include "vm/simos.hh"
+
+namespace fgp {
+
+/** Options for one simulation. */
+struct EngineOptions
+{
+    MachineConfig config;
+
+    /**
+     * Committed-block trace for BranchMode::Perfect (produced by
+     * runAtomic with recordTrace on the same image). Ignored otherwise.
+     */
+    const std::vector<std::int32_t> *perfectTrace = nullptr;
+
+    /** Runaway guard. */
+    std::uint64_t maxCycles = 4'000'000'000ULL;
+
+    /** Branch prediction configuration (BTB size, static hints, RAS). */
+    PredictorOptions predictor = {};
+
+    /**
+     * Extension (paper §3.1 closing remark): predict on faults so that
+     * repeated faults cause control transfers to start with an alternate
+     * enlarged instance instead of the primary one.
+     */
+    bool predictFaultTargets = false;
+
+    /** Override the window size in basic blocks (0: per discipline). */
+    int windowOverride = 0;
+
+    /**
+     * Ablation (§2.1): conservative memory disambiguation — a load waits
+     * until every older in-window store has executed, instead of
+     * checking addresses at run time.
+     */
+    bool conservativeLoads = false;
+
+    /**
+     * Cycles lost redirecting fetch after a misprediction or fault
+     * (default kRedirectPenalty); higher values model deeper front ends.
+     */
+    int redirectPenalty = kRedirectPenalty;
+
+    /**
+     * Cycle-by-cycle pipeline trace (issue / execute / complete /
+     * resolve / squash / retire events) written to this stream when
+     * non-null. Intended for small programs.
+     */
+    std::ostream *trace = nullptr;
+};
+
+/** Result of one simulation. */
+struct EngineResult
+{
+    bool exited = false;
+    int exitCode = 0;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t retiredNodes = 0;   ///< nodes in committed blocks
+    std::uint64_t executedNodes = 0;  ///< scheduled on FUs (incl. squashed)
+    std::uint64_t issuedNodes = 0;
+    std::uint64_t committedBlocks = 0;
+    std::uint64_t squashedBlocks = 0;
+    std::uint64_t faultsFired = 0;
+    std::uint64_t branchesResolved = 0;
+    std::uint64_t mispredicts = 0;
+
+    /** Committed basic block sizes (Figure 2). */
+    Histogram blockSize{4, 32};
+
+    /** Window occupancy in blocks, sampled each cycle. */
+    Histogram windowOccupancy{1, 64};
+
+    /**
+     * The paper's three operation-based window measures (§2.2), sampled
+     * each cycle: valid = issued but not retired; active = issued but
+     * not yet scheduled; ready = active and schedulable.
+     */
+    Histogram validNodes{16, 64};
+    Histogram activeNodes{16, 64};
+    Histogram readyNodes{4, 64};
+
+    /** Detailed counters (cache, predictor, issue stalls...). */
+    StatGroup stats;
+
+    double
+    nodesPerCycle() const
+    {
+        return cycles ? static_cast<double>(retiredNodes) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Fraction of executed nodes that never retired (Figure 6). */
+    double
+    redundancy() const
+    {
+        return executedNodes
+                   ? 1.0 - static_cast<double>(retiredNodes) /
+                               static_cast<double>(executedNodes)
+                   : 0.0;
+    }
+};
+
+/**
+ * Simulate @p image (already translated for @p opts.config) against @p os.
+ * The image's words must be filled. Architectural results (stdout, exit
+ * code, memory) equal the functional VM's — asserted by the test suite.
+ */
+EngineResult simulate(const CodeImage &image, SimOS &os,
+                      const EngineOptions &opts);
+
+} // namespace fgp
+
+#endif // FGP_ENGINE_ENGINE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Facade header: the complete public API of fgpsim. Link against the
+ * `fgp` CMake target and include this one header.
+ *
+ *     #include "fgp/fgp.hh"
+ *
+ *     fgp::ExperimentRunner runner;
+ *     auto r = runner.run("grep",
+ *                         fgp::parseMachineConfig("dyn4/8A/enlarged"));
+ *     std::cout << r.nodesPerCycle << "\n";
+ */
+
+#ifndef FGP_FGP_HH
+#define FGP_FGP_HH
+
+// Infrastructure.
+#include "base/histogram.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/strutil.hh"
+#include "base/table.hh"
+
+// Machine configuration space (§3.1 parameters).
+#include "arch/config.hh"
+
+// Micro-op ISA, programs, images, assembler.
+#include "ir/cfg.hh"
+#include "ir/image.hh"
+#include "ir/node.hh"
+#include "ir/opcode.hh"
+#include "ir/printer.hh"
+#include "ir/program.hh"
+#include "masm/assembler.hh"
+
+// Functional execution (golden models) and the simulated OS.
+#include "vm/atomic_runner.hh"
+#include "vm/exec.hh"
+#include "vm/interp.hh"
+#include "vm/memory.hh"
+#include "vm/profile.hh"
+#include "vm/profile_io.hh"
+#include "vm/simos.hh"
+
+// Translating loader.
+#include "tld/depgraph.hh"
+#include "tld/optimizer.hh"
+#include "tld/schedule.hh"
+#include "tld/translate.hh"
+
+// Basic block enlargement.
+#include "bbe/enlarge.hh"
+#include "bbe/plan.hh"
+
+// Branch prediction and the memory system.
+#include "branch/predictor.hh"
+#include "branch/predictor_opts.hh"
+#include "memsys/memsys.hh"
+
+// The cycle-level engine.
+#include "engine/engine.hh"
+
+// Benchmarks and the experiment driver.
+#include "harness/experiment.hh"
+#include "workloads/workloads.hh"
+
+#endif // FGP_FGP_HH

@@ -1,0 +1,197 @@
+#include "harness/experiment.hh"
+
+#include "base/logging.hh"
+#include "ir/cfg.hh"
+#include "tld/translate.hh"
+#include "vm/atomic_runner.hh"
+#include "vm/interp.hh"
+
+namespace fgp {
+
+struct ExperimentRunner::Prepared
+{
+    Workload workload;
+    CodeImage single;      ///< raw single-block image
+    CodeImage enlarged;    ///< raw enlarged image
+    Profile profile;       ///< from input set 1
+    EnlargeStats enlargeStats;
+
+    std::uint64_t refNodes = 0; ///< VM dynamic nodes, input set 2
+    std::string refStdout;
+    int refExit = 0;
+
+    std::vector<std::int32_t> perfectTrace; ///< committed blocks, set 2
+
+    /** Profile static hints: branch pc -> hot direction is taken. */
+    std::unordered_map<std::int32_t, bool> profileHints;
+
+    explicit Prepared(Workload wl) : workload(std::move(wl)) {}
+};
+
+ExperimentRunner::ExperimentRunner(double scale, EnlargeOptions enlarge_opts)
+    : scale_(scale), enlargeOpts_(enlarge_opts)
+{
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+ExperimentRunner::Prepared &
+ExperimentRunner::prepare(const std::string &name)
+{
+    if (const auto it = cache_.find(name); it != cache_.end())
+        return *it->second;
+
+    Workload wl = makeWorkload(name);
+    wl.setScale(scale_);
+    auto prepared = std::make_unique<Prepared>(std::move(wl));
+    Prepared &p = *prepared;
+
+    // Phase 1: functional profile run on input set 1.
+    {
+        SimOS os;
+        p.workload.prepareOs(os, InputSet::Profile);
+        InterpOptions opts;
+        opts.profile = &p.profile;
+        const RunResult r = interpret(p.workload.program(), os, opts);
+        if (!r.exited || r.exitCode != 0)
+            fgp_fatal("workload ", name, " failed its profile run (exit ",
+                      r.exitCode, ")");
+    }
+
+    // Golden reference on input set 2.
+    {
+        SimOS os;
+        p.workload.prepareOs(os, InputSet::Measure);
+        const RunResult r = interpret(p.workload.program(), os);
+        if (!r.exited || r.exitCode != 0)
+            fgp_fatal("workload ", name, " failed its reference run (exit ",
+                      r.exitCode, ")");
+        p.refNodes = r.dynamicNodes;
+        p.refStdout = os.stdoutText();
+        p.refExit = r.exitCode;
+    }
+
+    for (const auto &[pc, arc] : p.profile.arcs)
+        p.profileHints.emplace(pc, arc.hotIsTaken());
+
+    // Phase 2: images.
+    p.single = buildCfg(p.workload.program());
+    p.enlarged = enlarge(p.single, p.profile, enlargeOpts_,
+                         &p.enlargeStats);
+
+    // Committed-block trace of the enlarged image for perfect prediction.
+    {
+        SimOS os;
+        p.workload.prepareOs(os, InputSet::Measure);
+        AtomicRunOptions opts;
+        opts.recordTrace = true;
+        AtomicRunResult r = runAtomic(p.enlarged, os, opts);
+        fgp_assert(r.exited && r.exitCode == p.refExit &&
+                       os.stdoutText() == p.refStdout,
+                   "enlarged image diverges from the reference on ", name);
+        p.perfectTrace = std::move(r.blockTrace);
+    }
+
+    auto [it, inserted] = cache_.emplace(name, std::move(prepared));
+    fgp_assert(inserted, "duplicate preparation");
+    return *it->second;
+}
+
+ExperimentResult
+ExperimentRunner::run(const std::string &name, const MachineConfig &config)
+{
+    Prepared &p = prepare(name);
+
+    const bool enlarged_image = config.branch != BranchMode::Single;
+    CodeImage image = enlarged_image ? p.enlarged : p.single;
+    translate(image, config, translateOpts_);
+
+    SimOS os;
+    p.workload.prepareOs(os, InputSet::Measure);
+
+    EngineOptions opts;
+    opts.config = config;
+    if (config.branch == BranchMode::Perfect)
+        opts.perfectTrace = &p.perfectTrace;
+    opts.predictor.staticHint = tweaks_.staticHint;
+    if (tweaks_.staticHint == StaticHint::Profile)
+        opts.predictor.profileHints = &p.profileHints;
+    opts.predictor.rasDepth = tweaks_.rasDepth;
+    opts.predictor.direction = tweaks_.direction;
+    opts.predictFaultTargets = tweaks_.predictFaultTargets;
+    opts.windowOverride = tweaks_.windowOverride;
+    opts.conservativeLoads = tweaks_.conservativeLoads;
+
+    ExperimentResult result;
+    result.workload = name;
+    result.config = config;
+    result.engine = simulate(image, os, opts);
+
+    // Every simulated run must reproduce the architectural results.
+    if (!result.engine.exited || result.engine.exitCode != p.refExit ||
+        os.stdoutText() != p.refStdout) {
+        fgp_panic("engine diverged from the functional VM: workload ", name,
+                  " config ", config.name());
+    }
+
+    result.cycles = result.engine.cycles;
+    result.refNodes = p.refNodes;
+    result.nodesPerCycle =
+        result.cycles ? static_cast<double>(p.refNodes) /
+                            static_cast<double>(result.cycles)
+                      : 0.0;
+    return result;
+}
+
+double
+ExperimentRunner::meanNodesPerCycle(const MachineConfig &config)
+{
+    double sum = 0.0;
+    for (const std::string &name : workloadNames())
+        sum += run(name, config).nodesPerCycle;
+    return sum / static_cast<double>(workloadNames().size());
+}
+
+double
+ExperimentRunner::meanRedundancy(const MachineConfig &config)
+{
+    double sum = 0.0;
+    for (const std::string &name : workloadNames())
+        sum += run(name, config).engine.redundancy();
+    return sum / static_cast<double>(workloadNames().size());
+}
+
+const EnlargeStats &
+ExperimentRunner::enlargeStats(const std::string &workload)
+{
+    return prepare(workload).enlargeStats;
+}
+
+std::uint64_t
+ExperimentRunner::referenceNodes(const std::string &workload)
+{
+    return prepare(workload).refNodes;
+}
+
+const CodeImage &
+ExperimentRunner::singleImage(const std::string &workload)
+{
+    return prepare(workload).single;
+}
+
+const CodeImage &
+ExperimentRunner::enlargedImage(const std::string &workload)
+{
+    return prepare(workload).enlarged;
+}
+
+std::unique_ptr<SimOS>
+ExperimentRunner::makeOs(const std::string &workload, InputSet set)
+{
+    Prepared &p = prepare(workload);
+    auto os = std::make_unique<SimOS>();
+    p.workload.prepareOs(*os, set);
+    return os;
+}
+
+} // namespace fgp

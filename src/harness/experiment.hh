@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Experiment driver reproducing the paper's two-phase protocol (§3.1):
+ *
+ *  1. run the benchmark functionally on input set 1, collecting the
+ *     branch-arc profile;
+ *  2. create the basic-block-enlargement image from that profile;
+ *  3. simulate on input set 2 (different data, so the branch profile is
+ *     not overly biased), translating the image per machine
+ *     configuration.
+ *
+ * Every simulation's architectural output (stdout + exit code) is checked
+ * against the functional VM's golden run — a failing configuration is a
+ * simulator bug and aborts.
+ */
+
+#ifndef FGP_HARNESS_EXPERIMENT_HH
+#define FGP_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "bbe/enlarge.hh"
+#include "engine/engine.hh"
+#include "tld/translate.hh"
+#include "vm/profile.hh"
+#include "workloads/workloads.hh"
+
+namespace fgp {
+
+/** One data point. */
+struct ExperimentResult
+{
+    std::string workload;
+    MachineConfig config;
+
+    /**
+     * The paper's headline metric: reference dynamic nodes (functional VM
+     * on the same input) divided by simulated cycles. Equals raw retired
+     * nodes per cycle for single-block runs.
+     */
+    double nodesPerCycle = 0.0;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t refNodes = 0;
+
+    EngineResult engine;
+};
+
+/** Cached per-benchmark artifacts + configurable input scale. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param scale input-size scale (1.0 = default benchmark size).
+     * @param enlarge_opts thresholds for the enlargement pass.
+     */
+    explicit ExperimentRunner(double scale = 1.0,
+                              EnlargeOptions enlarge_opts = {});
+    ~ExperimentRunner();
+
+    /** Run one (benchmark, configuration) point on input set 2. */
+    ExperimentResult run(const std::string &workload,
+                         const MachineConfig &config);
+
+    /** Override translating-loader options (optimizer ablations). */
+    void setTranslateOptions(const TranslateOptions &opts)
+    {
+        translateOpts_ = opts;
+    }
+
+    /**
+     * Extra engine knobs applied to every run: predictor configuration
+     * (RAS depth, static-hint source), fault-target prediction, window
+     * override, conservative disambiguation. When the static-hint source
+     * is StaticHint::Profile the per-benchmark hint table from the
+     * profiling run is wired in automatically.
+     */
+    struct EngineTweaks
+    {
+        StaticHint staticHint = StaticHint::Btfn;
+        int rasDepth = 0;
+        bool predictFaultTargets = false;
+        int windowOverride = 0;
+        bool conservativeLoads = false;
+        DirectionPredictor direction = DirectionPredictor::TwoBitBtb;
+    };
+
+    void setEngineTweaks(const EngineTweaks &tweaks) { tweaks_ = tweaks; }
+
+    /** Mean nodes/cycle over all five benchmarks for one configuration. */
+    double meanNodesPerCycle(const MachineConfig &config);
+
+    /** Mean redundancy over all five benchmarks for one configuration. */
+    double meanRedundancy(const MachineConfig &config);
+
+    /** Enlargement statistics of a benchmark's prepared image. */
+    const EnlargeStats &enlargeStats(const std::string &workload);
+
+    /** Reference dynamic-node count (input set 2). */
+    std::uint64_t referenceNodes(const std::string &workload);
+
+    /** Raw single/enlarged images (for block-size histograms etc.). */
+    const CodeImage &singleImage(const std::string &workload);
+    const CodeImage &enlargedImage(const std::string &workload);
+
+    /** Fresh OS loaded with the measurement input for a benchmark. */
+    std::unique_ptr<SimOS> makeOs(const std::string &workload,
+                                  InputSet set = InputSet::Measure);
+
+  private:
+    struct Prepared;
+    Prepared &prepare(const std::string &workload);
+
+    double scale_;
+    EnlargeOptions enlargeOpts_;
+    TranslateOptions translateOpts_ = {};
+    EngineTweaks tweaks_ = {};
+    std::map<std::string, std::unique_ptr<Prepared>> cache_;
+};
+
+} // namespace fgp
+
+#endif // FGP_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,75 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+CodeImage
+buildCfg(const Program &prog)
+{
+    validateProgram(prog);
+
+    const auto num_instrs = static_cast<std::int32_t>(prog.instrs.size());
+    std::set<std::int32_t> leaders;
+    leaders.insert(prog.entry);
+    leaders.insert(0);
+
+    for (std::int32_t pc = 0; pc < num_instrs; ++pc) {
+        const Node &node = prog.instrs[pc];
+        if (!node.isControl())
+            continue;
+        if (node.target >= 0)
+            leaders.insert(node.target);
+        if (pc + 1 < num_instrs)
+            leaders.insert(pc + 1);
+    }
+
+    CodeImage image;
+    image.prog = &prog;
+
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        const std::int32_t start = *it;
+        const auto next_it = std::next(it);
+        const std::int32_t limit =
+            next_it == leaders.end() ? num_instrs : *next_it;
+        fgp_assert(start < limit, "degenerate block at pc ", start);
+
+        ImageBlock block;
+        block.id = static_cast<std::int32_t>(image.blocks.size());
+        block.entryPc = start;
+        for (std::int32_t pc = start; pc < limit; ++pc) {
+            Node node = prog.instrs[pc];
+            node.origPc = pc;
+            if (node.isSys())
+                block.hasSyscall = true;
+            block.nodes.push_back(node);
+        }
+
+        const Node &last = block.nodes.back();
+        if (last.isControl()) {
+            const bool conditional = isConditionalBranch(last.op);
+            block.fallthroughPc =
+                conditional && limit < num_instrs ? limit : -1;
+            if (conditional && limit >= num_instrs)
+                fgp_fatal("conditional branch at program end (pc ",
+                          limit - 1, ")");
+        } else {
+            if (limit >= num_instrs)
+                block.fallthroughPc = -1; // must exit via syscall
+            else
+                block.fallthroughPc = limit;
+        }
+
+        image.entryByPc.emplace(start, block.id);
+        image.blocks.push_back(std::move(block));
+    }
+
+    image.entryBlock = image.blockAtPc(prog.entry);
+    validateImage(image);
+    return image;
+}
+
+} // namespace fgp

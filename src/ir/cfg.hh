@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Control-flow graph construction: chops a flat Program into single basic
+ * blocks, producing the baseline CodeImage that the translating loader and
+ * the enlargement pass operate on.
+ */
+
+#ifndef FGP_IR_CFG_HH
+#define FGP_IR_CFG_HH
+
+#include "ir/image.hh"
+#include "ir/program.hh"
+
+namespace fgp {
+
+/**
+ * Build the single-basic-block CodeImage of @p prog.
+ *
+ * Leaders are: the entry point, every control-transfer target, and every
+ * instruction following a control node (which covers subroutine return
+ * sites after JAL). Issue words are left empty; the translating loader
+ * fills them per machine configuration.
+ */
+CodeImage buildCfg(const Program &prog);
+
+} // namespace fgp
+
+#endif // FGP_IR_CFG_HH

@@ -1,0 +1,97 @@
+#include "ir/image.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+std::int32_t
+CodeImage::blockAtPc(std::int32_t pc) const
+{
+    // debug aid
+
+    const auto it = entryByPc.find(pc);
+    if (it == entryByPc.end())
+        fgp_fatal("no block begins at original pc ", pc);
+    return it->second;
+}
+
+void
+CodeImage::blockIdPanic(std::int32_t id) const
+{
+    fgp_panic("block id ", id, " out of range (", blocks.size(), " blocks)");
+}
+
+std::size_t
+CodeImage::totalNodes() const
+{
+    std::size_t total = 0;
+    for (const auto &block : blocks)
+        total += block.nodes.size();
+    return total;
+}
+
+void
+validateImage(const CodeImage &image)
+{
+    if (image.blocks.empty())
+        fgp_fatal("image has no blocks");
+    if (image.entryBlock < 0 ||
+        image.entryBlock >= static_cast<std::int32_t>(image.blocks.size()))
+        fgp_fatal("image entry block out of range");
+
+    const auto num_blocks = static_cast<std::int32_t>(image.blocks.size());
+
+    for (std::int32_t id = 0; id < num_blocks; ++id) {
+        const ImageBlock &block = image.blocks[id];
+        if (block.id != id)
+            fgp_fatal("block ", id, " carries id ", block.id);
+        if (block.nodes.empty())
+            fgp_fatal("block ", id, " is empty");
+
+        for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+            const Node &node = block.nodes[i];
+            if (node.isControl() && i + 1 != block.nodes.size())
+                fgp_fatal("block ", id, ": control node at position ", i,
+                          " is not terminal");
+            if (node.isFault()) {
+                if (node.target < 0 || node.target >= num_blocks)
+                    fgp_fatal("block ", id, ": fault target ", node.target,
+                              " is not a block id");
+            }
+            auto check_reg = [&](std::uint8_t reg) {
+                if (reg != kRegNone && reg >= kNumRegs)
+                    fgp_fatal("block ", id, ": register r",
+                              static_cast<int>(reg), " out of range");
+            };
+            check_reg(node.rs1);
+            check_reg(node.rs2);
+            check_reg(node.rd);
+        }
+
+        if (!block.words.empty()) {
+            std::vector<int> seen(block.nodes.size(), 0);
+            for (const Word &word : block.words) {
+                if (word.empty())
+                    fgp_fatal("block ", id, ": empty issue word");
+                for (std::uint16_t idx : word) {
+                    if (idx >= block.nodes.size())
+                        fgp_fatal("block ", id, ": word references node ",
+                                  idx, " out of range");
+                    ++seen[idx];
+                }
+            }
+            for (std::size_t i = 0; i < seen.size(); ++i)
+                if (seen[i] != 1)
+                    fgp_fatal("block ", id, ": node ", i, " appears in ",
+                              seen[i], " words");
+        }
+    }
+
+    for (const auto &[pc, id] : image.entryByPc)
+        if (id < 0 || id >= num_blocks)
+            fgp_fatal("entry map for pc ", pc, " points at bad block ", id);
+}
+
+} // namespace fgp

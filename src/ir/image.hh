@@ -1,0 +1,130 @@
+/**
+ * @file
+ * CodeImage: the translated form of a program, as produced by the
+ * translating loader (and, for enlarged code, the basic block enlargement
+ * pass). A CodeImage is a set of (possibly enlarged) basic blocks whose
+ * nodes have been packed into multi-node issue words for one machine
+ * configuration.
+ */
+
+#ifndef FGP_IR_IMAGE_HH
+#define FGP_IR_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/node.hh"
+#include "ir/program.hh"
+
+namespace fgp {
+
+/** One multi-node issue word: indices into the owning block's node array. */
+using Word = std::vector<std::uint16_t>;
+
+/** A (possibly enlarged) basic block in a CodeImage. */
+struct ImageBlock
+{
+    std::int32_t id = -1;
+
+    /** Original instruction index of the block's entry. */
+    std::int32_t entryPc = -1;
+
+    /** Nodes in translated order. A terminal control node, if any, is last. */
+    std::vector<Node> nodes;
+
+    /**
+     * Issue words (filled by the translating loader's scheduler/packer).
+     * Every node index appears in exactly one word; words issue one per
+     * cycle in order.
+     */
+    std::vector<Word> words;
+
+    /**
+     * Original pc to continue at when the terminal branch is not taken, or
+     * when the block has no terminal control node. -1 means falling off the
+     * block is impossible (must exit via terminal or fault).
+     */
+    std::int32_t fallthroughPc = -1;
+
+    /** True when this block was produced by enlargement. */
+    bool enlarged = false;
+
+    /** True for companion (fault-target) instances of an enlarged chain. */
+    bool companion = false;
+
+    /** Number of original basic blocks fused into this one. */
+    std::int32_t chainLen = 1;
+
+    /** True when any node is a system call (such blocks are never fused). */
+    bool hasSyscall = false;
+
+    /** Terminal control node, or nullptr for pure fall-through blocks. */
+    const Node *
+    terminal() const
+    {
+        if (nodes.empty())
+            return nullptr;
+        const Node &last = nodes.back();
+        return last.isControl() ? &last : nullptr;
+    }
+
+    std::size_t size() const { return nodes.size(); }
+};
+
+/** A translated program: blocks plus the entry-point map. */
+struct CodeImage
+{
+    std::vector<ImageBlock> blocks;
+
+    /**
+     * Original instruction index -> block id of the primary instance to
+     * fetch when control reaches that address. In an enlarged image hot
+     * entries map to the enlarged primary block ("always execute the
+     * initial enlarged basic block first", §3.1); companions are reachable
+     * only as fault-to targets.
+     */
+    std::unordered_map<std::int32_t, std::int32_t> entryByPc;
+
+    /** Block to start execution at. */
+    std::int32_t entryBlock = -1;
+
+    /** Source program (borrowed; must outlive the image). */
+    const Program *prog = nullptr;
+
+    /** Resolve an original pc to a block id; fatal if unmapped. */
+    std::int32_t blockAtPc(std::int32_t pc) const;
+
+    const ImageBlock &
+    block(std::int32_t id) const
+    {
+        if (id < 0 || id >= static_cast<std::int32_t>(blocks.size()))
+            blockIdPanic(id);
+        return blocks[static_cast<std::size_t>(id)];
+    }
+
+    ImageBlock &
+    block(std::int32_t id)
+    {
+        if (id < 0 || id >= static_cast<std::int32_t>(blocks.size()))
+            blockIdPanic(id);
+        return blocks[static_cast<std::size_t>(id)];
+    }
+
+    [[noreturn]] void blockIdPanic(std::int32_t id) const;
+
+    /** Total static node count across blocks. */
+    std::size_t totalNodes() const;
+};
+
+/**
+ * Validate image consistency: block ids match indices, entry map targets
+ * exist, fault targets are valid block ids, terminal nodes are last,
+ * every word references valid node indices exactly once, register indices
+ * within the renamed file. Throws FatalError on violation.
+ */
+void validateImage(const CodeImage &image);
+
+} // namespace fgp
+
+#endif // FGP_IR_IMAGE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The Node — one micro-operation. Nodes appear in two containers: the flat
+ * Program produced by the assembler (targets are original instruction
+ * indices) and the CodeImage produced by the translating loader (fault-node
+ * targets are image block ids; branch/jump targets remain original
+ * instruction indices and are mapped through the image's entry map at run
+ * time).
+ */
+
+#ifndef FGP_IR_NODE_HH
+#define FGP_IR_NODE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ir/opcode.hh"
+
+namespace fgp {
+
+/** Register file shape: 32 architectural + 16 translator scratch. */
+constexpr std::uint8_t kNumArchRegs = 32;
+constexpr std::uint8_t kNumScratchRegs = 16;
+constexpr std::uint8_t kNumRegs = kNumArchRegs + kNumScratchRegs;
+constexpr std::uint8_t kRegNone = 0xff;
+
+/** ABI register aliases. */
+constexpr std::uint8_t kRegZero = 0;  ///< hardwired zero
+constexpr std::uint8_t kRegV0 = 2;    ///< syscall number / result
+constexpr std::uint8_t kRegV1 = 3;
+constexpr std::uint8_t kRegA0 = 4;    ///< first argument
+constexpr std::uint8_t kRegA1 = 5;
+constexpr std::uint8_t kRegA2 = 6;
+constexpr std::uint8_t kRegA3 = 7;
+constexpr std::uint8_t kRegSp = 29;   ///< stack pointer
+constexpr std::uint8_t kRegFp = 30;   ///< frame pointer
+constexpr std::uint8_t kRegRa = 31;   ///< return address
+
+/** One micro-operation. */
+struct Node
+{
+    Opcode op = Opcode::ADD;
+    std::uint8_t rd = kRegNone;  ///< destination register (kRegNone if none)
+    std::uint8_t rs1 = kRegNone; ///< first source / base register
+    std::uint8_t rs2 = kRegNone; ///< second source / store-data register
+    std::int32_t imm = 0;        ///< immediate / address offset
+    /**
+     * Control target. For branches/jumps: original instruction index.
+     * For fault nodes in a CodeImage: the fault-to image block id.
+     * -1 when not applicable.
+     */
+    std::int32_t target = -1;
+    /**
+     * Original program counter (instruction index in the source Program)
+     * this node derives from. Used as the branch-prediction and profiling
+     * key so that enlarged copies share predictor state.
+     */
+    std::int32_t origPc = -1;
+
+    bool isLoad() const { return fgp::isLoad(op); }
+    bool isStore() const { return fgp::isStore(op); }
+    bool isMem() const { return fgp::isMem(op); }
+    bool isControl() const { return fgp::isControl(op); }
+    bool isFault() const { return fgp::isFault(op); }
+    bool isSys() const { return nodeClass(op) == NodeClass::Sys; }
+    NodeClass cls() const { return nodeClass(op); }
+
+    /**
+     * Source registers of this node written into @p out; returns the count.
+     * r0 reads are included (it always reads as zero). System calls read the
+     * ABI argument registers.
+     */
+    int
+    srcRegs(std::array<std::uint8_t, 5> &out) const
+    {
+        switch (opcodeInfo(op).form) {
+          case OperandForm::RRR:
+          case OperandForm::Branch:
+          case OperandForm::FaultF:
+            out[0] = rs1;
+            out[1] = rs2;
+            return 2;
+          case OperandForm::RRI:
+          case OperandForm::Load:
+          case OperandForm::JumpReg:
+            out[0] = rs1;
+            return 1;
+          case OperandForm::Store:
+            out[0] = rs1;
+            out[1] = rs2;
+            return 2;
+          case OperandForm::RI:
+          case OperandForm::Jump:
+          case OperandForm::JumpLink:
+            return 0;
+          case OperandForm::System:
+            out[0] = kRegV0;
+            out[1] = kRegA0;
+            out[2] = kRegA1;
+            out[3] = kRegA2;
+            out[4] = kRegA3;
+            return 5;
+        }
+        return 0;
+    }
+
+    /** Destination register, or kRegNone. System calls write v0. */
+    std::uint8_t
+    dstReg() const
+    {
+        if (op == Opcode::SYSCALL)
+            return kRegV0;
+        switch (opcodeInfo(op).form) {
+          case OperandForm::RRR:
+          case OperandForm::RRI:
+          case OperandForm::RI:
+          case OperandForm::Load:
+          case OperandForm::JumpLink:
+            return rd;
+          default:
+            return kRegNone;
+        }
+    }
+
+    bool operator==(const Node &other) const = default;
+};
+
+} // namespace fgp
+
+#endif // FGP_IR_NODE_HH

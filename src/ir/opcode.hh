@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Micro-operation opcode set and static metadata.
+ *
+ * One node (the paper's term for a micro-operation) corresponds to one
+ * opcode instance. The set is deliberately RISC-like and fully decoded: the
+ * translating loader stores programs one node per operation, exactly as the
+ * paper's tld does (§3.1).
+ */
+
+#ifndef FGP_IR_OPCODE_HH
+#define FGP_IR_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fgp {
+
+/** Node opcodes. FEQ..FGEU are assert (fault) nodes created by enlargement. */
+enum class Opcode : std::uint8_t {
+    // ALU, register-register
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, MUL, DIV, REM, SLT, SLTU,
+    // ALU, register-immediate
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU, LUI,
+    // Memory
+    LW, LB, LBU, SW, SB,
+    // Control (always terminate a basic block)
+    BEQ, BNE, BLT, BGE, BLTU, BGEU, J, JAL, JR,
+    // System call (not a terminator; serializing at execution)
+    SYSCALL,
+    // Assert nodes: fault when the condition holds (enlarged blocks only)
+    FEQ, FNE, FLT, FGE, FLTU, FGEU,
+    NUM_OPCODES,
+};
+
+/** Broad node classification used for issue slots and function units. */
+enum class NodeClass : std::uint8_t {
+    IntAlu,  ///< ALU operations (occupy an ALU slot)
+    Mem,     ///< Loads and stores (occupy a memory slot)
+    Control, ///< Branches and jumps (ALU slot; terminate blocks)
+    Fault,   ///< Assert nodes inside enlarged blocks (ALU slot)
+    Sys,     ///< System calls (ALU slot; serializing)
+};
+
+/** Operand layout of an opcode. */
+enum class OperandForm : std::uint8_t {
+    RRR,    ///< rd, rs1, rs2
+    RRI,    ///< rd, rs1, imm
+    RI,     ///< rd, imm (LUI)
+    Load,   ///< rd, imm(rs1)
+    Store,  ///< rs2, imm(rs1)
+    Branch, ///< rs1, rs2, target
+    Jump,   ///< target
+    JumpLink, ///< rd, target
+    JumpReg,  ///< rs1
+    System, ///< implicit registers
+    FaultF, ///< rs1, rs2, fault-to target
+};
+
+/** Static description of one opcode. */
+struct OpcodeInfo
+{
+    std::string_view mnemonic;
+    NodeClass cls;
+    OperandForm form;
+    bool isLoad;
+    bool isStore;
+};
+
+/** Metadata lookup (O(1) table). */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Mnemonic for an opcode. */
+std::string_view mnemonic(Opcode op);
+
+/** Reverse lookup by mnemonic (case-insensitive); nullopt when unknown. */
+std::optional<Opcode> opcodeFromMnemonic(std::string_view text);
+
+inline NodeClass
+nodeClass(Opcode op)
+{
+    return opcodeInfo(op).cls;
+}
+
+inline bool
+isLoad(Opcode op)
+{
+    return opcodeInfo(op).isLoad;
+}
+
+inline bool
+isStore(Opcode op)
+{
+    return opcodeInfo(op).isStore;
+}
+
+inline bool
+isMem(Opcode op)
+{
+    return nodeClass(op) == NodeClass::Mem;
+}
+
+inline bool
+isControl(Opcode op)
+{
+    return nodeClass(op) == NodeClass::Control;
+}
+
+inline bool
+isFault(Opcode op)
+{
+    return nodeClass(op) == NodeClass::Fault;
+}
+
+inline bool
+isConditionalBranch(Opcode op)
+{
+    return op >= Opcode::BEQ && op <= Opcode::BGEU;
+}
+
+/** Map a conditional branch to the fault node with the same condition. */
+Opcode branchToFault(Opcode op);
+
+/** Map a fault node back to the branch with the same condition. */
+Opcode faultToBranch(Opcode op);
+
+/** Invert the condition sense (BEQ<->BNE, BLT<->BGE, ...). */
+Opcode invertCondition(Opcode op);
+
+} // namespace fgp
+
+#endif // FGP_IR_OPCODE_HH

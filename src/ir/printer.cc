@@ -1,0 +1,118 @@
+#include "ir/printer.hh"
+
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace fgp {
+
+std::string
+regName(std::uint8_t reg)
+{
+    if (reg == kRegNone)
+        return "-";
+    if (reg == kRegSp)
+        return "sp";
+    if (reg == kRegRa)
+        return "ra";
+    if (reg >= kNumArchRegs)
+        return format("t%d", reg - kNumArchRegs);
+    return format("r%d", reg);
+}
+
+namespace {
+
+std::string
+targetName(const Node &node)
+{
+    if (node.isFault())
+        return format("@%d", node.target);
+    return format(".L%d", node.target);
+}
+
+} // namespace
+
+std::string
+formatNode(const Node &node)
+{
+    const auto &info = opcodeInfo(node.op);
+    const std::string mn(info.mnemonic);
+    switch (info.form) {
+      case OperandForm::RRR:
+        return format("%s %s, %s, %s", mn.c_str(), regName(node.rd).c_str(),
+                      regName(node.rs1).c_str(), regName(node.rs2).c_str());
+      case OperandForm::RRI:
+        return format("%s %s, %s, %d", mn.c_str(), regName(node.rd).c_str(),
+                      regName(node.rs1).c_str(), node.imm);
+      case OperandForm::RI:
+        return format("%s %s, %d", mn.c_str(), regName(node.rd).c_str(),
+                      node.imm);
+      case OperandForm::Load:
+        return format("%s %s, %d(%s)", mn.c_str(), regName(node.rd).c_str(),
+                      node.imm, regName(node.rs1).c_str());
+      case OperandForm::Store:
+        return format("%s %s, %d(%s)", mn.c_str(), regName(node.rs2).c_str(),
+                      node.imm, regName(node.rs1).c_str());
+      case OperandForm::Branch:
+        return format("%s %s, %s, %s", mn.c_str(), regName(node.rs1).c_str(),
+                      regName(node.rs2).c_str(), targetName(node).c_str());
+      case OperandForm::Jump:
+        return format("%s %s", mn.c_str(), targetName(node).c_str());
+      case OperandForm::JumpLink:
+        return format("%s %s", mn.c_str(), targetName(node).c_str());
+      case OperandForm::JumpReg:
+        return format("%s %s", mn.c_str(), regName(node.rs1).c_str());
+      case OperandForm::System:
+        return mn;
+      case OperandForm::FaultF:
+        return format("%s %s, %s, %s", mn.c_str(), regName(node.rs1).c_str(),
+                      regName(node.rs2).c_str(), targetName(node).c_str());
+    }
+    fgp_panic("unhandled operand form");
+}
+
+void
+printProgram(const Program &prog, std::ostream &os)
+{
+    std::unordered_set<std::int32_t> label_pcs;
+    for (const Node &node : prog.instrs)
+        if (node.isControl() && node.target >= 0)
+            label_pcs.insert(node.target);
+    label_pcs.insert(prog.entry);
+
+    os << "        .text\n";
+    for (std::size_t pc = 0; pc < prog.instrs.size(); ++pc) {
+        const auto ipc = static_cast<std::int32_t>(pc);
+        if (ipc == prog.entry)
+            os << "main:\n";
+        if (label_pcs.count(ipc))
+            os << ".L" << pc << ":\n";
+        os << "        " << formatNode(prog.instrs[pc]) << "\n";
+    }
+}
+
+void
+printImage(const CodeImage &image, std::ostream &os)
+{
+    for (const ImageBlock &block : image.blocks) {
+        os << "block " << block.id << " entry_pc=" << block.entryPc
+           << (block.enlarged ? (block.companion ? " companion" : " enlarged")
+                              : "")
+           << " chain=" << block.chainLen
+           << " fallthrough=" << block.fallthroughPc << "\n";
+        if (block.words.empty()) {
+            for (const Node &node : block.nodes)
+                os << "    " << formatNode(node) << "\n";
+        } else {
+            for (std::size_t w = 0; w < block.words.size(); ++w) {
+                os << "    word " << w << ":";
+                for (std::uint16_t idx : block.words[w])
+                    os << "  [" << formatNode(block.nodes[idx]) << "]";
+                os << "\n";
+            }
+        }
+    }
+}
+
+} // namespace fgp

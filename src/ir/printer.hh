@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Textual rendering of nodes, programs and images (disassembly). The
+ * program renderer emits text the assembler accepts back (round-trip
+ * property, checked by tests).
+ */
+
+#ifndef FGP_IR_PRINTER_HH
+#define FGP_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "ir/image.hh"
+#include "ir/program.hh"
+
+namespace fgp {
+
+/** Render one node. Targets print as ".L<idx>" (or "@<block>" for faults). */
+std::string formatNode(const Node &node);
+
+/** Disassemble a whole program with synthesized labels. */
+void printProgram(const Program &prog, std::ostream &os);
+
+/** Dump an image: blocks, nodes, issue words. For debugging and examples. */
+void printImage(const CodeImage &image, std::ostream &os);
+
+/** Register name ("r7", "sp", "ra", "t3" for scratch). */
+std::string regName(std::uint8_t reg);
+
+} // namespace fgp
+
+#endif // FGP_IR_PRINTER_HH

@@ -1,0 +1,54 @@
+#include "ir/program.hh"
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+void
+validateProgram(const Program &prog)
+{
+    if (prog.instrs.empty())
+        fgp_fatal("program has no instructions");
+    if (prog.entry < 0 ||
+        prog.entry >= static_cast<std::int32_t>(prog.instrs.size()))
+        fgp_fatal("entry point out of range: ", prog.entry);
+
+    const auto num_instrs = static_cast<std::int32_t>(prog.instrs.size());
+    for (std::int32_t pc = 0; pc < num_instrs; ++pc) {
+        const Node &node = prog.instrs[pc];
+        const auto &info = opcodeInfo(node.op);
+
+        if (node.isFault())
+            fgp_fatal("instr ", pc, ": fault nodes are not valid in source "
+                      "programs");
+
+        auto check_reg = [&](std::uint8_t reg, const char *what) {
+            if (reg == kRegNone)
+                return;
+            if (reg >= kNumArchRegs)
+                fgp_fatal("instr ", pc, " (", info.mnemonic, "): ", what,
+                          " register r", static_cast<int>(reg),
+                          " outside architectural file");
+        };
+
+        std::array<std::uint8_t, 5> srcs;
+        const int nsrc = node.srcRegs(srcs);
+        for (int i = 0; i < nsrc; ++i)
+            check_reg(srcs[i], "source");
+        check_reg(node.dstReg(), "destination");
+
+        switch (info.form) {
+          case OperandForm::Branch:
+          case OperandForm::Jump:
+          case OperandForm::JumpLink:
+            if (node.target < 0 || node.target >= num_instrs)
+                fgp_fatal("instr ", pc, " (", info.mnemonic,
+                          "): control target ", node.target, " out of range");
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace fgp

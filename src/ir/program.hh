@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The flat Program: output of the assembler and input to the functional VM
+ * and the translating loader. Code addresses are instruction indices; the
+ * data segment is a byte image placed at kDataBase.
+ */
+
+#ifndef FGP_IR_PROGRAM_HH
+#define FGP_IR_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/node.hh"
+
+namespace fgp {
+
+/** Address-space layout constants (32-bit byte-addressable, little-endian). */
+constexpr std::uint32_t kDataBase = 0x10000000;
+constexpr std::uint32_t kStackTop = 0x7ffff000;
+
+/** An assembled program. */
+struct Program
+{
+    /** Flat instruction stream; branch/jump targets are indices into it. */
+    std::vector<Node> instrs;
+
+    /** Initialized data segment, loaded at kDataBase. */
+    std::vector<std::uint8_t> data;
+
+    /** Code labels: name -> instruction index. */
+    std::unordered_map<std::string, std::int32_t> codeLabels;
+
+    /** Data labels: name -> absolute address. */
+    std::unordered_map<std::string, std::uint32_t> dataLabels;
+
+    /** Entry instruction index (label "main" when present, else 0). */
+    std::int32_t entry = 0;
+
+    /** End of static data; initial program break for brk(). */
+    std::uint32_t initialBrk() const
+    {
+        return kDataBase + static_cast<std::uint32_t>(data.size());
+    }
+
+    std::size_t size() const { return instrs.size(); }
+};
+
+/**
+ * Validate internal consistency: register indices in range, scratch
+ * registers absent (source programs use r0-r31 only), targets inside the
+ * instruction stream, fault nodes absent (they only exist in images).
+ * Throws FatalError with a diagnostic on the first violation.
+ */
+void validateProgram(const Program &prog);
+
+} // namespace fgp
+
+#endif // FGP_IR_PROGRAM_HH

@@ -1,0 +1,654 @@
+#include "masm/assembler.hh"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace fgp {
+
+namespace {
+
+/** Register alias table. */
+std::optional<std::uint8_t>
+parseRegister(std::string_view text)
+{
+    static const std::unordered_map<std::string, std::uint8_t> aliases = {
+        {"zero", kRegZero}, {"v0", kRegV0}, {"v1", kRegV1},
+        {"a0", kRegA0},     {"a1", kRegA1}, {"a2", kRegA2},
+        {"a3", kRegA3},     {"sp", kRegSp}, {"fp", kRegFp},
+        {"ra", kRegRa},
+    };
+    const std::string lowered = toLower(text);
+    if (auto it = aliases.find(lowered); it != aliases.end())
+        return it->second;
+    if (lowered.size() >= 2 && lowered[0] == 'r') {
+        const auto num = parseInt(lowered.substr(1));
+        if (num && *num >= 0 && *num < kNumArchRegs)
+            return static_cast<std::uint8_t>(*num);
+    }
+    return std::nullopt;
+}
+
+/** One operand token. */
+struct Token
+{
+    std::string text;
+};
+
+/** A parsed source statement (post label-stripping). */
+struct Statement
+{
+    int line = 0;
+    std::string mnemonic;       // lower-cased
+    std::vector<Token> operands;
+};
+
+bool
+isIdentChar(char ch)
+{
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+           ch == '.' || ch == '$';
+}
+
+/** Decode escapes inside a quoted string literal body. */
+std::string
+decodeEscapes(std::string_view body, int line)
+{
+    std::string out;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        char ch = body[i];
+        if (ch != '\\') {
+            out.push_back(ch);
+            continue;
+        }
+        if (++i >= body.size())
+            fgp_fatal("line ", line, ": dangling escape in string");
+        switch (body[i]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case '0': out.push_back('\0'); break;
+          case '\\': out.push_back('\\'); break;
+          case '"': out.push_back('"'); break;
+          case '\'': out.push_back('\''); break;
+          default:
+            fgp_fatal("line ", line, ": unknown escape \\", body[i]);
+        }
+    }
+    return out;
+}
+
+/** Split a statement body into operand tokens (commas / whitespace). */
+std::vector<Token>
+tokenizeOperands(std::string_view text, int line)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const char ch = text[i];
+        if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+            ++i;
+            continue;
+        }
+        if (ch == '"') {
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '"') {
+                if (text[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            if (j >= text.size())
+                fgp_fatal("line ", line, ": unterminated string literal");
+            tokens.push_back({std::string(text.substr(i, j - i + 1))});
+            i = j + 1;
+            continue;
+        }
+        if (ch == '\'') {
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '\'') {
+                if (text[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            if (j >= text.size())
+                fgp_fatal("line ", line, ": unterminated char literal");
+            tokens.push_back({std::string(text.substr(i, j - i + 1))});
+            i = j + 1;
+            continue;
+        }
+        // A run up to the next comma/whitespace; parens stay inside the
+        // token so "8(sp)" is a single token.
+        std::size_t j = i;
+        while (j < text.size() && text[j] != ',' &&
+               !std::isspace(static_cast<unsigned char>(text[j])))
+            ++j;
+        tokens.push_back({std::string(text.substr(i, j - i))});
+        i = j;
+    }
+    return tokens;
+}
+
+/** Assembler working state. */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string_view name) : name_(name) {}
+
+    Program run(std::string_view source);
+
+  private:
+    enum class Segment { Text, Data };
+
+    void parseLine(std::string_view raw, int line);
+    void handleDirective(const Statement &stmt);
+    void handleInstruction(const Statement &stmt);
+    void defineLabel(const std::string &label, int line);
+
+    /** Resolve label references and finish the program. */
+    void resolve();
+
+    std::int64_t immOf(const Token &token, int line) const;
+    std::uint8_t regOf(const Token &token, int line) const;
+
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fgp_fatal(name_, ": line ", line, ": ", msg);
+    }
+
+    struct PendingInstr
+    {
+        Node node;
+        int line = 0;
+        std::string labelRef; // unresolved branch/jump target, if any
+        std::string immRef;   // unresolved data-label immediate, if any
+        std::int64_t immOffset = 0;
+    };
+
+    std::string name_;
+    Segment segment_ = Segment::Text;
+    std::vector<PendingInstr> instrs_;
+    Program prog_;
+};
+
+std::int64_t
+parseCharLiteral(std::string_view token, int line, std::string_view name)
+{
+    // token includes the surrounding quotes
+    const std::string body =
+        decodeEscapes(token.substr(1, token.size() - 2), line);
+    if (body.size() != 1)
+        fgp_fatal(name, ": line ", line, ": char literal must be one byte");
+    return static_cast<unsigned char>(body[0]);
+}
+
+std::int64_t
+Assembler::immOf(const Token &token, int line) const
+{
+    const std::string_view text = token.text;
+    if (!text.empty() && text.front() == '\'')
+        return parseCharLiteral(text, line, name_);
+
+    // label or label+offset (data labels resolve immediately: data is laid
+    // out before use because immediates referencing data labels may only
+    // appear after the .data block textually... to lift that restriction,
+    // immOf is only called during resolve() for label-bearing operands).
+    if (auto value = parseInt(text))
+        return *value;
+
+    std::string label(text);
+    std::int64_t offset = 0;
+    const std::size_t plus = label.find('+');
+    if (plus != std::string::npos) {
+        const auto off = parseInt(label.substr(plus + 1));
+        if (!off)
+            err(line, "bad offset in '" + label + "'");
+        offset = *off;
+        label = label.substr(0, plus);
+    }
+    if (auto it = prog_.dataLabels.find(label); it != prog_.dataLabels.end())
+        return static_cast<std::int64_t>(it->second) + offset;
+    err(line, "unknown immediate or data label '" + std::string(text) + "'");
+}
+
+std::uint8_t
+Assembler::regOf(const Token &token, int line) const
+{
+    const auto reg = parseRegister(token.text);
+    if (!reg)
+        err(line, "expected register, got '" + token.text + "'");
+    return *reg;
+}
+
+void
+Assembler::defineLabel(const std::string &label, int line)
+{
+    if (prog_.codeLabels.count(label) || prog_.dataLabels.count(label))
+        err(line, "duplicate label '" + label + "'");
+    if (segment_ == Segment::Text) {
+        prog_.codeLabels[label] = static_cast<std::int32_t>(instrs_.size());
+    } else {
+        prog_.dataLabels[label] =
+            kDataBase + static_cast<std::uint32_t>(prog_.data.size());
+    }
+}
+
+void
+Assembler::handleDirective(const Statement &stmt)
+{
+    const std::string &d = stmt.mnemonic;
+    const int line = stmt.line;
+
+    if (d == ".text") {
+        segment_ = Segment::Text;
+        return;
+    }
+    if (d == ".data") {
+        segment_ = Segment::Data;
+        return;
+    }
+    if (d == ".global" || d == ".globl") {
+        return; // accepted and ignored; everything is visible
+    }
+
+    if (segment_ != Segment::Data)
+        err(line, "directive " + d + " only valid in .data");
+
+    if (d == ".word") {
+        for (const Token &token : stmt.operands) {
+            const std::int64_t value = immOf(token, line);
+            for (int b = 0; b < 4; ++b)
+                prog_.data.push_back(
+                    static_cast<std::uint8_t>((value >> (8 * b)) & 0xff));
+        }
+    } else if (d == ".byte") {
+        for (const Token &token : stmt.operands)
+            prog_.data.push_back(
+                static_cast<std::uint8_t>(immOf(token, line) & 0xff));
+    } else if (d == ".asciiz" || d == ".ascii") {
+        if (stmt.operands.size() != 1 || stmt.operands[0].text.size() < 2 ||
+            stmt.operands[0].text.front() != '"')
+            err(line, d + " expects one string literal");
+        const std::string_view tok = stmt.operands[0].text;
+        const std::string body =
+            decodeEscapes(tok.substr(1, tok.size() - 2), line);
+        for (char ch : body)
+            prog_.data.push_back(static_cast<std::uint8_t>(ch));
+        if (d == ".asciiz")
+            prog_.data.push_back(0);
+    } else if (d == ".space") {
+        if (stmt.operands.size() != 1)
+            err(line, ".space expects a size");
+        const std::int64_t size = immOf(stmt.operands[0], line);
+        if (size < 0 || size > (64 << 20))
+            err(line, "unreasonable .space size");
+        prog_.data.insert(prog_.data.end(), static_cast<std::size_t>(size),
+                          0);
+    } else if (d == ".align") {
+        if (stmt.operands.size() != 1)
+            err(line, ".align expects an alignment");
+        const std::int64_t align = immOf(stmt.operands[0], line);
+        if (align <= 0 || (align & (align - 1)))
+            err(line, ".align expects a power of two");
+        while (prog_.data.size() % static_cast<std::size_t>(align))
+            prog_.data.push_back(0);
+    } else {
+        err(line, "unknown directive " + d);
+    }
+}
+
+void
+Assembler::handleInstruction(const Statement &stmt)
+{
+    const int line = stmt.line;
+    const std::string &mn = stmt.mnemonic;
+    const auto &ops = stmt.operands;
+
+    auto expect = [&](std::size_t n) {
+        if (ops.size() != n)
+            err(line, mn + " expects " + std::to_string(n) + " operands, " +
+                          "got " + std::to_string(ops.size()));
+    };
+
+    PendingInstr pending;
+    pending.line = line;
+    Node &node = pending.node;
+
+    auto emit = [&]() { instrs_.push_back(std::move(pending)); };
+
+    /**
+     * Immediate operand inside an instruction: either a literal value or a
+     * (possibly forward) data-label reference, resolved in resolve().
+     */
+    auto immediateOperand = [&](const Token &token) -> std::int32_t {
+        const std::string_view text = token.text;
+        if (!text.empty() && text.front() == '\'')
+            return static_cast<std::int32_t>(
+                parseCharLiteral(text, line, name_));
+        if (auto value = parseInt(text))
+            return static_cast<std::int32_t>(*value);
+        std::string label(text);
+        std::int64_t offset = 0;
+        if (const std::size_t plus = label.find('+');
+            plus != std::string::npos) {
+            const auto off = parseInt(label.substr(plus + 1));
+            if (!off)
+                err(line, "bad offset in '" + label + "'");
+            offset = *off;
+            label = label.substr(0, plus);
+        }
+        pending.immRef = label;
+        pending.immOffset = offset;
+        return 0;
+    };
+
+    /** Parse "imm(reg)" memory operand. */
+    auto memOperand = [&](const Token &token, std::uint8_t &base,
+                          std::int32_t &offset) {
+        const std::string &text = token.text;
+        const std::size_t open = text.find('(');
+        if (open == std::string::npos || text.back() != ')')
+            err(line, "expected imm(reg), got '" + text + "'");
+        const std::string imm_part = text.substr(0, open);
+        const std::string reg_part =
+            text.substr(open + 1, text.size() - open - 2);
+        const auto reg = parseRegister(reg_part);
+        if (!reg)
+            err(line, "bad base register '" + reg_part + "'");
+        base = *reg;
+        if (imm_part.empty())
+            offset = 0;
+        else
+            offset = immediateOperand(Token{imm_part});
+    };
+
+    // ---- pseudo-instructions (each expands to exactly one node) ----
+    if (mn == "li" || mn == "la") {
+        expect(2);
+        node.op = Opcode::ADDI;
+        node.rd = regOf(ops[0], line);
+        node.rs1 = kRegZero;
+        node.imm = immediateOperand(ops[1]);
+        emit();
+        return;
+    }
+    if (mn == "mov" || mn == "move") {
+        expect(2);
+        node.op = Opcode::ADDI;
+        node.rd = regOf(ops[0], line);
+        node.rs1 = regOf(ops[1], line);
+        node.imm = 0;
+        emit();
+        return;
+    }
+    if (mn == "nop") {
+        expect(0);
+        node.op = Opcode::ADDI;
+        node.rd = kRegZero;
+        node.rs1 = kRegZero;
+        node.imm = 0;
+        emit();
+        return;
+    }
+    if (mn == "not") {
+        expect(2);
+        node.op = Opcode::XORI;
+        node.rd = regOf(ops[0], line);
+        node.rs1 = regOf(ops[1], line);
+        node.imm = -1;
+        emit();
+        return;
+    }
+    if (mn == "neg") {
+        expect(2);
+        node.op = Opcode::SUB;
+        node.rd = regOf(ops[0], line);
+        node.rs1 = kRegZero;
+        node.rs2 = regOf(ops[1], line);
+        emit();
+        return;
+    }
+    if (mn == "b") {
+        expect(1);
+        node.op = Opcode::J;
+        pending.labelRef = ops[0].text;
+        emit();
+        return;
+    }
+    if (mn == "call") {
+        expect(1);
+        node.op = Opcode::JAL;
+        node.rd = kRegRa;
+        pending.labelRef = ops[0].text;
+        emit();
+        return;
+    }
+    if (mn == "ret") {
+        expect(0);
+        node.op = Opcode::JR;
+        node.rs1 = kRegRa;
+        emit();
+        return;
+    }
+    if (mn == "beqz" || mn == "bnez" || mn == "bltz" || mn == "bgez") {
+        expect(2);
+        node.op = mn == "beqz"   ? Opcode::BEQ
+                  : mn == "bnez" ? Opcode::BNE
+                  : mn == "bltz" ? Opcode::BLT
+                                 : Opcode::BGE;
+        node.rs1 = regOf(ops[0], line);
+        node.rs2 = kRegZero;
+        pending.labelRef = ops[1].text;
+        emit();
+        return;
+    }
+    if (mn == "blez" || mn == "bgtz") {
+        expect(2);
+        // rs <= 0  <=>  0 >= rs;  rs > 0  <=>  0 < rs
+        node.op = mn == "blez" ? Opcode::BGE : Opcode::BLT;
+        node.rs1 = kRegZero;
+        node.rs2 = regOf(ops[0], line);
+        pending.labelRef = ops[1].text;
+        emit();
+        return;
+    }
+    if (mn == "bgt" || mn == "ble" || mn == "bgtu" || mn == "bleu") {
+        expect(3);
+        node.op = mn == "bgt"    ? Opcode::BLT
+                  : mn == "ble"  ? Opcode::BGE
+                  : mn == "bgtu" ? Opcode::BLTU
+                                 : Opcode::BGEU;
+        // swapped operand order implements > and <= via < and >=
+        node.rs1 = regOf(ops[1], line);
+        node.rs2 = regOf(ops[0], line);
+        pending.labelRef = ops[2].text;
+        emit();
+        return;
+    }
+
+    // ---- real opcodes ----
+    const auto op = opcodeFromMnemonic(mn);
+    if (!op)
+        err(line, "unknown mnemonic '" + mn + "'");
+    node.op = *op;
+
+    if (node.isFault())
+        err(line, "fault nodes cannot be written in source programs");
+
+    switch (opcodeInfo(*op).form) {
+      case OperandForm::RRR:
+        expect(3);
+        node.rd = regOf(ops[0], line);
+        node.rs1 = regOf(ops[1], line);
+        node.rs2 = regOf(ops[2], line);
+        break;
+      case OperandForm::RRI:
+        expect(3);
+        node.rd = regOf(ops[0], line);
+        node.rs1 = regOf(ops[1], line);
+        node.imm = immediateOperand(ops[2]);
+        break;
+      case OperandForm::RI:
+        expect(2);
+        node.rd = regOf(ops[0], line);
+        node.imm = immediateOperand(ops[1]);
+        break;
+      case OperandForm::Load:
+        expect(2);
+        node.rd = regOf(ops[0], line);
+        memOperand(ops[1], node.rs1, node.imm);
+        break;
+      case OperandForm::Store:
+        expect(2);
+        node.rs2 = regOf(ops[0], line);
+        memOperand(ops[1], node.rs1, node.imm);
+        break;
+      case OperandForm::Branch:
+        expect(3);
+        node.rs1 = regOf(ops[0], line);
+        node.rs2 = regOf(ops[1], line);
+        pending.labelRef = ops[2].text;
+        break;
+      case OperandForm::Jump:
+        expect(1);
+        pending.labelRef = ops[0].text;
+        break;
+      case OperandForm::JumpLink:
+        expect(1);
+        node.rd = kRegRa;
+        pending.labelRef = ops[0].text;
+        break;
+      case OperandForm::JumpReg:
+        expect(1);
+        node.rs1 = regOf(ops[0], line);
+        break;
+      case OperandForm::System:
+        expect(0);
+        break;
+      case OperandForm::FaultF:
+        err(line, "fault nodes cannot be written in source programs");
+    }
+    emit();
+}
+
+void
+Assembler::parseLine(std::string_view raw, int line)
+{
+    // Strip comments ('#' or ';' outside string literals).
+    std::string text;
+    bool in_string = false;
+    char quote = 0;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const char ch = raw[i];
+        if (in_string) {
+            text.push_back(ch);
+            if (ch == '\\' && i + 1 < raw.size()) {
+                text.push_back(raw[++i]);
+            } else if (ch == quote) {
+                in_string = false;
+            }
+            continue;
+        }
+        if (ch == '"' || ch == '\'') {
+            in_string = true;
+            quote = ch;
+            text.push_back(ch);
+            continue;
+        }
+        if (ch == '#' || ch == ';')
+            break;
+        text.push_back(ch);
+    }
+
+    std::string_view rest = trim(text);
+
+    // Leading labels ("name:"), possibly several on one line.
+    while (true) {
+        std::size_t i = 0;
+        while (i < rest.size() && isIdentChar(rest[i]))
+            ++i;
+        if (i == 0 || i >= rest.size() || rest[i] != ':')
+            break;
+        defineLabel(std::string(rest.substr(0, i)), line);
+        rest = trim(rest.substr(i + 1));
+    }
+    if (rest.empty())
+        return;
+
+    Statement stmt;
+    stmt.line = line;
+    std::size_t i = 0;
+    while (i < rest.size() &&
+           !std::isspace(static_cast<unsigned char>(rest[i])))
+        ++i;
+    stmt.mnemonic = toLower(rest.substr(0, i));
+    stmt.operands = tokenizeOperands(rest.substr(i), line);
+
+    if (stmt.mnemonic.front() == '.')
+        handleDirective(stmt);
+    else
+        handleInstruction(stmt);
+}
+
+void
+Assembler::resolve()
+{
+    prog_.instrs.reserve(instrs_.size());
+    for (PendingInstr &pending : instrs_) {
+        Node node = pending.node;
+        if (!pending.immRef.empty()) {
+            const auto it = prog_.dataLabels.find(pending.immRef);
+            if (it == prog_.dataLabels.end())
+                err(pending.line,
+                    "undefined data label '" + pending.immRef + "'");
+            node.imm = static_cast<std::int32_t>(
+                static_cast<std::int64_t>(it->second) + pending.immOffset);
+        }
+        if (!pending.labelRef.empty()) {
+            const auto it = prog_.codeLabels.find(pending.labelRef);
+            if (it == prog_.codeLabels.end())
+                err(pending.line,
+                    "undefined code label '" + pending.labelRef + "'");
+            node.target = it->second;
+        }
+        prog_.instrs.push_back(node);
+    }
+
+    if (auto it = prog_.codeLabels.find("main"); it != prog_.codeLabels.end())
+        prog_.entry = it->second;
+    else
+        prog_.entry = 0;
+}
+
+Program
+Assembler::run(std::string_view source)
+{
+    int line = 1;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+        std::size_t end = source.find('\n', start);
+        if (end == std::string_view::npos)
+            end = source.size();
+        parseLine(source.substr(start, end - start), line);
+        start = end + 1;
+        ++line;
+    }
+    resolve();
+    validateProgram(prog_);
+    return std::move(prog_);
+}
+
+} // namespace
+
+Program
+assemble(std::string_view source, std::string_view name)
+{
+    Assembler assembler{name};
+    return assembler.run(source);
+}
+
+} // namespace fgp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Two-pass assembler for the micro-op ISA.
+ *
+ * Syntax overview:
+ *
+ *     # comment (also ';')
+ *             .data
+ *     msg:    .asciiz "hello\n"
+ *     tbl:    .word 1, 2, 3
+ *     buf:    .space 64
+ *             .align 4
+ *             .text
+ *     main:   la   a0, msg
+ *             li   v0, 4
+ *             syscall
+ *             beqz r8, done
+ *             call helper
+ *     done:   li   v0, 0
+ *             syscall            # exit
+ *
+ * Registers: r0..r31 plus aliases zero, v0, v1, a0..a3, sp, fp, ra.
+ * Immediates: decimal, 0x hex, 0b binary, character literals ('a', '\n').
+ * Data labels may be used as immediates, optionally with "+offset".
+ *
+ * Pseudo-instructions (each expands to exactly one node):
+ *     li rd, imm      -> addi rd, zero, imm
+ *     la rd, label    -> addi rd, zero, <address>
+ *     mov rd, rs      -> addi rd, rs, 0
+ *     nop             -> addi zero, zero, 0
+ *     not rd, rs      -> xori rd, rs, -1
+ *     neg rd, rs      -> sub rd, zero, rs
+ *     b label         -> j label
+ *     beqz/bnez/bltz/bgez rs, label
+ *     bgt/ble/bgtu/bleu rs1, rs2, label (operand swap)
+ *     call label      -> jal label
+ *     ret             -> jr ra
+ */
+
+#ifndef FGP_MASM_ASSEMBLER_HH
+#define FGP_MASM_ASSEMBLER_HH
+
+#include <string_view>
+
+#include "ir/program.hh"
+
+namespace fgp {
+
+/**
+ * Assemble @p source into a Program. Throws FatalError with "line N:"
+ * diagnostics on malformed input. The result passes validateProgram().
+ *
+ * @param source Assembly text.
+ * @param name   Name used in diagnostics (e.g. the benchmark name).
+ */
+Program assemble(std::string_view source, std::string_view name = "<asm>");
+
+} // namespace fgp
+
+#endif // FGP_MASM_ASSEMBLER_HH

@@ -1,0 +1,176 @@
+#include "memsys/memsys.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+namespace {
+
+int
+log2i(std::uint32_t value)
+{
+    int shift = 0;
+    while ((1u << shift) < value)
+        ++shift;
+    fgp_assert((1u << shift) == value, "value must be a power of two");
+    return shift;
+}
+
+} // namespace
+
+CacheDirectory::CacheDirectory(std::uint32_t bytes, int assoc,
+                               int line_bytes)
+    : assoc_(assoc), lineShift_(log2i(static_cast<std::uint32_t>(line_bytes)))
+{
+    fgp_assert(bytes > 0 && assoc > 0 && line_bytes > 0, "bad geometry");
+    const std::uint32_t num_lines =
+        bytes / static_cast<std::uint32_t>(line_bytes);
+    const std::uint32_t num_sets =
+        num_lines / static_cast<std::uint32_t>(assoc);
+    fgp_assert(num_sets >= 1, "cache smaller than one set");
+    fgp_assert((num_sets & (num_sets - 1)) == 0, "sets must be 2^n");
+    setMask_ = num_sets - 1;
+    sets_.assign(num_sets, std::vector<Line>(assoc));
+}
+
+std::uint32_t
+CacheDirectory::lineFor(std::uint32_t addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+CacheDirectory::access(std::uint32_t addr, bool allocate)
+{
+    const std::uint32_t line = lineFor(addr);
+    auto &set = sets_[line & setMask_];
+    for (Line &way : set) {
+        if (way.valid && way.tag == line) {
+            way.lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    if (allocate) {
+        Line *victim = &set[0];
+        for (Line &way : set) {
+            if (!way.valid) {
+                victim = &way;
+                break;
+            }
+            if (way.lastUse < victim->lastUse)
+                victim = &way;
+        }
+        victim->valid = true;
+        victim->tag = line;
+        victim->lastUse = ++useClock_;
+    }
+    return false;
+}
+
+bool
+CacheDirectory::contains(std::uint32_t addr) const
+{
+    const std::uint32_t line = lineFor(addr);
+    const auto &set = sets_[line & setMask_];
+    return std::any_of(set.begin(), set.end(), [&](const Line &way) {
+        return way.valid && way.tag == line;
+    });
+}
+
+WriteBuffer::WriteBuffer(int lines, int line_bytes)
+    : capacity_(lines), lineShift_(log2i(static_cast<std::uint32_t>(line_bytes)))
+{
+    fgp_assert(lines > 0, "write buffer needs capacity");
+}
+
+bool
+WriteBuffer::contains(std::uint32_t addr)
+{
+    const std::uint32_t line = addr >> lineShift_;
+    const auto it = std::find(lru_.begin(), lru_.end(), line);
+    if (it == lru_.end())
+        return false;
+    lru_.splice(lru_.begin(), lru_, it);
+    ++hits_;
+    return true;
+}
+
+std::int64_t
+WriteBuffer::insert(std::uint32_t addr)
+{
+    const std::uint32_t line = addr >> lineShift_;
+    const auto it = std::find(lru_.begin(), lru_.end(), line);
+    if (it != lru_.end()) {
+        lru_.splice(lru_.begin(), lru_, it);
+        return -1;
+    }
+    lru_.push_front(line);
+    if (static_cast<int>(lru_.size()) > capacity_) {
+        const std::uint32_t evicted = lru_.back();
+        lru_.pop_back();
+        return static_cast<std::int64_t>(evicted);
+    }
+    return -1;
+}
+
+MemorySystem::MemorySystem(const MemoryConfig &config)
+    : config_(config),
+      cache_(config.hasCache ? config.cacheBytes : 1024, kCacheAssoc,
+             kCacheLineBytes),
+      writeBuffer_(kWriteBufferLines, kCacheLineBytes)
+{
+}
+
+int
+MemorySystem::loadLatency(std::uint32_t addr, bool forwarded)
+{
+    ++loads_;
+    if (forwarded || !config_.hasCache)
+        return config_.hitLatency;
+    if (writeBuffer_.contains(addr))
+        return config_.hitLatency;
+    if (cache_.access(addr, /*allocate=*/true))
+        return config_.hitLatency;
+    ++loadMisses_;
+    return config_.missLatency;
+}
+
+void
+MemorySystem::commitStore(std::uint32_t addr, std::uint32_t len)
+{
+    ++stores_;
+    if (!config_.hasCache)
+        return;
+    const std::int64_t evicted = writeBuffer_.insert(addr);
+    if (evicted >= 0) {
+        // Drained line moves into the cache (write-back allocation).
+        cache_.access(static_cast<std::uint32_t>(evicted)
+                          << log2i(kCacheLineBytes),
+                      /*allocate=*/true);
+    }
+}
+
+double
+MemorySystem::hitRatio()
+const
+{
+    return loads_ ? 1.0 - static_cast<double>(loadMisses_) /
+                              static_cast<double>(loads_)
+                  : 1.0;
+}
+
+void
+MemorySystem::exportStats(StatGroup &stats, const std::string &prefix) const
+{
+    stats.set(prefix + "loads", loads_);
+    stats.set(prefix + "load_misses", loadMisses_);
+    stats.set(prefix + "stores", stores_);
+    stats.set(prefix + "wb_hits", writeBuffer_.hits());
+    stats.setReal(prefix + "hit_ratio", hitRatio());
+}
+
+} // namespace fgp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Memory-system timing model (§3.1): perfect memory at a flat latency
+ * (configs A-C), or a two-way set-associative write-back cache with 16-byte
+ * lines behind a small fully associative write buffer (configs D-G). The
+ * write buffer holds committed store lines in front of the cache, raising
+ * hit ratios exactly as the paper notes. The memory system is fully
+ * pipelined: the engine may start one access per port per cycle; this
+ * model only decides each access's latency and tracks hit statistics.
+ *
+ * Data is NOT held here — the simulator keeps one authoritative functional
+ * memory image; cache and write buffer track line presence for timing only.
+ */
+
+#ifndef FGP_MEMSYS_MEMSYS_HH
+#define FGP_MEMSYS_MEMSYS_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.hh"
+#include "base/stats.hh"
+
+namespace fgp {
+
+/** Generic set-associative cache directory (tags only) with LRU. */
+class CacheDirectory
+{
+  public:
+    CacheDirectory(std::uint32_t bytes, int assoc, int line_bytes);
+
+    /**
+     * Look up the line containing @p addr; allocate it on miss when
+     * @p allocate. Returns true on hit. LRU updated on hit and fill.
+     */
+    bool access(std::uint32_t addr, bool allocate);
+
+    /** True when the line is currently present (no LRU update). */
+    bool contains(std::uint32_t addr) const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    int numSets() const { return static_cast<int>(sets_.size()); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t lineFor(std::uint32_t addr) const;
+
+    int assoc_;
+    int lineShift_;
+    std::uint32_t setMask_;
+    std::vector<std::vector<Line>> sets_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Small fully associative line buffer for committed stores. */
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(int lines, int line_bytes);
+
+    /** True when the buffer holds the line of @p addr (LRU refresh). */
+    bool contains(std::uint32_t addr);
+
+    /**
+     * Insert the line of @p addr; when the buffer is full the LRU line is
+     * evicted and returned (so the caller can push it into the cache).
+     * Returns -1 when nothing was evicted.
+     */
+    std::int64_t insert(std::uint32_t addr);
+
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    int capacity_;
+    int lineShift_;
+    std::list<std::uint32_t> lru_; ///< front = most recent; values are lines
+    std::uint64_t hits_ = 0;
+};
+
+/** Latency/statistics model for one memory configuration. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryConfig &config);
+
+    /**
+     * Latency in cycles of a load beginning now at @p addr. Updates cache
+     * state (allocates on miss). @p forwarded should be true when the
+     * value came from the store queue — such accesses cost the hit
+     * latency and do not touch the cache.
+     */
+    int loadLatency(std::uint32_t addr, bool forwarded);
+
+    /** Account a committed store of @p len bytes at @p addr. */
+    void commitStore(std::uint32_t addr, std::uint32_t len);
+
+    const MemoryConfig &config() const { return config_; }
+
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t loadMisses() const { return loadMisses_; }
+    double hitRatio() const;
+
+    void exportStats(StatGroup &stats, const std::string &prefix) const;
+
+  private:
+    MemoryConfig config_;
+    CacheDirectory cache_;
+    WriteBuffer writeBuffer_;
+    std::uint64_t loads_ = 0;
+    std::uint64_t loadMisses_ = 0;
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace fgp
+
+#endif // FGP_MEMSYS_MEMSYS_HH

@@ -1,0 +1,113 @@
+#include "tld/depgraph.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "vm/exec.hh"
+
+namespace fgp {
+
+bool
+mayAlias(const Node &a, const Node &b, bool same_base_value)
+{
+    fgp_assert(a.isMem() && b.isMem(), "mayAlias on non-memory nodes");
+    if (!same_base_value)
+        return true; // different base values: assume the worst
+    const auto len_a = static_cast<std::int32_t>(accessBytes(a.op));
+    const auto len_b = static_cast<std::int32_t>(accessBytes(b.op));
+    return a.imm < b.imm + len_b && b.imm < a.imm + len_a;
+}
+
+DepGraph
+buildDepGraph(const ImageBlock &block, bool with_antideps)
+{
+    const std::size_t n = block.nodes.size();
+    DepGraph graph;
+    graph.preds.resize(n);
+    graph.succs.resize(n);
+
+    auto add_edge = [&](std::uint16_t from, std::uint16_t to) {
+        auto &preds = graph.preds[to];
+        if (std::find(preds.begin(), preds.end(), from) == preds.end()) {
+            preds.push_back(from);
+            graph.succs[from].push_back(to);
+        }
+    };
+
+    // Register base-value versions for memory disambiguation.
+    std::vector<std::int32_t> version_at(n, 0);
+    std::int32_t version[kNumRegs];
+    std::fill(std::begin(version), std::end(version), -1);
+
+    // Last writer / readers per register.
+    std::int32_t last_def[kNumRegs];
+    std::fill(std::begin(last_def), std::end(last_def), -1);
+    std::vector<std::vector<std::uint16_t>> readers(kNumRegs);
+
+    std::vector<std::uint16_t> mem_nodes;
+    std::int32_t last_sys = -1;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Node &node = block.nodes[i];
+        const auto idx = static_cast<std::uint16_t>(i);
+
+        // RAW edges.
+        std::array<std::uint8_t, 5> srcs;
+        const int nsrc = node.srcRegs(srcs);
+        for (int s = 0; s < nsrc; ++s) {
+            const std::uint8_t reg = srcs[s];
+            if (reg == kRegNone || reg == kRegZero)
+                continue;
+            if (last_def[reg] >= 0)
+                add_edge(static_cast<std::uint16_t>(last_def[reg]), idx);
+            readers[reg].push_back(idx);
+        }
+
+        // Memory ordering edges.
+        if (node.isMem()) {
+            const std::int32_t base_version =
+                node.rs1 == kRegZero ? -2 : version[node.rs1];
+            for (std::uint16_t m : mem_nodes) {
+                const Node &other = block.nodes[m];
+                if (node.isLoad() && other.isLoad())
+                    continue; // loads commute
+                const std::int32_t other_version =
+                    other.rs1 == kRegZero ? -2 : version_at[m];
+                const bool same_base =
+                    other.rs1 == node.rs1 && other_version == base_version;
+                if (mayAlias(node, other, same_base))
+                    add_edge(m, idx);
+            }
+            version_at[i] = base_version;
+            mem_nodes.push_back(idx);
+        }
+
+        // System calls are barriers in both directions.
+        if (node.isSys()) {
+            for (std::size_t p = 0; p < i; ++p)
+                add_edge(static_cast<std::uint16_t>(p), idx);
+            last_sys = static_cast<std::int32_t>(i);
+        } else if (last_sys >= 0) {
+            add_edge(static_cast<std::uint16_t>(last_sys), idx);
+        }
+
+        // Anti/output register dependencies.
+        const std::uint8_t dst = node.dstReg();
+        if (dst != kRegNone && dst != kRegZero) {
+            if (with_antideps) {
+                if (last_def[dst] >= 0 &&
+                    last_def[dst] != static_cast<std::int32_t>(i))
+                    add_edge(static_cast<std::uint16_t>(last_def[dst]), idx);
+                for (std::uint16_t r : readers[dst])
+                    if (r != idx)
+                        add_edge(r, idx);
+            }
+            last_def[dst] = static_cast<std::int32_t>(i);
+            readers[dst].clear();
+            version[dst] = static_cast<std::int32_t>(i);
+        }
+    }
+    return graph;
+}
+
+} // namespace fgp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Intra-block dependence DAG used by the static list scheduler and by
+ * property tests. Edges:
+ *
+ *  - true (RAW) register dependencies;
+ *  - WAR/WAW register dependencies (the static machine has no renaming
+ *    hardware; the local renaming pass removes most of these first);
+ *  - memory ordering between possibly-aliasing accesses, using the static
+ *    disambiguation rule from §2.1: accesses with the same base register
+ *    value and non-overlapping constant offsets provably do not alias;
+ *    everything else is assumed to conflict;
+ *  - full barriers around system calls.
+ */
+
+#ifndef FGP_TLD_DEPGRAPH_HH
+#define FGP_TLD_DEPGRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/image.hh"
+
+namespace fgp {
+
+/** Dependence DAG over the nodes of one block. */
+struct DepGraph
+{
+    /** preds[i] — indices of nodes that must execute before node i. */
+    std::vector<std::vector<std::uint16_t>> preds;
+    /** succs[i] — inverse adjacency. */
+    std::vector<std::vector<std::uint16_t>> succs;
+
+    std::size_t size() const { return preds.size(); }
+};
+
+/**
+ * Build the dependence DAG for @p block.
+ *
+ * @param with_antideps include WAR/WAW register edges (true for the static
+ *        machine; the dynamic machine renames in hardware).
+ */
+DepGraph buildDepGraph(const ImageBlock &block, bool with_antideps);
+
+/**
+ * True when two memory nodes may reference overlapping bytes, using only
+ * compile-time information. @p same_base_value tells whether the base
+ * registers are known to hold the same value.
+ */
+bool mayAlias(const Node &a, const Node &b, bool same_base_value);
+
+} // namespace fgp
+
+#endif // FGP_TLD_DEPGRAPH_HH

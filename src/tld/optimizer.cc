@@ -1,0 +1,433 @@
+#include "tld/optimizer.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "base/logging.hh"
+#include "vm/exec.hh"
+
+namespace fgp {
+
+namespace {
+
+constexpr std::int32_t kLiveIn = -1;
+
+bool
+isPure(const Node &node)
+{
+    // Nodes whose only effect is writing their destination register.
+    return node.cls() == NodeClass::IntAlu || node.isLoad();
+}
+
+/** Commutative/immediate strength reduction target for an RRR opcode. */
+std::optional<Opcode>
+immediateForm(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return Opcode::ADDI;
+      case Opcode::AND: return Opcode::ANDI;
+      case Opcode::OR: return Opcode::ORI;
+      case Opcode::XOR: return Opcode::XORI;
+      case Opcode::SLL: return Opcode::SLLI;
+      case Opcode::SRL: return Opcode::SRLI;
+      case Opcode::SRA: return Opcode::SRAI;
+      case Opcode::SLT: return Opcode::SLTI;
+      case Opcode::SLTU: return Opcode::SLTIU;
+      default: return std::nullopt;
+    }
+}
+
+bool
+isCommutative(Opcode op)
+{
+    return op == Opcode::ADD || op == Opcode::AND || op == Opcode::OR ||
+           op == Opcode::XOR;
+}
+
+/** Replacement load-immediate node preserving destination and origin. */
+Node
+makeConst(const Node &orig, std::uint32_t value)
+{
+    Node out;
+    out.op = Opcode::ADDI;
+    out.rd = orig.rd;
+    out.rs1 = kRegZero;
+    out.imm = static_cast<std::int32_t>(value);
+    out.origPc = orig.origPc;
+    return out;
+}
+
+/** Copy / constant propagation plus constant folding. */
+std::uint64_t
+propagatePass(ImageBlock &block)
+{
+    std::uint64_t changed = 0;
+
+    struct RegState
+    {
+        std::optional<std::uint32_t> constant;
+        std::uint8_t copyOf = kRegNone; ///< root register this one copies
+    };
+    RegState state[kNumRegs];
+    state[kRegZero].constant = 0;
+
+    auto invalidate_copies_of = [&](std::uint8_t reg) {
+        for (auto &entry : state)
+            if (entry.copyOf == reg)
+                entry.copyOf = kRegNone;
+    };
+    auto def = [&](std::uint8_t reg, RegState value) {
+        if (reg == kRegNone || reg == kRegZero)
+            return;
+        invalidate_copies_of(reg);
+        state[reg] = value;
+    };
+    auto subst = [&](std::uint8_t &reg) {
+        if (reg == kRegNone || reg == kRegZero)
+            return;
+        if (state[reg].copyOf != kRegNone && state[reg].copyOf != reg) {
+            reg = state[reg].copyOf;
+            ++changed;
+        }
+    };
+    auto const_of = [&](std::uint8_t reg) -> std::optional<std::uint32_t> {
+        if (reg == kRegZero)
+            return 0u;
+        if (reg == kRegNone)
+            return std::nullopt;
+        return state[reg].constant;
+    };
+
+    for (Node &node : block.nodes) {
+        // Substitute copy roots into the sources.
+        switch (opcodeInfo(node.op).form) {
+          case OperandForm::RRR:
+          case OperandForm::Branch:
+          case OperandForm::FaultF:
+          case OperandForm::Store:
+            subst(node.rs1);
+            subst(node.rs2);
+            break;
+          case OperandForm::RRI:
+          case OperandForm::Load:
+          case OperandForm::JumpReg:
+            subst(node.rs1);
+            break;
+          default:
+            break;
+        }
+
+        if (node.cls() == NodeClass::IntAlu) {
+            const auto form = opcodeInfo(node.op).form;
+            const auto c1 = const_of(node.rs1);
+            const auto c2 = const_of(node.rs2);
+
+            // Fold fully-constant ALU nodes into load-immediates.
+            bool folded = false;
+            if (form == OperandForm::RRR && c1 && c2) {
+                node = makeConst(node, evalAlu(node, *c1, *c2));
+                ++changed;
+                folded = true;
+            } else if (form == OperandForm::RRI && c1 &&
+                       !(node.op == Opcode::ADDI && node.rs1 == kRegZero)) {
+                node = makeConst(node, evalAlu(node, *c1, 0));
+                ++changed;
+                folded = true;
+            } else if (form == OperandForm::RI) {
+                node = makeConst(node, evalAlu(node, 0, 0));
+                ++changed;
+                folded = true;
+            }
+
+            // Strength-reduce one constant operand into immediate form.
+            if (!folded && form == OperandForm::RRR) {
+                auto imm_op = immediateForm(node.op);
+                if (imm_op && c2) {
+                    node.op = *imm_op;
+                    node.imm = static_cast<std::int32_t>(*c2);
+                    node.rs2 = kRegNone;
+                    ++changed;
+                } else if (imm_op && c1 && isCommutative(node.op)) {
+                    node.op = *imm_op;
+                    node.imm = static_cast<std::int32_t>(*c1);
+                    node.rs1 = node.rs2;
+                    node.rs2 = kRegNone;
+                    ++changed;
+                } else if (node.op == Opcode::SUB && c2) {
+                    node.op = Opcode::ADDI;
+                    node.imm = -static_cast<std::int32_t>(*c2);
+                    node.rs2 = kRegNone;
+                    ++changed;
+                }
+            }
+
+            // Track the destination's new state.
+            RegState out;
+            if (node.op == Opcode::ADDI && node.rs1 == kRegZero) {
+                out.constant = static_cast<std::uint32_t>(node.imm);
+            } else if (node.op == Opcode::ADDI && node.imm == 0) {
+                const std::uint8_t src = node.rs1;
+                out.copyOf = state[src].copyOf != kRegNone
+                                 ? state[src].copyOf
+                                 : src;
+                out.constant = const_of(src);
+            } else if (const auto cc1 = const_of(node.rs1)) {
+                const auto form2 = opcodeInfo(node.op).form;
+                if (form2 == OperandForm::RRI)
+                    out.constant = evalAlu(node, *cc1, 0);
+                else if (form2 == OperandForm::RRR) {
+                    if (const auto cc2 = const_of(node.rs2))
+                        out.constant = evalAlu(node, *cc1, *cc2);
+                }
+            }
+            def(node.dstReg(), out);
+        } else {
+            // Loads, control, faults, stores, syscalls.
+            def(node.dstReg(), RegState{});
+        }
+    }
+    return changed;
+}
+
+/** Redundant load elimination with store-to-load forwarding. */
+std::uint64_t
+loadElimPass(ImageBlock &block)
+{
+    std::uint64_t eliminated = 0;
+
+    std::int32_t version[kNumRegs];
+    std::fill(std::begin(version), std::end(version), kLiveIn);
+    version[kRegZero] = -2; // constant; never changes
+
+    struct Avail
+    {
+        std::uint8_t base;
+        std::int32_t baseVersion;
+        std::int32_t offset;
+        Opcode op;          ///< the load opcode this entry satisfies
+        std::uint8_t value; ///< register holding the value
+        std::int32_t valueVersion;
+    };
+    std::vector<Avail> avail;
+
+    auto overlap = [](std::int32_t off_a, std::uint32_t len_a,
+                      std::int32_t off_b, std::uint32_t len_b) {
+        return off_a < off_b + static_cast<std::int32_t>(len_b) &&
+               off_b < off_a + static_cast<std::int32_t>(len_a);
+    };
+
+    for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+        Node &node = block.nodes[i];
+
+        if (node.isLoad()) {
+            bool replaced = false;
+            for (const Avail &entry : avail) {
+                if (entry.base == node.rs1 &&
+                    entry.baseVersion == version[node.rs1] &&
+                    entry.offset == node.imm && entry.op == node.op &&
+                    entry.valueVersion == version[entry.value]) {
+                    // Same address, same width: reuse the register value.
+                    Node copy;
+                    copy.op = Opcode::ADDI;
+                    copy.rd = node.rd;
+                    copy.rs1 = entry.value;
+                    copy.imm = 0;
+                    copy.origPc = node.origPc;
+                    node = copy;
+                    ++eliminated;
+                    replaced = true;
+                    break;
+                }
+            }
+            if (!replaced) {
+                avail.push_back({node.rs1, version[node.rs1], node.imm,
+                                 node.op, node.rd,
+                                 static_cast<std::int32_t>(i)});
+            }
+        } else if (node.isStore()) {
+            const std::uint32_t len = accessBytes(node.op);
+            std::erase_if(avail, [&](const Avail &entry) {
+                if (entry.base == node.rs1 &&
+                    entry.baseVersion == version[node.rs1]) {
+                    // Same base value: aliasing decidable by offsets.
+                    return overlap(entry.offset, accessBytes(entry.op),
+                                   node.imm, len);
+                }
+                return true; // different base: may alias, be conservative
+            });
+            if (node.op == Opcode::SW) {
+                // The stored register now satisfies word loads from here.
+                avail.push_back({node.rs1, version[node.rs1], node.imm,
+                                 Opcode::LW, node.rs2, version[node.rs2]});
+            }
+        } else if (node.isSys()) {
+            avail.clear(); // system calls may write any memory
+        }
+
+        const std::uint8_t dst = node.dstReg();
+        if (dst != kRegNone && dst != kRegZero)
+            version[dst] = static_cast<std::int32_t>(i);
+    }
+    return eliminated;
+}
+
+/**
+ * Rename all-but-last definitions of each architectural register onto
+ * scratch registers, eliminating intra-block WAW/WAR dependencies.
+ * Skipped for blocks with system calls (they read argument registers
+ * implicitly and are never enlarged anyway).
+ */
+std::uint64_t
+renamePass(ImageBlock &block)
+{
+    if (block.hasSyscall)
+        return 0;
+
+    std::uint64_t renamed = 0;
+
+    // Last definition index per architectural register.
+    std::int32_t last_def[kNumArchRegs];
+    std::fill(std::begin(last_def), std::end(last_def), kLiveIn);
+    bool scratch_used[kNumScratchRegs] = {};
+    for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+        const std::uint8_t dst = block.nodes[i].dstReg();
+        if (dst != kRegNone && dst < kNumArchRegs && dst != kRegZero)
+            last_def[dst] = static_cast<std::int32_t>(i);
+        for (std::uint8_t reg :
+             {block.nodes[i].rs1, block.nodes[i].rs2, dst})
+            if (reg != kRegNone && reg >= kNumArchRegs)
+                scratch_used[reg - kNumArchRegs] = true;
+    }
+
+    auto alloc_scratch = [&]() -> std::uint8_t {
+        for (std::uint8_t s = 0; s < kNumScratchRegs; ++s) {
+            if (!scratch_used[s]) {
+                scratch_used[s] = true;
+                return static_cast<std::uint8_t>(kNumArchRegs + s);
+            }
+        }
+        return kRegNone;
+    };
+
+    std::uint8_t current[kNumArchRegs];
+    for (std::uint8_t r = 0; r < kNumArchRegs; ++r)
+        current[r] = r;
+
+    for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+        Node &node = block.nodes[i];
+
+        auto rewrite_use = [&](std::uint8_t &reg) {
+            if (reg != kRegNone && reg < kNumArchRegs)
+                reg = current[reg];
+        };
+        // Sources first (they read the previous name).
+        switch (opcodeInfo(node.op).form) {
+          case OperandForm::RRR:
+          case OperandForm::Branch:
+          case OperandForm::FaultF:
+          case OperandForm::Store:
+            rewrite_use(node.rs1);
+            rewrite_use(node.rs2);
+            break;
+          case OperandForm::RRI:
+          case OperandForm::Load:
+          case OperandForm::JumpReg:
+            rewrite_use(node.rs1);
+            break;
+          default:
+            break;
+        }
+
+        const std::uint8_t dst = node.dstReg();
+        if (dst != kRegNone && dst < kNumArchRegs && dst != kRegZero) {
+            if (static_cast<std::int32_t>(i) != last_def[dst]) {
+                const std::uint8_t scratch = alloc_scratch();
+                if (scratch != kRegNone) {
+                    node.rd = scratch;
+                    current[dst] = scratch;
+                    ++renamed;
+                } else {
+                    current[dst] = dst; // pool exhausted; keep arch name
+                }
+            } else {
+                current[dst] = dst; // final def restores the arch name
+            }
+        }
+    }
+    return renamed;
+}
+
+/** Backward dead-definition elimination. */
+std::uint64_t
+deadCodePass(ImageBlock &block)
+{
+    bool live[kNumRegs] = {};
+    // All architectural registers are live-out of a block; translator
+    // scratch registers are dead by contract.
+    for (std::uint8_t r = 0; r < kNumArchRegs; ++r)
+        live[r] = true;
+
+    std::vector<bool> keep(block.nodes.size(), true);
+    std::uint64_t removed = 0;
+
+    for (std::size_t idx = block.nodes.size(); idx-- > 0;) {
+        Node &node = block.nodes[idx];
+        const std::uint8_t dst = node.dstReg();
+        const bool dead_dst =
+            dst != kRegNone && dst != kRegZero && !live[dst];
+
+        if (dead_dst && isPure(node)) {
+            keep[idx] = false;
+            ++removed;
+            continue;
+        }
+        if (dst != kRegNone && dst != kRegZero)
+            live[dst] = false;
+        std::array<std::uint8_t, 5> srcs;
+        const int nsrc = node.srcRegs(srcs);
+        for (int s = 0; s < nsrc; ++s)
+            if (srcs[s] != kRegNone)
+                live[srcs[s]] = true;
+    }
+
+    if (removed) {
+        std::vector<Node> kept;
+        kept.reserve(block.nodes.size() - removed);
+        for (std::size_t i = 0; i < block.nodes.size(); ++i)
+            if (keep[i])
+                kept.push_back(block.nodes[i]);
+        block.nodes = std::move(kept);
+    }
+    return removed;
+}
+
+} // namespace
+
+OptimizerStats
+optimizeBlock(ImageBlock &block, const OptimizerOptions &opts)
+{
+    OptimizerStats stats;
+    if (opts.propagate)
+        stats.propagated += propagatePass(block);
+    if (opts.eliminateLoads) {
+        stats.loadsEliminated += loadElimPass(block);
+        if (opts.propagate)
+            stats.propagated += propagatePass(block);
+    }
+    if (opts.rename)
+        stats.renamed += renamePass(block);
+    if (opts.eliminateDead)
+        stats.deadRemoved += deadCodePass(block);
+    return stats;
+}
+
+OptimizerStats
+optimizeImage(CodeImage &image, const OptimizerOptions &opts)
+{
+    OptimizerStats stats;
+    for (ImageBlock &block : image.blocks)
+        stats.mergeFrom(optimizeBlock(block, opts));
+    return stats;
+}
+
+} // namespace fgp

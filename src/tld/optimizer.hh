@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Local (intra-block) optimizer of the translating loader.
+ *
+ * Because blocks commit atomically (speculative execution with backup
+ * state), only values live at block exit matter; faults discard the whole
+ * block. That licence enables the re-optimization the paper performs when
+ * basic blocks are combined (§2.3): copy/constant propagation, redundant
+ * load elimination, local renaming of all-but-last definitions onto the
+ * translator scratch registers (killing artificial WAW/WAR and the paper's
+ * "R0" artificial flow dependency), and dead definition elimination.
+ *
+ * The optimizer never reorders or removes fault, store, control or system
+ * nodes, so block-level control semantics are untouched.
+ */
+
+#ifndef FGP_TLD_OPTIMIZER_HH
+#define FGP_TLD_OPTIMIZER_HH
+
+#include "ir/image.hh"
+
+namespace fgp {
+
+/** Per-pass knobs, mainly for ablation benchmarks. */
+struct OptimizerOptions
+{
+    bool propagate = true;       ///< copy + constant propagation
+    bool eliminateLoads = true;  ///< redundant load elimination
+    bool rename = true;          ///< local renaming onto scratch registers
+    bool eliminateDead = true;   ///< dead definition elimination
+};
+
+/** Statistics from optimizing one block or image. */
+struct OptimizerStats
+{
+    std::uint64_t propagated = 0;
+    std::uint64_t loadsEliminated = 0;
+    std::uint64_t renamed = 0;
+    std::uint64_t deadRemoved = 0;
+
+    void
+    mergeFrom(const OptimizerStats &other)
+    {
+        propagated += other.propagated;
+        loadsEliminated += other.loadsEliminated;
+        renamed += other.renamed;
+        deadRemoved += other.deadRemoved;
+    }
+};
+
+/** Optimize one block in place. */
+OptimizerStats optimizeBlock(ImageBlock &block,
+                             const OptimizerOptions &opts = {});
+
+/** Optimize every block of an image in place. */
+OptimizerStats optimizeImage(CodeImage &image,
+                             const OptimizerOptions &opts = {});
+
+} // namespace fgp
+
+#endif // FGP_TLD_OPTIMIZER_HH

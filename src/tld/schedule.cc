@@ -1,0 +1,192 @@
+#include "tld/schedule.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+#include "tld/depgraph.hh"
+
+namespace fgp {
+
+namespace {
+
+int
+nodeLatency(const Node &node, int mem_hit_latency)
+{
+    return node.isLoad() ? mem_hit_latency : 1;
+}
+
+} // namespace
+
+void
+scheduleStatic(ImageBlock &block, const IssueModel &issue,
+               int mem_hit_latency)
+{
+    const std::size_t n = block.nodes.size();
+    block.words.clear();
+    if (n == 0)
+        return;
+
+    const DepGraph graph = buildDepGraph(block, /*with_antideps=*/true);
+
+    // Critical-path heights (latency-weighted longest path to a leaf).
+    // Dependence edges always point forward in index order, so a reverse
+    // sweep is a reverse-topological traversal.
+    std::vector<int> height(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        const int lat =
+            nodeLatency(block.nodes[i], mem_hit_latency);
+        for (std::uint16_t succ : graph.succs[i])
+            height[i] = std::max(height[i], lat + height[succ]);
+        height[i] = std::max(height[i], lat);
+    }
+
+    // Earliest cycle each node may schedule at, updated as preds schedule.
+    std::vector<int> earliest(n, 0);
+    std::vector<int> preds_left(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        preds_left[i] = static_cast<int>(graph.preds[i].size());
+
+    std::vector<std::uint16_t> ready;
+    for (std::size_t i = 0; i < n; ++i)
+        if (preds_left[i] == 0)
+            ready.push_back(static_cast<std::uint16_t>(i));
+
+    std::map<int, Word> schedule; // cycle -> word
+    std::size_t scheduled = 0;
+    int cycle = 0;
+
+    while (scheduled < n) {
+        // Candidates ready at this cycle, by height then program order.
+        std::vector<std::uint16_t> avail;
+        for (std::uint16_t idx : ready)
+            if (earliest[idx] <= cycle)
+                avail.push_back(idx);
+        std::sort(avail.begin(), avail.end(),
+                  [&](std::uint16_t a, std::uint16_t b) {
+                      if (height[a] != height[b])
+                          return height[a] > height[b];
+                      return a < b;
+                  });
+
+        int mem_free = issue.sequential ? 1 : issue.memSlots;
+        int alu_free = issue.sequential ? 1 : issue.aluSlots;
+        int total_free = issue.sequential ? 1 : mem_free + alu_free;
+
+        Word word;
+        for (std::uint16_t idx : avail) {
+            if (total_free == 0)
+                break;
+            const bool is_mem = block.nodes[idx].isMem();
+            if (issue.sequential) {
+                // any single node
+            } else if (is_mem) {
+                if (mem_free == 0)
+                    continue;
+                --mem_free;
+            } else {
+                if (alu_free == 0)
+                    continue;
+                --alu_free;
+            }
+            --total_free;
+            word.push_back(idx);
+
+            ready.erase(std::find(ready.begin(), ready.end(), idx));
+            ++scheduled;
+            const int finish =
+                cycle + nodeLatency(block.nodes[idx], mem_hit_latency);
+            for (std::uint16_t succ : graph.succs[idx]) {
+                earliest[succ] = std::max(earliest[succ], finish);
+                if (--preds_left[succ] == 0)
+                    ready.push_back(succ);
+            }
+        }
+
+        if (!word.empty()) {
+            std::sort(word.begin(), word.end());
+            schedule.emplace(cycle, std::move(word));
+        }
+        ++cycle;
+        fgp_assert(cycle < static_cast<int>(4 * n + 64),
+                   "static scheduler failed to converge");
+    }
+
+    for (auto &[c, word] : schedule)
+        block.words.push_back(std::move(word));
+}
+
+void
+packDynamic(ImageBlock &block, const IssueModel &issue)
+{
+    block.words.clear();
+    Word word;
+    int mem_free = issue.sequential ? 1 : issue.memSlots;
+    int alu_free = issue.sequential ? 1 : issue.aluSlots;
+    int total_free = issue.sequential ? 1 : mem_free + alu_free;
+
+    auto flush = [&]() {
+        if (!word.empty())
+            block.words.push_back(std::move(word));
+        word.clear();
+        mem_free = issue.sequential ? 1 : issue.memSlots;
+        alu_free = issue.sequential ? 1 : issue.aluSlots;
+        total_free = issue.sequential ? 1 : mem_free + alu_free;
+    };
+
+    for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+        const bool is_mem = block.nodes[i].isMem();
+        bool fits = total_free > 0;
+        if (fits && !issue.sequential)
+            fits = is_mem ? mem_free > 0 : alu_free > 0;
+        if (!fits)
+            flush();
+        if (!issue.sequential) {
+            if (is_mem)
+                --mem_free;
+            else
+                --alu_free;
+        }
+        --total_free;
+        word.push_back(static_cast<std::uint16_t>(i));
+    }
+    flush();
+}
+
+bool
+wordsRespectModel(const ImageBlock &block, const IssueModel &issue)
+{
+    std::vector<int> word_of(block.nodes.size(), -1);
+    for (std::size_t w = 0; w < block.words.size(); ++w) {
+        int mem = 0;
+        int alu = 0;
+        for (std::uint16_t idx : block.words[w]) {
+            if (idx >= block.nodes.size() || word_of[idx] != -1)
+                return false;
+            word_of[idx] = static_cast<int>(w);
+            if (block.nodes[idx].isMem())
+                ++mem;
+            else
+                ++alu;
+        }
+        if (issue.sequential) {
+            if (mem + alu > 1)
+                return false;
+        } else if (mem > issue.memSlots || alu > issue.aluSlots) {
+            return false;
+        }
+    }
+    for (int w : word_of)
+        if (w == -1)
+            return false;
+
+    // Dependence edges must never point backwards across words.
+    const DepGraph graph = buildDepGraph(block, /*with_antideps=*/false);
+    for (std::size_t i = 0; i < graph.size(); ++i)
+        for (std::uint16_t succ : graph.succs[i])
+            if (word_of[succ] < word_of[i])
+                return false;
+    return true;
+}
+
+} // namespace fgp

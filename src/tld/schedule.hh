@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Packing of block nodes into multi-node issue words.
+ *
+ * Static machines get a latency-aware list schedule over the dependence
+ * DAG (the compiler fills the node slots, §2.1, assuming cache-hit
+ * latency); dynamic machines get order-preserving greedy packing — the
+ * hardware decouples the nodes after issue, so only issue bandwidth
+ * matters. The sequential issue model packs one node per word.
+ */
+
+#ifndef FGP_TLD_SCHEDULE_HH
+#define FGP_TLD_SCHEDULE_HH
+
+#include "arch/config.hh"
+#include "ir/image.hh"
+
+namespace fgp {
+
+/** Fill @p block.words for a statically scheduled machine. */
+void scheduleStatic(ImageBlock &block, const IssueModel &issue,
+                    int mem_hit_latency);
+
+/** Fill @p block.words for a dynamically scheduled machine. */
+void packDynamic(ImageBlock &block, const IssueModel &issue);
+
+/**
+ * True when @p block.words is a valid packing: every node in exactly one
+ * word, slot shapes respected, and (for static schedules) all dependence
+ * edges point to the same or a later word. Used by tests.
+ */
+bool wordsRespectModel(const ImageBlock &block, const IssueModel &issue);
+
+} // namespace fgp
+
+#endif // FGP_TLD_SCHEDULE_HH

@@ -1,0 +1,26 @@
+#include "tld/translate.hh"
+
+#include "base/logging.hh"
+#include "tld/schedule.hh"
+
+namespace fgp {
+
+OptimizerStats
+translate(CodeImage &image, const MachineConfig &config,
+          const TranslateOptions &opts)
+{
+    OptimizerStats stats;
+    for (ImageBlock &block : image.blocks) {
+        if (opts.optimizeAll || (opts.optimizeEnlarged && block.enlarged))
+            stats.mergeFrom(optimizeBlock(block, opts.optimizer));
+
+        if (config.discipline == Discipline::Static)
+            scheduleStatic(block, config.issue, config.memory.hitLatency);
+        else
+            packDynamic(block, config.issue);
+    }
+    validateImage(image);
+    return stats;
+}
+
+} // namespace fgp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Top of the translating loader: per-machine-configuration code
+ * generation for a CodeImage (optimization + word packing), mirroring the
+ * paper's tld, which "does an optimized code generation for a specific
+ * machine configuration" (§3.1).
+ */
+
+#ifndef FGP_TLD_TRANSLATE_HH
+#define FGP_TLD_TRANSLATE_HH
+
+#include "arch/config.hh"
+#include "ir/image.hh"
+#include "tld/optimizer.hh"
+
+namespace fgp {
+
+/** Translation knobs. */
+struct TranslateOptions
+{
+    /**
+     * Optimize enlarged blocks (re-optimization as a unit, §2.3). Single
+     * blocks are translated 1:1 so that the retired node count of a
+     * single-block run equals the functional VM's dynamic node count —
+     * the paper's "number of nodes retired is the same for a given
+     * benchmark on a given set of input data".
+     */
+    bool optimizeEnlarged = true;
+
+    /** Also optimize original single blocks (ablation only). */
+    bool optimizeAll = false;
+
+    OptimizerOptions optimizer = {};
+};
+
+/**
+ * Optimize (per options) and pack every block of @p image for @p config.
+ * Returns the optimizer statistics.
+ */
+OptimizerStats translate(CodeImage &image, const MachineConfig &config,
+                         const TranslateOptions &opts = {});
+
+} // namespace fgp
+
+#endif // FGP_TLD_TRANSLATE_HH

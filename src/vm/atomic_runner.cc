@@ -1,0 +1,220 @@
+#include "vm/atomic_runner.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "vm/exec.hh"
+
+namespace fgp {
+
+namespace {
+
+/** Byte-granular store buffer for one block attempt. */
+class StoreBuffer
+{
+  public:
+    void
+    clear()
+    {
+        entries_.clear();
+    }
+
+    void
+    store(std::uint32_t addr, const std::uint8_t *bytes, std::uint32_t len)
+    {
+        for (std::uint32_t i = 0; i < len; ++i)
+            entries_.push_back({addr + i, bytes[i]});
+    }
+
+    /** Merge buffered bytes over the committed value. */
+    std::uint8_t
+    load(std::uint32_t addr, const SparseMemory &mem) const
+    {
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+            if (it->addr == addr)
+                return it->value;
+        return mem.read8(addr);
+    }
+
+    void
+    commit(SparseMemory &mem) const
+    {
+        for (const auto &entry : entries_)
+            mem.write8(entry.addr, entry.value);
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t addr;
+        std::uint8_t value;
+    };
+    std::vector<Entry> entries_;
+};
+
+} // namespace
+
+AtomicRunResult
+runAtomic(const CodeImage &image, SimOS &os, SparseMemory &mem,
+          const AtomicRunOptions &opts)
+{
+    validateImage(image);
+    const Program &prog = *image.prog;
+
+    std::uint32_t regs[kNumRegs] = {};
+    regs[kRegSp] = kStackTop;
+    if (!prog.data.empty())
+        mem.writeBytes(kDataBase, prog.data.data(), prog.data.size());
+    os.setInitialBrk(prog.initialBrk());
+
+    AtomicRunResult result;
+    StoreBuffer stores;
+
+    const MemPorts ports{
+        [&](std::uint32_t addr) { return stores.load(addr, mem); },
+        [&](std::uint32_t addr, std::uint8_t value) {
+            mem.write8(addr, value);
+        },
+    };
+
+    auto read_reg = [&](std::uint8_t reg) -> std::uint32_t {
+        return reg == kRegZero ? 0 : regs[reg];
+    };
+    auto write_reg = [&](std::uint8_t reg, std::uint32_t value) {
+        if (reg != kRegZero && reg != kRegNone)
+            regs[reg] = value;
+    };
+
+    std::int32_t block_id = image.entryBlock;
+
+    while (true) {
+        const ImageBlock &block = image.block(block_id);
+        fgp_assert(!(block.hasSyscall && block.enlarged),
+                   "enlarged block ", block.id, " contains a system call");
+
+        std::uint32_t checkpoint[kNumRegs];
+        std::memcpy(checkpoint, regs, sizeof(checkpoint));
+        stores.clear();
+
+        std::int32_t next_pc = -2; // -2: undecided
+        std::int32_t next_block = -1;
+        bool faulted = false;
+        std::size_t executed_here = 0;
+
+        for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+            const Node &node = block.nodes[i];
+            ++executed_here;
+            ++result.executedNodes;
+            if (result.executedNodes > opts.maxNodes)
+                fgp_fatal("atomic node budget exceeded");
+
+            switch (node.cls()) {
+              case NodeClass::IntAlu:
+                write_reg(node.rd, evalAlu(node, read_reg(node.rs1),
+                                           read_reg(node.rs2)));
+                break;
+              case NodeClass::Mem: {
+                const std::uint32_t addr =
+                    effectiveAddress(node, read_reg(node.rs1));
+                std::uint8_t bytes[4];
+                if (node.isLoad()) {
+                    const std::uint32_t len = accessBytes(node.op);
+                    for (std::uint32_t b = 0; b < len; ++b)
+                        bytes[b] = stores.load(addr + b, mem);
+                    write_reg(node.rd, loadResult(node.op, bytes));
+                } else {
+                    const std::uint32_t len =
+                        storeBytes(node.op, read_reg(node.rs2), bytes);
+                    stores.store(addr, bytes, len);
+                }
+                break;
+              }
+              case NodeClass::Fault: {
+                if (evalCondition(node.op, read_reg(node.rs1),
+                                  read_reg(node.rs2))) {
+                    faulted = true;
+                    next_block = node.target;
+                }
+                break;
+              }
+              case NodeClass::Sys: {
+                const std::uint32_t value =
+                    os.syscall(read_reg(kRegV0), read_reg(kRegA0),
+                               read_reg(kRegA1), read_reg(kRegA2),
+                               read_reg(kRegA3), ports);
+                if (os.exited()) {
+                    // Partial block commits up to and including the exit.
+                    stores.commit(mem);
+                    result.retiredNodes += executed_here;
+                    ++result.committedBlocks;
+                    if (opts.recordTrace)
+                        result.blockTrace.push_back(block.id);
+                    result.exited = true;
+                    result.exitCode = os.exitCode();
+                    return result;
+                }
+                write_reg(kRegV0, value);
+                break;
+              }
+              case NodeClass::Control: {
+                fgp_assert(i + 1 == block.nodes.size(),
+                           "control node not terminal");
+                switch (node.op) {
+                  case Opcode::J:
+                    next_pc = node.target;
+                    break;
+                  case Opcode::JAL:
+                    write_reg(node.rd,
+                              static_cast<std::uint32_t>(node.origPc + 1));
+                    next_pc = node.target;
+                    break;
+                  case Opcode::JR:
+                    next_pc =
+                        static_cast<std::int32_t>(read_reg(node.rs1));
+                    break;
+                  default:
+                    next_pc = evalCondition(node.op, read_reg(node.rs1),
+                                            read_reg(node.rs2))
+                                  ? node.target
+                                  : block.fallthroughPc;
+                    break;
+                }
+                break;
+              }
+            }
+            if (faulted)
+                break;
+        }
+
+        if (faulted) {
+            // Discard: restore registers, drop buffered stores.
+            std::memcpy(regs, checkpoint, sizeof(checkpoint));
+            result.discardedNodes += executed_here;
+            ++result.faults;
+            block_id = next_block;
+            continue;
+        }
+
+        stores.commit(mem);
+        result.retiredNodes += block.nodes.size();
+        ++result.committedBlocks;
+        if (opts.recordTrace)
+            result.blockTrace.push_back(block.id);
+
+        if (next_pc == -2)
+            next_pc = block.fallthroughPc;
+        if (next_pc < 0)
+            fgp_fatal("block ", block.id,
+                      " fell through with no successor (missing exit?)");
+        block_id = image.blockAtPc(next_pc);
+    }
+}
+
+AtomicRunResult
+runAtomic(const CodeImage &image, SimOS &os, const AtomicRunOptions &opts)
+{
+    SparseMemory mem;
+    return runAtomic(image, os, mem, opts);
+}
+
+} // namespace fgp

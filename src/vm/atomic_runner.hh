@@ -1,0 +1,60 @@
+/**
+ * @file
+ * AtomicRunner — block-atomic reference executor for translated code.
+ *
+ * Executes a CodeImage the way the speculative hardware commits it: one
+ * (possibly enlarged) basic block at a time, buffering stores and
+ * checkpointing registers so that a firing fault node discards the whole
+ * block and resumes at its fault-to companion. It is the golden model for
+ * the translating loader and the enlargement pass (timing-free), and it
+ * produces the committed-block trace used to drive the engine's perfect
+ * branch prediction mode.
+ */
+
+#ifndef FGP_VM_ATOMIC_RUNNER_HH
+#define FGP_VM_ATOMIC_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/image.hh"
+#include "vm/memory.hh"
+#include "vm/simos.hh"
+
+namespace fgp {
+
+/** Result of an atomic run. */
+struct AtomicRunResult
+{
+    int exitCode = 0;
+    bool exited = false;
+
+    std::uint64_t retiredNodes = 0;   ///< nodes in committed blocks
+    std::uint64_t executedNodes = 0;  ///< includes discarded block attempts
+    std::uint64_t discardedNodes = 0; ///< executed in blocks that faulted
+    std::uint64_t committedBlocks = 0;
+    std::uint64_t faults = 0;         ///< fault nodes that fired
+
+    /** Committed block ids in order (filled when requested). */
+    std::vector<std::int32_t> blockTrace;
+};
+
+/** Options for an atomic run. */
+struct AtomicRunOptions
+{
+    bool recordTrace = false;
+    std::uint64_t maxNodes = 4'000'000'000ULL;
+};
+
+/** Execute @p image to completion against @p os and @p mem. */
+AtomicRunResult runAtomic(const CodeImage &image, SimOS &os,
+                          SparseMemory &mem,
+                          const AtomicRunOptions &opts = {});
+
+/** Convenience overload with fresh memory. */
+AtomicRunResult runAtomic(const CodeImage &image, SimOS &os,
+                          const AtomicRunOptions &opts = {});
+
+} // namespace fgp
+
+#endif // FGP_VM_ATOMIC_RUNNER_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Node evaluation semantics shared by the functional interpreter, the
+ * atomic runner and the cycle-level engine. Keeping all value semantics in
+ * one place guarantees the three executors agree (the golden-model
+ * equivalence tests rely on this).
+ */
+
+#ifndef FGP_VM_EXEC_HH
+#define FGP_VM_EXEC_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "base/logging.hh"
+#include "ir/node.hh"
+
+namespace fgp {
+
+/** Evaluate an ALU node given its (up to two) source values. */
+inline std::uint32_t
+evalAlu(const Node &node, std::uint32_t a, std::uint32_t b)
+{
+    const auto sa = static_cast<std::int32_t>(a);
+    auto imm_b = [&]() -> std::uint32_t {
+        return static_cast<std::uint32_t>(node.imm);
+    };
+    switch (node.op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SLL: return a << (b & 31);
+      case Opcode::SRL: return a >> (b & 31);
+      case Opcode::SRA:
+        return static_cast<std::uint32_t>(sa >> (b & 31));
+      case Opcode::MUL: return a * b;
+      case Opcode::DIV: {
+        const auto sb = static_cast<std::int32_t>(b);
+        if (sb == 0)
+            return 0xffffffffu; // RISC-V-style defined result
+        if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1)
+            return a;
+        return static_cast<std::uint32_t>(sa / sb);
+      }
+      case Opcode::REM: {
+        const auto sb = static_cast<std::int32_t>(b);
+        if (sb == 0)
+            return a;
+        if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1)
+            return 0;
+        return static_cast<std::uint32_t>(sa % sb);
+      }
+      case Opcode::SLT:
+        return sa < static_cast<std::int32_t>(b) ? 1 : 0;
+      case Opcode::SLTU: return a < b ? 1 : 0;
+      case Opcode::ADDI: return a + imm_b();
+      case Opcode::ANDI: return a & imm_b();
+      case Opcode::ORI: return a | imm_b();
+      case Opcode::XORI: return a ^ imm_b();
+      case Opcode::SLLI: return a << (imm_b() & 31);
+      case Opcode::SRLI: return a >> (imm_b() & 31);
+      case Opcode::SRAI:
+        return static_cast<std::uint32_t>(sa >> (imm_b() & 31));
+      case Opcode::SLTI:
+        return sa < node.imm ? 1 : 0;
+      case Opcode::SLTIU: return a < imm_b() ? 1 : 0;
+      case Opcode::LUI:
+        return static_cast<std::uint32_t>(node.imm) << 16;
+      default:
+        fgp_panic("evalAlu on non-ALU node ", mnemonic(node.op));
+    }
+}
+
+/** Branch or fault condition given the two source values. */
+inline bool
+evalCondition(Opcode op, std::uint32_t a, std::uint32_t b)
+{
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    switch (op) {
+      case Opcode::BEQ: case Opcode::FEQ: return a == b;
+      case Opcode::BNE: case Opcode::FNE: return a != b;
+      case Opcode::BLT: case Opcode::FLT: return sa < sb;
+      case Opcode::BGE: case Opcode::FGE: return sa >= sb;
+      case Opcode::BLTU: case Opcode::FLTU: return a < b;
+      case Opcode::BGEU: case Opcode::FGEU: return a >= b;
+      default:
+        fgp_panic("evalCondition on ", mnemonic(op));
+    }
+}
+
+/** Effective address of a memory node given its base register value. */
+inline std::uint32_t
+effectiveAddress(const Node &node, std::uint32_t base)
+{
+    return base + static_cast<std::uint32_t>(node.imm);
+}
+
+/** Access width in bytes of a memory node. */
+inline std::uint32_t
+accessBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::LW: case Opcode::SW: return 4;
+      case Opcode::LB: case Opcode::LBU: case Opcode::SB: return 1;
+      default:
+        fgp_panic("accessBytes on ", mnemonic(op));
+    }
+}
+
+/** Assemble a load result from raw little-endian bytes. */
+inline std::uint32_t
+loadResult(Opcode op, const std::uint8_t *bytes)
+{
+    switch (op) {
+      case Opcode::LW:
+        return static_cast<std::uint32_t>(bytes[0]) |
+               (static_cast<std::uint32_t>(bytes[1]) << 8) |
+               (static_cast<std::uint32_t>(bytes[2]) << 16) |
+               (static_cast<std::uint32_t>(bytes[3]) << 24);
+      case Opcode::LB:
+        return static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(bytes[0])));
+      case Opcode::LBU:
+        return bytes[0];
+      default:
+        fgp_panic("loadResult on ", mnemonic(op));
+    }
+}
+
+/** Split a store value into raw little-endian bytes; returns byte count. */
+inline std::uint32_t
+storeBytes(Opcode op, std::uint32_t value, std::uint8_t *bytes)
+{
+    switch (op) {
+      case Opcode::SW:
+        bytes[0] = static_cast<std::uint8_t>(value);
+        bytes[1] = static_cast<std::uint8_t>(value >> 8);
+        bytes[2] = static_cast<std::uint8_t>(value >> 16);
+        bytes[3] = static_cast<std::uint8_t>(value >> 24);
+        return 4;
+      case Opcode::SB:
+        bytes[0] = static_cast<std::uint8_t>(value);
+        return 1;
+      default:
+        fgp_panic("storeBytes on ", mnemonic(op));
+    }
+}
+
+} // namespace fgp
+
+#endif // FGP_VM_EXEC_HH

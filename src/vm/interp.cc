@@ -1,0 +1,132 @@
+#include "vm/interp.hh"
+
+#include "base/logging.hh"
+#include "vm/exec.hh"
+
+namespace fgp {
+
+RunResult
+interpret(const Program &prog, SimOS &os, SparseMemory &mem,
+          const InterpOptions &opts)
+{
+    validateProgram(prog);
+
+    std::uint32_t regs[kNumRegs] = {};
+    regs[kRegSp] = kStackTop;
+
+    if (!prog.data.empty())
+        mem.writeBytes(kDataBase, prog.data.data(), prog.data.size());
+    os.setInitialBrk(prog.initialBrk());
+
+    const MemPorts ports{
+        [&](std::uint32_t addr) { return mem.read8(addr); },
+        [&](std::uint32_t addr, std::uint8_t value) {
+            mem.write8(addr, value);
+        },
+    };
+
+    RunResult result;
+    result.dynamicBlocks = 1;
+    std::int32_t pc = prog.entry;
+    const auto num_instrs = static_cast<std::int32_t>(prog.instrs.size());
+
+    auto read_reg = [&](std::uint8_t reg) -> std::uint32_t {
+        return reg == kRegZero ? 0 : regs[reg];
+    };
+    auto write_reg = [&](std::uint8_t reg, std::uint32_t value) {
+        if (reg != kRegZero && reg != kRegNone)
+            regs[reg] = value;
+    };
+
+    while (true) {
+        if (pc < 0 || pc >= num_instrs)
+            fgp_fatal("pc ", pc, " outside program (fell off the end?)");
+        const Node &node = prog.instrs[pc];
+        ++result.dynamicNodes;
+        if (result.dynamicNodes > opts.maxNodes)
+            fgp_fatal("node budget exceeded (", opts.maxNodes,
+                      "); runaway program?");
+
+        switch (node.cls()) {
+          case NodeClass::IntAlu: {
+            ++result.aluNodes;
+            write_reg(node.rd, evalAlu(node, read_reg(node.rs1),
+                                       read_reg(node.rs2)));
+            ++pc;
+            break;
+          }
+          case NodeClass::Mem: {
+            ++result.memNodes;
+            const std::uint32_t addr =
+                effectiveAddress(node, read_reg(node.rs1));
+            if (node.isLoad()) {
+                ++result.loadNodes;
+                std::uint8_t bytes[4];
+                mem.readBytes(addr, bytes, accessBytes(node.op));
+                write_reg(node.rd, loadResult(node.op, bytes));
+            } else {
+                ++result.storeNodes;
+                std::uint8_t bytes[4];
+                const std::uint32_t len =
+                    storeBytes(node.op, read_reg(node.rs2), bytes);
+                mem.writeBytes(addr, bytes, len);
+            }
+            ++pc;
+            break;
+          }
+          case NodeClass::Control: {
+            ++result.controlNodes;
+            ++result.dynamicBlocks;
+            switch (node.op) {
+              case Opcode::J:
+                if (opts.profile)
+                    opts.profile->recordJump(pc);
+                pc = node.target;
+                break;
+              case Opcode::JAL:
+                write_reg(node.rd, static_cast<std::uint32_t>(pc + 1));
+                pc = node.target;
+                break;
+              case Opcode::JR:
+                pc = static_cast<std::int32_t>(read_reg(node.rs1));
+                break;
+              default: { // conditional branch
+                const bool taken = evalCondition(node.op, read_reg(node.rs1),
+                                                 read_reg(node.rs2));
+                if (opts.profile)
+                    opts.profile->recordBranch(pc, taken);
+                pc = taken ? node.target : pc + 1;
+                break;
+              }
+            }
+            break;
+          }
+          case NodeClass::Sys: {
+            ++result.aluNodes;
+            const std::uint32_t value =
+                os.syscall(read_reg(kRegV0), read_reg(kRegA0),
+                           read_reg(kRegA1), read_reg(kRegA2),
+                           read_reg(kRegA3), ports);
+            if (os.exited()) {
+                result.exited = true;
+                result.exitCode = os.exitCode();
+                return result;
+            }
+            write_reg(kRegV0, value);
+            ++pc;
+            break;
+          }
+          case NodeClass::Fault:
+            fgp_fatal("fault node in flat program at pc ", pc);
+        }
+    }
+}
+
+RunResult
+interpret(const Program &prog, SimOS &os, const InterpOptions &opts)
+{
+    SparseMemory mem;
+    return interpret(prog, os, mem, opts);
+}
+
+} // namespace fgp

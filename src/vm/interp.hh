@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional interpreter — the golden model. Executes a flat Program one
+ * node at a time against a SparseMemory and SimOS, optionally collecting a
+ * branch-arc profile and dynamic node statistics.
+ */
+
+#ifndef FGP_VM_INTERP_HH
+#define FGP_VM_INTERP_HH
+
+#include <cstdint>
+
+#include "ir/program.hh"
+#include "vm/memory.hh"
+#include "vm/profile.hh"
+#include "vm/simos.hh"
+
+namespace fgp {
+
+/** Outcome of a functional run. */
+struct RunResult
+{
+    int exitCode = 0;
+    bool exited = false;
+
+    /** Dynamic node count, system-call internals excluded (the SYSCALL
+     *  node itself counts as one node, matching the engine). */
+    std::uint64_t dynamicNodes = 0;
+
+    std::uint64_t aluNodes = 0;
+    std::uint64_t memNodes = 0;
+    std::uint64_t controlNodes = 0;
+    std::uint64_t loadNodes = 0;
+    std::uint64_t storeNodes = 0;
+    std::uint64_t dynamicBlocks = 0; ///< taken control transfers + 1
+};
+
+/** Functional execution settings. */
+struct InterpOptions
+{
+    /** Abort the run (fatal) after this many nodes — runaway guard. */
+    std::uint64_t maxNodes = 2'000'000'000ULL;
+
+    /** Collect branch arcs into this profile when non-null. */
+    Profile *profile = nullptr;
+};
+
+/**
+ * Run @p prog to completion (exit syscall).
+ *
+ * Loads the data segment at kDataBase, points sp at kStackTop and starts
+ * at the program entry. Throws FatalError on invalid execution (falling
+ * off the end, bad opcodes); returns the result otherwise.
+ */
+RunResult interpret(const Program &prog, SimOS &os, SparseMemory &mem,
+                    const InterpOptions &opts = {});
+
+/** Convenience: fresh memory, run, return result. */
+RunResult interpret(const Program &prog, SimOS &os,
+                    const InterpOptions &opts = {});
+
+} // namespace fgp
+
+#endif // FGP_VM_INTERP_HH

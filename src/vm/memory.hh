@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Sparse byte-addressable memory for the simulated 32-bit address space.
+ * Backed by 64 KiB pages allocated on demand; all accesses are little-endian
+ * and byte-composed, so unaligned accesses are well-defined.
+ */
+
+#ifndef FGP_VM_MEMORY_HH
+#define FGP_VM_MEMORY_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+static_assert(std::endian::native == std::endian::little,
+              "fgpsim's fast memory paths assume a little-endian host");
+
+namespace fgp {
+
+/** Demand-paged flat memory image. Unmapped bytes read as zero. */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint32_t kPageShift = 16;
+    static constexpr std::uint32_t kPageSize = 1u << kPageShift;
+
+    std::uint8_t
+    read8(std::uint32_t addr) const
+    {
+        const Page *page = findPage(addr);
+        return page ? (*page)[addr & (kPageSize - 1)] : 0;
+    }
+
+    void
+    write8(std::uint32_t addr, std::uint8_t value)
+    {
+        touchPage(addr)[addr & (kPageSize - 1)] = value;
+    }
+
+    std::uint32_t
+    read32(std::uint32_t addr) const
+    {
+        // Fast path: access within one page.
+        if ((addr & (kPageSize - 1)) <= kPageSize - 4) {
+            const Page *page = findPage(addr);
+            if (!page)
+                return 0;
+            std::uint32_t value;
+            std::memcpy(&value, page->data() + (addr & (kPageSize - 1)), 4);
+            return value; // little-endian host asserted above
+        }
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i)
+            value |= static_cast<std::uint32_t>(read8(addr + i)) << (8 * i);
+        return value;
+    }
+
+    void
+    write32(std::uint32_t addr, std::uint32_t value)
+    {
+        if ((addr & (kPageSize - 1)) <= kPageSize - 4) {
+            Page &page = touchPage(addr);
+            std::memcpy(page.data() + (addr & (kPageSize - 1)), &value, 4);
+            return;
+        }
+        for (int i = 0; i < 4; ++i)
+            write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+
+    /** Copy a byte range into memory. */
+    void
+    writeBytes(std::uint32_t addr, const std::uint8_t *src, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            write8(addr + static_cast<std::uint32_t>(i), src[i]);
+    }
+
+    /** Copy a byte range out of memory. */
+    void
+    readBytes(std::uint32_t addr, std::uint8_t *dst, std::size_t len) const
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            dst[i] = read8(addr + static_cast<std::uint32_t>(i));
+    }
+
+    /** Read a NUL-terminated string (bounded at @p max_len). */
+    std::string
+    readCString(std::uint32_t addr, std::size_t max_len = 4096) const
+    {
+        std::string out;
+        for (std::size_t i = 0; i < max_len; ++i) {
+            const char ch = static_cast<char>(
+                read8(addr + static_cast<std::uint32_t>(i)));
+            if (ch == '\0')
+                break;
+            out.push_back(ch);
+        }
+        return out;
+    }
+
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+    const Page *
+    findPage(std::uint32_t addr) const
+    {
+        const std::uint32_t key = addr >> kPageShift;
+        if (key == cachedKey_ && cachedPage_)
+            return cachedPage_;
+        const auto it = pages_.find(key);
+        if (it == pages_.end())
+            return nullptr;
+        cachedKey_ = key;
+        cachedPage_ = it->second.get();
+        return cachedPage_;
+    }
+
+    Page &
+    touchPage(std::uint32_t addr)
+    {
+        const std::uint32_t key = addr >> kPageShift;
+        if (key == cachedKey_ && cachedPage_)
+            return *cachedPage_;
+        auto &slot = pages_[key];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        cachedKey_ = key;
+        cachedPage_ = slot.get();
+        return *slot;
+    }
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+    mutable std::uint32_t cachedKey_ = 0xffffffff;
+    mutable Page *cachedPage_ = nullptr;
+};
+
+} // namespace fgp
+
+#endif // FGP_VM_MEMORY_HH

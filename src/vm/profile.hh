@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Execution profile collected by the functional interpreter on the first
+ * input set. The enlargement pass (src/bbe) consumes the branch-arc
+ * densities, exactly as the paper's enlargement-file creator does (§3.1).
+ */
+
+#ifndef FGP_VM_PROFILE_HH
+#define FGP_VM_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fgp {
+
+/** Dynamic counts for one two-way conditional branch. */
+struct BranchArc
+{
+    std::uint64_t taken = 0;
+    std::uint64_t notTaken = 0;
+
+    std::uint64_t total() const { return taken + notTaken; }
+    std::uint64_t hot() const { return taken > notTaken ? taken : notTaken; }
+    bool hotIsTaken() const { return taken > notTaken; }
+};
+
+/** Profile of one run. */
+struct Profile
+{
+    /** Conditional branches keyed by original pc. */
+    std::unordered_map<std::int32_t, BranchArc> arcs;
+
+    /** Unconditional jump execution counts keyed by original pc. */
+    std::unordered_map<std::int32_t, std::uint64_t> jumps;
+
+    /** Total dynamic conditional-branch count. */
+    std::uint64_t totalBranches = 0;
+
+    void
+    recordBranch(std::int32_t pc, bool taken)
+    {
+        auto &arc = arcs[pc];
+        if (taken)
+            ++arc.taken;
+        else
+            ++arc.notTaken;
+        ++totalBranches;
+    }
+
+    void recordJump(std::int32_t pc) { ++jumps[pc]; }
+};
+
+} // namespace fgp
+
+#endif // FGP_VM_PROFILE_HH

@@ -1,0 +1,81 @@
+#include "vm/profile_io.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace fgp {
+
+std::string
+serializeProfile(const Profile &profile)
+{
+    std::string out = "# fgpsim profile v1\n";
+
+    // Sort for stable, diffable files.
+    std::vector<std::pair<std::int32_t, BranchArc>> arcs(
+        profile.arcs.begin(), profile.arcs.end());
+    std::sort(arcs.begin(), arcs.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[pc, arc] : arcs)
+        out += format("branch %d %llu %llu\n", pc,
+                      static_cast<unsigned long long>(arc.taken),
+                      static_cast<unsigned long long>(arc.notTaken));
+
+    std::vector<std::pair<std::int32_t, std::uint64_t>> jumps(
+        profile.jumps.begin(), profile.jumps.end());
+    std::sort(jumps.begin(), jumps.end());
+    for (const auto &[pc, count] : jumps)
+        out += format("jump %d %llu\n", pc,
+                      static_cast<unsigned long long>(count));
+    return out;
+}
+
+Profile
+parseProfile(std::string_view text)
+{
+    Profile profile;
+    int line_no = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
+        const std::string_view line = trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+        const auto fields = split(line, ' ');
+
+        auto field_int = [&](std::size_t idx) -> std::int64_t {
+            if (idx >= fields.size())
+                fgp_fatal("profile line ", line_no, ": missing field ",
+                          idx);
+            const auto value = parseInt(fields[idx]);
+            if (!value)
+                fgp_fatal("profile line ", line_no, ": bad number '",
+                          fields[idx], "'");
+            return *value;
+        };
+
+        if (fields[0] == "branch") {
+            if (fields.size() != 4)
+                fgp_fatal("profile line ", line_no,
+                          ": branch needs pc taken not-taken");
+            BranchArc arc;
+            arc.taken = static_cast<std::uint64_t>(field_int(2));
+            arc.notTaken = static_cast<std::uint64_t>(field_int(3));
+            profile.arcs[static_cast<std::int32_t>(field_int(1))] = arc;
+            profile.totalBranches += arc.total();
+        } else if (fields[0] == "jump") {
+            if (fields.size() != 3)
+                fgp_fatal("profile line ", line_no,
+                          ": jump needs pc count");
+            profile.jumps[static_cast<std::int32_t>(field_int(1))] =
+                static_cast<std::uint64_t>(field_int(2));
+        } else {
+            fgp_fatal("profile line ", line_no, ": unknown record '",
+                      fields[0], "'");
+        }
+    }
+    return profile;
+}
+
+} // namespace fgp

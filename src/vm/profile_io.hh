@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Profile serialization — the paper's "specified statistics file" that
+ * the translating loader and the enlargement-file creator exchange
+ * (§3.1). Line-oriented text:
+ *
+ *     # fgpsim profile v1
+ *     branch <pc> <taken> <not-taken>
+ *     jump <pc> <count>
+ */
+
+#ifndef FGP_VM_PROFILE_IO_HH
+#define FGP_VM_PROFILE_IO_HH
+
+#include <string>
+#include <string_view>
+
+#include "vm/profile.hh"
+
+namespace fgp {
+
+/** Serialize a profile to the statistics-file text format. */
+std::string serializeProfile(const Profile &profile);
+
+/** Parse the text format; throws FatalError with a line diagnostic. */
+Profile parseProfile(std::string_view text);
+
+} // namespace fgp
+
+#endif // FGP_VM_PROFILE_IO_HH

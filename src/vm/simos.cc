@@ -1,0 +1,168 @@
+#include "vm/simos.hh"
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+SimOS::SimOS()
+{
+    // fds 0/1/2 are stdin/stdout/stderr.
+    fds_.resize(3);
+    fds_[0] = {"<stdin>", 0, false, true};
+    fds_[1] = {"<stdout>", 0, true, true};
+    fds_[2] = {"<stderr>", 0, true, true};
+}
+
+void
+SimOS::addFile(const std::string &name, std::vector<std::uint8_t> bytes)
+{
+    files_[name] = std::move(bytes);
+}
+
+void
+SimOS::addFile(const std::string &name, const std::string &text)
+{
+    files_[name].assign(text.begin(), text.end());
+}
+
+void
+SimOS::setStdin(const std::string &text)
+{
+    stdin_.assign(text.begin(), text.end());
+    stdinPos_ = 0;
+}
+
+void
+SimOS::setStdin(std::vector<std::uint8_t> bytes)
+{
+    stdin_ = std::move(bytes);
+    stdinPos_ = 0;
+}
+
+std::string
+SimOS::stdoutText() const
+{
+    return std::string(stdout_.begin(), stdout_.end());
+}
+
+std::string
+SimOS::stderrText() const
+{
+    return std::string(stderr_.begin(), stderr_.end());
+}
+
+std::optional<std::string>
+SimOS::fileText(const std::string &name) const
+{
+    const auto it = files_.find(name);
+    if (it == files_.end())
+        return std::nullopt;
+    return std::string(it->second.begin(), it->second.end());
+}
+
+std::uint32_t
+SimOS::doOpen(const std::string &path, std::uint32_t flags)
+{
+    const bool writable = flags & 1;
+    if (!writable && !files_.count(path))
+        return static_cast<std::uint32_t>(-1);
+    if (writable)
+        files_[path].clear();
+
+    for (std::size_t fd = 3; fd < fds_.size(); ++fd) {
+        if (!fds_[fd].open) {
+            fds_[fd] = {path, 0, writable, true};
+            return static_cast<std::uint32_t>(fd);
+        }
+    }
+    fds_.push_back({path, 0, writable, true});
+    return static_cast<std::uint32_t>(fds_.size() - 1);
+}
+
+std::uint32_t
+SimOS::doRead(std::uint32_t fd, std::uint32_t buf, std::uint32_t len,
+              const MemPorts &mem)
+{
+    if (fd >= fds_.size() || !fds_[fd].open || fds_[fd].writable)
+        return static_cast<std::uint32_t>(-1);
+
+    const std::vector<std::uint8_t> *src;
+    std::size_t *pos;
+    if (fd == 0) {
+        src = &stdin_;
+        pos = &stdinPos_;
+    } else {
+        src = &files_.at(fds_[fd].name);
+        pos = &fds_[fd].pos;
+    }
+
+    std::uint32_t done = 0;
+    while (done < len && *pos < src->size()) {
+        mem.store(buf + done, (*src)[*pos]);
+        ++done;
+        ++*pos;
+    }
+    return done;
+}
+
+std::uint32_t
+SimOS::doWrite(std::uint32_t fd, std::uint32_t buf, std::uint32_t len,
+               const MemPorts &mem)
+{
+    std::vector<std::uint8_t> *dst;
+    if (fd == 1) {
+        dst = &stdout_;
+    } else if (fd == 2) {
+        dst = &stderr_;
+    } else if (fd < fds_.size() && fds_[fd].open && fds_[fd].writable) {
+        dst = &files_[fds_[fd].name];
+    } else {
+        return static_cast<std::uint32_t>(-1);
+    }
+
+    for (std::uint32_t i = 0; i < len; ++i)
+        dst->push_back(mem.load(buf + i));
+    return len;
+}
+
+std::uint32_t
+SimOS::syscall(std::uint32_t v0, std::uint32_t a0, std::uint32_t a1,
+               std::uint32_t a2, std::uint32_t a3, const MemPorts &mem)
+{
+    ++syscallCount_;
+    switch (static_cast<Sys>(v0)) {
+      case Sys::Exit:
+        exited_ = true;
+        exitCode_ = static_cast<int>(a0);
+        return 0;
+      case Sys::Open: {
+        std::string path;
+        for (std::uint32_t i = 0; i < 4096; ++i) {
+            const char ch = static_cast<char>(mem.load(a0 + i));
+            if (!ch)
+                break;
+            path.push_back(ch);
+        }
+        return doOpen(path, a1);
+      }
+      case Sys::Close:
+        if (a0 < 3 || a0 >= fds_.size() || !fds_[a0].open)
+            return static_cast<std::uint32_t>(-1);
+        fds_[a0].open = false;
+        return 0;
+      case Sys::Read:
+        return doRead(a0, a1, a2, mem);
+      case Sys::Write:
+        return doWrite(a0, a1, a2, mem);
+      case Sys::Brk:
+        if (a0 != 0) {
+            if (a0 < brk_ || a0 >= kStackTop)
+                return brk_; // refuse unreasonable moves
+            brk_ = a0;
+        }
+        return brk_;
+    }
+    fgp_fatal("unknown system call ", v0);
+}
+
+} // namespace fgp

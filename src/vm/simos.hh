@@ -1,0 +1,117 @@
+/**
+ * @file
+ * SimOS: the simulated operating system. The paper's simulator passes
+ * system calls through to the host OS and excludes them from statistics;
+ * here an in-memory OS (file system, file descriptors, program break)
+ * services them in zero simulated time, which gives the same measurement
+ * boundary with full determinism.
+ */
+
+#ifndef FGP_VM_SIMOS_HH
+#define FGP_VM_SIMOS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace fgp {
+
+/** System call numbers (in register v0 at the SYSCALL node). */
+enum class Sys : std::uint32_t {
+    Exit = 0,  ///< exit(a0)
+    Open = 1,  ///< open(a0=path, a1=flags: 0 read, 1 write/create) -> fd
+    Close = 2, ///< close(a0) -> 0 / -1
+    Read = 3,  ///< read(a0=fd, a1=buf, a2=len) -> bytes or 0 at EOF
+    Write = 4, ///< write(a0=fd, a1=buf, a2=len) -> bytes
+    Brk = 5,   ///< brk(a0: 0 queries) -> current break
+};
+
+/**
+ * Byte-level memory accessors given to SimOS by the executing engine, so
+ * that reads observe in-flight (not yet committed) stores when the caller
+ * requires it.
+ */
+struct MemPorts
+{
+    std::function<std::uint8_t(std::uint32_t)> load;
+    std::function<void(std::uint32_t, std::uint8_t)> store;
+};
+
+/** In-memory OS state: files, descriptors, break, exit status. */
+class SimOS
+{
+  public:
+    SimOS();
+
+    /** Install a named input file. */
+    void addFile(const std::string &name, std::vector<std::uint8_t> bytes);
+    void addFile(const std::string &name, const std::string &text);
+
+    /** Preload standard input. */
+    void setStdin(const std::string &text);
+    void setStdin(std::vector<std::uint8_t> bytes);
+
+    /** Captured standard output / error. */
+    std::string stdoutText() const;
+    std::string stderrText() const;
+
+    /** Contents of a (possibly written) file; nullopt when absent. */
+    std::optional<std::string> fileText(const std::string &name) const;
+
+    bool exited() const { return exited_; }
+    int exitCode() const { return exitCode_; }
+    std::uint64_t syscallCount() const { return syscallCount_; }
+
+    /** Set the initial program break (end of static data). */
+    void setInitialBrk(std::uint32_t brk) { brk_ = brk; }
+    std::uint32_t currentBrk() const { return brk_; }
+
+    /**
+     * Execute one system call.
+     *
+     * @param v0  syscall number; receives the result.
+     * @param a0..a3 arguments.
+     * @param mem byte accessors into the caller's view of memory.
+     * @return result value to write into v0.
+     */
+    std::uint32_t syscall(std::uint32_t v0, std::uint32_t a0,
+                          std::uint32_t a1, std::uint32_t a2,
+                          std::uint32_t a3, const MemPorts &mem);
+
+  private:
+    struct OpenFile
+    {
+        std::string name;
+        std::size_t pos = 0;
+        bool writable = false;
+        bool open = false;
+    };
+
+    std::uint32_t doOpen(const std::string &path, std::uint32_t flags);
+    std::uint32_t doRead(std::uint32_t fd, std::uint32_t buf,
+                         std::uint32_t len, const MemPorts &mem);
+    std::uint32_t doWrite(std::uint32_t fd, std::uint32_t buf,
+                          std::uint32_t len, const MemPorts &mem);
+
+    std::map<std::string, std::vector<std::uint8_t>> files_;
+    std::vector<OpenFile> fds_;
+
+    std::vector<std::uint8_t> stdin_;
+    std::size_t stdinPos_ = 0;
+    std::vector<std::uint8_t> stdout_;
+    std::vector<std::uint8_t> stderr_;
+
+    std::uint32_t brk_ = kDataBase;
+    bool exited_ = false;
+    int exitCode_ = 0;
+    std::uint64_t syscallCount_ = 0;
+};
+
+} // namespace fgp
+
+#endif // FGP_VM_SIMOS_HH

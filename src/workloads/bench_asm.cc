@@ -1,0 +1,590 @@
+/**
+ * @file
+ * The five benchmark programs (§3.1) re-implemented in the micro-op ISA:
+ * sort, grep, diff, cpp (macro expansion) and compress (LZW). Each string
+ * holds the benchmark's main program; the shared runtime (runtime.cc) is
+ * appended at assembly time.
+ */
+
+#include "workloads/bench_asm.hh"
+
+namespace fgp {
+
+// ---------------------------------------------------------------------
+// sort: read stdin, split lines, shell sort with strcmp, print.
+// ---------------------------------------------------------------------
+const char *const kSortAsm = R"ASM(
+        .text
+main:
+        call read_all
+        li   a0, 16384
+        call alloc
+        mov  r20, v0            # line pointer array (max 4096 lines)
+        la   r8, input_ptr
+        lw   r21, 0(r8)         # scan cursor
+        la   r8, input_len
+        lw   r9, 0(r8)
+        add  r22, r21, r9       # end of input
+        li   r23, 0             # line count
+msa_scan:
+        bgeu r21, r22, msa_done
+        slli r8, r23, 2
+        add  r8, r8, r20
+        sw   r21, 0(r8)
+        addi r23, r23, 1
+msa_find:
+        lbu  r9, 0(r21)
+        li   r10, 10
+        beq  r9, r10, msa_nl
+        beqz r9, msa_nl
+        addi r21, r21, 1
+        j    msa_find
+msa_nl:
+        sb   zero, 0(r21)
+        addi r21, r21, 1
+        j    msa_scan
+msa_done:
+        # shell sort with the Knuth gap sequence
+        li   r24, 1
+gap_grow:
+        li   r8, 3
+        mul  r9, r24, r8
+        addi r9, r9, 1
+        bge  r9, r23, gap_ok
+        mov  r24, r9
+        j    gap_grow
+gap_ok:
+sort_outer:
+        beqz r24, sort_done
+        mov  r25, r24           # i = gap
+sort_i:
+        bge  r25, r23, sort_next_gap
+        slli r8, r25, 2
+        add  r8, r8, r20
+        lw   r26, 0(r8)         # tmp = lines[i]
+        mov  r27, r25           # j
+sort_j:
+        blt  r27, r24, sort_place
+        sub  r9, r27, r24
+        slli r9, r9, 2
+        add  r9, r9, r20
+        lw   a0, 0(r9)          # lines[j-gap]
+        mov  a1, r26
+        call strcmp
+        blez v0, sort_place
+        sub  r9, r27, r24
+        slli r9, r9, 2
+        add  r9, r9, r20
+        lw   r10, 0(r9)
+        slli r11, r27, 2
+        add  r11, r11, r20
+        sw   r10, 0(r11)        # lines[j] = lines[j-gap]
+        sub  r27, r27, r24
+        j    sort_j
+sort_place:
+        slli r8, r27, 2
+        add  r8, r8, r20
+        sw   r26, 0(r8)
+        addi r25, r25, 1
+        j    sort_i
+sort_next_gap:
+        li   r8, 3
+        div  r24, r24, r8
+        j    sort_outer
+sort_done:
+        li   r25, 0
+sout_loop:
+        bge  r25, r23, sout_done
+        slli r8, r25, 2
+        add  r8, r8, r20
+        lw   a0, 0(r8)
+        call out_line
+        addi r25, r25, 1
+        j    sout_loop
+sout_done:
+        call out_flush
+        li   v0, 0
+        li   a0, 0
+        syscall
+)ASM";
+
+// ---------------------------------------------------------------------
+// grep: print stdin lines containing the fixed pattern.
+// ---------------------------------------------------------------------
+const char *const kGrepAsm = R"ASM(
+        .data
+pattern: .asciiz "ard"
+        .text
+main:
+        call read_all
+        la   r8, input_ptr
+        lw   r20, 0(r8)
+        la   r8, input_len
+        lw   r9, 0(r8)
+        add  r21, r20, r9
+grep_line:
+        bgeu r20, r21, grep_done
+        mov  r22, r20           # line start
+gl_find:
+        lbu  r9, 0(r20)
+        li   r10, 10
+        beq  r9, r10, gl_nl
+        beqz r9, gl_nl
+        addi r20, r20, 1
+        j    gl_find
+gl_nl:
+        sb   zero, 0(r20)
+        addi r20, r20, 1
+        mov  r11, r22           # naive substring search
+ss_outer:
+        lbu  r12, 0(r11)
+        beqz r12, grep_line
+        la   r13, pattern
+        mov  r14, r11
+ss_inner:
+        lbu  r15, 0(r13)
+        beqz r15, ss_match
+        lbu  r16, 0(r14)
+        bne  r15, r16, ss_next
+        addi r13, r13, 1
+        addi r14, r14, 1
+        j    ss_inner
+ss_next:
+        addi r11, r11, 1
+        j    ss_outer
+ss_match:
+        mov  a0, r22
+        call out_line
+        j    grep_line
+grep_done:
+        call out_flush
+        li   v0, 0
+        li   a0, 0
+        syscall
+)ASM";
+
+// ---------------------------------------------------------------------
+// diff: LCS line diff of files a.txt and b.txt ("< " deletions,
+// "> " additions), hashed line equality.
+// ---------------------------------------------------------------------
+const char *const kDiffAsm = R"ASM(
+        .data
+fname_a: .asciiz "a.txt"
+fname_b: .asciiz "b.txt"
+diff_i:  .word 0
+diff_j:  .word 0
+        .text
+
+# split_and_hash(a0=buf, a1=len, a2=line_arr, a3=hash_arr) -> v0 = count
+split_and_hash:
+        addi sp, sp, -4
+        sw   ra, 0(sp)
+        mov  r15, a0
+        add  r16, a0, a1
+        mov  r17, a2
+        mov  r18, a3
+        li   r19, 0
+sah_scan:
+        bgeu r15, r16, sah_done
+        slli r8, r19, 2
+        add  r9, r8, r17
+        sw   r15, 0(r9)
+sah_find:
+        lbu  r10, 0(r15)
+        li   r11, 10
+        beq  r10, r11, sah_nl
+        beqz r10, sah_nl
+        addi r15, r15, 1
+        j    sah_find
+sah_nl:
+        sb   zero, 0(r15)
+        addi r15, r15, 1
+        slli r8, r19, 2
+        add  r12, r8, r17
+        lw   a0, 0(r12)
+        call hash_str
+        slli r8, r19, 2
+        add  r9, r8, r18
+        sw   v0, 0(r9)
+        addi r19, r19, 1
+        j    sah_scan
+sah_done:
+        mov  v0, r19
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        ret
+
+main:
+        la   a0, fname_a
+        call read_file
+        mov  r20, v0
+        mov  r26, v1
+        la   a0, fname_b
+        call read_file
+        mov  r23, v0
+        mov  r27, v1
+        li   a0, 2048
+        call alloc
+        mov  r21, v0            # arrays base (4 x 128 words)
+        mov  a0, r20
+        mov  a1, r26
+        mov  a2, r21
+        addi a3, r21, 512
+        call split_and_hash
+        mov  r22, v0            # na
+        mov  a0, r23
+        mov  a1, r27
+        addi a2, r21, 1024
+        addi a3, r21, 1536
+        call split_and_hash
+        mov  r25, v0            # nb
+        mov  r20, r21           # la array
+        addi r21, r20, 512      # ha array
+        addi r23, r20, 1024     # lb array
+        addi r24, r20, 1536     # hb array
+        # dp[(na+1) x (nb+1)]; fresh heap reads as zero
+        addi r8, r22, 1
+        addi r9, r25, 1
+        mul  r8, r8, r9
+        slli a0, r8, 2
+        call alloc
+        mov  r26, v0            # dp
+        addi r27, r25, 1        # stride
+        addi r10, r22, -1       # i
+dp_i:
+        bltz r10, dp_done
+        addi r11, r25, -1       # j
+dp_j:
+        bltz r11, dp_i_next
+        slli r12, r10, 2
+        add  r12, r12, r21
+        lw   r13, 0(r12)        # ha[i]
+        slli r12, r11, 2
+        add  r12, r12, r24
+        lw   r14, 0(r12)        # hb[j]
+        mul  r15, r10, r27
+        add  r15, r15, r11
+        slli r15, r15, 2
+        add  r15, r15, r26      # &dp[i][j]
+        bne  r13, r14, dp_neq
+        addi r16, r27, 1
+        slli r16, r16, 2
+        add  r16, r16, r15
+        lw   r17, 0(r16)        # dp[i+1][j+1]
+        addi r17, r17, 1
+        sw   r17, 0(r15)
+        j    dp_j_next
+dp_neq:
+        slli r16, r27, 2
+        add  r16, r16, r15
+        lw   r17, 0(r16)        # dp[i+1][j]
+        lw   r18, 4(r15)        # dp[i][j+1]
+        bge  r17, r18, dp_store
+        mov  r17, r18
+dp_store:
+        sw   r17, 0(r15)
+dp_j_next:
+        addi r11, r11, -1
+        j    dp_j
+dp_i_next:
+        addi r10, r10, -1
+        j    dp_i
+dp_done:
+bt_loop:
+        la   r8, diff_i
+        lw   r10, 0(r8)
+        la   r9, diff_j
+        lw   r11, 0(r9)
+        bge  r10, r22, bt_resta
+        bge  r11, r25, bt_del
+        slli r12, r10, 2
+        add  r12, r12, r21
+        lw   r13, 0(r12)
+        slli r12, r11, 2
+        add  r12, r12, r24
+        lw   r14, 0(r12)
+        bne  r13, r14, bt_neq
+        addi r10, r10, 1
+        sw   r10, 0(r8)
+        addi r11, r11, 1
+        la   r9, diff_j
+        sw   r11, 0(r9)
+        j    bt_loop
+bt_neq:
+        mul  r15, r10, r27
+        add  r15, r15, r11
+        slli r15, r15, 2
+        add  r15, r15, r26
+        slli r16, r27, 2
+        add  r16, r16, r15
+        lw   r17, 0(r16)        # dp[i+1][j]
+        lw   r18, 4(r15)        # dp[i][j+1]
+        blt  r17, r18, bt_add
+bt_del:
+        li   a0, '<'
+        call out_char
+        li   a0, ' '
+        call out_char
+        la   r8, diff_i
+        lw   r10, 0(r8)
+        slli r9, r10, 2
+        add  r9, r9, r20
+        lw   a0, 0(r9)
+        call out_line
+        la   r8, diff_i
+        lw   r10, 0(r8)
+        addi r10, r10, 1
+        sw   r10, 0(r8)
+        j    bt_loop
+bt_add:
+        li   a0, '>'
+        call out_char
+        li   a0, ' '
+        call out_char
+        la   r8, diff_j
+        lw   r11, 0(r8)
+        slli r9, r11, 2
+        add  r9, r9, r23
+        lw   a0, 0(r9)
+        call out_line
+        la   r8, diff_j
+        lw   r11, 0(r8)
+        addi r11, r11, 1
+        sw   r11, 0(r8)
+        j    bt_loop
+bt_resta:
+        bge  r11, r25, bt_done
+        j    bt_add
+bt_done:
+        call out_flush
+        li   v0, 0
+        li   a0, 0
+        syscall
+)ASM";
+
+// ---------------------------------------------------------------------
+// cpp: "#define NAME BODY" macro table, identifier substitution.
+// ---------------------------------------------------------------------
+const char *const kCppAsm = R"ASM(
+        .data
+tokbuf: .space 64
+        .text
+main:
+        call read_all
+        li   a0, 512
+        call alloc
+        mov  r20, v0            # macro names (64); bodies at +256
+        li   r21, 0             # macro count
+        la   r8, input_ptr
+        lw   r22, 0(r8)
+        la   r8, input_len
+        lw   r9, 0(r8)
+        add  r23, r22, r9
+line_loop:
+        bgeu r22, r23, cpp_done
+        mov  r24, r22           # line start
+cl_find:
+        lbu  r8, 0(r22)
+        li   r9, 10
+        beq  r8, r9, cl_nl
+        beqz r8, cl_nl
+        addi r22, r22, 1
+        j    cl_find
+cl_nl:
+        sb   zero, 0(r22)
+        addi r22, r22, 1
+        lbu  r8, 0(r24)
+        li   r9, '#'
+        bne  r8, r9, expand
+        # "#define NAME BODY" (generator guarantees the exact shape)
+        addi r25, r24, 8        # name start
+        mov  r10, r25
+nd_scan:
+        lbu  r8, 0(r10)
+        li   r9, ' '
+        beq  r8, r9, nd_end
+        beqz r8, nd_end
+        addi r10, r10, 1
+        j    nd_scan
+nd_end:
+        sb   zero, 0(r10)
+        addi r26, r10, 1        # body start
+        slli r8, r21, 2
+        add  r9, r8, r20
+        sw   r25, 0(r9)
+        addi r9, r9, 256
+        sw   r26, 0(r9)
+        addi r21, r21, 1
+        j    line_loop
+expand:
+        mov  r25, r24
+ex_loop:
+        lbu  r8, 0(r25)
+        beqz r8, ex_eol
+        li   r9, '_'
+        beq  r8, r9, ex_ident
+        li   r9, 'A'
+        blt  r8, r9, ex_plain
+        li   r9, 'Z'
+        ble  r8, r9, ex_ident
+        li   r9, 'a'
+        blt  r8, r9, ex_plain
+        li   r9, 'z'
+        ble  r8, r9, ex_ident
+ex_plain:
+        mov  a0, r8
+        call out_char
+        addi r25, r25, 1
+        j    ex_loop
+ex_ident:
+        mov  r26, r25
+ei_span:
+        addi r26, r26, 1
+        lbu  r8, 0(r26)
+        li   r9, '_'
+        beq  r8, r9, ei_span
+        li   r9, '0'
+        blt  r8, r9, ei_end
+        li   r9, '9'
+        ble  r8, r9, ei_span
+        li   r9, 'A'
+        blt  r8, r9, ei_end
+        li   r9, 'Z'
+        ble  r8, r9, ei_span
+        li   r9, 'a'
+        blt  r8, r9, ei_end
+        li   r9, 'z'
+        ble  r8, r9, ei_span
+ei_end:
+        la   r9, tokbuf
+        mov  r10, r25
+ei_copy:
+        bgeu r10, r26, ei_copied
+        lbu  r11, 0(r10)
+        sb   r11, 0(r9)
+        addi r10, r10, 1
+        addi r9, r9, 1
+        j    ei_copy
+ei_copied:
+        sb   zero, 0(r9)
+        li   r27, 0
+ei_look:
+        bge  r27, r21, ei_nomatch
+        slli r8, r27, 2
+        add  r9, r8, r20
+        lw   a0, 0(r9)
+        la   a1, tokbuf
+        call strcmp
+        beqz v0, ei_match
+        addi r27, r27, 1
+        j    ei_look
+ei_match:
+        slli r8, r27, 2
+        add  r9, r8, r20
+        addi r9, r9, 256
+        lw   a0, 0(r9)
+        call out_cstr
+        j    ei_cont
+ei_nomatch:
+        mov  a0, r25
+        sub  a1, r26, r25
+        call out_str
+ei_cont:
+        mov  r25, r26
+        j    ex_loop
+ex_eol:
+        li   a0, 10
+        call out_char
+        j    line_loop
+cpp_done:
+        call out_flush
+        li   v0, 0
+        li   a0, 0
+        syscall
+)ASM";
+
+// ---------------------------------------------------------------------
+// compress: LZW, 12-bit codes, open-addressed dictionary, 2-byte output
+// codes (little endian).
+// ---------------------------------------------------------------------
+const char *const kCompressAsm = R"ASM(
+        .text
+main:
+        call read_all
+        la   r8, input_ptr
+        lw   r20, 0(r8)
+        la   r8, input_len
+        lw   r9, 0(r8)
+        add  r21, r20, r9
+        bgeu r20, r21, cz_empty
+        li   a0, 65536
+        call alloc
+        mov  r22, v0            # ht_key[8192]
+        li   r8, 0
+        li   r9, 8192
+        mov  r10, r22
+chi_loop:
+        bge  r8, r9, chi_done
+        li   r11, -1
+        sw   r11, 0(r10)
+        addi r10, r10, 4
+        addi r8, r8, 1
+        j    chi_loop
+chi_done:
+        addi r23, r22, 32768    # ht_val[8192]
+        li   r24, 256           # next_code
+        lbu  r25, 0(r20)        # w = first symbol
+        addi r20, r20, 1
+cz_loop:
+        bgeu r20, r21, cz_done
+        lbu  r26, 0(r20)        # c
+        addi r20, r20, 1
+        slli r27, r25, 8
+        or   r27, r27, r26      # key = w<<8 | c
+        li   r8, 0x9E3779B1
+        mul  r9, r27, r8
+        srli r9, r9, 19
+        li   r8, 8191
+        and  r9, r9, r8         # h
+cz_probe:
+        slli r10, r9, 2
+        add  r11, r10, r22
+        lw   r12, 0(r11)
+        li   r13, -1
+        beq  r12, r13, cz_miss
+        beq  r12, r27, cz_hit
+        addi r9, r9, 1
+        li   r8, 8191
+        and  r9, r9, r8
+        j    cz_probe
+cz_hit:
+        add  r11, r10, r23
+        lw   r25, 0(r11)        # w = dictionary code
+        j    cz_loop
+cz_miss:
+        li   r8, 4096
+        bge  r24, r8, cz_emit
+        sw   r27, 0(r11)        # ht_key[h] = key
+        add  r12, r10, r23
+        sw   r24, 0(r12)        # ht_val[h] = next_code
+        addi r24, r24, 1
+cz_emit:
+        andi a0, r25, 255
+        call out_char
+        srli a0, r25, 8
+        call out_char
+        mov  r25, r26           # w = c
+        j    cz_loop
+cz_done:
+        andi a0, r25, 255
+        call out_char
+        srli a0, r25, 8
+        call out_char
+cz_empty:
+        call out_flush
+        li   v0, 0
+        li   a0, 0
+        syscall
+)ASM";
+
+} // namespace fgp

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Assembly sources of the five benchmarks (without the shared runtime).
+ */
+
+#ifndef FGP_WORKLOADS_BENCH_ASM_HH
+#define FGP_WORKLOADS_BENCH_ASM_HH
+
+namespace fgp {
+
+extern const char *const kSortAsm;
+extern const char *const kGrepAsm;
+extern const char *const kDiffAsm;
+extern const char *const kCppAsm;
+extern const char *const kCompressAsm;
+
+} // namespace fgp
+
+#endif // FGP_WORKLOADS_BENCH_ASM_HH

@@ -1,0 +1,227 @@
+#include "workloads/runtime.hh"
+
+namespace fgp {
+
+const char *const kRuntimeAsm = R"ASM(
+# ======================================================================
+# fgpsim benchmark runtime
+#   out_line(a0=cstr)          append string + '\n' to the output buffer
+#   out_str(a0=ptr, a1=len)    append raw bytes
+#   out_char(a0=byte)          append one byte
+#   out_flush()                write(1, obuf, len), reset buffer
+#   read_all()                 slurp stdin; sets input_ptr/input_len
+#   read_file(a0=path)         slurp a file; v0=ptr, v1=len
+#   strlen(a0) -> v0
+#   strcmp(a0,a1) -> v0
+#   hash_str(a0) -> v0         djb2 of a NUL-terminated string
+#   alloc(a0=bytes) -> v0      brk bump allocator (4-byte aligned)
+# ======================================================================
+        .data
+input_ptr:  .word 0
+input_len:  .word 0
+obuf_len:   .word 0
+obuf:       .space 131072
+        .text
+
+out_line:
+        la   r8, obuf_len
+        lw   r9, 0(r8)
+        la   r10, obuf
+        add  r10, r10, r9
+rt_ol_loop:
+        lbu  r11, 0(a0)
+        beqz r11, rt_ol_end
+        sb   r11, 0(r10)
+        addi r10, r10, 1
+        addi a0, a0, 1
+        addi r9, r9, 1
+        j    rt_ol_loop
+rt_ol_end:
+        li   r11, 10
+        sb   r11, 0(r10)
+        addi r9, r9, 1
+        sw   r9, 0(r8)
+        ret
+
+out_cstr:
+        la   r8, obuf_len
+        lw   r9, 0(r8)
+        la   r10, obuf
+        add  r10, r10, r9
+rt_oc_loop:
+        lbu  r11, 0(a0)
+        beqz r11, rt_oc_end
+        sb   r11, 0(r10)
+        addi r10, r10, 1
+        addi a0, a0, 1
+        addi r9, r9, 1
+        j    rt_oc_loop
+rt_oc_end:
+        sw   r9, 0(r8)
+        ret
+
+out_str:
+        la   r8, obuf_len
+        lw   r9, 0(r8)
+        la   r10, obuf
+        add  r10, r10, r9
+        add  r9, r9, a1
+        sw   r9, 0(r8)
+rt_os_loop:
+        blez a1, rt_os_done
+        lbu  r11, 0(a0)
+        sb   r11, 0(r10)
+        addi a0, a0, 1
+        addi r10, r10, 1
+        addi a1, a1, -1
+        j    rt_os_loop
+rt_os_done:
+        ret
+
+out_char:
+        la   r8, obuf_len
+        lw   r9, 0(r8)
+        la   r10, obuf
+        add  r10, r10, r9
+        sb   a0, 0(r10)
+        addi r9, r9, 1
+        sw   r9, 0(r8)
+        ret
+
+out_flush:
+        la   r8, obuf_len
+        lw   a2, 0(r8)
+        beqz a2, rt_of_done
+        li   v0, 4
+        li   a0, 1
+        la   a1, obuf
+        syscall
+        la   r8, obuf_len
+        sw   zero, 0(r8)
+rt_of_done:
+        ret
+
+read_all:
+        li   v0, 5
+        li   a0, 0
+        syscall                 # v0 = current brk
+        la   r8, input_ptr
+        sw   v0, 0(r8)
+        mov  r9, v0             # write cursor
+rt_ra_loop:
+        addi a0, r9, 4096
+        li   v0, 5
+        syscall                 # grow heap
+        li   v0, 3
+        li   a0, 0
+        mov  a1, r9
+        li   a2, 4096
+        syscall                 # read(0, cursor, 4096)
+        beqz v0, rt_ra_done
+        add  r9, r9, v0
+        j    rt_ra_loop
+rt_ra_done:
+        la   r8, input_ptr
+        lw   r10, 0(r8)
+        sub  r11, r9, r10
+        la   r8, input_len
+        sw   r11, 0(r8)
+        sb   zero, 0(r9)        # NUL terminator
+        addi a0, r9, 4
+        li   v0, 5
+        syscall
+        ret
+
+read_file:
+        mov  r12, a0
+        li   v0, 5
+        li   a0, 0
+        syscall
+        mov  r13, v0            # base
+        mov  r9, v0             # cursor
+        li   v0, 1
+        mov  a0, r12
+        li   a1, 0
+        syscall                 # open(path, O_RDONLY)
+        mov  r14, v0
+rt_rf_loop:
+        addi a0, r9, 4096
+        li   v0, 5
+        syscall
+        li   v0, 3
+        mov  a0, r14
+        mov  a1, r9
+        li   a2, 4096
+        syscall
+        beqz v0, rt_rf_done
+        add  r9, r9, v0
+        j    rt_rf_loop
+rt_rf_done:
+        li   v0, 2
+        mov  a0, r14
+        syscall                 # close
+        sb   zero, 0(r9)
+        addi a0, r9, 4
+        li   v0, 5
+        syscall
+        mov  v0, r13
+        sub  v1, r9, r13
+        ret
+
+strlen:
+        mov  v0, a0
+rt_sl_loop:
+        lbu  r8, 0(v0)
+        beqz r8, rt_sl_done
+        addi v0, v0, 1
+        j    rt_sl_loop
+rt_sl_done:
+        sub  v0, v0, a0
+        ret
+
+strcmp:
+rt_sc_loop:
+        lbu  r8, 0(a0)
+        lbu  r9, 0(a1)
+        bne  r8, r9, rt_sc_diff
+        beqz r8, rt_sc_eq
+        addi a0, a0, 1
+        addi a1, a1, 1
+        j    rt_sc_loop
+rt_sc_eq:
+        li   v0, 0
+        ret
+rt_sc_diff:
+        sub  v0, r8, r9
+        ret
+
+hash_str:
+        li   v0, 5381
+rt_hs_loop:
+        lbu  r8, 0(a0)
+        beqz r8, rt_hs_done
+        slli r9, v0, 5
+        add  v0, v0, r9         # h = h*33
+        add  v0, v0, r8
+        addi a0, a0, 1
+        j    rt_hs_loop
+rt_hs_done:
+        ret
+
+alloc:
+        mov  r8, a0
+        li   v0, 5
+        li   a0, 0
+        syscall
+        mov  r9, v0
+        add  a0, v0, r8
+        addi a0, a0, 3
+        li   r10, -4
+        and  a0, a0, r10
+        li   v0, 5
+        syscall
+        mov  v0, r9
+        ret
+)ASM";
+
+} // namespace fgp

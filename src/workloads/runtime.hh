@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Shared micro-assembly runtime appended to every benchmark: buffered
+ * output, whole-input readers, string helpers and a bump allocator.
+ *
+ * Register conventions used by the benchmarks:
+ *   a0-a3 (r4-r7)  arguments, v0 (r2) result, v1 (r3) second result;
+ *   r8-r19         caller-saved temporaries (runtime may clobber);
+ *   r20-r27        benchmark-owned (runtime never touches);
+ *   sp/ra          stack pointer / link register.
+ */
+
+#ifndef FGP_WORKLOADS_RUNTIME_HH
+#define FGP_WORKLOADS_RUNTIME_HH
+
+namespace fgp {
+
+/** Assembly text of the runtime (data segment + helper routines). */
+extern const char *const kRuntimeAsm;
+
+} // namespace fgp
+
+#endif // FGP_WORKLOADS_RUNTIME_HH

@@ -1,0 +1,261 @@
+#include "workloads/workloads.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/strutil.hh"
+#include "masm/assembler.hh"
+#include "workloads/bench_asm.hh"
+#include "workloads/runtime.hh"
+
+namespace fgp {
+
+namespace {
+
+/** Seed base per input set; generators derive their own sub-seeds. */
+std::uint64_t
+seedFor(InputSet set, std::uint64_t salt)
+{
+    return 0x5eed0000ULL + static_cast<std::uint64_t>(set) * 0x1000 + salt;
+}
+
+const char *const kWordParts[] = {
+    "al", "an", "ar", "as", "at", "ba", "be", "ca", "co", "de", "di",
+    "do", "ed", "en", "er", "es", "fa", "go", "ha", "he", "hi", "in",
+    "is", "it", "la", "le", "lo", "ma", "me", "mi", "na", "ne", "no",
+    "on", "or", "ou", "pa", "pe", "ra", "re", "ri", "ro", "sa", "se",
+    "si", "so", "ta", "te", "ti", "to", "un", "ve", "vi", "wa", "we",
+};
+constexpr std::size_t kNumWordParts =
+    sizeof(kWordParts) / sizeof(kWordParts[0]);
+
+std::string
+randomWord(Rng &rng, int min_parts, int max_parts)
+{
+    std::string word;
+    const int parts = static_cast<int>(rng.range(min_parts, max_parts));
+    for (int i = 0; i < parts; ++i)
+        word += kWordParts[rng.below(kNumWordParts)];
+    return word;
+}
+
+std::string
+randomLine(Rng &rng, int min_words, int max_words)
+{
+    std::string line;
+    const int words = static_cast<int>(rng.range(min_words, max_words));
+    for (int i = 0; i < words; ++i) {
+        if (i)
+            line += ' ';
+        line += randomWord(rng, 1, 4);
+    }
+    return line;
+}
+
+std::string
+assembleWith(const char *bench_asm, const std::string &name)
+{
+    return std::string(bench_asm) + "\n" + kRuntimeAsm;
+}
+
+int
+scaled(double scale, int base, int min_value)
+{
+    return std::max(min_value, static_cast<int>(base * scale));
+}
+
+} // namespace
+
+std::string
+genSortInput(InputSet set, double scale)
+{
+    Rng rng(seedFor(set, 1));
+    const int lines = scaled(scale, 72, 4);
+    std::string input;
+    for (int i = 0; i < lines; ++i) {
+        input += randomLine(rng, 1, 5);
+        input += '\n';
+    }
+    return input;
+}
+
+std::string
+genGrepInput(InputSet set, double scale)
+{
+    Rng rng(seedFor(set, 2));
+    const int lines = scaled(scale, 170, 6);
+    // Words containing the fixed pattern "ard" get planted in ~1/7 lines.
+    static const char *const kPlants[] = {"wizard", "hazard", "garden",
+                                          "orchard", "leopard"};
+    std::string input;
+    for (int i = 0; i < lines; ++i) {
+        std::string line = randomLine(rng, 2, 7);
+        if (rng.chance(1, 7)) {
+            line += ' ';
+            line += kPlants[rng.below(5)];
+        }
+        input += line;
+        input += '\n';
+    }
+    return input;
+}
+
+void
+genDiffInputs(InputSet set, double scale, std::string &file_a,
+              std::string &file_b)
+{
+    Rng rng(seedFor(set, 3));
+    const int lines = scaled(scale, 46, 4);
+
+    std::vector<std::string> a;
+    a.reserve(static_cast<std::size_t>(lines));
+    for (int i = 0; i < lines; ++i)
+        a.push_back(randomLine(rng, 1, 5));
+
+    // b = a with ~20% random edits (delete / insert / replace).
+    std::vector<std::string> b;
+    for (const std::string &line : a) {
+        const std::uint64_t roll = rng.below(100);
+        if (roll < 7)
+            continue; // deletion
+        if (roll < 14) {
+            b.push_back(randomLine(rng, 1, 5)); // replacement
+            continue;
+        }
+        b.push_back(line);
+        if (roll >= 93)
+            b.push_back(randomLine(rng, 1, 5)); // insertion
+    }
+
+    file_a.clear();
+    for (const std::string &line : a) {
+        file_a += line;
+        file_a += '\n';
+    }
+    file_b.clear();
+    for (const std::string &line : b) {
+        file_b += line;
+        file_b += '\n';
+    }
+}
+
+std::string
+genCppInput(InputSet set, double scale)
+{
+    Rng rng(seedFor(set, 4));
+    const int macros = std::clamp(scaled(scale, 12, 2), 2, 48);
+    const int lines = scaled(scale, 90, 4);
+
+    std::vector<std::string> names;
+    std::string input;
+    for (int i = 0; i < macros; ++i) {
+        std::string name = "M" + toUpper(randomWord(rng, 1, 2)) +
+                           std::to_string(i);
+        names.push_back(name);
+        input += "#define " + name + " " + randomLine(rng, 1, 3) + "\n";
+    }
+    for (int i = 0; i < lines; ++i) {
+        std::string line;
+        const int tokens = static_cast<int>(rng.range(2, 8));
+        for (int t = 0; t < tokens; ++t) {
+            if (t)
+                line += rng.chance(1, 4) ? "+" : " ";
+            if (rng.chance(2, 5))
+                line += names[rng.below(names.size())];
+            else
+                line += randomWord(rng, 1, 3);
+        }
+        input += line;
+        input += '\n';
+    }
+    return input;
+}
+
+std::string
+genCompressInput(InputSet set, double scale)
+{
+    Rng rng(seedFor(set, 5));
+    const int bytes = scaled(scale, 2600, 64);
+    // Text with repeated phrases so the LZW dictionary earns its keep.
+    std::vector<std::string> phrases;
+    for (int i = 0; i < 24; ++i)
+        phrases.push_back(randomLine(rng, 1, 3));
+    std::string input;
+    while (static_cast<int>(input.size()) < bytes) {
+        if (rng.chance(3, 5))
+            input += phrases[rng.below(phrases.size())];
+        else
+            input += randomWord(rng, 1, 4);
+        input += rng.chance(1, 8) ? '\n' : ' ';
+    }
+    input.resize(static_cast<std::size_t>(bytes));
+    return input;
+}
+
+Workload::Workload(std::string name, Program program)
+    : name_(std::move(name)), program_(std::move(program))
+{
+}
+
+void
+Workload::prepareOs(SimOS &os, InputSet set) const
+{
+    if (name_ == "sort") {
+        os.setStdin(genSortInput(set, scale_));
+    } else if (name_ == "grep") {
+        os.setStdin(genGrepInput(set, scale_));
+    } else if (name_ == "diff") {
+        std::string a;
+        std::string b;
+        genDiffInputs(set, scale_, a, b);
+        os.addFile("a.txt", a);
+        os.addFile("b.txt", b);
+    } else if (name_ == "cpp") {
+        os.setStdin(genCppInput(set, scale_));
+    } else if (name_ == "compress") {
+        os.setStdin(genCompressInput(set, scale_));
+    } else {
+        fgp_fatal("unknown workload '", name_, "'");
+    }
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {"sort", "grep", "diff",
+                                                   "cpp", "compress"};
+    return names;
+}
+
+Workload
+makeWorkload(const std::string &name)
+{
+    const char *source = nullptr;
+    if (name == "sort")
+        source = kSortAsm;
+    else if (name == "grep")
+        source = kGrepAsm;
+    else if (name == "diff")
+        source = kDiffAsm;
+    else if (name == "cpp")
+        source = kCppAsm;
+    else if (name == "compress")
+        source = kCompressAsm;
+    else
+        fgp_fatal("unknown workload '", name, "'");
+
+    return Workload(name, assemble(assembleWith(source, name), name));
+}
+
+std::vector<Workload>
+makeAllWorkloads()
+{
+    std::vector<Workload> all;
+    all.reserve(workloadNames().size());
+    for (const std::string &name : workloadNames())
+        all.push_back(makeWorkload(name));
+    return all;
+}
+
+} // namespace fgp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Benchmark suite: the paper's five UNIX utilities (§3.1), each assembled
+ * from micro-op assembly, plus deterministic input generators. Two input
+ * sets exist per benchmark — set 1 profiles (drives enlargement), set 2
+ * measures — "in order to prevent the branch data from being overly
+ * biased" (§3.1).
+ */
+
+#ifndef FGP_WORKLOADS_WORKLOADS_HH
+#define FGP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+#include "vm/simos.hh"
+
+namespace fgp {
+
+/** Input-set selector. */
+enum class InputSet : int {
+    Profile = 1, ///< drives the enlargement-file creation
+    Measure = 2, ///< produces the reported numbers
+};
+
+/** One benchmark: program + input preparation. */
+class Workload
+{
+  public:
+    Workload(std::string name, Program program);
+
+    const std::string &name() const { return name_; }
+    const Program &program() const { return program_; }
+
+    /** Install stdin / input files for the given input set. */
+    void prepareOs(SimOS &os, InputSet set) const;
+
+    /**
+     * Scale factor for input sizes (1 = default benchmark size). Used by
+     * tests (tiny inputs) and ablations (bigger inputs). Must be set
+     * before prepareOs.
+     */
+    void setScale(double scale) { scale_ = scale; }
+    double scale() const { return scale_; }
+
+  private:
+    std::string name_;
+    Program program_;
+    double scale_ = 1.0;
+};
+
+/** Names of all five benchmarks in the paper's order. */
+const std::vector<std::string> &workloadNames();
+
+/** Build a benchmark by name (sort, grep, diff, cpp, compress). */
+Workload makeWorkload(const std::string &name);
+
+/** Build all five. */
+std::vector<Workload> makeAllWorkloads();
+
+// Input generators are exposed for tests.
+std::string genSortInput(InputSet set, double scale);
+std::string genGrepInput(InputSet set, double scale);
+void genDiffInputs(InputSet set, double scale, std::string &file_a,
+                   std::string &file_b);
+std::string genCppInput(InputSet set, double scale);
+std::string genCompressInput(InputSet set, double scale);
+
+} // namespace fgp
+
+#endif // FGP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,276 @@
+/** Assembler tests: syntax, pseudo-ops, directives, errors, round-trip. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+#include <sstream>
+
+#include "ir/printer.hh"
+#include "masm/assembler.hh"
+
+namespace fgp {
+namespace {
+
+TEST(Asm, BasicInstruction)
+{
+    const Program p = assemble("main: add r1, r2, r3\n");
+    ASSERT_EQ(p.instrs.size(), 1u);
+    EXPECT_EQ(p.instrs[0].op, Opcode::ADD);
+    EXPECT_EQ(p.instrs[0].rd, 1);
+    EXPECT_EQ(p.instrs[0].rs1, 2);
+    EXPECT_EQ(p.instrs[0].rs2, 3);
+    EXPECT_EQ(p.entry, 0);
+}
+
+TEST(Asm, RegisterAliases)
+{
+    const Program p = assemble(
+        "add v0, a0, a1\nadd sp, fp, ra\nadd zero, v1, a3\n");
+    EXPECT_EQ(p.instrs[0].rd, kRegV0);
+    EXPECT_EQ(p.instrs[0].rs1, kRegA0);
+    EXPECT_EQ(p.instrs[0].rs2, kRegA1);
+    EXPECT_EQ(p.instrs[1].rd, kRegSp);
+    EXPECT_EQ(p.instrs[1].rs1, kRegFp);
+    EXPECT_EQ(p.instrs[1].rs2, kRegRa);
+    EXPECT_EQ(p.instrs[2].rd, kRegZero);
+    EXPECT_EQ(p.instrs[2].rs1, kRegV1);
+    EXPECT_EQ(p.instrs[2].rs2, kRegA3);
+}
+
+TEST(Asm, MemoryOperands)
+{
+    const Program p = assemble("lw r1, -4(r2)\nsw r3, 0x10(sp)\nlb r4, (r5)\n");
+    EXPECT_EQ(p.instrs[0].imm, -4);
+    EXPECT_EQ(p.instrs[0].rs1, 2);
+    EXPECT_EQ(p.instrs[1].imm, 16);
+    EXPECT_EQ(p.instrs[1].rs2, 3);
+    EXPECT_EQ(p.instrs[1].rs1, kRegSp);
+    EXPECT_EQ(p.instrs[2].imm, 0);
+}
+
+TEST(Asm, Immediates)
+{
+    const Program p = assemble(
+        "addi r1, r0, 10\naddi r2, r0, -10\naddi r3, r0, 0x1f\n"
+        "addi r4, r0, 'A'\naddi r5, r0, '\\n'\n");
+    EXPECT_EQ(p.instrs[0].imm, 10);
+    EXPECT_EQ(p.instrs[1].imm, -10);
+    EXPECT_EQ(p.instrs[2].imm, 31);
+    EXPECT_EQ(p.instrs[3].imm, 65);
+    EXPECT_EQ(p.instrs[4].imm, 10);
+}
+
+TEST(Asm, PseudoOps)
+{
+    const Program p = assemble(R"(
+main:   li   r1, 1234
+        mov  r2, r1
+        nop
+        not  r3, r1
+        neg  r4, r1
+        ret
+)");
+    EXPECT_EQ(p.instrs[0].op, Opcode::ADDI);
+    EXPECT_EQ(p.instrs[0].rs1, kRegZero);
+    EXPECT_EQ(p.instrs[0].imm, 1234);
+    EXPECT_EQ(p.instrs[1].op, Opcode::ADDI);
+    EXPECT_EQ(p.instrs[1].imm, 0);
+    EXPECT_EQ(p.instrs[2].rd, kRegZero);
+    EXPECT_EQ(p.instrs[3].op, Opcode::XORI);
+    EXPECT_EQ(p.instrs[3].imm, -1);
+    EXPECT_EQ(p.instrs[4].op, Opcode::SUB);
+    EXPECT_EQ(p.instrs[4].rs1, kRegZero);
+    EXPECT_EQ(p.instrs[5].op, Opcode::JR);
+    EXPECT_EQ(p.instrs[5].rs1, kRegRa);
+}
+
+TEST(Asm, BranchPseudoOpsSwapOperands)
+{
+    const Program p = assemble(R"(
+x:      bgt  r1, r2, x
+        ble  r1, r2, x
+        bgtu r1, r2, x
+        bleu r1, r2, x
+        beqz r3, x
+        bnez r3, x
+        bltz r3, x
+        bgez r3, x
+        blez r3, x
+        bgtz r3, x
+)");
+    EXPECT_EQ(p.instrs[0].op, Opcode::BLT);
+    EXPECT_EQ(p.instrs[0].rs1, 2);
+    EXPECT_EQ(p.instrs[0].rs2, 1);
+    EXPECT_EQ(p.instrs[1].op, Opcode::BGE);
+    EXPECT_EQ(p.instrs[1].rs1, 2);
+    EXPECT_EQ(p.instrs[2].op, Opcode::BLTU);
+    EXPECT_EQ(p.instrs[3].op, Opcode::BGEU);
+    EXPECT_EQ(p.instrs[4].op, Opcode::BEQ);
+    EXPECT_EQ(p.instrs[4].rs2, kRegZero);
+    EXPECT_EQ(p.instrs[8].op, Opcode::BGE);
+    EXPECT_EQ(p.instrs[8].rs1, kRegZero);
+    EXPECT_EQ(p.instrs[9].op, Opcode::BLT);
+    EXPECT_EQ(p.instrs[9].rs1, kRegZero);
+}
+
+TEST(Asm, LabelsAndTargets)
+{
+    const Program p = assemble(R"(
+main:   j skip
+        nop
+skip:   beq r1, r2, main
+)");
+    EXPECT_EQ(p.instrs[0].target, 2);
+    EXPECT_EQ(p.instrs[2].target, 0);
+}
+
+TEST(Asm, ForwardDataLabelReference)
+{
+    const Program p = assemble(R"(
+        .text
+main:   la  r1, late
+        lw  r2, late(r0)
+        .data
+early:  .word 7
+late:   .word 9
+)");
+    EXPECT_EQ(static_cast<std::uint32_t>(p.instrs[0].imm), kDataBase + 4);
+    EXPECT_EQ(static_cast<std::uint32_t>(p.instrs[1].imm), kDataBase + 4);
+}
+
+TEST(Asm, DataDirectives)
+{
+    const Program p = assemble(R"(
+main:   nop
+        .data
+w:      .word 1, -1, 0x10
+b:      .byte 1, 2, 255
+s:      .asciiz "hi\n"
+        .align 4
+a:      .word 5
+sp0:    .space 3
+z:      .byte 9
+)");
+    ASSERT_GE(p.data.size(), 4u * 3 + 3 + 4);
+    EXPECT_EQ(p.data[0], 1u);
+    EXPECT_EQ(p.data[4], 0xffu);
+    EXPECT_EQ(p.data[8], 0x10u);
+    EXPECT_EQ(p.data[12], 1u);
+    EXPECT_EQ(p.data[14], 255u);
+    EXPECT_EQ(p.data[15], 'h');
+    EXPECT_EQ(p.data[16], 'i');
+    EXPECT_EQ(p.data[17], '\n');
+    EXPECT_EQ(p.data[18], 0u);
+    EXPECT_EQ(p.dataLabels.at("a") % 4, 0u);
+    EXPECT_EQ(p.dataLabels.at("z") - p.dataLabels.at("sp0"), 3u);
+}
+
+TEST(Asm, DataLabelWithOffset)
+{
+    const Program p = assemble(R"(
+main:   la r1, buf+8
+        .data
+buf:    .space 16
+)");
+    EXPECT_EQ(static_cast<std::uint32_t>(p.instrs[0].imm), kDataBase + 8);
+}
+
+TEST(Asm, CommentsAndBlankLines)
+{
+    const Program p = assemble(R"(
+# full line comment
+main:   nop        # trailing comment
+        ; semicolon comment
+        nop
+)");
+    EXPECT_EQ(p.instrs.size(), 2u);
+}
+
+TEST(Asm, HashInStringLiteralIsNotComment)
+{
+    const Program p = assemble(R"(
+main:   nop
+        .data
+s:      .asciiz "a#b"
+)");
+    ASSERT_EQ(p.data.size(), 4u);
+    EXPECT_EQ(p.data[1], '#');
+}
+
+TEST(Asm, MultipleLabelsOneLine)
+{
+    const Program p = assemble("a: b: main: nop\n");
+    EXPECT_EQ(p.codeLabels.at("a"), 0);
+    EXPECT_EQ(p.codeLabels.at("b"), 0);
+    EXPECT_EQ(p.codeLabels.at("main"), 0);
+}
+
+TEST(Asm, EntryDefaultsToMainOrZero)
+{
+    const Program with_main = assemble("nop\nmain: nop\n");
+    EXPECT_EQ(with_main.entry, 1);
+    const Program without = assemble("start: nop\n");
+    EXPECT_EQ(without.entry, 0);
+}
+
+TEST(Asm, Errors)
+{
+    EXPECT_THROW(assemble("frobnicate r1, r2\n"), FatalError);
+    EXPECT_THROW(assemble("add r1, r2\n"), FatalError);          // arity
+    EXPECT_THROW(assemble("add r1, r2, r99\n"), FatalError);     // bad reg
+    EXPECT_THROW(assemble("j nowhere\n"), FatalError);           // bad label
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), FatalError);      // dup label
+    EXPECT_THROW(assemble("li r1, junk\n"), FatalError);         // bad imm
+    EXPECT_THROW(assemble(".data\n.asciiz \"x\n"), FatalError);  // string
+    EXPECT_THROW(assemble("feq r1, r2, x\nx: nop\n"), FatalError); // fault
+    EXPECT_THROW(assemble(".word 1\n"), FatalError); // .word outside .data
+    EXPECT_THROW(assemble(".data\n.align 3\n"), FatalError);     // npot
+}
+
+TEST(Asm, ErrorMentionsLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbad_op r1\n", "unit");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 3"), std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("unit"), std::string::npos);
+    }
+}
+
+/** Disassemble-reassemble round trip preserves the instruction stream. */
+TEST(Asm, RoundTripThroughPrinter)
+{
+    const Program original = assemble(R"(
+main:   li   r8, 100
+        la   r9, table
+loop:   lw   r10, 0(r9)
+        add  r11, r11, r10
+        addi r9, r9, 4
+        addi r8, r8, -1
+        bnez r8, loop
+        sw   r11, 4(r9)
+        jal  fn
+        li   v0, 0
+        li   a0, 0
+        syscall
+fn:     sra  r1, r2, r3
+        sltiu r4, r5, 10
+        lui  r6, 0x1234
+        jr   ra
+        .data
+table:  .space 400
+)");
+    std::ostringstream text;
+    printProgram(original, text);
+    const Program reparsed = assemble(text.str(), "round-trip");
+
+    ASSERT_EQ(reparsed.instrs.size(), original.instrs.size());
+    for (std::size_t i = 0; i < original.instrs.size(); ++i)
+        EXPECT_EQ(reparsed.instrs[i], original.instrs[i]) << "instr " << i;
+    EXPECT_EQ(reparsed.entry, original.entry);
+}
+
+} // namespace
+} // namespace fgp

@@ -1,0 +1,267 @@
+/** Unit tests for src/base utilities. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/histogram.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/strutil.hh"
+#include "base/table.hh"
+
+namespace fgp {
+namespace {
+
+TEST(Logging, FatalThrowsCatchableError)
+{
+    EXPECT_THROW(fgp_fatal("bad config value ", 42), FatalError);
+    try {
+        fgp_fatal("context ", "message");
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("context message"),
+                  std::string::npos);
+    }
+}
+
+TEST(StrUtil, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrUtil, SplitSingleField)
+{
+    const auto parts = split("hello", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StrUtil, TrimStripsWhitespace)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("\t\na b\r "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrUtil, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(endsWith("foobar", "bar"));
+    EXPECT_FALSE(endsWith("ar", "bar"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(StrUtil, CaseConversion)
+{
+    EXPECT_EQ(toLower("AbC7"), "abc7");
+    EXPECT_EQ(toUpper("AbC7"), "ABC7");
+}
+
+TEST(StrUtil, ParseIntDecimal)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-17"), -17);
+    EXPECT_EQ(parseInt("+8"), 8);
+    EXPECT_EQ(parseInt(" 12 "), 12);
+    EXPECT_EQ(parseInt("0"), 0);
+}
+
+TEST(StrUtil, ParseIntHexAndBinary)
+{
+    EXPECT_EQ(parseInt("0x10"), 16);
+    EXPECT_EQ(parseInt("0XfF"), 255);
+    EXPECT_EQ(parseInt("0b101"), 5);
+    EXPECT_EQ(parseInt("-0x10"), -16);
+}
+
+TEST(StrUtil, ParseIntRejectsGarbage)
+{
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("x").has_value());
+    EXPECT_FALSE(parseInt("12x").has_value());
+    EXPECT_FALSE(parseInt("0x").has_value());
+    EXPECT_FALSE(parseInt("-").has_value());
+    EXPECT_FALSE(parseInt("0b2").has_value());
+    EXPECT_FALSE(parseInt("99999999999999999999999").has_value());
+}
+
+TEST(StrUtil, ParseIntBoundaries)
+{
+    EXPECT_EQ(parseInt("9223372036854775807"), 9223372036854775807LL);
+    EXPECT_FALSE(parseInt("9223372036854775808").has_value());
+    EXPECT_EQ(parseInt("-9223372036854775808"),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(StrUtil, Format)
+{
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(format("%05.2f", 3.14159), "03.14");
+}
+
+TEST(StrUtil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 6);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 6);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(1, 4);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.03);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 4); // buckets 0-3, 4-7, 8-11, 12-15, overflow >= 16
+    h.add(0);
+    h.add(3);
+    h.add(4);
+    h.add(15);
+    h.add(16);
+    h.add(100);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(Histogram, WeightedSamplesAndMean)
+{
+    Histogram h(1, 10);
+    h.add(2, 3);
+    h.add(4, 1);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (2 * 3 + 4) / 4.0);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(2), 0.75);
+}
+
+TEST(Histogram, MergeAndClear)
+{
+    Histogram a(2, 4);
+    Histogram b(2, 4);
+    a.add(1);
+    b.add(5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.bucketCount(0), 1u);
+    EXPECT_EQ(a.bucketCount(2), 1u);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, Labels)
+{
+    Histogram h(4, 2);
+    EXPECT_EQ(h.bucketLabel(0), "0-3");
+    EXPECT_EQ(h.bucketLabel(1), "4-7");
+    Histogram unit(1, 2);
+    EXPECT_EQ(unit.bucketLabel(1), "1");
+}
+
+TEST(Stats, SetAddGet)
+{
+    StatGroup g;
+    g.set("a", 2);
+    g.add("a", 3);
+    g.add("fresh", 1);
+    g.setReal("r", 0.5);
+    EXPECT_EQ(g.get("a"), 5u);
+    EXPECT_EQ(g.get("fresh"), 1u);
+    EXPECT_EQ(g.get("missing"), 0u);
+    EXPECT_DOUBLE_EQ(g.getReal("r"), 0.5);
+    EXPECT_DOUBLE_EQ(g.getReal("a"), 5.0);
+    EXPECT_TRUE(g.has("a"));
+    EXPECT_FALSE(g.has("nope"));
+}
+
+TEST(Stats, MergeSumsInts)
+{
+    StatGroup a;
+    StatGroup b;
+    a.set("x", 1);
+    b.set("x", 2);
+    b.set("y", 3);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(Table, AlignedOutputAndCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addNumericRow("beta", {2.5}, 1);
+    EXPECT_EQ(t.numRows(), 2u);
+
+    std::ostringstream text;
+    t.print(text);
+    EXPECT_NE(text.str().find("alpha"), std::string::npos);
+    EXPECT_NE(text.str().find("2.5"), std::string::npos);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,1\nbeta,2.5\n");
+}
+
+TEST(Table, RowArityChecked)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace fgp

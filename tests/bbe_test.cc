@@ -1,0 +1,298 @@
+/** Basic block enlargement tests: structure, caps, semantics. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+#include "bbe/enlarge.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "vm/atomic_runner.hh"
+#include "vm/interp.hh"
+
+namespace fgp {
+namespace {
+
+/** Loop whose body branches the same way most iterations. */
+Program
+loopProgram()
+{
+    return assemble(R"(
+main:   li   r8, 0           # i
+        li   r9, 100         # n
+        li   r10, 0          # even accumulator
+        li   r11, 0          # multiple-of-7 accumulator
+loop:   andi r12, r8, 1
+        bnez r12, odd        # taken half of the time
+        addi r10, r10, 1
+odd:    li   r13, 7
+        rem  r14, r8, r13
+        bnez r14, next       # heavily biased: taken 6/7
+        addi r11, r11, 1
+next:   addi r8, r8, 1
+        blt  r8, r9, loop    # heavily biased: taken
+        la   r1, out
+        sw   r10, 0(r1)
+        sw   r11, 4(r1)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+out:    .space 8
+)");
+}
+
+Profile
+profileOf(const Program &prog)
+{
+    Profile profile;
+    SimOS os;
+    InterpOptions opts;
+    opts.profile = &profile;
+    interpret(prog, os, opts);
+    return profile;
+}
+
+TEST(Bbe, BuildsChainsAlongHotArcs)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+
+    EnlargeStats stats;
+    const CodeImage enlarged = enlarge(single, profile, {}, &stats);
+
+    EXPECT_GT(stats.chains, 0u);
+    EXPECT_GT(stats.companions, 0u);
+    EXPECT_GT(stats.faultNodes, 0u);
+    EXPECT_GT(enlarged.blocks.size(), single.blocks.size());
+    EXPECT_GT(stats.meanChainLen, 1.0);
+}
+
+TEST(Bbe, EnlargedBlocksMarkedAndMapped)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+    const CodeImage enlarged = enlarge(single, profile);
+
+    // Originals keep their ids; new blocks are flagged.
+    for (std::size_t i = 0; i < single.blocks.size(); ++i) {
+        EXPECT_FALSE(enlarged.blocks[i].enlarged);
+        EXPECT_EQ(enlarged.blocks[i].id, single.blocks[i].id);
+    }
+    bool saw_primary = false;
+    bool saw_companion = false;
+    for (std::size_t i = single.blocks.size(); i < enlarged.blocks.size();
+         ++i) {
+        const ImageBlock &block = enlarged.blocks[i];
+        EXPECT_TRUE(block.enlarged);
+        saw_primary |= !block.companion;
+        saw_companion |= block.companion;
+        // Companions are never entry-mapped.
+        if (block.companion) {
+            for (const auto &[pc, id] : enlarged.entryByPc) {
+                EXPECT_NE(id, block.id);
+            }
+        }
+    }
+    EXPECT_TRUE(saw_primary);
+    EXPECT_TRUE(saw_companion);
+}
+
+TEST(Bbe, FaultTargetsAreMutual)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+    const CodeImage enlarged = enlarge(single, profile);
+
+    for (const ImageBlock &block : enlarged.blocks) {
+        for (const Node &node : block.nodes) {
+            if (!node.isFault())
+                continue;
+            const ImageBlock &target = enlarged.block(node.target);
+            EXPECT_TRUE(target.enlarged);
+            if (block.companion) {
+                // A companion's final fault points back at a primary.
+                EXPECT_TRUE(!target.companion || target.id != block.id);
+            } else {
+                // Primaries fault into companions.
+                EXPECT_TRUE(target.companion);
+            }
+        }
+    }
+}
+
+TEST(Bbe, SemanticsPreserved)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+    const CodeImage enlarged = enlarge(single, profile);
+
+    SimOS os_ref;
+    SparseMemory mem_ref;
+    interpret(prog, os_ref, mem_ref);
+
+    SimOS os_en;
+    SparseMemory mem_en;
+    const AtomicRunResult r = runAtomic(enlarged, os_en, mem_en);
+
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(mem_en.read32(prog.dataLabels.at("out")),
+              mem_ref.read32(prog.dataLabels.at("out")));
+    EXPECT_EQ(mem_en.read32(prog.dataLabels.at("out") + 4),
+              mem_ref.read32(prog.dataLabels.at("out") + 4));
+    // Faults fired (the 50/50 branch is not fused, but mod-7 is, and its
+    // fault fires roughly every 7th iteration when fused).
+    EXPECT_GT(r.faults, 0u);
+    EXPECT_GT(r.discardedNodes, 0u);
+}
+
+TEST(Bbe, RatioThresholdStopsFusion)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+
+    EnlargeOptions strict;
+    strict.minArcRatio = 1.01; // nothing qualifies
+    EnlargeStats stats;
+    const CodeImage enlarged = enlarge(single, profile, strict, &stats);
+    EXPECT_EQ(stats.faultNodes, 0u);
+    // Unconditional-jump / fall-through fusion may still occur; no
+    // conditional arcs may be embedded.
+    for (const ImageBlock &block : enlarged.blocks)
+        for (const Node &node : block.nodes)
+            EXPECT_FALSE(node.isFault());
+}
+
+TEST(Bbe, CountThresholdStopsFusion)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+
+    EnlargeOptions strict;
+    strict.minArcCount = 1u << 30;
+    EnlargeStats stats;
+    enlarge(single, profile, strict, &stats);
+    EXPECT_EQ(stats.faultNodes, 0u);
+}
+
+TEST(Bbe, ChainLengthCapRespected)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+
+    for (int cap : {2, 3, 8}) {
+        EnlargeOptions opts;
+        opts.maxChainLen = cap;
+        const CodeImage enlarged = enlarge(single, profile, opts);
+        for (const ImageBlock &block : enlarged.blocks)
+            EXPECT_LE(block.chainLen, cap);
+    }
+}
+
+TEST(Bbe, InstanceCapRespected)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+
+    EnlargeOptions opts;
+    opts.maxInstances = 2;
+    const CodeImage enlarged = enlarge(single, profile, opts);
+
+    // Count copies of each original entry pc across enlarged blocks by
+    // walking node origin pcs at block entries of chain members.
+    std::unordered_map<std::int32_t, int> copies;
+    for (const ImageBlock &block : enlarged.blocks) {
+        if (!block.enlarged)
+            continue;
+        for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+            const std::int32_t pc = block.nodes[i].origPc;
+            if (enlarged.entryByPc.count(pc) &&
+                (i == 0 || block.nodes[i - 1].origPc != pc - 1))
+                ++copies[pc];
+        }
+    }
+    for (const auto &[pc, count] : copies)
+        EXPECT_LE(count, 2) << "entry pc " << pc;
+}
+
+TEST(Bbe, SyscallBlocksNeverFused)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+    const CodeImage enlarged = enlarge(single, profile);
+    for (const ImageBlock &block : enlarged.blocks)
+        EXPECT_FALSE(block.enlarged && block.hasSyscall);
+}
+
+TEST(Bbe, LoopUnrollingDuplicatesBody)
+{
+    // A tight counted loop: the back arc is taken 31/32 times, so the
+    // chain should wrap around the loop body several times.
+    const Program prog = assemble(R"(
+main:   li   r8, 0
+        li   r9, 128
+        li   r10, 0
+loop:   add  r10, r10, r8
+        addi r8, r8, 1
+        blt  r8, r9, loop
+        la   r1, out
+        sw   r10, 0(r1)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+out:    .word 0
+)");
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+    EnlargeStats stats;
+    const CodeImage enlarged = enlarge(single, profile, {}, &stats);
+
+    // Find the primary instance of the loop body and count how many
+    // copies of the body it contains.
+    const std::int32_t loop_pc = prog.codeLabels.at("loop");
+    const std::int32_t primary = enlarged.blockAtPc(loop_pc);
+    const ImageBlock &block = enlarged.block(primary);
+    ASSERT_TRUE(block.enlarged);
+    int body_copies = 0;
+    for (const Node &node : block.nodes)
+        body_copies += node.origPc == loop_pc;
+    EXPECT_GE(body_copies, 2) << "loop body was not unrolled";
+
+    // Unrolled semantics intact.
+    SimOS os_ref;
+    SparseMemory mem_ref;
+    interpret(prog, os_ref, mem_ref);
+    SimOS os_en;
+    SparseMemory mem_en;
+    runAtomic(enlarged, os_en, mem_en);
+    EXPECT_EQ(mem_en.read32(prog.dataLabels.at("out")),
+              mem_ref.read32(prog.dataLabels.at("out")));
+}
+
+TEST(Bbe, EntryRedirectsToPrimary)
+{
+    const Program prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+    const CodeImage enlarged = enlarge(single, profile);
+
+    // The mod-7 branch block (label "odd") is heavily biased, so its
+    // entry must be redirected to an enlarged primary instance.
+    const std::int32_t odd_pc = prog.codeLabels.at("odd");
+    const std::int32_t mapped = enlarged.blockAtPc(odd_pc);
+    EXPECT_TRUE(enlarged.block(mapped).enlarged);
+    EXPECT_FALSE(enlarged.block(mapped).companion);
+}
+
+} // namespace
+} // namespace fgp

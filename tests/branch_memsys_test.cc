@@ -1,0 +1,262 @@
+/** Branch predictor and memory system unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+#include "branch/predictor.hh"
+#include "memsys/memsys.hh"
+
+namespace fgp {
+namespace {
+
+TEST(Predictor, TwoBitCounterAutomaton)
+{
+    BranchPredictor bp(16, false);
+    const std::int32_t pc = 3;
+
+    // Cold: no supplement -> predict not taken; allocate on update.
+    EXPECT_FALSE(bp.predictConditional(pc, 100));
+    bp.updateConditional(pc, true); // counter starts at 2 (weak taken)
+    EXPECT_TRUE(bp.predictConditional(pc, 100));
+    bp.updateConditional(pc, true); // 3 (strong taken)
+    bp.updateConditional(pc, false); // 2
+    EXPECT_TRUE(bp.predictConditional(pc, 100)); // hysteresis
+    bp.updateConditional(pc, false); // 1
+    EXPECT_FALSE(bp.predictConditional(pc, 100));
+    bp.updateConditional(pc, false); // 0 (strong not-taken)
+    bp.updateConditional(pc, true);  // 1
+    EXPECT_FALSE(bp.predictConditional(pc, 100)); // hysteresis again
+}
+
+TEST(Predictor, StaticSupplementIsBtfn)
+{
+    BranchPredictor bp(16, true);
+    EXPECT_TRUE(bp.predictConditional(50, 10));  // backward: taken
+    EXPECT_FALSE(bp.predictConditional(51, 90)); // forward: not taken
+    EXPECT_EQ(bp.coldLookups(), 2u);
+}
+
+TEST(Predictor, SupplementOnlyUntilTrained)
+{
+    BranchPredictor bp(16, true);
+    const std::int32_t pc = 50;
+    EXPECT_TRUE(bp.predictConditional(pc, 10)); // BTFN says taken
+    bp.updateConditional(pc, false);            // actually not taken
+    EXPECT_FALSE(bp.predictConditional(pc, 10)); // counter wins now
+}
+
+TEST(Predictor, BtbAliasingEvicts)
+{
+    BranchPredictor bp(4, false);
+    bp.updateConditional(1, true);
+    EXPECT_TRUE(bp.predictConditional(1, 0));
+    bp.updateConditional(5, false); // same set (5 % 4 == 1), different tag
+    EXPECT_EQ(bp.predictConditional(1, 100), false); // cold again (miss)
+}
+
+TEST(Predictor, IndirectTargets)
+{
+    BranchPredictor bp(16, true);
+    EXPECT_EQ(bp.predictIndirect(7), -1);
+    bp.updateIndirect(7, 1234);
+    EXPECT_EQ(bp.predictIndirect(7), 1234);
+    bp.updateIndirect(7, 99);
+    EXPECT_EQ(bp.predictIndirect(7), 99);
+}
+
+TEST(Predictor, AccuracyAccounting)
+{
+    BranchPredictor bp(16, true);
+    bp.recordOutcome(true);
+    bp.recordOutcome(true);
+    bp.recordOutcome(false);
+    EXPECT_EQ(bp.resolved(), 3u);
+    EXPECT_EQ(bp.mispredicts(), 1u);
+    EXPECT_NEAR(bp.accuracy(), 2.0 / 3.0, 1e-9);
+
+    StatGroup stats;
+    bp.exportStats(stats, "bp.");
+    EXPECT_EQ(stats.get("bp.mispredicts"), 1u);
+}
+
+TEST(Cache, HitAfterFill)
+{
+    CacheDirectory cache(1024, 2, 16);
+    EXPECT_FALSE(cache.access(0x100, true));
+    EXPECT_TRUE(cache.access(0x100, true));
+    EXPECT_TRUE(cache.access(0x10f, true)); // same 16-byte line
+    EXPECT_FALSE(cache.access(0x110, true)); // next line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, TwoWayLruEviction)
+{
+    // 1 KiB, 2-way, 16 B lines -> 32 sets; addresses 512 bytes apart
+    // share a set.
+    CacheDirectory cache(1024, 2, 16);
+    const std::uint32_t a = 0x0;
+    const std::uint32_t b = 0x200;
+    const std::uint32_t c = 0x400;
+    cache.access(a, true);
+    cache.access(b, true);
+    EXPECT_TRUE(cache.access(a, true)); // refresh a's LRU position
+    cache.access(c, true);              // evicts b (least recent)
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(Cache, SixteenKGeometry)
+{
+    CacheDirectory cache(16 * 1024, 2, 16);
+    EXPECT_EQ(cache.numSets(), 512);
+}
+
+TEST(WriteBuffer, LruAndEviction)
+{
+    WriteBuffer wb(2, 16);
+    EXPECT_EQ(wb.insert(0x00), -1);
+    EXPECT_EQ(wb.insert(0x10), -1);
+    EXPECT_TRUE(wb.contains(0x04)); // same line as 0x00, refreshes LRU
+    const std::int64_t evicted = wb.insert(0x20); // evicts line of 0x10
+    EXPECT_EQ(evicted, 0x10 >> 4);
+    EXPECT_TRUE(wb.contains(0x00));
+    EXPECT_FALSE(wb.contains(0x10));
+}
+
+TEST(MemSys, PerfectConfigsFlatLatency)
+{
+    for (char letter : {'A', 'B', 'C'}) {
+        MemorySystem ms(memoryConfig(letter));
+        const int expect = memoryConfig(letter).hitLatency;
+        for (std::uint32_t addr = 0; addr < 4096; addr += 64)
+            EXPECT_EQ(ms.loadLatency(addr, false), expect);
+    }
+}
+
+TEST(MemSys, CacheConfigMissThenHit)
+{
+    MemorySystem ms(memoryConfig('D')); // 1 cycle hit, 10 miss, 1K
+    EXPECT_EQ(ms.loadLatency(0x5000, false), 10);
+    EXPECT_EQ(ms.loadLatency(0x5000, false), 1);
+    EXPECT_EQ(ms.loadLatency(0x5004, false), 1); // same line
+    EXPECT_EQ(ms.loadMisses(), 1u);
+}
+
+TEST(MemSys, ForwardedLoadsCostHitAndSkipCache)
+{
+    MemorySystem ms(memoryConfig('D'));
+    EXPECT_EQ(ms.loadLatency(0x9000, true), 1);
+    // The cache was not filled by the forwarded access.
+    EXPECT_EQ(ms.loadLatency(0x9000, false), 10);
+}
+
+TEST(MemSys, WriteBufferServicesRecentStores)
+{
+    MemorySystem ms(memoryConfig('D'));
+    ms.commitStore(0x7000, 4);
+    EXPECT_EQ(ms.loadLatency(0x7000, false), 1); // write-buffer hit
+}
+
+TEST(MemSys, WriteBufferDrainFillsCache)
+{
+    MemorySystem ms(memoryConfig('D'));
+    // Fill the write buffer past capacity; the first line drains into
+    // the cache and should then hit there.
+    for (int i = 0; i <= kWriteBufferLines; ++i)
+        ms.commitStore(0x8000 + static_cast<std::uint32_t>(i) * 16, 4);
+    EXPECT_EQ(ms.loadLatency(0x8000, false), 1);
+}
+
+TEST(MemSys, TwoCycleCacheConfigs)
+{
+    MemorySystem ms(memoryConfig('F'));
+    EXPECT_EQ(ms.loadLatency(0x1000, false), 10);
+    EXPECT_EQ(ms.loadLatency(0x1000, false), 2);
+}
+
+TEST(MemSys, HitRatioStat)
+{
+    MemorySystem ms(memoryConfig('E'));
+    ms.loadLatency(0x100, false);
+    ms.loadLatency(0x100, false);
+    ms.loadLatency(0x100, false);
+    ms.loadLatency(0x100, false);
+    EXPECT_DOUBLE_EQ(ms.hitRatio(), 0.75);
+    StatGroup stats;
+    ms.exportStats(stats, "m.");
+    EXPECT_EQ(stats.get("m.loads"), 4u);
+    EXPECT_EQ(stats.get("m.load_misses"), 1u);
+}
+
+TEST(ArchConfig, IssueModelTable)
+{
+    EXPECT_TRUE(issueModel(1).sequential);
+    EXPECT_EQ(issueModel(2).memSlots, 1);
+    EXPECT_EQ(issueModel(2).aluSlots, 1);
+    EXPECT_EQ(issueModel(8).memSlots, 4);
+    EXPECT_EQ(issueModel(8).aluSlots, 12);
+    EXPECT_EQ(issueModel(8).width(), 16);
+    EXPECT_EQ(issueModel(1).width(), 1);
+    EXPECT_THROW(issueModel(0), FatalError);
+    EXPECT_THROW(issueModel(9), FatalError);
+}
+
+TEST(ArchConfig, MemoryConfigTable)
+{
+    EXPECT_FALSE(memoryConfig('A').hasCache);
+    EXPECT_EQ(memoryConfig('C').hitLatency, 3);
+    EXPECT_EQ(memoryConfig('D').cacheBytes, 1024u);
+    EXPECT_EQ(memoryConfig('G').cacheBytes, 16u * 1024);
+    EXPECT_EQ(memoryConfig('G').hitLatency, 2);
+    EXPECT_EQ(memoryConfig('F').missLatency, 10);
+    EXPECT_THROW(memoryConfig('H'), FatalError);
+}
+
+TEST(ArchConfig, PointCodes)
+{
+    IssueModel im;
+    MemoryConfig mc;
+    parsePointCode("5B", im, mc);
+    EXPECT_EQ(im.index, 5);
+    EXPECT_EQ(mc.letter, 'B');
+    parsePointCode("8g", im, mc);
+    EXPECT_EQ(mc.letter, 'G');
+    EXPECT_THROW(parsePointCode("9A", im, mc), FatalError);
+    EXPECT_THROW(parsePointCode("5", im, mc), FatalError);
+
+    MachineConfig config{Discipline::Dyn4, issueModel(5), memoryConfig('B'),
+                         BranchMode::Enlarged};
+    EXPECT_EQ(config.pointCode(), "5B");
+    EXPECT_EQ(config.name(), "dyn4/5B/enlarged");
+}
+
+TEST(ArchConfig, FullGridHas560Points)
+{
+    const auto grid = fullConfigGrid();
+    EXPECT_EQ(grid.size(), 560u);
+    int perfect = 0;
+    for (const auto &config : grid) {
+        if (config.branch == BranchMode::Perfect) {
+            ++perfect;
+            EXPECT_TRUE(config.discipline == Discipline::Dyn4 ||
+                        config.discipline == Discipline::Dyn256);
+        }
+    }
+    EXPECT_EQ(perfect, 2 * 8 * 7);
+}
+
+TEST(ArchConfig, WindowSizes)
+{
+    EXPECT_EQ(windowBlocks(Discipline::Dyn1), 1);
+    EXPECT_EQ(windowBlocks(Discipline::Dyn4), 4);
+    EXPECT_EQ(windowBlocks(Discipline::Dyn256), 256);
+    EXPECT_EQ(windowBlocks(Discipline::Static), 2);
+    EXPECT_FALSE(isDynamic(Discipline::Static));
+    EXPECT_TRUE(isDynamic(Discipline::Dyn256));
+}
+
+} // namespace
+} // namespace fgp

@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end test of the fgpsim CLI: the paper's three-stage pipeline
+# (profile -> enlargement file -> simulation) plus asm/run on a file.
+set -e
+FGPSIM="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Stage 1: statistics file.
+"$FGPSIM" profile grep --out "$TMP/grep.prof" 2> "$TMP/log1"
+grep -q "branch" "$TMP/grep.prof"
+
+# Stage 2: enlargement file.
+"$FGPSIM" bbe grep --profile "$TMP/grep.prof" --out "$TMP/grep.plan" \
+    --max-chain 6 2> "$TMP/log2"
+grep -q "chain" "$TMP/grep.plan"
+
+# Stage 3: simulation consuming the plan; stdout must equal the VM's.
+"$FGPSIM" run grep > "$TMP/vm.out" 2> /dev/null
+"$FGPSIM" sim grep --config dyn4/8A/enlarged --plan "$TMP/grep.plan" \
+    > "$TMP/sim.out" 2> "$TMP/stats"
+cmp "$TMP/vm.out" "$TMP/sim.out"
+grep -q "nodes per cycle" "$TMP/stats"
+
+# Extensions reachable from the CLI.
+"$FGPSIM" sim grep --config dyn256/8G/enlarged --ras 16 --window 32 \
+    > /dev/null 2> "$TMP/stats2"
+grep -q "cycles" "$TMP/stats2"
+
+# asm/run on a user-supplied file with stdin.
+cat > "$TMP/echo.s" <<'ASM'
+        .data
+buf:    .space 64
+        .text
+main:   li   v0, 3
+        li   a0, 0
+        la   a1, buf
+        li   a2, 64
+        syscall
+        mov  r20, v0
+        li   v0, 4
+        li   a0, 1
+        la   a1, buf
+        mov  a2, r20
+        syscall
+        li   v0, 0
+        li   a0, 0
+        syscall
+ASM
+printf 'hello-cli' > "$TMP/input.txt"
+"$FGPSIM" asm "$TMP/echo.s" | grep -q "block"
+OUT="$("$FGPSIM" run "$TMP/echo.s" --stdin "$TMP/input.txt" 2>/dev/null)"
+test "$OUT" = "hello-cli"
+
+# Pipeline trace subcommand emits per-cycle events.
+"$FGPSIM" trace "$TMP/echo.s" --config dyn4/8A/single \
+    --stdin "$TMP/input.txt" 2> /dev/null | grep -q "retire"
+
+# Bad inputs fail cleanly.
+if "$FGPSIM" sim grep --config bogus 2> /dev/null; then
+    echo "expected failure on bogus config" >&2
+    exit 1
+fi
+echo "cli test ok"

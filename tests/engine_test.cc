@@ -1,0 +1,573 @@
+/** Cycle-level engine tests: targeted behaviours and invariants. */
+
+#include <gtest/gtest.h>
+
+#include "bbe/enlarge.hh"
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "tld/translate.hh"
+#include "vm/atomic_runner.hh"
+#include "vm/interp.hh"
+
+namespace fgp {
+namespace {
+
+struct SimOut
+{
+    EngineResult result;
+    std::string stdoutText;
+};
+
+SimOut
+simulateSource(const std::string &source, const MachineConfig &config,
+               const std::string &stdin_text = "")
+{
+    const Program prog = assemble(source, "engine-test");
+    CodeImage image = buildCfg(prog);
+    translate(image, config);
+    SimOS os;
+    os.setStdin(stdin_text);
+    EngineOptions opts;
+    opts.config = config;
+    SimOut out;
+    out.result = simulate(image, os, opts);
+    out.stdoutText = os.stdoutText();
+    return out;
+}
+
+MachineConfig
+cfg(Discipline d, int issue, char mem,
+    BranchMode branch = BranchMode::Single)
+{
+    return {d, issueModel(issue), memoryConfig(mem), branch};
+}
+
+const char *const kCountdown = R"(
+main:   li   r8, 50
+loop:   addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+TEST(Engine, RetiredNodesMatchVmOnSingleBlocks)
+{
+    const Program prog = assemble(kCountdown);
+    SimOS vm_os;
+    const RunResult ref = interpret(prog, vm_os);
+
+    for (Discipline d : allDisciplines()) {
+        const SimOut out = simulateSource(kCountdown, cfg(d, 8, 'A'));
+        EXPECT_EQ(out.result.retiredNodes, ref.dynamicNodes)
+            << disciplineName(d);
+    }
+}
+
+TEST(Engine, SequentialModelNeverExceedsOneNodePerCycle)
+{
+    const SimOut out = simulateSource(kCountdown,
+                                      cfg(Discipline::Dyn256, 1, 'A'));
+    EXPECT_LE(out.result.nodesPerCycle(), 1.0);
+}
+
+TEST(Engine, IpcBoundedByIssueWidth)
+{
+    for (int im : {1, 2, 5, 8}) {
+        const SimOut out =
+            simulateSource(kCountdown, cfg(Discipline::Dyn256, im, 'A'));
+        EXPECT_LE(out.result.nodesPerCycle(),
+                  static_cast<double>(issueModel(im).width()));
+    }
+}
+
+TEST(Engine, WindowOccupancyRespectsCap)
+{
+    for (Discipline d : allDisciplines()) {
+        const SimOut out = simulateSource(kCountdown, cfg(d, 8, 'A'));
+        EXPECT_LE(out.result.windowOccupancy.max(),
+                  static_cast<std::uint64_t>(windowBlocks(d)))
+            << disciplineName(d);
+    }
+}
+
+TEST(Engine, StoreLoadForwardingInWindow)
+{
+    // A store immediately followed by a dependent load: the value must
+    // forward; with perfect memory the load costs a hit.
+    const char *source = R"(
+main:   la   r1, buf
+        li   r2, 77
+        sw   r2, 0(r1)
+        lw   r3, 0(r1)
+        la   r4, out
+        sw   r3, 0(r4)
+        lw   a0, 0(r4)
+        li   v0, 0
+        syscall
+        .data
+buf:    .word 0
+out:    .word 0
+)";
+    const SimOut out = simulateSource(source, cfg(Discipline::Dyn4, 8, 'A'));
+    EXPECT_EQ(out.result.exitCode, 77);
+}
+
+TEST(Engine, DisambiguationComputedAddresses)
+{
+    // The store address depends on a loaded index; a younger load to a
+    // possibly-equal address must wait and still see the right value.
+    const char *source = R"(
+main:   la   r1, idx
+        lw   r2, 0(r1)      # r2 = 4
+        la   r3, buf
+        add  r4, r3, r2
+        li   r5, 99
+        sw   r5, 0(r4)      # stores buf[1]
+        lw   r6, 4(r3)      # loads buf[1]: must observe 99
+        mov  a0, r6
+        li   v0, 0
+        syscall
+        .data
+idx:    .word 4
+buf:    .word 1, 2, 3
+)";
+    for (Discipline d : allDisciplines()) {
+        const SimOut out = simulateSource(source, cfg(d, 8, 'A'));
+        EXPECT_EQ(out.result.exitCode, 99) << disciplineName(d);
+    }
+}
+
+TEST(Engine, PartialOverlapStoreForwarding)
+{
+    // Byte store into the middle of a word, then a word load: the merge
+    // must be byte-accurate.
+    const char *source = R"(
+main:   la   r1, buf
+        li   r2, 0x11223344
+        sw   r2, 0(r1)
+        li   r3, 0xAA
+        sb   r3, 1(r1)
+        lw   r4, 0(r1)      # 0x1122AA44
+        srli a0, r4, 8
+        andi a0, a0, 0xFF
+        li   v0, 0
+        syscall
+        .data
+buf:    .word 0
+)";
+    for (Discipline d : allDisciplines()) {
+        const SimOut out = simulateSource(source, cfg(d, 8, 'A'));
+        EXPECT_EQ(out.result.exitCode, 0xAA) << disciplineName(d);
+    }
+}
+
+TEST(Engine, LoadsBypassSlowStores)
+{
+    // The store's data hangs on a cache miss; a younger load to a
+    // provably different address must not wait for it (early address
+    // generation, §2.1). Conservative mode must wait.
+    const char *source = R"(
+main:   la   r1, buf
+        la   r2, tab
+        li   r8, 24
+loop:   lw   r9, 0(r1)       # cold miss each iteration (64-byte stride)
+        sw   r9, 2048(r1)    # store data arrives ~10 cycles late
+        lw   r10, 0(r2)      # independent load AFTER the store
+        add  r20, r20, r10
+        addi r1, r1, 64
+        addi r8, r8, -1
+        bnez r8, loop
+        andi a0, r20, 0xff
+        li   v0, 0
+        syscall
+        .data
+tab:    .word 3
+buf:    .space 8192
+)";
+    const Program prog = assemble(source);
+    auto run = [&](bool conservative) {
+        MachineConfig config = cfg(Discipline::Dyn256, 8, 'D');
+        CodeImage image = buildCfg(prog);
+        translate(image, config);
+        SimOS os;
+        EngineOptions opts;
+        opts.config = config;
+        opts.conservativeLoads = conservative;
+        return simulate(image, os, opts);
+    };
+    const EngineResult dynamic = run(false);
+    const EngineResult conservative = run(true);
+    EXPECT_EQ(dynamic.exitCode, 72 & 0xff);
+    EXPECT_EQ(conservative.exitCode, dynamic.exitCode);
+    // The bypass must be worth a large constant factor here.
+    EXPECT_LT(dynamic.cycles * 2, conservative.cycles);
+}
+
+TEST(Engine, MispredictsAreRepaired)
+{
+    // Alternating branch defeats the 2-bit counter regularly; results
+    // must still be exact.
+    const char *source = R"(
+main:   li   r8, 0          # i
+        li   r9, 40
+        li   r10, 0
+loop:   andi r11, r8, 1
+        beqz r11, even
+        addi r10, r10, 2
+        j    next
+even:   addi r10, r10, 1
+next:   addi r8, r8, 1
+        blt  r8, r9, loop
+        mov  a0, r10        # 20*1 + 20*2 = 60
+        li   v0, 0
+        syscall
+)";
+    const SimOut out = simulateSource(source, cfg(Discipline::Dyn256, 8, 'A'));
+    EXPECT_EQ(out.result.exitCode, 60);
+    EXPECT_GT(out.result.mispredicts, 5u);
+    EXPECT_GT(out.result.executedNodes, out.result.retiredNodes);
+}
+
+TEST(Engine, WrongPathLoadsAreHarmless)
+{
+    // On the wrong path a load dereferences a pointer that is null until
+    // the branch resolves; the machine must not be disturbed.
+    const char *source = R"(
+main:   li   r8, 20
+        la   r9, ptr
+        li   r10, 0
+loop:   lw   r11, 0(r9)     # valid pointer
+        beqz r11, skip      # never taken (ptr != 0), predictor learns
+        lw   r12, 0(r11)
+        add  r10, r10, r12
+skip:   addi r8, r8, -1
+        bnez r8, loop
+        andi a0, r10, 0xff
+        li   v0, 0
+        syscall
+        .data
+target: .word 3
+ptr:    .word target
+)";
+    const SimOut out = simulateSource(source, cfg(Discipline::Dyn256, 8, 'A'));
+    EXPECT_EQ(out.result.exitCode, 60 & 0xff);
+}
+
+TEST(Engine, JrReturnPrediction)
+{
+    const char *source = R"(
+main:   li   r20, 30
+        li   r21, 0
+loop:   jal  bump
+        addi r20, r20, -1
+        bnez r20, loop
+        mov  a0, r21
+        li   v0, 0
+        syscall
+bump:   addi r21, r21, 1
+        jr   ra
+)";
+    const SimOut out = simulateSource(source, cfg(Discipline::Dyn4, 8, 'A'));
+    EXPECT_EQ(out.result.exitCode, 30);
+}
+
+TEST(Engine, AlternatingCallSitesStressJr)
+{
+    const char *source = R"(
+main:   li   r20, 12
+        li   r21, 0
+loop:   jal  f
+        jal  g
+        addi r20, r20, -1
+        bnez r20, loop
+        mov  a0, r21
+        li   v0, 0
+        syscall
+f:      jal  h
+        addi r21, r21, 1
+        jr   ra
+g:      jal  h
+        addi r21, r21, 2
+        jr   ra
+h:      jr   ra
+)";
+    // h returns alternately to f and g: the last-target BTB mispredicts,
+    // and repair must keep the result exact. f/g need ra saved across
+    // the inner call; do it with sp.
+    const char *source_fixed = R"(
+main:   li   r20, 12
+        li   r21, 0
+loop:   jal  f
+        jal  g
+        addi r20, r20, -1
+        bnez r20, loop
+        mov  a0, r21
+        li   v0, 0
+        syscall
+f:      addi sp, sp, -4
+        sw   ra, 0(sp)
+        jal  h
+        addi r21, r21, 1
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        jr   ra
+g:      addi sp, sp, -4
+        sw   ra, 0(sp)
+        jal  h
+        addi r21, r21, 2
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        jr   ra
+h:      jr   ra
+)";
+    (void)source;
+    const SimOut out =
+        simulateSource(source_fixed, cfg(Discipline::Dyn256, 8, 'A'));
+    EXPECT_EQ(out.result.exitCode, 36);
+}
+
+TEST(Engine, SyscallBarrierOrdersMemory)
+{
+    // read() writes the buffer via the OS; a later load must see it even
+    // on a wide dynamic machine that would love to hoist the load.
+    const char *source = R"(
+        .data
+buf:    .space 4
+        .text
+main:   li   v0, 3
+        li   a0, 0
+        la   a1, buf
+        li   a2, 1
+        syscall
+        la   r8, buf
+        lbu  a0, 0(r8)
+        li   v0, 0
+        syscall
+)";
+    const SimOut out = simulateSource(
+        source, cfg(Discipline::Dyn256, 8, 'A'), "Z");
+    EXPECT_EQ(out.result.exitCode, 'Z');
+}
+
+TEST(Engine, StaticStallsOnCacheMiss)
+{
+    // One dependent load chain: with a cold 1K cache the static machine
+    // pays the miss; with perfect memory it does not.
+    const char *source = R"(
+main:   la   r1, buf
+        li   r10, 0
+        li   r8, 64
+loop:   lw   r9, 0(r1)
+        add  r10, r10, r9
+        addi r1, r1, 64
+        addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .space 4160
+)";
+    const SimOut fast = simulateSource(source, cfg(Discipline::Static, 8, 'A'));
+    const SimOut slow = simulateSource(source, cfg(Discipline::Static, 8, 'D'));
+    // Every load is a compulsory miss (64-byte stride); 9 extra cycles
+    // per iteration is the expected order of magnitude.
+    EXPECT_GT(slow.result.cycles, fast.result.cycles + 64 * 6);
+}
+
+TEST(Engine, DynamicHidesMissesBetterThanStatic)
+{
+    // Independent loads: dynamic scheduling should overlap misses.
+    const char *source = R"(
+main:   la   r1, buf
+        li   r8, 32
+        li   r10, 0
+        li   r11, 0
+        li   r12, 0
+        li   r13, 0
+loop:   lw   r2, 0(r1)
+        lw   r3, 64(r1)
+        lw   r4, 128(r1)
+        lw   r5, 192(r1)
+        add  r10, r10, r2
+        add  r11, r11, r3
+        add  r12, r12, r4
+        add  r13, r13, r5
+        addi r1, r1, 256
+        addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .space 8500
+)";
+    const SimOut stat = simulateSource(source, cfg(Discipline::Static, 8, 'D'));
+    const SimOut dyn =
+        simulateSource(source, cfg(Discipline::Dyn256, 8, 'D'));
+    EXPECT_LT(dyn.result.cycles, stat.result.cycles);
+}
+
+TEST(Engine, Window1RetiresBeforeNextBlock)
+{
+    const SimOut out = simulateSource(kCountdown, cfg(Discipline::Dyn1, 8, 'A'));
+    EXPECT_LE(out.result.windowOccupancy.max(), 1u);
+    // With one block at a time no speculative work is ever discarded,
+    // even though the final loop exit may still mispredict.
+    EXPECT_EQ(out.result.executedNodes, out.result.retiredNodes);
+    EXPECT_LE(out.result.mispredicts, 2u);
+}
+
+TEST(Engine, FaultRepairsToCompanion)
+{
+    // Build an enlarged image by hand: A fused with its hot successor B;
+    // the cold path C increments differently.
+    const char *source = R"(
+main:   li   r8, 10
+        li   r9, 0
+loop:   li   r10, 5
+        bge  r8, r10, big    # taken for r8 >= 5
+        addi r9, r9, 100
+        j    next
+big:    addi r9, r9, 1
+next:   addi r8, r8, -1
+        bnez r8, loop
+        mov  a0, r9
+        li   v0, 0
+        syscall
+)";
+    const Program prog = assemble(source);
+    Profile profile;
+    {
+        SimOS os;
+        InterpOptions opts;
+        opts.profile = &profile;
+        interpret(prog, os, opts);
+    }
+    const CodeImage single = buildCfg(prog);
+    EnlargeStats stats;
+    EnlargeOptions eopts;
+    eopts.minArcCount = 4;   // the loop only runs ten times
+    eopts.minArcRatio = 0.55;
+    CodeImage enlarged = enlarge(single, profile, eopts, &stats);
+    ASSERT_GT(stats.faultNodes, 0u);
+
+    MachineConfig config = cfg(Discipline::Dyn4, 8, 'A',
+                               BranchMode::Enlarged);
+    translate(enlarged, config);
+    SimOS os;
+    EngineOptions opts;
+    opts.config = config;
+    const EngineResult result = simulate(enlarged, os, opts);
+    // r8 runs 10..1: +1 while r8 >= 5 (6 times), +100 below (4 times).
+    EXPECT_EQ(result.exitCode, 406);
+}
+
+TEST(Engine, EnlargedRunFiresAndRepairsFaults)
+{
+    const char *source = R"(
+main:   li   r8, 64
+        li   r9, 0
+loop:   li   r13, 7
+        rem  r14, r8, r13
+        bnez r14, skip       # biased taken
+        addi r9, r9, 10
+skip:   addi r8, r8, -1
+        bnez r8, loop
+        andi a0, r9, 0xff
+        li   v0, 0
+        syscall
+)";
+    const Program prog = assemble(source);
+    Profile profile;
+    {
+        SimOS os;
+        InterpOptions opts;
+        opts.profile = &profile;
+        interpret(prog, os, opts);
+    }
+    SimOS ref_os;
+    const RunResult ref = interpret(prog, ref_os);
+
+    const CodeImage single = buildCfg(prog);
+    EnlargeStats stats;
+    CodeImage enlarged = enlarge(single, profile, {}, &stats);
+    ASSERT_GT(stats.faultNodes, 0u);
+
+    MachineConfig config = cfg(Discipline::Dyn4, 8, 'A',
+                               BranchMode::Enlarged);
+    translate(enlarged, config);
+    SimOS os;
+    EngineOptions opts;
+    opts.config = config;
+    const EngineResult result = simulate(enlarged, os, opts);
+    EXPECT_EQ(result.exitCode, ref.exitCode);
+    EXPECT_GT(result.faultsFired, 0u);
+    EXPECT_GT(result.executedNodes, result.retiredNodes);
+}
+
+TEST(Engine, PerfectPredictionNeedsTrace)
+{
+    const Program prog = assemble(kCountdown);
+    CodeImage image = buildCfg(prog);
+    MachineConfig config = cfg(Discipline::Dyn4, 8, 'A',
+                               BranchMode::Perfect);
+    translate(image, config);
+    SimOS os;
+    EngineOptions opts;
+    opts.config = config;
+    EXPECT_DEATH(simulate(image, os, opts), "trace");
+}
+
+TEST(Engine, PerfectPredictionUpperBound)
+{
+    const Program prog = assemble(kCountdown);
+
+    CodeImage image = buildCfg(prog);
+    MachineConfig config = cfg(Discipline::Dyn256, 8, 'A',
+                               BranchMode::Perfect);
+    translate(image, config);
+
+    SimOS trace_os;
+    AtomicRunOptions topts;
+    topts.recordTrace = true;
+    CodeImage raw = buildCfg(prog);
+    AtomicRunResult trace = runAtomic(raw, trace_os, topts);
+
+    SimOS os;
+    EngineOptions opts;
+    opts.config = config;
+    opts.perfectTrace = &trace.blockTrace;
+    const EngineResult perfect = simulate(image, os, opts);
+
+    const SimOut predicted =
+        simulateSource(kCountdown, cfg(Discipline::Dyn256, 8, 'A'));
+    EXPECT_LE(predicted.result.nodesPerCycle(),
+              perfect.nodesPerCycle() + 1e-9);
+    EXPECT_EQ(perfect.mispredicts, 0u);
+    EXPECT_EQ(perfect.faultsFired, 0u);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    const SimOut a = simulateSource(kCountdown, cfg(Discipline::Dyn4, 8, 'G'));
+    const SimOut b = simulateSource(kCountdown, cfg(Discipline::Dyn4, 8, 'G'));
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.executedNodes, b.result.executedNodes);
+    EXPECT_EQ(a.result.mispredicts, b.result.mispredicts);
+}
+
+TEST(Engine, UntranslatedImageRejected)
+{
+    const Program prog = assemble(kCountdown);
+    CodeImage image = buildCfg(prog); // no words
+    SimOS os;
+    EngineOptions opts;
+    opts.config = cfg(Discipline::Dyn4, 8, 'A');
+    EXPECT_DEATH(simulate(image, os, opts), "words");
+}
+
+} // namespace
+} // namespace fgp

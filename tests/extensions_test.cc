@@ -1,0 +1,325 @@
+/**
+ * Tests for the extensions beyond the paper's baseline: return-address
+ * stack, profile static hints, fault-target prediction, window override
+ * and conservative disambiguation — including golden-model equivalence
+ * with every extension enabled at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "branch/predictor.hh"
+#include "bbe/enlarge.hh"
+#include "harness/experiment.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "vm/interp.hh"
+
+namespace fgp {
+namespace {
+
+MachineConfig
+cfg(Discipline d, int issue, char mem, BranchMode branch)
+{
+    return {d, issueModel(issue), memoryConfig(mem), branch};
+}
+
+TEST(Ras, PushPopLifo)
+{
+    PredictorOptions opts;
+    opts.rasDepth = 4;
+    BranchPredictor bp(opts);
+    EXPECT_TRUE(bp.rasEnabled());
+    bp.pushReturn(10);
+    bp.pushReturn(20);
+    EXPECT_EQ(bp.popReturn(), 20);
+    EXPECT_EQ(bp.popReturn(), 10);
+    EXPECT_EQ(bp.popReturn(), -1); // empty
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    PredictorOptions opts;
+    opts.rasDepth = 2;
+    BranchPredictor bp(opts);
+    bp.pushReturn(1);
+    bp.pushReturn(2);
+    bp.pushReturn(3); // drops 1
+    EXPECT_EQ(bp.popReturn(), 3);
+    EXPECT_EQ(bp.popReturn(), 2);
+    EXPECT_EQ(bp.popReturn(), -1);
+}
+
+TEST(Ras, DisabledIsNoop)
+{
+    BranchPredictor bp;
+    EXPECT_FALSE(bp.rasEnabled());
+    bp.pushReturn(10);
+    EXPECT_EQ(bp.popReturn(), -1);
+}
+
+TEST(ProfileHints, OverrideColdPrediction)
+{
+    std::unordered_map<std::int32_t, bool> hints;
+    hints[100] = false; // forward... backward branch hinted not-taken
+    hints[200] = true;  // forward branch hinted taken
+
+    PredictorOptions opts;
+    opts.staticHint = StaticHint::Profile;
+    opts.profileHints = &hints;
+    BranchPredictor bp(opts);
+
+    // pc 100 branching backward would be BTFN-taken; the hint wins.
+    EXPECT_FALSE(bp.predictConditional(100, 50));
+    // pc 200 branching forward would be BTFN-not-taken; the hint wins.
+    EXPECT_TRUE(bp.predictConditional(200, 300));
+    // No hint: fall back to BTFN.
+    EXPECT_TRUE(bp.predictConditional(300, 10));
+}
+
+TEST(ProfileHints, RequireTable)
+{
+    PredictorOptions opts;
+    opts.staticHint = StaticHint::Profile;
+    EXPECT_THROW(BranchPredictor bp(opts), FatalError);
+}
+
+TEST(Extensions, RasReducesReturnMispredicts)
+{
+    // compress calls out_char from two alternating sites in its hot
+    // loop, which defeats a last-target predictor; a RAS nails it.
+    const MachineConfig config =
+        cfg(Discipline::Dyn256, 8, 'A', BranchMode::Enlarged);
+
+    ExperimentRunner base(0.5);
+    const ExperimentResult without = base.run("compress", config);
+
+    ExperimentRunner with_ras(0.5);
+    ExperimentRunner::EngineTweaks tweaks;
+    tweaks.rasDepth = 16;
+    with_ras.setEngineTweaks(tweaks);
+    const ExperimentResult with = with_ras.run("compress", config);
+
+    EXPECT_LT(with.engine.mispredicts, without.engine.mispredicts / 2);
+    EXPECT_GT(with.nodesPerCycle, without.nodesPerCycle);
+}
+
+TEST(Extensions, FaultTargetPredictionReducesFaults)
+{
+    // A loop whose branch bias FLIPS between the profile run and the
+    // measurement run: enlargement fuses the profile-hot path, so the
+    // measurement run faults almost every iteration — unless the
+    // fault-target chooser learns to fetch the companion directly.
+    const char *source = R"(
+main:   li   r8, 200
+        li   r9, 0
+        la   r20, mode
+        lw   r21, 0(r20)     # 0 in profile-like run, 1 in measure-like
+loop:   beqz r21, cold       # profile: taken; measurement: not taken
+        addi r9, r9, 1
+        j    next
+cold:   addi r9, r9, 2
+next:   addi r8, r8, -1
+        bnez r8, loop
+        andi a0, r9, 0xff
+        li   v0, 0
+        syscall
+        .data
+mode:   .word 0
+)";
+    // Build the profile with mode=0 (branch not taken each iteration...
+    // beqz r21 with r21=0 is TAKEN), then measure with mode=1 (fall
+    // through). Patch the data byte between runs.
+    Program prog = assemble(source, "flip");
+
+    Profile profile;
+    {
+        SimOS os;
+        InterpOptions opts;
+        opts.profile = &profile;
+        interpret(prog, os, opts);
+    }
+    // Flip the mode word for the measured run.
+    prog.data[0] = 1;
+
+    const CodeImage single = buildCfg(prog);
+    EnlargeOptions eopts;
+    eopts.minArcCount = 8;
+    CodeImage enlarged = enlarge(single, profile, eopts);
+
+    const MachineConfig config =
+        cfg(Discipline::Dyn4, 8, 'A', BranchMode::Enlarged);
+
+    auto run = [&](bool predict_faults) {
+        CodeImage image = enlarged;
+        translate(image, config);
+        SimOS os;
+        EngineOptions opts;
+        opts.config = config;
+        opts.predictFaultTargets = predict_faults;
+        return simulate(image, os, opts);
+    };
+
+    const EngineResult plain = run(false);
+    const EngineResult chooser = run(true);
+    ASSERT_GT(plain.faultsFired, 50u) << "test premise: many faults";
+    EXPECT_LT(chooser.faultsFired, plain.faultsFired / 4);
+    EXPECT_EQ(chooser.exitCode, plain.exitCode);
+    EXPECT_LE(chooser.cycles, plain.cycles);
+}
+
+TEST(Extensions, WindowOverrideCapsOccupancy)
+{
+    for (int window : {1, 3, 7, 32}) {
+        ExperimentRunner runner(0.1);
+        ExperimentRunner::EngineTweaks tweaks;
+        tweaks.windowOverride = window;
+        runner.setEngineTweaks(tweaks);
+        const ExperimentResult r = runner.run(
+            "grep", cfg(Discipline::Dyn256, 8, 'A', BranchMode::Single));
+        EXPECT_LE(r.engine.windowOccupancy.max(),
+                  static_cast<std::uint64_t>(window));
+    }
+}
+
+TEST(Extensions, WindowGrowthHelps)
+{
+    auto npc_at = [](int window) {
+        ExperimentRunner runner(0.4);
+        ExperimentRunner::EngineTweaks tweaks;
+        tweaks.windowOverride = window;
+        runner.setEngineTweaks(tweaks);
+        return runner
+            .run("diff", cfg(Discipline::Dyn256, 8, 'A',
+                             BranchMode::Enlarged))
+            .nodesPerCycle;
+    };
+    const double w1 = npc_at(1);
+    const double w4 = npc_at(4);
+    const double w64 = npc_at(64);
+    EXPECT_GT(w4, w1);
+    EXPECT_GE(w64, w4 * 0.98);
+}
+
+TEST(Extensions, ConservativeLoadsSlowerButCorrect)
+{
+    const MachineConfig config =
+        cfg(Discipline::Dyn256, 8, 'A', BranchMode::Enlarged);
+
+    ExperimentRunner fast(0.4);
+    const double dynamic = fast.meanNodesPerCycle(config);
+
+    ExperimentRunner slow(0.4);
+    ExperimentRunner::EngineTweaks tweaks;
+    tweaks.conservativeLoads = true;
+    slow.setEngineTweaks(tweaks); // run() checks outputs internally
+    const double conservative = slow.meanNodesPerCycle(config);
+
+    EXPECT_LE(conservative, dynamic + 1e-9);
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // A strictly alternating branch defeats a 2-bit counter but is a
+    // one-bit-of-history pattern gshare captures perfectly.
+    PredictorOptions gopts;
+    gopts.direction = DirectionPredictor::Gshare;
+    gopts.gshareBits = 10;
+    BranchPredictor gshare(gopts);
+    BranchPredictor twobit;
+
+    int gshare_wrong = 0;
+    int twobit_wrong = 0;
+    bool taken = false;
+    for (int i = 0; i < 400; ++i) {
+        taken = !taken;
+        gshare_wrong += gshare.predictConditional(7, 3) != taken;
+        gshare.updateConditional(7, taken);
+        twobit_wrong += twobit.predictConditional(7, 3) != taken;
+        twobit.updateConditional(7, taken);
+    }
+    EXPECT_LT(gshare_wrong, 30);   // warms up, then perfect
+    EXPECT_GT(twobit_wrong, 150);  // counter thrashes
+}
+
+TEST(Gshare, RejectsBadTableSize)
+{
+    PredictorOptions opts;
+    opts.direction = DirectionPredictor::Gshare;
+    opts.gshareBits = 2;
+    EXPECT_THROW(BranchPredictor bp(opts), FatalError);
+}
+
+TEST(Gshare, EndToEndEquivalence)
+{
+    ExperimentRunner runner(0.2);
+    ExperimentRunner::EngineTweaks tweaks;
+    tweaks.direction = DirectionPredictor::Gshare;
+    runner.setEngineTweaks(tweaks);
+    // run() checks architectural outputs internally.
+    for (const std::string &wl : workloadNames()) {
+        const ExperimentResult r = runner.run(
+            wl, cfg(Discipline::Dyn4, 8, 'A', BranchMode::Enlarged));
+        EXPECT_TRUE(r.engine.exited) << wl;
+    }
+}
+
+TEST(CustomIssue, ShapesWork)
+{
+    const IssueModel shape = customIssue(3, 5);
+    EXPECT_EQ(shape.memSlots, 3);
+    EXPECT_EQ(shape.aluSlots, 5);
+    EXPECT_EQ(shape.width(), 8);
+    EXPECT_FALSE(shape.sequential);
+    EXPECT_THROW(customIssue(0, 4), FatalError);
+
+    ExperimentRunner runner(0.15);
+    const ExperimentResult r = runner.run(
+        "grep", {Discipline::Dyn4, shape, memoryConfig('A'),
+                 BranchMode::Single});
+    EXPECT_TRUE(r.engine.exited);
+    EXPECT_LE(r.engine.nodesPerCycle(), 8.0 + 1e-9);
+}
+
+TEST(WindowMetrics, InvariantsHold)
+{
+    ExperimentRunner runner(0.3);
+    const ExperimentResult r = runner.run(
+        "diff", cfg(Discipline::Dyn256, 8, 'A', BranchMode::Enlarged));
+    // ready <= active <= valid, on average.
+    EXPECT_LE(r.engine.readyNodes.mean(), r.engine.activeNodes.mean());
+    EXPECT_LE(r.engine.activeNodes.mean(), r.engine.validNodes.mean());
+    EXPECT_GT(r.engine.validNodes.mean(), 0.0);
+}
+
+/** All extensions on at once: architectural equivalence must hold. */
+class AllTweaksGolden : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllTweaksGolden, EngineMatchesVm)
+{
+    ExperimentRunner runner(0.15);
+    ExperimentRunner::EngineTweaks tweaks;
+    tweaks.staticHint = StaticHint::Profile;
+    tweaks.rasDepth = 16;
+    tweaks.predictFaultTargets = true;
+    tweaks.direction = DirectionPredictor::Gshare;
+    runner.setEngineTweaks(tweaks);
+
+    for (Discipline d : allDisciplines()) {
+        for (BranchMode bm : {BranchMode::Single, BranchMode::Enlarged}) {
+            // run() panics on architectural divergence.
+            const ExperimentResult r =
+                runner.run(GetParam(), cfg(d, 8, 'G', bm));
+            EXPECT_TRUE(r.engine.exited);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, AllTweaksGolden,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace fgp

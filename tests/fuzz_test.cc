@@ -1,0 +1,224 @@
+/**
+ * Structured program fuzzer: generates random — but terminating by
+ * construction — programs with counted loops, data-dependent branches,
+ * subroutine calls and memory traffic, then checks that the cycle engine
+ * reproduces the functional VM's architectural results across machine
+ * configurations (with and without enlargement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "bbe/enlarge.hh"
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "tld/translate.hh"
+#include "vm/interp.hh"
+
+namespace fgp {
+namespace {
+
+/**
+ * Build a random program. Structure: a few counted outer loops, each
+ * containing random straight-line work, a data-dependent diamond and
+ * optionally a call to one of a few generated leaf subroutines. The
+ * result register mix is dumped to memory and summarized in the exit
+ * code.
+ */
+std::string
+randomProgram(Rng &rng)
+{
+    std::string text;
+    auto reg = [&](int lo, int hi) {
+        return "r" + std::to_string(rng.range(lo, hi));
+    };
+    auto emit_work = [&](int count) {
+        for (int i = 0; i < count; ++i) {
+            switch (rng.below(9)) {
+              case 0:
+                text += "        li " + reg(8, 15) + ", " +
+                        std::to_string(rng.range(-64, 64)) + "\n";
+                break;
+              case 1:
+                text += "        add " + reg(8, 15) + ", " + reg(8, 15) +
+                        ", " + reg(8, 15) + "\n";
+                break;
+              case 2:
+                text += "        sub " + reg(8, 15) + ", " + reg(8, 15) +
+                        ", " + reg(8, 15) + "\n";
+                break;
+              case 3:
+                text += "        mul " + reg(8, 15) + ", " + reg(8, 15) +
+                        ", " + reg(8, 15) + "\n";
+                break;
+              case 4:
+                text += "        xori " + reg(8, 15) + ", " + reg(8, 15) +
+                        ", " + std::to_string(rng.range(0, 255)) + "\n";
+                break;
+              case 5:
+                text += "        andi " + reg(8, 15) + ", " + reg(8, 15) +
+                        ", 1023\n";
+                break;
+              case 6: {
+                // Bounded random memory access within the scratch array.
+                const std::string r = reg(8, 15);
+                text += "        andi r16, " + r + ", 252\n";
+                text += "        add  r16, r16, r28\n";
+                text += "        lw   " + reg(8, 15) + ", 0(r16)\n";
+                break;
+              }
+              case 7: {
+                const std::string r = reg(8, 15);
+                text += "        andi r17, " + r + ", 252\n";
+                text += "        add  r17, r17, r28\n";
+                text += "        sw   " + reg(8, 15) + ", 0(r17)\n";
+                break;
+              }
+              case 8:
+                text += "        srai " + reg(8, 15) + ", " + reg(8, 15) +
+                        ", " + std::to_string(rng.range(0, 7)) + "\n";
+                break;
+            }
+        }
+    };
+
+    const int num_funcs = static_cast<int>(rng.range(1, 3));
+    const int num_loops = static_cast<int>(rng.range(1, 3));
+
+    text += "main:   la   r28, scratch\n";
+    for (int loop = 0; loop < num_loops; ++loop) {
+        const std::string counter = "r" + std::to_string(20 + loop);
+        const std::string label = "oloop" + std::to_string(loop);
+        text += "        li   " + counter + ", " +
+                std::to_string(rng.range(3, 24)) + "\n";
+        text += label + ":\n";
+        emit_work(static_cast<int>(rng.range(1, 6)));
+
+        // Data-dependent diamond.
+        const std::string skip = label + "_skip";
+        const std::string join = label + "_join";
+        text += "        andi r18, " + reg(8, 15) + ", " +
+                std::to_string(1 + rng.below(7)) + "\n";
+        text += "        beqz r18, " + skip + "\n";
+        emit_work(static_cast<int>(rng.range(1, 4)));
+        if (rng.chance(1, 2))
+            text += "        jal  fn" +
+                    std::to_string(rng.below(
+                        static_cast<std::uint64_t>(num_funcs))) +
+                    "\n";
+        text += "        j    " + join + "\n";
+        text += skip + ":\n";
+        emit_work(static_cast<int>(rng.range(1, 3)));
+        text += join + ":\n";
+
+        text += "        addi " + counter + ", " + counter + ", -1\n";
+        text += "        bnez " + counter + ", " + label + "\n";
+    }
+
+    // Summarize every register into the exit code.
+    text += "        li   r19, 0\n";
+    for (int r = 8; r <= 15; ++r)
+        text += "        add  r19, r19, r" + std::to_string(r) + "\n";
+    text += "        andi a0, r19, 0x7f\n";
+    text += "        li   v0, 0\n";
+    text += "        syscall\n";
+
+    for (int f = 0; f < num_funcs; ++f) {
+        text += "fn" + std::to_string(f) + ":\n";
+        emit_work(static_cast<int>(rng.range(1, 4)));
+        text += "        ret\n";
+    }
+
+    text += "        .data\nscratch: .space 512\n";
+    return text;
+}
+
+TEST(Fuzz, EngineMatchesVmOnRandomPrograms)
+{
+    Rng rng(0xc0ffee);
+    const std::vector<MachineConfig> configs = {
+        {Discipline::Static, issueModel(4), memoryConfig('A'),
+         BranchMode::Single},
+        {Discipline::Dyn1, issueModel(8), memoryConfig('D'),
+         BranchMode::Single},
+        {Discipline::Dyn4, issueModel(8), memoryConfig('G'),
+         BranchMode::Single},
+        {Discipline::Dyn256, issueModel(8), memoryConfig('A'),
+         BranchMode::Single},
+    };
+
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::string source = randomProgram(rng);
+        Program prog;
+        try {
+            prog = assemble(source, "fuzz");
+        } catch (const FatalError &err) {
+            FAIL() << "generator produced invalid assembly: " << err.what()
+                   << "\n"
+                   << source;
+        }
+
+        SimOS vm_os;
+        const RunResult ref = interpret(prog, vm_os);
+        ASSERT_TRUE(ref.exited) << source;
+
+        for (const MachineConfig &config : configs) {
+            CodeImage image = buildCfg(prog);
+            translate(image, config);
+            SimOS os;
+            EngineOptions opts;
+            opts.config = config;
+            const EngineResult r = simulate(image, os, opts);
+            ASSERT_EQ(r.exitCode, ref.exitCode)
+                << "trial " << trial << " config " << config.name() << "\n"
+                << source;
+            ASSERT_EQ(r.retiredNodes, ref.dynamicNodes)
+                << "trial " << trial << " config " << config.name();
+        }
+    }
+}
+
+TEST(Fuzz, EnlargedImagesMatchVmOnRandomPrograms)
+{
+    Rng rng(0xfacade);
+    for (int trial = 0; trial < 15; ++trial) {
+        const std::string source = randomProgram(rng);
+        const Program prog = assemble(source, "fuzz-en");
+
+        SimOS vm_os;
+        const RunResult ref = interpret(prog, vm_os);
+
+        Profile profile;
+        {
+            SimOS os;
+            InterpOptions opts;
+            opts.profile = &profile;
+            interpret(prog, os, opts);
+        }
+        EnlargeOptions eopts;
+        eopts.minArcCount = 4;
+        eopts.minArcRatio = 0.55;
+        const CodeImage enlarged =
+            enlarge(buildCfg(prog), profile, eopts);
+
+        for (Discipline d :
+             {Discipline::Static, Discipline::Dyn4, Discipline::Dyn256}) {
+            CodeImage image = enlarged;
+            const MachineConfig config{d, issueModel(8), memoryConfig('A'),
+                                       BranchMode::Enlarged};
+            translate(image, config);
+            SimOS os;
+            EngineOptions opts;
+            opts.config = config;
+            const EngineResult r = simulate(image, os, opts);
+            ASSERT_EQ(r.exitCode, ref.exitCode)
+                << "trial " << trial << " " << config.name() << "\n"
+                << source;
+        }
+    }
+}
+
+} // namespace
+} // namespace fgp

@@ -1,0 +1,131 @@
+/**
+ * Golden-model equivalence: for every benchmark and a grid of machine
+ * configurations (at reduced input scale), the cycle engine's
+ * architectural results must match the functional VM byte-for-byte. The
+ * ExperimentRunner panics on divergence, so a clean run IS the assertion;
+ * this test also cross-checks metric plumbing.
+ *
+ * The full 560-point grid runs at a tiny input scale behind one test;
+ * a denser medium-scale subset covers the interesting corners.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace fgp {
+namespace {
+
+struct GoldenCase
+{
+    std::string workload;
+    MachineConfig config;
+};
+
+std::vector<GoldenCase>
+mediumGrid()
+{
+    std::vector<GoldenCase> cases;
+    for (const std::string &wl : workloadNames()) {
+        for (Discipline d : allDisciplines()) {
+            for (int im : {1, 4, 8}) {
+                for (char mem : {'A', 'D', 'G'}) {
+                    for (BranchMode bm :
+                         {BranchMode::Single, BranchMode::Enlarged}) {
+                        cases.push_back(
+                            {wl, {d, issueModel(im), memoryConfig(mem), bm}});
+                    }
+                    if (d == Discipline::Dyn4 || d == Discipline::Dyn256) {
+                        cases.push_back({wl,
+                                         {d, issueModel(im),
+                                          memoryConfig(mem),
+                                          BranchMode::Perfect}});
+                    }
+                }
+            }
+        }
+    }
+    return cases;
+}
+
+class GoldenEquivalence : public ::testing::TestWithParam<GoldenCase>
+{
+  protected:
+    static ExperimentRunner &
+    runner()
+    {
+        static auto *shared = new ExperimentRunner(/*scale=*/0.25);
+        return *shared;
+    }
+};
+
+TEST_P(GoldenEquivalence, EngineMatchesVm)
+{
+    const GoldenCase &c = GetParam();
+    // run() panics if stdout or the exit code diverges from the VM.
+    const ExperimentResult r = runner().run(c.workload, c.config);
+
+    EXPECT_TRUE(r.engine.exited);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.nodesPerCycle, 0.0);
+    // Raw machine throughput is bounded by the word width. (The
+    // reference-node metric may exceed it slightly under enlargement:
+    // local re-optimization removes nodes, a genuine software speedup.)
+    EXPECT_LE(r.engine.nodesPerCycle(),
+              static_cast<double>(c.config.issue.width()) + 1e-9);
+
+    // Single-block images translate 1:1, so raw retired nodes equal the
+    // functional VM's dynamic node count.
+    if (c.config.branch == BranchMode::Single) {
+        EXPECT_EQ(r.engine.retiredNodes, r.refNodes);
+    }
+
+    // Redundancy is a fraction.
+    EXPECT_GE(r.engine.redundancy(), 0.0);
+    EXPECT_LT(r.engine.redundancy(), 1.0);
+
+    if (c.config.branch == BranchMode::Perfect) {
+        EXPECT_EQ(r.engine.mispredicts, 0u);
+        EXPECT_EQ(r.engine.faultsFired, 0u);
+    }
+
+    EXPECT_LE(r.engine.windowOccupancy.max(),
+              static_cast<std::uint64_t>(
+                  windowBlocks(c.config.discipline)));
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<GoldenCase> &info)
+{
+    std::string name = info.param.workload + "_" +
+                       disciplineName(info.param.config.discipline) + "_" +
+                       info.param.config.pointCode() + "_" +
+                       branchModeName(info.param.config.branch);
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(MediumGrid, GoldenEquivalence,
+                         ::testing::ValuesIn(mediumGrid()), caseName);
+
+/** The complete 560-configuration grid on tiny inputs, per benchmark. */
+class FullGridTinyInputs : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FullGridTinyInputs, AllConfigurationsMatchVm)
+{
+    ExperimentRunner runner(/*scale=*/0.05);
+    std::uint64_t total_cycles = 0;
+    for (const MachineConfig &config : fullConfigGrid()) {
+        const ExperimentResult r = runner.run(GetParam(), config);
+        total_cycles += r.cycles;
+    }
+    EXPECT_GT(total_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, FullGridTinyInputs,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace fgp

@@ -1,0 +1,282 @@
+/** Unit tests for opcodes, nodes, programs, CFG and image validation. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+#include "ir/cfg.hh"
+#include "ir/image.hh"
+#include "ir/printer.hh"
+#include "ir/program.hh"
+#include "masm/assembler.hh"
+
+namespace fgp {
+namespace {
+
+TEST(Opcode, MetadataClasses)
+{
+    EXPECT_EQ(nodeClass(Opcode::ADD), NodeClass::IntAlu);
+    EXPECT_EQ(nodeClass(Opcode::LW), NodeClass::Mem);
+    EXPECT_EQ(nodeClass(Opcode::SW), NodeClass::Mem);
+    EXPECT_EQ(nodeClass(Opcode::BEQ), NodeClass::Control);
+    EXPECT_EQ(nodeClass(Opcode::J), NodeClass::Control);
+    EXPECT_EQ(nodeClass(Opcode::SYSCALL), NodeClass::Sys);
+    EXPECT_EQ(nodeClass(Opcode::FEQ), NodeClass::Fault);
+}
+
+TEST(Opcode, LoadStoreFlags)
+{
+    EXPECT_TRUE(isLoad(Opcode::LW));
+    EXPECT_TRUE(isLoad(Opcode::LB));
+    EXPECT_TRUE(isLoad(Opcode::LBU));
+    EXPECT_FALSE(isLoad(Opcode::SW));
+    EXPECT_TRUE(isStore(Opcode::SW));
+    EXPECT_TRUE(isStore(Opcode::SB));
+    EXPECT_FALSE(isStore(Opcode::LW));
+    EXPECT_TRUE(isMem(Opcode::SB));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+}
+
+TEST(Opcode, MnemonicRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NUM_OPCODES); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const auto back = opcodeFromMnemonic(mnemonic(op));
+        ASSERT_TRUE(back.has_value()) << mnemonic(op);
+        EXPECT_EQ(*back, op);
+    }
+    EXPECT_FALSE(opcodeFromMnemonic("bogus").has_value());
+    EXPECT_EQ(opcodeFromMnemonic("ADD"), Opcode::ADD); // case-insensitive
+}
+
+TEST(Opcode, BranchFaultMapping)
+{
+    EXPECT_EQ(branchToFault(Opcode::BEQ), Opcode::FEQ);
+    EXPECT_EQ(branchToFault(Opcode::BGEU), Opcode::FGEU);
+    EXPECT_EQ(faultToBranch(Opcode::FLT), Opcode::BLT);
+    for (auto op : {Opcode::BEQ, Opcode::BNE, Opcode::BLT, Opcode::BGE,
+                    Opcode::BLTU, Opcode::BGEU})
+        EXPECT_EQ(faultToBranch(branchToFault(op)), op);
+}
+
+TEST(Opcode, InvertCondition)
+{
+    EXPECT_EQ(invertCondition(Opcode::BEQ), Opcode::BNE);
+    EXPECT_EQ(invertCondition(Opcode::BNE), Opcode::BEQ);
+    EXPECT_EQ(invertCondition(Opcode::BLT), Opcode::BGE);
+    EXPECT_EQ(invertCondition(Opcode::BGEU), Opcode::BLTU);
+    for (auto op : {Opcode::BEQ, Opcode::BLT, Opcode::BLTU, Opcode::FNE})
+        EXPECT_EQ(invertCondition(invertCondition(op)), op);
+}
+
+TEST(Node, SrcRegsPerForm)
+{
+    std::array<std::uint8_t, 5> srcs;
+
+    Node add{Opcode::ADD, 3, 1, 2};
+    EXPECT_EQ(add.srcRegs(srcs), 2);
+    EXPECT_EQ(srcs[0], 1);
+    EXPECT_EQ(srcs[1], 2);
+    EXPECT_EQ(add.dstReg(), 3);
+
+    Node load{Opcode::LW, 5, 6, kRegNone, 8};
+    EXPECT_EQ(load.srcRegs(srcs), 1);
+    EXPECT_EQ(srcs[0], 6);
+    EXPECT_EQ(load.dstReg(), 5);
+
+    Node store{Opcode::SW, kRegNone, 6, 7, 8};
+    EXPECT_EQ(store.srcRegs(srcs), 2);
+    EXPECT_EQ(store.dstReg(), kRegNone);
+
+    Node sys{Opcode::SYSCALL};
+    EXPECT_EQ(sys.srcRegs(srcs), 5);
+    EXPECT_EQ(srcs[0], kRegV0);
+    EXPECT_EQ(sys.dstReg(), kRegV0);
+
+    Node jump{Opcode::J};
+    EXPECT_EQ(jump.srcRegs(srcs), 0);
+    EXPECT_EQ(jump.dstReg(), kRegNone);
+
+    Node jal{Opcode::JAL, kRegRa};
+    EXPECT_EQ(jal.srcRegs(srcs), 0);
+    EXPECT_EQ(jal.dstReg(), kRegRa);
+
+    Node jr{Opcode::JR, kRegNone, kRegRa};
+    EXPECT_EQ(jr.srcRegs(srcs), 1);
+    EXPECT_EQ(srcs[0], kRegRa);
+}
+
+TEST(Program, ValidationCatchesBadTargets)
+{
+    Program prog;
+    Node branch;
+    branch.op = Opcode::BEQ;
+    branch.rs1 = 1;
+    branch.rs2 = 2;
+    branch.target = 5; // out of range
+    prog.instrs.push_back(branch);
+    EXPECT_THROW(validateProgram(prog), FatalError);
+}
+
+TEST(Program, ValidationCatchesScratchRegisters)
+{
+    Program prog;
+    Node add;
+    add.op = Opcode::ADD;
+    add.rd = kNumArchRegs; // first scratch register
+    add.rs1 = 1;
+    add.rs2 = 2;
+    prog.instrs.push_back(add);
+    EXPECT_THROW(validateProgram(prog), FatalError);
+}
+
+TEST(Program, ValidationCatchesFaultNodes)
+{
+    Program prog;
+    Node fault;
+    fault.op = Opcode::FEQ;
+    fault.rs1 = 1;
+    fault.rs2 = 2;
+    fault.target = 0;
+    prog.instrs.push_back(fault);
+    EXPECT_THROW(validateProgram(prog), FatalError);
+}
+
+TEST(Program, EmptyProgramInvalid)
+{
+    Program prog;
+    EXPECT_THROW(validateProgram(prog), FatalError);
+}
+
+Program
+miniProgram()
+{
+    return assemble(R"(
+main:   li   r8, 3
+loop:   addi r8, r8, -1
+        bnez r8, loop
+        jal  helper
+        li   v0, 0
+        li   a0, 0
+        syscall
+helper: ret
+)");
+}
+
+TEST(Cfg, LeadersAndFallthrough)
+{
+    const Program prog = miniProgram();
+    const CodeImage image = buildCfg(prog);
+
+    // Blocks: [li], [addi,bnez], [jal], [li,li,syscall], [ret]
+    ASSERT_EQ(image.blocks.size(), 5u);
+    EXPECT_EQ(image.entryBlock, image.blockAtPc(prog.entry));
+
+    const ImageBlock &b0 = image.blocks[0];
+    EXPECT_EQ(b0.nodes.size(), 1u);
+    EXPECT_EQ(b0.terminal(), nullptr);
+    EXPECT_EQ(b0.fallthroughPc, 1);
+
+    const ImageBlock &b1 = image.blocks[1];
+    ASSERT_NE(b1.terminal(), nullptr);
+    EXPECT_EQ(b1.terminal()->op, Opcode::BNE);
+    EXPECT_EQ(b1.fallthroughPc, 3);
+
+    const ImageBlock &b2 = image.blocks[2];
+    ASSERT_NE(b2.terminal(), nullptr);
+    EXPECT_EQ(b2.terminal()->op, Opcode::JAL);
+
+    const ImageBlock &b3 = image.blocks[3];
+    EXPECT_TRUE(b3.hasSyscall);
+    EXPECT_EQ(b3.fallthroughPc, 7); // the ret block follows
+
+    const ImageBlock &b4 = image.blocks[4];
+    ASSERT_NE(b4.terminal(), nullptr);
+    EXPECT_EQ(b4.terminal()->op, Opcode::JR);
+}
+
+TEST(Cfg, OrigPcAssigned)
+{
+    const Program prog = miniProgram();
+    const CodeImage image = buildCfg(prog);
+    for (const ImageBlock &block : image.blocks) {
+        std::int32_t expect = block.entryPc;
+        for (const Node &node : block.nodes)
+            EXPECT_EQ(node.origPc, expect++);
+    }
+}
+
+TEST(Cfg, EveryLeaderMapped)
+{
+    const Program prog = miniProgram();
+    const CodeImage image = buildCfg(prog);
+    for (const ImageBlock &block : image.blocks)
+        EXPECT_EQ(image.blockAtPc(block.entryPc), block.id);
+}
+
+TEST(Image, ValidateCatchesMisplacedControl)
+{
+    const Program prog = miniProgram();
+    CodeImage image = buildCfg(prog);
+    // Move a control node away from the end of its block.
+    ImageBlock &b1 = image.blocks[1];
+    std::swap(b1.nodes[0], b1.nodes[1]);
+    EXPECT_THROW(validateImage(image), FatalError);
+}
+
+TEST(Image, ValidateCatchesBadFaultTarget)
+{
+    const Program prog = miniProgram();
+    CodeImage image = buildCfg(prog);
+    Node fault;
+    fault.op = Opcode::FEQ;
+    fault.rs1 = 1;
+    fault.rs2 = 2;
+    fault.target = 999; // no such block
+    image.blocks[0].nodes.insert(image.blocks[0].nodes.begin(), fault);
+    EXPECT_THROW(validateImage(image), FatalError);
+}
+
+TEST(Image, ValidateCatchesDuplicateWordEntries)
+{
+    const Program prog = miniProgram();
+    CodeImage image = buildCfg(prog);
+    image.blocks[1].words = {{0, 0}, {1}};
+    EXPECT_THROW(validateImage(image), FatalError);
+}
+
+TEST(Printer, RegisterNames)
+{
+    EXPECT_EQ(regName(0), "r0");
+    EXPECT_EQ(regName(kRegSp), "sp");
+    EXPECT_EQ(regName(kRegRa), "ra");
+    EXPECT_EQ(regName(kNumArchRegs), "t0");
+    EXPECT_EQ(regName(kRegNone), "-");
+}
+
+TEST(Printer, FormatsEveryForm)
+{
+    Node add{Opcode::ADD, 3, 1, 2};
+    EXPECT_EQ(formatNode(add), "add r3, r1, r2");
+    Node load{Opcode::LW, 5, 6, kRegNone, -8};
+    EXPECT_EQ(formatNode(load), "lw r5, -8(r6)");
+    Node store{Opcode::SB, kRegNone, 6, 7, 4};
+    EXPECT_EQ(formatNode(store), "sb r7, 4(r6)");
+    Node branch;
+    branch.op = Opcode::BLT;
+    branch.rs1 = 1;
+    branch.rs2 = 2;
+    branch.target = 10;
+    EXPECT_EQ(formatNode(branch), "blt r1, r2, .L10");
+    Node fault;
+    fault.op = Opcode::FNE;
+    fault.rs1 = 1;
+    fault.rs2 = 2;
+    fault.target = 3;
+    EXPECT_EQ(formatNode(fault), "fne r1, r2, @3");
+    Node sys{Opcode::SYSCALL};
+    EXPECT_EQ(formatNode(sys), "syscall");
+}
+
+} // namespace
+} // namespace fgp

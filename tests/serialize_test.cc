@@ -1,0 +1,153 @@
+/**
+ * Serialization tests: profile statistics files, enlargement plan files
+ * (the paper's inter-tool artifacts) and machine-config names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "bbe/enlarge.hh"
+#include "bbe/plan.hh"
+#include "harness/experiment.hh"
+#include "ir/cfg.hh"
+#include "vm/interp.hh"
+#include "vm/profile_io.hh"
+
+namespace fgp {
+namespace {
+
+TEST(ProfileIo, RoundTrip)
+{
+    Profile profile;
+    profile.recordBranch(10, true);
+    profile.recordBranch(10, true);
+    profile.recordBranch(10, false);
+    profile.recordBranch(99, false);
+    profile.recordJump(55);
+    profile.recordJump(55);
+
+    const Profile back = parseProfile(serializeProfile(profile));
+    EXPECT_EQ(back.arcs.at(10).taken, 2u);
+    EXPECT_EQ(back.arcs.at(10).notTaken, 1u);
+    EXPECT_EQ(back.arcs.at(99).notTaken, 1u);
+    EXPECT_EQ(back.jumps.at(55), 2u);
+    EXPECT_EQ(back.totalBranches, profile.totalBranches);
+}
+
+TEST(ProfileIo, StableOutput)
+{
+    Profile profile;
+    profile.recordBranch(30, true);
+    profile.recordBranch(10, false);
+    const std::string text = serializeProfile(profile);
+    // Sorted by pc for diffable files.
+    EXPECT_LT(text.find("branch 10"), text.find("branch 30"));
+}
+
+TEST(ProfileIo, RejectsGarbage)
+{
+    EXPECT_THROW(parseProfile("branch ten 1 2\n"), FatalError);
+    EXPECT_THROW(parseProfile("branch 10 1\n"), FatalError);
+    EXPECT_THROW(parseProfile("frobnicate 1 2\n"), FatalError);
+    // Comments and blank lines are fine.
+    const Profile empty = parseProfile("# comment\n\n");
+    EXPECT_TRUE(empty.arcs.empty());
+}
+
+TEST(PlanIo, RoundTrip)
+{
+    EnlargePlan plan;
+    plan.chains.push_back({{3, 7, 3, 7}});
+    plan.chains.push_back({{20, 25}});
+    const EnlargePlan back = parsePlan(serializePlan(plan));
+    ASSERT_EQ(back.chains.size(), 2u);
+    EXPECT_EQ(back.chains[0].entryPcs, (std::vector<std::int32_t>{3, 7, 3, 7}));
+    EXPECT_EQ(back.chains[1].entryPcs, (std::vector<std::int32_t>{20, 25}));
+}
+
+TEST(PlanIo, RejectsGarbage)
+{
+    EXPECT_THROW(parsePlan("chian 1 2\n"), FatalError);
+    EXPECT_THROW(parsePlan("chain 1\n"), FatalError);   // too short
+    EXPECT_THROW(parsePlan("chain 1 -2\n"), FatalError); // negative pc
+    EXPECT_THROW(parsePlan("chain a b\n"), FatalError);
+}
+
+TEST(PlanIo, PlannedFileReproducesDirectEnlargement)
+{
+    // planEnlargement -> serialize -> parse -> applyEnlargement must
+    // produce the same image as the one-step enlarge().
+    Workload wl = makeWorkload("grep");
+    wl.setScale(0.3);
+    Profile profile;
+    {
+        SimOS os;
+        wl.prepareOs(os, InputSet::Profile);
+        InterpOptions opts;
+        opts.profile = &profile;
+        interpret(wl.program(), os, opts);
+    }
+    const CodeImage single = buildCfg(wl.program());
+
+    const CodeImage direct = enlarge(single, profile);
+    const EnlargePlan plan = planEnlargement(single, profile);
+    const EnlargePlan reparsed = parsePlan(serializePlan(plan));
+    const CodeImage via_file = applyEnlargement(single, reparsed);
+
+    ASSERT_EQ(via_file.blocks.size(), direct.blocks.size());
+    for (std::size_t i = 0; i < direct.blocks.size(); ++i) {
+        EXPECT_EQ(via_file.blocks[i].nodes, direct.blocks[i].nodes)
+            << "block " << i;
+        EXPECT_EQ(via_file.blocks[i].entryPc, direct.blocks[i].entryPc);
+        EXPECT_EQ(via_file.blocks[i].companion, direct.blocks[i].companion);
+    }
+    EXPECT_EQ(via_file.entryByPc, direct.entryByPc);
+}
+
+TEST(PlanIo, ApplyValidatesControlFlow)
+{
+    Workload wl = makeWorkload("grep");
+    const CodeImage single = buildCfg(wl.program());
+
+    // A chain between blocks with no arc must be rejected.
+    EnlargePlan bogus;
+    const std::int32_t a = single.blocks[0].entryPc;
+    std::int32_t unrelated = -1;
+    for (const ImageBlock &block : single.blocks) {
+        if (block.entryPc != single.blocks[0].fallthroughPc &&
+            block.entryPc != a && !block.terminal()) {
+            unrelated = block.entryPc;
+            break;
+        }
+    }
+    bogus.chains.push_back({{a, unrelated >= 0 ? unrelated : a + 999}});
+    EXPECT_THROW(applyEnlargement(single, bogus), FatalError);
+}
+
+TEST(ConfigNames, ParseRoundTrip)
+{
+    for (Discipline d : allDisciplines()) {
+        for (BranchMode bm : {BranchMode::Single, BranchMode::Enlarged,
+                              BranchMode::Perfect}) {
+            const MachineConfig config{d, issueModel(5), memoryConfig('F'),
+                                       bm};
+            const MachineConfig back = parseMachineConfig(config.name());
+            EXPECT_EQ(back.name(), config.name());
+            EXPECT_EQ(back.discipline, config.discipline);
+            EXPECT_EQ(back.issue.index, config.issue.index);
+            EXPECT_EQ(back.memory.letter, config.memory.letter);
+            EXPECT_EQ(back.branch, config.branch);
+        }
+    }
+}
+
+TEST(ConfigNames, ParseRejectsGarbage)
+{
+    EXPECT_THROW(parseMachineConfig("dyn4"), FatalError);
+    EXPECT_THROW(parseMachineConfig("dyn5/8A/single"), FatalError);
+    EXPECT_THROW(parseMachineConfig("dyn4/9A/single"), FatalError);
+    EXPECT_THROW(parseMachineConfig("dyn4/8A/sometimes"), FatalError);
+}
+
+} // namespace
+} // namespace fgp

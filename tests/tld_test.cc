@@ -1,0 +1,559 @@
+/** Translating-loader tests: optimizer passes, dependence DAG, schedulers. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+#include "base/rng.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "tld/depgraph.hh"
+#include "tld/optimizer.hh"
+#include "tld/schedule.hh"
+#include "tld/translate.hh"
+#include "vm/atomic_runner.hh"
+
+namespace fgp {
+namespace {
+
+/** Build the single-block image of an assembly fragment. */
+CodeImage
+imageOf(const Program &prog)
+{
+    return buildCfg(prog);
+}
+
+TEST(Optimizer, CopyPropagation)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 5
+        mov  r2, r1
+        add  r3, r2, r2
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    OptimizerOptions opts;
+    opts.rename = false;
+    opts.eliminateDead = false;
+    const OptimizerStats stats = optimizeBlock(block, opts);
+    EXPECT_GT(stats.propagated, 0u);
+    // add became a fully-folded constant (5+5) since r1 is constant.
+    bool found_const_10 = false;
+    for (const Node &node : block.nodes)
+        if (node.op == Opcode::ADDI && node.rs1 == kRegZero &&
+            node.imm == 10 && node.rd == 3)
+            found_const_10 = true;
+    EXPECT_TRUE(found_const_10);
+}
+
+TEST(Optimizer, ConstantFoldingAndStrengthReduction)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 12
+        li   r2, 3
+        mul  r3, r1, r2
+        add  r4, r5, r2
+        sub  r6, r5, r2
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    OptimizerOptions opts;
+    opts.rename = false;
+    opts.eliminateDead = false;
+    optimizeBlock(block, opts);
+
+    bool mul_folded = false;
+    bool add_reduced = false;
+    bool sub_reduced = false;
+    for (const Node &node : block.nodes) {
+        if (node.rd == 3 && node.op == Opcode::ADDI &&
+            node.rs1 == kRegZero && node.imm == 36)
+            mul_folded = true;
+        if (node.rd == 4 && node.op == Opcode::ADDI && node.rs1 == 5 &&
+            node.imm == 3)
+            add_reduced = true;
+        if (node.rd == 6 && node.op == Opcode::ADDI && node.rs1 == 5 &&
+            node.imm == -3)
+            sub_reduced = true;
+    }
+    EXPECT_TRUE(mul_folded);
+    EXPECT_TRUE(add_reduced);
+    EXPECT_TRUE(sub_reduced);
+}
+
+TEST(Optimizer, RedundantLoadElimination)
+{
+    Program prog = assemble(R"(
+main:   la   r1, buf
+        lw   r2, 0(r1)
+        lw   r3, 0(r1)
+        add  r4, r2, r3
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .word 42
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    OptimizerOptions opts;
+    opts.rename = false;
+    opts.eliminateDead = false;
+    const OptimizerStats stats = optimizeBlock(block, opts);
+    EXPECT_EQ(stats.loadsEliminated, 1u);
+
+    int loads = 0;
+    for (const Node &node : block.nodes)
+        loads += node.isLoad();
+    EXPECT_EQ(loads, 1);
+}
+
+TEST(Optimizer, StoreToLoadForwarding)
+{
+    Program prog = assemble(R"(
+main:   la   r1, buf
+        li   r2, 7
+        sw   r2, 0(r1)
+        lw   r3, 0(r1)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .word 0
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    OptimizerOptions opts;
+    opts.rename = false;
+    opts.eliminateDead = false;
+    const OptimizerStats stats = optimizeBlock(block, opts);
+    EXPECT_EQ(stats.loadsEliminated, 1u);
+    int loads = 0;
+    for (const Node &node : block.nodes)
+        loads += node.isLoad();
+    EXPECT_EQ(loads, 0);
+}
+
+TEST(Optimizer, AliasingStoreBlocksElimination)
+{
+    Program prog = assemble(R"(
+main:   la   r1, buf
+        lw   r2, 0(r1)
+        sw   r5, 0(r6)     # unknown base: may alias
+        lw   r3, 0(r1)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .word 42
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    const OptimizerStats stats = optimizeBlock(block);
+    EXPECT_EQ(stats.loadsEliminated, 0u);
+}
+
+TEST(Optimizer, DisjointStoreAllowsElimination)
+{
+    Program prog = assemble(R"(
+main:   la   r1, buf
+        lw   r2, 0(r1)
+        sw   r5, 8(r1)     # same base, provably disjoint
+        lw   r3, 0(r1)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .space 16
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    OptimizerOptions opts;
+    opts.rename = false;
+    opts.eliminateDead = false;
+    const OptimizerStats stats = optimizeBlock(block, opts);
+    EXPECT_EQ(stats.loadsEliminated, 1u);
+}
+
+TEST(Optimizer, LocalRenamingBreaksReuse)
+{
+    // The paper's R0 example: two independent uses of the same register.
+    // The exit lives in a second block so the first one has no syscall.
+    Program prog = assemble(R"(
+main:   lw   r1, 0(r2)
+        add  r3, r1, r1
+        lw   r1, 4(r2)
+        add  r5, r1, r1
+        j    fin
+fin:    li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    OptimizerOptions opts;
+    opts.propagate = false;
+    opts.eliminateLoads = false;
+    opts.eliminateDead = false;
+    const OptimizerStats stats = optimizeBlock(block, opts);
+    EXPECT_EQ(stats.renamed, 1u);
+    // First def of r1 renamed to a scratch register; last def keeps r1.
+    EXPECT_GE(block.nodes[0].rd, kNumArchRegs);
+    EXPECT_EQ(block.nodes[1].rs1, block.nodes[0].rd);
+    EXPECT_EQ(block.nodes[2].rd, 1);
+}
+
+TEST(Optimizer, DeadDefEliminated)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 5
+        li   r1, 6
+        add  r20, r1, r1
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    OptimizerOptions opts;
+    opts.propagate = false;
+    opts.eliminateLoads = false;
+    opts.rename = false;
+    const OptimizerStats stats = optimizeBlock(block, opts);
+    EXPECT_EQ(stats.deadRemoved, 1u);
+}
+
+TEST(Optimizer, LiveOutDefsKept)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 5
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    const std::size_t before = block.nodes.size();
+    optimizeBlock(block);
+    // r1 is live out of the block; nothing may disappear.
+    EXPECT_EQ(block.nodes.size(), before);
+}
+
+TEST(Optimizer, SyscallBlocksSkipRenaming)
+{
+    Program prog = assemble(R"(
+main:   li   a0, 1
+        li   a0, 2          # would be renamed in a pure block
+        li   v0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    ImageBlock &block = image.blocks[0];
+    const OptimizerStats stats = optimizeBlock(block);
+    EXPECT_EQ(stats.renamed, 0u);
+}
+
+/**
+ * Property: optimizing random straight-line blocks never changes the
+ * architectural result. Random programs write their registers to memory
+ * at the end so every def is observable.
+ */
+TEST(Optimizer, RandomBlocksPreserveSemantics)
+{
+    Rng rng(0xfeed);
+    for (int trial = 0; trial < 60; ++trial) {
+        std::string body;
+        const int n = static_cast<int>(rng.range(4, 40));
+        auto reg = [&](int lo, int hi) {
+            return "r" + std::to_string(rng.range(lo, hi));
+        };
+        body += "main:   la r3, buf\n";
+        for (int i = 0; i < n; ++i) {
+            switch (rng.below(8)) {
+              case 0:
+                body += "li " + reg(4, 12) + ", " +
+                        std::to_string(rng.range(-100, 100)) + "\n";
+                break;
+              case 1:
+                body += "add " + reg(4, 12) + ", " + reg(4, 12) + ", " +
+                        reg(4, 12) + "\n";
+                break;
+              case 2:
+                body += "sub " + reg(4, 12) + ", " + reg(4, 12) + ", " +
+                        reg(4, 12) + "\n";
+                break;
+              case 3:
+                body += "mul " + reg(4, 12) + ", " + reg(4, 12) + ", " +
+                        reg(4, 12) + "\n";
+                break;
+              case 4:
+                body += "mov " + reg(4, 12) + ", " + reg(4, 12) + "\n";
+                break;
+              case 5:
+                body += "lw " + reg(4, 12) + ", " +
+                        std::to_string(4 * rng.range(0, 7)) + "(r3)\n";
+                break;
+              case 6:
+                body += "sw " + reg(4, 12) + ", " +
+                        std::to_string(4 * rng.range(0, 7)) + "(r3)\n";
+                break;
+              case 7:
+                body += "xori " + reg(4, 12) + ", " + reg(4, 12) + ", " +
+                        std::to_string(rng.range(0, 255)) + "\n";
+                break;
+            }
+        }
+        // Make every register observable.
+        for (int r = 4; r <= 12; ++r)
+            body += "sw r" + std::to_string(r) + ", " +
+                    std::to_string(32 + 4 * r) + "(r3)\n";
+        body += "li v0, 0\nli a0, 0\nsyscall\n";
+        body += ".data\nbuf: .word 11,22,33,44,55,66,77,88\n";
+        body += ".space 128\n";
+
+        const Program prog = assemble(body, "random");
+        CodeImage plain = buildCfg(prog);
+        CodeImage optimized = buildCfg(prog);
+        optimizeImage(optimized);
+
+        SimOS os_a;
+        SparseMemory mem_a;
+        runAtomic(plain, os_a, mem_a);
+        SimOS os_b;
+        SparseMemory mem_b;
+        runAtomic(optimized, os_b, mem_b);
+
+        for (std::uint32_t off = 0; off < 256; off += 4)
+            ASSERT_EQ(mem_a.read32(kDataBase + off),
+                      mem_b.read32(kDataBase + off))
+                << "trial " << trial << " offset " << off << "\n"
+                << body;
+    }
+}
+
+TEST(DepGraph, RawEdges)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 1
+        add  r2, r1, r1
+        add  r3, r2, r1
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    const DepGraph g = buildDepGraph(image.blocks[0], false);
+    // node1 depends on node0; node2 on node0 and node1.
+    EXPECT_EQ(g.preds[1], (std::vector<std::uint16_t>{0}));
+    ASSERT_EQ(g.preds[2].size(), 2u);
+}
+
+TEST(DepGraph, AntiAndOutputEdgesOnlyWhenRequested)
+{
+    Program prog = assemble(R"(
+main:   add  r3, r1, r2
+        li   r1, 9
+        li   r1, 10
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    const DepGraph without = buildDepGraph(image.blocks[0], false);
+    EXPECT_TRUE(without.preds[1].empty()); // WAR ignored
+    EXPECT_TRUE(without.preds[2].empty()); // WAW ignored
+
+    const DepGraph with = buildDepGraph(image.blocks[0], true);
+    EXPECT_EQ(with.preds[1], (std::vector<std::uint16_t>{0})); // WAR
+    EXPECT_EQ(with.preds[2], (std::vector<std::uint16_t>{1})); // WAW
+}
+
+TEST(DepGraph, MemoryOrderingConservative)
+{
+    Program prog = assemble(R"(
+main:   sw   r1, 0(r2)
+        lw   r3, 0(r4)     # different base: may alias
+        lw   r5, 0(r2)     # same base, same offset: aliases
+        sw   r6, 4(r2)     # same base, disjoint: independent of loads
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    const DepGraph g = buildDepGraph(image.blocks[0], false);
+    EXPECT_EQ(g.preds[1], (std::vector<std::uint16_t>{0})); // may alias
+    EXPECT_EQ(g.preds[2], (std::vector<std::uint16_t>{0})); // same addr
+    // Store at 4(r2) must order after the unknown-base load only.
+    EXPECT_EQ(g.preds[3], (std::vector<std::uint16_t>{1}));
+}
+
+TEST(DepGraph, SyscallIsBarrier)
+{
+    Program prog = assemble(R"(
+main:   li   r8, 1
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = imageOf(prog);
+    const DepGraph g = buildDepGraph(image.blocks[0], false);
+    EXPECT_EQ(g.preds[3].size(), 3u); // syscall waits on everything
+}
+
+TEST(DepGraph, MayAliasRules)
+{
+    Node a;
+    a.op = Opcode::LW;
+    a.rs1 = 2;
+    a.imm = 0;
+    Node b;
+    b.op = Opcode::SW;
+    b.rs1 = 2;
+    b.imm = 4;
+    EXPECT_FALSE(mayAlias(a, b, true));  // disjoint words
+    EXPECT_TRUE(mayAlias(a, b, false));  // unknown base
+    b.imm = 3;
+    EXPECT_TRUE(mayAlias(a, b, true));   // byte 3 overlaps word 0-3
+    b.op = Opcode::SB;
+    b.imm = 4;
+    EXPECT_FALSE(mayAlias(a, b, true));
+    b.imm = 3;
+    EXPECT_TRUE(mayAlias(a, b, true));
+}
+
+class ScheduleAllModels : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ScheduleAllModels, StaticScheduleIsValid)
+{
+    const IssueModel model = issueModel(GetParam());
+    Program prog = assemble(R"(
+main:   la   r1, buf
+        lw   r2, 0(r1)
+        lw   r3, 4(r1)
+        add  r4, r2, r3
+        mul  r5, r4, r2
+        sw   r5, 8(r1)
+        addi r6, r1, 16
+        lw   r7, 0(r6)
+        add  r8, r7, r5
+        sw   r8, 4(r6)
+        bnez r8, main
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .word 1,2,3,4,5,6
+)");
+    CodeImage image = buildCfg(prog);
+    for (ImageBlock &block : image.blocks) {
+        scheduleStatic(block, model, 2);
+        EXPECT_TRUE(wordsRespectModel(block, model))
+            << "issue model " << model.name();
+    }
+}
+
+TEST_P(ScheduleAllModels, DynamicPackingIsValidAndOrdered)
+{
+    const IssueModel model = issueModel(GetParam());
+    Program prog = assemble(R"(
+main:   lw   r2, 0(r1)
+        add  r3, r2, r2
+        sw   r3, 4(r1)
+        lw   r4, 8(r1)
+        add  r5, r4, r3
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = buildCfg(prog);
+    for (ImageBlock &block : image.blocks) {
+        packDynamic(block, model);
+        EXPECT_TRUE(wordsRespectModel(block, model));
+        // Packing preserves program order across words.
+        std::uint16_t last = 0;
+        bool first = true;
+        for (const Word &word : block.words) {
+            for (std::uint16_t idx : word) {
+                if (!first)
+                    EXPECT_GT(idx, last);
+                last = idx;
+                first = false;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIssueModels, ScheduleAllModels,
+                         ::testing::Range(1, 9));
+
+TEST(Schedule, SequentialModelOneNodePerWord)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 1
+        li   r2, 2
+        add  r3, r1, r2
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = buildCfg(prog);
+    packDynamic(image.blocks[0], issueModel(1));
+    EXPECT_EQ(image.blocks[0].words.size(), image.blocks[0].nodes.size());
+
+    scheduleStatic(image.blocks[0], issueModel(1), 1);
+    EXPECT_EQ(image.blocks[0].words.size(), image.blocks[0].nodes.size());
+}
+
+TEST(Schedule, StaticRawNeverSameWord)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 1
+        add  r2, r1, r1
+        add  r3, r2, r2
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = buildCfg(prog);
+    ImageBlock &block = image.blocks[0];
+    scheduleStatic(block, issueModel(8), 1);
+    const DepGraph g = buildDepGraph(block, true);
+    std::vector<int> word_of(block.nodes.size());
+    for (std::size_t w = 0; w < block.words.size(); ++w)
+        for (std::uint16_t idx : block.words[w])
+            word_of[idx] = static_cast<int>(w);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        for (std::uint16_t succ : g.succs[i]) {
+            EXPECT_GT(word_of[succ], word_of[i]);
+        }
+    }
+}
+
+TEST(Translate, SingleBlocksAreIdentity)
+{
+    Program prog = assemble(R"(
+main:   li   r1, 5
+        mov  r2, r1
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = buildCfg(prog);
+    const std::size_t nodes_before = image.totalNodes();
+    MachineConfig config;
+    translate(image, config);
+    EXPECT_EQ(image.totalNodes(), nodes_before);
+    for (const ImageBlock &block : image.blocks)
+        EXPECT_FALSE(block.words.empty());
+}
+
+} // namespace
+} // namespace fgp

@@ -1,0 +1,262 @@
+/**
+ * Pipeline-trace tests: the trace stream doubles as a precise timing
+ * observable, so these tests pin down cycle-level behaviours (issue
+ * cadence, load latency, back-to-back ALU dependencies, squash events)
+ * that coarse statistics cannot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "tld/translate.hh"
+
+namespace fgp {
+namespace {
+
+struct Traced
+{
+    EngineResult result;
+    std::string trace;
+};
+
+Traced
+tracedRun(const std::string &source, const MachineConfig &config)
+{
+    const Program prog = assemble(source, "trace-test");
+    CodeImage image = buildCfg(prog);
+    translate(image, config);
+    SimOS os;
+    std::ostringstream trace;
+    EngineOptions opts;
+    opts.config = config;
+    opts.trace = &trace;
+    Traced out;
+    out.result = simulate(image, os, opts);
+    out.trace = trace.str();
+    return out;
+}
+
+/** Cycle number of the first trace line matching @p pattern, or -1. */
+long
+cycleOf(const std::string &trace, const std::string &pattern)
+{
+    const std::regex line_re("\\[(\\d+)\\] (.*)");
+    const std::regex want(pattern);
+    std::istringstream in(trace);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::smatch match;
+        if (std::regex_match(line, match, line_re) &&
+            std::regex_search(line, want))
+            return std::stol(match[1]);
+    }
+    return -1;
+}
+
+int
+countOf(const std::string &trace, const std::string &pattern)
+{
+    const std::regex want(pattern);
+    int count = 0;
+    std::istringstream in(trace);
+    std::string line;
+    while (std::getline(in, line))
+        count += std::regex_search(line, want) ? 1 : 0;
+    return count;
+}
+
+MachineConfig
+cfg(Discipline d, int issue, char mem)
+{
+    return {d, issueModel(issue), memoryConfig(mem), BranchMode::Single};
+}
+
+TEST(Trace, EventKindsPresent)
+{
+    const Traced t = tracedRun(R"(
+main:   li   r8, 2
+loop:   addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                               cfg(Discipline::Dyn4, 8, 'A'));
+    EXPECT_GT(countOf(t.trace, "issue"), 0);
+    EXPECT_GT(countOf(t.trace, "exec"), 0);
+    EXPECT_GT(countOf(t.trace, "done"), 0);
+    EXPECT_GT(countOf(t.trace, "retire"), 0);
+    EXPECT_GT(countOf(t.trace, "branch"), 0);
+}
+
+TEST(Trace, CyclesAreMonotonic)
+{
+    const Traced t = tracedRun(R"(
+main:   li   r8, 5
+loop:   addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                               cfg(Discipline::Dyn256, 8, 'G'));
+    const std::regex line_re("\\[(\\d+)\\].*");
+    long last = -1;
+    std::istringstream in(t.trace);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::smatch match;
+        ASSERT_TRUE(std::regex_match(line, match, line_re)) << line;
+        const long cycle = std::stol(match[1]);
+        EXPECT_GE(cycle, last);
+        last = cycle;
+    }
+}
+
+TEST(Trace, BackToBackDependentAluOps)
+{
+    // add r2 <- r1 executes the cycle after li r1 completes.
+    const Traced t = tracedRun(R"(
+main:   li   r1, 7
+        add  r2, r1, r1
+        add  r3, r2, r2
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                               cfg(Discipline::Dyn256, 8, 'A'));
+    const long e1 = cycleOf(t.trace, "exec.*addi r1");
+    const long e2 = cycleOf(t.trace, "exec.*add r2");
+    const long e3 = cycleOf(t.trace, "exec.*add r3");
+    ASSERT_GE(e1, 0);
+    EXPECT_EQ(e2, e1 + 1);
+    EXPECT_EQ(e3, e2 + 1);
+}
+
+TEST(Trace, LoadMissLatencyVisible)
+{
+    // Config D: first access to a line misses (10 cycles).
+    const Traced t = tracedRun(R"(
+main:   la   r1, data
+        lw   r2, 0(r1)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+data:   .word 42
+)",
+                               cfg(Discipline::Dyn4, 8, 'D'));
+    EXPECT_GT(countOf(t.trace, "exec.*lw.*latency=10"), 0);
+    const long exec = cycleOf(t.trace, "exec.*lw r2");
+    const long done = cycleOf(t.trace, "done.*lw value=42");
+    ASSERT_GE(exec, 0);
+    ASSERT_GE(done, 0);
+    EXPECT_EQ(done, exec + 10);
+}
+
+TEST(Trace, ForwardedLoadMarked)
+{
+    const Traced t = tracedRun(R"(
+main:   la   r1, data
+        li   r2, 9
+        sw   r2, 0(r1)
+        lw   r3, 0(r1)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+data:   .word 0
+)",
+                               cfg(Discipline::Dyn4, 8, 'D'));
+    EXPECT_GT(countOf(t.trace, "exec.*lw.*forwarded"), 0);
+}
+
+TEST(Trace, MispredictEmitsSquash)
+{
+    const Traced t = tracedRun(R"(
+main:   li   r8, 12
+loop:   addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                               cfg(Discipline::Dyn256, 8, 'A'));
+    // The loop exit mispredicts once the counter saturates taken.
+    EXPECT_GT(countOf(t.trace, "MISPREDICT"), 0);
+    EXPECT_GT(countOf(t.trace, "squash"), 0);
+}
+
+TEST(Trace, OneIssueWordPerCycle)
+{
+    const Traced t = tracedRun(R"(
+main:   li   r8, 4
+loop:   addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+)",
+                               cfg(Discipline::Dyn4, 2, 'A'));
+    // No two issue events may share a cycle.
+    const std::regex issue_re("\\[(\\d+)\\] issue");
+    std::istringstream in(t.trace);
+    std::string line;
+    long last_issue = -1;
+    while (std::getline(in, line)) {
+        std::smatch match;
+        if (std::regex_search(line, match, issue_re)) {
+            const long cycle = std::stol(match[1]);
+            EXPECT_GT(cycle, last_issue);
+            last_issue = cycle;
+        }
+    }
+}
+
+TEST(Trace, RedirectPenaltyConfigurable)
+{
+    const char *source = R"(
+main:   li   r8, 30
+loop:   addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+    const Program prog = assemble(source);
+    auto cycles_with_penalty = [&](int penalty) {
+        MachineConfig config = cfg(Discipline::Dyn4, 8, 'A');
+        CodeImage image = buildCfg(prog);
+        translate(image, config);
+        SimOS os;
+        EngineOptions opts;
+        opts.config = config;
+        opts.redirectPenalty = penalty;
+        return simulate(image, os, opts).cycles;
+    };
+    EXPECT_LT(cycles_with_penalty(1), cycles_with_penalty(8));
+}
+
+TEST(Trace, OffByDefaultNoOutput)
+{
+    // Without a trace stream the engine must not touch one (smoke: the
+    // default path just runs).
+    const Program prog = assemble("main: li v0, 0\nli a0, 0\nsyscall\n");
+    MachineConfig config = cfg(Discipline::Dyn4, 8, 'A');
+    CodeImage image = buildCfg(prog);
+    translate(image, config);
+    SimOS os;
+    EngineOptions opts;
+    opts.config = config;
+    const EngineResult r = simulate(image, os, opts);
+    EXPECT_TRUE(r.exited);
+}
+
+} // namespace
+} // namespace fgp

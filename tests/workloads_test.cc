@@ -1,0 +1,389 @@
+/**
+ * Benchmark correctness tests: each micro-assembly utility is validated
+ * against an independent C++ reference implementation on the same inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "base/strutil.hh"
+#include "vm/interp.hh"
+#include "workloads/workloads.hh"
+
+namespace fgp {
+namespace {
+
+std::string
+runWorkload(const std::string &name, InputSet set, double scale = 1.0)
+{
+    Workload wl = makeWorkload(name);
+    wl.setScale(scale);
+    SimOS os;
+    wl.prepareOs(os, set);
+    const RunResult r = interpret(wl.program(), os);
+    EXPECT_TRUE(r.exited) << name;
+    EXPECT_EQ(r.exitCode, 0) << name;
+    return os.stdoutText();
+}
+
+std::vector<std::string>
+linesOf(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char ch : text) {
+        if (ch == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+// ---------------------------------------------------------------- sort
+
+TEST(WorkloadSort, OutputIsSortedPermutation)
+{
+    const std::string input = genSortInput(InputSet::Measure, 1.0);
+    const std::string output = runWorkload("sort", InputSet::Measure);
+
+    std::vector<std::string> expect = linesOf(input);
+    std::sort(expect.begin(), expect.end());
+    const std::vector<std::string> got = linesOf(output);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(WorkloadSort, ProfileSetSortsToo)
+{
+    const std::string input = genSortInput(InputSet::Profile, 1.0);
+    const std::string output = runWorkload("sort", InputSet::Profile);
+    std::vector<std::string> expect = linesOf(input);
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(linesOf(output), expect);
+}
+
+TEST(WorkloadSort, TinyScale)
+{
+    const std::string output = runWorkload("sort", InputSet::Measure, 0.05);
+    const std::vector<std::string> got = linesOf(output);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_GE(got.size(), 4u);
+}
+
+// ---------------------------------------------------------------- grep
+
+TEST(WorkloadGrep, ExactlyTheMatchingLines)
+{
+    const std::string input = genGrepInput(InputSet::Measure, 1.0);
+    const std::string output = runWorkload("grep", InputSet::Measure);
+
+    std::vector<std::string> expect;
+    for (const std::string &line : linesOf(input))
+        if (line.find("ard") != std::string::npos)
+            expect.push_back(line);
+    EXPECT_EQ(linesOf(output), expect);
+    EXPECT_FALSE(expect.empty()) << "input should plant matches";
+}
+
+TEST(WorkloadGrep, SomeLinesDoNotMatch)
+{
+    const std::string input = genGrepInput(InputSet::Measure, 1.0);
+    const std::string output = runWorkload("grep", InputSet::Measure);
+    EXPECT_LT(linesOf(output).size(), linesOf(input).size());
+}
+
+// ---------------------------------------------------------------- diff
+
+/** Reference LCS diff over djb2 line hashes (mirrors the benchmark). */
+std::string
+referenceDiff(const std::string &a_text, const std::string &b_text)
+{
+    const std::vector<std::string> a = linesOf(a_text);
+    const std::vector<std::string> b = linesOf(b_text);
+    const std::size_t na = a.size();
+    const std::size_t nb = b.size();
+
+    auto hash = [](const std::string &s) {
+        std::uint32_t h = 5381;
+        for (unsigned char ch : s)
+            h = h * 33 + ch;
+        return h;
+    };
+    std::vector<std::uint32_t> ha(na);
+    std::vector<std::uint32_t> hb(nb);
+    for (std::size_t i = 0; i < na; ++i)
+        ha[i] = hash(a[i]);
+    for (std::size_t j = 0; j < nb; ++j)
+        hb[j] = hash(b[j]);
+
+    std::vector<std::vector<int>> dp(na + 1, std::vector<int>(nb + 1, 0));
+    for (std::size_t i = na; i-- > 0;)
+        for (std::size_t j = nb; j-- > 0;)
+            dp[i][j] = ha[i] == hb[j]
+                           ? dp[i + 1][j + 1] + 1
+                           : std::max(dp[i + 1][j], dp[i][j + 1]);
+
+    std::string out;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na || j < nb) {
+        if (i < na && j < nb && ha[i] == hb[j]) {
+            ++i;
+            ++j;
+        } else if (i < na &&
+                   (j >= nb || dp[i + 1][j] >= dp[i][j + 1])) {
+            out += "< " + a[i] + "\n";
+            ++i;
+        } else {
+            out += "> " + b[j] + "\n";
+            ++j;
+        }
+    }
+    return out;
+}
+
+TEST(WorkloadDiff, MatchesReferenceImplementation)
+{
+    std::string a;
+    std::string b;
+    genDiffInputs(InputSet::Measure, 1.0, a, b);
+    const std::string output = runWorkload("diff", InputSet::Measure);
+    EXPECT_EQ(output, referenceDiff(a, b));
+}
+
+TEST(WorkloadDiff, ProfileSetMatchesToo)
+{
+    std::string a;
+    std::string b;
+    genDiffInputs(InputSet::Profile, 1.0, a, b);
+    const std::string output = runWorkload("diff", InputSet::Profile);
+    EXPECT_EQ(output, referenceDiff(a, b));
+}
+
+TEST(WorkloadDiff, InputsActuallyDiffer)
+{
+    std::string a;
+    std::string b;
+    genDiffInputs(InputSet::Measure, 1.0, a, b);
+    EXPECT_NE(a, b);
+    const std::string output = runWorkload("diff", InputSet::Measure);
+    EXPECT_FALSE(output.empty());
+}
+
+// ----------------------------------------------------------------- cpp
+
+/** Reference macro expander (mirrors the benchmark's semantics). */
+std::string
+referenceCpp(const std::string &input)
+{
+    std::map<std::string, std::string> macros;
+    std::string out;
+    for (const std::string &line : linesOf(input)) {
+        if (startsWith(line, "#")) {
+            // "#define NAME BODY"
+            const std::string rest = line.substr(8);
+            const std::size_t space = rest.find(' ');
+            macros[rest.substr(0, space)] = rest.substr(space + 1);
+            continue;
+        }
+        std::size_t i = 0;
+        auto is_start = [](char c) {
+            return c == '_' || (c >= 'A' && c <= 'Z') ||
+                   (c >= 'a' && c <= 'z');
+        };
+        auto is_part = [&](char c) {
+            return is_start(c) || (c >= '0' && c <= '9');
+        };
+        while (i < line.size()) {
+            if (!is_start(line[i])) {
+                out.push_back(line[i]);
+                ++i;
+                continue;
+            }
+            std::size_t j = i + 1;
+            while (j < line.size() && is_part(line[j]))
+                ++j;
+            const std::string token = line.substr(i, j - i);
+            const auto it = macros.find(token);
+            out += it == macros.end() ? token : it->second;
+            i = j;
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+TEST(WorkloadCpp, MatchesReferenceImplementation)
+{
+    const std::string input = genCppInput(InputSet::Measure, 1.0);
+    const std::string output = runWorkload("cpp", InputSet::Measure);
+    EXPECT_EQ(output, referenceCpp(input));
+}
+
+TEST(WorkloadCpp, MacrosActuallyExpand)
+{
+    const std::string input = genCppInput(InputSet::Measure, 1.0);
+    const std::string output = runWorkload("cpp", InputSet::Measure);
+    // No definition lines survive, and the output differs from the raw
+    // non-define part of the input (some macro must have been used).
+    for (const std::string &line : linesOf(output))
+        EXPECT_FALSE(startsWith(line, "#define"));
+    std::string raw;
+    for (const std::string &line : linesOf(input))
+        if (!startsWith(line, "#"))
+            raw += line + "\n";
+    EXPECT_NE(output, raw);
+}
+
+// ------------------------------------------------------------ compress
+
+/** LZW decoder for the benchmark's 2-byte little-endian code stream. */
+std::string
+lzwDecode(const std::string &encoded)
+{
+    std::vector<std::uint16_t> codes;
+    for (std::size_t i = 0; i + 1 < encoded.size(); i += 2)
+        codes.push_back(static_cast<std::uint8_t>(encoded[i]) |
+                        (static_cast<std::uint16_t>(
+                             static_cast<std::uint8_t>(encoded[i + 1]))
+                         << 8));
+    if (codes.empty())
+        return "";
+
+    std::vector<std::string> dict(256);
+    for (int c = 0; c < 256; ++c)
+        dict[static_cast<std::size_t>(c)] =
+            std::string(1, static_cast<char>(c));
+
+    std::string out;
+    std::string w = dict[codes[0]];
+    out += w;
+    for (std::size_t k = 1; k < codes.size(); ++k) {
+        const std::uint16_t code = codes[k];
+        std::string entry;
+        if (code < dict.size()) {
+            entry = dict[code];
+        } else if (code == dict.size()) {
+            entry = w + w[0]; // the classic KwKwK case
+        } else {
+            ADD_FAILURE() << "invalid LZW code " << code;
+            return out;
+        }
+        out += entry;
+        if (dict.size() < 4096)
+            dict.push_back(w + entry[0]);
+        w = entry;
+    }
+    return out;
+}
+
+TEST(WorkloadCompress, RoundTripsThroughReferenceDecoder)
+{
+    const std::string input = genCompressInput(InputSet::Measure, 1.0);
+    const std::string output = runWorkload("compress", InputSet::Measure);
+    EXPECT_EQ(lzwDecode(output), input);
+}
+
+TEST(WorkloadCompress, ActuallyCompresses)
+{
+    const std::string input = genCompressInput(InputSet::Measure, 1.0);
+    const std::string output = runWorkload("compress", InputSet::Measure);
+    // 2-byte codes: anything below 2x input size means the dictionary
+    // found repeats; repetitive text should do much better.
+    EXPECT_LT(output.size(), input.size() * 3 / 2);
+}
+
+TEST(WorkloadCompress, ProfileSetRoundTrips)
+{
+    const std::string input = genCompressInput(InputSet::Profile, 1.0);
+    const std::string output = runWorkload("compress", InputSet::Profile);
+    EXPECT_EQ(lzwDecode(output), input);
+}
+
+// ------------------------------------------------------------- general
+
+TEST(Workloads, InputSetsDiffer)
+{
+    EXPECT_NE(genSortInput(InputSet::Profile, 1.0),
+              genSortInput(InputSet::Measure, 1.0));
+    EXPECT_NE(genGrepInput(InputSet::Profile, 1.0),
+              genGrepInput(InputSet::Measure, 1.0));
+    EXPECT_NE(genCppInput(InputSet::Profile, 1.0),
+              genCppInput(InputSet::Measure, 1.0));
+    EXPECT_NE(genCompressInput(InputSet::Profile, 1.0),
+              genCompressInput(InputSet::Measure, 1.0));
+}
+
+TEST(Workloads, InputsAreDeterministic)
+{
+    EXPECT_EQ(genSortInput(InputSet::Measure, 1.0),
+              genSortInput(InputSet::Measure, 1.0));
+    std::string a1;
+    std::string b1;
+    std::string a2;
+    std::string b2;
+    genDiffInputs(InputSet::Measure, 1.0, a1, b1);
+    genDiffInputs(InputSet::Measure, 1.0, a2, b2);
+    EXPECT_EQ(a1, a2);
+    EXPECT_EQ(b1, b2);
+}
+
+TEST(Workloads, AllFiveAssembleAndRun)
+{
+    for (const std::string &name : workloadNames()) {
+        const std::string out = runWorkload(name, InputSet::Measure, 0.2);
+        EXPECT_FALSE(out.empty()) << name;
+    }
+}
+
+TEST(Workloads, StaticAluToMemRatioNearPaper)
+{
+    // Paper §3.1: the static ALU:MEM ratio of the benchmarks was about
+    // 2.5:1. Check the suite-wide static ratio is in a sane band.
+    std::uint64_t alu = 0;
+    std::uint64_t mem = 0;
+    for (const std::string &name : workloadNames()) {
+        const Workload wl = makeWorkload(name);
+        for (const Node &node : wl.program().instrs) {
+            if (node.isMem())
+                ++mem;
+            else if (node.cls() == NodeClass::IntAlu ||
+                     node.cls() == NodeClass::Sys)
+                ++alu;
+        }
+    }
+    const double ratio = static_cast<double>(alu) / static_cast<double>(mem);
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Workloads, DynamicNodeBudgetsReasonable)
+{
+    for (const std::string &name : workloadNames()) {
+        Workload wl = makeWorkload(name);
+        SimOS os;
+        wl.prepareOs(os, InputSet::Measure);
+        const RunResult r = interpret(wl.program(), os);
+        EXPECT_GT(r.dynamicNodes, 20'000u) << name;
+        EXPECT_LT(r.dynamicNodes, 400'000u) << name;
+    }
+}
+
+TEST(Workloads, UnknownNameRejected)
+{
+    EXPECT_THROW(makeWorkload("awk"), FatalError);
+}
+
+} // namespace
+} // namespace fgp

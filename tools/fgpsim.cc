@@ -1,0 +1,357 @@
+/**
+ * @file
+ * fgpsim — command-line driver mirroring the paper's toolchain (§3.1):
+ * the translating loader, the enlargement-file creator and the run-time
+ * simulator as one multi-command binary.
+ *
+ *   fgpsim asm     <src>                       assemble + list blocks
+ *   fgpsim run     <src> [--stdin FILE]        functional (VM) execution
+ *   fgpsim profile <src> [--out FILE]          write a statistics file
+ *   fgpsim bbe     <src> --profile FILE [--out FILE]
+ *                  [--max-chain N] [--ratio R] [--min-count N]
+ *                                              create an enlargement file
+ *   fgpsim sim     <src> --config dyn4/8A/enlarged
+ *                  [--plan FILE] [--ras N] [--window N] [--stdin FILE]
+ *                                              cycle-level simulation
+ *   fgpsim trace   <src> [--config ...] [--stdin FILE]
+ *                                              per-cycle pipeline trace
+ *
+ * <src> is either the name of a built-in benchmark (sort, grep, diff,
+ * cpp, compress — inputs are generated automatically) or a path to a
+ * micro-assembly file. Built-in benchmarks profile on input set 1 and
+ * run/simulate on input set 2, exactly like the paper's protocol.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "bbe/enlarge.hh"
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "ir/printer.hh"
+#include "masm/assembler.hh"
+#include "tld/translate.hh"
+#include "vm/atomic_runner.hh"
+#include "vm/interp.hh"
+#include "vm/profile_io.hh"
+#include "workloads/workloads.hh"
+
+namespace fgp {
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::string source;
+    std::map<std::string, std::string> flags;
+
+    bool has(const std::string &name) const { return flags.count(name); }
+
+    std::string
+    get(const std::string &name, const std::string &fallback = "") const
+    {
+        const auto it = flags.find(name);
+        return it == flags.end() ? fallback : it->second;
+    }
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: fgpsim <command> <src> [flags]\n"
+        "  commands: asm | run | profile | bbe | sim | trace\n"
+        "  <src>: benchmark name (sort grep diff cpp compress) or .s file\n"
+        "  common flags: --stdin FILE, --out FILE\n"
+        "  bbe flags:    --profile FILE [--max-chain N] [--ratio R]\n"
+        "                [--min-count N]\n"
+        "  sim flags:    --config dyn4/8A/enlarged [--plan FILE]\n"
+        "                [--ras N] [--window N] [--conservative]\n";
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fgp_fatal("cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fgp_fatal("cannot write '", path, "'");
+    out << text;
+}
+
+bool
+isBenchmark(const std::string &name)
+{
+    const auto &names = workloadNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+/** Resolve <src> into a program plus an OS preparer. */
+struct Source
+{
+    Program program;
+    std::optional<Workload> workload;
+
+    void
+    prepare(SimOS &os, InputSet set, const Options &opts) const
+    {
+        if (workload) {
+            workload->prepareOs(os, set);
+        } else if (opts.has("stdin")) {
+            os.setStdin(readFile(opts.get("stdin")));
+        }
+    }
+};
+
+Source
+resolveSource(const Options &opts)
+{
+    Source src;
+    if (isBenchmark(opts.source)) {
+        src.workload = makeWorkload(opts.source);
+        src.program = src.workload->program();
+    } else {
+        src.program = assemble(readFile(opts.source), opts.source);
+    }
+    return src;
+}
+
+int
+cmdAsm(const Options &opts)
+{
+    const Source src = resolveSource(opts);
+    const CodeImage image = buildCfg(src.program);
+
+    std::size_t mem_nodes = 0;
+    std::size_t alu_nodes = 0;
+    for (const Node &node : src.program.instrs) {
+        if (node.isMem())
+            ++mem_nodes;
+        else if (!node.isControl())
+            ++alu_nodes;
+    }
+    std::cout << "; " << src.program.instrs.size() << " nodes, "
+              << image.blocks.size() << " basic blocks, "
+              << src.program.data.size() << " data bytes\n"
+              << "; static ALU:MEM ratio "
+              << format("%.2f", mem_nodes ? static_cast<double>(alu_nodes) /
+                                                static_cast<double>(mem_nodes)
+                                          : 0.0)
+              << "\n\n";
+    printImage(image, std::cout);
+    return 0;
+}
+
+int
+cmdRun(const Options &opts)
+{
+    const Source src = resolveSource(opts);
+    SimOS os;
+    src.prepare(os, InputSet::Measure, opts);
+    const RunResult r = interpret(src.program, os);
+    std::cout << os.stdoutText();
+    std::cerr << "exit " << r.exitCode << ", " << r.dynamicNodes
+              << " nodes (" << r.memNodes << " mem, " << r.controlNodes
+              << " control), " << r.dynamicBlocks << " dynamic blocks\n";
+    return r.exitCode;
+}
+
+int
+cmdProfile(const Options &opts)
+{
+    const Source src = resolveSource(opts);
+    SimOS os;
+    src.prepare(os, InputSet::Profile, opts);
+    Profile profile;
+    InterpOptions iopts;
+    iopts.profile = &profile;
+    const RunResult r = interpret(src.program, os, iopts);
+
+    const std::string text = serializeProfile(profile);
+    if (opts.has("out")) {
+        writeFile(opts.get("out"), text);
+        std::cerr << "profiled " << r.dynamicNodes << " nodes, "
+                  << profile.arcs.size() << " branches -> "
+                  << opts.get("out") << "\n";
+    } else {
+        std::cout << text;
+    }
+    return 0;
+}
+
+int
+cmdBbe(const Options &opts)
+{
+    if (!opts.has("profile"))
+        fgp_fatal("bbe needs --profile FILE (from 'fgpsim profile')");
+    const Source src = resolveSource(opts);
+    const Profile profile = parseProfile(readFile(opts.get("profile")));
+
+    EnlargeOptions eopts;
+    if (opts.has("max-chain"))
+        eopts.maxChainLen =
+            static_cast<int>(*parseInt(opts.get("max-chain")));
+    if (opts.has("ratio"))
+        eopts.minArcRatio = std::atof(opts.get("ratio").c_str());
+    if (opts.has("min-count"))
+        eopts.minArcCount =
+            static_cast<std::uint64_t>(*parseInt(opts.get("min-count")));
+
+    const CodeImage single = buildCfg(src.program);
+    const EnlargePlan plan = planEnlargement(single, profile, eopts);
+
+    const std::string text = serializePlan(plan);
+    if (opts.has("out")) {
+        writeFile(opts.get("out"), text);
+        std::cerr << "planned " << plan.chains.size() << " chains -> "
+                  << opts.get("out") << "\n";
+    } else {
+        std::cout << text;
+    }
+    return 0;
+}
+
+int
+cmdSim(const Options &opts, bool with_trace = false)
+{
+    const Source src = resolveSource(opts);
+    const MachineConfig config =
+        parseMachineConfig(opts.get("config", "dyn4/8A/single"));
+
+    CodeImage image = buildCfg(src.program);
+    EnlargeStats estats;
+    if (config.branch != BranchMode::Single) {
+        EnlargePlan plan;
+        if (opts.has("plan")) {
+            plan = parsePlan(readFile(opts.get("plan")));
+        } else {
+            // No enlargement file given: profile in-process (set 1).
+            SimOS os;
+            src.prepare(os, InputSet::Profile, opts);
+            Profile profile;
+            InterpOptions iopts;
+            iopts.profile = &profile;
+            interpret(src.program, os, iopts);
+            plan = planEnlargement(image, profile, {});
+        }
+        image = applyEnlargement(buildCfg(src.program), plan, &estats);
+    }
+
+    EngineOptions eopts;
+    eopts.config = config;
+    if (opts.has("ras"))
+        eopts.predictor.rasDepth =
+            static_cast<int>(*parseInt(opts.get("ras")));
+    if (opts.has("window"))
+        eopts.windowOverride =
+            static_cast<int>(*parseInt(opts.get("window")));
+    if (opts.has("conservative"))
+        eopts.conservativeLoads = true;
+
+    std::vector<std::int32_t> trace;
+    if (config.branch == BranchMode::Perfect) {
+        SimOS os;
+        src.prepare(os, InputSet::Measure, opts);
+        AtomicRunOptions aopts;
+        aopts.recordTrace = true;
+        trace = runAtomic(image, os, aopts).blockTrace;
+        eopts.perfectTrace = &trace;
+    }
+
+    // The image must be translated for this machine configuration.
+    CodeImage translated = image;
+    translate(translated, config);
+
+    if (with_trace)
+        eopts.trace = &std::cout;
+
+    SimOS os;
+    src.prepare(os, InputSet::Measure, opts);
+    const EngineResult r = simulate(translated, os, eopts);
+
+    if (!with_trace)
+        std::cout << os.stdoutText();
+    std::cerr << "config               " << config.name() << "\n"
+              << "exit                 " << r.exitCode << "\n"
+              << "cycles               " << r.cycles << "\n"
+              << "retired nodes        " << r.retiredNodes << "\n"
+              << "nodes per cycle      "
+              << format("%.3f", r.nodesPerCycle()) << "\n"
+              << "executed nodes       " << r.executedNodes << "\n"
+              << "redundancy           "
+              << format("%.3f", r.redundancy()) << "\n"
+              << "mispredicts          " << r.mispredicts << "\n"
+              << "faults fired         " << r.faultsFired << "\n";
+    if (config.branch != BranchMode::Single)
+        std::cerr << "enlargement          " << estats.chains
+                  << " chains, mean length "
+                  << format("%.2f", estats.meanChainLen) << "\n";
+    return r.exitCode;
+}
+
+int
+runCli(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    Options opts;
+    opts.command = argv[1];
+    opts.source = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--"))
+            fgp_fatal("unexpected argument '", arg, "'");
+        arg = arg.substr(2);
+        if (arg == "conservative") {
+            opts.flags[arg] = "1";
+        } else {
+            if (i + 1 >= argc)
+                fgp_fatal("flag --", arg, " needs a value");
+            opts.flags[arg] = argv[++i];
+        }
+    }
+
+    if (opts.command == "asm")
+        return cmdAsm(opts);
+    if (opts.command == "run")
+        return cmdRun(opts);
+    if (opts.command == "profile")
+        return cmdProfile(opts);
+    if (opts.command == "bbe")
+        return cmdBbe(opts);
+    if (opts.command == "sim")
+        return cmdSim(opts);
+    if (opts.command == "trace")
+        return cmdSim(opts, /*with_trace=*/true);
+    usage();
+}
+
+} // namespace
+} // namespace fgp
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return fgp::runCli(argc, argv);
+    } catch (const fgp::FatalError &err) {
+        std::cerr << "fgpsim: " << err.what() << "\n";
+        return 1;
+    }
+}
