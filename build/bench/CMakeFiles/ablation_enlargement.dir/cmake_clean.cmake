@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enlargement.dir/ablation_enlargement.cc.o"
+  "CMakeFiles/ablation_enlargement.dir/ablation_enlargement.cc.o.d"
+  "ablation_enlargement"
+  "ablation_enlargement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enlargement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

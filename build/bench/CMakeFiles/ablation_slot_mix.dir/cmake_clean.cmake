@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slot_mix.dir/ablation_slot_mix.cc.o"
+  "CMakeFiles/ablation_slot_mix.dir/ablation_slot_mix.cc.o.d"
+  "ablation_slot_mix"
+  "ablation_slot_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slot_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_blocksize.dir/fig2_blocksize.cc.o"
+  "CMakeFiles/fig2_blocksize.dir/fig2_blocksize.cc.o.d"
+  "fig2_blocksize"
+  "fig2_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

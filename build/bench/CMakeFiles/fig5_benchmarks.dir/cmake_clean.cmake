@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_benchmarks.dir/fig5_benchmarks.cc.o"
+  "CMakeFiles/fig5_benchmarks.dir/fig5_benchmarks.cc.o.d"
+  "fig5_benchmarks"
+  "fig5_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

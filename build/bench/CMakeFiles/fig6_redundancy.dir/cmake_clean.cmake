@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_redundancy.dir/fig6_redundancy.cc.o"
+  "CMakeFiles/fig6_redundancy.dir/fig6_redundancy.cc.o.d"
+  "fig6_redundancy"
+  "fig6_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_sweep.dir/full_sweep.cc.o"
+  "CMakeFiles/full_sweep.dir/full_sweep.cc.o.d"
+  "full_sweep"
+  "full_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

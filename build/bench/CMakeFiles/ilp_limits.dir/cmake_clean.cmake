@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_limits.dir/ilp_limits.cc.o"
+  "CMakeFiles/ilp_limits.dir/ilp_limits.cc.o.d"
+  "ilp_limits"
+  "ilp_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

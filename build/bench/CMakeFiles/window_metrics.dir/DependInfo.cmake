@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/window_metrics.cc" "bench/CMakeFiles/window_metrics.dir/window_metrics.cc.o" "gcc" "bench/CMakeFiles/window_metrics.dir/window_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/fgp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tld/CMakeFiles/fgp_tld.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbe/CMakeFiles/fgp_bbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/fgp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/fgp_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/fgp_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fgp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fgp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/fgp_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fgp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fgp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fgp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

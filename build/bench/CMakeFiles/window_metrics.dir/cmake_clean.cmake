@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_metrics.dir/window_metrics.cc.o"
+  "CMakeFiles/window_metrics.dir/window_metrics.cc.o.d"
+  "window_metrics"
+  "window_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

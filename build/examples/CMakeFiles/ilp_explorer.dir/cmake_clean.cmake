@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_explorer.dir/ilp_explorer.cpp.o"
+  "CMakeFiles/ilp_explorer.dir/ilp_explorer.cpp.o.d"
+  "ilp_explorer"
+  "ilp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

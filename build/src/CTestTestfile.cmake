@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("ir")
+subdirs("masm")
+subdirs("arch")
+subdirs("vm")
+subdirs("tld")
+subdirs("bbe")
+subdirs("branch")
+subdirs("memsys")
+subdirs("engine")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_arch.dir/config.cc.o"
+  "CMakeFiles/fgp_arch.dir/config.cc.o.d"
+  "libfgp_arch.a"
+  "libfgp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

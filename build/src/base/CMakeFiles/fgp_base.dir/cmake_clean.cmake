@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_base.dir/histogram.cc.o"
+  "CMakeFiles/fgp_base.dir/histogram.cc.o.d"
+  "CMakeFiles/fgp_base.dir/logging.cc.o"
+  "CMakeFiles/fgp_base.dir/logging.cc.o.d"
+  "CMakeFiles/fgp_base.dir/stats.cc.o"
+  "CMakeFiles/fgp_base.dir/stats.cc.o.d"
+  "CMakeFiles/fgp_base.dir/strutil.cc.o"
+  "CMakeFiles/fgp_base.dir/strutil.cc.o.d"
+  "CMakeFiles/fgp_base.dir/table.cc.o"
+  "CMakeFiles/fgp_base.dir/table.cc.o.d"
+  "libfgp_base.a"
+  "libfgp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

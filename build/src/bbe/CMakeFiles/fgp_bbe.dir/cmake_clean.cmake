@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_bbe.dir/enlarge.cc.o"
+  "CMakeFiles/fgp_bbe.dir/enlarge.cc.o.d"
+  "CMakeFiles/fgp_bbe.dir/plan.cc.o"
+  "CMakeFiles/fgp_bbe.dir/plan.cc.o.d"
+  "libfgp_bbe.a"
+  "libfgp_bbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_bbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

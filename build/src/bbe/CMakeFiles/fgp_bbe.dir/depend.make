@@ -1,0 +1,2 @@
+# Empty dependencies file for fgp_bbe.
+# This may be replaced when dependencies are built.

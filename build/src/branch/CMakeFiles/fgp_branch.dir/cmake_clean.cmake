@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_branch.dir/predictor.cc.o"
+  "CMakeFiles/fgp_branch.dir/predictor.cc.o.d"
+  "libfgp_branch.a"
+  "libfgp_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

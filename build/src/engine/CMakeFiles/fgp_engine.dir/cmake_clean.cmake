@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_engine.dir/engine.cc.o"
+  "CMakeFiles/fgp_engine.dir/engine.cc.o.d"
+  "libfgp_engine.a"
+  "libfgp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

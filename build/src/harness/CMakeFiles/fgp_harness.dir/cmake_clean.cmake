@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_harness.dir/experiment.cc.o"
+  "CMakeFiles/fgp_harness.dir/experiment.cc.o.d"
+  "libfgp_harness.a"
+  "libfgp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

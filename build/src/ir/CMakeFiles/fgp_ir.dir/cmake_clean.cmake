@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_ir.dir/cfg.cc.o"
+  "CMakeFiles/fgp_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/fgp_ir.dir/image.cc.o"
+  "CMakeFiles/fgp_ir.dir/image.cc.o.d"
+  "CMakeFiles/fgp_ir.dir/opcode.cc.o"
+  "CMakeFiles/fgp_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/fgp_ir.dir/printer.cc.o"
+  "CMakeFiles/fgp_ir.dir/printer.cc.o.d"
+  "CMakeFiles/fgp_ir.dir/program.cc.o"
+  "CMakeFiles/fgp_ir.dir/program.cc.o.d"
+  "libfgp_ir.a"
+  "libfgp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

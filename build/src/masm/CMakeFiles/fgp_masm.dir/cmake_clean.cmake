@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_masm.dir/assembler.cc.o"
+  "CMakeFiles/fgp_masm.dir/assembler.cc.o.d"
+  "libfgp_masm.a"
+  "libfgp_masm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_masm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

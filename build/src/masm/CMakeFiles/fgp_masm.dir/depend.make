@@ -1,0 +1,2 @@
+# Empty dependencies file for fgp_masm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_memsys.dir/memsys.cc.o"
+  "CMakeFiles/fgp_memsys.dir/memsys.cc.o.d"
+  "libfgp_memsys.a"
+  "libfgp_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tld/depgraph.cc" "src/tld/CMakeFiles/fgp_tld.dir/depgraph.cc.o" "gcc" "src/tld/CMakeFiles/fgp_tld.dir/depgraph.cc.o.d"
+  "/root/repo/src/tld/optimizer.cc" "src/tld/CMakeFiles/fgp_tld.dir/optimizer.cc.o" "gcc" "src/tld/CMakeFiles/fgp_tld.dir/optimizer.cc.o.d"
+  "/root/repo/src/tld/schedule.cc" "src/tld/CMakeFiles/fgp_tld.dir/schedule.cc.o" "gcc" "src/tld/CMakeFiles/fgp_tld.dir/schedule.cc.o.d"
+  "/root/repo/src/tld/translate.cc" "src/tld/CMakeFiles/fgp_tld.dir/translate.cc.o" "gcc" "src/tld/CMakeFiles/fgp_tld.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/fgp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fgp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fgp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fgp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

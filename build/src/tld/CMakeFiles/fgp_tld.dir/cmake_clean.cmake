@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_tld.dir/depgraph.cc.o"
+  "CMakeFiles/fgp_tld.dir/depgraph.cc.o.d"
+  "CMakeFiles/fgp_tld.dir/optimizer.cc.o"
+  "CMakeFiles/fgp_tld.dir/optimizer.cc.o.d"
+  "CMakeFiles/fgp_tld.dir/schedule.cc.o"
+  "CMakeFiles/fgp_tld.dir/schedule.cc.o.d"
+  "CMakeFiles/fgp_tld.dir/translate.cc.o"
+  "CMakeFiles/fgp_tld.dir/translate.cc.o.d"
+  "libfgp_tld.a"
+  "libfgp_tld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_tld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/atomic_runner.cc" "src/vm/CMakeFiles/fgp_vm.dir/atomic_runner.cc.o" "gcc" "src/vm/CMakeFiles/fgp_vm.dir/atomic_runner.cc.o.d"
+  "/root/repo/src/vm/interp.cc" "src/vm/CMakeFiles/fgp_vm.dir/interp.cc.o" "gcc" "src/vm/CMakeFiles/fgp_vm.dir/interp.cc.o.d"
+  "/root/repo/src/vm/profile_io.cc" "src/vm/CMakeFiles/fgp_vm.dir/profile_io.cc.o" "gcc" "src/vm/CMakeFiles/fgp_vm.dir/profile_io.cc.o.d"
+  "/root/repo/src/vm/simos.cc" "src/vm/CMakeFiles/fgp_vm.dir/simos.cc.o" "gcc" "src/vm/CMakeFiles/fgp_vm.dir/simos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/fgp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fgp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

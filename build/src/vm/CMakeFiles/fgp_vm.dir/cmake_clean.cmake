@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_vm.dir/atomic_runner.cc.o"
+  "CMakeFiles/fgp_vm.dir/atomic_runner.cc.o.d"
+  "CMakeFiles/fgp_vm.dir/interp.cc.o"
+  "CMakeFiles/fgp_vm.dir/interp.cc.o.d"
+  "CMakeFiles/fgp_vm.dir/profile_io.cc.o"
+  "CMakeFiles/fgp_vm.dir/profile_io.cc.o.d"
+  "CMakeFiles/fgp_vm.dir/simos.cc.o"
+  "CMakeFiles/fgp_vm.dir/simos.cc.o.d"
+  "libfgp_vm.a"
+  "libfgp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

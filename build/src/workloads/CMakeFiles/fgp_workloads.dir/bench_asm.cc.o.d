@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/fgp_workloads.dir/bench_asm.cc.o: \
+ /root/repo/src/workloads/bench_asm.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/bench_asm.hh

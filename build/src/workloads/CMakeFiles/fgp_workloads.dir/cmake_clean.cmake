@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_workloads.dir/bench_asm.cc.o"
+  "CMakeFiles/fgp_workloads.dir/bench_asm.cc.o.d"
+  "CMakeFiles/fgp_workloads.dir/runtime.cc.o"
+  "CMakeFiles/fgp_workloads.dir/runtime.cc.o.d"
+  "CMakeFiles/fgp_workloads.dir/workloads.cc.o"
+  "CMakeFiles/fgp_workloads.dir/workloads.cc.o.d"
+  "libfgp_workloads.a"
+  "libfgp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/fgp_workloads.dir/runtime.cc.o: \
+ /root/repo/src/workloads/runtime.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/runtime.hh

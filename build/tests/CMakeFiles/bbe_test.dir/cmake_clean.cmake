@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbe_test.dir/bbe_test.cc.o"
+  "CMakeFiles/bbe_test.dir/bbe_test.cc.o.d"
+  "bbe_test"
+  "bbe_test.pdb"
+  "bbe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_memsys_test.dir/branch_memsys_test.cc.o"
+  "CMakeFiles/branch_memsys_test.dir/branch_memsys_test.cc.o.d"
+  "branch_memsys_test"
+  "branch_memsys_test.pdb"
+  "branch_memsys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_memsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

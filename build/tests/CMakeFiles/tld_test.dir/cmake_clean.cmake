@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tld_test.dir/tld_test.cc.o"
+  "CMakeFiles/tld_test.dir/tld_test.cc.o.d"
+  "tld_test"
+  "tld_test.pdb"
+  "tld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpsim_cli.dir/fgpsim.cc.o"
+  "CMakeFiles/fgpsim_cli.dir/fgpsim.cc.o.d"
+  "fgpsim"
+  "fgpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
