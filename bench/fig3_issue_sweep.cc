@@ -24,13 +24,21 @@ main()
         header.push_back(im.name());
     Table table(std::move(header));
 
+    std::vector<MachineConfig> configs;
+    for (const Series &series : tenSeries())
+        for (const IssueModel &im : allIssueModels())
+            configs.push_back({series.discipline, im, mem, series.branch});
+    const std::vector<double> means = sweepMeans(
+        runner, configs,
+        [](const ExperimentResult &r) { return r.nodesPerCycle; });
+
+    std::size_t at = 0;
     for (const Series &series : tenSeries()) {
-        std::vector<double> row;
-        for (const IssueModel &im : allIssueModels()) {
-            const MachineConfig config{series.discipline, im, mem,
-                                       series.branch};
-            row.push_back(runner.meanNodesPerCycle(config));
-        }
+        const std::vector<double> row(
+            means.begin() + static_cast<std::ptrdiff_t>(at),
+            means.begin() +
+                static_cast<std::ptrdiff_t>(at + allIssueModels().size()));
+        at += allIssueModels().size();
         table.addNumericRow(series.name(), row);
     }
     table.print(std::cout);

@@ -25,13 +25,21 @@ main()
         header.push_back(std::string(1, mc));
     Table table(std::move(header));
 
+    std::vector<MachineConfig> configs;
+    for (const Series &series : tenSeries())
+        for (char mc : order)
+            configs.push_back(
+                {series.discipline, issue, memoryConfig(mc), series.branch});
+    const std::vector<double> means = sweepMeans(
+        runner, configs,
+        [](const ExperimentResult &r) { return r.nodesPerCycle; });
+
+    std::size_t at = 0;
     for (const Series &series : tenSeries()) {
-        std::vector<double> row;
-        for (char mc : order) {
-            const MachineConfig config{series.discipline, issue,
-                                       memoryConfig(mc), series.branch};
-            row.push_back(runner.meanNodesPerCycle(config));
-        }
+        const std::vector<double> row(
+            means.begin() + static_cast<std::ptrdiff_t>(at),
+            means.begin() + static_cast<std::ptrdiff_t>(at + order.size()));
+        at += order.size();
         table.addNumericRow(series.name(), row);
     }
     table.print(std::cout);

@@ -32,16 +32,24 @@ main()
         header.push_back(code);
     Table table(std::move(header));
 
+    std::vector<SweepPoint> points;
     for (const std::string &workload : workloadNames()) {
-        std::vector<double> row;
         for (const std::string &code : composites) {
             IssueModel issue;
             MemoryConfig mem;
             parsePointCode(code, issue, mem);
-            const MachineConfig config{Discipline::Dyn4, issue, mem,
-                                       BranchMode::Enlarged};
-            row.push_back(runner.run(workload, config).nodesPerCycle);
+            points.push_back({workload, MachineConfig{Discipline::Dyn4,
+                                                      issue, mem,
+                                                      BranchMode::Enlarged}});
         }
+    }
+    const std::vector<ExperimentResult> results = runSweep(runner, points);
+
+    std::size_t at = 0;
+    for (const std::string &workload : workloadNames()) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < composites.size(); ++c)
+            row.push_back(results[at++].nodesPerCycle);
         table.addNumericRow(workload, row);
     }
     table.print(std::cout);

@@ -16,6 +16,7 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 
 namespace fgp::bench {
 
@@ -52,6 +53,40 @@ envScale()
     if (const char *value = std::getenv("FGP_SCALE"))
         return std::max(0.01, std::atof(value));
     return 1.0;
+}
+
+/**
+ * Run every (benchmark x configuration) point of a figure as one sweep
+ * (parallel across FGP_JOBS workers) and reduce each configuration to
+ * the mean of @p metric over the five benchmarks. The summation runs in
+ * workloadNames() order — the same order the serial
+ * ExperimentRunner::meanNodesPerCycle loop used — so the printed tables
+ * are byte-identical at any job count.
+ */
+template <typename Metric>
+inline std::vector<double>
+sweepMeans(ExperimentRunner &runner,
+           const std::vector<MachineConfig> &configs, Metric metric)
+{
+    const std::vector<std::string> &workloads = workloadNames();
+    std::vector<SweepPoint> points;
+    points.reserve(configs.size() * workloads.size());
+    for (const MachineConfig &config : configs)
+        for (const std::string &workload : workloads)
+            points.push_back({workload, config});
+
+    const std::vector<ExperimentResult> results = runSweep(runner, points);
+
+    std::vector<double> means;
+    means.reserve(configs.size());
+    std::size_t i = 0;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        double sum = 0.0;
+        for (std::size_t w = 0; w < workloads.size(); ++w)
+            sum += metric(results[i++]);
+        means.push_back(sum / static_cast<double>(workloads.size()));
+    }
+    return means;
 }
 
 /** Standard header printed by every figure bench. */

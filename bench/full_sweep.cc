@@ -41,21 +41,27 @@ main()
         }
     }
 
+    std::vector<SweepPoint> points;
+    points.reserve(workloadNames().size() * configs.size());
+    for (const std::string &workload : workloadNames())
+        for (const MachineConfig &config : configs)
+            points.push_back({workload, config});
+
+    const std::vector<ExperimentResult> results = runSweep(runner, points);
+
     std::cout << "benchmark,discipline,issue,memory,branch,nodes_per_cycle,"
                  "cycles,ref_nodes,redundancy,mispredicts,faults\n";
-    for (const std::string &workload : workloadNames()) {
-        for (const MachineConfig &config : configs) {
-            const ExperimentResult r = runner.run(workload, config);
-            std::cout << workload << ','
-                      << disciplineName(config.discipline) << ','
-                      << config.issue.index << ',' << config.memory.name()
-                      << ',' << branchModeName(config.branch) << ','
-                      << format("%.4f", r.nodesPerCycle) << ',' << r.cycles
-                      << ',' << r.refNodes << ','
-                      << format("%.4f", r.engine.redundancy()) << ','
-                      << r.engine.mispredicts << ','
-                      << r.engine.faultsFired << '\n';
-        }
+    for (const ExperimentResult &r : results) {
+        const MachineConfig &config = r.config;
+        std::cout << r.workload << ','
+                  << disciplineName(config.discipline) << ','
+                  << config.issue.index << ',' << config.memory.name()
+                  << ',' << branchModeName(config.branch) << ','
+                  << format("%.4f", r.nodesPerCycle) << ',' << r.cycles
+                  << ',' << r.refNodes << ','
+                  << format("%.4f", r.engine.redundancy()) << ','
+                  << r.engine.mispredicts << ','
+                  << r.engine.faultsFired << '\n';
     }
     return 0;
 }

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Simulator-performance self-check: times a fixed slice of the sweep and
+ * emits a machine-readable JSON record (wall time, simulations/second,
+ * host nanoseconds per simulated cycle). The slice is a deterministic
+ * configuration mix exercising all four disciplines, both cache and flat
+ * memory, and every branch mode, so its wall time tracks the hot paths
+ * the real figure benches spend their time in.
+ *
+ * Knobs:
+ *   FGP_JOBS       worker threads (default: hardware concurrency)
+ *   FGP_SCALE      input scale (default 1.0)
+ *   FGP_BENCH_OUT  output path for the JSON record (or --out <path>;
+ *                  default BENCH_engine.json in the working directory)
+ *   --reduced      quarter-size slice for CI smoke runs
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "base/strutil.hh"
+#include "bench/fig_common.hh"
+
+using namespace fgp;
+using namespace fgp::bench;
+
+int
+main(int argc, char **argv)
+{
+    detail::setQuiet(true);
+
+    std::string out_path = "BENCH_engine.json";
+    if (const char *env = std::getenv("FGP_BENCH_OUT"))
+        out_path = env;
+    bool reduced = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--reduced") == 0)
+            reduced = true;
+    }
+
+    const int jobs = sweepJobs();
+    const double scale = envScale();
+    banner("Perf self-check",
+           format("simulator wall-time slice (jobs=%d, scale=%.2f)", jobs,
+                  scale));
+
+    // Fixed slice: every discipline x {flat A, cached G} x every branch
+    // mode (perfect only where it is defined, i.e. dynamic disciplines).
+    std::vector<MachineConfig> configs;
+    for (Discipline d : allDisciplines()) {
+        for (char mc : {'A', 'G'}) {
+            for (BranchMode bm : {BranchMode::Single, BranchMode::Enlarged})
+                configs.push_back(
+                    {d, issueModel(8), memoryConfig(mc), bm});
+            if (isDynamic(d) && d != Discipline::Dyn1)
+                configs.push_back({d, issueModel(8), memoryConfig(mc),
+                                   BranchMode::Perfect});
+        }
+    }
+    if (reduced) {
+        // CI smoke slice: drop the slowest discipline and cut the rest.
+        std::vector<MachineConfig> cut;
+        for (const MachineConfig &c : configs)
+            if (c.discipline != Discipline::Dyn256 && c.memory.letter == 'A')
+                cut.push_back(c);
+        configs = cut;
+    }
+
+    ExperimentRunner runner(scale);
+
+    std::vector<SweepPoint> points;
+    for (const std::string &workload : workloadNames())
+        for (const MachineConfig &config : configs)
+            points.push_back({workload, config});
+
+    // Preparation (profile + reference runs) is one-time setup shared by
+    // every figure bench; the timed region is the simulations proper.
+    for (const std::string &workload : workloadNames())
+        runner.referenceNodes(workload);
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ExperimentResult> results = runSweep(runner, points);
+    const auto end = std::chrono::steady_clock::now();
+
+    const double wall =
+        std::chrono::duration<double>(end - start).count();
+    std::uint64_t sim_cycles = 0;
+    for (const ExperimentResult &r : results)
+        sim_cycles += r.cycles;
+    const double sims_per_sec =
+        wall > 0.0 ? static_cast<double>(results.size()) / wall : 0.0;
+    const double host_ns_per_cycle =
+        sim_cycles ? wall * 1e9 / static_cast<double>(sim_cycles) : 0.0;
+
+    std::cout << format("  simulations      : %zu\n", results.size())
+              << format("  wall time        : %.3f s\n", wall)
+              << format("  sims/second      : %.2f\n", sims_per_sec)
+              << format("  simulated cycles : %llu\n",
+                        static_cast<unsigned long long>(sim_cycles))
+              << format("  host ns/sim cycle: %.1f\n", host_ns_per_cycle);
+
+    std::ofstream json(out_path);
+    if (!json)
+        fgp_fatal("cannot write ", out_path);
+    json << "{\n"
+         << format("  \"bench\": \"perf_selfcheck%s\",\n",
+                   reduced ? "_reduced" : "")
+         << format("  \"jobs\": %d,\n", jobs)
+         << format("  \"scale\": %.4f,\n", scale)
+         << format("  \"sims\": %zu,\n", results.size())
+         << format("  \"wall_seconds\": %.4f,\n", wall)
+         << format("  \"sims_per_sec\": %.4f,\n", sims_per_sec)
+         << format("  \"sim_cycles\": %llu,\n",
+                   static_cast<unsigned long long>(sim_cycles))
+         << format("  \"host_ns_per_sim_cycle\": %.4f\n", host_ns_per_cycle)
+         << "}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

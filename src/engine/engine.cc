@@ -12,6 +12,7 @@
 
 #include "base/logging.hh"
 #include "branch/predictor.hh"
+#include "engine/store_index.hh"
 #include "memsys/memsys.hh"
 #include "vm/exec.hh"
 
@@ -135,16 +136,17 @@ class Engine
     {
         if (window_.empty() || bseq > window_.back().bseq)
             return nullptr;
-        std::size_t lo = 0;
-        std::size_t hi = window_.size();
-        while (lo < hi) {
-            const std::size_t mid = (lo + hi) / 2;
-            if (window_[mid].bseq < bseq)
-                lo = mid + 1;
-            else
-                hi = mid;
-        }
-        return &window_[lo];
+        const std::uint64_t front = window_.front().bseq;
+        if (bseq <= front)
+            return &window_.front();
+        // Window bseqs are strictly increasing, so slot i holds bseq >=
+        // front + i: the target sits at most (bseq - front) slots in.
+        // Squash gaps only push it left, so start there and walk back.
+        std::size_t idx = std::min(static_cast<std::size_t>(bseq - front),
+                                   window_.size() - 1);
+        while (idx > 0 && window_[idx - 1].bseq >= bseq)
+            --idx;
+        return &window_[idx];
     }
 
     NodeInst *
@@ -178,9 +180,19 @@ class Engine
     std::int32_t mapPc(std::int32_t pc);
 
     enum class MergeStatus { Ok, NeedData, UnknownAddr };
+    /**
+     * Speculatively read @p len bytes at @p addr as seen by sequence
+     * number @p seq_limit. On failure, @p blocker (when non-null) names
+     * the oldest node whose resolution must precede a retry: a store
+     * with an unknown address or unknown data, or a pending syscall.
+     */
     MergeStatus specRead(std::uint64_t seq_limit, std::uint32_t addr,
                          std::uint32_t len, std::uint8_t *out,
-                         bool *forwarded);
+                         bool *forwarded,
+                         std::uint64_t *blocker = nullptr);
+
+    /** Move loads blocked on @p seq to the retry list (event wake-up). */
+    void wakeLoadsBlockedOn(std::uint64_t seq);
 
     void finishExit(BlockInst &block, NodeInst &inst);
 
@@ -208,16 +220,48 @@ class Engine
     std::uint32_t committedRegs_[kNumRegs] = {};
 
     std::unordered_map<std::uint64_t, std::vector<WaitRef>> waiters_;
-    std::multimap<std::uint64_t, Ref> events_; ///< completion time -> node
+
+    /** One scheduled completion. Kept in a flat binary heap: completions
+     *  are pushed/popped millions of times per run and a node-based
+     *  multimap spends most of that in the allocator. */
+    struct Event
+    {
+        std::uint64_t cycle;
+        Ref ref;
+    };
+    struct EventLater
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.cycle > b.cycle;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, EventLater> events_;
 
     std::priority_queue<Ref, std::vector<Ref>, RefNewestFirst> readyAlu_;
     std::priority_queue<Ref, std::vector<Ref>, RefNewestFirst> readyMem_;
-    std::vector<Ref> pendingLoads_;
     std::vector<Ref> pendingSys_;
 
     std::deque<Ref> storeQueue_;
+    StoreIndex storeIndex_; ///< addr-indexed view of resolved stores
     std::set<std::uint64_t> unknownStoreAddrs_;
     std::set<std::uint64_t> pendingSyscallSeqs_;
+    /** Stores with unresolved data (maintained under conservativeLoads). */
+    std::set<std::uint64_t> unknownStoreData_;
+
+    /**
+     * Event-driven load scheduling: a load that fails disambiguation
+     * parks under the seq of the node blocking it; resolving (or
+     * squashing) that node moves the waiters to retryLoads_, drained
+     * once per cycle at the former polling point so cycle timing is
+     * identical to the polled schedule.
+     */
+    std::map<std::uint64_t, std::vector<Ref>> loadWaiters_;
+    std::vector<Ref> retryLoads_;
+    /** Set when retirement/completion/squash may change syscall
+     *  eligibility; cleared after the pendingSys_ scan. */
+    bool sysWake_ = true;
 
     struct WordRef
     {
@@ -234,6 +278,13 @@ class Engine
     };
     std::unordered_map<std::int32_t, FaultChoice> faultChoice_;
     std::uint64_t issueCycles_ = 0;
+
+    // Per-cycle counters kept as members (a StatGroup add costs a string
+    // key construction plus a map lookup; these fire nearly every cycle).
+    std::uint64_t fetchRedirectCycles_ = 0;
+    std::uint64_t fetchIdleCycles_ = 0;
+    std::uint64_t issueStallWindow_ = 0;
+    std::uint64_t wordStallCycles_ = 0;
 
     // Incremental window-content counters (the paper's three measures).
     std::int64_t validCount_ = 0;  ///< issued, not retired
@@ -263,6 +314,17 @@ class Engine
     }
 };
 
+/**
+ * Trace with lazy arguments: the formatters (formatNode, mnemonic,
+ * register names) are expensive and sit on the execute/complete hot
+ * paths, so they must not be evaluated when no trace stream is attached.
+ */
+#define ENG_TRACE(...)                                                        \
+    do {                                                                      \
+        if (opts_.trace)                                                      \
+            trace(__VA_ARGS__);                                               \
+    } while (0)
+
 // ---------------------------------------------------------------------
 // Rename / operand plumbing
 // ---------------------------------------------------------------------
@@ -281,7 +343,20 @@ Engine::tryStoreAgen(NodeInst &inst)
     inst.addr = effectiveAddress(*inst.node, inst.srcVal[0]);
     inst.len = accessBytes(inst.node->op);
     inst.addrKnown = true;
+    storeIndex_.addStore(inst.seq, inst.addr, inst.len);
     unknownStoreAddrs_.erase(inst.seq);
+    wakeLoadsBlockedOn(inst.seq);
+}
+
+void
+Engine::wakeLoadsBlockedOn(std::uint64_t seq)
+{
+    const auto it = loadWaiters_.find(seq);
+    if (it == loadWaiters_.end())
+        return;
+    retryLoads_.insert(retryLoads_.end(), it->second.begin(),
+                       it->second.end());
+    loadWaiters_.erase(it);
 }
 
 void
@@ -297,8 +372,11 @@ Engine::onDataReady(BlockInst &block, std::uint32_t idx)
     const Ref ref{block.bseq, idx, inst.seq};
     if (inst.node->isSys()) {
         pendingSys_.push_back(ref);
+        sysWake_ = true;
     } else if (inst.node->isLoad()) {
-        pendingLoads_.push_back(ref);
+        // First attempt happens at the next refresh point, exactly when
+        // the polled scheduler would have seen it.
+        retryLoads_.push_back(ref);
     } else if (inst.node->isMem()) {
         readyMem_.push(ref);
     } else {
@@ -313,56 +391,63 @@ Engine::onDataReady(BlockInst &block, std::uint32_t idx)
 void
 Engine::completeAt(std::uint64_t done_cycle, const Ref &ref)
 {
-    events_.emplace(done_cycle, ref);
+    events_.push(Event{done_cycle, ref});
 }
 
 Engine::MergeStatus
 Engine::specRead(std::uint64_t seq_limit, std::uint32_t addr,
-                 std::uint32_t len, std::uint8_t *out, bool *forwarded)
+                 std::uint32_t len, std::uint8_t *out, bool *forwarded,
+                 std::uint64_t *blocker)
 {
     // Gate: every older store must have a known address, and no older
     // system call may still be pending (system calls write memory
-    // directly, so they are barriers for younger loads).
+    // directly, so they are barriers for younger loads). The oldest
+    // member of each ordered set is the watermark, so the check is O(1).
     const auto oldest_unknown = unknownStoreAddrs_.begin();
     if (oldest_unknown != unknownStoreAddrs_.end() &&
-        *oldest_unknown < seq_limit)
+        *oldest_unknown < seq_limit) {
+        if (blocker)
+            *blocker = *oldest_unknown;
         return MergeStatus::UnknownAddr;
+    }
     const auto oldest_sys = pendingSyscallSeqs_.begin();
-    if (oldest_sys != pendingSyscallSeqs_.end() && *oldest_sys < seq_limit)
+    if (oldest_sys != pendingSyscallSeqs_.end() &&
+        *oldest_sys < seq_limit) {
+        if (blocker)
+            *blocker = *oldest_sys;
         return MergeStatus::UnknownAddr;
+    }
     if (opts_.conservativeLoads) {
-        for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend();
-             ++it) {
-            if (it->seq >= seq_limit)
-                continue;
-            const NodeInst *store = instBy(*it);
-            if (store && !store->dataKnown)
-                return MergeStatus::NeedData;
+        // All older stores have known addresses here (gate above), so
+        // "any older store still lacking data" is exactly the oldest
+        // member of the unknown-data set.
+        const auto oldest_data = unknownStoreData_.begin();
+        if (oldest_data != unknownStoreData_.end() &&
+            *oldest_data < seq_limit) {
+            if (blocker)
+                *blocker = *oldest_data;
+            return MergeStatus::NeedData;
         }
     }
 
     bool any_forward = false;
     for (std::uint32_t b = 0; b < len; ++b) {
         const std::uint32_t byte_addr = addr + b;
-        bool found = false;
-        for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend();
-             ++it) {
-            if (it->seq >= seq_limit)
-                continue;
-            NodeInst *store = instBy(*it);
-            fgp_assert(store && store->addrKnown, "stale store queue entry");
-            if (byte_addr < store->addr ||
-                byte_addr >= store->addr + store->len)
-                continue;
-            if (!store->dataKnown)
-                return MergeStatus::NeedData;
-            out[b] = store->data[byte_addr - store->addr];
+        const StoreIndex::Lookup hit =
+            storeIndex_.lookup(byte_addr, seq_limit);
+        switch (hit.status) {
+          case StoreIndex::Lookup::Status::NeedData:
+            if (blocker)
+                *blocker = hit.blocker;
+            return MergeStatus::NeedData;
+          case StoreIndex::Lookup::Status::Hit:
+            out[b] = hit.value;
             any_forward = true;
-            found = true;
+            break;
+          case StoreIndex::Lookup::Status::Miss:
+            out[b] = mem_.read8(byte_addr);
             break;
         }
-        if (!found)
-            out[b] = mem_.read8(byte_addr);
     }
     if (forwarded)
         *forwarded = any_forward;
@@ -375,11 +460,18 @@ Engine::tryExecuteLoad(BlockInst &block, NodeInst &inst)
     const std::uint32_t addr = effectiveAddress(*inst.node, inst.srcVal[0]);
     std::uint8_t bytes[4];
     bool forwarded = false;
+    std::uint64_t blocked_on = 0;
     const MergeStatus status = specRead(inst.seq, addr,
                                         accessBytes(inst.node->op), bytes,
-                                        &forwarded);
-    if (status != MergeStatus::Ok)
+                                        &forwarded, &blocked_on);
+    if (status != MergeStatus::Ok) {
+        if (!isStatic_) {
+            fgp_assert(blocked_on != 0, "blocked load without a blocker");
+            loadWaiters_[blocked_on].push_back(
+                Ref{block.bseq, inst.instIdx, inst.seq});
+        }
         return false;
+    }
 
     inst.addr = addr;
     inst.addrKnown = true;
@@ -389,7 +481,7 @@ Engine::tryExecuteLoad(BlockInst &block, NodeInst &inst)
     --readyCount_;
     ++result_.executedNodes;
     const int latency = memsys_.loadLatency(addr, forwarded);
-    trace("exec   seq=", inst.seq, " ", formatNode(*inst.node), " addr=0x",
+    ENG_TRACE("exec   seq=", inst.seq, " ", formatNode(*inst.node), " addr=0x",
           std::hex, addr, std::dec, forwarded ? " (forwarded)" : "",
           " latency=", latency);
     completeAt(cycle_ + static_cast<std::uint64_t>(latency),
@@ -404,7 +496,7 @@ Engine::executeNode(BlockInst &block, NodeInst &inst)
     --activeCount_;
     --readyCount_;
     ++result_.executedNodes;
-    trace("exec   seq=", inst.seq, " ", formatNode(*inst.node));
+    ENG_TRACE("exec   seq=", inst.seq, " ", formatNode(*inst.node));
     int latency = 1;
 
     const Node &node = *inst.node;
@@ -443,6 +535,10 @@ Engine::executeNode(BlockInst &block, NodeInst &inst)
                                              inst.data);
         fgp_assert(len == inst.len, "store width changed");
         inst.dataKnown = true;
+        storeIndex_.setData(inst.seq, inst.data);
+        if (opts_.conservativeLoads)
+            unknownStoreData_.erase(inst.seq);
+        wakeLoadsBlockedOn(inst.seq);
         break;
       }
       case NodeClass::Sys: {
@@ -463,6 +559,7 @@ Engine::executeNode(BlockInst &block, NodeInst &inst)
             os_.syscall(inst.srcVal[0], inst.srcVal[1], inst.srcVal[2],
                         inst.srcVal[3], inst.srcVal[4], ports);
         pendingSyscallSeqs_.erase(inst.seq);
+        wakeLoadsBlockedOn(inst.seq);
         if (os_.exited()) {
             finishExit(block, inst);
             return;
@@ -485,7 +582,7 @@ Engine::finishExit(BlockInst &block, NodeInst &inst)
     // Commit the partial block up to and including the exit node, exactly
     // like the functional VM counts it.
     const std::uint64_t partial = inst.nodeIdx + 1;
-    trace("retire block#", block.bseq, " (exit, ", partial, " nodes)");
+    ENG_TRACE("retire block#", block.bseq, " (exit, ", partial, " nodes)");
     result_.retiredNodes += partial;
     ++result_.committedBlocks;
     result_.blockSize.add(partial);
@@ -500,10 +597,9 @@ void
 Engine::processCompletions()
 {
     std::vector<Ref> due;
-    for (auto it = events_.begin();
-         it != events_.end() && it->first <= cycle_;) {
-        due.push_back(it->second);
-        it = events_.erase(it);
+    while (!events_.empty() && events_.top().cycle <= cycle_) {
+        due.push_back(events_.top().ref);
+        events_.pop();
     }
     // In-order resolution priority: an older fault/mispredict must act
     // before younger control nodes completing in the same cycle.
@@ -517,7 +613,8 @@ Engine::processCompletions()
         BlockInst &block = *blockBy(ref.bseq);
         inst->state = NState::Done;
         ++block.doneCount;
-        trace("done   seq=", inst->seq, " ", mnemonic(inst->node->op),
+        sysWake_ = true; // progress in the oldest block frees syscalls
+        ENG_TRACE("done   seq=", inst->seq, " ", mnemonic(inst->node->op),
               " value=", inst->value);
 
         // Publish to the rename map.
@@ -567,7 +664,7 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
                 fgp_panic("fault node fired under perfect prediction");
             ++result_.faultsFired;
             const std::int32_t target = node.target;
-            trace("fault  block#", block.bseq, " ", formatNode(node),
+            ENG_TRACE("fault  block#", block.bseq, " ", formatNode(node),
                   " -> block image ", target);
             if (opts_.predictFaultTargets) {
                 // Strengthen the chooser toward the block we fault into.
@@ -601,7 +698,7 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
             return;
         }
         predictor_.recordOutcome(taken == block.predictedTaken);
-        trace("branch block#", block.bseq, " ", mnemonic(node.op),
+        ENG_TRACE("branch block#", block.bseq, " ", mnemonic(node.op),
               " pc=", node.origPc, taken ? " taken" : " not-taken",
               taken == block.predictedTaken ? " (predicted)"
                                             : " (MISPREDICT)");
@@ -673,6 +770,7 @@ Engine::retireBlocks()
                        "retiring block with incomplete store");
             mem_.writeBytes(store->addr, store->data, store->len);
             memsys_.commitStore(store->addr, store->len);
+            storeIndex_.erase(store->seq);
             storeQueue_.pop_front();
         }
 
@@ -693,13 +791,14 @@ Engine::retireBlocks()
                     --it->second.counter;
             }
         }
-        trace("retire block#", front.bseq, " (image ", front.imageId,
+        ENG_TRACE("retire block#", front.bseq, " (image ", front.imageId,
               ", ", front.insts.size(), " nodes)");
         validCount_ -= static_cast<std::int64_t>(front.insts.size());
         result_.retiredNodes += front.insts.size();
         result_.blockSize.add(front.insts.size());
         ++result_.committedBlocks;
         window_.pop_front();
+        sysWake_ = true; // the new window front may free a syscall
     }
 }
 
@@ -710,30 +809,40 @@ Engine::retireBlocks()
 void
 Engine::refreshPending()
 {
-    // Deferred loads: move back to the ready queue once resolvable.
-    for (std::size_t i = 0; i < pendingLoads_.size();) {
-        const Ref ref = pendingLoads_[i];
-        NodeInst *inst = instBy(ref);
-        if (!inst || inst->state != NState::Ready) {
-            pendingLoads_[i] = pendingLoads_.back();
-            pendingLoads_.pop_back();
-            continue;
+    // Deferred loads: re-attempt only those whose blocking node resolved
+    // (or was squashed) since the last refresh. The retry list is
+    // drained here — between completion processing and scheduling — so
+    // wake-ups land on exactly the cycle the per-cycle poll would have
+    // found them.
+    if (!retryLoads_.empty()) {
+        std::vector<Ref> retry;
+        retry.swap(retryLoads_);
+        for (const Ref &ref : retry) {
+            NodeInst *inst = instBy(ref);
+            if (!inst || inst->state != NState::Ready)
+                continue; // squashed (or already scheduled) meanwhile
+            std::uint8_t scratch[4];
+            std::uint64_t blocked_on = 0;
+            const std::uint32_t addr =
+                effectiveAddress(*inst->node, inst->srcVal[0]);
+            if (specRead(inst->seq, addr, accessBytes(inst->node->op),
+                         scratch, nullptr, &blocked_on) ==
+                MergeStatus::Ok) {
+                readyMem_.push(ref);
+            } else {
+                fgp_assert(blocked_on != 0,
+                           "blocked load without a blocker");
+                loadWaiters_[blocked_on].push_back(ref);
+            }
         }
-        std::uint8_t scratch[4];
-        const std::uint32_t addr =
-            effectiveAddress(*inst->node, inst->srcVal[0]);
-        if (specRead(inst->seq, addr, accessBytes(inst->node->op), scratch,
-                     nullptr) == MergeStatus::Ok) {
-            readyMem_.push(ref);
-            pendingLoads_[i] = pendingLoads_.back();
-            pendingLoads_.pop_back();
-            continue;
-        }
-        ++i;
     }
 
     // System calls become eligible when their block is the window's
-    // oldest and every older node in the block is done.
+    // oldest and every older node in the block is done. Only retirement,
+    // completion or squash can change that, so skip the scan otherwise.
+    if (!sysWake_)
+        return;
+    sysWake_ = false;
     for (std::size_t i = 0; i < pendingSys_.size();) {
         const Ref ref = pendingSys_[i];
         NodeInst *inst = instBy(ref);
@@ -797,10 +906,8 @@ Engine::scheduleDynamic()
             NodeInst *inst = instBy(pick);
             BlockInst &block = *blockBy(pick.bseq);
             if (inst->node->isLoad()) {
-                if (!tryExecuteLoad(block, *inst)) {
-                    pendingLoads_.push_back(pick);
-                    continue; // try the next candidate this cycle
-                }
+                if (!tryExecuteLoad(block, *inst))
+                    continue; // parked on its blocker; next candidate
             } else {
                 executeNode(block, *inst);
             }
@@ -820,10 +927,8 @@ Engine::scheduleDynamic()
             continue;
         BlockInst &block = *blockBy(ref.bseq);
         if (inst->node->isLoad()) {
-            if (!tryExecuteLoad(block, *inst)) {
-                pendingLoads_.push_back(ref);
-                continue;
-            }
+            if (!tryExecuteLoad(block, *inst))
+                continue; // parked on its blocker
         } else {
             executeNode(block, *inst);
         }
@@ -879,7 +984,7 @@ Engine::scheduleStaticWord()
     // Full interlock: the word executes only when every node is ready.
     for (NodeInst *inst : insts) {
         if (inst->state != NState::Ready) {
-            result_.stats.add("word_stall_cycles", 1);
+            ++wordStallCycles_;
             return;
         }
         if (inst->node->isSys()) {
@@ -1012,17 +1117,17 @@ Engine::issueCycle()
 {
     if (fetchStall_ > 0) {
         --fetchStall_;
-        result_.stats.add("fetch_redirect_cycles", 1);
+        ++fetchRedirectCycles_;
         return;
     }
 
     if (fetchImageBlock_ < 0) {
         if (fetchIdle_ || nextFetchImageBlock_ < 0) {
-            result_.stats.add("fetch_idle_cycles", 1);
+            ++fetchIdleCycles_;
             return;
         }
         if (static_cast<int>(window_.size()) >= windowCap_) {
-            result_.stats.add("issue_stall_window", 1);
+            ++issueStallWindow_;
             return;
         }
         BlockInst block;
@@ -1076,6 +1181,8 @@ Engine::issueCycle()
         if (node.isStore()) {
             storeQueue_.push_back(ref);
             unknownStoreAddrs_.insert(inst.seq);
+            if (opts_.conservativeLoads)
+                unknownStoreData_.insert(inst.seq);
             tryStoreAgen(inst);
         }
         if (node.isSys())
@@ -1097,7 +1204,7 @@ Engine::issueCycle()
                 text += " | ";
             text += formatNode(ib.nodes[node_idx]);
         }
-        trace("issue  block#", block.bseq, " (image ", block.imageId,
+        ENG_TRACE("issue  block#", block.bseq, " (image ", block.imageId,
               ") word ", block.issuedWords, ": ", text);
     }
     ++issueCycles_;
@@ -1130,7 +1237,7 @@ Engine::squashFrom(std::uint64_t bseq_inclusive)
 
     while (!window_.empty() && window_.back().bseq >= bseq_inclusive) {
         const BlockInst &victim = window_.back();
-        trace("squash block#", victim.bseq, " (image ", victim.imageId,
+        ENG_TRACE("squash block#", victim.bseq, " (image ", victim.imageId,
               ", ", victim.insts.size(), " nodes)");
         for (const NodeInst &inst : victim.insts) {
             --validCount_;
@@ -1146,14 +1253,27 @@ Engine::squashFrom(std::uint64_t bseq_inclusive)
     while (!storeQueue_.empty() &&
            storeQueue_.back().seq >= seq_boundary)
         storeQueue_.pop_back();
+    storeIndex_.squash(seq_boundary);
     unknownStoreAddrs_.erase(
         unknownStoreAddrs_.lower_bound(seq_boundary),
         unknownStoreAddrs_.end());
     pendingSyscallSeqs_.erase(
         pendingSyscallSeqs_.lower_bound(seq_boundary),
         pendingSyscallSeqs_.end());
+    unknownStoreData_.erase(
+        unknownStoreData_.lower_bound(seq_boundary),
+        unknownStoreData_.end());
     while (!wordQueue_.empty() && wordQueue_.back().bseq >= bseq_inclusive)
         wordQueue_.pop_back();
+
+    // Squashed stores/syscalls can never resolve: re-attempt every load
+    // parked on one of them (surviving loads re-park on a live blocker).
+    for (auto it = loadWaiters_.lower_bound(seq_boundary);
+         it != loadWaiters_.end(); it = loadWaiters_.erase(it)) {
+        retryLoads_.insert(retryLoads_.end(), it->second.begin(),
+                           it->second.end());
+    }
+    sysWake_ = true;
 
     fetchImageBlock_ = -1; // any in-progress fetch was on the wrong path
     rebuildRenameMap();
@@ -1243,6 +1363,16 @@ Engine::run()
     memsys_.exportStats(result_.stats, "mem.");
     result_.stats.set("window_cap", static_cast<std::uint64_t>(windowCap_));
     result_.stats.set("issue_cycles", issueCycles_);
+    // Match the incremental-add behaviour: a counter that never fired
+    // leaves no key behind.
+    if (fetchRedirectCycles_)
+        result_.stats.set("fetch_redirect_cycles", fetchRedirectCycles_);
+    if (fetchIdleCycles_)
+        result_.stats.set("fetch_idle_cycles", fetchIdleCycles_);
+    if (issueStallWindow_)
+        result_.stats.set("issue_stall_window", issueStallWindow_);
+    if (wordStallCycles_)
+        result_.stats.set("word_stall_cycles", wordStallCycles_);
     if (issueCycles_) {
         result_.stats.setReal(
             "issue_slot_utilization",
@@ -1252,6 +1382,8 @@ Engine::run()
     }
     return result_;
 }
+
+#undef ENG_TRACE
 
 } // namespace
 

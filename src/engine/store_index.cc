@@ -1,0 +1,105 @@
+#include "engine/store_index.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+void
+StoreIndex::addStore(std::uint64_t seq, std::uint32_t addr,
+                     std::uint32_t len)
+{
+    const bool inserted = extents_.emplace(seq, Extent{addr, len}).second;
+    fgp_assert(inserted, "store seq ", seq, " indexed twice");
+    for (std::uint32_t b = 0; b < len; ++b) {
+        std::vector<ByteVer> &vers = bytes_[addr + b];
+        // Stores resolve addresses out of order; keep the list sorted.
+        const auto pos = std::lower_bound(
+            vers.begin(), vers.end(), seq,
+            [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
+        vers.insert(pos, ByteVer{seq, 0, false});
+    }
+}
+
+void
+StoreIndex::setData(std::uint64_t seq, const std::uint8_t *data)
+{
+    const auto it = extents_.find(seq);
+    fgp_assert(it != extents_.end(), "setData on unindexed store ", seq);
+    const Extent &extent = it->second;
+    for (std::uint32_t b = 0; b < extent.len; ++b) {
+        std::vector<ByteVer> &vers = bytes_[extent.addr + b];
+        const auto pos = std::lower_bound(
+            vers.begin(), vers.end(), seq,
+            [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
+        fgp_assert(pos != vers.end() && pos->seq == seq,
+                   "store byte version lost");
+        pos->value = data[b];
+        pos->known = true;
+    }
+}
+
+void
+StoreIndex::removeBytes(std::uint64_t seq, const Extent &extent)
+{
+    for (std::uint32_t b = 0; b < extent.len; ++b) {
+        const std::uint32_t byte_addr = extent.addr + b;
+        const auto vit = bytes_.find(byte_addr);
+        fgp_assert(vit != bytes_.end(), "store byte list lost");
+        std::vector<ByteVer> &vers = vit->second;
+        const auto pos = std::lower_bound(
+            vers.begin(), vers.end(), seq,
+            [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
+        fgp_assert(pos != vers.end() && pos->seq == seq,
+                   "store byte version lost");
+        vers.erase(pos);
+        if (vers.empty())
+            bytes_.erase(vit);
+    }
+}
+
+void
+StoreIndex::erase(std::uint64_t seq)
+{
+    const auto it = extents_.find(seq);
+    fgp_assert(it != extents_.end(), "erase of unindexed store ", seq);
+    removeBytes(seq, it->second);
+    extents_.erase(it);
+}
+
+void
+StoreIndex::squash(std::uint64_t seq_boundary)
+{
+    const auto first = extents_.lower_bound(seq_boundary);
+    for (auto it = first; it != extents_.end(); ++it)
+        removeBytes(it->first, it->second);
+    extents_.erase(first, extents_.end());
+}
+
+StoreIndex::Lookup
+StoreIndex::lookup(std::uint32_t byte_addr, std::uint64_t seq_limit) const
+{
+    Lookup result;
+    const auto vit = bytes_.find(byte_addr);
+    if (vit == bytes_.end())
+        return result;
+    const std::vector<ByteVer> &vers = vit->second;
+    // Youngest version older than the probing load.
+    const auto pos = std::lower_bound(
+        vers.begin(), vers.end(), seq_limit,
+        [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
+    if (pos == vers.begin())
+        return result;
+    const ByteVer &ver = *std::prev(pos);
+    if (!ver.known) {
+        result.status = Lookup::Status::NeedData;
+        result.blocker = ver.seq;
+        return result;
+    }
+    result.status = Lookup::Status::Hit;
+    result.value = ver.value;
+    return result;
+}
+
+} // namespace fgp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Address-indexed view of the in-flight store queue.
+ *
+ * The engine's speculative load path must find, for every byte of a
+ * load, the youngest older store whose resolved address covers that
+ * byte (§2.1 run-time memory disambiguation). Scanning the store queue
+ * newest-to-oldest per byte is O(len x queue) per attempt, which
+ * dominates simulation time for large windows (dyn256 keeps hundreds of
+ * stores in flight). The index maintains, per byte address, the set of
+ * resolved stores covering it, sorted by sequence number, so one lookup
+ * is a hash probe plus a binary search over a (nearly always tiny)
+ * version list.
+ *
+ * Lifecycle mirrors the store queue:
+ *  - addStore()  when a store's address resolves (agen);
+ *  - setData()   when the store's data operand arrives;
+ *  - erase()     when the store commits at block retirement;
+ *  - squash()    drops every store at or above a squash boundary.
+ *
+ * Stores with unresolved addresses are *not* in the index; the engine
+ * gates loads on those separately (they could alias anything).
+ */
+
+#ifndef FGP_ENGINE_STORE_INDEX_HH
+#define FGP_ENGINE_STORE_INDEX_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fgp {
+
+class StoreIndex
+{
+  public:
+    /** Outcome of a one-byte probe. */
+    struct Lookup
+    {
+        enum class Status : std::uint8_t {
+            Miss,     ///< no older store covers the byte; read memory
+            NeedData, ///< covered by a store whose data is unresolved
+            Hit,      ///< forwarded from the youngest covering store
+        };
+        Status status = Status::Miss;
+        std::uint8_t value = 0;     ///< forwarded byte (Hit only)
+        std::uint64_t blocker = 0;  ///< blocking store seq (NeedData only)
+    };
+
+    /** Register a store whose address just resolved. Data may follow. */
+    void addStore(std::uint64_t seq, std::uint32_t addr, std::uint32_t len);
+
+    /** Attach the store's data bytes (exactly the addStore length). */
+    void setData(std::uint64_t seq, const std::uint8_t *data);
+
+    /** Remove one store (block retirement commits it to memory). */
+    void erase(std::uint64_t seq);
+
+    /** Remove every store with seq >= @p seq_boundary (squash repair). */
+    void squash(std::uint64_t seq_boundary);
+
+    /**
+     * Youngest store with seq < @p seq_limit covering @p byte_addr, or
+     * Miss. The engine must have gated out older unresolved-address
+     * stores before trusting a Miss.
+     */
+    Lookup lookup(std::uint32_t byte_addr, std::uint64_t seq_limit) const;
+
+    bool empty() const { return extents_.empty(); }
+    std::size_t size() const { return extents_.size(); }
+
+  private:
+    /** One resolved store's contribution to a single byte address. */
+    struct ByteVer
+    {
+        std::uint64_t seq;
+        std::uint8_t value;
+        bool known;
+    };
+
+    struct Extent
+    {
+        std::uint32_t addr;
+        std::uint32_t len;
+    };
+
+    void removeBytes(std::uint64_t seq, const Extent &extent);
+
+    /** Byte address -> covering stores, sorted by seq ascending. */
+    std::unordered_map<std::uint32_t, std::vector<ByteVer>> bytes_;
+
+    /** Resolved stores by seq (ordered so squash can range-erase). */
+    std::map<std::uint64_t, Extent> extents_;
+};
+
+} // namespace fgp
+
+#endif // FGP_ENGINE_STORE_INDEX_HH

@@ -28,6 +28,13 @@ struct ExperimentRunner::Prepared
     explicit Prepared(Workload wl) : workload(std::move(wl)) {}
 };
 
+/** Cache slot: a latch so exactly one thread builds each benchmark. */
+struct ExperimentRunner::Entry
+{
+    std::once_flag built;
+    std::unique_ptr<Prepared> prepared;
+};
+
 ExperimentRunner::ExperimentRunner(double scale, EnlargeOptions enlarge_opts)
     : scale_(scale), enlargeOpts_(enlarge_opts)
 {
@@ -38,9 +45,25 @@ ExperimentRunner::~ExperimentRunner() = default;
 ExperimentRunner::Prepared &
 ExperimentRunner::prepare(const std::string &name)
 {
-    if (const auto it = cache_.find(name); it != cache_.end())
-        return *it->second;
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        std::unique_ptr<Entry> &slot = cache_[name];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get(); // map nodes are address-stable
+    }
+    // Build outside the map lock so unrelated benchmarks prepare in
+    // parallel; concurrent requests for the same benchmark block here
+    // until the one builder finishes.
+    std::call_once(entry->built,
+                   [&] { entry->prepared = buildPrepared(name); });
+    return *entry->prepared;
+}
 
+std::unique_ptr<ExperimentRunner::Prepared>
+ExperimentRunner::buildPrepared(const std::string &name)
+{
     Workload wl = makeWorkload(name);
     wl.setScale(scale_);
     auto prepared = std::make_unique<Prepared>(std::move(wl));
@@ -92,9 +115,7 @@ ExperimentRunner::prepare(const std::string &name)
         p.perfectTrace = std::move(r.blockTrace);
     }
 
-    auto [it, inserted] = cache_.emplace(name, std::move(prepared));
-    fgp_assert(inserted, "duplicate preparation");
-    return *it->second;
+    return prepared;
 }
 
 ExperimentResult

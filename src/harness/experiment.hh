@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,7 +51,17 @@ struct ExperimentResult
     EngineResult engine;
 };
 
-/** Cached per-benchmark artifacts + configurable input scale. */
+/**
+ * Cached per-benchmark artifacts + configurable input scale.
+ *
+ * Thread safety: run() and the read accessors may be called from many
+ * threads concurrently (see harness/parallel.hh). Each benchmark's
+ * one-time preparation is built exactly once under a per-entry latch;
+ * after that the cached artifacts are immutable shared state and every
+ * run() works on its own copies (image, SimOS, engine). The setters
+ * (setTranslateOptions, setEngineTweaks) and the constructor are NOT
+ * thread-safe — configure the runner before going parallel.
+ */
 class ExperimentRunner
 {
   public:
@@ -113,13 +124,16 @@ class ExperimentRunner
 
   private:
     struct Prepared;
+    struct Entry;
     Prepared &prepare(const std::string &workload);
+    std::unique_ptr<Prepared> buildPrepared(const std::string &workload);
 
     double scale_;
     EnlargeOptions enlargeOpts_;
     TranslateOptions translateOpts_ = {};
     EngineTweaks tweaks_ = {};
-    std::map<std::string, std::unique_ptr<Prepared>> cache_;
+    std::mutex cacheMutex_; ///< guards the cache map shape only
+    std::map<std::string, std::unique_ptr<Entry>> cache_;
 };
 
 } // namespace fgp

@@ -1,0 +1,114 @@
+#include "harness/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+int
+sweepJobs()
+{
+    if (const char *value = std::getenv("FGP_JOBS")) {
+        const int jobs = std::atoi(value);
+        if (jobs >= 1)
+            return jobs;
+        warn("ignoring FGP_JOBS=", value, " (need a positive integer)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+/** Run f(i) for i in [0, count) across up to jobs threads. */
+template <typename Fn>
+void
+forEachIndex(std::size_t count, int jobs, Fn f)
+{
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const auto work = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                f(i);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t)
+        threads.emplace_back(work);
+    for (std::thread &t : threads)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace
+
+std::vector<ExperimentResult>
+runSweep(ExperimentRunner &runner, const std::vector<SweepPoint> &points,
+         int jobs)
+{
+    if (jobs <= 0)
+        jobs = sweepJobs();
+    if (jobs > static_cast<int>(points.size()))
+        jobs = static_cast<int>(points.size());
+
+    if (jobs <= 1) {
+        std::vector<ExperimentResult> results;
+        results.reserve(points.size());
+        for (const SweepPoint &point : points)
+            results.push_back(runner.run(point.workload, point.config));
+        return results;
+    }
+
+    // Warm the per-benchmark caches first, one thread per distinct
+    // benchmark. Without this, the whole pool piles onto the first
+    // benchmark's one-time preparation latch at startup.
+    std::vector<std::string> distinct;
+    for (const SweepPoint &point : points) {
+        bool seen = false;
+        for (const std::string &name : distinct)
+            seen = seen || name == point.workload;
+        if (!seen)
+            distinct.push_back(point.workload);
+    }
+    forEachIndex(distinct.size(),
+                 std::min(jobs, static_cast<int>(distinct.size())),
+                 [&](std::size_t i) { runner.referenceNodes(distinct[i]); });
+
+    std::vector<std::optional<ExperimentResult>> slots(points.size());
+    forEachIndex(points.size(), jobs, [&](std::size_t i) {
+        slots[i] = runner.run(points[i].workload, points[i].config);
+    });
+
+    std::vector<ExperimentResult> results;
+    results.reserve(points.size());
+    for (std::optional<ExperimentResult> &slot : slots) {
+        fgp_assert(slot.has_value(), "sweep point left unrun");
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+} // namespace fgp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Thread-pool sweep runner. A paper-scale sweep is thousands of fully
+ * independent (benchmark, configuration) simulations; this runs them
+ * across worker threads while keeping the observable output exactly what
+ * the serial loop produces: results come back in input order, every
+ * point's simulation is self-contained (own image copy, own SimOS, own
+ * engine), and the shared per-benchmark preparation inside
+ * ExperimentRunner is built once under a latch.
+ */
+
+#ifndef FGP_HARNESS_PARALLEL_HH
+#define FGP_HARNESS_PARALLEL_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace fgp {
+
+/** One (benchmark, configuration) cell of a sweep. */
+struct SweepPoint
+{
+    std::string workload;
+    MachineConfig config;
+};
+
+/**
+ * Worker count for sweeps: FGP_JOBS when set to a positive integer,
+ * otherwise the hardware concurrency (1 when unknown).
+ */
+int sweepJobs();
+
+/**
+ * Run every point through @p runner using up to @p jobs worker threads
+ * (jobs <= 0 means sweepJobs()). Results are returned in input order
+ * regardless of completion order, and jobs == 1 degenerates to the plain
+ * serial loop with no threads, so anything printed from the results is
+ * byte-identical at any job count. The first exception thrown by a point
+ * stops the sweep and is rethrown on the calling thread.
+ */
+std::vector<ExperimentResult> runSweep(ExperimentRunner &runner,
+                                       const std::vector<SweepPoint> &points,
+                                       int jobs = 0);
+
+} // namespace fgp
+
+#endif // FGP_HARNESS_PARALLEL_HH

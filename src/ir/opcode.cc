@@ -8,82 +8,13 @@
 
 namespace fgp {
 
-namespace {
-
-constexpr std::size_t kNumOpcodes =
-    static_cast<std::size_t>(Opcode::NUM_OPCODES);
-
-constexpr std::array<OpcodeInfo, kNumOpcodes> kInfo = {{
-    // mnemonic  class              form                  load   store
-    {"add",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"sub",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"and",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"or",    NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"xor",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"sll",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"srl",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"sra",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"mul",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"div",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"rem",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"slt",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"sltu",  NodeClass::IntAlu, OperandForm::RRR,      false, false},
-    {"addi",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"andi",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"ori",   NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"xori",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"slli",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"srli",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"srai",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"slti",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"sltiu", NodeClass::IntAlu, OperandForm::RRI,      false, false},
-    {"lui",   NodeClass::IntAlu, OperandForm::RI,       false, false},
-    {"lw",    NodeClass::Mem,    OperandForm::Load,     true,  false},
-    {"lb",    NodeClass::Mem,    OperandForm::Load,     true,  false},
-    {"lbu",   NodeClass::Mem,    OperandForm::Load,     true,  false},
-    {"sw",    NodeClass::Mem,    OperandForm::Store,    false, true},
-    {"sb",    NodeClass::Mem,    OperandForm::Store,    false, true},
-    {"beq",   NodeClass::Control, OperandForm::Branch,  false, false},
-    {"bne",   NodeClass::Control, OperandForm::Branch,  false, false},
-    {"blt",   NodeClass::Control, OperandForm::Branch,  false, false},
-    {"bge",   NodeClass::Control, OperandForm::Branch,  false, false},
-    {"bltu",  NodeClass::Control, OperandForm::Branch,  false, false},
-    {"bgeu",  NodeClass::Control, OperandForm::Branch,  false, false},
-    {"j",     NodeClass::Control, OperandForm::Jump,    false, false},
-    {"jal",   NodeClass::Control, OperandForm::JumpLink, false, false},
-    {"jr",    NodeClass::Control, OperandForm::JumpReg, false, false},
-    {"syscall", NodeClass::Sys,  OperandForm::System,   false, false},
-    {"feq",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
-    {"fne",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
-    {"flt",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
-    {"fge",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
-    {"fltu",  NodeClass::Fault,  OperandForm::FaultF,   false, false},
-    {"fgeu",  NodeClass::Fault,  OperandForm::FaultF,   false, false},
-}};
-
-} // namespace
-
-const OpcodeInfo &
-opcodeInfo(Opcode op)
-{
-    const auto idx = static_cast<std::size_t>(op);
-    fgp_assert(idx < kNumOpcodes, "bad opcode ", idx);
-    return kInfo[idx];
-}
-
-std::string_view
-mnemonic(Opcode op)
-{
-    return opcodeInfo(op).mnemonic;
-}
-
 std::optional<Opcode>
 opcodeFromMnemonic(std::string_view text)
 {
     static const auto *table = [] {
         auto *map = new std::unordered_map<std::string, Opcode>();
-        for (std::size_t i = 0; i < kNumOpcodes; ++i)
-            map->emplace(std::string(kInfo[i].mnemonic),
+        for (std::size_t i = 0; i < detail::kNumOpcodes; ++i)
+            map->emplace(std::string(detail::kOpcodeInfo[i].mnemonic),
                          static_cast<Opcode>(i));
         return map;
     }();

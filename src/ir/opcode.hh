@@ -11,6 +11,7 @@
 #ifndef FGP_IR_OPCODE_HH
 #define FGP_IR_OPCODE_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -68,11 +69,79 @@ struct OpcodeInfo
     bool isStore;
 };
 
-/** Metadata lookup (O(1) table). */
-const OpcodeInfo &opcodeInfo(Opcode op);
+namespace detail {
+
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::NUM_OPCODES);
+
+inline constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeInfo = {{
+    // mnemonic  class              form                  load   store
+    {"add",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"sub",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"and",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"or",    NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"xor",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"sll",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"srl",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"sra",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"mul",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"div",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"rem",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"slt",   NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"sltu",  NodeClass::IntAlu, OperandForm::RRR,      false, false},
+    {"addi",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"andi",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"ori",   NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"xori",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"slli",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"srli",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"srai",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"slti",  NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"sltiu", NodeClass::IntAlu, OperandForm::RRI,      false, false},
+    {"lui",   NodeClass::IntAlu, OperandForm::RI,       false, false},
+    {"lw",    NodeClass::Mem,    OperandForm::Load,     true,  false},
+    {"lb",    NodeClass::Mem,    OperandForm::Load,     true,  false},
+    {"lbu",   NodeClass::Mem,    OperandForm::Load,     true,  false},
+    {"sw",    NodeClass::Mem,    OperandForm::Store,    false, true},
+    {"sb",    NodeClass::Mem,    OperandForm::Store,    false, true},
+    {"beq",   NodeClass::Control, OperandForm::Branch,  false, false},
+    {"bne",   NodeClass::Control, OperandForm::Branch,  false, false},
+    {"blt",   NodeClass::Control, OperandForm::Branch,  false, false},
+    {"bge",   NodeClass::Control, OperandForm::Branch,  false, false},
+    {"bltu",  NodeClass::Control, OperandForm::Branch,  false, false},
+    {"bgeu",  NodeClass::Control, OperandForm::Branch,  false, false},
+    {"j",     NodeClass::Control, OperandForm::Jump,    false, false},
+    {"jal",   NodeClass::Control, OperandForm::JumpLink, false, false},
+    {"jr",    NodeClass::Control, OperandForm::JumpReg, false, false},
+    {"syscall", NodeClass::Sys,  OperandForm::System,   false, false},
+    {"feq",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
+    {"fne",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
+    {"flt",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
+    {"fge",   NodeClass::Fault,  OperandForm::FaultF,   false, false},
+    {"fltu",  NodeClass::Fault,  OperandForm::FaultF,   false, false},
+    {"fgeu",  NodeClass::Fault,  OperandForm::FaultF,   false, false},
+}};
+
+} // namespace detail
+
+/**
+ * Metadata lookup. Inline constexpr-table access: this sits on the
+ * simulator's hottest paths (every readiness/class test of every node
+ * instance), so there is deliberately no bounds check here — opcodes
+ * reaching it come from validated images.
+ */
+inline const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    return detail::kOpcodeInfo[static_cast<std::size_t>(op)];
+}
 
 /** Mnemonic for an opcode. */
-std::string_view mnemonic(Opcode op);
+inline std::string_view
+mnemonic(Opcode op)
+{
+    return opcodeInfo(op).mnemonic;
+}
 
 /** Reverse lookup by mnemonic (case-insensitive); nullopt when unknown. */
 std::optional<Opcode> opcodeFromMnemonic(std::string_view text);

@@ -4,6 +4,7 @@
 
 #include "bbe/enlarge.hh"
 #include "engine/engine.hh"
+#include "engine/store_index.hh"
 #include "ir/cfg.hh"
 #include "masm/assembler.hh"
 #include "tld/translate.hh"
@@ -567,6 +568,78 @@ TEST(Engine, UntranslatedImageRejected)
     EngineOptions opts;
     opts.config = cfg(Discipline::Dyn4, 8, 'A');
     EXPECT_DEATH(simulate(image, os, opts), "words");
+}
+
+// ---- StoreIndex: the address-indexed view behind specRead ------------
+
+TEST(StoreIndex, PartialOverlapForwardsYoungestBytePerAddress)
+{
+    StoreIndex index;
+    // Word store at 100, then a younger byte store punching one byte.
+    const std::uint8_t word[4] = {0x11, 0x22, 0x33, 0x44};
+    const std::uint8_t byte[1] = {0xAA};
+    index.addStore(10, 100, 4);
+    index.setData(10, word);
+    index.addStore(20, 102, 1);
+    index.setData(20, byte);
+
+    // A load younger than both sees the byte store only where it hits.
+    const auto at = [&](std::uint32_t a) { return index.lookup(a, 30); };
+    EXPECT_EQ(at(100).status, StoreIndex::Lookup::Status::Hit);
+    EXPECT_EQ(at(100).value, 0x11);
+    EXPECT_EQ(at(101).value, 0x22);
+    EXPECT_EQ(at(102).value, 0xAA);
+    EXPECT_EQ(at(103).value, 0x44);
+    EXPECT_EQ(at(104).status, StoreIndex::Lookup::Status::Miss);
+
+    // A load between the two stores sees only the older word store.
+    EXPECT_EQ(index.lookup(102, 15).value, 0x33);
+    // A load older than both sees memory.
+    EXPECT_EQ(index.lookup(100, 5).status,
+              StoreIndex::Lookup::Status::Miss);
+}
+
+TEST(StoreIndex, UnknownDataGatesWithBlockerSeq)
+{
+    StoreIndex index;
+    index.addStore(10, 200, 4); // address known, data not yet
+    const StoreIndex::Lookup probe = index.lookup(201, 30);
+    EXPECT_EQ(probe.status, StoreIndex::Lookup::Status::NeedData);
+    EXPECT_EQ(probe.blocker, 10u);
+
+    const std::uint8_t data[4] = {1, 2, 3, 4};
+    index.setData(10, data);
+    EXPECT_EQ(index.lookup(201, 30).status,
+              StoreIndex::Lookup::Status::Hit);
+    EXPECT_EQ(index.lookup(201, 30).value, 2);
+}
+
+TEST(StoreIndex, SquashAndRetireCleanUpAllBytes)
+{
+    StoreIndex index;
+    const std::uint8_t a[2] = {0x01, 0x02};
+    const std::uint8_t b[2] = {0x03, 0x04};
+    index.addStore(10, 300, 2);
+    index.setData(10, a);
+    index.addStore(20, 301, 2); // overlaps byte 301
+    index.setData(20, b);
+    index.addStore(30, 400, 1); // data never resolves
+    EXPECT_EQ(index.size(), 3u);
+
+    // Squash everything at or above seq 20 (wrong-path repair).
+    index.squash(20);
+    EXPECT_EQ(index.size(), 1u);
+    EXPECT_EQ(index.lookup(301, 99).value, 0x02); // older store re-exposed
+    EXPECT_EQ(index.lookup(302, 99).status,
+              StoreIndex::Lookup::Status::Miss);
+    EXPECT_EQ(index.lookup(400, 99).status,
+              StoreIndex::Lookup::Status::Miss);
+
+    // Retire the survivor: the index must end empty.
+    index.erase(10);
+    EXPECT_TRUE(index.empty());
+    EXPECT_EQ(index.lookup(300, 99).status,
+              StoreIndex::Lookup::Status::Miss);
 }
 
 } // namespace

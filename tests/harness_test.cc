@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "ir/cfg.hh"
 #include "vm/atomic_runner.hh"
 #include "vm/interp.hh"
@@ -109,6 +110,57 @@ TEST(Harness, RedundancyOrderingMatchesFigure6)
     EXPECT_GT(dyn256_en, dyn4_single);
     EXPECT_LT(perfect, 0.05);
     EXPECT_LT(dyn256_en, 0.6);
+}
+
+TEST(Harness, ParallelSweepMatchesSerialRowForRow)
+{
+    // Mixed grid: several workloads, disciplines, memories and branch
+    // modes, so the threads contend on shared prepared state.
+    std::vector<SweepPoint> points;
+    for (const char *workload : {"grep", "compress", "sort"})
+        for (Discipline d : {Discipline::Static, Discipline::Dyn4})
+            for (char mem : {'A', 'G'})
+                points.push_back(
+                    {workload, cfg(d, 8, mem, BranchMode::Enlarged)});
+
+    ExperimentRunner serial_runner(0.2);
+    const std::vector<ExperimentResult> serial =
+        runSweep(serial_runner, points, 1);
+
+    ExperimentRunner parallel_runner(0.2);
+    const std::vector<ExperimentResult> parallel =
+        runSweep(parallel_runner, points, 4);
+
+    ASSERT_EQ(serial.size(), points.size());
+    ASSERT_EQ(parallel.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SCOPED_TRACE(points[i].workload + " " + points[i].config.name());
+        EXPECT_EQ(parallel[i].workload, serial[i].workload);
+        EXPECT_EQ(parallel[i].config.name(), serial[i].config.name());
+        EXPECT_EQ(parallel[i].cycles, serial[i].cycles);
+        EXPECT_EQ(parallel[i].refNodes, serial[i].refNodes);
+        EXPECT_DOUBLE_EQ(parallel[i].nodesPerCycle, serial[i].nodesPerCycle);
+        EXPECT_EQ(parallel[i].engine.executedNodes,
+                  serial[i].engine.executedNodes);
+        EXPECT_EQ(parallel[i].engine.retiredNodes,
+                  serial[i].engine.retiredNodes);
+        EXPECT_EQ(parallel[i].engine.mispredicts,
+                  serial[i].engine.mispredicts);
+        EXPECT_EQ(parallel[i].engine.faultsFired,
+                  serial[i].engine.faultsFired);
+    }
+}
+
+TEST(Harness, SweepJobsHonorsEnvOverride)
+{
+    // Not parallel-safe with other env users, but gtest runs tests in
+    // one thread per process.
+    setenv("FGP_JOBS", "3", 1);
+    EXPECT_EQ(sweepJobs(), 3);
+    setenv("FGP_JOBS", "0", 1);
+    EXPECT_GE(sweepJobs(), 1); // invalid value falls back
+    unsetenv("FGP_JOBS");
+    EXPECT_GE(sweepJobs(), 1);
 }
 
 TEST(AtomicRunner, MatchesInterpreterOnWorkloads)

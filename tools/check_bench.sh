@@ -1,0 +1,52 @@
+#!/bin/sh
+# Compare two BENCH_engine.json records emitted by bench/perf_selfcheck
+# and fail when the new wall time regresses by more than the threshold.
+#
+#   usage: tools/check_bench.sh <previous.json> <current.json> [max_regress_pct]
+#
+# The default threshold is 20 (percent). A missing previous record is not
+# an error — the current record simply becomes the new baseline.
+set -eu
+
+prev="${1:?usage: check_bench.sh <previous.json> <current.json> [pct]}"
+cur="${2:?usage: check_bench.sh <previous.json> <current.json> [pct]}"
+pct="${3:-20}"
+
+field() {
+    # Extract a numeric field from the flat one-key-per-line JSON that
+    # perf_selfcheck writes.
+    awk -F'[:,]' -v key="\"$2\"" '$1 ~ key { gsub(/[ \t]/, "", $2); print $2 }' "$1"
+}
+
+if [ ! -f "$cur" ]; then
+    echo "check_bench: current record $cur missing" >&2
+    exit 1
+fi
+if [ ! -f "$prev" ]; then
+    echo "check_bench: no previous record ($prev); accepting $cur as baseline"
+    exit 0
+fi
+
+prev_wall=$(field "$prev" wall_seconds)
+cur_wall=$(field "$cur" wall_seconds)
+prev_rate=$(field "$prev" sims_per_sec)
+cur_rate=$(field "$cur" sims_per_sec)
+
+if [ -z "$prev_wall" ] || [ -z "$cur_wall" ]; then
+    echo "check_bench: malformed record (wall_seconds missing)" >&2
+    exit 1
+fi
+
+echo "check_bench: wall ${prev_wall}s -> ${cur_wall}s, sims/sec ${prev_rate:-?} -> ${cur_rate:-?}"
+
+awk -v prev="$prev_wall" -v cur="$cur_wall" -v pct="$pct" 'BEGIN {
+    if (prev <= 0) exit 0;
+    regress = (cur - prev) / prev * 100.0;
+    if (regress > pct) {
+        printf "check_bench: FAIL — wall time regressed %.1f%% (> %s%% allowed)\n",
+               regress, pct;
+        exit 1;
+    }
+    printf "check_bench: OK — wall time change %+.1f%% (<= %s%% allowed)\n",
+           regress, pct;
+}'
