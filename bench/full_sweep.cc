@@ -50,9 +50,12 @@ main()
     const std::vector<ExperimentResult> results = runSweep(runner, points);
 
     std::cout << "benchmark,discipline,issue,memory,branch,nodes_per_cycle,"
-                 "cycles,ref_nodes,redundancy,mispredicts,faults\n";
+                 "cycles,ref_nodes,redundancy,mispredicts,faults,"
+                 "stall_fetch_redirect,stall_fetch_idle,stall_window_full,"
+                 "stall_short_word,stall_drain\n";
     for (const ExperimentResult &r : results) {
         const MachineConfig &config = r.config;
+        const StallBreakdown &st = r.engine.stalls;
         std::cout << r.workload << ','
                   << disciplineName(config.discipline) << ','
                   << config.issue.index << ',' << config.memory.name()
@@ -61,7 +64,18 @@ main()
                   << ',' << r.refNodes << ','
                   << format("%.4f", r.engine.redundancy()) << ','
                   << r.engine.mispredicts << ','
-                  << r.engine.faultsFired << '\n';
+                  << r.engine.faultsFired << ','
+                  << st.fetchRedirectSlots << ',' << st.fetchIdleSlots << ','
+                  << st.windowFullSlots << ',' << st.shortWordSlots << ','
+                  << st.drainSlots << '\n';
     }
+
+    // Where the sweep's issue bandwidth went, in aggregate.
+    const StallBreakdown total = totalStalls(results);
+    std::cerr << "stall slots: redirect " << total.fetchRedirectSlots
+              << ", idle " << total.fetchIdleSlots << ", window-full "
+              << total.windowFullSlots << ", short-word "
+              << total.shortWordSlots << ", drain " << total.drainSlots
+              << "\n";
     return 0;
 }

@@ -11,6 +11,8 @@
 #include "engine/engine.hh"
 #include "ir/cfg.hh"
 #include "masm/assembler.hh"
+#include "obs/bus.hh"
+#include "obs/sinks.hh"
 #include "tld/translate.hh"
 
 using namespace fgp;
@@ -41,9 +43,12 @@ main()
     translate(image, config);
 
     SimOS os;
+    obs::TextTraceSink sink(std::cout);
+    obs::EventBus bus;
+    bus.addSink(&sink);
     EngineOptions opts;
     opts.config = config;
-    opts.trace = &std::cout;
+    opts.bus = &bus;
 
     std::cout << "=== " << config.name() << " pipeline trace ===\n";
     const EngineResult r = simulate(image, os, opts);

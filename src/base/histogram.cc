@@ -6,8 +6,9 @@
 
 namespace fgp {
 
-Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
-    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets,
+                     std::uint64_t origin)
+    : bucketWidth_(bucket_width), origin_(origin), buckets_(num_buckets, 0)
 {
     fgp_assert(bucket_width >= 1, "bucket width must be positive");
     fgp_assert(num_buckets >= 1, "need at least one bucket");
@@ -18,11 +19,15 @@ Histogram::add(std::uint64_t sample, std::uint64_t weight)
 {
     if (weight == 0)
         return;
-    const std::size_t idx = sample / bucketWidth_;
-    if (idx < buckets_.size())
-        buckets_[idx] += weight;
-    else
-        overflow_ += weight;
+    if (sample < origin_) {
+        underflow_ += weight;
+    } else {
+        const std::size_t idx = (sample - origin_) / bucketWidth_;
+        if (idx < buckets_.size())
+            buckets_[idx] += weight;
+        else
+            overflow_ += weight;
+    }
     if (count_ == 0) {
         min_ = sample;
         max_ = sample;
@@ -38,11 +43,13 @@ void
 Histogram::merge(const Histogram &other)
 {
     fgp_assert(other.bucketWidth_ == bucketWidth_ &&
+                   other.origin_ == origin_ &&
                    other.buckets_.size() == buckets_.size(),
                "histogram geometry mismatch");
     for (std::size_t i = 0; i < buckets_.size(); ++i)
         buckets_[i] += other.buckets_[i];
     overflow_ += other.overflow_;
+    underflow_ += other.underflow_;
     if (other.count_) {
         min_ = count_ ? std::min(min_, other.min_) : other.min_;
         max_ = std::max(max_, other.max_);
@@ -69,18 +76,39 @@ Histogram::bucketFraction(std::size_t i) const
 std::string
 Histogram::bucketLabel(std::size_t i) const
 {
-    const std::uint64_t lo = i * bucketWidth_;
+    const std::uint64_t lo = origin_ + i * bucketWidth_;
     const std::uint64_t hi = lo + bucketWidth_ - 1;
     if (bucketWidth_ == 1)
         return std::to_string(lo);
     return std::to_string(lo) + "-" + std::to_string(hi);
 }
 
+std::string
+Histogram::toJson() const
+{
+    std::string out = "{\"bucket_width\":" + std::to_string(bucketWidth_) +
+                      ",\"origin\":" + std::to_string(origin_) +
+                      ",\"count\":" + std::to_string(count_) +
+                      ",\"sum\":" + std::to_string(sum_) +
+                      ",\"min\":" + std::to_string(min()) +
+                      ",\"max\":" + std::to_string(max_) +
+                      ",\"underflow\":" + std::to_string(underflow_) +
+                      ",\"overflow\":" + std::to_string(overflow_) +
+                      ",\"buckets\":[";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(buckets_[i]);
+    }
+    out += "]}";
+    return out;
+}
+
 void
 Histogram::clear()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
-    overflow_ = count_ = sum_ = min_ = max_ = 0;
+    overflow_ = underflow_ = count_ = sum_ = min_ = max_ = 0;
 }
 
 } // namespace fgp

@@ -15,7 +15,10 @@ namespace fgp {
 
 /**
  * Histogram over non-negative integer samples with uniform bucket width.
- * Samples at or above the top bucket fall into a sticky overflow bucket.
+ * Out-of-range samples are never clamped or dropped: samples at or above
+ * the top bucket land in a sticky overflow bucket, samples below the
+ * optional origin land in an underflow bucket, and both counts are
+ * reported (overflowCount / underflowCount, and in toJson()).
  */
 class Histogram
 {
@@ -23,8 +26,11 @@ class Histogram
     /**
      * @param bucket_width Width of each bucket (>= 1).
      * @param num_buckets  Number of regular buckets (>= 1).
+     * @param origin       Lower bound of the first bucket; samples below
+     *                     it are recorded as underflow.
      */
-    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets,
+              std::uint64_t origin = 0);
 
     /** Record one sample. */
     void add(std::uint64_t sample, std::uint64_t weight = 1);
@@ -40,8 +46,10 @@ class Histogram
 
     std::size_t numBuckets() const { return buckets_.size(); }
     std::uint64_t bucketWidth() const { return bucketWidth_; }
+    std::uint64_t origin() const { return origin_; }
     std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
     std::uint64_t overflowCount() const { return overflow_; }
+    std::uint64_t underflowCount() const { return underflow_; }
 
     /** Fraction of samples in bucket i (0 when empty). */
     double bucketFraction(std::size_t i) const;
@@ -49,13 +57,22 @@ class Histogram
     /** Label like "0-4" for bucket i. */
     std::string bucketLabel(std::size_t i) const;
 
+    /**
+     * Compact JSON object: geometry, summary statistics, the bucket
+     * counts, and the underflow/overflow counts. Consumed by the
+     * observability exporters (src/obs/) and tools/check_bench.sh.
+     */
+    std::string toJson() const;
+
     /** Reset all counters. */
     void clear();
 
   private:
     std::uint64_t bucketWidth_;
+    std::uint64_t origin_ = 0;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t overflow_ = 0;
+    std::uint64_t underflow_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
     std::uint64_t min_ = 0;

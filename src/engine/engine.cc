@@ -3,17 +3,15 @@
 #include <algorithm>
 #include <deque>
 #include <map>
-#include <ostream>
 #include <queue>
 #include <set>
 #include <unordered_map>
-
-#include "ir/printer.hh"
 
 #include "base/logging.hh"
 #include "branch/predictor.hh"
 #include "engine/store_index.hh"
 #include "memsys/memsys.hh"
+#include "obs/bus.hh"
 #include "vm/exec.hh"
 
 namespace fgp {
@@ -101,6 +99,7 @@ class Engine
         : image_(image), os_(os), opts_(opts),
           memsys_(opts.config.memory),
           predictor_(opts.predictor),
+          bus_(opts.bus),
           windowCap_(opts.windowOverride > 0
                          ? opts.windowOverride
                          : windowBlocks(opts.config.discipline)),
@@ -200,6 +199,7 @@ class Engine
     const CodeImage &image_;
     SimOS &os_;
     EngineOptions opts_;
+    obs::EventBus *bus_;
     MemorySystem memsys_;
     BranchPredictor predictor_;
     SparseMemory mem_;
@@ -285,6 +285,11 @@ class Engine
     std::uint64_t fetchIdleCycles_ = 0;
     std::uint64_t issueStallWindow_ = 0;
     std::uint64_t wordStallCycles_ = 0;
+    /** Issue slots wasted by words narrower than the machine width. */
+    std::uint64_t shortWordSlots_ = 0;
+    /** Refs currently parked in loadWaiters_ (includes refs whose load
+     *  was squashed while parked, until their blocker resolves). */
+    std::uint64_t parkedLoads_ = 0;
 
     // Incremental window-content counters (the paper's three measures).
     std::int64_t validCount_ = 0;  ///< issued, not retired
@@ -300,29 +305,18 @@ class Engine
     std::uint64_t jrWaitBseq_ = 0; ///< block whose JR fetch waits on
 
     bool exited_ = false;
-
-    /** Emit one pipeline-trace line when tracing is on. */
-    template <typename... Args>
-    void
-    trace(Args &&...args)
-    {
-        if (!opts_.trace)
-            return;
-        *opts_.trace << "[" << cycle_ << "] ";
-        ((*opts_.trace) << ... << std::forward<Args>(args));
-        *opts_.trace << "\n";
-    }
 };
 
 /**
- * Trace with lazy arguments: the formatters (formatNode, mnemonic,
- * register names) are expensive and sit on the execute/complete hot
- * paths, so they must not be evaluated when no trace stream is attached.
+ * Publish one typed event when a bus is attached. The arguments are the
+ * designated initializers of one obs::SimEvent; they must not be
+ * evaluated when no bus is attached — emissions sit on the
+ * execute/complete hot paths.
  */
-#define ENG_TRACE(...)                                                        \
+#define OBS_EMIT(...)                                                         \
     do {                                                                      \
-        if (opts_.trace)                                                      \
-            trace(__VA_ARGS__);                                               \
+        if (bus_)                                                             \
+            bus_->emit(obs::SimEvent{__VA_ARGS__});                           \
     } while (0)
 
 // ---------------------------------------------------------------------
@@ -354,6 +348,14 @@ Engine::wakeLoadsBlockedOn(std::uint64_t seq)
     const auto it = loadWaiters_.find(seq);
     if (it == loadWaiters_.end())
         return;
+    parkedLoads_ -= it->second.size();
+    if (bus_) {
+        for (const Ref &ref : it->second)
+            bus_->emit(obs::SimEvent{.kind = obs::EventKind::LoadWake,
+                                     .cycle = cycle_,
+                                     .seq = ref.seq,
+                                     .bseq = ref.bseq});
+    }
     retryLoads_.insert(retryLoads_.end(), it->second.begin(),
                        it->second.end());
     loadWaiters_.erase(it);
@@ -469,6 +471,11 @@ Engine::tryExecuteLoad(BlockInst &block, NodeInst &inst)
             fgp_assert(blocked_on != 0, "blocked load without a blocker");
             loadWaiters_[blocked_on].push_back(
                 Ref{block.bseq, inst.instIdx, inst.seq});
+            ++parkedLoads_;
+            OBS_EMIT(.kind = obs::EventKind::LoadBlock, .cycle = cycle_,
+                     .seq = inst.seq, .bseq = block.bseq,
+                     .node = inst.node, .addr = addr,
+                     .blocker = blocked_on);
         }
         return false;
     }
@@ -481,9 +488,16 @@ Engine::tryExecuteLoad(BlockInst &block, NodeInst &inst)
     --readyCount_;
     ++result_.executedNodes;
     const int latency = memsys_.loadLatency(addr, forwarded);
-    ENG_TRACE("exec   seq=", inst.seq, " ", formatNode(*inst.node), " addr=0x",
-          std::hex, addr, std::dec, forwarded ? " (forwarded)" : "",
-          " latency=", latency);
+    if (bus_ && forwarded)
+        bus_->emit(obs::SimEvent{.kind = obs::EventKind::StoreForward,
+                                 .cycle = cycle_,
+                                 .seq = inst.seq,
+                                 .bseq = block.bseq,
+                                 .node = inst.node,
+                                 .addr = addr});
+    OBS_EMIT(.kind = obs::EventKind::Schedule, .cycle = cycle_,
+             .seq = inst.seq, .bseq = block.bseq, .node = inst.node,
+             .addr = addr, .latency = latency, .forwarded = forwarded);
     completeAt(cycle_ + static_cast<std::uint64_t>(latency),
                Ref{block.bseq, inst.instIdx, inst.seq});
     return true;
@@ -496,7 +510,9 @@ Engine::executeNode(BlockInst &block, NodeInst &inst)
     --activeCount_;
     --readyCount_;
     ++result_.executedNodes;
-    ENG_TRACE("exec   seq=", inst.seq, " ", formatNode(*inst.node));
+    OBS_EMIT(.kind = obs::EventKind::Schedule, .cycle = cycle_,
+             .seq = inst.seq, .bseq = block.bseq, .node = inst.node,
+             .latency = 1);
     int latency = 1;
 
     const Node &node = *inst.node;
@@ -582,7 +598,12 @@ Engine::finishExit(BlockInst &block, NodeInst &inst)
     // Commit the partial block up to and including the exit node, exactly
     // like the functional VM counts it.
     const std::uint64_t partial = inst.nodeIdx + 1;
-    ENG_TRACE("retire block#", block.bseq, " (exit, ", partial, " nodes)");
+    OBS_EMIT(.kind = obs::EventKind::Retire, .cycle = cycle_,
+             .bseq = block.bseq, .imageId = block.imageId,
+             .count = static_cast<std::uint32_t>(partial), .partial = true);
+    BlockStat &bs = result_.blockStats[block.imageId];
+    ++bs.retiredBlocks;
+    bs.retiredNodes += partial;
     result_.retiredNodes += partial;
     ++result_.committedBlocks;
     result_.blockSize.add(partial);
@@ -614,8 +635,9 @@ Engine::processCompletions()
         inst->state = NState::Done;
         ++block.doneCount;
         sysWake_ = true; // progress in the oldest block frees syscalls
-        ENG_TRACE("done   seq=", inst->seq, " ", mnemonic(inst->node->op),
-              " value=", inst->value);
+        OBS_EMIT(.kind = obs::EventKind::Complete, .cycle = cycle_,
+                 .seq = inst->seq, .bseq = block.bseq, .node = inst->node,
+                 .value = inst->value);
 
         // Publish to the rename map.
         const std::uint8_t dst = inst->node->dstReg();
@@ -663,9 +685,12 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
             if (perfect_)
                 fgp_panic("fault node fired under perfect prediction");
             ++result_.faultsFired;
+            ++result_.blockStats[block.imageId].faultsFired;
             const std::int32_t target = node.target;
-            ENG_TRACE("fault  block#", block.bseq, " ", formatNode(node),
-                  " -> block image ", target);
+            OBS_EMIT(.kind = obs::EventKind::AssertFire, .cycle = cycle_,
+                     .seq = inst.seq, .bseq = block.bseq,
+                     .imageId = block.imageId, .node = &node,
+                     .target = target);
             if (opts_.predictFaultTargets) {
                 // Strengthen the chooser toward the block we fault into.
                 FaultChoice &choice =
@@ -698,12 +723,13 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
             return;
         }
         predictor_.recordOutcome(taken == block.predictedTaken);
-        ENG_TRACE("branch block#", block.bseq, " ", mnemonic(node.op),
-              " pc=", node.origPc, taken ? " taken" : " not-taken",
-              taken == block.predictedTaken ? " (predicted)"
-                                            : " (MISPREDICT)");
+        OBS_EMIT(.kind = obs::EventKind::Resolve, .cycle = cycle_,
+                 .seq = inst.seq, .bseq = block.bseq,
+                 .imageId = block.imageId, .node = &node, .taken = taken,
+                 .mispredict = taken != block.predictedTaken);
         if (taken != block.predictedTaken) {
             ++result_.mispredicts;
+            ++result_.blockStats[block.imageId].mispredicts;
             const ImageBlock &ib = image_.block(block.imageId);
             const std::int32_t pc = taken ? node.target : ib.fallthroughPc;
             squashFrom(block.bseq + 1);
@@ -722,11 +748,18 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
             block.resolvedTargetPc = actual;
             return;
         }
+        OBS_EMIT(.kind = obs::EventKind::Resolve, .cycle = cycle_,
+                 .seq = inst.seq, .bseq = block.bseq,
+                 .imageId = block.imageId, .node = &node,
+                 .value = inst.value,
+                 .mispredict = block.predictedTargetPc >= 0 &&
+                               block.predictedTargetPc != actual);
         if (block.predictedTargetPc == actual)
             return;
         if (block.predictedTargetPc >= 0) {
             // Predicted some other target: squash the wrong path.
             ++result_.mispredicts;
+            ++result_.blockStats[block.imageId].mispredicts;
             squashFrom(block.bseq + 1);
             const auto it = image_.entryByPc.find(actual);
             if (it != image_.entryByPc.end()) {
@@ -791,8 +824,12 @@ Engine::retireBlocks()
                     --it->second.counter;
             }
         }
-        ENG_TRACE("retire block#", front.bseq, " (image ", front.imageId,
-              ", ", front.insts.size(), " nodes)");
+        OBS_EMIT(.kind = obs::EventKind::Retire, .cycle = cycle_,
+                 .bseq = front.bseq, .imageId = front.imageId,
+                 .count = static_cast<std::uint32_t>(front.insts.size()));
+        BlockStat &bs = result_.blockStats[front.imageId];
+        ++bs.retiredBlocks;
+        bs.retiredNodes += front.insts.size();
         validCount_ -= static_cast<std::int64_t>(front.insts.size());
         result_.retiredNodes += front.insts.size();
         result_.blockSize.add(front.insts.size());
@@ -833,6 +870,11 @@ Engine::refreshPending()
                 fgp_assert(blocked_on != 0,
                            "blocked load without a blocker");
                 loadWaiters_[blocked_on].push_back(ref);
+                ++parkedLoads_;
+                OBS_EMIT(.kind = obs::EventKind::LoadBlock,
+                         .cycle = cycle_, .seq = inst->seq,
+                         .bseq = ref.bseq, .node = inst->node,
+                         .addr = addr, .blocker = blocked_on);
             }
         }
     }
@@ -1197,16 +1239,14 @@ Engine::issueCycle()
             onDataReady(block, block.insts.back().instIdx);
     }
 
-    if (opts_.trace) {
-        std::string text;
-        for (std::uint16_t node_idx : word) {
-            if (!text.empty())
-                text += " | ";
-            text += formatNode(ib.nodes[node_idx]);
-        }
-        ENG_TRACE("issue  block#", block.bseq, " (image ", block.imageId,
-              ") word ", block.issuedWords, ": ", text);
-    }
+    OBS_EMIT(.kind = obs::EventKind::Issue, .cycle = cycle_,
+             .bseq = block.bseq, .imageId = block.imageId, .block = &ib,
+             .wordIdx = static_cast<std::int32_t>(block.issuedWords));
+    const std::size_t width =
+        static_cast<std::size_t>(opts_.config.issue.width());
+    if (word.size() < width)
+        shortWordSlots_ += width - word.size();
+    ++result_.blockStats[block.imageId].issuedWords;
     ++issueCycles_;
     if (isStatic_)
         wordQueue_.push_back({block.bseq, block.issuedWords});
@@ -1237,8 +1277,12 @@ Engine::squashFrom(std::uint64_t bseq_inclusive)
 
     while (!window_.empty() && window_.back().bseq >= bseq_inclusive) {
         const BlockInst &victim = window_.back();
-        ENG_TRACE("squash block#", victim.bseq, " (image ", victim.imageId,
-              ", ", victim.insts.size(), " nodes)");
+        OBS_EMIT(.kind = obs::EventKind::Squash, .cycle = cycle_,
+                 .bseq = victim.bseq, .imageId = victim.imageId,
+                 .count = static_cast<std::uint32_t>(victim.insts.size()));
+        BlockStat &bs = result_.blockStats[victim.imageId];
+        ++bs.squashedBlocks;
+        bs.squashedNodes += victim.insts.size();
         for (const NodeInst &inst : victim.insts) {
             --validCount_;
             if (inst.state == NState::Waiting ||
@@ -1270,6 +1314,7 @@ Engine::squashFrom(std::uint64_t bseq_inclusive)
     // parked on one of them (surviving loads re-park on a live blocker).
     for (auto it = loadWaiters_.lower_bound(seq_boundary);
          it != loadWaiters_.end(); it = loadWaiters_.erase(it)) {
+        parkedLoads_ -= it->second.size();
         retryLoads_.insert(retryLoads_.end(), it->second.begin(),
                            it->second.end());
     }
@@ -1305,6 +1350,10 @@ EngineResult
 Engine::run()
 {
     validateImage(image_);
+    result_.issueWidth = opts_.config.issue.width();
+    result_.blockStats.resize(image_.blocks.size());
+    for (std::size_t i = 0; i < image_.blocks.size(); ++i)
+        result_.blockStats[i].entryPc = image_.blocks[i].entryPc;
     const Program &prog = *image_.prog;
     if (!prog.data.empty())
         mem_.writeBytes(kDataBase, prog.data.data(), prog.data.size());
@@ -1341,6 +1390,22 @@ Engine::run()
         result_.validNodes.add(static_cast<std::uint64_t>(validCount_));
         result_.activeNodes.add(static_cast<std::uint64_t>(activeCount_));
         result_.readyNodes.add(static_cast<std::uint64_t>(readyCount_));
+
+        // Waiting-node attribution (same sampling point as the window
+        // histograms). Ready nodes split into memory-parked loads,
+        // serializing syscalls, and genuinely slot-starved work; the
+        // parked count can transiently include loads squashed while
+        // parked, so the FU-busy remainder is clamped at zero.
+        StallBreakdown &st = result_.stalls;
+        st.operandWaitNodeCycles +=
+            static_cast<std::uint64_t>(activeCount_ - readyCount_);
+        const std::uint64_t sys_waiting = pendingSys_.size();
+        st.memoryWaitNodeCycles += parkedLoads_;
+        st.serializeWaitNodeCycles += sys_waiting;
+        const std::uint64_t ready = static_cast<std::uint64_t>(readyCount_);
+        st.fuBusyNodeCycles += ready > parkedLoads_ + sys_waiting
+                                   ? ready - parkedLoads_ - sys_waiting
+                                   : 0;
 
         // Watchdog: the machine must make progress (issue, execute or
         // retire something) regularly or the model has deadlocked.
@@ -1380,10 +1445,50 @@ Engine::run()
                 (static_cast<double>(issueCycles_) *
                  opts_.config.issue.width()));
     }
+
+    // Close the issue-slot books: every slot of every cycle is either an
+    // issued node or attributed to exactly one cause. The remainder is
+    // the exit cycle's drained slots (issue never runs on the cycle the
+    // program exits).
+    {
+        StallBreakdown &st = result_.stalls;
+        const std::uint64_t width =
+            static_cast<std::uint64_t>(result_.issueWidth);
+        st.fetchRedirectSlots = fetchRedirectCycles_ * width;
+        st.fetchIdleSlots = fetchIdleCycles_ * width;
+        st.windowFullSlots = issueStallWindow_ * width;
+        st.shortWordSlots = shortWordSlots_;
+        const std::uint64_t total = result_.cycles * width;
+        const std::uint64_t accounted =
+            result_.issuedNodes + st.fetchRedirectSlots +
+            st.fetchIdleSlots + st.windowFullSlots + st.shortWordSlots;
+        fgp_assert(accounted <= total,
+                   "stall accounting overran the issue-slot budget");
+        st.drainSlots = total - accounted;
+
+        // Mirror into the named-stats registry (nonzero keys only, like
+        // the other issue counters).
+        const auto put = [&](const char *name, std::uint64_t v) {
+            if (v)
+                result_.stats.set(name, v);
+        };
+        put("stall.slots_fetch_redirect", st.fetchRedirectSlots);
+        put("stall.slots_fetch_idle", st.fetchIdleSlots);
+        put("stall.slots_window_full", st.windowFullSlots);
+        put("stall.slots_short_word", st.shortWordSlots);
+        put("stall.slots_drain", st.drainSlots);
+        put("stall.node_cycles_operand_wait", st.operandWaitNodeCycles);
+        put("stall.node_cycles_memory_wait", st.memoryWaitNodeCycles);
+        put("stall.node_cycles_serialize_wait", st.serializeWaitNodeCycles);
+        put("stall.node_cycles_fu_busy", st.fuBusyNodeCycles);
+    }
+
+    if (bus_)
+        bus_->finish();
     return result_;
 }
 
-#undef ENG_TRACE
+#undef OBS_EMIT
 
 } // namespace
 

@@ -29,7 +29,6 @@
 #define FGP_ENGINE_ENGINE_HH
 
 #include <cstdint>
-#include <iosfwd>
 #include <vector>
 
 #include "arch/config.hh"
@@ -41,6 +40,8 @@
 #include "vm/simos.hh"
 
 namespace fgp {
+
+namespace obs { class EventBus; }
 
 /** Options for one simulation. */
 struct EngineOptions
@@ -83,11 +84,93 @@ struct EngineOptions
     int redirectPenalty = kRedirectPenalty;
 
     /**
-     * Cycle-by-cycle pipeline trace (issue / execute / complete /
-     * resolve / squash / retire events) written to this stream when
-     * non-null. Intended for small programs.
+     * Observability event bus (obs/bus.hh). When non-null the engine
+     * publishes one typed event per pipeline occurrence (issue,
+     * schedule, complete, resolve, squash, retire, load-block/wake,
+     * store-forward, assert-fire) to every attached sink. Null (the
+     * default) costs nothing on the hot paths, and attaching sinks
+     * never changes the schedule. Intended for small programs — the
+     * engine emits several events per node.
      */
-    std::ostream *trace = nullptr;
+    obs::EventBus *bus = nullptr;
+};
+
+/**
+ * Where the machine's bandwidth went (§2.2's "what limits the window"
+ * made first-class). Two orthogonal accountings:
+ *
+ * Issue slots: every slot of every cycle is either an issued node or is
+ * attributed to exactly one cause, so the per-cause counts always sum to
+ * cycles * issueWidth - issuedNodes (asserted by tests/obs_test.cc):
+ *  - fetchRedirectSlots: front end redirecting after a mispredict/fault;
+ *  - fetchIdleSlots: no known next block (unresolved JR, exit path);
+ *  - windowFullSlots: window at its basic-block cap;
+ *  - shortWordSlots: the fetched word holds fewer nodes than the width
+ *    (the compiler could not fill the machine);
+ *  - drainSlots: the final partial cycle when the program exits.
+ *
+ * Node-cycles: each cycle, every issued-but-unscheduled node adds one
+ * cycle to the cause it is waiting on:
+ *  - operandWaitNodeCycles: a register operand is still being computed;
+ *  - memoryWaitNodeCycles: a load parked on disambiguation (older store
+ *    address/data unknown, or an older syscall pending);
+ *  - serializeWaitNodeCycles: a syscall waiting to become the oldest;
+ *  - fuBusyNodeCycles: ready, but no function-unit slot this cycle (on
+ *    static machines: ready, but the word interlock is not satisfied).
+ */
+struct StallBreakdown
+{
+    std::uint64_t fetchRedirectSlots = 0;
+    std::uint64_t fetchIdleSlots = 0;
+    std::uint64_t windowFullSlots = 0;
+    std::uint64_t shortWordSlots = 0;
+    std::uint64_t drainSlots = 0;
+
+    std::uint64_t operandWaitNodeCycles = 0;
+    std::uint64_t memoryWaitNodeCycles = 0;
+    std::uint64_t serializeWaitNodeCycles = 0;
+    std::uint64_t fuBusyNodeCycles = 0;
+
+    /** Total unused issue slots across all causes. */
+    std::uint64_t
+    totalSlots() const
+    {
+        return fetchRedirectSlots + fetchIdleSlots + windowFullSlots +
+               shortWordSlots + drainSlots;
+    }
+
+    void
+    mergeFrom(const StallBreakdown &other)
+    {
+        fetchRedirectSlots += other.fetchRedirectSlots;
+        fetchIdleSlots += other.fetchIdleSlots;
+        windowFullSlots += other.windowFullSlots;
+        shortWordSlots += other.shortWordSlots;
+        drainSlots += other.drainSlots;
+        operandWaitNodeCycles += other.operandWaitNodeCycles;
+        memoryWaitNodeCycles += other.memoryWaitNodeCycles;
+        serializeWaitNodeCycles += other.serializeWaitNodeCycles;
+        fuBusyNodeCycles += other.fuBusyNodeCycles;
+    }
+};
+
+/** Per-static-block attribution, indexed by image block id. */
+struct BlockStat
+{
+    std::int32_t entryPc = -1;
+    std::uint64_t issuedWords = 0;
+    std::uint64_t retiredBlocks = 0;
+    std::uint64_t retiredNodes = 0;
+    std::uint64_t squashedBlocks = 0;
+    std::uint64_t squashedNodes = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t faultsFired = 0;
+
+    bool
+    touched() const
+    {
+        return issuedWords || retiredBlocks || squashedBlocks;
+    }
 };
 
 /** Result of one simulation. */
@@ -123,6 +206,15 @@ struct EngineResult
 
     /** Detailed counters (cache, predictor, issue stalls...). */
     StatGroup stats;
+
+    /** Issue width of the simulated configuration (for slot math). */
+    int issueWidth = 0;
+
+    /** Per-cause issue-slot and waiting-node-cycle attribution. */
+    StallBreakdown stalls;
+
+    /** Per-static-block attribution (one entry per image block). */
+    std::vector<BlockStat> blockStats;
 
     double
     nodesPerCycle() const

@@ -215,4 +215,13 @@ ExperimentRunner::makeOs(const std::string &workload, InputSet set)
     return os;
 }
 
+StallBreakdown
+totalStalls(const std::vector<ExperimentResult> &results)
+{
+    StallBreakdown total;
+    for (const ExperimentResult &r : results)
+        total.mergeFrom(r.engine.stalls);
+    return total;
+}
+
 } // namespace fgp

@@ -52,6 +52,13 @@ struct ExperimentResult
 };
 
 /**
+ * Aggregate stall-cause attribution over a set of points (e.g. one
+ * configuration across all benchmarks). Sums both the issue-slot and
+ * the waiting-node-cycle accountings.
+ */
+StallBreakdown totalStalls(const std::vector<ExperimentResult> &results);
+
+/**
  * Cached per-benchmark artifacts + configurable input scale.
  *
  * Thread safety: run() and the read accessors may be called from many

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * EventBus — fan-out of engine SimEvents to pluggable sinks.
+ *
+ * Header-only so the engine can emit without a library dependency on the
+ * sink implementations. The hot-path contract is zero cost when disabled:
+ * the engine guards every emission with a null/empty check, so a run
+ * without a bus (or with no sinks attached) performs no event work at all.
+ */
+
+#ifndef FGP_OBS_BUS_HH
+#define FGP_OBS_BUS_HH
+
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace fgp::obs {
+
+/**
+ * Receives every event published on a bus. Implementations must not
+ * retain the SimEvent (it borrows pointers into the simulated image);
+ * copy what they need. Sinks are engine observers only — they must not
+ * mutate simulation state, and the engine's schedule is identical with
+ * and without sinks attached (asserted by tests/obs_test.cc).
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    virtual void onEvent(const SimEvent &event) = 0;
+
+    /** Called once when the simulation finishes (flush point). */
+    virtual void onRunEnd() {}
+};
+
+/** Non-owning collection of sinks; the caller keeps sinks alive. */
+class EventBus
+{
+  public:
+    void addSink(EventSink *sink) { sinks_.push_back(sink); }
+
+    bool enabled() const { return !sinks_.empty(); }
+
+    void
+    emit(const SimEvent &event)
+    {
+        for (EventSink *sink : sinks_)
+            sink->onEvent(event);
+    }
+
+    void
+    finish()
+    {
+        for (EventSink *sink : sinks_)
+            sink->onRunEnd();
+    }
+
+  private:
+    std::vector<EventSink *> sinks_;
+};
+
+} // namespace fgp::obs
+
+#endif // FGP_OBS_BUS_HH

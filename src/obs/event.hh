@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Typed simulation events — the engine's observability vocabulary.
+ *
+ * The engine publishes one SimEvent per pipeline occurrence onto an
+ * EventBus (obs/bus.hh); sinks render them as human-readable trace text,
+ * JSONL, or a Chrome trace_event file. Events are plain structs carrying
+ * borrowed pointers into the CodeImage being simulated — they are only
+ * valid for the duration of the EventSink::onEvent call and must not be
+ * stored without copying the fields a sink needs.
+ *
+ * The full schema (field meaning per kind) is documented in
+ * docs/OBSERVABILITY.md.
+ */
+
+#ifndef FGP_OBS_EVENT_HH
+#define FGP_OBS_EVENT_HH
+
+#include <cstdint>
+
+namespace fgp {
+
+struct Node;
+struct ImageBlock;
+
+namespace obs {
+
+/** What happened. One enumerator per pipeline occurrence. */
+enum class EventKind : std::uint8_t {
+    Issue,        ///< one multi-node word entered the window
+    Schedule,     ///< a node was placed on a function unit
+    Complete,     ///< a node finished and published its result
+    Resolve,      ///< a control node compared outcome against prediction
+    Squash,       ///< one in-flight block was discarded
+    Retire,       ///< the window's oldest block committed
+    LoadBlock,    ///< a load failed disambiguation and parked
+    LoadWake,     ///< a parked load was released for retry
+    StoreForward, ///< a load received bytes from an in-window store
+    AssertFire,   ///< an assert (fault) node fired and redirected fetch
+};
+
+/** Stable lowercase name ("issue", "assert_fire", ...). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One pipeline event. `kind` and `cycle` are always set; the remaining
+ * fields are kind-specific (unused ones keep their defaults):
+ *
+ *   Issue        bseq, imageId, block, wordIdx
+ *   Schedule     seq, bseq, node; loads also addr, latency, forwarded
+ *   Complete     seq, bseq, node, value
+ *   Resolve      seq, bseq, node, taken, mispredict (JR: value = target pc)
+ *   Squash       bseq, imageId, count (nodes discarded)
+ *   Retire       bseq, imageId, count (nodes committed), partial (exit)
+ *   LoadBlock    seq, bseq, node, addr, blocker (seq the load waits on)
+ *   LoadWake     seq, bseq
+ *   StoreForward seq, bseq, node, addr
+ *   AssertFire   seq, bseq, node, target (redirect image block)
+ */
+struct SimEvent
+{
+    EventKind kind;
+    std::uint64_t cycle = 0;
+    std::uint64_t seq = 0;  ///< node instance sequence number (0: n/a)
+    std::uint64_t bseq = 0; ///< dynamic block sequence number (0: n/a)
+    std::int32_t imageId = -1;          ///< static (image) block id
+    const Node *node = nullptr;         ///< borrowed; see file comment
+    const ImageBlock *block = nullptr;  ///< Issue: the issuing block
+    std::uint32_t value = 0;            ///< Complete: result value
+    std::uint32_t addr = 0;             ///< memory events: effective address
+    std::int32_t target = -1;           ///< AssertFire: redirect block id
+    std::int32_t wordIdx = -1;          ///< Issue: word index in the block
+    int latency = 0;                    ///< Schedule: FU latency in cycles
+    std::uint32_t count = 0;            ///< Squash/Retire: node count
+    std::uint64_t blocker = 0;          ///< LoadBlock: blocking node's seq
+    bool taken = false;                 ///< Resolve: branch outcome
+    bool mispredict = false;            ///< Resolve: outcome != prediction
+    bool forwarded = false;             ///< Schedule(load): bytes forwarded
+    bool partial = false;               ///< Retire: partial block at exit
+};
+
+} // namespace obs
+} // namespace fgp
+
+#endif // FGP_OBS_EVENT_HH

@@ -1,0 +1,176 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fgp::obs {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+void
+JsonWriter::comma()
+{
+    if (!firstInScope_)
+        os_ << ",";
+    if (depth_ > 0)
+        os_ << "\n";
+    firstInScope_ = false;
+}
+
+void
+JsonWriter::indent()
+{
+    for (int i = 0; i < depth_; ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::keyPrefix(std::string_view key)
+{
+    comma();
+    indent();
+    if (!key.empty())
+        os_ << '"' << jsonEscape(key) << "\": ";
+}
+
+void
+JsonWriter::beginObject(std::string_view key)
+{
+    keyPrefix(key);
+    os_ << "{";
+    ++depth_;
+    firstInScope_ = true;
+}
+
+void
+JsonWriter::endObject()
+{
+    --depth_;
+    if (!firstInScope_) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "}";
+    firstInScope_ = false;
+    if (depth_ == 0)
+        os_ << "\n";
+}
+
+void
+JsonWriter::beginArray(std::string_view key)
+{
+    keyPrefix(key);
+    os_ << "[";
+    ++depth_;
+    firstInScope_ = true;
+}
+
+void
+JsonWriter::endArray()
+{
+    --depth_;
+    if (!firstInScope_) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "]";
+    firstInScope_ = false;
+}
+
+void
+JsonWriter::field(std::string_view key, std::uint64_t value)
+{
+    keyPrefix(key);
+    os_ << value;
+}
+
+void
+JsonWriter::field(std::string_view key, std::int64_t value)
+{
+    keyPrefix(key);
+    os_ << value;
+}
+
+void
+JsonWriter::field(std::string_view key, int value)
+{
+    keyPrefix(key);
+    os_ << value;
+}
+
+void
+JsonWriter::field(std::string_view key, double value)
+{
+    keyPrefix(key);
+    os_ << jsonNumber(value);
+}
+
+void
+JsonWriter::field(std::string_view key, bool value)
+{
+    keyPrefix(key);
+    os_ << (value ? "true" : "false");
+}
+
+void
+JsonWriter::field(std::string_view key, std::string_view value)
+{
+    keyPrefix(key);
+    os_ << '"' << jsonEscape(value) << '"';
+}
+
+void
+JsonWriter::element(std::uint64_t value)
+{
+    keyPrefix({});
+    os_ << value;
+}
+
+void
+JsonWriter::element(std::string_view value)
+{
+    keyPrefix({});
+    os_ << '"' << jsonEscape(value) << '"';
+}
+
+void
+JsonWriter::rawField(std::string_view key, std::string_view json)
+{
+    keyPrefix(key);
+    os_ << json;
+}
+
+} // namespace fgp::obs

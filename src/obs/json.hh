@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the observability exporters.
+ * Writing only — the repo has no JSON consumer, and keeping the surface
+ * tiny avoids a third-party dependency.
+ */
+
+#ifndef FGP_OBS_JSON_HH
+#define FGP_OBS_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace fgp::obs {
+
+/** Escape for use inside a double-quoted JSON string. */
+std::string jsonEscape(std::string_view text);
+
+/** Render a double (finite values only) the way JSON expects. */
+std::string jsonNumber(double value);
+
+/**
+ * Incremental writer for one JSON object/array tree. Tracks nesting and
+ * comma placement; the caller provides structure via beginObject /
+ * beginArray and key/value calls. Pretty-prints one key per line so the
+ * output stays greppable by shell tooling (tools/check_bench.sh).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject(std::string_view key = {});
+    void endObject();
+    void beginArray(std::string_view key = {});
+    void endArray();
+
+    void field(std::string_view key, std::uint64_t value);
+    void field(std::string_view key, std::int64_t value);
+    void field(std::string_view key, int value);
+    void field(std::string_view key, double value);
+    void field(std::string_view key, bool value);
+    void field(std::string_view key, std::string_view value);
+    /** Keeps string literals away from the bool overload. */
+    void
+    field(std::string_view key, const char *value)
+    {
+        field(key, std::string_view(value));
+    }
+
+    /** Array element (no key). */
+    void element(std::uint64_t value);
+    void element(std::string_view value);
+
+    /** Raw pre-rendered JSON value under a key (e.g. Histogram::toJson). */
+    void rawField(std::string_view key, std::string_view json);
+
+  private:
+    void comma();
+    void indent();
+    void keyPrefix(std::string_view key);
+
+    std::ostream &os_;
+    int depth_ = 0;
+    bool firstInScope_ = true;
+};
+
+} // namespace fgp::obs
+
+#endif // FGP_OBS_JSON_HH

@@ -1,0 +1,211 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "engine/engine.hh"
+#include "obs/json.hh"
+
+namespace fgp::obs {
+
+namespace {
+
+std::string
+fixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+percentOf(std::uint64_t part, std::uint64_t whole)
+{
+    if (whole == 0)
+        return "-";
+    return fixed(100.0 * static_cast<double>(part) /
+                     static_cast<double>(whole),
+                 1) +
+           "%";
+}
+
+} // namespace
+
+void
+writeResultJson(std::ostream &os, const EngineResult &result,
+                const ReportMeta &meta)
+{
+    const StallBreakdown &st = result.stalls;
+    const std::uint64_t totalSlots =
+        result.cycles * static_cast<std::uint64_t>(result.issueWidth);
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "fgpsim-sim-v1");
+    w.field("workload", meta.workload);
+    w.field("config", meta.config);
+    w.field("exited", result.exited);
+    w.field("exit_code", result.exitCode);
+    w.field("cycles", result.cycles);
+    w.field("issue_width", result.issueWidth);
+    w.field("retired_nodes", result.retiredNodes);
+    w.field("executed_nodes", result.executedNodes);
+    w.field("issued_nodes", result.issuedNodes);
+    w.field("committed_blocks", result.committedBlocks);
+    w.field("squashed_blocks", result.squashedBlocks);
+    w.field("faults_fired", result.faultsFired);
+    w.field("branches_resolved", result.branchesResolved);
+    w.field("mispredicts", result.mispredicts);
+    w.field("nodes_per_cycle", result.nodesPerCycle());
+    w.field("redundancy", result.redundancy());
+
+    w.beginObject("stalls");
+    w.beginObject("issue_slots");
+    w.field("total", totalSlots);
+    w.field("issued_nodes", result.issuedNodes);
+    w.field("fetch_redirect", st.fetchRedirectSlots);
+    w.field("fetch_idle", st.fetchIdleSlots);
+    w.field("window_full", st.windowFullSlots);
+    w.field("short_word", st.shortWordSlots);
+    w.field("drain", st.drainSlots);
+    w.endObject();
+    w.beginObject("node_cycles");
+    w.field("operand_wait", st.operandWaitNodeCycles);
+    w.field("memory_wait", st.memoryWaitNodeCycles);
+    w.field("serialize_wait", st.serializeWaitNodeCycles);
+    w.field("fu_busy", st.fuBusyNodeCycles);
+    w.endObject();
+    w.endObject();
+
+    w.beginObject("histograms");
+    w.rawField("block_size", result.blockSize.toJson());
+    w.rawField("window_occupancy", result.windowOccupancy.toJson());
+    w.rawField("valid_nodes", result.validNodes.toJson());
+    w.rawField("active_nodes", result.activeNodes.toJson());
+    w.rawField("ready_nodes", result.readyNodes.toJson());
+    w.endObject();
+
+    w.beginObject("stats");
+    for (const auto &[name, value] : result.stats.ints())
+        w.field(name, value);
+    for (const auto &[name, value] : result.stats.reals())
+        w.field(name, value);
+    w.endObject();
+
+    w.beginArray("blocks");
+    for (std::size_t i = 0; i < result.blockStats.size(); ++i) {
+        const BlockStat &bs = result.blockStats[i];
+        if (!bs.touched())
+            continue;
+        w.beginObject();
+        w.field("block", static_cast<std::uint64_t>(i));
+        w.field("entry_pc", static_cast<std::int64_t>(bs.entryPc));
+        w.field("issued_words", bs.issuedWords);
+        w.field("retired_blocks", bs.retiredBlocks);
+        w.field("retired_nodes", bs.retiredNodes);
+        w.field("squashed_blocks", bs.squashedBlocks);
+        w.field("squashed_nodes", bs.squashedNodes);
+        w.field("mispredicts", bs.mispredicts);
+        w.field("faults_fired", bs.faultsFired);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << '\n';
+}
+
+void
+printReport(std::ostream &os, const EngineResult &result,
+            const ReportMeta &meta, int topBlocks)
+{
+    const StallBreakdown &st = result.stalls;
+    const std::uint64_t totalSlots =
+        result.cycles * static_cast<std::uint64_t>(result.issueWidth);
+
+    os << "== fgpsim report: " << meta.workload << " on " << meta.config
+       << " ==\n\n";
+    os << "cycles            " << result.cycles << '\n';
+    os << "retired nodes     " << result.retiredNodes << '\n';
+    os << "nodes/cycle       " << fixed(result.nodesPerCycle(), 3) << '\n';
+    os << "executed nodes    " << result.executedNodes << " (redundancy "
+       << fixed(result.redundancy(), 3) << ")\n";
+    os << "committed blocks  " << result.committedBlocks << '\n';
+    os << "squashed blocks   " << result.squashedBlocks << '\n';
+    os << "mispredicts       " << result.mispredicts << " / "
+       << result.branchesResolved << " resolved branches\n";
+    os << "faults fired      " << result.faultsFired << '\n';
+
+    os << "\nIssue slots (" << totalSlots << " = " << result.cycles
+       << " cycles x width " << result.issueWidth << "):\n";
+    Table slots({"cause", "slots", "share"});
+    slots.addRow({"issued nodes", std::to_string(result.issuedNodes),
+                  percentOf(result.issuedNodes, totalSlots)});
+    slots.addRow({"fetch redirect", std::to_string(st.fetchRedirectSlots),
+                  percentOf(st.fetchRedirectSlots, totalSlots)});
+    slots.addRow({"fetch idle", std::to_string(st.fetchIdleSlots),
+                  percentOf(st.fetchIdleSlots, totalSlots)});
+    slots.addRow({"window full", std::to_string(st.windowFullSlots),
+                  percentOf(st.windowFullSlots, totalSlots)});
+    slots.addRow({"short word", std::to_string(st.shortWordSlots),
+                  percentOf(st.shortWordSlots, totalSlots)});
+    slots.addRow({"drain", std::to_string(st.drainSlots),
+                  percentOf(st.drainSlots, totalSlots)});
+    slots.print(os);
+
+    const std::uint64_t totalWait =
+        st.operandWaitNodeCycles + st.memoryWaitNodeCycles +
+        st.serializeWaitNodeCycles + st.fuBusyNodeCycles;
+    os << "\nWaiting node-cycles (" << totalWait << " total):\n";
+    Table waits({"cause", "node-cycles", "share"});
+    waits.addRow({"operand wait", std::to_string(st.operandWaitNodeCycles),
+                  percentOf(st.operandWaitNodeCycles, totalWait)});
+    waits.addRow({"memory wait", std::to_string(st.memoryWaitNodeCycles),
+                  percentOf(st.memoryWaitNodeCycles, totalWait)});
+    waits.addRow({"serialize wait",
+                  std::to_string(st.serializeWaitNodeCycles),
+                  percentOf(st.serializeWaitNodeCycles, totalWait)});
+    waits.addRow({"fu busy", std::to_string(st.fuBusyNodeCycles),
+                  percentOf(st.fuBusyNodeCycles, totalWait)});
+    waits.print(os);
+
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < result.blockStats.size(); ++i)
+        if (result.blockStats[i].touched())
+            order.push_back(i);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const BlockStat &x = result.blockStats[a];
+        const BlockStat &y = result.blockStats[b];
+        if (x.retiredNodes != y.retiredNodes)
+            return x.retiredNodes > y.retiredNodes;
+        return a < b;
+    });
+    if (order.size() > static_cast<std::size_t>(std::max(topBlocks, 0)))
+        order.resize(static_cast<std::size_t>(std::max(topBlocks, 0)));
+
+    os << "\nTop " << order.size() << " static blocks by retired nodes ("
+       << std::accumulate(result.blockStats.begin(), result.blockStats.end(),
+                          std::uint64_t{0},
+                          [](std::uint64_t acc, const BlockStat &bs) {
+                              return acc + (bs.touched() ? 1 : 0);
+                          })
+       << " touched):\n";
+    Table blocks({"block", "entry_pc", "retired", "ret_nodes", "squashed",
+                  "mispred", "faults"});
+    for (std::size_t i : order) {
+        const BlockStat &bs = result.blockStats[i];
+        blocks.addRow({std::to_string(i), std::to_string(bs.entryPc),
+                       std::to_string(bs.retiredBlocks),
+                       std::to_string(bs.retiredNodes),
+                       std::to_string(bs.squashedBlocks),
+                       std::to_string(bs.mispredicts),
+                       std::to_string(bs.faultsFired)});
+    }
+    blocks.print(os);
+}
+
+} // namespace fgp::obs

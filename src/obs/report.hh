@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Machine-readable results dump and human-readable report rendering for
+ * one EngineResult. Used by `fgpsim sim --json` and `fgpsim report`.
+ */
+
+#ifndef FGP_OBS_REPORT_HH
+#define FGP_OBS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace fgp {
+
+struct EngineResult;
+
+namespace obs {
+
+/** Identifies the run a report describes. */
+struct ReportMeta
+{
+    std::string workload;  ///< workload name (e.g. "qsort")
+    std::string config;    ///< MachineConfig::name() (e.g. "dyn32/4M4A/enlarged")
+};
+
+/**
+ * Dump @p result as one pretty-printed JSON object ("fgpsim-sim-v1"
+ * schema): headline counters, the full stall breakdown, histograms,
+ * every StatGroup entry, and per-block attribution for touched blocks.
+ * Validated by tools/check_bench.sh --validate-sim.
+ */
+void writeResultJson(std::ostream &os, const EngineResult &result,
+                     const ReportMeta &meta);
+
+/**
+ * Render a human-readable report: headline numbers, the issue-slot
+ * breakdown with percentages, waiting-node-cycle attribution, and the
+ * top @p topBlocks static blocks by retired nodes.
+ */
+void printReport(std::ostream &os, const EngineResult &result,
+                 const ReportMeta &meta, int topBlocks = 10);
+
+} // namespace obs
+} // namespace fgp
+
+#endif // FGP_OBS_REPORT_HH

@@ -1,0 +1,240 @@
+#include "obs/sinks.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <string>
+
+#include "ir/printer.hh"
+#include "obs/json.hh"
+
+namespace fgp::obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Issue: return "issue";
+      case EventKind::Schedule: return "schedule";
+      case EventKind::Complete: return "complete";
+      case EventKind::Resolve: return "resolve";
+      case EventKind::Squash: return "squash";
+      case EventKind::Retire: return "retire";
+      case EventKind::LoadBlock: return "load_block";
+      case EventKind::LoadWake: return "load_wake";
+      case EventKind::StoreForward: return "store_forward";
+      case EventKind::AssertFire: return "assert_fire";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// TextTraceSink
+// ---------------------------------------------------------------------
+
+void
+TextTraceSink::onEvent(const SimEvent &ev)
+{
+    os_ << "[" << ev.cycle << "] ";
+    switch (ev.kind) {
+      case EventKind::Issue: {
+        os_ << "issue  block#" << ev.bseq << " (image " << ev.imageId
+            << ") word " << ev.wordIdx << ":";
+        const Word &word = ev.block->words[ev.wordIdx];
+        for (std::size_t i = 0; i < word.size(); ++i)
+            os_ << (i ? " | " : " ") << formatNode(ev.block->nodes[word[i]]);
+        break;
+      }
+      case EventKind::Schedule:
+        os_ << "exec   seq=" << ev.seq << " " << formatNode(*ev.node);
+        if (ev.node->isLoad()) {
+            os_ << " addr=0x" << std::hex << ev.addr << std::dec
+                << (ev.forwarded ? " (forwarded)" : "")
+                << " latency=" << ev.latency;
+        }
+        break;
+      case EventKind::Complete:
+        os_ << "done   seq=" << ev.seq << " " << mnemonic(ev.node->op)
+            << " value=" << ev.value;
+        break;
+      case EventKind::Resolve:
+        os_ << "branch block#" << ev.bseq << " " << mnemonic(ev.node->op)
+            << " pc=" << ev.node->origPc;
+        if (isConditionalBranch(ev.node->op))
+            os_ << (ev.taken ? " taken" : " not-taken");
+        else
+            os_ << " target=" << ev.value;
+        os_ << (ev.mispredict ? " (MISPREDICT)" : " (predicted)");
+        break;
+      case EventKind::Squash:
+        os_ << "squash block#" << ev.bseq << " (image " << ev.imageId
+            << ", " << ev.count << " nodes)";
+        break;
+      case EventKind::Retire:
+        if (ev.partial)
+            os_ << "retire block#" << ev.bseq << " (exit, " << ev.count
+                << " nodes)";
+        else
+            os_ << "retire block#" << ev.bseq << " (image " << ev.imageId
+                << ", " << ev.count << " nodes)";
+        break;
+      case EventKind::LoadBlock:
+        os_ << "lblock seq=" << ev.seq << " addr=0x" << std::hex << ev.addr
+            << std::dec << " on=" << ev.blocker;
+        break;
+      case EventKind::LoadWake:
+        os_ << "lwake  seq=" << ev.seq;
+        break;
+      case EventKind::StoreForward:
+        os_ << "fwd    seq=" << ev.seq << " addr=0x" << std::hex << ev.addr
+            << std::dec;
+        break;
+      case EventKind::AssertFire:
+        os_ << "fault  block#" << ev.bseq << " " << formatNode(*ev.node)
+            << " -> block image " << ev.target;
+        break;
+    }
+    os_ << "\n";
+}
+
+// ---------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------
+
+void
+JsonlSink::onEvent(const SimEvent &ev)
+{
+    os_ << "{\"cycle\":" << ev.cycle << ",\"kind\":\""
+        << eventKindName(ev.kind) << "\"";
+    if (ev.seq)
+        os_ << ",\"seq\":" << ev.seq;
+    if (ev.bseq)
+        os_ << ",\"bseq\":" << ev.bseq;
+    if (ev.imageId >= 0)
+        os_ << ",\"image\":" << ev.imageId;
+    if (ev.node)
+        os_ << ",\"node\":\"" << jsonEscape(formatNode(*ev.node)) << "\"";
+
+    switch (ev.kind) {
+      case EventKind::Issue: {
+        os_ << ",\"word\":" << ev.wordIdx << ",\"nodes\":[";
+        const Word &word = ev.block->words[ev.wordIdx];
+        for (std::size_t i = 0; i < word.size(); ++i)
+            os_ << (i ? "," : "") << "\""
+                << jsonEscape(formatNode(ev.block->nodes[word[i]])) << "\"";
+        os_ << "]";
+        break;
+      }
+      case EventKind::Schedule:
+        os_ << ",\"latency\":" << ev.latency;
+        if (ev.node && ev.node->isMem())
+            os_ << ",\"addr\":" << ev.addr
+                << ",\"forwarded\":" << (ev.forwarded ? "true" : "false");
+        break;
+      case EventKind::Complete:
+        os_ << ",\"value\":" << ev.value;
+        break;
+      case EventKind::Resolve:
+        os_ << ",\"taken\":" << (ev.taken ? "true" : "false")
+            << ",\"mispredict\":" << (ev.mispredict ? "true" : "false");
+        break;
+      case EventKind::Squash:
+      case EventKind::Retire:
+        os_ << ",\"nodes\":" << ev.count;
+        if (ev.kind == EventKind::Retire)
+            os_ << ",\"partial\":" << (ev.partial ? "true" : "false");
+        break;
+      case EventKind::LoadBlock:
+        os_ << ",\"addr\":" << ev.addr << ",\"blocker\":" << ev.blocker;
+        break;
+      case EventKind::StoreForward:
+        os_ << ",\"addr\":" << ev.addr;
+        break;
+      case EventKind::AssertFire:
+        os_ << ",\"target\":" << ev.target;
+        break;
+      case EventKind::LoadWake:
+        break;
+    }
+    os_ << "}\n";
+}
+
+// ---------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
+{
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"fgpsim\"}}";
+    first_ = false;
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    onRunEnd();
+}
+
+void
+ChromeTraceSink::onRunEnd()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+void
+ChromeTraceSink::emitSlice(const SimEvent &ev)
+{
+    // Place the slice on the first lane free at its start cycle so
+    // overlapping executions render side by side instead of nesting.
+    const std::uint64_t ts = ev.cycle;
+    const std::uint64_t dur = std::max(ev.latency, 1);
+    std::size_t lane = 0;
+    while (lane < laneFreeAt_.size() && laneFreeAt_[lane] > ts)
+        ++lane;
+    if (lane == laneFreeAt_.size())
+        laneFreeAt_.push_back(0);
+    laneFreeAt_[lane] = ts + dur;
+
+    os_ << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << lane + 1
+        << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"name\":\""
+        << jsonEscape(mnemonic(ev.node->op))
+        << "\",\"args\":{\"seq\":" << ev.seq << ",\"bseq\":" << ev.bseq
+        << ",\"node\":\"" << jsonEscape(formatNode(*ev.node)) << "\"}}";
+}
+
+void
+ChromeTraceSink::emitInstant(const SimEvent &ev)
+{
+    os_ << ",\n{\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":"
+        << ev.cycle << ",\"name\":\"" << eventKindName(ev.kind) << " b#"
+        << ev.bseq << "\",\"args\":{\"bseq\":" << ev.bseq
+        << ",\"image\":" << ev.imageId << ",\"nodes\":" << ev.count
+        << "}}";
+}
+
+void
+ChromeTraceSink::onEvent(const SimEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::Schedule:
+        emitSlice(ev);
+        break;
+      case EventKind::Squash:
+      case EventKind::Retire:
+      case EventKind::AssertFire:
+        emitInstant(ev);
+        break;
+      case EventKind::Resolve:
+        if (ev.mispredict)
+            emitInstant(ev);
+        break;
+      default:
+        break; // issue/complete/load events are too dense to chart
+    }
+}
+
+} // namespace fgp::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Standard event sinks:
+ *
+ *  - TextTraceSink: the human-readable per-cycle pipeline trace
+ *    ("[cycle] exec   seq=12 lw r2, 0(r1) ...") previously produced by
+ *    the engine itself;
+ *  - JsonlSink: one JSON object per event, one event per line —
+ *    machine-readable, stream-friendly;
+ *  - ChromeTraceSink: Chrome trace_event JSON loadable in
+ *    chrome://tracing or https://ui.perfetto.dev (1 simulated cycle =
+ *    1 µs of trace time; node executions become duration slices on
+ *    synthetic function-unit lanes).
+ *
+ * All sinks write to a caller-owned std::ostream and are intended for
+ * small programs — the engine emits several events per node.
+ */
+
+#ifndef FGP_OBS_SINKS_HH
+#define FGP_OBS_SINKS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/bus.hh"
+
+namespace fgp::obs {
+
+/** Renders the classic pipeline-trace text (see file comment). */
+class TextTraceSink : public EventSink
+{
+  public:
+    explicit TextTraceSink(std::ostream &os) : os_(os) {}
+
+    void onEvent(const SimEvent &event) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** One JSON object per event, newline-delimited (JSONL). */
+class JsonlSink : public EventSink
+{
+  public:
+    explicit JsonlSink(std::ostream &os) : os_(os) {}
+
+    void onEvent(const SimEvent &event) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * Chrome trace_event exporter. Streams the event array; onRunEnd() (or
+ * destruction) closes the JSON document. Executions are "X" (complete)
+ * slices placed on the first free synthetic lane so concurrent nodes
+ * render side by side; squash/retire/mispredict/fault become instant
+ * events on lane 0.
+ */
+class ChromeTraceSink : public EventSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os);
+    ~ChromeTraceSink() override;
+
+    void onEvent(const SimEvent &event) override;
+    void onRunEnd() override;
+
+  private:
+    void emitSlice(const SimEvent &event);
+    void emitInstant(const SimEvent &event);
+
+    std::ostream &os_;
+    std::vector<std::uint64_t> laneFreeAt_; ///< lane -> first free cycle
+    bool first_ = true;
+    bool closed_ = false;
+};
+
+} // namespace fgp::obs
+
+#endif // FGP_OBS_SINKS_HH

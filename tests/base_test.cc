@@ -212,6 +212,48 @@ TEST(Histogram, Labels)
     EXPECT_EQ(unit.bucketLabel(1), "1");
 }
 
+TEST(Histogram, OriginAndUnderflow)
+{
+    Histogram h(4, 2, 8); // buckets 8-11, 12-15; underflow < 8
+    h.add(7);
+    h.add(8);
+    h.add(12);
+    h.add(16);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.bucketLabel(0), "8-11");
+    EXPECT_EQ(h.min(), 7u); // under/overflow still feed min/max/mean
+    EXPECT_EQ(h.max(), 16u);
+
+    Histogram other(4, 2, 8);
+    other.add(0, 2);
+    h.merge(other);
+    EXPECT_EQ(h.underflowCount(), 3u);
+    h.clear();
+    EXPECT_EQ(h.underflowCount(), 0u);
+    EXPECT_EQ(h.origin(), 8u);
+}
+
+TEST(Histogram, ToJson)
+{
+    Histogram h(4, 2, 8);
+    h.add(7);
+    h.add(9, 2);
+    h.add(100);
+    EXPECT_EQ(h.toJson(),
+              "{\"bucket_width\":4,\"origin\":8,\"count\":4,\"sum\":125,"
+              "\"min\":7,\"max\":100,\"underflow\":1,\"overflow\":1,"
+              "\"buckets\":[2,0]}");
+    Histogram empty(1, 2);
+    EXPECT_EQ(empty.toJson(),
+              "{\"bucket_width\":1,\"origin\":0,\"count\":0,\"sum\":0,"
+              "\"min\":0,\"max\":0,\"underflow\":0,\"overflow\":0,"
+              "\"buckets\":[0,0]}");
+}
+
 TEST(Stats, SetAddGet)
 {
     StatGroup g;

@@ -1,0 +1,96 @@
+#!/bin/sh
+# End-to-end test of the observability surface of the fgpsim CLI:
+# trace --out, sim --json (schema-validated by tools/check_bench.sh),
+# the report subcommand, and the JSONL / Chrome trace exporters.
+set -e
+FGPSIM="$1"
+CHECK_BENCH="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+CFG=dyn4/8A/single
+
+# trace honors --out: the trace lands in the file and the program's
+# stdout appears on the command's stdout (same bytes as the VM run).
+"$FGPSIM" run grep > "$TMP/vm.out" 2> /dev/null
+"$FGPSIM" trace grep --config "$CFG" --out "$TMP/trace.txt" \
+    > "$TMP/prog.out" 2> /dev/null
+cmp "$TMP/vm.out" "$TMP/prog.out"
+grep -q "retire" "$TMP/trace.txt"
+grep -q "issue" "$TMP/trace.txt"
+grep -q "exec" "$TMP/trace.txt"
+
+# Without --out the trace still streams to stdout.
+"$FGPSIM" trace grep --config "$CFG" 2> /dev/null | grep -q "retire"
+
+# sim --json emits a pure JSON results dump that passes schema
+# validation, including the stall breakdown identity.
+"$FGPSIM" sim grep --config "$CFG" --json > "$TMP/sim.json" 2> /dev/null
+sh "$CHECK_BENCH" --validate-sim "$TMP/sim.json"
+grep -q '"short_word"' "$TMP/sim.json"
+grep -q '"operand_wait"' "$TMP/sim.json"
+grep -q '"blocks"' "$TMP/sim.json"
+
+# report renders the per-block top-N table and the stall tables.
+"$FGPSIM" report grep --config "$CFG" --top 3 > "$TMP/report.txt" 2> /dev/null
+grep -q "Issue slots" "$TMP/report.txt"
+grep -q "short word" "$TMP/report.txt"
+grep -q "Waiting node-cycles" "$TMP/report.txt"
+grep -q "static blocks by retired nodes" "$TMP/report.txt"
+# --top N limits the block table (header + separator + at most 3 rows
+# after the "Top ..." line).
+rows=$(sed -n '/static blocks by retired nodes/,$p' "$TMP/report.txt" \
+       | tail -n +4 | grep -c . || true)
+test "$rows" -le 3
+
+# report --json is the same dump as sim --json.
+"$FGPSIM" report grep --config "$CFG" --json > "$TMP/report.json" 2> /dev/null
+sh "$CHECK_BENCH" --validate-sim "$TMP/report.json"
+
+# JSONL event stream: one object per line, kind and cycle on each.
+"$FGPSIM" sim grep --config "$CFG" --events "$TMP/events.jsonl" \
+    > /dev/null 2> /dev/null
+test -s "$TMP/events.jsonl"
+bad=$(grep -vc '^{"cycle":[0-9]*,"kind":"[a-z_]*".*}$' "$TMP/events.jsonl" || true)
+test "$bad" -eq 0
+grep -q '"kind":"retire"' "$TMP/events.jsonl"
+
+# Chrome trace: document shape loadable by Perfetto / chrome://tracing.
+"$FGPSIM" sim grep --config "$CFG" --chrome "$TMP/chrome.json" \
+    > /dev/null 2> /dev/null
+head -c 20 "$TMP/chrome.json" | grep -q '{"displayTimeUnit"'
+grep -q '"traceEvents"' "$TMP/chrome.json"
+tail -c 4 "$TMP/chrome.json" | grep -q ']}'
+# When python3 is around, hold the exporters to real JSON parsing.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$TMP/sim.json" "$TMP/chrome.json" "$TMP/events.jsonl" <<'PY'
+import json, sys
+json.load(open(sys.argv[1]))
+trace = json.load(open(sys.argv[2]))
+assert trace["traceEvents"], "empty Chrome trace"
+for line in open(sys.argv[3]):
+    json.loads(line)
+PY
+fi
+
+# Bench-record validation modes.
+cat > "$TMP/bench.json" <<'EOF'
+{
+  "bench": "perf_selfcheck",
+  "jobs": 1,
+  "scale": 1.0000,
+  "sims": 10,
+  "wall_seconds": 1.0,
+  "sims_per_sec": 10.0,
+  "sim_cycles": 1000,
+  "host_ns_per_sim_cycle": 100.0
+}
+EOF
+sh "$CHECK_BENCH" --validate-bench "$TMP/bench.json"
+printf '{\n "bench": "x"\n}\n' > "$TMP/bad.json"
+if sh "$CHECK_BENCH" --validate-bench "$TMP/bad.json" 2> /dev/null; then
+    echo "expected failure on incomplete bench record" >&2
+    exit 1
+fi
+
+echo "obs cli test ok"

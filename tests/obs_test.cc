@@ -1,0 +1,363 @@
+/**
+ * Observability tests: the event bus, the stall-cause accounting and the
+ * machine-readable exporters.
+ *
+ *  - the slot invariant: every issue slot of every cycle is either an
+ *    issued node or attributed to exactly one stall cause;
+ *  - per-block attribution sums back to the global counters;
+ *  - attaching sinks never changes the simulation (tracing neutrality);
+ *  - the exact event sequence for a tiny straight-line program (golden);
+ *  - JSONL and Chrome trace outputs are structurally well formed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "obs/bus.hh"
+#include "obs/report.hh"
+#include "obs/sinks.hh"
+#include "tld/translate.hh"
+
+namespace fgp {
+namespace {
+
+/** Copies the value fields of every event (pointers are not retained). */
+struct CollectingSink : obs::EventSink
+{
+    struct Rec
+    {
+        obs::EventKind kind;
+        std::uint64_t cycle;
+        std::uint64_t seq;
+        std::uint64_t bseq;
+        std::uint32_t count;
+        bool mispredict;
+        bool partial;
+    };
+
+    std::vector<Rec> events;
+    int runEnds = 0;
+
+    void
+    onEvent(const obs::SimEvent &e) override
+    {
+        events.push_back({e.kind, e.cycle, e.seq, e.bseq, e.count,
+                          e.mispredict, e.partial});
+    }
+
+    void onRunEnd() override { ++runEnds; }
+};
+
+MachineConfig
+cfg(Discipline d, int issue, char mem)
+{
+    return {d, issueModel(issue), memoryConfig(mem), BranchMode::Single};
+}
+
+EngineResult
+run(const std::string &source, const MachineConfig &config,
+    obs::EventBus *bus = nullptr)
+{
+    const Program prog = assemble(source, "obs-test");
+    CodeImage image = buildCfg(prog);
+    translate(image, config);
+    SimOS os;
+    EngineOptions opts;
+    opts.config = config;
+    opts.bus = bus;
+    return simulate(image, os, opts);
+}
+
+const char *const kLoopProgram = R"(
+main:   li   r8, 25
+        la   r9, data
+loop:   lw   r10, 0(r9)
+        add  r11, r11, r10
+        sw   r11, 4(r9)
+        addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+data:   .word 5, 0
+)";
+
+const char *const kStraightLine = R"(
+main:   li   r1, 7
+        add  r2, r1, r1
+        li   v0, 0
+        li   a0, 0
+        syscall
+)";
+
+/** The documented accounting identity, exercised across the config space. */
+TEST(Stalls, SlotInvariantAcrossConfigs)
+{
+    const Discipline disciplines[] = {Discipline::Static, Discipline::Dyn1,
+                                      Discipline::Dyn4, Discipline::Dyn256};
+    for (Discipline d : disciplines) {
+        for (int issue : {1, 4, 8}) {
+            for (char mem : {'A', 'D'}) {
+                const MachineConfig config = cfg(d, issue, mem);
+                const EngineResult r = run(kLoopProgram, config);
+                ASSERT_TRUE(r.exited) << config.name();
+                EXPECT_EQ(r.issueWidth, config.issue.width());
+                const std::uint64_t total =
+                    r.cycles * static_cast<std::uint64_t>(r.issueWidth);
+                EXPECT_EQ(r.stalls.totalSlots(), total - r.issuedNodes)
+                    << config.name();
+            }
+        }
+    }
+}
+
+TEST(Stalls, BlockStatsSumToGlobals)
+{
+    const EngineResult r = run(kLoopProgram, cfg(Discipline::Dyn4, 8, 'D'));
+    std::uint64_t retiredNodes = 0, retiredBlocks = 0, squashedBlocks = 0,
+                  squashedNodes = 0, mispredicts = 0, faults = 0;
+    for (const BlockStat &bs : r.blockStats) {
+        retiredNodes += bs.retiredNodes;
+        retiredBlocks += bs.retiredBlocks;
+        squashedBlocks += bs.squashedBlocks;
+        squashedNodes += bs.squashedNodes;
+        mispredicts += bs.mispredicts;
+        faults += bs.faultsFired;
+    }
+    EXPECT_EQ(retiredNodes, r.retiredNodes);
+    EXPECT_EQ(retiredBlocks, r.committedBlocks);
+    EXPECT_EQ(squashedBlocks, r.squashedBlocks);
+    EXPECT_EQ(mispredicts, r.mispredicts);
+    EXPECT_EQ(faults, r.faultsFired);
+    EXPECT_GT(squashedNodes, 0u); // the loop exit mispredicts
+}
+
+TEST(Stalls, WaitCausesObserved)
+{
+    // Dependent chain + cache misses: operand and memory waits must both
+    // show up on a wide dynamic machine.
+    const EngineResult r = run(kLoopProgram, cfg(Discipline::Dyn256, 8, 'D'));
+    EXPECT_GT(r.stalls.operandWaitNodeCycles, 0u);
+    EXPECT_GT(r.stalls.shortWordSlots, 0u);
+    EXPECT_GT(r.stalls.fetchRedirectSlots, 0u);
+    // Exported into the stats listing for harness consumers.
+    EXPECT_TRUE(r.stats.has("stall.slots_short_word"));
+    EXPECT_TRUE(r.stats.has("stall.node_cycles_operand_wait"));
+}
+
+TEST(Stalls, MergeFromAccumulates)
+{
+    StallBreakdown a, b;
+    a.windowFullSlots = 3;
+    a.operandWaitNodeCycles = 5;
+    b.windowFullSlots = 4;
+    b.drainSlots = 2;
+    a.mergeFrom(b);
+    EXPECT_EQ(a.windowFullSlots, 7u);
+    EXPECT_EQ(a.drainSlots, 2u);
+    EXPECT_EQ(a.operandWaitNodeCycles, 5u);
+    EXPECT_EQ(a.totalSlots(), 9u);
+}
+
+/** Attaching sinks must not perturb the simulation. */
+TEST(Bus, TracingDoesNotChangeResults)
+{
+    const MachineConfig config = cfg(Discipline::Dyn4, 8, 'D');
+    const EngineResult plain = run(kLoopProgram, config);
+
+    CollectingSink sink;
+    obs::EventBus bus;
+    bus.addSink(&sink);
+    const EngineResult traced = run(kLoopProgram, config, &bus);
+
+    EXPECT_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.retiredNodes, traced.retiredNodes);
+    EXPECT_EQ(plain.executedNodes, traced.executedNodes);
+    EXPECT_EQ(plain.issuedNodes, traced.issuedNodes);
+    EXPECT_EQ(plain.committedBlocks, traced.committedBlocks);
+    EXPECT_EQ(plain.squashedBlocks, traced.squashedBlocks);
+    EXPECT_EQ(plain.mispredicts, traced.mispredicts);
+    EXPECT_EQ(plain.stats.ints(), traced.stats.ints());
+    EXPECT_EQ(plain.stalls.totalSlots(), traced.stalls.totalSlots());
+    EXPECT_GT(sink.events.size(), 0u);
+    EXPECT_EQ(sink.runEnds, 1);
+}
+
+TEST(Bus, EventStreamConsistency)
+{
+    CollectingSink sink;
+    obs::EventBus bus;
+    bus.addSink(&sink);
+    const EngineResult r =
+        run(kLoopProgram, cfg(Discipline::Dyn4, 8, 'D'), &bus);
+
+    std::uint64_t lastCycle = 0;
+    std::uint64_t issues = 0, schedules = 0, completes = 0;
+    std::uint64_t retiredNodes = 0, squashedNodes = 0;
+    for (const CollectingSink::Rec &e : sink.events) {
+        EXPECT_GE(e.cycle, lastCycle); // cycles never go backwards
+        lastCycle = e.cycle;
+        switch (e.kind) {
+          case obs::EventKind::Issue:
+            ++issues;
+            break;
+          case obs::EventKind::Schedule:
+            ++schedules;
+            break;
+          case obs::EventKind::Complete:
+            ++completes;
+            break;
+          case obs::EventKind::Retire:
+            retiredNodes += e.count;
+            break;
+          case obs::EventKind::Squash:
+            squashedNodes += e.count;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_GT(issues, 0u);
+    EXPECT_EQ(schedules, r.executedNodes);
+    // Nodes still in flight when their block squashes (or when the
+    // program exits) never publish a Complete.
+    EXPECT_LE(completes, schedules);
+    EXPECT_GT(completes, 0u);
+    EXPECT_EQ(retiredNodes, r.retiredNodes);
+    EXPECT_GT(squashedNodes, 0u);
+}
+
+/**
+ * Exact event sequence for a tiny straight-line program on dyn4/8A. A
+ * change here means the engine's externally visible pipeline behaviour
+ * changed — update deliberately, not incidentally.
+ */
+TEST(Bus, GoldenEventSequence)
+{
+    CollectingSink sink;
+    obs::EventBus bus;
+    bus.addSink(&sink);
+    run(kStraightLine, cfg(Discipline::Dyn4, 8, 'A'), &bus);
+
+    std::ostringstream got;
+    for (const CollectingSink::Rec &e : sink.events) {
+        got << 'c' << e.cycle << ' ' << obs::eventKindName(e.kind);
+        if (e.seq)
+            got << " seq=" << e.seq;
+        if (e.kind == obs::EventKind::Retire ||
+            e.kind == obs::EventKind::Squash)
+            got << " n=" << e.count;
+        got << '\n';
+    }
+    EXPECT_EQ(got.str(), R"(c0 issue
+c1 schedule seq=1
+c1 schedule seq=3
+c1 schedule seq=4
+c2 complete seq=1
+c2 complete seq=3
+c2 complete seq=4
+c2 schedule seq=2
+c3 complete seq=2
+c3 schedule seq=5
+c3 retire n=5
+)");
+}
+
+TEST(Sinks, JsonlWellFormed)
+{
+    std::ostringstream out;
+    obs::JsonlSink sink(out);
+    obs::EventBus bus;
+    bus.addSink(&sink);
+    CollectingSink counter;
+    bus.addSink(&counter);
+    run(kLoopProgram, cfg(Discipline::Dyn4, 8, 'D'), &bus);
+
+    std::istringstream in(out.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        EXPECT_NE(line.find("\"kind\":"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"cycle\":"), std::string::npos) << line;
+    }
+    EXPECT_EQ(lines, counter.events.size());
+}
+
+TEST(Sinks, ChromeTraceWellFormed)
+{
+    std::ostringstream out;
+    {
+        obs::ChromeTraceSink sink(out);
+        obs::EventBus bus;
+        bus.addSink(&sink);
+        run(kLoopProgram, cfg(Discipline::Dyn4, 8, 'D'), &bus);
+    }
+    const std::string text = out.str();
+    EXPECT_EQ(text.rfind("{\"displayTimeUnit\"", 0), 0u);
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    // Document closed exactly once even though onRunEnd ran before the
+    // destructor.
+    EXPECT_EQ(text.find("]}"), text.rfind("]}"));
+    EXPECT_EQ(text.substr(text.size() - 3), "]}\n");
+    long depth = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+        } else if (c == '"') {
+            inString = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Report, JsonContainsStallBreakdown)
+{
+    const MachineConfig config = cfg(Discipline::Dyn4, 8, 'D');
+    const EngineResult r = run(kLoopProgram, config);
+    std::ostringstream out;
+    obs::writeResultJson(out, r, {"obs-test", config.name()});
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"schema\": \"fgpsim-sim-v1\""), std::string::npos);
+    EXPECT_NE(text.find("\"issue_slots\""), std::string::npos);
+    EXPECT_NE(text.find("\"short_word\""), std::string::npos);
+    EXPECT_NE(text.find("\"node_cycles\""), std::string::npos);
+    EXPECT_NE(text.find("\"blocks\""), std::string::npos);
+    EXPECT_NE(text.find("\"bucket_width\""), std::string::npos);
+}
+
+TEST(Report, PrintedReportHasTables)
+{
+    const MachineConfig config = cfg(Discipline::Dyn4, 8, 'D');
+    const EngineResult r = run(kLoopProgram, config);
+    std::ostringstream out;
+    obs::printReport(out, r, {"obs-test", config.name()}, 3);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("Issue slots"), std::string::npos);
+    EXPECT_NE(text.find("short word"), std::string::npos);
+    EXPECT_NE(text.find("Waiting node-cycles"), std::string::npos);
+    EXPECT_NE(text.find("static blocks by retired nodes"), std::string::npos);
+}
+
+} // namespace
+} // namespace fgp

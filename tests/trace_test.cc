@@ -14,6 +14,8 @@
 #include "engine/engine.hh"
 #include "ir/cfg.hh"
 #include "masm/assembler.hh"
+#include "obs/bus.hh"
+#include "obs/sinks.hh"
 #include "tld/translate.hh"
 
 namespace fgp {
@@ -33,9 +35,12 @@ tracedRun(const std::string &source, const MachineConfig &config)
     translate(image, config);
     SimOS os;
     std::ostringstream trace;
+    obs::TextTraceSink sink(trace);
+    obs::EventBus bus;
+    bus.addSink(&sink);
     EngineOptions opts;
     opts.config = config;
-    opts.trace = &trace;
+    opts.bus = &bus;
     Traced out;
     out.result = simulate(image, os, opts);
     out.trace = trace.str();

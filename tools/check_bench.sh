@@ -1,41 +1,121 @@
 #!/bin/sh
-# Compare two BENCH_engine.json records emitted by bench/perf_selfcheck
-# and fail when the new wall time regresses by more than the threshold.
+# Validate and compare fgpsim machine-readable records.
 #
-#   usage: tools/check_bench.sh <previous.json> <current.json> [max_regress_pct]
+#   tools/check_bench.sh <previous.json> <current.json> [max_regress_pct]
+#       Schema-validate two BENCH_engine.json records emitted by
+#       bench/perf_selfcheck and fail when the new wall time regresses
+#       by more than the threshold (default 20 percent). A missing
+#       previous record is not an error — the current record simply
+#       becomes the new baseline.
 #
-# The default threshold is 20 (percent). A missing previous record is not
-# an error — the current record simply becomes the new baseline.
+#   tools/check_bench.sh --validate-bench <record.json>
+#       Schema-validate one BENCH_engine.json record and exit.
+#
+#   tools/check_bench.sh --validate-sim <dump.json>
+#       Schema-validate an `fgpsim sim --json` / `fgpsim report --json`
+#       dump ("fgpsim-sim-v1"): required numeric keys, the stall
+#       breakdown, and the issue-slot accounting identity
+#       total == issued_nodes + sum(per-cause slots).
+#
+# Pure POSIX sh + awk so it runs anywhere the build runs.
 set -eu
+
+field() {
+    # Extract a numeric field from one-key-per-line JSON.
+    awk -F'[:,]' -v key="\"$2\"" '$1 ~ key { gsub(/[ \t]/, "", $2); print $2; exit }' "$1"
+}
+
+require_numeric() {
+    # require_numeric FILE KEY...: every KEY must be present with a
+    # numeric value.
+    file="$1"; shift
+    for key in "$@"; do
+        value=$(field "$file" "$key")
+        case "$value" in
+            ''|*[!0-9.eE+-]*)
+                echo "check_bench: $file: key \"$key\" missing or not numeric (got '$value')" >&2
+                exit 1
+                ;;
+        esac
+    done
+}
+
+validate_bench() {
+    record="$1"
+    if [ ! -f "$record" ]; then
+        echo "check_bench: record $record missing" >&2
+        exit 1
+    fi
+    require_numeric "$record" jobs scale sims wall_seconds sims_per_sec \
+        sim_cycles host_ns_per_sim_cycle
+    echo "check_bench: $record: bench schema OK"
+}
+
+validate_sim() {
+    dump="$1"
+    if [ ! -f "$dump" ]; then
+        echo "check_bench: sim dump $dump missing" >&2
+        exit 1
+    fi
+    if ! grep -q '"schema": "fgpsim-sim-v1"' "$dump"; then
+        echo "check_bench: $dump: missing schema tag fgpsim-sim-v1" >&2
+        exit 1
+    fi
+    require_numeric "$dump" cycles issue_width retired_nodes \
+        executed_nodes issued_nodes committed_blocks squashed_blocks \
+        nodes_per_cycle total fetch_redirect fetch_idle window_full \
+        short_word drain operand_wait memory_wait serialize_wait fu_busy
+    # The accounting identity: every slot of every cycle is either an
+    # issued node or attributed to exactly one stall cause.
+    awk -F'[:,]' '
+        function num(s) { gsub(/[ \t]/, "", s); return s + 0 }
+        $1 ~ /"total"/          { total = num($2) }
+        $1 ~ /"issued_nodes"/   { issued = num($2) }
+        $1 ~ /"fetch_redirect"/ { causes += num($2) }
+        $1 ~ /"fetch_idle"/     { causes += num($2) }
+        $1 ~ /"window_full"/    { causes += num($2) }
+        $1 ~ /"short_word"/     { causes += num($2) }
+        $1 ~ /"drain"/          { causes += num($2) }
+        END {
+            if (total != issued + causes) {
+                printf "check_bench: slot accounting broken: total %d != issued %d + causes %d\n",
+                       total, issued, causes > "/dev/stderr"
+                exit 1
+            }
+        }' "$dump"
+    echo "check_bench: $dump: sim schema OK (slot accounting closes)"
+}
+
+case "${1:-}" in
+    --validate-bench)
+        validate_bench "${2:?usage: check_bench.sh --validate-bench <record.json>}"
+        exit 0
+        ;;
+    --validate-sim)
+        validate_sim "${2:?usage: check_bench.sh --validate-sim <dump.json>}"
+        exit 0
+        ;;
+esac
 
 prev="${1:?usage: check_bench.sh <previous.json> <current.json> [pct]}"
 cur="${2:?usage: check_bench.sh <previous.json> <current.json> [pct]}"
 pct="${3:-20}"
 
-field() {
-    # Extract a numeric field from the flat one-key-per-line JSON that
-    # perf_selfcheck writes.
-    awk -F'[:,]' -v key="\"$2\"" '$1 ~ key { gsub(/[ \t]/, "", $2); print $2 }' "$1"
-}
-
 if [ ! -f "$cur" ]; then
     echo "check_bench: current record $cur missing" >&2
     exit 1
 fi
+validate_bench "$cur"
 if [ ! -f "$prev" ]; then
     echo "check_bench: no previous record ($prev); accepting $cur as baseline"
     exit 0
 fi
+validate_bench "$prev"
 
 prev_wall=$(field "$prev" wall_seconds)
 cur_wall=$(field "$cur" wall_seconds)
 prev_rate=$(field "$prev" sims_per_sec)
 cur_rate=$(field "$cur" sims_per_sec)
-
-if [ -z "$prev_wall" ] || [ -z "$cur_wall" ]; then
-    echo "check_bench: malformed record (wall_seconds missing)" >&2
-    exit 1
-fi
 
 echo "check_bench: wall ${prev_wall}s -> ${cur_wall}s, sims/sec ${prev_rate:-?} -> ${cur_rate:-?}"
 

@@ -12,9 +12,12 @@
  *                                              create an enlargement file
  *   fgpsim sim     <src> --config dyn4/8A/enlarged
  *                  [--plan FILE] [--ras N] [--window N] [--stdin FILE]
+ *                  [--json] [--events FILE] [--chrome FILE]
  *                                              cycle-level simulation
- *   fgpsim trace   <src> [--config ...] [--stdin FILE]
+ *   fgpsim trace   <src> [--config ...] [--stdin FILE] [--out FILE]
  *                                              per-cycle pipeline trace
+ *   fgpsim report  <src> [--config ...] [--top N] [--json]
+ *                                              stall/per-block report
  *
  * <src> is either the name of a built-in benchmark (sort, grep, diff,
  * cpp, compress — inputs are generated automatically) or a path to a
@@ -34,6 +37,9 @@
 #include "engine/engine.hh"
 #include "ir/cfg.hh"
 #include "ir/printer.hh"
+#include "obs/bus.hh"
+#include "obs/report.hh"
+#include "obs/sinks.hh"
 #include "masm/assembler.hh"
 #include "tld/translate.hh"
 #include "vm/atomic_runner.hh"
@@ -65,13 +71,16 @@ usage()
 {
     std::cerr <<
         "usage: fgpsim <command> <src> [flags]\n"
-        "  commands: asm | run | profile | bbe | sim | trace\n"
+        "  commands: asm | run | profile | bbe | sim | trace | report\n"
         "  <src>: benchmark name (sort grep diff cpp compress) or .s file\n"
         "  common flags: --stdin FILE, --out FILE\n"
         "  bbe flags:    --profile FILE [--max-chain N] [--ratio R]\n"
         "                [--min-count N]\n"
         "  sim flags:    --config dyn4/8A/enlarged [--plan FILE]\n"
-        "                [--ras N] [--window N] [--conservative]\n";
+        "                [--ras N] [--window N] [--conservative]\n"
+        "                [--json] [--events FILE] [--chrome FILE]\n"
+        "  trace flags:  sim flags plus --out FILE (trace destination)\n"
+        "  report flags: sim flags plus --top N (blocks in the table)\n";
     std::exit(2);
 }
 
@@ -227,8 +236,10 @@ cmdBbe(const Options &opts)
     return 0;
 }
 
+enum class SimMode { Stats, Trace, Report };
+
 int
-cmdSim(const Options &opts, bool with_trace = false)
+cmdSim(const Options &opts, SimMode mode = SimMode::Stats)
 {
     const Source src = resolveSource(opts);
     const MachineConfig config =
@@ -278,14 +289,60 @@ cmdSim(const Options &opts, bool with_trace = false)
     CodeImage translated = image;
     translate(translated, config);
 
-    if (with_trace)
-        eopts.trace = &std::cout;
+    // Observability sinks. Streams must outlive simulate(); the bus does
+    // not own the sinks.
+    obs::EventBus bus;
+    std::ofstream traceFile, eventsFile, chromeFile;
+    std::optional<obs::TextTraceSink> textSink;
+    std::optional<obs::JsonlSink> jsonlSink;
+    std::optional<obs::ChromeTraceSink> chromeSink;
+    const bool traceToFile = mode == SimMode::Trace && opts.has("out");
+    if (mode == SimMode::Trace) {
+        std::ostream *dst = &std::cout;
+        if (traceToFile) {
+            traceFile.open(opts.get("out"), std::ios::binary);
+            if (!traceFile)
+                fgp_fatal("cannot write '", opts.get("out"), "'");
+            dst = &traceFile;
+        }
+        textSink.emplace(*dst);
+        bus.addSink(&*textSink);
+    }
+    if (opts.has("events")) {
+        eventsFile.open(opts.get("events"), std::ios::binary);
+        if (!eventsFile)
+            fgp_fatal("cannot write '", opts.get("events"), "'");
+        jsonlSink.emplace(eventsFile);
+        bus.addSink(&*jsonlSink);
+    }
+    if (opts.has("chrome")) {
+        chromeFile.open(opts.get("chrome"), std::ios::binary);
+        if (!chromeFile)
+            fgp_fatal("cannot write '", opts.get("chrome"), "'");
+        chromeSink.emplace(chromeFile);
+        bus.addSink(&*chromeSink);
+    }
+    if (bus.enabled())
+        eopts.bus = &bus;
 
     SimOS os;
     src.prepare(os, InputSet::Measure, opts);
     const EngineResult r = simulate(translated, os, eopts);
 
-    if (!with_trace)
+    const obs::ReportMeta meta{opts.source, config.name()};
+    const bool json = opts.has("json");
+    if (mode == SimMode::Report) {
+        if (json)
+            obs::writeResultJson(std::cout, r, meta);
+        else
+            obs::printReport(std::cout, r, meta,
+                             static_cast<int>(*parseInt(
+                                 opts.get("top", "10"))));
+        return r.exitCode;
+    }
+    if (mode == SimMode::Stats && json)
+        obs::writeResultJson(std::cout, r, meta);
+    else if (mode == SimMode::Stats || traceToFile)
         std::cout << os.stdoutText();
     std::cerr << "config               " << config.name() << "\n"
               << "exit                 " << r.exitCode << "\n"
@@ -318,7 +375,7 @@ runCli(int argc, char **argv)
         if (!startsWith(arg, "--"))
             fgp_fatal("unexpected argument '", arg, "'");
         arg = arg.substr(2);
-        if (arg == "conservative") {
+        if (arg == "conservative" || arg == "json") {
             opts.flags[arg] = "1";
         } else {
             if (i + 1 >= argc)
@@ -338,7 +395,9 @@ runCli(int argc, char **argv)
     if (opts.command == "sim")
         return cmdSim(opts);
     if (opts.command == "trace")
-        return cmdSim(opts, /*with_trace=*/true);
+        return cmdSim(opts, SimMode::Trace);
+    if (opts.command == "report")
+        return cmdSim(opts, SimMode::Report);
     usage();
 }
 
