@@ -118,7 +118,8 @@ parseInt(std::string_view text)
         return std::nullopt;
     if (negative && value > 0x8000000000000000ULL)
         return std::nullopt;
-    return negative ? -static_cast<std::int64_t>(value)
+    // Negate in unsigned space: INT64_MIN has no positive counterpart.
+    return negative ? static_cast<std::int64_t>(0ULL - value)
                     : static_cast<std::int64_t>(value);
 }
 

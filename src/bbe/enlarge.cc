@@ -4,39 +4,11 @@
 #include <unordered_map>
 
 #include "base/logging.hh"
+#include "verify/postpass.hh"
 
 namespace fgp {
 
 namespace {
-
-/** How a chain continues past one of its member blocks. */
-enum class JunctionKind : std::uint8_t {
-    CondHotTaken,    ///< conditional branch, dominant arc is the target
-    CondHotFall,     ///< conditional branch, dominant arc falls through
-    Uncond,          ///< unconditional J
-    FallThrough,     ///< block without a terminal control node
-    End,             ///< last member: terminal kept verbatim
-};
-
-struct ChainLink
-{
-    std::int32_t blockId;
-    JunctionKind kind = JunctionKind::End;
-};
-
-using Chain = std::vector<ChainLink>;
-
-/** Count conditional junctions in positions [from, chain.size()-2]. */
-int
-condJunctionsFrom(const Chain &chain, std::size_t from)
-{
-    int count = 0;
-    for (std::size_t i = from; i + 1 < chain.size(); ++i)
-        if (chain[i].kind == JunctionKind::CondHotTaken ||
-            chain[i].kind == JunctionKind::CondHotFall)
-            ++count;
-    return count;
-}
 
 /**
  * Junction kind and successor pc when continuing past @p block toward
@@ -73,6 +45,39 @@ junctionToward(const ImageBlock &block, std::int32_t next_pc)
 }
 
 } // namespace
+
+int
+condJunctionsFrom(const Chain &chain, std::size_t from)
+{
+    int count = 0;
+    for (std::size_t i = from; i + 1 < chain.size(); ++i)
+        if (chain[i].kind == JunctionKind::CondHotTaken ||
+            chain[i].kind == JunctionKind::CondHotFall)
+            ++count;
+    return count;
+}
+
+Chain
+resolveChain(const CodeImage &single, const EnlargeChain &planned)
+{
+    if (planned.entryPcs.size() < 2)
+        fgp_fatal("enlargement plan: degenerate chain of ",
+                  planned.entryPcs.size(), " blocks");
+    Chain chain;
+    chain.reserve(planned.entryPcs.size());
+    for (std::size_t i = 0; i < planned.entryPcs.size(); ++i) {
+        const std::int32_t id = single.blockAtPc(planned.entryPcs[i]);
+        const ImageBlock &block = single.block(id);
+        if (block.hasSyscall)
+            fgp_fatal("enlargement plan: block at pc ", block.entryPc,
+                      " contains a system call and cannot be fused");
+        JunctionKind kind = JunctionKind::End;
+        if (i + 1 < planned.entryPcs.size())
+            kind = junctionToward(block, planned.entryPcs[i + 1]);
+        chain.push_back({id, kind});
+    }
+    return chain;
+}
 
 EnlargePlan
 planEnlargement(const CodeImage &single, const Profile &profile,
@@ -218,23 +223,8 @@ applyEnlargement(const CodeImage &single, const EnlargePlan &plan,
     std::uint64_t total_len = 0;
 
     for (const EnlargeChain &planned : plan.chains) {
-        fgp_assert(planned.entryPcs.size() >= 2, "degenerate plan chain");
-
         // Reconstruct block ids and junction kinds from the entry pcs.
-        Chain chain;
-        chain.reserve(planned.entryPcs.size());
-        for (std::size_t i = 0; i < planned.entryPcs.size(); ++i) {
-            const std::int32_t id =
-                single.blockAtPc(planned.entryPcs[i]);
-            const ImageBlock &block = single.block(id);
-            if (block.hasSyscall)
-                fgp_fatal("enlargement plan: block at pc ", block.entryPc,
-                          " contains a system call and cannot be fused");
-            JunctionKind kind = JunctionKind::End;
-            if (i + 1 < planned.entryPcs.size())
-                kind = junctionToward(block, planned.entryPcs[i + 1]);
-            chain.push_back({id, kind});
-        }
+        const Chain chain = resolveChain(single, planned);
         const ImageBlock &head_block = single.block(chain.front().blockId);
         if (out.entryByPc.at(head_block.entryPc) != head_block.id)
             fgp_fatal("enlargement plan: two chains start at pc ",
@@ -372,6 +362,8 @@ applyEnlargement(const CodeImage &single, const EnlargePlan &plan,
 
     out.entryBlock = out.blockAtPc(single.prog->entry);
     validateImage(out);
+    verify::postEnlargementCheck(single, out, plan,
+                                 EnlargeOptions{}.maxInstances);
     return out;
 }
 

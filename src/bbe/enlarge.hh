@@ -28,12 +28,42 @@
 #define FGP_BBE_ENLARGE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "bbe/plan.hh"
 #include "ir/image.hh"
 #include "vm/profile.hh"
 
 namespace fgp {
+
+/** How a chain continues past one of its member blocks. */
+enum class JunctionKind : std::uint8_t {
+    CondHotTaken,    ///< conditional branch, dominant arc is the target
+    CondHotFall,     ///< conditional branch, dominant arc falls through
+    Uncond,          ///< unconditional J
+    FallThrough,     ///< block without a terminal control node
+    End,             ///< last member: terminal kept verbatim
+};
+
+/** One resolved chain member: source block plus how the chain leaves it. */
+struct ChainLink
+{
+    std::int32_t blockId;
+    JunctionKind kind = JunctionKind::End;
+};
+
+using Chain = std::vector<ChainLink>;
+
+/** Count conditional junctions in positions [from, chain.size()-2]. */
+int condJunctionsFrom(const Chain &chain, std::size_t from);
+
+/**
+ * Replay one planned chain of entry pcs against @p single, recovering
+ * block ids and junction kinds. Throws FatalError when the plan does not
+ * follow real control-flow arcs (the same validation applyEnlargement
+ * performs); also used by the soundness checker to audit built images.
+ */
+Chain resolveChain(const CodeImage &single, const EnlargeChain &planned);
 
 /** Enlargement thresholds and caps. */
 struct EnlargeOptions

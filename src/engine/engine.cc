@@ -97,9 +97,9 @@ class Engine
   public:
     Engine(const CodeImage &image, SimOS &os, const EngineOptions &opts)
         : image_(image), os_(os), opts_(opts),
+          bus_(opts.bus),
           memsys_(opts.config.memory),
           predictor_(opts.predictor),
-          bus_(opts.bus),
           windowCap_(opts.windowOverride > 0
                          ? opts.windowOverride
                          : windowBlocks(opts.config.discipline)),

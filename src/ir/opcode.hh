@@ -69,6 +69,52 @@ struct OpcodeInfo
     bool isStore;
 };
 
+/**
+ * Which Node fields an operand form gives meaning to. Fields outside the
+ * form must stay at their neutral values (kRegNone / imm 0 / target -1);
+ * the verifier enforces this so that stray bits in an image cannot be
+ * silently ignored by one executor and honored by another.
+ */
+struct OperandUse
+{
+    bool rd;
+    bool rs1;
+    bool rs2;
+    bool imm;
+    bool target;
+};
+
+constexpr OperandUse
+operandUse(OperandForm form)
+{
+    switch (form) {
+        //                        rd     rs1    rs2    imm    target
+      case OperandForm::RRR:
+        return {true,  true,  true,  false, false};
+      case OperandForm::RRI:
+        return {true,  true,  false, true,  false};
+      case OperandForm::RI:
+        return {true,  false, false, true,  false};
+      case OperandForm::Load:
+        return {true,  true,  false, true,  false};
+      case OperandForm::Store:
+        return {false, true,  true,  true,  false};
+      case OperandForm::Branch:
+        return {false, true,  true,  false, true};
+      case OperandForm::Jump:
+        return {false, false, false, false, true};
+      case OperandForm::JumpLink:
+        return {true,  false, false, false, true};
+      case OperandForm::JumpReg:
+        return {false, true,  false, false, false};
+      case OperandForm::System:
+        return {false, false, false, false, false};
+      case OperandForm::FaultF:
+        return {false, true,  true,  false, true};
+    }
+    return {false, false, false, false, false};
+}
+
 namespace detail {
 
 inline constexpr std::size_t kNumOpcodes =

@@ -140,7 +140,7 @@ MemorySystem::loadLatency(std::uint32_t addr, bool forwarded)
 }
 
 void
-MemorySystem::commitStore(std::uint32_t addr, std::uint32_t len)
+MemorySystem::commitStore(std::uint32_t addr, std::uint32_t /*len*/)
 {
     ++stores_;
     if (!config_.hasCache)

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "tld/schedule.hh"
+#include "verify/postpass.hh"
 
 namespace fgp {
 
@@ -10,6 +11,10 @@ translate(CodeImage &image, const MachineConfig &config,
           const TranslateOptions &opts)
 {
     OptimizerStats stats;
+    CodeImage before;
+    const bool check = verify::postPassChecksEnabled();
+    if (check)
+        before = image;
     for (ImageBlock &block : image.blocks) {
         if (opts.optimizeAll || (opts.optimizeEnlarged && block.enlarged))
             stats.mergeFrom(optimizeBlock(block, opts.optimizer));
@@ -20,6 +25,8 @@ translate(CodeImage &image, const MachineConfig &config,
             packDynamic(block, config.issue);
     }
     validateImage(image);
+    if (check)
+        verify::postTranslationCheck(before, image);
     return stats;
 }
 

@@ -1,0 +1,145 @@
+#include "verify/diag.hh"
+
+#include <sstream>
+
+namespace fgp::verify {
+
+namespace {
+
+struct CodeInfo
+{
+    std::string_view id;
+    std::string_view name;
+};
+
+CodeInfo
+codeInfo(Code code)
+{
+    switch (code) {
+      case Code::BlockIdMismatch:
+        return {"IMG001", "block-id-mismatch"};
+      case Code::EmptyBlock:
+        return {"IMG002", "empty-block"};
+      case Code::EntryMapBroken:
+        return {"IMG003", "entry-map-broken"};
+      case Code::NonTerminalControl:
+        return {"IMG004", "non-terminal-control"};
+      case Code::BadTerminator:
+        return {"IMG005", "bad-terminator"};
+      case Code::DanglingBranchTarget:
+        return {"IMG006", "dangling-branch-target"};
+      case Code::DanglingFallthrough:
+        return {"IMG007", "dangling-fallthrough"};
+      case Code::BadFaultTarget:
+        return {"IMG008", "bad-fault-target"};
+      case Code::RegisterOutOfRange:
+        return {"IMG009", "register-out-of-range"};
+      case Code::OperandFormViolation:
+        return {"IMG010", "operand-form-violation"};
+      case Code::WordPackingBroken:
+        return {"IMG011", "word-packing-broken"};
+      case Code::NoExitPath:
+        return {"IMG012", "no-exit-path"};
+      case Code::BlockFlagMismatch:
+        return {"IMG013", "block-flag-mismatch"};
+      case Code::ScratchReadBeforeWrite:
+        return {"DF001", "scratch-read-before-write"};
+      case Code::MaybeUninitRead:
+        return {"DF002", "maybe-uninit-read"};
+      case Code::FaultOutsideEnlarged:
+        return {"BBE001", "fault-outside-enlarged"};
+      case Code::CompanionEntryReachable:
+        return {"BBE002", "companion-entry-reachable"};
+      case Code::CompanionFaultNotMutual:
+        return {"BBE003", "companion-fault-not-mutual"};
+      case Code::InstanceCapExceeded:
+        return {"BBE004", "instance-cap-exceeded"};
+      case Code::ChainPlanBroken:
+        return {"BBE005", "chain-plan-broken"};
+      case Code::RegisterEffectMismatch:
+        return {"EQ001", "register-effect-mismatch"};
+      case Code::MemoryEffectMismatch:
+        return {"EQ002", "memory-effect-mismatch"};
+      case Code::ControlEffectMismatch:
+        return {"EQ003", "control-effect-mismatch"};
+      case Code::FaultGuardMismatch:
+        return {"EQ004", "fault-guard-mismatch"};
+      case Code::ImageShapeMismatch:
+        return {"EQ005", "image-shape-mismatch"};
+    }
+    return {"???", "unknown"};
+}
+
+} // namespace
+
+std::string_view
+codeId(Code code)
+{
+    return codeInfo(code).id;
+}
+
+std::string_view
+codeName(Code code)
+{
+    return codeInfo(code).name;
+}
+
+std::string_view
+severityName(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+std::string
+Diagnostic::render() const
+{
+    std::ostringstream os;
+    os << codeId(code) << " " << severityName(severity);
+    if (!stage.empty())
+        os << " [" << stage << "]";
+    if (block >= 0)
+        os << " block " << block;
+    if (node >= 0)
+        os << " node " << node;
+    if (origPc >= 0)
+        os << " (pc " << origPc << ")";
+    os << ": " << message;
+    return os.str();
+}
+
+std::size_t
+Report::errorCount() const
+{
+    std::size_t count = 0;
+    for (const Diagnostic &diag : diags_)
+        count += diag.severity == Severity::Error;
+    return count;
+}
+
+std::size_t
+Report::warningCount() const
+{
+    return diags_.size() - errorCount();
+}
+
+std::size_t
+Report::countOf(Code code) const
+{
+    std::size_t count = 0;
+    for (const Diagnostic &diag : diags_)
+        count += diag.code == code;
+    return count;
+}
+
+std::string
+Report::renderText() const
+{
+    std::string out;
+    for (const Diagnostic &diag : diags_) {
+        out += diag.render();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace fgp::verify

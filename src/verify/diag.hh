@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Typed diagnostics for the static verifier. Every finding carries a
+ * stable code (asserted by tests and documented in docs/VERIFIER.md), a
+ * severity and a location (image stage, block, node, original pc), so
+ * that the negative-test suite can pin exact findings and the CLI can
+ * render both human and machine-readable reports.
+ */
+
+#ifndef FGP_VERIFY_DIAG_HH
+#define FGP_VERIFY_DIAG_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace fgp::verify {
+
+/** Stable diagnostic codes. The catalog lives in docs/VERIFIER.md. */
+enum class Code : std::uint8_t {
+    // IMG — structural image invariants.
+    BlockIdMismatch,        ///< IMG001 block id does not match its index
+    EmptyBlock,             ///< IMG002 block has no nodes
+    EntryMapBroken,         ///< IMG003 entry map / entry block inconsistent
+    NonTerminalControl,     ///< IMG004 control node not in terminal position
+    BadTerminator,          ///< IMG005 terminator / fall-through shape illegal
+    DanglingBranchTarget,   ///< IMG006 branch target is not a block entry
+    DanglingFallthrough,    ///< IMG007 fall-through pc is not a block entry
+    BadFaultTarget,         ///< IMG008 fault target is not a valid block id
+    RegisterOutOfRange,     ///< IMG009 register index outside the file
+    OperandFormViolation,   ///< IMG010 operand fields illegal for the form
+    WordPackingBroken,      ///< IMG011 issue words are not a valid packing
+    NoExitPath,             ///< IMG012 block cannot exit (no term/fall/sys)
+    BlockFlagMismatch,      ///< IMG013 block metadata flags inconsistent
+
+    // DF — dataflow (def-before-use).
+    ScratchReadBeforeWrite, ///< DF001 scratch register read before block def
+    MaybeUninitRead,        ///< DF002 arch register may be read uninitialized
+
+    // BBE — enlargement invariants.
+    FaultOutsideEnlarged,   ///< BBE001 fault node in a non-enlarged block
+    CompanionEntryReachable,///< BBE002 entry map routes into a companion
+    CompanionFaultNotMutual,///< BBE003 primary/companion fault edges broken
+    InstanceCapExceeded,    ///< BBE004 >max instances of an original block
+    ChainPlanBroken,        ///< BBE005 plan chain inconsistent with image
+
+    // EQ — transform-soundness (symbolic summary comparison).
+    RegisterEffectMismatch, ///< EQ001 live-out register effects differ
+    MemoryEffectMismatch,   ///< EQ002 memory write effects differ
+    ControlEffectMismatch,  ///< EQ003 exit control effects differ
+    FaultGuardMismatch,     ///< EQ004 fault guard is not the cold-arc test
+    ImageShapeMismatch,     ///< EQ005 compared images differ structurally
+};
+
+/** Stable short id, e.g. "IMG006". */
+std::string_view codeId(Code code);
+
+/** Kebab-case slug, e.g. "dangling-branch-target". */
+std::string_view codeName(Code code);
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+std::string_view severityName(Severity severity);
+
+/** One finding. */
+struct Diagnostic
+{
+    Code code;
+    Severity severity = Severity::Error;
+    std::string stage;        ///< image stage: "single", "enlarged", ...
+    std::int32_t block = -1;  ///< image block id, -1 when not block-scoped
+    std::int32_t node = -1;   ///< node index within the block, -1 if n/a
+    std::int32_t origPc = -1; ///< original instruction index, -1 if n/a
+    std::string message;
+
+    /** One human-readable line: "IMG006 error [single] block 3 ...". */
+    std::string render() const;
+};
+
+/** Accumulated findings of one verification run. */
+class Report
+{
+  public:
+    void
+    add(Diagnostic diag)
+    {
+        diags_.push_back(std::move(diag));
+    }
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    std::size_t errorCount() const;
+    std::size_t warningCount() const;
+    bool clean() const { return errorCount() == 0; }
+
+    bool hasCode(Code code) const { return countOf(code) > 0; }
+    std::size_t countOf(Code code) const;
+
+    /** All findings, one render() line each. */
+    std::string renderText() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+/** Compose-and-add helper used throughout the checkers. */
+template <typename... Args>
+void
+addDiag(Report &report, Code code, Severity severity, std::string_view stage,
+        std::int32_t block, std::int32_t node, std::int32_t orig_pc,
+        Args &&...message_parts)
+{
+    Diagnostic diag;
+    diag.code = code;
+    diag.severity = severity;
+    diag.stage = std::string(stage);
+    diag.block = block;
+    diag.node = node;
+    diag.origPc = orig_pc;
+    diag.message =
+        fgp::detail::composeMessage(std::forward<Args>(message_parts)...);
+    report.add(std::move(diag));
+}
+
+} // namespace fgp::verify
+
+#endif // FGP_VERIFY_DIAG_HH

@@ -1,0 +1,884 @@
+#include "verify/equiv.hh"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "vm/exec.hh"
+
+namespace fgp::verify {
+
+namespace {
+
+using ExprId = std::int32_t;
+
+enum class Kind : std::uint8_t {
+    Init,   ///< live-in value of a register (value = register index)
+    Const,  ///< known 32-bit constant (value)
+    Alu,    ///< op(a, b) with op in register-register root form
+    Load,   ///< load of width op from address a at memory version aux
+    Opaque, ///< syscall result (aux = origPc, value = per-state serial)
+};
+
+struct Expr
+{
+    Kind kind;
+    Opcode op = Opcode::ADD;
+    std::uint32_t value = 0;
+    ExprId a = -1;
+    ExprId b = -1;
+    std::int32_t aux = 0;
+
+    bool operator==(const Expr &other) const = default;
+};
+
+struct ExprHash
+{
+    std::size_t
+    operator()(const Expr &expr) const
+    {
+        std::size_t h = static_cast<std::size_t>(expr.kind);
+        auto mix = [&h](std::size_t v) { h = h * 1000003u ^ v; };
+        mix(static_cast<std::size_t>(expr.op));
+        mix(expr.value);
+        mix(static_cast<std::size_t>(expr.a + 1));
+        mix(static_cast<std::size_t>(expr.b + 1) << 4);
+        mix(static_cast<std::size_t>(expr.aux));
+        return h;
+    }
+};
+
+/** Register-register root of a register-immediate ALU opcode. */
+Opcode
+rriRoot(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADDI: return Opcode::ADD;
+      case Opcode::ANDI: return Opcode::AND;
+      case Opcode::ORI: return Opcode::OR;
+      case Opcode::XORI: return Opcode::XOR;
+      case Opcode::SLLI: return Opcode::SLL;
+      case Opcode::SRLI: return Opcode::SRL;
+      case Opcode::SRAI: return Opcode::SRA;
+      case Opcode::SLTI: return Opcode::SLT;
+      case Opcode::SLTIU: return Opcode::SLTU;
+      default:
+        fgp_panic("rriRoot on ", mnemonic(op));
+    }
+}
+
+bool
+isCommutativeRoot(Opcode op)
+{
+    return op == Opcode::ADD || op == Opcode::AND || op == Opcode::OR ||
+           op == Opcode::XOR;
+}
+
+/**
+ * Hash-consing arena. Canonicalization mirrors the optimizer's algebra so
+ * that an optimized block interns to the same expressions as its source:
+ * full constant folding through evalAlu, SUB-by-constant as ADD of the
+ * negation, ADD-zero collapse (copies), and operand ordering for the
+ * commutative opcodes the optimizer swaps.
+ */
+class Arena
+{
+  public:
+    ExprId
+    intern(const Expr &expr)
+    {
+        const auto [it, inserted] =
+            ids_.try_emplace(expr, static_cast<ExprId>(exprs_.size()));
+        if (inserted)
+            exprs_.push_back(expr);
+        return it->second;
+    }
+
+    Expr at(ExprId id) const { return exprs_[static_cast<std::size_t>(id)]; }
+
+    ExprId
+    constant(std::uint32_t value)
+    {
+        Expr expr{Kind::Const};
+        expr.value = value;
+        return intern(expr);
+    }
+
+    ExprId
+    init(std::uint8_t reg)
+    {
+        Expr expr{Kind::Init};
+        expr.value = reg;
+        return intern(expr);
+    }
+
+    ExprId
+    load(Opcode op, ExprId addr, std::int32_t mem_version)
+    {
+        Expr expr{Kind::Load};
+        expr.op = op;
+        expr.a = addr;
+        expr.aux = mem_version;
+        return intern(expr);
+    }
+
+    ExprId
+    opaque(std::int32_t orig_pc, std::uint32_t serial)
+    {
+        Expr expr{Kind::Opaque};
+        expr.aux = orig_pc;
+        expr.value = serial;
+        return intern(expr);
+    }
+
+    ExprId
+    makeAlu(Opcode root, ExprId a, ExprId b)
+    {
+        const Expr ea = at(a);
+        const Expr eb = at(b);
+        if (ea.kind == Kind::Const && eb.kind == Kind::Const) {
+            Node synth;
+            synth.op = root;
+            return constant(evalAlu(synth, ea.value, eb.value));
+        }
+        if (root == Opcode::SUB && eb.kind == Kind::Const)
+            return makeAlu(Opcode::ADD, a, constant(0u - eb.value));
+        if (root == Opcode::ADD) {
+            if (ea.kind == Kind::Const && ea.value == 0)
+                return b;
+            if (eb.kind == Kind::Const && eb.value == 0)
+                return a;
+        }
+        if (isCommutativeRoot(root) && b < a)
+            std::swap(a, b);
+        Expr expr{Kind::Alu};
+        expr.op = root;
+        expr.a = a;
+        expr.b = b;
+        return intern(expr);
+    }
+
+    /** Compact rendering for diagnostics, depth-capped. */
+    std::string
+    render(ExprId id, int depth = 4) const
+    {
+        if (id < 0)
+            return "<none>";
+        const Expr expr = at(id);
+        switch (expr.kind) {
+          case Kind::Init:
+            return detail::composeMessage("r", expr.value, "@in");
+          case Kind::Const:
+            return detail::composeMessage(
+                static_cast<std::int32_t>(expr.value));
+          case Kind::Alu:
+            if (depth <= 0)
+                return "...";
+            return detail::composeMessage(
+                mnemonic(expr.op), "(", render(expr.a, depth - 1), ", ",
+                render(expr.b, depth - 1), ")");
+          case Kind::Load:
+            if (depth <= 0)
+                return "...";
+            return detail::composeMessage(
+                mnemonic(expr.op), "[", render(expr.a, depth - 1), "]@m",
+                expr.aux);
+          case Kind::Opaque:
+            return detail::composeMessage("sys@", expr.aux, "#",
+                                          expr.value);
+        }
+        return "?";
+    }
+
+  private:
+    std::vector<Expr> exprs_;
+    std::unordered_map<Expr, ExprId, ExprHash> ids_;
+};
+
+/** One store or syscall, in program order. */
+struct SideEffect
+{
+    Opcode op;
+    ExprId addr = -1;  ///< stores
+    ExprId value = -1; ///< stores: the stored value
+    std::int32_t sysPc = -1;
+    std::array<ExprId, 5> args{-1, -1, -1, -1, -1}; ///< syscall inputs
+
+    bool operator==(const SideEffect &other) const = default;
+};
+
+/** One embedded fault node's guard. */
+struct Guard
+{
+    Opcode op;
+    ExprId a;
+    ExprId b;
+    std::int32_t target; ///< fault-to block id
+    std::int32_t origPc;
+};
+
+/** The block's terminal control transfer. */
+struct ExitEffect
+{
+    enum class Kind : std::uint8_t {
+        None,
+        Branch,
+        Jump,
+        JumpLink,
+        JumpReg,
+    };
+    Kind kind = Kind::None;
+    Opcode op = Opcode::J;
+    ExprId a = -1;        ///< branch operands
+    ExprId b = -1;
+    ExprId regTarget = -1; ///< JR target value
+    std::int32_t targetPc = -1;
+
+    bool operator==(const ExitEffect &other) const = default;
+};
+
+/** Symbolic machine state threaded through one block evaluation. */
+class SymState
+{
+  public:
+    explicit SymState(Arena &arena) : arena_(arena)
+    {
+        for (std::uint8_t r = 0; r < kNumRegs; ++r)
+            regs_[r] = arena.init(r);
+        regs_[kRegZero] = arena.constant(0);
+    }
+
+    ExprId
+    regValue(std::uint8_t reg) const
+    {
+        if (reg == kRegNone || reg >= kNumRegs)
+            return -1;
+        return regs_[reg];
+    }
+
+    void
+    evalNode(const Node &node)
+    {
+        switch (node.cls()) {
+          case NodeClass::IntAlu:
+            write(node.dstReg(), aluValue(node));
+            return;
+          case NodeClass::Mem:
+            evalMem(node);
+            return;
+          case NodeClass::Sys:
+            evalSys(node);
+            return;
+          case NodeClass::Fault:
+            guards_.push_back({node.op, read(node.rs1), read(node.rs2),
+                               node.target, node.origPc});
+            return;
+          case NodeClass::Control:
+            evalControl(node);
+            return;
+        }
+    }
+
+    const std::array<ExprId, kNumRegs> &regs() const { return regs_; }
+    const std::vector<SideEffect> &effects() const { return effects_; }
+    const std::vector<Guard> &guards() const { return guards_; }
+    const ExitEffect &exit() const { return exit_; }
+
+  private:
+    ExprId
+    read(std::uint8_t reg) const
+    {
+        fgp_assert(reg != kRegNone && reg < kNumRegs,
+                   "symbolic read of bad register");
+        return regs_[reg];
+    }
+
+    void
+    write(std::uint8_t reg, ExprId value)
+    {
+        if (reg != kRegNone && reg != kRegZero && reg < kNumRegs)
+            regs_[reg] = value;
+    }
+
+    ExprId
+    aluValue(const Node &node)
+    {
+        switch (opcodeInfo(node.op).form) {
+          case OperandForm::RRR:
+            return arena_.makeAlu(node.op, read(node.rs1), read(node.rs2));
+          case OperandForm::RRI:
+            return arena_.makeAlu(
+                rriRoot(node.op), read(node.rs1),
+                arena_.constant(static_cast<std::uint32_t>(node.imm)));
+          case OperandForm::RI: // LUI: value depends only on the immediate
+            return arena_.constant(evalAlu(node, 0, 0));
+          default:
+            fgp_panic("aluValue on ", mnemonic(node.op));
+        }
+    }
+
+    ExprId
+    address(const Node &node)
+    {
+        return arena_.makeAlu(
+            Opcode::ADD, read(node.rs1),
+            arena_.constant(static_cast<std::uint32_t>(node.imm)));
+    }
+
+    struct AddrParts
+    {
+        ExprId base; ///< -1 for absolute (constant) addresses
+        std::int32_t off;
+    };
+
+    AddrParts
+    decompose(ExprId addr) const
+    {
+        const Expr expr = arena_.at(addr);
+        if (expr.kind == Kind::Const)
+            return {-1, static_cast<std::int32_t>(expr.value)};
+        if (expr.kind == Kind::Alu && expr.op == Opcode::ADD) {
+            const Expr ea = arena_.at(expr.a);
+            const Expr eb = arena_.at(expr.b);
+            if (eb.kind == Kind::Const)
+                return {expr.a, static_cast<std::int32_t>(eb.value)};
+            if (ea.kind == Kind::Const)
+                return {expr.b, static_cast<std::int32_t>(ea.value)};
+        }
+        return {addr, 0};
+    }
+
+    /**
+     * True when two accesses provably touch disjoint bytes: same
+     * symbolic base, non-overlapping offset ranges (exactly the aliasing
+     * rule the optimizer's load elimination uses).
+     */
+    bool
+    definitelyDisjoint(ExprId addr_a, std::uint32_t len_a, ExprId addr_b,
+                       std::uint32_t len_b) const
+    {
+        const AddrParts pa = decompose(addr_a);
+        const AddrParts pb = decompose(addr_b);
+        if (pa.base != pb.base)
+            return false;
+        return !(pa.off < pb.off + static_cast<std::int32_t>(len_b) &&
+                 pb.off < pa.off + static_cast<std::int32_t>(len_a));
+    }
+
+    ExprId
+    loadValue(Opcode op, ExprId addr)
+    {
+        for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+            if (it->barrier)
+                return arena_.load(op, addr, it->versionAfter);
+            if (it->addr == addr && it->op == Opcode::SW &&
+                op == Opcode::LW)
+                return it->value; // store-to-load forwarding
+            if (definitelyDisjoint(addr, accessBytes(op), it->addr,
+                                   accessBytes(it->op)))
+                continue;
+            return arena_.load(op, addr, it->versionAfter);
+        }
+        return arena_.load(op, addr, 0);
+    }
+
+    void
+    evalMem(const Node &node)
+    {
+        const ExprId addr = address(node);
+        if (node.isLoad()) {
+            write(node.rd, loadValue(node.op, addr));
+            return;
+        }
+        const ExprId value = read(node.rs2);
+        SideEffect effect{node.op};
+        effect.addr = addr;
+        effect.value = value;
+        effects_.push_back(effect);
+        log_.push_back({node.op, addr, value, ++memVersion_, false});
+    }
+
+    void
+    evalSys(const Node &node)
+    {
+        SideEffect effect{node.op};
+        effect.sysPc = node.origPc;
+        std::array<std::uint8_t, 5> srcs;
+        const int nsrc = node.srcRegs(srcs);
+        for (int s = 0; s < nsrc; ++s)
+            effect.args[static_cast<std::size_t>(s)] = read(srcs[s]);
+        effects_.push_back(effect);
+        write(kRegV0, arena_.opaque(node.origPc, opaqueSerial_++));
+        log_.push_back({node.op, -1, -1, ++memVersion_, true});
+    }
+
+    void
+    evalControl(const Node &node)
+    {
+        ExitEffect exit;
+        exit.op = node.op;
+        if (isConditionalBranch(node.op)) {
+            exit.kind = ExitEffect::Kind::Branch;
+            exit.a = read(node.rs1);
+            exit.b = read(node.rs2);
+            exit.targetPc = node.target;
+        } else if (node.op == Opcode::J) {
+            exit.kind = ExitEffect::Kind::Jump;
+            exit.targetPc = node.target;
+        } else if (node.op == Opcode::JAL) {
+            exit.kind = ExitEffect::Kind::JumpLink;
+            exit.targetPc = node.target;
+            write(node.rd, arena_.constant(
+                               static_cast<std::uint32_t>(node.origPc + 1)));
+        } else { // JR
+            exit.kind = ExitEffect::Kind::JumpReg;
+            exit.regTarget = read(node.rs1);
+        }
+        exit_ = exit;
+    }
+
+    struct StoreRec
+    {
+        Opcode op;
+        ExprId addr;
+        ExprId value;
+        std::int32_t versionAfter;
+        bool barrier;
+    };
+
+    Arena &arena_;
+    std::array<ExprId, kNumRegs> regs_{};
+    std::vector<StoreRec> log_;
+    std::vector<SideEffect> effects_;
+    std::vector<Guard> guards_;
+    ExitEffect exit_;
+    std::int32_t memVersion_ = 0;
+    std::uint32_t opaqueSerial_ = 0;
+};
+
+/** Compare the architectural-register summaries (scratch is dead). */
+void
+compareRegs(const Arena &arena, const SymState &want, const SymState &got,
+            Report &report, std::string_view stage, std::int32_t block_id)
+{
+    for (std::uint8_t r = 0; r < kNumArchRegs; ++r) {
+        if (want.regs()[r] == got.regs()[r])
+            continue;
+        addDiag(report, Code::RegisterEffectMismatch, Severity::Error,
+                stage, block_id, -1, -1, "live-out r", static_cast<int>(r),
+                " differs: expected ", arena.render(want.regs()[r]),
+                ", block computes ", arena.render(got.regs()[r]));
+    }
+}
+
+void
+compareEffects(const Arena &arena, const SymState &want,
+               const SymState &got, Report &report, std::string_view stage,
+               std::int32_t block_id)
+{
+    const auto &we = want.effects();
+    const auto &ge = got.effects();
+    if (we.size() != ge.size()) {
+        addDiag(report, Code::MemoryEffectMismatch, Severity::Error, stage,
+                block_id, -1, -1, "expected ", we.size(),
+                " store/syscall effects, block performs ", ge.size());
+        return;
+    }
+    for (std::size_t i = 0; i < we.size(); ++i) {
+        if (we[i] == ge[i])
+            continue;
+        addDiag(report, Code::MemoryEffectMismatch, Severity::Error, stage,
+                block_id, -1, -1, "effect ", i, " differs: expected ",
+                mnemonic(we[i].op), " [", arena.render(we[i].addr), "] <- ",
+                arena.render(we[i].value), ", block performs ",
+                mnemonic(ge[i].op), " [", arena.render(ge[i].addr),
+                "] <- ", arena.render(ge[i].value));
+    }
+}
+
+void
+compareExit(const Arena &arena, const ExitEffect &want,
+            const ExitEffect &got, Report &report, std::string_view stage,
+            std::int32_t block_id)
+{
+    if (want == got)
+        return;
+    addDiag(report, Code::ControlEffectMismatch, Severity::Error, stage,
+            block_id, -1, -1, "exit transfer differs: expected ",
+            mnemonic(want.op), " (target pc ", want.targetPc, ", cond ",
+            arena.render(want.a), ", ", arena.render(want.b),
+            "), block exits via ", mnemonic(got.op), " (target pc ",
+            got.targetPc, ", cond ", arena.render(got.a), ", ",
+            arena.render(got.b), ")");
+}
+
+/** Exact guard comparison (op, operands, fault-to target). */
+void
+compareGuards(const Arena &arena, const std::vector<Guard> &want,
+              const std::vector<Guard> &got, Report &report,
+              std::string_view stage, std::int32_t block_id)
+{
+    if (want.size() != got.size()) {
+        addDiag(report, Code::FaultGuardMismatch, Severity::Error, stage,
+                block_id, -1, -1, "expected ", want.size(),
+                " fault guards, block carries ", got.size());
+        return;
+    }
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        const Guard &w = want[i];
+        const Guard &g = got[i];
+        if (w.op == g.op && w.a == g.a && w.b == g.b &&
+            w.target == g.target)
+            continue;
+        addDiag(report, Code::FaultGuardMismatch, Severity::Error, stage,
+                block_id, -1, g.origPc, "guard ", i,
+                " differs: expected ", mnemonic(w.op), "(",
+                arena.render(w.a), ", ", arena.render(w.b),
+                ") fault-to block ", w.target, ", block carries ",
+                mnemonic(g.op), "(", arena.render(g.a), ", ",
+                arena.render(g.b), ") fault-to block ", g.target);
+    }
+}
+
+SymState
+summarize(Arena &arena, const std::vector<Node> &nodes)
+{
+    SymState state(arena);
+    for (const Node &node : nodes)
+        state.evalNode(node);
+    return state;
+}
+
+/**
+ * True when every node can be evaluated symbolically: a known opcode and
+ * a real register behind every field its operand form uses. Blocks that
+ * fail this are already rejected by the structural verifier (IMG009/
+ * IMG010); the soundness checker merely refuses to evaluate them instead
+ * of tripping over garbage operands.
+ */
+bool
+operandsEvaluable(const std::vector<Node> &nodes)
+{
+    const auto bad = [](std::uint8_t reg) {
+        return reg == kRegNone || reg >= kNumRegs;
+    };
+    for (const Node &node : nodes) {
+        if (node.op >= Opcode::NUM_OPCODES)
+            return false;
+        const OperandUse use = operandUse(opcodeInfo(node.op).form);
+        if ((use.rd && bad(node.rd)) || (use.rs1 && bad(node.rs1)) ||
+            (use.rs2 && bad(node.rs2)))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Evaluate chain members [0, upto) with their junctions embedded, then
+ * member @p upto without its terminal (the shared prefix of the primary
+ * and of companion @p upto). Expected guards are recorded against the
+ * fault-to targets in @p guard_targets (one per conditional junction, in
+ * order). With upto == chain.size()-1 and include_last_terminal, this is
+ * the full hot path of the primary.
+ */
+void
+composeChain(const CodeImage &single, const Chain &chain, std::size_t upto,
+             bool include_last_terminal,
+             const std::vector<std::int32_t> &guard_targets,
+             SymState &state, std::vector<Guard> &expected_guards)
+{
+    std::size_t cond_seen = 0;
+    for (std::size_t i = 0; i <= upto; ++i) {
+        const ImageBlock &src = single.block(chain[i].blockId);
+        const Node *term = src.terminal();
+        const std::size_t body =
+            term ? src.nodes.size() - 1 : src.nodes.size();
+        for (std::size_t k = 0; k < body; ++k)
+            state.evalNode(src.nodes[k]);
+        if (!term)
+            continue;
+        if (i == upto) {
+            if (include_last_terminal)
+                state.evalNode(*term);
+            return;
+        }
+        switch (chain[i].kind) {
+          case JunctionKind::Uncond:
+          case JunctionKind::FallThrough:
+            break; // junction dropped: fall into the next member
+          case JunctionKind::CondHotTaken:
+          case JunctionKind::CondHotFall: {
+            // Fault exactly when the branch would leave the hot path.
+            const Opcode fault_op =
+                chain[i].kind == JunctionKind::CondHotTaken
+                    ? branchToFault(invertCondition(term->op))
+                    : branchToFault(term->op);
+            const std::int32_t target =
+                cond_seen < guard_targets.size()
+                    ? guard_targets[cond_seen]
+                    : -1;
+            expected_guards.push_back({fault_op, state.regValue(term->rs1),
+                                       state.regValue(term->rs2), target,
+                                       term->origPc});
+            ++cond_seen;
+            break;
+          }
+          case JunctionKind::End:
+            break;
+        }
+    }
+}
+
+/** Member indices (into the chain) of the conditional junctions. */
+std::vector<std::size_t>
+condJunctionMembers(const Chain &chain)
+{
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+        if (chain[i].kind == JunctionKind::CondHotTaken ||
+            chain[i].kind == JunctionKind::CondHotFall)
+            members.push_back(i);
+    return members;
+}
+
+void
+checkCompanion(const CodeImage &single, const CodeImage &enlarged,
+               const Chain &chain, std::size_t member,
+               std::size_t guard_index,
+               const std::vector<std::int32_t> &guard_targets,
+               std::int32_t primary_id, Arena &arena, Report &report,
+               std::string_view stage)
+{
+    const std::int32_t comp_id = guard_targets[guard_index];
+    const ImageBlock &primary = enlarged.block(primary_id);
+    if (comp_id < 0 ||
+        comp_id >= static_cast<std::int32_t>(enlarged.blocks.size())) {
+        addDiag(report, Code::FaultGuardMismatch, Severity::Error, stage,
+                primary_id, -1, -1, "guard ", guard_index,
+                " faults to nonexistent block ", comp_id);
+        return;
+    }
+    const ImageBlock &comp = enlarged.block(comp_id);
+    if (!comp.companion || !comp.enlarged ||
+        comp.entryPc != primary.entryPc ||
+        comp.chainLen != static_cast<std::int32_t>(member + 1)) {
+        addDiag(report, Code::FaultGuardMismatch, Severity::Error, stage,
+                primary_id, -1, -1, "guard ", guard_index,
+                " faults to block ", comp_id,
+                " which is not the matching companion (companion=",
+                comp.companion, ", entry pc ", comp.entryPc, ", chain len ",
+                comp.chainLen, ")");
+        return;
+    }
+
+    if (!operandsEvaluable(comp.nodes)) {
+        addDiag(report, Code::ImageShapeMismatch, Severity::Error, stage,
+                comp_id, -1, -1,
+                "companion contains unevaluable operands; "
+                "soundness not provable");
+        return;
+    }
+
+    const ImageBlock &src = single.block(chain[member].blockId);
+    const Node *junction = src.terminal();
+    fgp_assert(junction && isConditionalBranch(junction->op),
+               "conditional junction without branch terminal");
+
+    // Expected: shared prefix, then the cold-direction exit. The
+    // companion's own guard on this junction points back at the primary
+    // (the mutual AB/AC fault edges of Figure 1).
+    SymState want(arena);
+    std::vector<Guard> want_guards;
+    composeChain(single, chain, member, /*include_last_terminal=*/false,
+                 guard_targets, want, want_guards);
+    want_guards.push_back(
+        {chain[member].kind == JunctionKind::CondHotTaken
+             ? branchToFault(junction->op)
+             : branchToFault(invertCondition(junction->op)),
+         want.regValue(junction->rs1), want.regValue(junction->rs2),
+         primary_id, junction->origPc});
+    ExitEffect want_exit;
+    want_exit.kind = ExitEffect::Kind::Jump;
+    want_exit.op = Opcode::J;
+    want_exit.targetPc = chain[member].kind == JunctionKind::CondHotTaken
+                             ? src.fallthroughPc
+                             : junction->target;
+
+    const SymState got = summarize(arena, comp.nodes);
+    compareRegs(arena, want, got, report, stage, comp_id);
+    compareEffects(arena, want, got, report, stage, comp_id);
+    compareGuards(arena, want_guards, got.guards(), report, stage, comp_id);
+    compareExit(arena, want_exit, got.exit(), report, stage, comp_id);
+    if (comp.fallthroughPc != -1)
+        addDiag(report, Code::ControlEffectMismatch, Severity::Error, stage,
+                comp_id, -1, -1,
+                "companion must not fall through (fall-through pc ",
+                comp.fallthroughPc, ")");
+}
+
+void
+checkChain(const CodeImage &single, const CodeImage &enlarged,
+           const Chain &chain, Report &report, std::string_view stage)
+{
+    const ImageBlock &head = single.block(chain.front().blockId);
+    const auto it = enlarged.entryByPc.find(head.entryPc);
+    if (it == enlarged.entryByPc.end()) {
+        addDiag(report, Code::ChainPlanBroken, Severity::Error, stage, -1,
+                -1, head.entryPc, "chain head pc ", head.entryPc,
+                " is not mapped in the enlarged image");
+        return;
+    }
+    const std::int32_t primary_id = it->second;
+    const ImageBlock &primary = enlarged.block(primary_id);
+    if (!primary.enlarged || primary.companion ||
+        primary.chainLen != static_cast<std::int32_t>(chain.size()) ||
+        primary.entryPc != head.entryPc) {
+        addDiag(report, Code::ChainPlanBroken, Severity::Error, stage,
+                primary_id, -1, head.entryPc, "chain head pc ",
+                head.entryPc,
+                " does not map to a primary of chain length ",
+                chain.size(), " (enlarged=", primary.enlarged,
+                ", companion=", primary.companion, ", chain len ",
+                primary.chainLen, ")");
+        return;
+    }
+
+    if (!operandsEvaluable(primary.nodes)) {
+        addDiag(report, Code::ImageShapeMismatch, Severity::Error, stage,
+                primary_id, -1, head.entryPc,
+                "primary contains unevaluable operands; "
+                "soundness not provable");
+        return;
+    }
+    for (const ChainLink &link : chain) {
+        if (!operandsEvaluable(single.block(link.blockId).nodes)) {
+            addDiag(report, Code::ImageShapeMismatch, Severity::Error,
+                    stage, link.blockId, -1, -1,
+                    "chain member contains unevaluable operands; "
+                    "soundness not provable");
+            return;
+        }
+    }
+
+    Arena arena;
+    const SymState got = summarize(arena, primary.nodes);
+
+    // The primary's own fault targets tell us which block serves each
+    // conditional junction; their shape and content are then proven
+    // against the composition, so a wrong target cannot hide.
+    std::vector<std::int32_t> guard_targets;
+    guard_targets.reserve(got.guards().size());
+    for (const Guard &guard : got.guards())
+        guard_targets.push_back(guard.target);
+
+    SymState want(arena);
+    std::vector<Guard> want_guards;
+    composeChain(single, chain, chain.size() - 1,
+                 /*include_last_terminal=*/true, guard_targets, want,
+                 want_guards);
+
+    compareRegs(arena, want, got, report, stage, primary_id);
+    compareEffects(arena, want, got, report, stage, primary_id);
+    compareGuards(arena, want_guards, got.guards(), report, stage,
+                  primary_id);
+    compareExit(arena, want.exit(), got.exit(), report, stage, primary_id);
+
+    const std::int32_t want_fall =
+        single.block(chain.back().blockId).fallthroughPc;
+    if (primary.fallthroughPc != want_fall)
+        addDiag(report, Code::ControlEffectMismatch, Severity::Error, stage,
+                primary_id, -1, -1, "primary fall-through pc ",
+                primary.fallthroughPc, " differs from the chain tail's ",
+                want_fall);
+
+    const std::vector<std::size_t> cond_members = condJunctionMembers(chain);
+    if (cond_members.size() != guard_targets.size())
+        return; // guard-count mismatch already reported
+    for (std::size_t k = 0; k < cond_members.size(); ++k)
+        checkCompanion(single, enlarged, chain, cond_members[k], k,
+                       guard_targets, primary_id, arena, report, stage);
+}
+
+} // namespace
+
+void
+checkTranslationSoundness(const CodeImage &before, const CodeImage &after,
+                          Report &report, std::string_view stage)
+{
+    if (before.blocks.size() != after.blocks.size()) {
+        addDiag(report, Code::ImageShapeMismatch, Severity::Error, stage,
+                -1, -1, -1, "block count changed from ",
+                before.blocks.size(), " to ", after.blocks.size());
+        return;
+    }
+    for (std::size_t i = 0; i < before.blocks.size(); ++i) {
+        const ImageBlock &b = before.blocks[i];
+        const ImageBlock &a = after.blocks[i];
+        if (b.entryPc != a.entryPc || b.fallthroughPc != a.fallthroughPc ||
+            b.enlarged != a.enlarged || b.companion != a.companion ||
+            b.hasSyscall != a.hasSyscall || b.chainLen != a.chainLen) {
+            addDiag(report, Code::ImageShapeMismatch, Severity::Error,
+                    stage, b.id, -1, b.entryPc,
+                    "block metadata changed across translation");
+            continue;
+        }
+        if (b.nodes == a.nodes)
+            continue;
+        if (!operandsEvaluable(b.nodes) || !operandsEvaluable(a.nodes)) {
+            addDiag(report, Code::ImageShapeMismatch, Severity::Error,
+                    stage, b.id, -1, b.entryPc,
+                    "block contains unevaluable operands; "
+                    "soundness not provable");
+            continue;
+        }
+
+        Arena arena;
+        const SymState want = summarize(arena, b.nodes);
+        const SymState got = summarize(arena, a.nodes);
+        compareRegs(arena, want, got, report, stage, b.id);
+        compareEffects(arena, want, got, report, stage, b.id);
+        compareGuards(arena, want.guards(), got.guards(), report, stage,
+                      b.id);
+        compareExit(arena, want.exit(), got.exit(), report, stage, b.id);
+    }
+}
+
+void
+checkEnlargementSoundness(const CodeImage &single, const CodeImage &enlarged,
+                          const EnlargePlan &plan, Report &report,
+                          int max_instances, std::string_view stage)
+{
+    std::vector<Chain> chains;
+    chains.reserve(plan.chains.size());
+    for (std::size_t c = 0; c < plan.chains.size(); ++c) {
+        try {
+            chains.push_back(resolveChain(single, plan.chains[c]));
+        } catch (const FatalError &err) {
+            addDiag(report, Code::ChainPlanBroken, Severity::Error, stage,
+                    -1, -1, -1, "plan chain ", c,
+                    " cannot be replayed against the single image: ",
+                    err.what());
+            chains.emplace_back();
+        }
+    }
+
+    // Exact replication of the planner's instance accounting (§3.1: at
+    // most 16 copies of any original block).
+    std::unordered_map<std::int32_t, int> instances;
+    for (const Chain &chain : chains)
+        for (std::size_t j = 0; j < chain.size(); ++j)
+            instances[chain[j].blockId] += 1 + condJunctionsFrom(chain, j);
+    for (const auto &[block_id, copies] : instances)
+        if (copies > max_instances)
+            addDiag(report, Code::InstanceCapExceeded, Severity::Error,
+                    stage, block_id, -1, single.block(block_id).entryPc,
+                    "plan creates ", copies, " instances of block ",
+                    block_id, " (cap ", max_instances, ")");
+
+    for (const Chain &chain : chains)
+        if (!chain.empty())
+            checkChain(single, enlarged, chain, report, stage);
+}
+
+} // namespace fgp::verify

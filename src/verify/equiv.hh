@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Transform-soundness checker: proves, by symbolic-summary comparison,
+ * that the per-block optimizer and the basic block enlargement pass
+ * preserve program effects.
+ *
+ * A block summary is computed over a hash-consed expression arena whose
+ * canonicalization mirrors the optimizer's own algebra (constant folding
+ * through evalAlu, copy collapse, immediate strength reduction, SW->LW
+ * forwarding across provably disjoint stores). Two blocks are equivalent
+ * when their summaries — live-out architectural registers, the ordered
+ * store/syscall effect list, the fault-guard list and the exit transfer —
+ * intern to the same expressions.
+ *
+ * For enlargement, each chain of the plan is replayed over the single
+ * image: the primary must equal the composed hot path of its members,
+ * every embedded fault guard must be exactly the cold-arc test of its
+ * junction, and each companion must equal the composed prefix plus the
+ * cold exit, faulting back at the primary (Figure 1's mutual AB/AC
+ * edges).
+ */
+
+#ifndef FGP_VERIFY_EQUIV_HH
+#define FGP_VERIFY_EQUIV_HH
+
+#include "bbe/enlarge.hh"
+#include "ir/image.hh"
+#include "verify/diag.hh"
+
+namespace fgp::verify {
+
+/**
+ * Prove each block of @p after equivalent to its counterpart in
+ * @p before (same block ids). Shape differences are EQ005; effect
+ * differences are EQ001..EQ004. Blocks with bit-identical node lists
+ * are skipped.
+ */
+void checkTranslationSoundness(const CodeImage &before,
+                               const CodeImage &after, Report &report,
+                               std::string_view stage = "translated");
+
+/**
+ * Prove @p enlarged a sound enlargement of @p single under @p plan:
+ * instance caps hold (BBE004), every chain resolves and maps to a
+ * matching primary (BBE005), and primaries/companions are symbolically
+ * equivalent to their composed chains (EQ001..EQ005).
+ */
+void checkEnlargementSoundness(const CodeImage &single,
+                               const CodeImage &enlarged,
+                               const EnlargePlan &plan, Report &report,
+                               int max_instances = 16,
+                               std::string_view stage = "enlarged");
+
+} // namespace fgp::verify
+
+#endif // FGP_VERIFY_EQUIV_HH

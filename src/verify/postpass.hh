@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Mandatory post-pass assertions: the enlargement and translation passes
+ * hand their results to the verifier before returning, so a transform bug
+ * fails fast at the pass that introduced it instead of surfacing as a
+ * wrong simulation result.
+ *
+ * Default: enabled in debug builds (!NDEBUG), disabled in release; the
+ * FGP_VERIFY environment variable ("1"/"0") overrides either way.
+ * Violations throw FatalError carrying the rendered diagnostics.
+ */
+
+#ifndef FGP_VERIFY_POSTPASS_HH
+#define FGP_VERIFY_POSTPASS_HH
+
+#include "bbe/plan.hh"
+#include "ir/image.hh"
+
+namespace fgp::verify {
+
+/** Whether the passes run their post-pass checks. */
+bool postPassChecksEnabled();
+
+/** Force the post-pass checks on or off (tests; overrides FGP_VERIFY). */
+void setPostPassChecks(bool enabled);
+
+/** Drop back to the FGP_VERIFY / build-type default. */
+void resetPostPassChecks();
+
+/** RAII guard used by tests that must build deliberately broken images. */
+class ScopedPostPassChecks
+{
+  public:
+    explicit ScopedPostPassChecks(bool enabled)
+    {
+        setPostPassChecks(enabled);
+    }
+    ~ScopedPostPassChecks() { resetPostPassChecks(); }
+    ScopedPostPassChecks(const ScopedPostPassChecks &) = delete;
+    ScopedPostPassChecks &operator=(const ScopedPostPassChecks &) = delete;
+};
+
+/**
+ * Post-pass hook of applyEnlargement: structural verification of the
+ * enlarged image plus plan-aware enlargement soundness. No-op when
+ * checks are disabled; throws FatalError on any error finding.
+ */
+void postEnlargementCheck(const CodeImage &single, const CodeImage &enlarged,
+                          const EnlargePlan &plan, int max_instances);
+
+/**
+ * Post-pass hook of translate(): structural verification of the
+ * translated image plus per-block soundness against the pre-translation
+ * snapshot. No-op when checks are disabled; throws FatalError on any
+ * error finding.
+ */
+void postTranslationCheck(const CodeImage &before, const CodeImage &after);
+
+} // namespace fgp::verify
+
+#endif // FGP_VERIFY_POSTPASS_HH

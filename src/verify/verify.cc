@@ -1,0 +1,479 @@
+#include "verify/verify.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "tld/schedule.hh"
+
+namespace fgp::verify {
+
+namespace {
+
+using Mask = std::uint64_t; // one bit per register, kNumRegs <= 64
+
+constexpr Mask kAllArch = (Mask{1} << kNumArchRegs) - 1;
+
+Mask
+bit(std::uint8_t reg)
+{
+    return Mask{1} << reg;
+}
+
+/** Per-node register and operand-form legality. */
+void
+checkNodeOperands(const CodeImage &image, const ImageBlock &block,
+                  std::size_t node_idx, Report &report,
+                  std::string_view stage)
+{
+    const Node &node = block.nodes[node_idx];
+    const auto idx = static_cast<std::int32_t>(node_idx);
+
+    if (node.op >= Opcode::NUM_OPCODES) {
+        addDiag(report, Code::OperandFormViolation, Severity::Error, stage,
+                block.id, idx, node.origPc, "opcode value ",
+                static_cast<int>(node.op), " is not a node opcode");
+        return; // nothing else is decodable
+    }
+
+    const OperandUse use = operandUse(opcodeInfo(node.op).form);
+
+    auto check_reg = [&](std::uint8_t reg, bool used, const char *field) {
+        if (used) {
+            if (reg == kRegNone)
+                addDiag(report, Code::OperandFormViolation, Severity::Error,
+                        stage, block.id, idx, node.origPc, mnemonic(node.op),
+                        " requires operand ", field);
+            else if (reg >= kNumRegs)
+                addDiag(report, Code::RegisterOutOfRange, Severity::Error,
+                        stage, block.id, idx, node.origPc, field, " r",
+                        static_cast<int>(reg), " outside the ",
+                        static_cast<int>(kNumRegs), "-register file");
+        } else if (reg != kRegNone) {
+            addDiag(report, Code::OperandFormViolation, Severity::Error,
+                    stage, block.id, idx, node.origPc, mnemonic(node.op),
+                    " must leave operand ", field, " unset (found r",
+                    static_cast<int>(reg), ")");
+        }
+    };
+    check_reg(node.rd, use.rd, "rd");
+    check_reg(node.rs1, use.rs1, "rs1");
+    check_reg(node.rs2, use.rs2, "rs2");
+
+    if (!use.imm && node.imm != 0)
+        addDiag(report, Code::OperandFormViolation, Severity::Error, stage,
+                block.id, idx, node.origPc, mnemonic(node.op),
+                " must leave imm zero (found ", node.imm, ")");
+    if (use.target) {
+        if (node.target < 0)
+            addDiag(report, Code::OperandFormViolation, Severity::Error,
+                    stage, block.id, idx, node.origPc, mnemonic(node.op),
+                    " requires a target");
+    } else if (node.target != -1) {
+        addDiag(report, Code::OperandFormViolation, Severity::Error, stage,
+                block.id, idx, node.origPc, mnemonic(node.op),
+                " must leave target unset (found ", node.target, ")");
+    }
+
+    if (node.isFault()) {
+        const auto num_blocks = static_cast<std::int32_t>(image.blocks.size());
+        if (node.target < 0 || node.target >= num_blocks)
+            addDiag(report, Code::BadFaultTarget, Severity::Error, stage,
+                    block.id, idx, node.origPc, "fault target ", node.target,
+                    " is not a block id (", num_blocks, " blocks)");
+    }
+}
+
+/** Terminator placement, branch-target resolution and exit-path rules. */
+void
+checkBlockControl(const CodeImage &image, const ImageBlock &block,
+                  Report &report, std::string_view stage)
+{
+    bool has_syscall = false;
+    for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+        const Node &node = block.nodes[i];
+        has_syscall = has_syscall || node.isSys();
+        if (node.isControl() && i + 1 != block.nodes.size())
+            addDiag(report, Code::NonTerminalControl, Severity::Error, stage,
+                    block.id, static_cast<std::int32_t>(i), node.origPc,
+                    "control node ", mnemonic(node.op),
+                    " is not in terminal position");
+    }
+    if (has_syscall != block.hasSyscall)
+        addDiag(report, Code::BlockFlagMismatch, Severity::Error, stage,
+                block.id, -1, block.entryPc, "hasSyscall flag is ",
+                block.hasSyscall, " but the block ",
+                has_syscall ? "contains" : "does not contain",
+                " a system call");
+    if (block.companion && !block.enlarged)
+        addDiag(report, Code::BlockFlagMismatch, Severity::Error, stage,
+                block.id, -1, block.entryPc,
+                "companion flag set on a non-enlarged block");
+
+    auto resolves = [&](std::int32_t pc) {
+        return image.entryByPc.count(pc) != 0;
+    };
+
+    const Node *term = block.terminal();
+    const auto term_idx = static_cast<std::int32_t>(block.nodes.size()) - 1;
+    if (term) {
+        const bool conditional = isConditionalBranch(term->op);
+        if (term->target >= 0 && term->op != Opcode::JR &&
+            !resolves(term->target))
+            addDiag(report, Code::DanglingBranchTarget, Severity::Error,
+                    stage, block.id, term_idx, term->origPc,
+                    mnemonic(term->op), " target pc ", term->target,
+                    " is not a block entry");
+        if (conditional && block.fallthroughPc < 0)
+            addDiag(report, Code::BadTerminator, Severity::Error, stage,
+                    block.id, term_idx, term->origPc,
+                    "conditional terminator without a fall-through pc");
+        if (!conditional && block.fallthroughPc >= 0)
+            addDiag(report, Code::BadTerminator, Severity::Error, stage,
+                    block.id, term_idx, term->origPc, mnemonic(term->op),
+                    " terminator must not carry a fall-through pc");
+    }
+    if (block.fallthroughPc >= 0 && !resolves(block.fallthroughPc))
+        addDiag(report, Code::DanglingFallthrough, Severity::Error, stage,
+                block.id, -1, block.entryPc, "fall-through pc ",
+                block.fallthroughPc, " is not a block entry");
+    if (!term && block.fallthroughPc < 0 && !has_syscall)
+        addDiag(report, Code::NoExitPath, Severity::Error, stage, block.id,
+                -1, block.entryPc,
+                "no terminator, no fall-through and no system call: "
+                "execution would fall off the image");
+}
+
+/** Issue-word packing: every node in exactly one word, model respected. */
+void
+checkWords(const ImageBlock &block, const IssueModel *issue, Report &report,
+           std::string_view stage)
+{
+    if (block.words.empty())
+        return; // untranslated image; the packer has not run yet
+    std::vector<int> seen(block.nodes.size(), 0);
+    for (std::size_t w = 0; w < block.words.size(); ++w) {
+        const Word &word = block.words[w];
+        if (word.empty())
+            addDiag(report, Code::WordPackingBroken, Severity::Error, stage,
+                    block.id, -1, block.entryPc, "issue word ", w,
+                    " is empty");
+        for (std::uint16_t idx : word) {
+            if (idx >= block.nodes.size()) {
+                addDiag(report, Code::WordPackingBroken, Severity::Error,
+                        stage, block.id, -1, block.entryPc, "issue word ", w,
+                        " references node ", idx, " out of range");
+                continue;
+            }
+            ++seen[idx];
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        if (seen[i] != 1)
+            addDiag(report, Code::WordPackingBroken, Severity::Error, stage,
+                    block.id, static_cast<std::int32_t>(i),
+                    block.nodes[i].origPc, "node appears in ", seen[i],
+                    " issue words (expected exactly 1)");
+    if (issue && !wordsRespectModel(block, *issue))
+        addDiag(report, Code::WordPackingBroken, Severity::Error, stage,
+                block.id, -1, block.entryPc,
+                "packing violates the issue model (slot shapes or "
+                "dependence order)");
+}
+
+/** Plan-free BBE invariants: fault placement and mutual fault edges. */
+void
+checkBbeStructure(const CodeImage &image, Report &report,
+                  std::string_view stage)
+{
+    const auto num_blocks = static_cast<std::int32_t>(image.blocks.size());
+
+    auto has_fault_to = [&](const ImageBlock &from, std::int32_t to) {
+        return std::any_of(from.nodes.begin(), from.nodes.end(),
+                           [&](const Node &n) {
+                               return n.isFault() && n.target == to;
+                           });
+    };
+
+    for (const ImageBlock &block : image.blocks) {
+        bool has_return_edge = false;
+        for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+            const Node &node = block.nodes[i];
+            if (!node.isFault())
+                continue;
+            const auto idx = static_cast<std::int32_t>(i);
+            if (!block.enlarged) {
+                addDiag(report, Code::FaultOutsideEnlarged, Severity::Error,
+                        stage, block.id, idx, node.origPc,
+                        "fault node in a block not produced by enlargement");
+                continue;
+            }
+            if (node.target < 0 || node.target >= num_blocks)
+                continue; // already reported as BadFaultTarget
+            const ImageBlock &target = image.block(node.target);
+            if (target.entryPc != block.entryPc) {
+                addDiag(report, Code::CompanionFaultNotMutual,
+                        Severity::Error, stage, block.id, idx, node.origPc,
+                        "fault edge crosses chains: target block ",
+                        node.target, " enters at pc ", target.entryPc,
+                        " not ", block.entryPc);
+                continue;
+            }
+            if (!block.companion) {
+                // Primary faults must reach a companion that can fault
+                // back (Figure 1: AB and AC are mutual fault targets; a
+                // one-way edge strands the cold path or livelocks).
+                if (!target.companion)
+                    addDiag(report, Code::CompanionFaultNotMutual,
+                            Severity::Error, stage, block.id, idx,
+                            node.origPc, "primary fault target block ",
+                            node.target, " is not a companion");
+                else if (!has_fault_to(target, block.id))
+                    addDiag(report, Code::CompanionFaultNotMutual,
+                            Severity::Error, stage, block.id, idx,
+                            node.origPc, "fault edge to companion ",
+                            node.target, " has no return fault edge");
+            } else if (!target.companion) {
+                // Companion faulting back to its primary; prefix faults
+                // to earlier companions are equally legal.
+                has_return_edge = true;
+            }
+        }
+        if (block.companion && !has_return_edge)
+            addDiag(report, Code::CompanionFaultNotMutual, Severity::Error,
+                    stage, block.id, -1, block.entryPc,
+                    "companion has no fault edge back to a primary");
+    }
+
+    for (const auto &[pc, id] : image.entryByPc) {
+        if (id < 0 || id >= num_blocks)
+            continue; // reported by the entry-map check
+        if (image.block(id).companion)
+            addDiag(report, Code::CompanionEntryReachable, Severity::Error,
+                    stage, id, -1, pc,
+                    "entry map routes pc ", pc,
+                    " into a companion block (companions are reachable "
+                    "only as fault targets)");
+    }
+}
+
+/** Entry-map consistency. */
+void
+checkEntryMap(const CodeImage &image, Report &report, std::string_view stage)
+{
+    const auto num_blocks = static_cast<std::int32_t>(image.blocks.size());
+    for (const auto &[pc, id] : image.entryByPc) {
+        if (id < 0 || id >= num_blocks) {
+            addDiag(report, Code::EntryMapBroken, Severity::Error, stage, id,
+                    -1, pc, "entry map for pc ", pc, " points at bad block ",
+                    id);
+            continue;
+        }
+        if (image.block(id).entryPc != pc)
+            addDiag(report, Code::EntryMapBroken, Severity::Error, stage, id,
+                    -1, pc, "entry map for pc ", pc,
+                    " points at block with entry pc ",
+                    image.block(id).entryPc);
+    }
+    if (image.entryBlock < 0 || image.entryBlock >= num_blocks) {
+        addDiag(report, Code::EntryMapBroken, Severity::Error, stage, -1, -1,
+                -1, "image entry block ", image.entryBlock, " out of range");
+    } else if (image.prog &&
+               image.block(image.entryBlock).entryPc != image.prog->entry) {
+        addDiag(report, Code::EntryMapBroken, Severity::Error, stage,
+                image.entryBlock, -1, image.prog->entry,
+                "entry block does not begin at the program entry pc");
+    }
+}
+
+/** Registers read by @p node before it writes, as a mask. */
+Mask
+readMask(const Node &node)
+{
+    std::array<std::uint8_t, 5> srcs;
+    const int nsrc = node.srcRegs(srcs);
+    Mask mask = 0;
+    for (int s = 0; s < nsrc; ++s)
+        if (srcs[s] != kRegNone && srcs[s] < kNumRegs)
+            mask |= bit(srcs[s]);
+    return mask;
+}
+
+/**
+ * Def-before-use. Scratch registers are dead at block boundaries by the
+ * translator contract, so any upward-exposed scratch read is an error.
+ * With strictUninit, a forward may-be-uninitialized dataflow over the
+ * CFG additionally flags architectural registers that can reach a read
+ * with no prior definition on some path (warnings: the register file is
+ * zero-filled, so these reads are defined but usually unintended).
+ */
+void
+checkDefBeforeUse(const CodeImage &image, Report &report,
+                  const VerifyOptions &opts, std::string_view stage)
+{
+    const std::size_t num_blocks = image.blocks.size();
+    std::vector<Mask> upward(num_blocks, 0); // upward-exposed arch reads
+    std::vector<Mask> defs(num_blocks, 0);
+
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        const ImageBlock &block = image.blocks[b];
+        Mask defined = kAllArch; // scratch regs start undefined
+        for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+            const Node &node = block.nodes[i];
+            const Mask reads = readMask(node);
+            const Mask naked = reads & ~defined;
+            for (std::uint8_t reg = kNumArchRegs; reg < kNumRegs; ++reg) {
+                if (naked & bit(reg))
+                    addDiag(report, Code::ScratchReadBeforeWrite,
+                            Severity::Error, stage, block.id,
+                            static_cast<std::int32_t>(i), node.origPc,
+                            "scratch r", static_cast<int>(reg),
+                            " read before any definition in the block "
+                            "(scratch registers are dead at block entry)");
+            }
+            upward[b] |= reads & kAllArch & ~defs[b];
+            const std::uint8_t dst = node.dstReg();
+            if (dst != kRegNone && dst < kNumRegs) {
+                defined |= bit(dst);
+                defs[b] |= bit(dst);
+            }
+        }
+    }
+
+    if (!opts.strictUninit || image.entryBlock < 0 ||
+        image.entryBlock >= static_cast<std::int32_t>(num_blocks))
+        return;
+
+    // Forward may-be-uninitialized fixpoint. At process start only the
+    // zero register and the stack pointer carry meaningful values.
+    const Mask entry_undef =
+        kAllArch & ~(bit(kRegZero) | bit(kRegSp));
+    std::vector<Mask> undef_in(num_blocks, 0);
+    std::vector<bool> reached(num_blocks, false);
+    undef_in[static_cast<std::size_t>(image.entryBlock)] = entry_undef;
+    reached[static_cast<std::size_t>(image.entryBlock)] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+            if (!reached[b])
+                continue;
+            const Mask out = undef_in[b] & ~defs[b];
+            for (std::int32_t succ :
+                 imageSuccessors(image, static_cast<std::int32_t>(b))) {
+                auto s = static_cast<std::size_t>(succ);
+                const Mask merged = undef_in[s] | out;
+                if (!reached[s] || merged != undef_in[s]) {
+                    undef_in[s] = merged;
+                    reached[s] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (!reached[b])
+            continue;
+        const Mask suspect = upward[b] & undef_in[b];
+        if (!suspect)
+            continue;
+        for (std::uint8_t reg = 0; reg < kNumArchRegs; ++reg)
+            if (suspect & bit(reg))
+                addDiag(report, Code::MaybeUninitRead, Severity::Warning,
+                        stage, image.blocks[b].id, -1,
+                        image.blocks[b].entryPc, "r",
+                        static_cast<int>(reg),
+                        " may be read before any definition on a path "
+                        "from the entry");
+    }
+}
+
+} // namespace
+
+std::vector<std::int32_t>
+imageSuccessors(const CodeImage &image, std::int32_t block_id)
+{
+    const ImageBlock &block = image.block(block_id);
+    std::vector<std::int32_t> succs;
+    const auto num_blocks = static_cast<std::int32_t>(image.blocks.size());
+
+    auto add_pc = [&](std::int32_t pc) {
+        const auto it = image.entryByPc.find(pc);
+        if (it != image.entryByPc.end())
+            succs.push_back(it->second);
+    };
+    auto add_block = [&](std::int32_t id) {
+        if (id >= 0 && id < num_blocks)
+            succs.push_back(id);
+    };
+
+    for (const Node &node : block.nodes)
+        if (node.isFault())
+            add_block(node.target);
+
+    const Node *term = block.terminal();
+    if (!term) {
+        if (block.fallthroughPc >= 0)
+            add_pc(block.fallthroughPc);
+    } else if (term->op == Opcode::JR) {
+        // Return sites: the block after each JAL in the image.
+        for (const ImageBlock &other : image.blocks) {
+            const Node *t = other.terminal();
+            if (t && t->op == Opcode::JAL && t->origPc >= 0)
+                add_pc(t->origPc + 1);
+        }
+    } else {
+        if (term->target >= 0)
+            add_pc(term->target);
+        if (block.fallthroughPc >= 0)
+            add_pc(block.fallthroughPc);
+    }
+
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+    return succs;
+}
+
+void
+verifyImageInto(const CodeImage &image, Report &report,
+                const VerifyOptions &opts, std::string_view stage)
+{
+    if (image.blocks.empty()) {
+        addDiag(report, Code::EmptyBlock, Severity::Error, stage, -1, -1, -1,
+                "image has no blocks");
+        return;
+    }
+
+    for (std::size_t b = 0; b < image.blocks.size(); ++b) {
+        const ImageBlock &block = image.blocks[b];
+        if (block.id != static_cast<std::int32_t>(b))
+            addDiag(report, Code::BlockIdMismatch, Severity::Error, stage,
+                    static_cast<std::int32_t>(b), -1, block.entryPc,
+                    "block at index ", b, " carries id ", block.id);
+        if (block.nodes.empty()) {
+            addDiag(report, Code::EmptyBlock, Severity::Error, stage,
+                    block.id, -1, block.entryPc, "block has no nodes");
+            continue;
+        }
+        for (std::size_t i = 0; i < block.nodes.size(); ++i)
+            checkNodeOperands(image, block, i, report, stage);
+        checkBlockControl(image, block, report, stage);
+        checkWords(block, opts.issue, report, stage);
+    }
+
+    checkEntryMap(image, report, stage);
+    checkBbeStructure(image, report, stage);
+    checkDefBeforeUse(image, report, opts, stage);
+}
+
+Report
+verifyImage(const CodeImage &image, const VerifyOptions &opts,
+            std::string_view stage)
+{
+    Report report;
+    verifyImageInto(image, report, opts, stage);
+    return report;
+}
+
+} // namespace fgp::verify

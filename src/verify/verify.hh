@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structural image verifier: a static analysis pass over a CodeImage that
+ * checks CFG well-formedness (every branch/fault target resolves, no
+ * fall-through off the image, word packing and opcode/operand legality),
+ * def-before-use via a forward may-be-uninitialized dataflow over the
+ * CFG, single-terminator and fault-node placement rules, and the
+ * plan-free subset of the BBE invariants (companions are mutual fault
+ * targets, external edges enter the primary instance).
+ *
+ * All findings are reported as typed diagnostics (verify/diag.hh); no
+ * check ever mutates the image, so running the verifier cannot change a
+ * simulated schedule.
+ */
+
+#ifndef FGP_VERIFY_VERIFY_HH
+#define FGP_VERIFY_VERIFY_HH
+
+#include "arch/config.hh"
+#include "ir/image.hh"
+#include "verify/diag.hh"
+
+namespace fgp::verify {
+
+/** Verifier knobs. */
+struct VerifyOptions
+{
+    /**
+     * Issue model to hold the word packing against (slot shapes and, for
+     * static schedules, dependence order). nullptr checks only the
+     * model-independent packing invariants.
+     */
+    const IssueModel *issue = nullptr;
+
+    /**
+     * Report architectural registers that may be read before any
+     * definition on some path from the entry (warnings; the runtime
+     * zero-fills the register file, so such reads are legal but usually
+     * unintended).
+     */
+    bool strictUninit = false;
+};
+
+/**
+ * Run every structural and dataflow check over @p image, appending
+ * findings tagged with @p stage to @p report.
+ */
+void verifyImageInto(const CodeImage &image, Report &report,
+                     const VerifyOptions &opts = {},
+                     std::string_view stage = "image");
+
+/** Convenience wrapper returning a fresh report. */
+Report verifyImage(const CodeImage &image, const VerifyOptions &opts = {},
+                   std::string_view stage = "image");
+
+/**
+ * CFG successors of block @p block_id: branch targets and fall-through
+ * (through the entry map), fault-to companions, and — for register
+ * jumps — every return site (the block after each JAL). Exposed for the
+ * dataflow pass and for tests.
+ */
+std::vector<std::int32_t> imageSuccessors(const CodeImage &image,
+                                          std::int32_t block_id);
+
+} // namespace fgp::verify
+
+#endif // FGP_VERIFY_VERIFY_HH

@@ -78,7 +78,8 @@ runAtomic(const CodeImage &image, SimOS &os, SparseMemory &mem,
     };
 
     auto read_reg = [&](std::uint8_t reg) -> std::uint32_t {
-        return reg == kRegZero ? 0 : regs[reg];
+        // Unused operand slots carry kRegNone; their value is ignored.
+        return reg == kRegZero || reg >= kNumRegs ? 0 : regs[reg];
     };
     auto write_reg = [&](std::uint8_t reg, std::uint32_t value) {
         if (reg != kRegZero && reg != kRegNone)

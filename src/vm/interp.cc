@@ -31,7 +31,8 @@ interpret(const Program &prog, SimOS &os, SparseMemory &mem,
     const auto num_instrs = static_cast<std::int32_t>(prog.instrs.size());
 
     auto read_reg = [&](std::uint8_t reg) -> std::uint32_t {
-        return reg == kRegZero ? 0 : regs[reg];
+        // Unused operand slots carry kRegNone; their value is ignored.
+        return reg == kRegZero || reg >= kNumRegs ? 0 : regs[reg];
     };
     auto write_reg = [&](std::uint8_t reg, std::uint32_t value) {
         if (reg != kRegZero && reg != kRegNone)

@@ -127,7 +127,7 @@ SimOS::doWrite(std::uint32_t fd, std::uint32_t buf, std::uint32_t len,
 
 std::uint32_t
 SimOS::syscall(std::uint32_t v0, std::uint32_t a0, std::uint32_t a1,
-               std::uint32_t a2, std::uint32_t a3, const MemPorts &mem)
+               std::uint32_t a2, std::uint32_t /*a3*/, const MemPorts &mem)
 {
     ++syscallCount_;
     switch (static_cast<Sys>(v0)) {

@@ -54,7 +54,7 @@ randomLine(Rng &rng, int min_words, int max_words)
 }
 
 std::string
-assembleWith(const char *bench_asm, const std::string &name)
+assembleWith(const char *bench_asm)
 {
     return std::string(bench_asm) + "\n" + kRuntimeAsm;
 }
@@ -245,7 +245,7 @@ makeWorkload(const std::string &name)
     else
         fgp_fatal("unknown workload '", name, "'");
 
-    return Workload(name, assemble(assembleWith(source, name), name));
+    return Workload(name, assemble(assembleWith(source), name));
 }
 
 std::vector<Workload>

@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end test of the fgpsim CLI: the paper's three-stage pipeline
-# (profile -> enlargement file -> simulation) plus asm/run on a file.
+# (profile -> enlargement file -> simulation) plus asm/run on a file and
+# the static verifier (check) against its JSON schema validator.
 set -e
 FGPSIM="$1"
+CHECK_BENCH="$2"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -55,6 +57,27 @@ test "$OUT" = "hello-cli"
 # Pipeline trace subcommand emits per-cycle events.
 "$FGPSIM" trace "$TMP/echo.s" --config dyn4/8A/single \
     --stdin "$TMP/input.txt" 2> /dev/null | grep -q "retire"
+
+# Static verifier: the whole pipeline (single -> enlarged via the plan
+# from stage 2 -> translated) must verify clean.
+"$FGPSIM" check grep --config dyn4/8A/enlarged --plan "$TMP/grep.plan" \
+    > "$TMP/check.txt"
+grep -q "check passed: 0 errors" "$TMP/check.txt"
+
+# check --json validates against the fgpsim-check-v1 schema.
+"$FGPSIM" check grep --config dyn4/8A/enlarged --plan "$TMP/grep.plan" \
+    --json > "$TMP/check.json"
+sh "$CHECK_BENCH" --validate-check "$TMP/check.json"
+
+# A user-supplied file also verifies (single path: no enlargement).
+"$FGPSIM" check "$TMP/echo.s" --config dyn4/8A/single \
+    --stdin "$TMP/input.txt" | grep -q "check passed"
+
+# Strict mode still exits 0 (uninitialized-read findings are warnings)
+# and the schema holds with a non-empty diagnostics array.
+"$FGPSIM" check grep --config dyn4/8A/single --strict --json \
+    > "$TMP/check_strict.json"
+sh "$CHECK_BENCH" --validate-check "$TMP/check_strict.json"
 
 # Bad inputs fail cleanly.
 if "$FGPSIM" sim grep --config bogus 2> /dev/null; then

@@ -482,8 +482,9 @@ main:   lw   r2, 0(r1)
         bool first = true;
         for (const Word &word : block.words) {
             for (std::uint16_t idx : word) {
-                if (!first)
+                if (!first) {
                     EXPECT_GT(idx, last);
+                }
                 last = idx;
                 first = false;
             }

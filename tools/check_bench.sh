@@ -17,6 +17,12 @@
 #       breakdown, and the issue-slot accounting identity
 #       total == issued_nodes + sum(per-cause slots).
 #
+#   tools/check_bench.sh --validate-check <dump.json>
+#       Schema-validate an `fgpsim check --json` dump
+#       ("fgpsim-check-v1"): required numeric keys plus the diagnostic
+#       accounting identity — the diagnostics array must carry exactly
+#       errors + warnings entries.
+#
 # Pure POSIX sh + awk so it runs anywhere the build runs.
 set -eu
 
@@ -86,6 +92,34 @@ validate_sim() {
     echo "check_bench: $dump: sim schema OK (slot accounting closes)"
 }
 
+validate_check() {
+    dump="$1"
+    if [ ! -f "$dump" ]; then
+        echo "check_bench: check dump $dump missing" >&2
+        exit 1
+    fi
+    if ! grep -q '"schema": "fgpsim-check-v1"' "$dump"; then
+        echo "check_bench: $dump: missing schema tag fgpsim-check-v1" >&2
+        exit 1
+    fi
+    require_numeric "$dump" blocks_checked nodes_checked errors warnings
+    # Every reported finding appears exactly once in the diagnostics
+    # array (each entry carries one "code" key).
+    awk -F'[:,]' '
+        function num(s) { gsub(/[ \t]/, "", s); return s + 0 }
+        $1 ~ /"errors"/   { errors = num($2) }
+        $1 ~ /"warnings"/ { warnings = num($2) }
+        $1 ~ /"code"/     { codes += 1 }
+        END {
+            if (codes != errors + warnings) {
+                printf "check_bench: diagnostic accounting broken: %d entries != %d errors + %d warnings\n",
+                       codes, errors, warnings > "/dev/stderr"
+                exit 1
+            }
+        }' "$dump"
+    echo "check_bench: $dump: check schema OK (diagnostics close)"
+}
+
 case "${1:-}" in
     --validate-bench)
         validate_bench "${2:?usage: check_bench.sh --validate-bench <record.json>}"
@@ -93,6 +127,10 @@ case "${1:-}" in
         ;;
     --validate-sim)
         validate_sim "${2:?usage: check_bench.sh --validate-sim <dump.json>}"
+        exit 0
+        ;;
+    --validate-check)
+        validate_check "${2:?usage: check_bench.sh --validate-check <dump.json>}"
         exit 0
         ;;
 esac

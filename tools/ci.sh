@@ -1,0 +1,25 @@
+#!/bin/sh
+# Hardened CI configuration: Debug build (post-pass verifier checks on by
+# default) with AddressSanitizer + UBSan and warnings-as-errors, then the
+# full test suite. Usage:
+#
+#   tools/ci.sh [build-dir]
+#
+# The build directory defaults to build-san, kept apart from the regular
+# `build/` tree so the two configurations never share object files.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-san}"
+[ "$#" -gt 0 ] && shift
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DFGP_SANITIZE=address,undefined \
+    -DFGP_WERROR=ON
+cmake --build "$BUILD" -j "$JOBS"
+
+# Make UBSan findings fatal so ctest reports them as failures.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" "$@"

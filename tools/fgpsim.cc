@@ -18,6 +18,10 @@
  *                                              per-cycle pipeline trace
  *   fgpsim report  <src> [--config ...] [--top N] [--json]
  *                                              stall/per-block report
+ *   fgpsim check   <src> [--config ...] [--plan FILE] [--json] [--strict]
+ *                                              static verification of the
+ *                                              single/enlarged/translated
+ *                                              images (docs/VERIFIER.md)
  *
  * <src> is either the name of a built-in benchmark (sort, grep, diff,
  * cpp, compress — inputs are generated automatically) or a path to a
@@ -38,10 +42,14 @@
 #include "ir/cfg.hh"
 #include "ir/printer.hh"
 #include "obs/bus.hh"
+#include "obs/json.hh"
 #include "obs/report.hh"
 #include "obs/sinks.hh"
 #include "masm/assembler.hh"
 #include "tld/translate.hh"
+#include "verify/equiv.hh"
+#include "verify/postpass.hh"
+#include "verify/verify.hh"
 #include "vm/atomic_runner.hh"
 #include "vm/interp.hh"
 #include "vm/profile_io.hh"
@@ -71,7 +79,8 @@ usage()
 {
     std::cerr <<
         "usage: fgpsim <command> <src> [flags]\n"
-        "  commands: asm | run | profile | bbe | sim | trace | report\n"
+        "  commands: asm | run | profile | bbe | sim | trace | report |\n"
+        "            check\n"
         "  <src>: benchmark name (sort grep diff cpp compress) or .s file\n"
         "  common flags: --stdin FILE, --out FILE\n"
         "  bbe flags:    --profile FILE [--max-chain N] [--ratio R]\n"
@@ -80,7 +89,8 @@ usage()
         "                [--ras N] [--window N] [--conservative]\n"
         "                [--json] [--events FILE] [--chrome FILE]\n"
         "  trace flags:  sim flags plus --out FILE (trace destination)\n"
-        "  report flags: sim flags plus --top N (blocks in the table)\n";
+        "  report flags: sim flags plus --top N (blocks in the table)\n"
+        "  check flags:  [--config CFG] [--plan FILE] [--json] [--strict]\n";
     std::exit(2);
 }
 
@@ -362,6 +372,125 @@ cmdSim(const Options &opts, SimMode mode = SimMode::Stats)
     return r.exitCode;
 }
 
+/**
+ * Static verification pipeline: build the single image, replay the
+ * enlargement (when the config uses enlarged code) and translate, running
+ * the structural verifier and the transform-soundness checker at every
+ * stage. Exit 0 iff no error-severity diagnostics.
+ */
+int
+cmdCheck(const Options &opts)
+{
+    const Source src = resolveSource(opts);
+    const MachineConfig config =
+        parseMachineConfig(opts.get("config", "dyn4/8A/enlarged"));
+
+    // The passes' own post-pass assertions would throw on the first bad
+    // image; suspend them so every stage reports through one Report.
+    verify::ScopedPostPassChecks suspend(false);
+
+    verify::VerifyOptions vopts;
+    vopts.strictUninit = opts.has("strict");
+
+    verify::Report report;
+    std::size_t blocks_checked = 0;
+    std::size_t nodes_checked = 0;
+    auto tally = [&](const CodeImage &image) {
+        blocks_checked += image.blocks.size();
+        nodes_checked += image.totalNodes();
+    };
+
+    const CodeImage single = buildCfg(src.program);
+    verify::verifyImageInto(single, report, vopts, "single");
+    tally(single);
+
+    CodeImage image = single;
+    EnlargeStats estats;
+    if (config.branch != BranchMode::Single) {
+        EnlargePlan plan;
+        if (opts.has("plan")) {
+            plan = parsePlan(readFile(opts.get("plan")));
+        } else {
+            // No enlargement file given: profile in-process (set 1).
+            SimOS os;
+            src.prepare(os, InputSet::Profile, opts);
+            Profile profile;
+            InterpOptions iopts;
+            iopts.profile = &profile;
+            interpret(src.program, os, iopts);
+            plan = planEnlargement(single, profile, {});
+        }
+        image = applyEnlargement(single, plan, &estats);
+        verify::verifyImageInto(image, report, vopts, "enlarged");
+        verify::checkEnlargementSoundness(single, image, plan, report,
+                                          EnlargeOptions{}.maxInstances,
+                                          "enlarged");
+        tally(image);
+    }
+
+    CodeImage translated = image;
+    translate(translated, config);
+    verify::VerifyOptions topts = vopts;
+    topts.issue = &config.issue;
+    verify::verifyImageInto(translated, report, topts, "translated");
+    verify::checkTranslationSoundness(image, translated, report,
+                                      "translated");
+    tally(translated);
+
+    const std::size_t errors = report.errorCount();
+    const std::size_t warnings = report.warningCount();
+
+    if (opts.has("json")) {
+        obs::JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("schema", "fgpsim-check-v1");
+        json.field("workload", opts.source);
+        json.field("config", config.name());
+        json.field("strict", vopts.strictUninit);
+        json.field("blocks_checked",
+                   static_cast<std::uint64_t>(blocks_checked));
+        json.field("nodes_checked",
+                   static_cast<std::uint64_t>(nodes_checked));
+        json.field("errors", static_cast<std::uint64_t>(errors));
+        json.field("warnings", static_cast<std::uint64_t>(warnings));
+        json.beginArray("diagnostics");
+        for (const verify::Diagnostic &diag : report.diagnostics()) {
+            json.beginObject();
+            json.field("code", verify::codeId(diag.code));
+            json.field("name", verify::codeName(diag.code));
+            json.field("severity", verify::severityName(diag.severity));
+            json.field("stage", diag.stage);
+            json.field("block", diag.block);
+            json.field("node", diag.node);
+            json.field("orig_pc", diag.origPc);
+            json.field("message", diag.message);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        std::cout << "\n";
+    } else {
+        std::cout << "check " << opts.source << " (" << config.name()
+                  << ")\n"
+                  << "  blocks checked     " << blocks_checked << "\n"
+                  << "  nodes checked      " << nodes_checked << "\n";
+        if (config.branch != BranchMode::Single)
+            std::cout << "  enlargement        " << estats.chains
+                      << " chains, " << estats.companions
+                      << " companions, " << estats.faultNodes
+                      << " fault nodes\n";
+        if (!report.diagnostics().empty())
+            std::cout << report.renderText();
+        if (errors)
+            std::cout << "check FAILED: " << errors << " errors, "
+                      << warnings << " warnings\n";
+        else
+            std::cout << "check passed: 0 errors, " << warnings
+                      << " warnings\n";
+    }
+    return errors ? 1 : 0;
+}
+
 int
 runCli(int argc, char **argv)
 {
@@ -375,7 +504,7 @@ runCli(int argc, char **argv)
         if (!startsWith(arg, "--"))
             fgp_fatal("unexpected argument '", arg, "'");
         arg = arg.substr(2);
-        if (arg == "conservative" || arg == "json") {
+        if (arg == "conservative" || arg == "json" || arg == "strict") {
             opts.flags[arg] = "1";
         } else {
             if (i + 1 >= argc)
@@ -398,6 +527,8 @@ runCli(int argc, char **argv)
         return cmdSim(opts, SimMode::Trace);
     if (opts.command == "report")
         return cmdSim(opts, SimMode::Report);
+    if (opts.command == "check")
+        return cmdCheck(opts);
     usage();
 }
 
