@@ -17,6 +17,7 @@ main()
     banner("Figure 3", "nodes/cycle vs. issue model, memory config A");
 
     ExperimentRunner runner(envScale());
+    RunRecorder recorder("fig3", &runner);
     const MemoryConfig mem = memoryConfig('A');
 
     std::vector<std::string> header = {"series"};
@@ -30,7 +31,8 @@ main()
             configs.push_back({series.discipline, im, mem, series.branch});
     const std::vector<double> means = sweepMeans(
         runner, configs,
-        [](const ExperimentResult &r) { return r.nodesPerCycle; });
+        [](const ExperimentResult &r) { return r.nodesPerCycle; },
+        &recorder);
 
     std::size_t at = 0;
     for (const Series &series : tenSeries()) {
@@ -46,5 +48,6 @@ main()
     std::cout << "\nExpected shape (paper): little spread at narrow words;"
                  "\n  wide words separate the schemes; dyn1 ~ static;"
                  "\n  dyn4 ~ dyn256; enlarged > single; perfect on top.\n";
+    finishRun(recorder);
     return 0;
 }

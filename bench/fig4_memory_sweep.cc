@@ -17,6 +17,7 @@ main()
     banner("Figure 4", "nodes/cycle vs. memory configuration, issue model 8");
 
     ExperimentRunner runner(envScale());
+    RunRecorder recorder("fig4", &runner);
     const IssueModel issue = issueModel(8);
     const std::string order = "ADEBFGC";
 
@@ -32,7 +33,8 @@ main()
                 {series.discipline, issue, memoryConfig(mc), series.branch});
     const std::vector<double> means = sweepMeans(
         runner, configs,
-        [](const ExperimentResult &r) { return r.nodesPerCycle; });
+        [](const ExperimentResult &r) { return r.nodesPerCycle; },
+        &recorder);
 
     std::size_t at = 0;
     for (const Series &series : tenSeries()) {
@@ -49,5 +51,6 @@ main()
                  "as memory slows;\n  visible B->D dip for low-locality "
                  "benchmarks (write buffer + 1K cache vs. flat 2-cycle)."
                  "\n";
+    finishRun(recorder);
     return 0;
 }

@@ -26,6 +26,7 @@ main()
         "5E", "6E", "6F", "7F", "7G", "8G", "8E"};
 
     ExperimentRunner runner(envScale());
+    RunRecorder recorder("fig5", &runner);
 
     std::vector<std::string> header = {"benchmark"};
     for (const std::string &code : composites)
@@ -43,7 +44,9 @@ main()
                                                       BranchMode::Enlarged}});
         }
     }
-    const std::vector<ExperimentResult> results = runSweep(runner, points);
+    const std::vector<ExperimentResult> results =
+        runSweep(runner, points, 0, recorder.progress());
+    recorder.record(results);
 
     std::size_t at = 0;
     for (const std::string &workload : workloadNames()) {
@@ -57,5 +60,6 @@ main()
     std::cout << "\nExpected shape (paper): spread between benchmarks "
                  "grows with word width; low-locality benchmarks dip from "
                  "5B to 5D.\n";
+    finishRun(recorder);
     return 0;
 }

@@ -20,6 +20,7 @@ main()
            "issue model, memory config A");
 
     ExperimentRunner runner(envScale());
+    RunRecorder recorder("fig6", &runner);
     const MemoryConfig mem = memoryConfig('A');
 
     std::vector<std::string> header = {"series"};
@@ -33,7 +34,8 @@ main()
             configs.push_back({series.discipline, im, mem, series.branch});
     const std::vector<double> means = sweepMeans(
         runner, configs,
-        [](const ExperimentResult &r) { return r.engine.redundancy(); });
+        [](const ExperimentResult &r) { return r.engine.redundancy(); },
+        &recorder);
 
     std::size_t at = 0;
     for (const Series &series : tenSeries()) {
@@ -50,5 +52,6 @@ main()
                  "\n  dyn256+enlarged discards up to ~1 in 4 executed "
                  "nodes; dyn4+enlarged discards far fewer at nearly the "
                  "same performance; perfect prediction ~0.\n";
+    finishRun(recorder);
     return 0;
 }

@@ -17,6 +17,7 @@
 #include "base/table.hh"
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
+#include "harness/recorder.hh"
 
 namespace fgp::bench {
 
@@ -62,11 +63,15 @@ envScale()
  * workloadNames() order — the same order the serial
  * ExperimentRunner::meanNodesPerCycle loop used — so the printed tables
  * are byte-identical at any job count.
+ *
+ * When @p recorder is given it observes the sweep: live progress on
+ * stderr and one manifest point per (benchmark, configuration) cell.
  */
 template <typename Metric>
 inline std::vector<double>
 sweepMeans(ExperimentRunner &runner,
-           const std::vector<MachineConfig> &configs, Metric metric)
+           const std::vector<MachineConfig> &configs, Metric metric,
+           RunRecorder *recorder = nullptr)
 {
     const std::vector<std::string> &workloads = workloadNames();
     std::vector<SweepPoint> points;
@@ -75,7 +80,11 @@ sweepMeans(ExperimentRunner &runner,
         for (const std::string &workload : workloads)
             points.push_back({workload, config});
 
-    const std::vector<ExperimentResult> results = runSweep(runner, points);
+    const std::vector<ExperimentResult> results =
+        runSweep(runner, points, 0,
+                 recorder ? recorder->progress() : nullptr);
+    if (recorder)
+        recorder->record(results);
 
     std::vector<double> means;
     means.reserve(configs.size());
@@ -87,6 +96,19 @@ sweepMeans(ExperimentRunner &runner,
         means.push_back(sum / static_cast<double>(workloads.size()));
     }
     return means;
+}
+
+/**
+ * End-of-bench manifest hook: when FGP_RUN_MANIFEST names a file, the
+ * recorder's fgpsim-run-v1 manifest is written there (for `fgpsim
+ * compare`, CI perf gates, archiving).
+ */
+inline void
+finishRun(RunRecorder &recorder)
+{
+    const std::string path = recorder.writeEnvManifest();
+    if (!path.empty())
+        std::cerr << "run manifest written to " << path << "\n";
 }
 
 /** Standard header printed by every figure bench. */

@@ -22,6 +22,7 @@ main()
                 : "reduced slice (set FGP_FULL=1 for all 2800 points)");
 
     ExperimentRunner runner(envScale());
+    RunRecorder recorder("full_sweep", &runner);
 
     std::vector<MachineConfig> configs;
     if (full) {
@@ -47,8 +48,15 @@ main()
         for (const MachineConfig &config : configs)
             points.push_back({workload, config});
 
-    const std::vector<ExperimentResult> results = runSweep(runner, points);
+    const std::vector<ExperimentResult> results =
+        runSweep(runner, points, 0, recorder.progress());
+    recorder.record(results);
 
+    // Provenance comment: the fgpsim-run-v1 run record for this CSV.
+    // Consumers (tools/check_bench.sh, plotting scripts) skip '#' lines;
+    // the line varies with host/jobs/wall time, so byte-for-byte CSV
+    // comparisons across job counts must strip it first (grep -v '^#').
+    std::cout << "# " << recorder.headerLine() << "\n";
     std::cout << "benchmark,discipline,issue,memory,branch,nodes_per_cycle,"
                  "cycles,ref_nodes,redundancy,mispredicts,faults,"
                  "stall_fetch_redirect,stall_fetch_idle,stall_window_full,"
@@ -77,5 +85,6 @@ main()
               << total.windowFullSlots << ", short-word "
               << total.shortWordSlots << ", drain " << total.drainSlots
               << "\n";
+    finishRun(recorder);
     return 0;
 }

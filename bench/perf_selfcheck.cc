@@ -8,19 +8,26 @@
  * the real figure benches spend their time in.
  *
  * Knobs:
- *   FGP_JOBS       worker threads (default: hardware concurrency)
- *   FGP_SCALE      input scale (default 1.0)
- *   FGP_BENCH_OUT  output path for the JSON record (or --out <path>;
- *                  default BENCH_engine.json in the working directory)
- *   --reduced      quarter-size slice for CI smoke runs
+ *   FGP_JOBS         worker threads (default: hardware concurrency)
+ *   FGP_SCALE        input scale (default 1.0)
+ *   FGP_BENCH_OUT    output path for the JSON record (or --out <path>;
+ *                    default BENCH_engine.json in the working directory)
+ *   FGP_RUN_MANIFEST write the full fgpsim-run-v1 manifest here
+ *                    (or --manifest <path>) for `fgpsim compare`
+ *   --append <path>  append this run's fgpsim-run-v1 record to a history
+ *                    file (BENCH_history.jsonl) — one line per run, so
+ *                    the perf trajectory accumulates across commits
+ *   --reduced        quarter-size slice for CI smoke runs
  */
 
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 
 #include "base/strutil.hh"
 #include "bench/fig_common.hh"
+#include "metrics/manifest.hh"
 
 using namespace fgp;
 using namespace fgp::bench;
@@ -33,10 +40,16 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_engine.json";
     if (const char *env = std::getenv("FGP_BENCH_OUT"))
         out_path = env;
+    std::string manifest_path;
+    std::string history_path;
     bool reduced = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc)
+            manifest_path = argv[++i];
+        else if (std::strcmp(argv[i], "--append") == 0 && i + 1 < argc)
+            history_path = argv[++i];
         else if (std::strcmp(argv[i], "--reduced") == 0)
             reduced = true;
     }
@@ -81,9 +94,18 @@ main(int argc, char **argv)
     for (const std::string &workload : workloadNames())
         runner.referenceNodes(workload);
 
+    // The recorder is created after preparation so its wall clock spans
+    // only the timed sweep — the manifest's wall_seconds then gates the
+    // same region the printed numbers describe.
+    RunRecorder recorder(reduced ? "perf_selfcheck_reduced"
+                                 : "perf_selfcheck",
+                         &runner);
+
     const auto start = std::chrono::steady_clock::now();
-    const std::vector<ExperimentResult> results = runSweep(runner, points);
+    const std::vector<ExperimentResult> results =
+        runSweep(runner, points, 0, recorder.progress());
     const auto end = std::chrono::steady_clock::now();
+    recorder.record(results);
 
     const double wall =
         std::chrono::duration<double>(end - start).count();
@@ -102,12 +124,20 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(sim_cycles))
               << format("  host ns/sim cycle: %.1f\n", host_ns_per_cycle);
 
+    const std::int64_t now =
+        static_cast<std::int64_t>(std::time(nullptr));
     std::ofstream json(out_path);
     if (!json)
         fgp_fatal("cannot write ", out_path);
     json << "{\n"
          << format("  \"bench\": \"perf_selfcheck%s\",\n",
                    reduced ? "_reduced" : "")
+         << format("  \"git\": \"%s\",\n",
+                   metrics::jsonEscape(metrics::gitDescribe()).c_str())
+         << format("  \"timestamp\": %lld,\n",
+                   static_cast<long long>(now))
+         << format("  \"iso_time\": \"%s\",\n",
+                   metrics::isoTime(now).c_str())
          << format("  \"jobs\": %d,\n", jobs)
          << format("  \"scale\": %.4f,\n", scale)
          << format("  \"sims\": %zu,\n", results.size())
@@ -118,5 +148,18 @@ main(int argc, char **argv)
          << format("  \"host_ns_per_sim_cycle\": %.4f\n", host_ns_per_cycle)
          << "}\n";
     std::cout << "\nwrote " << out_path << "\n";
+
+    if (!manifest_path.empty()) {
+        std::ofstream manifest(manifest_path);
+        if (!manifest)
+            fgp_fatal("cannot write ", manifest_path);
+        recorder.writeManifest(manifest);
+        std::cout << "wrote " << manifest_path << "\n";
+    }
+    finishRun(recorder); // honors FGP_RUN_MANIFEST
+    if (!history_path.empty()) {
+        recorder.appendHistory(history_path);
+        std::cout << "appended run record to " << history_path << "\n";
+    }
     return 0;
 }

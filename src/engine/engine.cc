@@ -11,6 +11,7 @@
 #include "branch/predictor.hh"
 #include "engine/store_index.hh"
 #include "memsys/memsys.hh"
+#include "metrics/registry.hh"
 #include "obs/bus.hh"
 #include "vm/exec.hh"
 
@@ -1496,7 +1497,25 @@ EngineResult
 simulate(const CodeImage &image, SimOS &os, const EngineOptions &opts)
 {
     Engine engine{image, os, opts};
-    return engine.run();
+    EngineResult result = engine.run();
+
+    // Fold the finished run into the sweep-level registry (one batch of
+    // counter adds per simulation; the cycle loop stays untouched).
+    if (opts.metrics && opts.metrics->enabled()) {
+        metrics::Registry &m = *opts.metrics;
+        m.add("engine.sims", 1);
+        m.add("engine.cycles", result.cycles);
+        m.add("engine.retired_nodes", result.retiredNodes);
+        m.add("engine.executed_nodes", result.executedNodes);
+        m.add("engine.issued_nodes", result.issuedNodes);
+        m.add("engine.committed_blocks", result.committedBlocks);
+        m.add("engine.squashed_blocks", result.squashedBlocks);
+        m.add("engine.branches_resolved", result.branchesResolved);
+        m.add("engine.mispredicts", result.mispredicts);
+        m.add("engine.faults_fired", result.faultsFired);
+        m.add("engine.stall_slots", result.stalls.totalSlots());
+    }
+    return result;
 }
 
 } // namespace fgp

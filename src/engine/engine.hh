@@ -42,6 +42,7 @@
 namespace fgp {
 
 namespace obs { class EventBus; }
+namespace metrics { class Registry; }
 
 /** Options for one simulation. */
 struct EngineOptions
@@ -93,6 +94,14 @@ struct EngineOptions
      * engine emits several events per node.
      */
     obs::EventBus *bus = nullptr;
+
+    /**
+     * Run-level metrics registry (metrics/registry.hh). When non-null
+     * the finished simulation's headline counters are folded in under
+     * "engine.*" names — one batch of adds per simulate() call, nothing
+     * on the per-cycle paths, and never any effect on the schedule.
+     */
+    metrics::Registry *metrics = nullptr;
 };
 
 /**

@@ -1,7 +1,10 @@
 #include "harness/experiment.hh"
 
+#include <chrono>
+
 #include "base/logging.hh"
 #include "ir/cfg.hh"
+#include "metrics/registry.hh"
 #include "tld/translate.hh"
 #include "vm/atomic_runner.hh"
 #include "vm/interp.hh"
@@ -71,6 +74,7 @@ ExperimentRunner::buildPrepared(const std::string &name)
 
     // Phase 1: functional profile run on input set 1.
     {
+        metrics::ScopedTimer timer(metrics_, "host.phase.profile_ns");
         SimOS os;
         p.workload.prepareOs(os, InputSet::Profile);
         InterpOptions opts;
@@ -83,6 +87,7 @@ ExperimentRunner::buildPrepared(const std::string &name)
 
     // Golden reference on input set 2.
     {
+        metrics::ScopedTimer timer(metrics_, "host.phase.reference_ns");
         SimOS os;
         p.workload.prepareOs(os, InputSet::Measure);
         const RunResult r = interpret(p.workload.program(), os);
@@ -98,12 +103,19 @@ ExperimentRunner::buildPrepared(const std::string &name)
         p.profileHints.emplace(pc, arc.hotIsTaken());
 
     // Phase 2: images.
-    p.single = buildCfg(p.workload.program());
-    p.enlarged = enlarge(p.single, p.profile, enlargeOpts_,
-                         &p.enlargeStats);
+    {
+        metrics::ScopedTimer timer(metrics_, "host.phase.parse_ns");
+        p.single = buildCfg(p.workload.program());
+    }
+    {
+        metrics::ScopedTimer timer(metrics_, "host.phase.enlarge_ns");
+        p.enlarged = enlarge(p.single, p.profile, enlargeOpts_,
+                             &p.enlargeStats);
+    }
 
     // Committed-block trace of the enlarged image for perfect prediction.
     {
+        metrics::ScopedTimer timer(metrics_, "host.phase.trace_ns");
         SimOS os;
         p.workload.prepareOs(os, InputSet::Measure);
         AtomicRunOptions opts;
@@ -115,6 +127,8 @@ ExperimentRunner::buildPrepared(const std::string &name)
         p.perfectTrace = std::move(r.blockTrace);
     }
 
+    if (metrics_)
+        metrics_->add("harness.workloads_prepared", 1);
     return prepared;
 }
 
@@ -123,9 +137,14 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
 {
     Prepared &p = prepare(name);
 
+    const auto point_start = std::chrono::steady_clock::now();
+
     const bool enlarged_image = config.branch != BranchMode::Single;
     CodeImage image = enlarged_image ? p.enlarged : p.single;
-    translate(image, config, translateOpts_);
+    {
+        metrics::ScopedTimer timer(metrics_, "host.phase.translate_ns");
+        translate(image, config, translateOpts_);
+    }
 
     SimOS os;
     p.workload.prepareOs(os, InputSet::Measure);
@@ -143,10 +162,15 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
     opts.windowOverride = tweaks_.windowOverride;
     opts.conservativeLoads = tweaks_.conservativeLoads;
 
+    opts.metrics = metrics_;
+
     ExperimentResult result;
     result.workload = name;
     result.config = config;
-    result.engine = simulate(image, os, opts);
+    {
+        metrics::ScopedTimer timer(metrics_, "host.phase.simulate_ns");
+        result.engine = simulate(image, os, opts);
+    }
 
     // Every simulated run must reproduce the architectural results.
     if (!result.engine.exited || result.engine.exitCode != p.refExit ||
@@ -161,6 +185,12 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
         result.cycles ? static_cast<double>(p.refNodes) /
                             static_cast<double>(result.cycles)
                       : 0.0;
+    result.hostNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - point_start)
+            .count());
+    if (metrics_)
+        metrics_->add("harness.sims_done", 1);
     return result;
 }
 

@@ -32,6 +32,8 @@
 
 namespace fgp {
 
+namespace metrics { class Registry; }
+
 /** One data point. */
 struct ExperimentResult
 {
@@ -47,6 +49,13 @@ struct ExperimentResult
 
     std::uint64_t cycles = 0;
     std::uint64_t refNodes = 0;
+
+    /**
+     * Host wall time of this point's translate+simulate (nanoseconds);
+     * excludes the shared one-time per-benchmark preparation. Pure
+     * host-side observation — never feeds back into the simulation.
+     */
+    std::uint64_t hostNs = 0;
 
     EngineResult engine;
 };
@@ -109,6 +118,17 @@ class ExperimentRunner
 
     void setEngineTweaks(const EngineTweaks &tweaks) { tweaks_ = tweaks; }
 
+    /**
+     * Attach a run-level metrics registry: host phase timers
+     * (host.phase.*_ns for profile/reference/parse/enlarge/trace/
+     * translate/simulate), harness progress counters (harness.*) and the
+     * engine's per-run counter fold (engine.*) all land in it. The
+     * registry itself is thread-safe; setting it is not — configure
+     * before going parallel. Null (the default) keeps every instrumented
+     * path free.
+     */
+    void setMetrics(metrics::Registry *registry) { metrics_ = registry; }
+
     /** Mean nodes/cycle over all five benchmarks for one configuration. */
     double meanNodesPerCycle(const MachineConfig &config);
 
@@ -135,10 +155,16 @@ class ExperimentRunner
     Prepared &prepare(const std::string &workload);
     std::unique_ptr<Prepared> buildPrepared(const std::string &workload);
 
+  public:
+    /** Input scale this runner was constructed with. */
+    double scale() const { return scale_; }
+
+  private:
     double scale_;
     EnlargeOptions enlargeOpts_;
     TranslateOptions translateOpts_ = {};
     EngineTweaks tweaks_ = {};
+    metrics::Registry *metrics_ = nullptr;
     std::mutex cacheMutex_; ///< guards the cache map shape only
     std::map<std::string, std::unique_ptr<Entry>> cache_;
 };

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "base/logging.hh"
+#include "metrics/progress.hh"
 
 namespace fgp {
 
@@ -63,22 +64,39 @@ forEachIndex(std::size_t count, int jobs, Fn f)
         std::rethrow_exception(first_error);
 }
 
+/** "sort dyn4/8A/enlarged" — how progress reporting names a point. */
+std::string
+pointLabel(const SweepPoint &point)
+{
+    return point.workload + " " + point.config.name();
+}
+
 } // namespace
 
 std::vector<ExperimentResult>
 runSweep(ExperimentRunner &runner, const std::vector<SweepPoint> &points,
-         int jobs)
+         int jobs, metrics::ProgressSink *progress)
 {
     if (jobs <= 0)
         jobs = sweepJobs();
     if (jobs > static_cast<int>(points.size()))
         jobs = static_cast<int>(points.size());
 
+    if (progress)
+        progress->beginSweep(points.size());
+
     if (jobs <= 1) {
         std::vector<ExperimentResult> results;
         results.reserve(points.size());
-        for (const SweepPoint &point : points)
+        for (const SweepPoint &point : points) {
             results.push_back(runner.run(point.workload, point.config));
+            if (progress)
+                progress->pointDone(pointLabel(point),
+                                    results.back().hostNs,
+                                    results.back().cycles);
+        }
+        if (progress)
+            progress->endSweep();
         return results;
     }
 
@@ -100,7 +118,12 @@ runSweep(ExperimentRunner &runner, const std::vector<SweepPoint> &points,
     std::vector<std::optional<ExperimentResult>> slots(points.size());
     forEachIndex(points.size(), jobs, [&](std::size_t i) {
         slots[i] = runner.run(points[i].workload, points[i].config);
+        if (progress)
+            progress->pointDone(pointLabel(points[i]), slots[i]->hostNs,
+                                slots[i]->cycles);
     });
+    if (progress)
+        progress->endSweep();
 
     std::vector<ExperimentResult> results;
     results.reserve(points.size());

@@ -19,6 +19,8 @@
 
 namespace fgp {
 
+namespace metrics { class ProgressSink; }
+
 /** One (benchmark, configuration) cell of a sweep. */
 struct SweepPoint
 {
@@ -39,10 +41,17 @@ int sweepJobs();
  * serial loop with no threads, so anything printed from the results is
  * byte-identical at any job count. The first exception thrown by a point
  * stops the sweep and is rethrown on the calling thread.
+ *
+ * @p progress (optional) observes points as they complete — in
+ * completion order, from worker threads — and never influences the
+ * sweep: results are identical with and without a sink attached
+ * (asserted by tests/metrics_test.cc).
  */
 std::vector<ExperimentResult> runSweep(ExperimentRunner &runner,
                                        const std::vector<SweepPoint> &points,
-                                       int jobs = 0);
+                                       int jobs = 0,
+                                       metrics::ProgressSink *progress =
+                                           nullptr);
 
 } // namespace fgp
 

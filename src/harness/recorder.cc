@@ -1,0 +1,169 @@
+#include "harness/recorder.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "harness/parallel.hh"
+#include "metrics/manifest.hh"
+
+namespace fgp {
+
+RunRecorder::RunRecorder(std::string bench, ExperimentRunner *runner)
+    : bench_(std::move(bench)), runner_(runner),
+      progress_(metrics::makeStderrProgress()),
+      start_(std::chrono::steady_clock::now()),
+      timestamp_(static_cast<std::int64_t>(std::time(nullptr)))
+{
+    if (runner_)
+        runner_->setMetrics(&registry_);
+}
+
+RunRecorder::~RunRecorder()
+{
+    if (runner_)
+        runner_->setMetrics(nullptr);
+}
+
+void
+RunRecorder::record(const std::vector<ExperimentResult> &results)
+{
+    points_.reserve(points_.size() + results.size());
+    for (const ExperimentResult &r : results) {
+        PointSummary point;
+        point.workload = r.workload;
+        point.config = r.config.name();
+        point.nodesPerCycle = r.nodesPerCycle;
+        point.redundancy = r.engine.redundancy();
+        point.cycles = r.cycles;
+        point.refNodes = r.refNodes;
+        point.mispredicts = r.engine.mispredicts;
+        point.faultsFired = r.engine.faultsFired;
+        point.hostNs = r.hostNs;
+        point.stalls = r.engine.stalls;
+        points_.push_back(std::move(point));
+
+        if (std::find(workloads_.begin(), workloads_.end(), r.workload) ==
+            workloads_.end()) {
+            workloads_.push_back(r.workload);
+        }
+    }
+}
+
+void
+RunRecorder::finish()
+{
+    if (wallSeconds_ < 0.0) {
+        wallSeconds_ =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+    }
+}
+
+double
+RunRecorder::wallSeconds()
+{
+    finish();
+    return wallSeconds_;
+}
+
+std::string
+RunRecorder::headerLine()
+{
+    finish();
+
+    std::uint64_t sim_cycles = 0;
+    std::uint64_t host_ns = 0;
+    for (const PointSummary &point : points_) {
+        sim_cycles += point.cycles;
+        host_ns += point.hostNs;
+    }
+    const double wall = wallSeconds_;
+    const double sims = static_cast<double>(points_.size());
+
+    metrics::JsonLineWriter w;
+    w.field("schema", metrics::kRunSchema);
+    w.field("kind", "run");
+    w.field("bench", bench_);
+    w.field("git", metrics::gitDescribe());
+    w.field("timestamp", static_cast<std::uint64_t>(timestamp_));
+    w.field("iso_time", metrics::isoTime(timestamp_));
+    w.field("host", metrics::hostInfo());
+    w.field("jobs", sweepJobs());
+    w.field("scale", runner_ ? runner_->scale() : 0.0);
+    w.field("sims", static_cast<std::uint64_t>(points_.size()));
+    w.field("wall_seconds", wall);
+    w.field("sims_per_sec", wall > 0.0 ? sims / wall : 0.0);
+    w.field("sim_cycles", sim_cycles);
+    w.field("host_ns", host_ns);
+    w.field("host_ns_per_sim_cycle",
+            sim_cycles ? static_cast<double>(host_ns) /
+                             static_cast<double>(sim_cycles)
+                       : 0.0);
+    w.strings("workloads", workloads_);
+    const metrics::Snapshot snap = registry_.snapshot();
+    if (!snap.empty())
+        w.raw("metrics", snap.toJson());
+    return w.str();
+}
+
+std::string
+RunRecorder::pointLine(const PointSummary &point) const
+{
+    metrics::JsonLineWriter w;
+    w.field("kind", "point");
+    w.field("workload", point.workload);
+    w.field("config", point.config);
+    w.field("nodes_per_cycle", point.nodesPerCycle);
+    w.field("redundancy", point.redundancy);
+    w.field("cycles", point.cycles);
+    w.field("ref_nodes", point.refNodes);
+    w.field("mispredicts", point.mispredicts);
+    w.field("faults_fired", point.faultsFired);
+    w.field("host_ns", point.hostNs);
+    w.field("stall_fetch_redirect", point.stalls.fetchRedirectSlots);
+    w.field("stall_fetch_idle", point.stalls.fetchIdleSlots);
+    w.field("stall_window_full", point.stalls.windowFullSlots);
+    w.field("stall_short_word", point.stalls.shortWordSlots);
+    w.field("stall_drain", point.stalls.drainSlots);
+    w.field("stall_operand_wait", point.stalls.operandWaitNodeCycles);
+    w.field("stall_memory_wait", point.stalls.memoryWaitNodeCycles);
+    w.field("stall_serialize_wait", point.stalls.serializeWaitNodeCycles);
+    w.field("stall_fu_busy", point.stalls.fuBusyNodeCycles);
+    return w.str();
+}
+
+void
+RunRecorder::writeManifest(std::ostream &os)
+{
+    os << headerLine() << "\n";
+    for (const PointSummary &point : points_)
+        os << pointLine(point) << "\n";
+}
+
+std::string
+RunRecorder::writeEnvManifest()
+{
+    const char *path = std::getenv("FGP_RUN_MANIFEST");
+    if (!path || !*path)
+        return "";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fgp_fatal("cannot write run manifest to ", path);
+    writeManifest(out);
+    return path;
+}
+
+void
+RunRecorder::appendHistory(const std::string &path)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        fgp_fatal("cannot append run history to ", path);
+    out << headerLine() << "\n";
+}
+
+} // namespace fgp

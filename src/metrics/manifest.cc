@@ -1,0 +1,467 @@
+#include "metrics/manifest.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <utility>
+
+#include <sys/utsname.h>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace fgp::metrics {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Finite-only number rendering; JSON has no inf/nan. */
+std::string
+numberText(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    return format("%.10g", value);
+}
+
+} // namespace
+
+void
+JsonLineWriter::keyPrefix(std::string_view key)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += '"';
+    body_ += jsonEscape(key);
+    body_ += "\":";
+}
+
+JsonLineWriter &
+JsonLineWriter::field(std::string_view key, std::string_view value)
+{
+    keyPrefix(key);
+    body_ += '"';
+    body_ += jsonEscape(value);
+    body_ += '"';
+    return *this;
+}
+
+JsonLineWriter &
+JsonLineWriter::field(std::string_view key, double value)
+{
+    keyPrefix(key);
+    body_ += numberText(value);
+    return *this;
+}
+
+JsonLineWriter &
+JsonLineWriter::field(std::string_view key, std::uint64_t value)
+{
+    keyPrefix(key);
+    body_ += format("%llu", static_cast<unsigned long long>(value));
+    return *this;
+}
+
+JsonLineWriter &
+JsonLineWriter::raw(std::string_view key, std::string_view json)
+{
+    keyPrefix(key);
+    body_ += json;
+    return *this;
+}
+
+JsonLineWriter &
+JsonLineWriter::strings(std::string_view key,
+                        const std::vector<std::string> &values)
+{
+    keyPrefix(key);
+    body_ += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            body_ += ',';
+        body_ += '"';
+        body_ += jsonEscape(values[i]);
+        body_ += '"';
+    }
+    body_ += ']';
+    return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser — just enough to read the records this module
+// writes (objects, arrays, strings, numbers, booleans, null).
+
+namespace {
+
+struct Value
+{
+    enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj;
+
+    const Value *
+    find(std::string_view key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, const std::string &what)
+        : p_(text.data()), end_(text.data() + text.size()), what_(what)
+    {
+    }
+
+    Value
+    parseDocument()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (p_ != end_)
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *why)
+    {
+        fgp_fatal(what_, ": malformed JSON: ", why);
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                              *p_ == '\r'))
+            ++p_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (p_ == end_)
+            fail("unexpected end of input");
+        return *p_;
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++p_;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (static_cast<std::size_t>(end_ - p_) < lit.size() ||
+            std::string_view(p_, lit.size()) != lit)
+            return false;
+        p_ += lit.size();
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (p_ != end_ && *p_ != '"') {
+            char c = *p_++;
+            if (c == '\\') {
+                if (p_ == end_)
+                    fail("unterminated escape");
+                const char e = *p_++;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (end_ - p_ < 4)
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = *p_++;
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            fail("bad \\u escape digit");
+                    }
+                    // The writer only emits \u00xx control escapes;
+                    // anything wider is preserved as '?' rather than
+                    // growing a UTF-8 encoder here.
+                    out += code < 0x80 ? static_cast<char>(code) : '?';
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (p_ == end_)
+            fail("unterminated string");
+        ++p_; // closing quote
+        return out;
+    }
+
+    Value
+    parseValue()
+    {
+        const char c = peek();
+        Value v;
+        if (c == '{') {
+            ++p_;
+            v.kind = Value::Kind::Obj;
+            if (peek() == '}') {
+                ++p_;
+                return v;
+            }
+            for (;;) {
+                std::string key = parseString();
+                expect(':');
+                v.obj.emplace_back(std::move(key), parseValue());
+                const char next = peek();
+                ++p_;
+                if (next == '}')
+                    return v;
+                if (next != ',')
+                    fail("expected ',' or '}' in object");
+                skipWs();
+            }
+        }
+        if (c == '[') {
+            ++p_;
+            v.kind = Value::Kind::Arr;
+            if (peek() == ']') {
+                ++p_;
+                return v;
+            }
+            for (;;) {
+                v.arr.push_back(parseValue());
+                const char next = peek();
+                ++p_;
+                if (next == ']')
+                    return v;
+                if (next != ',')
+                    fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            v.kind = Value::Kind::Str;
+            v.str = parseString();
+            return v;
+        }
+        if (consumeLiteral("true")) {
+            v.kind = Value::Kind::Bool;
+            v.b = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.kind = Value::Kind::Bool;
+            v.b = false;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+
+        // Number.
+        const char *start = p_;
+        if (p_ != end_ && (*p_ == '-' || *p_ == '+'))
+            ++p_;
+        while (p_ != end_ &&
+               ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                *p_ == 'E' || *p_ == '-' || *p_ == '+'))
+            ++p_;
+        if (p_ == start)
+            fail("expected a value");
+        v.kind = Value::Kind::Num;
+        v.num = std::atof(std::string(start, p_).c_str());
+        return v;
+    }
+
+    const char *p_;
+    const char *end_;
+    const std::string &what_;
+};
+
+} // namespace
+
+RunFile
+parseRunFile(std::istream &in, const std::string &what)
+{
+    RunFile file;
+    bool sawSchema = false;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string_view trimmed = trim(line);
+        if (trimmed.empty() || trimmed.front() == '#')
+            continue;
+        const std::string where = format("%s:%zu", what.c_str(), lineno);
+        const Value v = Parser(trimmed, where).parseDocument();
+        if (v.kind != Value::Kind::Obj)
+            fgp_fatal(where, ": expected a JSON object per line");
+
+        const Value *kind = v.find("kind");
+        const std::string kindName =
+            kind && kind->kind == Value::Kind::Str ? kind->str : "";
+        if (kindName == "run") {
+            RunRecord rec;
+            for (const auto &[key, val] : v.obj) {
+                switch (val.kind) {
+                  case Value::Kind::Num:
+                    rec.nums[key] = val.num;
+                    break;
+                  case Value::Kind::Bool:
+                    rec.nums[key] = val.b ? 1.0 : 0.0;
+                    break;
+                  case Value::Kind::Str:
+                    rec.strs[key] = val.str;
+                    break;
+                  case Value::Kind::Arr: {
+                    std::vector<std::string> items;
+                    for (const Value &e : val.arr)
+                        if (e.kind == Value::Kind::Str)
+                            items.push_back(e.str);
+                    rec.strs[key] = join(items, ",");
+                    break;
+                  }
+                  case Value::Kind::Obj:
+                    if (key == "metrics")
+                        for (const auto &[mk, mv] : val.obj)
+                            if (mv.kind == Value::Kind::Num)
+                                rec.metrics[mk] = mv.num;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            if (rec.str("schema") != kRunSchema)
+                fgp_fatal(where, ": run record is not ", kRunSchema,
+                          " (schema '", rec.str("schema"), "')");
+            sawSchema = true;
+            file.runs.push_back(std::move(rec));
+        } else if (kindName == "point" || kindName == "progress") {
+            if (kindName == "progress")
+                continue; // heartbeats may be interleaved into logs
+            RunPoint point;
+            for (const auto &[key, val] : v.obj) {
+                if (val.kind == Value::Kind::Num)
+                    point.nums[key] = val.num;
+                else if (val.kind == Value::Kind::Bool)
+                    point.nums[key] = val.b ? 1.0 : 0.0;
+                else if (val.kind == Value::Kind::Str) {
+                    if (key == "workload")
+                        point.workload = val.str;
+                    else if (key == "config")
+                        point.config = val.str;
+                }
+            }
+            if (point.workload.empty() || point.config.empty())
+                fgp_fatal(where, ": point record needs workload and config");
+            file.points.push_back(std::move(point));
+        } else {
+            fgp_fatal(where, ": unknown record kind '", kindName, "'");
+        }
+    }
+    if (!sawSchema)
+        fgp_fatal(what, ": no ", kRunSchema, " run record found");
+    return file;
+}
+
+std::string
+gitDescribe()
+{
+    if (const char *env = std::getenv("FGP_GIT_DESCRIBE"))
+        return env;
+    std::string out;
+    if (FILE *pipe = popen("git describe --always --dirty 2>/dev/null", "r")) {
+        char buf[128];
+        while (std::fgets(buf, sizeof buf, pipe))
+            out += buf;
+        if (pclose(pipe) != 0)
+            out.clear();
+    }
+    const std::string_view trimmed = trim(out);
+    return trimmed.empty() ? "unknown" : std::string(trimmed);
+}
+
+std::string
+hostInfo()
+{
+    struct utsname info;
+    if (uname(&info) != 0)
+        return "unknown";
+    return std::string(info.sysname) + " " + info.machine;
+}
+
+std::string
+isoTime(std::int64_t unix_seconds)
+{
+    const std::time_t t = static_cast<std::time_t>(unix_seconds);
+    std::tm tm{};
+    if (!gmtime_r(&t, &tm))
+        return "unknown";
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace fgp::metrics

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The `fgpsim-run-v1` run manifest: a self-describing JSONL record of one
+ * sweep/bench execution, written by the benches (bench/fig_common.hh via
+ * harness/recorder.hh) and read back by `fgpsim compare`.
+ *
+ * File shape — one JSON object per line:
+ *
+ *   {"schema":"fgpsim-run-v1","kind":"run","bench":"fig3","git":...,
+ *    "timestamp":...,"jobs":...,"scale":...,"sims":...,
+ *    "wall_seconds":...,"sim_cycles":...,"host_ns_per_sim_cycle":...,
+ *    "workloads":[...],"metrics":{...}}
+ *   {"kind":"point","workload":"sort","config":"dyn4/8A/enlarged",
+ *    "nodes_per_cycle":...,"cycles":...,"host_ns":...,"stall_*":...}
+ *   ... one point line per (workload, configuration) cell ...
+ *
+ * A BENCH_history.jsonl file is the same format with only "run" lines —
+ * one appended per perf_selfcheck execution, so the perf trajectory
+ * accumulates instead of overwriting a single snapshot.
+ *
+ * This module is deliberately self-contained (fgp_base only): src/obs
+ * depends on the engine, and the engine depends on this library, so the
+ * manifest code cannot reuse obs::JsonWriter.
+ */
+
+#ifndef FGP_METRICS_MANIFEST_HH
+#define FGP_METRICS_MANIFEST_HH
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgp::metrics {
+
+/** Schema tag carried by every run header/history record. */
+inline constexpr const char *kRunSchema = "fgpsim-run-v1";
+
+/** Escape for use inside a double-quoted JSON string. */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * Builder for one compact single-line JSON object (the JSONL unit).
+ * Key order is emission order; str() closes and returns the object.
+ */
+class JsonLineWriter
+{
+  public:
+    JsonLineWriter &field(std::string_view key, std::string_view value);
+    JsonLineWriter &
+    field(std::string_view key, const char *value)
+    {
+        return field(key, std::string_view(value));
+    }
+    JsonLineWriter &field(std::string_view key, double value);
+    JsonLineWriter &field(std::string_view key, std::uint64_t value);
+    JsonLineWriter &
+    field(std::string_view key, int value)
+    {
+        return field(key, static_cast<std::uint64_t>(value));
+    }
+    /** Pre-rendered JSON value (object, array, number...). */
+    JsonLineWriter &raw(std::string_view key, std::string_view json);
+    /** Array of strings. */
+    JsonLineWriter &strings(std::string_view key,
+                            const std::vector<std::string> &values);
+
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    void keyPrefix(std::string_view key);
+    std::string body_;
+};
+
+/** One parsed "point" line: every numeric field, keyed by name. */
+struct RunPoint
+{
+    std::string workload;
+    std::string config;
+    std::map<std::string, double> nums;
+
+    /** Numeric field, or @p fallback when absent. */
+    double
+    num(const std::string &key, double fallback = 0.0) const
+    {
+        const auto it = nums.find(key);
+        return it == nums.end() ? fallback : it->second;
+    }
+};
+
+/** One parsed "run" header/history line. */
+struct RunRecord
+{
+    std::map<std::string, double> nums;
+    std::map<std::string, std::string> strs;
+    /** Flattened numeric contents of the "metrics" sub-object. */
+    std::map<std::string, double> metrics;
+
+    double
+    num(const std::string &key, double fallback = 0.0) const
+    {
+        const auto it = nums.find(key);
+        return it == nums.end() ? fallback : it->second;
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback = "") const
+    {
+        const auto it = strs.find(key);
+        return it == strs.end() ? fallback : it->second;
+    }
+};
+
+/** A whole parsed manifest / history file. */
+struct RunFile
+{
+    std::vector<RunRecord> runs;
+    std::vector<RunPoint> points;
+};
+
+/**
+ * Parse an fgpsim-run-v1 JSONL stream. Blank lines and '#' comment
+ * lines are skipped. Throws FatalError (naming @p what) on malformed
+ * JSON, on an unknown record kind, or when no "run" record carrying the
+ * fgpsim-run-v1 schema tag is present.
+ */
+RunFile parseRunFile(std::istream &in, const std::string &what);
+
+/** `git describe --always --dirty` of the working tree, or "unknown". */
+std::string gitDescribe();
+
+/** "<sysname> <machine>" host triple from uname, or "unknown". */
+std::string hostInfo();
+
+/** UTC ISO-8601 rendering ("2026-08-05T12:00:00Z") of unix seconds. */
+std::string isoTime(std::int64_t unix_seconds);
+
+} // namespace fgp::metrics
+
+#endif // FGP_METRICS_MANIFEST_HH

@@ -1,0 +1,126 @@
+#include "metrics/progress.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "base/strutil.hh"
+#include "metrics/manifest.hh"
+
+namespace fgp::metrics {
+
+StreamProgress::StreamProgress(std::ostream &os, Options opts)
+    : os_(os), opts_(opts)
+{
+}
+
+void
+StreamProgress::beginSweep(std::size_t total_points)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    total_ = total_points;
+    done_ = 0;
+    simCycles_ = 0;
+    hostNs_ = 0;
+    slowestNs_ = 0;
+    slowestLabel_.clear();
+    start_ = Clock::now();
+    lastEmit_ = start_;
+}
+
+double
+StreamProgress::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void
+StreamProgress::pointDone(std::string_view label, std::uint64_t host_ns,
+                          std::uint64_t sim_cycles)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    simCycles_ += sim_cycles;
+    hostNs_ += host_ns;
+    if (host_ns > slowestNs_) {
+        slowestNs_ = host_ns;
+        slowestLabel_ = label;
+    }
+
+    const bool final = total_ && done_ >= total_;
+    const double since =
+        std::chrono::duration<double>(Clock::now() - lastEmit_).count();
+    const double gate =
+        opts_.statusLine ? opts_.minRedrawSeconds : opts_.heartbeatSeconds;
+    if (final || since >= gate) {
+        render(false);
+        lastEmit_ = Clock::now();
+    }
+}
+
+void
+StreamProgress::render(bool final)
+{
+    const double elapsed = elapsedSeconds();
+    const double rate = elapsed > 0.0
+                            ? static_cast<double>(done_) / elapsed
+                            : 0.0;
+    const std::size_t remaining = total_ > done_ ? total_ - done_ : 0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+    const double slowest = static_cast<double>(slowestNs_) / 1e9;
+
+    if (opts_.statusLine) {
+        std::string line = format(
+            "\r[%zu/%zu] %.1f sims/s, eta %.0fs", done_, total_, rate, eta);
+        if (!slowestLabel_.empty())
+            line += format(", slowest %s (%.2fs)", slowestLabel_.c_str(),
+                           slowest);
+        // Pad so a shorter redraw fully overwrites the previous one.
+        if (line.size() < 78)
+            line.append(78 - line.size(), ' ');
+        os_ << line;
+        if (final)
+            os_ << "\n";
+        os_.flush();
+        return;
+    }
+
+    JsonLineWriter json;
+    json.field("kind", "progress")
+        .field("done", static_cast<std::uint64_t>(done_))
+        .field("total", static_cast<std::uint64_t>(total_))
+        .field("elapsed_seconds", elapsed)
+        .field("sims_per_sec", rate)
+        .field("eta_seconds", eta)
+        .field("sim_cycles", simCycles_)
+        .field("slowest", slowestLabel_)
+        .field("slowest_seconds", slowest);
+    os_ << json.str() << "\n";
+    os_.flush();
+}
+
+void
+StreamProgress::endSweep()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    render(true);
+    lastEmit_ = Clock::now();
+}
+
+std::unique_ptr<ProgressSink>
+makeStderrProgress()
+{
+    const char *env = std::getenv("FGP_PROGRESS");
+    const bool tty = isatty(STDERR_FILENO) != 0;
+    const bool on = env ? std::string_view(env) != "0" : tty;
+    if (!on)
+        return nullptr;
+    StreamProgress::Options opts;
+    opts.statusLine = tty;
+    return std::make_unique<StreamProgress>(std::cerr, opts);
+}
+
+} // namespace fgp::metrics

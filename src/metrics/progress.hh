@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Live sweep progress reporting. A ProgressSink observes points as they
+ * complete (from any worker thread); StreamProgress renders either a
+ * single rewriting status line (interactive TTYs) or periodic JSONL
+ * heartbeat records (logs, CI). Sinks are pure observers — attaching
+ * one never changes a simulation (asserted by tests/metrics_test.cc).
+ *
+ * Policy helper makeStderrProgress(): FGP_PROGRESS=0 disables, any
+ * other FGP_PROGRESS value forces reporting on, and when unset the
+ * status line appears only if stderr is a TTY (so test and pipeline
+ * output stays byte-identical).
+ */
+
+#ifndef FGP_METRICS_PROGRESS_HH
+#define FGP_METRICS_PROGRESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace fgp::metrics {
+
+/** Observer of sweep progress; all methods may race and must be safe. */
+class ProgressSink
+{
+  public:
+    virtual ~ProgressSink() = default;
+
+    /** A sweep of @p total_points is starting. */
+    virtual void beginSweep(std::size_t total_points) = 0;
+
+    /**
+     * One (workload, configuration) point finished. @p label names it
+     * ("sort dyn4/8A/enlarged"), @p host_ns is the point's host wall
+     * time, @p sim_cycles its simulated cycle count.
+     */
+    virtual void pointDone(std::string_view label, std::uint64_t host_ns,
+                           std::uint64_t sim_cycles) = 0;
+
+    /** The sweep finished (flush point). */
+    virtual void endSweep() = 0;
+};
+
+/** TTY status line / JSONL heartbeat renderer. */
+class StreamProgress : public ProgressSink
+{
+  public:
+    struct Options
+    {
+        /** Rewriting \r status line (TTY) vs. JSONL heartbeat records. */
+        bool statusLine = false;
+        /** Minimum seconds between heartbeat records. */
+        double heartbeatSeconds = 2.0;
+        /** Minimum seconds between status-line redraws. */
+        double minRedrawSeconds = 0.1;
+    };
+
+    explicit StreamProgress(std::ostream &os) : StreamProgress(os, Options()) {}
+    StreamProgress(std::ostream &os, Options opts);
+
+    void beginSweep(std::size_t total_points) override;
+    void pointDone(std::string_view label, std::uint64_t host_ns,
+                   std::uint64_t sim_cycles) override;
+    void endSweep() override;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    double elapsedSeconds() const;
+    void render(bool final);
+
+    std::mutex mu_;
+    std::ostream &os_;
+    Options opts_;
+
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+    std::uint64_t simCycles_ = 0;
+    std::uint64_t hostNs_ = 0;
+    std::uint64_t slowestNs_ = 0;
+    std::string slowestLabel_;
+    Clock::time_point start_;
+    Clock::time_point lastEmit_;
+};
+
+/**
+ * Stderr progress sink per the FGP_PROGRESS/TTY policy above; null when
+ * reporting is off.
+ */
+std::unique_ptr<ProgressSink> makeStderrProgress();
+
+} // namespace fgp::metrics
+
+#endif // FGP_METRICS_PROGRESS_HH

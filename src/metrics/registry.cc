@@ -1,0 +1,96 @@
+#include "metrics/registry.hh"
+
+#include <atomic>
+
+#include "metrics/manifest.hh"
+
+namespace fgp::metrics {
+
+Registry::Shard &
+Registry::myShard()
+{
+    // Each thread claims a slot once; distinct worker threads land on
+    // distinct shards (until kShards threads, after which they wrap),
+    // so sweep workers never contend on one mutex.
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return shards_[slot % kShards];
+}
+
+void
+Registry::add(std::string_view name, std::uint64_t delta)
+{
+    if (!enabled_)
+        return;
+    Shard &shard = myShard();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.counters.find(name);
+    if (it == shard.counters.end())
+        shard.counters.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+Registry::setGauge(std::string_view name, double value)
+{
+    if (!enabled_)
+        return;
+    Shard &shard = myShard();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.gauges.find(name);
+    if (it == shard.gauges.end())
+        shard.gauges.emplace(std::string(name), value);
+    else
+        it->second = value;
+}
+
+void
+Registry::recordTimeNs(std::string_view name, std::uint64_t ns)
+{
+    if (!enabled_)
+        return;
+    Shard &shard = myShard();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.timers.find(name);
+    TimerStat observation{1, ns, ns};
+    if (it == shard.timers.end())
+        shard.timers.emplace(std::string(name), observation);
+    else
+        it->second.mergeFrom(observation);
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot snap;
+    for (const Shard &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[name, value] : shard.counters)
+            snap.counters[name] += value;
+        for (const auto &[name, value] : shard.gauges)
+            snap.gauges[name] = value;
+        for (const auto &[name, stat] : shard.timers)
+            snap.timers[name].mergeFrom(stat);
+    }
+    return snap;
+}
+
+std::string
+Snapshot::toJson() const
+{
+    JsonLineWriter json;
+    for (const auto &[name, value] : counters)
+        json.field(name, value);
+    for (const auto &[name, value] : gauges)
+        json.field(name, value);
+    for (const auto &[name, stat] : timers) {
+        json.field(name, stat.totalNs);
+        json.field(name + ".count", stat.count);
+        json.field(name + ".max", stat.maxNs);
+    }
+    return json.str();
+}
+
+} // namespace fgp::metrics

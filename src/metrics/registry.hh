@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Run-level metrics registry: typed counters, gauges and timers with
+ * hierarchical dotted names ("engine.retired_nodes",
+ * "host.phase.translate_ns"). Complements the per-simulation
+ * observability in src/obs — an obs::EventBus narrates ONE simulation,
+ * a metrics::Registry aggregates across a whole sweep of them.
+ *
+ * Concurrency: writers go through per-thread shards (each worker thread
+ * hashes to its own shard, so FGP_JOBS-parallel sweeps aggregate without
+ * contention); snapshot() merges the shards. Counter merging is a sum,
+ * so a snapshot is identical whether the same work ran on 1 or N
+ * threads (asserted by tests/metrics_test.cc).
+ *
+ * Cost: a disabled registry (or a null Registry*) returns before taking
+ * any lock or allocating anything, and ScopedTimer skips the clock reads
+ * entirely, so instrumented code paths are free when observability is
+ * off.
+ */
+
+#ifndef FGP_METRICS_REGISTRY_HH
+#define FGP_METRICS_REGISTRY_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace fgp::metrics {
+
+/** Aggregated timer: number of observations, total and max duration. */
+struct TimerStat
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t maxNs = 0;
+
+    void
+    mergeFrom(const TimerStat &other)
+    {
+        count += other.count;
+        totalNs += other.totalNs;
+        if (other.maxNs > maxNs)
+            maxNs = other.maxNs;
+    }
+};
+
+/** Point-in-time copy of a registry's contents, ordered by name. */
+struct Snapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, TimerStat> timers;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() && timers.empty();
+    }
+
+    /**
+     * Compact one-line JSON object: counters as integers, gauges as
+     * numbers, each timer flattened to <name>, <name>.count and
+     * <name>.max (nanoseconds). Deterministic key order.
+     */
+    std::string toJson() const;
+};
+
+/**
+ * The registry proper. add()/setGauge()/recordTimeNs() are safe to call
+ * from any number of threads; construction, snapshot() and enabled()
+ * toggling are for the coordinating thread.
+ *
+ * Gauges are last-writer-wins and intended for single-writer facts
+ * (scale, jobs); concurrent writers of one gauge would merge in shard
+ * order, not program order.
+ */
+class Registry
+{
+  public:
+    explicit Registry(bool enabled = true) : enabled_(enabled) {}
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    bool enabled() const { return enabled_; }
+
+    /** Add @p delta to the counter @p name (created at zero). */
+    void add(std::string_view name, std::uint64_t delta = 1);
+
+    /** Set the gauge @p name (last writer wins). */
+    void setGauge(std::string_view name, double value);
+
+    /** Record one timed observation of @p ns nanoseconds. */
+    void recordTimeNs(std::string_view name, std::uint64_t ns);
+
+    /** Merge every shard into one ordered snapshot. */
+    Snapshot snapshot() const;
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::map<std::string, std::uint64_t, std::less<>> counters;
+        std::map<std::string, double, std::less<>> gauges;
+        std::map<std::string, TimerStat, std::less<>> timers;
+    };
+
+    Shard &myShard();
+
+    bool enabled_;
+    std::array<Shard, kShards> shards_;
+};
+
+/**
+ * RAII phase timer: records the scope's wall duration into
+ * @p registry under @p name on destruction. A null or disabled registry
+ * makes construction and destruction free (no clock reads).
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(Registry *registry, const char *name)
+        : registry_(registry && registry->enabled() ? registry : nullptr),
+          name_(name)
+    {
+        if (registry_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (!registry_)
+            return;
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        registry_->recordTimeNs(
+            name_,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()));
+    }
+
+  private:
+    Registry *registry_;
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace fgp::metrics
+
+#endif // FGP_METRICS_REGISTRY_HH

@@ -79,9 +79,53 @@ sh "$CHECK_BENCH" --validate-check "$TMP/check.json"
     > "$TMP/check_strict.json"
 sh "$CHECK_BENCH" --validate-check "$TMP/check_strict.json"
 
+# fgpsim compare: handcrafted fgpsim-run-v1 manifests. A run compared
+# to itself is clean; an IPC drop or a wall-time blowup past tolerance
+# exits nonzero (the CI perf gate contract).
+cat > "$TMP/run_a.jsonl" <<'JSONL'
+{"schema":"fgpsim-run-v1","kind":"run","bench":"t","git":"abc","timestamp":1,"jobs":1,"scale":1,"sims":2,"wall_seconds":1.0,"sim_cycles":1000,"host_ns_per_sim_cycle":100}
+{"kind":"point","workload":"sort","config":"dyn4/8A/enlarged","nodes_per_cycle":2.0,"cycles":500,"host_ns":1000}
+{"kind":"point","workload":"grep","config":"dyn4/8A/enlarged","nodes_per_cycle":1.0,"cycles":500,"host_ns":1000}
+JSONL
+sh "$CHECK_BENCH" --validate-run "$TMP/run_a.jsonl"
+"$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_a.jsonl" > /dev/null
+
+# A 20% IPC drop on one point regresses at the default 10% tolerance...
+sed 's/"nodes_per_cycle":2.0/"nodes_per_cycle":1.6/' "$TMP/run_a.jsonl" \
+    > "$TMP/run_ipc.jsonl"
+if "$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_ipc.jsonl" > /dev/null
+then
+    echo "expected IPC regression" >&2
+    exit 1
+fi
+# ...and is tolerated at 25%.
+"$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_ipc.jsonl" \
+    --tolerance 25% > /dev/null
+
+# Doubled wall time: regression, unless --wall-tolerance is loosened.
+sed 's/"wall_seconds":1.0/"wall_seconds":2.0/' "$TMP/run_a.jsonl" \
+    > "$TMP/run_wall.jsonl"
+if "$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_wall.jsonl" > /dev/null
+then
+    echo "expected wall-time regression" >&2
+    exit 1
+fi
+"$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_wall.jsonl" \
+    --wall-tolerance 150% > /dev/null
+
+# --json output carries the compare schema and the verdict.
+"$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_a.jsonl" --json \
+    > "$TMP/compare.json"
+grep -q '"schema": "fgpsim-compare-v1"' "$TMP/compare.json"
+grep -q '"regressed": false' "$TMP/compare.json"
+
 # Bad inputs fail cleanly.
 if "$FGPSIM" sim grep --config bogus 2> /dev/null; then
     echo "expected failure on bogus config" >&2
+    exit 1
+fi
+if "$FGPSIM" compare "$TMP/run_a.jsonl" 2> /dev/null; then
+    echo "expected failure on compare with one file" >&2
     exit 1
 fi
 echo "cli test ok"

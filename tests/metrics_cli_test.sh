@@ -1,0 +1,48 @@
+#!/bin/sh
+# End-to-end run-level observability: bench/perf_selfcheck emits an
+# fgpsim-run-v1 manifest (--manifest / FGP_RUN_MANIFEST) and appends its
+# run record to a history file (--append); tools/check_bench.sh
+# schema-validates both; `fgpsim compare` joins two real runs and gates.
+set -e
+PERF="$1"
+FGPSIM="$2"
+CHECK_BENCH="$3"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Keep the runs small and the output stream-friendly.
+FGP_SCALE="${FGP_SCALE:-0.05}"
+export FGP_SCALE
+export FGP_PROGRESS=0
+
+# Run 1: explicit --manifest + --append.
+"$PERF" --reduced --out "$TMP/bench1.json" \
+    --manifest "$TMP/run1.jsonl" --append "$TMP/history.jsonl" \
+    > "$TMP/perf1.log"
+sh "$CHECK_BENCH" --validate-bench "$TMP/bench1.json"
+sh "$CHECK_BENCH" --validate-run "$TMP/run1.jsonl"
+sh "$CHECK_BENCH" --validate-run "$TMP/history.jsonl"
+test "$(wc -l < "$TMP/history.jsonl")" = 1
+
+# The self-check record now carries provenance.
+grep -q '"git"' "$TMP/bench1.json"
+grep -q '"timestamp"' "$TMP/bench1.json"
+grep -q '"iso_time"' "$TMP/bench1.json"
+
+# Run 2: the manifest path can come from the environment instead.
+FGP_RUN_MANIFEST="$TMP/run2.jsonl" \
+    "$PERF" --reduced --out "$TMP/bench2.json" \
+    --append "$TMP/history.jsonl" > "$TMP/perf2.log"
+sh "$CHECK_BENCH" --validate-run "$TMP/run2.jsonl"
+test "$(wc -l < "$TMP/history.jsonl")" = 2
+
+# Self-comparison is trivially clean.
+"$FGPSIM" compare "$TMP/run1.jsonl" "$TMP/run1.jsonl" > /dev/null
+
+# Two runs of the same build: IPC is deterministic, so even a 0.01%
+# tolerance holds; wall time is host noise, so it gets a huge allowance.
+"$FGPSIM" compare "$TMP/run1.jsonl" "$TMP/run2.jsonl" \
+    --tolerance 0.01% --wall-tolerance 100000% > "$TMP/compare.log"
+grep -q "compare: ok" "$TMP/compare.log"
+
+echo "metrics cli test ok"

@@ -1,0 +1,417 @@
+/**
+ * Run-level observability tests (src/metrics + harness wiring):
+ *
+ *  - registry determinism: the merged snapshot is identical whether the
+ *    same work ran on one thread or many (counter merging is a sum);
+ *  - timer aggregation (count/total/max) and ScopedTimer behavior;
+ *  - a disabled registry allocates nothing — the zero-cost-when-off
+ *    guarantee, checked with a counting global operator new;
+ *  - JsonLineWriter -> parseRunFile round trip of the fgpsim-run-v1
+ *    manifest, including '#' comment skipping and malformed input;
+ *  - no interference: attaching a metrics registry and a progress sink
+ *    leaves the simulated schedule bit-identical, at the engine level
+ *    and through a full ExperimentRunner sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "engine/engine.hh"
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "ir/cfg.hh"
+#include "masm/assembler.hh"
+#include "metrics/manifest.hh"
+#include "metrics/progress.hh"
+#include "metrics/registry.hh"
+#include "tld/translate.hh"
+
+// Counting global allocator for the zero-alloc test. Every counted form
+// funnels through malloc so the override composes with sanitizers.
+static std::atomic<std::uint64_t> g_allocCount{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace fgp {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+/** The reference workload: what one "job" contributes to the registry. */
+void
+contribute(metrics::Registry &registry, int job)
+{
+    for (int i = 0; i <= job; ++i) {
+        registry.add("engine.sims");
+        registry.add("engine.cycles", 100 + static_cast<std::uint64_t>(job));
+        registry.recordTimeNs("host.phase.simulate_ns",
+                              10 + static_cast<std::uint64_t>(i));
+    }
+    registry.setGauge("run.scale", 0.25);
+}
+
+TEST(MetricsRegistry, SnapshotIdenticalSerialVsThreaded)
+{
+    constexpr int kJobs = 8;
+
+    metrics::Registry serial;
+    for (int job = 0; job < kJobs; ++job)
+        contribute(serial, job);
+
+    metrics::Registry threaded;
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kJobs);
+        for (int job = 0; job < kJobs; ++job)
+            threads.emplace_back([&threaded, job] {
+                contribute(threaded, job);
+            });
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    const metrics::Snapshot a = serial.snapshot();
+    const metrics::Snapshot b = threaded.snapshot();
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.gauges, b.gauges);
+    ASSERT_EQ(a.timers.size(), b.timers.size());
+    for (const auto &[name, stat] : a.timers) {
+        const auto it = b.timers.find(name);
+        ASSERT_NE(it, b.timers.end()) << name;
+        EXPECT_EQ(stat.count, it->second.count) << name;
+        EXPECT_EQ(stat.totalNs, it->second.totalNs) << name;
+        EXPECT_EQ(stat.maxNs, it->second.maxNs) << name;
+    }
+    EXPECT_EQ(a.toJson(), b.toJson());
+
+    // Sanity on the merged values themselves.
+    EXPECT_EQ(a.counters.at("engine.sims"),
+              static_cast<std::uint64_t>(kJobs * (kJobs + 1) / 2));
+    EXPECT_EQ(a.gauges.at("run.scale"), 0.25);
+}
+
+TEST(MetricsRegistry, TimerAggregation)
+{
+    metrics::Registry registry;
+    registry.recordTimeNs("t", 5);
+    registry.recordTimeNs("t", 7);
+
+    const metrics::Snapshot snap = registry.snapshot();
+    const metrics::TimerStat &stat = snap.timers.at("t");
+    EXPECT_EQ(stat.count, 2u);
+    EXPECT_EQ(stat.totalNs, 12u);
+    EXPECT_EQ(stat.maxNs, 7u);
+}
+
+TEST(MetricsRegistry, ScopedTimerRecordsElapsed)
+{
+    metrics::Registry registry;
+    {
+        metrics::ScopedTimer timer(&registry, "scope_ns");
+    }
+    const metrics::Snapshot snap = registry.snapshot();
+    const metrics::TimerStat &stat = snap.timers.at("scope_ns");
+    EXPECT_EQ(stat.count, 1u);
+    EXPECT_GE(stat.maxNs, 0u);
+    EXPECT_GE(stat.totalNs, stat.maxNs);
+}
+
+TEST(MetricsRegistry, DisabledRegistryAllocatesNothing)
+{
+    metrics::Registry registry(false);
+
+    const std::uint64_t before =
+        g_allocCount.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i) {
+        registry.add("engine.cycles", 3);
+        registry.setGauge("run.scale", 1.0);
+        registry.recordTimeNs("host.phase.simulate_ns", 42);
+        metrics::ScopedTimer timer(&registry, "scope_ns");
+    }
+    {
+        // Null registry pointer: same guarantee.
+        metrics::ScopedTimer timer(nullptr, "scope_ns");
+    }
+    const std::uint64_t after =
+        g_allocCount.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(before, after);
+    EXPECT_TRUE(registry.snapshot().empty());
+}
+
+// ---------------------------------------------------------------- manifest
+
+TEST(Manifest, RoundTrip)
+{
+    metrics::JsonLineWriter run;
+    run.field("schema", metrics::kRunSchema);
+    run.field("kind", "run");
+    run.field("bench", "fig3");
+    run.field("git", "abc123-dirty");
+    run.field("timestamp", std::uint64_t{1754000000});
+    run.field("jobs", 4);
+    run.field("scale", 0.25);
+    run.field("sims", std::uint64_t{400});
+    run.field("wall_seconds", 1.5);
+    run.field("sim_cycles", std::uint64_t{3000000});
+    run.field("host_ns_per_sim_cycle", 410.5);
+    run.strings("workloads", {"sort", "grep"});
+    run.raw("metrics", "{\"engine.sims\":400}");
+
+    metrics::JsonLineWriter point;
+    point.field("kind", "point");
+    point.field("workload", "sort");
+    point.field("config", "dyn4/8A/enlarged");
+    point.field("nodes_per_cycle", 2.5);
+    point.field("cycles", std::uint64_t{1234});
+    point.field("host_ns", std::uint64_t{987654});
+
+    std::stringstream file;
+    file << "# comment line, skipped by consumers\n"
+         << run.str() << "\n"
+         << "\n" // blank line, also skipped
+         << point.str() << "\n"
+         << "{\"kind\":\"progress\",\"done\":1,\"total\":2}\n";
+
+    const metrics::RunFile parsed =
+        metrics::parseRunFile(file, "round-trip");
+    ASSERT_EQ(parsed.runs.size(), 1u);
+    ASSERT_EQ(parsed.points.size(), 1u);
+
+    const metrics::RunRecord &r = parsed.runs[0];
+    EXPECT_EQ(r.str("bench"), "fig3");
+    EXPECT_EQ(r.str("git"), "abc123-dirty");
+    EXPECT_EQ(r.str("workloads"), "sort,grep");
+    EXPECT_EQ(r.num("jobs"), 4.0);
+    EXPECT_EQ(r.num("scale"), 0.25);
+    EXPECT_EQ(r.num("sims"), 400.0);
+    EXPECT_EQ(r.num("wall_seconds"), 1.5);
+    EXPECT_EQ(r.metrics.at("engine.sims"), 400.0);
+
+    const metrics::RunPoint &p = parsed.points[0];
+    EXPECT_EQ(p.workload, "sort");
+    EXPECT_EQ(p.config, "dyn4/8A/enlarged");
+    EXPECT_EQ(p.num("nodes_per_cycle"), 2.5);
+    EXPECT_EQ(p.num("cycles"), 1234.0);
+    EXPECT_EQ(p.num("missing", -1.0), -1.0);
+}
+
+TEST(Manifest, JsonEscaping)
+{
+    metrics::JsonLineWriter w;
+    w.field("kind", "run");
+    w.field("schema", metrics::kRunSchema);
+    w.field("bench", "quote\"back\\slash\nnewline\ttab");
+    std::stringstream file(w.str());
+    const metrics::RunFile parsed = metrics::parseRunFile(file, "escape");
+    ASSERT_EQ(parsed.runs.size(), 1u);
+    EXPECT_EQ(parsed.runs[0].str("bench"),
+              "quote\"back\\slash\nnewline\ttab");
+}
+
+TEST(Manifest, MalformedInputThrows)
+{
+    const auto parse = [](const std::string &text) {
+        std::stringstream file(text);
+        return metrics::parseRunFile(file, "malformed");
+    };
+    // Truncated JSON.
+    EXPECT_THROW(parse("{\"kind\":\"run\",\"schema\":"), FatalError);
+    // Unknown record kind.
+    EXPECT_THROW(parse("{\"kind\":\"mystery\"}"), FatalError);
+    // A run record without the schema tag.
+    EXPECT_THROW(parse("{\"kind\":\"run\",\"bench\":\"x\"}"), FatalError);
+    // No run record at all.
+    EXPECT_THROW(
+        parse("{\"kind\":\"point\",\"workload\":\"s\",\"config\":\"c\"}"),
+        FatalError);
+    // Empty stream.
+    EXPECT_THROW(parse(""), FatalError);
+}
+
+// ---------------------------------------------------------------- progress
+
+TEST(Progress, HeartbeatRecordsAreEmitted)
+{
+    std::ostringstream out;
+    metrics::StreamProgress::Options opts;
+    opts.statusLine = false;
+    opts.heartbeatSeconds = 0.0; // emit on every point
+    metrics::StreamProgress progress(out, opts);
+
+    progress.beginSweep(2);
+    progress.pointDone("sort dyn4/8A/enlarged", 1000, 500);
+    progress.pointDone("grep dyn4/8A/enlarged", 3000, 700);
+    progress.endSweep();
+
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"kind\":\"progress\""), std::string::npos);
+    EXPECT_NE(text.find("\"done\":2"), std::string::npos);
+    EXPECT_NE(text.find("\"total\":2"), std::string::npos);
+    EXPECT_NE(text.find("slowest"), std::string::npos);
+
+    // Heartbeats interleaved into a manifest stream must not break the
+    // parser: append a run header and parse the mix.
+    metrics::JsonLineWriter run;
+    run.field("schema", metrics::kRunSchema);
+    run.field("kind", "run");
+    run.field("bench", "x");
+    std::stringstream file(text + run.str() + "\n");
+    EXPECT_NO_THROW(metrics::parseRunFile(file, "heartbeats"));
+}
+
+TEST(Progress, StatusLineMode)
+{
+    std::ostringstream out;
+    metrics::StreamProgress::Options opts;
+    opts.statusLine = true;
+    opts.minRedrawSeconds = 0.0;
+    metrics::StreamProgress progress(out, opts);
+
+    progress.beginSweep(3);
+    progress.pointDone("sort static/1A/single", 500, 100);
+    progress.endSweep();
+
+    const std::string text = out.str();
+    EXPECT_NE(text.find('\r'), std::string::npos);
+    EXPECT_NE(text.find("1/3"), std::string::npos);
+}
+
+// ----------------------------------------------------------- interference
+
+const char *const kLoopProgram = R"(
+main:   li   r8, 25
+        la   r9, data
+loop:   lw   r10, 0(r9)
+        add  r11, r11, r10
+        sw   r11, 4(r9)
+        addi r8, r8, -1
+        bnez r8, loop
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+data:   .word 5, 0
+)";
+
+/** Everything schedule-visible in an EngineResult, for exact compares. */
+void
+expectSameSchedule(const EngineResult &a, const EngineResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retiredNodes, b.retiredNodes);
+    EXPECT_EQ(a.executedNodes, b.executedNodes);
+    EXPECT_EQ(a.issuedNodes, b.issuedNodes);
+    EXPECT_EQ(a.committedBlocks, b.committedBlocks);
+    EXPECT_EQ(a.squashedBlocks, b.squashedBlocks);
+    EXPECT_EQ(a.branchesResolved, b.branchesResolved);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.faultsFired, b.faultsFired);
+    EXPECT_EQ(a.exitCode, b.exitCode);
+    EXPECT_EQ(a.stalls.fetchRedirectSlots, b.stalls.fetchRedirectSlots);
+    EXPECT_EQ(a.stalls.fetchIdleSlots, b.stalls.fetchIdleSlots);
+    EXPECT_EQ(a.stalls.windowFullSlots, b.stalls.windowFullSlots);
+    EXPECT_EQ(a.stalls.shortWordSlots, b.stalls.shortWordSlots);
+    EXPECT_EQ(a.stalls.drainSlots, b.stalls.drainSlots);
+    EXPECT_EQ(a.stalls.operandWaitNodeCycles,
+              b.stalls.operandWaitNodeCycles);
+    EXPECT_EQ(a.stalls.memoryWaitNodeCycles,
+              b.stalls.memoryWaitNodeCycles);
+    EXPECT_EQ(a.stalls.serializeWaitNodeCycles,
+              b.stalls.serializeWaitNodeCycles);
+    EXPECT_EQ(a.stalls.fuBusyNodeCycles, b.stalls.fuBusyNodeCycles);
+}
+
+TEST(NoInterference, EngineScheduleUnchangedByMetrics)
+{
+    const MachineConfig config{Discipline::Dyn4, issueModel(8),
+                               memoryConfig('A'), BranchMode::Single};
+    const Program prog = assemble(kLoopProgram, "metrics-test");
+    CodeImage image = buildCfg(prog);
+    translate(image, config);
+
+    const auto run = [&](metrics::Registry *registry) {
+        SimOS os;
+        EngineOptions opts;
+        opts.config = config;
+        opts.metrics = registry;
+        return simulate(image, os, opts);
+    };
+
+    metrics::Registry registry;
+    const EngineResult plain = run(nullptr);
+    const EngineResult instrumented = run(&registry);
+    expectSameSchedule(plain, instrumented);
+
+    // And the fold actually recorded the run.
+    const metrics::Snapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("engine.sims"), 1u);
+    EXPECT_EQ(snap.counters.at("engine.cycles"), instrumented.cycles);
+    EXPECT_EQ(snap.counters.at("engine.retired_nodes"),
+              instrumented.retiredNodes);
+}
+
+TEST(NoInterference, HarnessSweepUnchangedByMetricsAndProgress)
+{
+    const std::vector<SweepPoint> points = {
+        {"grep", {Discipline::Static, issueModel(2), memoryConfig('A'),
+                  BranchMode::Single}},
+        {"grep", {Discipline::Dyn4, issueModel(2), memoryConfig('A'),
+                  BranchMode::Enlarged}},
+    };
+
+    ExperimentRunner plain(0.05);
+    const std::vector<ExperimentResult> base =
+        runSweep(plain, points, 1);
+
+    ExperimentRunner observed(0.05);
+    metrics::Registry registry;
+    observed.setMetrics(&registry);
+    std::ostringstream sink_out;
+    metrics::StreamProgress::Options popts;
+    popts.heartbeatSeconds = 0.0;
+    metrics::StreamProgress progress(sink_out, popts);
+    const std::vector<ExperimentResult> instrumented =
+        runSweep(observed, points, 1, &progress);
+
+    ASSERT_EQ(base.size(), instrumented.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].cycles, instrumented[i].cycles);
+        EXPECT_EQ(base[i].refNodes, instrumented[i].refNodes);
+        EXPECT_EQ(base[i].nodesPerCycle, instrumented[i].nodesPerCycle);
+        expectSameSchedule(base[i].engine, instrumented[i].engine);
+    }
+
+    // The observers did observe: two sims counted, two points reported.
+    EXPECT_EQ(registry.snapshot().counters.at("harness.sims_done"), 2u);
+    EXPECT_NE(sink_out.str().find("\"done\":2"), std::string::npos);
+}
+
+} // namespace
+} // namespace fgp

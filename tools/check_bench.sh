@@ -23,6 +23,14 @@
 #       accounting identity — the diagnostics array must carry exactly
 #       errors + warnings entries.
 #
+#   tools/check_bench.sh --validate-run <manifest.jsonl>
+#       Schema-validate an fgpsim-run-v1 manifest or BENCH_history.jsonl:
+#       the first record must be a "run" line carrying the schema tag,
+#       every run line needs its numeric provenance fields plus a git
+#       string, every point line needs (workload, config) and its core
+#       numerics. '#' comment lines, blank lines and "progress"
+#       heartbeats are skipped.
+#
 # Pure POSIX sh + awk so it runs anywhere the build runs.
 set -eu
 
@@ -120,6 +128,67 @@ validate_check() {
     echo "check_bench: $dump: check schema OK (diagnostics close)"
 }
 
+validate_run() {
+    manifest="$1"
+    if [ ! -f "$manifest" ]; then
+        echo "check_bench: run manifest $manifest missing" >&2
+        exit 1
+    fi
+    # Compact JSONL (whole record on one line), so the line-oriented
+    # field() helper does not apply; match() extracts keys in place.
+    awk '
+        function die(msg) {
+            printf "check_bench: %s: line %d: %s\n", FILENAME, FNR, msg \
+                > "/dev/stderr"
+            failed = 1
+            exit 1
+        }
+        function need_num(key) {
+            if (!match($0, "\"" key "\":[ ]*[-+0-9.eE]"))
+                die("missing numeric field \"" key "\"")
+        }
+        function need_str(key) {
+            if (!match($0, "\"" key "\":[ ]*\""))
+                die("missing string field \"" key "\"")
+        }
+        /^[ \t]*$/ { next }
+        /^#/ { next }
+        {
+            records += 1
+            if (index($0, "\"kind\":\"run\"")) {
+                runs += 1
+                if (!index($0, "\"schema\":\"fgpsim-run-v1\""))
+                    die("run record without the fgpsim-run-v1 schema tag")
+                need_str("bench"); need_str("git")
+                need_num("timestamp"); need_num("jobs"); need_num("scale")
+                need_num("sims"); need_num("wall_seconds")
+                need_num("sim_cycles"); need_num("host_ns_per_sim_cycle")
+            } else if (index($0, "\"kind\":\"point\"")) {
+                if (records == 1)
+                    die("first record must be the \"run\" header")
+                points += 1
+                need_str("workload"); need_str("config")
+                need_num("nodes_per_cycle"); need_num("cycles")
+                need_num("host_ns")
+            } else if (index($0, "\"kind\":\"progress\"")) {
+                next # heartbeats may be interleaved in captured logs
+            } else {
+                die("unknown record kind")
+            }
+        }
+        END {
+            if (failed)
+                exit 1
+            if (!runs) {
+                printf "check_bench: %s: no run records\n", FILENAME \
+                    > "/dev/stderr"
+                exit 1
+            }
+            printf "check_bench: %s: run schema OK (%d runs, %d points)\n",
+                   FILENAME, runs, points
+        }' "$manifest"
+}
+
 case "${1:-}" in
     --validate-bench)
         validate_bench "${2:?usage: check_bench.sh --validate-bench <record.json>}"
@@ -131,6 +200,10 @@ case "${1:-}" in
         ;;
     --validate-check)
         validate_check "${2:?usage: check_bench.sh --validate-check <dump.json>}"
+        exit 0
+        ;;
+    --validate-run)
+        validate_run "${2:?usage: check_bench.sh --validate-run <manifest.jsonl>}"
         exit 0
         ;;
 esac

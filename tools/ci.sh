@@ -23,3 +23,25 @@ cmake --build "$BUILD" -j "$JOBS"
 # Make UBSan findings fatal so ctest reports them as failures.
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" "$@"
+
+# The observability suite is part of the default run above; repeat the
+# label explicitly so a filtered "$@" invocation cannot silently skip it.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$BUILD" --output-on-failure -L metrics
+
+# Perf gate: run the reduced perf slice twice and compare the two
+# fgpsim-run-v1 manifests. IPC is deterministic, so any IPC delta is a
+# real regression; wall time is host noise on a loaded CI machine, so it
+# gets a deliberately loose tolerance.
+echo "=== perf gate: perf_selfcheck x2 + fgpsim compare ==="
+export FGP_PROGRESS=0
+PERF_SCALE="${FGP_CI_PERF_SCALE:-0.05}"
+FGP_SCALE="$PERF_SCALE" FGP_RUN_MANIFEST="$BUILD/perf_gate_a.jsonl" \
+    "$BUILD/bench/perf_selfcheck" --reduced --out "$BUILD/perf_gate_a.json"
+FGP_SCALE="$PERF_SCALE" FGP_RUN_MANIFEST="$BUILD/perf_gate_b.jsonl" \
+    "$BUILD/bench/perf_selfcheck" --reduced --out "$BUILD/perf_gate_b.json"
+sh tools/check_bench.sh --validate-run "$BUILD/perf_gate_a.jsonl"
+sh tools/check_bench.sh --validate-run "$BUILD/perf_gate_b.jsonl"
+"$BUILD/tools/fgpsim" compare \
+    "$BUILD/perf_gate_a.jsonl" "$BUILD/perf_gate_b.jsonl" \
+    --tolerance 10% --wall-tolerance 75%

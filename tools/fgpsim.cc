@@ -22,6 +22,12 @@
  *                                              static verification of the
  *                                              single/enlarged/translated
  *                                              images (docs/VERIFIER.md)
+ *   fgpsim compare <A.jsonl> <B.jsonl> [--tolerance P%]
+ *                  [--wall-tolerance P%] [--json]
+ *                                              diff two fgpsim-run-v1
+ *                                              manifests; nonzero exit on
+ *                                              an IPC or wall-time
+ *                                              regression (CI perf gate)
  *
  * <src> is either the name of a built-in benchmark (sort, grep, diff,
  * cpp, compress — inputs are generated automatically) or a path to a
@@ -41,6 +47,7 @@
 #include "engine/engine.hh"
 #include "ir/cfg.hh"
 #include "ir/printer.hh"
+#include "metrics/manifest.hh"
 #include "obs/bus.hh"
 #include "obs/json.hh"
 #include "obs/report.hh"
@@ -62,6 +69,7 @@ struct Options
 {
     std::string command;
     std::string source;
+    std::vector<std::string> extra; ///< positionals after <src>
     std::map<std::string, std::string> flags;
 
     bool has(const std::string &name) const { return flags.count(name); }
@@ -80,7 +88,7 @@ usage()
     std::cerr <<
         "usage: fgpsim <command> <src> [flags]\n"
         "  commands: asm | run | profile | bbe | sim | trace | report |\n"
-        "            check\n"
+        "            check | compare\n"
         "  <src>: benchmark name (sort grep diff cpp compress) or .s file\n"
         "  common flags: --stdin FILE, --out FILE\n"
         "  bbe flags:    --profile FILE [--max-chain N] [--ratio R]\n"
@@ -90,7 +98,10 @@ usage()
         "                [--json] [--events FILE] [--chrome FILE]\n"
         "  trace flags:  sim flags plus --out FILE (trace destination)\n"
         "  report flags: sim flags plus --top N (blocks in the table)\n"
-        "  check flags:  [--config CFG] [--plan FILE] [--json] [--strict]\n";
+        "  check flags:  [--config CFG] [--plan FILE] [--json] [--strict]\n"
+        "  compare:      fgpsim compare A.jsonl B.jsonl\n"
+        "                [--tolerance P%] [--wall-tolerance P%] [--json]\n"
+        "                (fgpsim-run-v1 manifests; exit 1 on regression)\n";
     std::exit(2);
 }
 
@@ -491,6 +502,201 @@ cmdCheck(const Options &opts)
     return errors ? 1 : 0;
 }
 
+/** "10%" or "10" -> 10.0 (percent). */
+double
+parsePercent(const std::string &text, const char *flag)
+{
+    std::string digits = text;
+    if (!digits.empty() && digits.back() == '%')
+        digits.pop_back();
+    char *end = nullptr;
+    const double value = std::strtod(digits.c_str(), &end);
+    if (digits.empty() || !end || *end != '\0' || value < 0.0)
+        fgp_fatal("--", flag, " needs a non-negative percentage, got '",
+                  text, "'");
+    return value;
+}
+
+/**
+ * Diff two fgpsim-run-v1 manifests: join the per-point records on
+ * (workload, configuration), gate per-point nodes/cycle against
+ * --tolerance and the runs' wall time against --wall-tolerance, and
+ * summarize the IPC / redundancy / stall / host-speed movement. Exit 1
+ * when B regresses past a gate relative to A — the CI perf gate.
+ */
+int
+cmdCompare(const Options &opts)
+{
+    using metrics::RunFile;
+    using metrics::RunPoint;
+
+    if (opts.extra.size() != 1)
+        fgp_fatal("compare needs exactly two manifest files");
+    const std::string path_a = opts.source;
+    const std::string path_b = opts.extra[0];
+
+    const double tol = parsePercent(opts.get("tolerance", "10%"),
+                                    "tolerance");
+    const double wall_tol =
+        parsePercent(opts.get("wall-tolerance",
+                              opts.get("tolerance", "10%")),
+                     "wall-tolerance");
+
+    auto load = [](const std::string &path) {
+        std::ifstream in(path);
+        if (!in)
+            fgp_fatal("cannot open '", path, "'");
+        return metrics::parseRunFile(in, path);
+    };
+    const RunFile a = load(path_a);
+    const RunFile b = load(path_b);
+    // History files carry several runs; compare the most recent.
+    const metrics::RunRecord &run_a = a.runs.back();
+    const metrics::RunRecord &run_b = b.runs.back();
+
+    std::map<std::pair<std::string, std::string>, const RunPoint *>
+        b_points;
+    for (const RunPoint &p : b.points)
+        b_points[{p.workload, p.config}] = &p;
+
+    struct PointDelta
+    {
+        const RunPoint *a = nullptr;
+        const RunPoint *b = nullptr;
+        double ipcPct = 0.0; ///< (b-a)/a in percent; negative = slower
+    };
+    std::vector<PointDelta> joined;
+    std::size_t unmatched = 0;
+    for (const RunPoint &p : a.points) {
+        const auto it = b_points.find({p.workload, p.config});
+        if (it == b_points.end()) {
+            ++unmatched;
+            continue;
+        }
+        PointDelta d;
+        d.a = &p;
+        d.b = it->second;
+        const double ipc_a = p.num("nodes_per_cycle");
+        const double ipc_b = it->second->num("nodes_per_cycle");
+        d.ipcPct = ipc_a > 0.0 ? (ipc_b - ipc_a) / ipc_a * 100.0 : 0.0;
+        joined.push_back(d);
+    }
+    unmatched += b.points.size() - joined.size();
+
+    // Gates.
+    std::vector<const PointDelta *> ipc_regressions;
+    const PointDelta *worst = nullptr;
+    double ipc_pct_sum = 0.0;
+    for (const PointDelta &d : joined) {
+        ipc_pct_sum += d.ipcPct;
+        if (!worst || d.ipcPct < worst->ipcPct)
+            worst = &d;
+        if (d.ipcPct < -tol)
+            ipc_regressions.push_back(&d);
+    }
+    const double wall_a = run_a.num("wall_seconds");
+    const double wall_b = run_b.num("wall_seconds");
+    const double wall_pct =
+        wall_a > 0.0 ? (wall_b - wall_a) / wall_a * 100.0 : 0.0;
+    const bool wall_regressed = wall_pct > wall_tol;
+    const bool regressed = wall_regressed || !ipc_regressions.empty();
+
+    // Aggregate movement: redundancy, stall slots, host speed.
+    auto point_sum = [](const std::vector<RunPoint> &points,
+                        const std::string &key) {
+        double sum = 0.0;
+        for (const RunPoint &p : points)
+            sum += p.num(key);
+        return sum;
+    };
+    const double mean_ipc_pct =
+        joined.empty() ? 0.0
+                       : ipc_pct_sum / static_cast<double>(joined.size());
+    const double red_a = point_sum(a.points, "redundancy");
+    const double red_b = point_sum(b.points, "redundancy");
+    const double ns_a = run_a.num("host_ns_per_sim_cycle");
+    const double ns_b = run_b.num("host_ns_per_sim_cycle");
+
+    static const char *const kStallKeys[] = {
+        "stall_fetch_redirect", "stall_fetch_idle", "stall_window_full",
+        "stall_short_word", "stall_drain", "stall_operand_wait",
+        "stall_memory_wait", "stall_serialize_wait", "stall_fu_busy"};
+
+    if (opts.has("json")) {
+        obs::JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("schema", "fgpsim-compare-v1");
+        json.field("a", path_a);
+        json.field("b", path_b);
+        json.field("tolerance_pct", tol);
+        json.field("wall_tolerance_pct", wall_tol);
+        json.field("points_compared",
+                   static_cast<std::uint64_t>(joined.size()));
+        json.field("points_unmatched",
+                   static_cast<std::uint64_t>(unmatched));
+        json.field("mean_ipc_pct", mean_ipc_pct);
+        if (worst) {
+            json.field("worst_ipc_pct", worst->ipcPct);
+            json.field("worst_point", worst->a->workload + " " +
+                                          worst->a->config);
+        }
+        json.field("wall_seconds_a", wall_a);
+        json.field("wall_seconds_b", wall_b);
+        json.field("wall_pct", wall_pct);
+        json.field("host_ns_per_sim_cycle_a", ns_a);
+        json.field("host_ns_per_sim_cycle_b", ns_b);
+        json.beginObject("stall_deltas");
+        for (const char *key : kStallKeys)
+            json.field(key, point_sum(b.points, key) -
+                                point_sum(a.points, key));
+        json.endObject();
+        json.field("ipc_regressions",
+                   static_cast<std::uint64_t>(ipc_regressions.size()));
+        json.field("wall_regressed", wall_regressed);
+        json.field("regressed", regressed);
+        json.endObject();
+        std::cout << "\n";
+        return regressed ? 1 : 0;
+    }
+
+    std::cout << "compare " << path_a << " (A: "
+              << run_a.str("bench", "?") << " @ "
+              << run_a.str("git", "?") << ")\n"
+              << "     vs " << path_b << " (B: "
+              << run_b.str("bench", "?") << " @ "
+              << run_b.str("git", "?") << ")\n"
+              << format("  points compared    : %zu (%zu unmatched)\n",
+                        joined.size(), unmatched)
+              << format("  mean IPC delta     : %+.2f%%\n", mean_ipc_pct);
+    if (worst)
+        std::cout << format("  worst IPC delta    : %+.2f%% (%s %s)\n",
+                            worst->ipcPct, worst->a->workload.c_str(),
+                            worst->a->config.c_str());
+    std::cout << format("  redundancy sum     : %.4f -> %.4f\n", red_a,
+                        red_b)
+              << format("  wall seconds       : %.3f -> %.3f (%+.1f%%)\n",
+                        wall_a, wall_b, wall_pct)
+              << format("  host ns/sim cycle  : %.1f -> %.1f\n", ns_a,
+                        ns_b);
+    for (const char *key : kStallKeys) {
+        const double sa = point_sum(a.points, key);
+        const double sb = point_sum(b.points, key);
+        if (sa != sb)
+            std::cout << format("  %-19s: %.0f -> %.0f\n", key, sa, sb);
+    }
+    for (const PointDelta *d : ipc_regressions)
+        std::cout << format("  REGRESSION %s %s: IPC %+.2f%% "
+                            "(tolerance %.1f%%)\n",
+                            d->a->workload.c_str(), d->a->config.c_str(),
+                            d->ipcPct, tol);
+    if (wall_regressed)
+        std::cout << format("  REGRESSION wall time %+.1f%% "
+                            "(tolerance %.1f%%)\n",
+                            wall_pct, wall_tol);
+    std::cout << (regressed ? "compare: REGRESSED\n" : "compare: ok\n");
+    return regressed ? 1 : 0;
+}
+
 int
 runCli(int argc, char **argv)
 {
@@ -501,8 +707,13 @@ runCli(int argc, char **argv)
     opts.source = argv[2];
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
-        if (!startsWith(arg, "--"))
-            fgp_fatal("unexpected argument '", arg, "'");
+        if (!startsWith(arg, "--")) {
+            // Only compare takes extra positionals (its second manifest).
+            if (opts.command != "compare")
+                fgp_fatal("unexpected argument '", arg, "'");
+            opts.extra.push_back(std::move(arg));
+            continue;
+        }
         arg = arg.substr(2);
         if (arg == "conservative" || arg == "json" || arg == "strict") {
             opts.flags[arg] = "1";
@@ -529,6 +740,8 @@ runCli(int argc, char **argv)
         return cmdSim(opts, SimMode::Report);
     if (opts.command == "check")
         return cmdCheck(opts);
+    if (opts.command == "compare")
+        return cmdCompare(opts);
     usage();
 }
 
