@@ -60,7 +60,7 @@ main()
     std::cout << "benchmark,discipline,issue,memory,branch,nodes_per_cycle,"
                  "cycles,ref_nodes,redundancy,mispredicts,faults,"
                  "stall_fetch_redirect,stall_fetch_idle,stall_window_full,"
-                 "stall_short_word,stall_drain\n";
+                 "stall_short_word,stall_drain,static_bound\n";
     for (const ExperimentResult &r : results) {
         const MachineConfig &config = r.config;
         const StallBreakdown &st = r.engine.stalls;
@@ -75,7 +75,8 @@ main()
                   << r.engine.faultsFired << ','
                   << st.fetchRedirectSlots << ',' << st.fetchIdleSlots << ','
                   << st.windowFullSlots << ',' << st.shortWordSlots << ','
-                  << st.drainSlots << '\n';
+                  << st.drainSlots << ','
+                  << format("%.4f", r.staticIpcBound) << '\n';
     }
 
     // Where the sweep's issue bandwidth went, in aggregate.

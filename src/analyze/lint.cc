@@ -1,0 +1,270 @@
+#include "analyze/lint.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tld/depgraph.hh"
+#include "verify/verify.hh"
+#include "vm/exec.hh"
+
+namespace fgp::analyze {
+
+namespace {
+
+using verify::Code;
+using verify::Report;
+using verify::Severity;
+
+[[maybe_unused]] const bool g_codes_registered = [] {
+    verify::registerCodes({
+        {Code::SerializingFalseDep, {"AN001", "serializing-false-dep"}},
+        {Code::DeadDefSurvives, {"AN002", "dead-def-survives"}},
+        {Code::UnprofitableChain, {"AN003", "unprofitable-chain"}},
+        {Code::ForwardingDefeated, {"AN004", "forwarding-defeated"}},
+        {Code::UnreachableBlock, {"AN005", "unreachable-block"}},
+        {Code::UnusedLabel, {"AN006", "unused-label"}},
+    });
+    return true;
+}();
+
+/** "r4, r7" for the distinct registers of @p wars, ascending. */
+std::string
+warRegisters(const std::vector<ResidualWar> &wars)
+{
+    std::array<bool, kNumRegs> seen{};
+    for (const ResidualWar &war : wars)
+        seen[war.reg] = true;
+    std::string out;
+    for (std::size_t reg = 0; reg < kNumRegs; ++reg) {
+        if (!seen[reg])
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += "r" + std::to_string(reg);
+    }
+    return out;
+}
+
+/**
+ * AN001: the block's dependence height grows once the renamer-proof WAR
+ * edges are added — a false dependency no renaming scheme can remove is
+ * on the critical path.
+ */
+void
+lintSerializingFalseDeps(const ImageBlock &block, Report &report,
+                         const LintOptions &opts, std::string_view stage)
+{
+    const int height = dependenceHeight(block, opts.memHitLatency);
+    const int residual = residualHeight(block, opts.memHitLatency);
+    if (residual <= height)
+        return;
+    addDiag(report, Code::SerializingFalseDep, Severity::Warning, stage,
+            block.id, -1, block.entryPc, "renamer-proof WAR on ",
+            warRegisters(residualWars(block)),
+            " raises dependence height ", height, " -> ", residual);
+}
+
+/**
+ * AN002: a pure ALU definition overwritten before any read. Wasted issue
+ * bandwidth; the bbe re-optimizer removes these in fused blocks but a
+ * 1:1-translated single block keeps them.
+ */
+void
+lintDeadDefs(const ImageBlock &block, Report &report, std::string_view stage)
+{
+    std::array<std::int32_t, kNumRegs> pending_def;
+    pending_def.fill(-1);
+
+    for (std::size_t i = 0; i < block.nodes.size(); ++i) {
+        const Node &node = block.nodes[i];
+        std::array<std::uint8_t, 5> srcs;
+        const int nsrc = node.srcRegs(srcs);
+        for (int s = 0; s < nsrc; ++s)
+            if (srcs[s] != kRegNone)
+                pending_def[srcs[s]] = -1;
+
+        const std::uint8_t dst = node.dstReg();
+        if (dst == kRegNone || dst == kRegZero)
+            continue;
+        if (pending_def[dst] >= 0) {
+            const auto dead = static_cast<std::size_t>(pending_def[dst]);
+            addDiag(report, Code::DeadDefSurvives, Severity::Warning, stage,
+                    block.id, pending_def[dst], block.nodes[dead].origPc,
+                    "definition of r", static_cast<int>(dst),
+                    " is overwritten by node ", i, " before any read");
+        }
+        // Only side-effect-free definitions can be dead: loads may fault
+        // and link/system writes carry control or OS effects.
+        const bool pure_alu =
+            !node.isMem() && !node.isControl() && !node.isSys();
+        pending_def[dst] = pure_alu ? static_cast<std::int32_t>(i) : -1;
+    }
+}
+
+/**
+ * AN004: a load behind a may-aliasing store the forwarding path cannot
+ * fully satisfy — either the bases differ (run-time disambiguation must
+ * serialize the pair) or the store only partially covers the load.
+ */
+void
+lintForwardingDefeated(const ImageBlock &block, Report &report,
+                       std::string_view stage)
+{
+    const std::size_t n = block.nodes.size();
+    // Base-register value versions, mirroring buildDepGraph's lattice.
+    std::vector<std::int32_t> version_at(n, 0);
+    std::array<std::int32_t, kNumRegs> version;
+    version.fill(-1);
+
+    std::vector<std::uint16_t> stores;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Node &node = block.nodes[i];
+        if (node.isMem())
+            version_at[i] = node.rs1 == kRegZero ? -2 : version[node.rs1];
+
+        if (node.isLoad()) {
+            const auto load_bytes =
+                static_cast<std::int32_t>(accessBytes(node.op));
+            for (std::uint16_t m : stores) {
+                const Node &store = block.nodes[m];
+                const bool same_base = store.rs1 == node.rs1 &&
+                                       version_at[m] == version_at[i];
+                if (!mayAlias(node, store, same_base))
+                    continue;
+                if (!same_base) {
+                    addDiag(report, Code::ForwardingDefeated,
+                            Severity::Warning, stage, block.id,
+                            static_cast<std::int32_t>(i), node.origPc,
+                            "load may alias store at node ", m,
+                            " through unknown bases; run-time "
+                            "disambiguation serializes the pair");
+                    break;
+                }
+                const auto store_bytes =
+                    static_cast<std::int32_t>(accessBytes(store.op));
+                const bool covers =
+                    store.imm <= node.imm &&
+                    store.imm + store_bytes >= node.imm + load_bytes;
+                if (!covers) {
+                    addDiag(report, Code::ForwardingDefeated,
+                            Severity::Warning, stage, block.id,
+                            static_cast<std::int32_t>(i), node.origPc,
+                            "store at node ", m,
+                            " partially overlaps this load; forwarding "
+                            "cannot satisfy it");
+                    break;
+                }
+            }
+        }
+        if (node.isStore())
+            stores.push_back(static_cast<std::uint16_t>(i));
+
+        const std::uint8_t dst = node.dstReg();
+        if (dst != kRegNone && dst != kRegZero)
+            version[dst] = static_cast<std::int32_t>(i);
+    }
+}
+
+/** AN003: planned chains whose fusion buys no dependence-height. */
+void
+lintUnprofitableChains(const CodeImage &image, Report &report,
+                       const LintOptions &opts, std::string_view stage)
+{
+    if (opts.single == nullptr || opts.plan == nullptr)
+        return;
+    for (const ChainAudit &audit :
+         auditChains(*opts.single, image, *opts.plan, opts.memHitLatency)) {
+        if (audit.heightReduction() > 0)
+            continue;
+        addDiag(report, Code::UnprofitableChain, Severity::Warning, stage,
+                audit.primaryBlock, -1, audit.entryPc, "chain ",
+                audit.chainIndex, " (", audit.members,
+                " blocks) gains no dependence height: members sum ",
+                audit.memberHeightSum, ", fused ", audit.fusedHeight);
+    }
+}
+
+/** AN005: blocks the CFG cannot reach from the image entry. */
+void
+lintUnreachableBlocks(const CodeImage &image, Report &report,
+                      std::string_view stage)
+{
+    if (image.blocks.empty() || image.entryBlock < 0)
+        return;
+    std::vector<bool> reached(image.blocks.size(), false);
+    std::vector<std::int32_t> worklist{image.entryBlock};
+    reached[static_cast<std::size_t>(image.entryBlock)] = true;
+    while (!worklist.empty()) {
+        const std::int32_t id = worklist.back();
+        worklist.pop_back();
+        for (std::int32_t succ : verify::imageSuccessors(image, id)) {
+            if (!reached[static_cast<std::size_t>(succ)]) {
+                reached[static_cast<std::size_t>(succ)] = true;
+                worklist.push_back(succ);
+            }
+        }
+    }
+    for (const ImageBlock &block : image.blocks) {
+        if (reached[static_cast<std::size_t>(block.id)])
+            continue;
+        addDiag(report, Code::UnreachableBlock, Severity::Warning, stage,
+                block.id, -1, block.entryPc,
+                "block is unreachable from the entry");
+    }
+}
+
+/** AN006: source code labels no control transfer targets. */
+void
+lintUnusedLabels(const CodeImage &image, Report &report,
+                 std::string_view stage)
+{
+    if (image.prog == nullptr)
+        return;
+    const Program &prog = *image.prog;
+
+    std::vector<bool> targeted(prog.instrs.size(), false);
+    for (const Node &node : prog.instrs) {
+        if (!node.isControl() || node.target < 0)
+            continue;
+        if (node.target < static_cast<std::int32_t>(targeted.size()))
+            targeted[static_cast<std::size_t>(node.target)] = true;
+    }
+
+    // codeLabels is unordered; sort by (pc, name) for stable reports.
+    std::vector<std::pair<std::int32_t, std::string_view>> labels;
+    labels.reserve(prog.codeLabels.size());
+    for (const auto &[name, pc] : prog.codeLabels)
+        labels.emplace_back(pc, name);
+    std::sort(labels.begin(), labels.end());
+
+    for (const auto &[pc, name] : labels) {
+        if (pc == prog.entry)
+            continue;
+        if (pc >= 0 && pc < static_cast<std::int32_t>(targeted.size()) &&
+            targeted[static_cast<std::size_t>(pc)])
+            continue;
+        addDiag(report, Code::UnusedLabel, Severity::Warning, stage, -1, -1,
+                pc, "label '", name, "' is never targeted");
+    }
+}
+
+} // namespace
+
+void
+lintImage(const CodeImage &image, verify::Report &report,
+          const LintOptions &opts, std::string_view stage)
+{
+    for (const ImageBlock &block : image.blocks) {
+        lintSerializingFalseDeps(block, report, opts, stage);
+        lintDeadDefs(block, report, stage);
+        lintForwardingDefeated(block, report, stage);
+    }
+    lintUnprofitableChains(image, report, opts, stage);
+    lintUnreachableBlocks(image, report, stage);
+    lintUnusedLabels(image, report, stage);
+}
+
+} // namespace fgp::analyze

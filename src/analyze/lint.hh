@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Workload lint: flags lost-ILP anti-patterns in a CodeImage before any
+ * simulation runs. Findings are verify::Diagnostics in the AN family
+ * (registered here via verify::registerCodes — see docs/ANALYZER.md for
+ * the catalog):
+ *
+ *  - AN001 serializing-false-dep: a WAR edge no renamer can kill (read
+ *    of a live-in register before its final redefinition) lengthens the
+ *    block's dependence height;
+ *  - AN002 dead-def-survives: a pure ALU definition overwritten before
+ *    any read — wasted issue bandwidth the bbe re-optimizer should have
+ *    removed (and never removes in 1:1-translated single blocks);
+ *  - AN003 unprofitable-chain: a planned enlargement chain whose fused,
+ *    re-optimized height is no shorter than the sum of its members' —
+ *    fusion buys atomicity but no dependence-height ILP;
+ *  - AN004 forwarding-defeated: a store-load pair that run-time
+ *    disambiguation must serialize (may-alias through unknown bases) or
+ *    that forwarding cannot fully satisfy (partial overlap);
+ *  - AN005 unreachable-block: not reachable from the image entry;
+ *  - AN006 unused-label: a source code label no control transfer
+ *    targets.
+ *
+ * All AN findings are warnings: they flag performance anti-patterns,
+ * never correctness violations (that is src/verify's job).
+ */
+
+#ifndef FGP_ANALYZE_LINT_HH
+#define FGP_ANALYZE_LINT_HH
+
+#include <string_view>
+
+#include "analyze/analyze.hh"
+#include "ir/image.hh"
+#include "verify/diag.hh"
+
+namespace fgp::analyze {
+
+/** Lint knobs and optional cross-stage context. */
+struct LintOptions
+{
+    /** Load latency assumed on dependence heights (AN001/AN003). */
+    int memHitLatency = 1;
+
+    /**
+     * Pre-enlargement image + plan, enabling the chain-profitability
+     * audit (AN003). Both null: AN003 is skipped.
+     */
+    const CodeImage *single = nullptr;
+    const EnlargePlan *plan = nullptr;
+};
+
+/**
+ * Run every lint over @p image, appending AN findings tagged with
+ * @p stage to @p report. Never mutates the image.
+ */
+void lintImage(const CodeImage &image, verify::Report &report,
+               const LintOptions &opts = {},
+               std::string_view stage = "image");
+
+} // namespace fgp::analyze
+
+#endif // FGP_ANALYZE_LINT_HH

@@ -204,6 +204,8 @@ planEnlargement(const CodeImage &single, const Profile &profile,
             planned.entryPcs.push_back(single.block(link.blockId).entryPc);
         plan.chains.push_back(std::move(planned));
     }
+    if (opts.auditHook)
+        opts.auditHook(single, plan);
     return plan;
 }
 

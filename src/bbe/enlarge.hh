@@ -28,6 +28,7 @@
 #define FGP_BBE_ENLARGE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "bbe/plan.hh"
@@ -35,6 +36,18 @@
 #include "vm/profile.hh"
 
 namespace fgp {
+
+/**
+ * Plan-audit hook: may reorder (or prune) the planned chains before
+ * planEnlargement returns them. applyEnlargement consumes chains in plan
+ * order and an earlier chain consumes the entry pcs of any later chain it
+ * overlaps, so ordering decides which chains win conflicts. The analyzer
+ * installs a hook ranking chains by predicted dependence-height reduction
+ * (analyze::heightRankingHook); the default pipeline installs none, so
+ * built schedules are unchanged unless a caller opts in.
+ */
+using PlanAuditHook =
+    std::function<void(const CodeImage &single, EnlargePlan &plan)>;
 
 /** How a chain continues past one of its member blocks. */
 enum class JunctionKind : std::uint8_t {
@@ -79,6 +92,9 @@ struct EnlargeOptions
 
     /** Maximum instances (copies) of one original block (paper: 16). */
     int maxInstances = 16;
+
+    /** Optional chain-ranking hook applied to the finished plan. */
+    PlanAuditHook auditHook;
 };
 
 /** Summary statistics of one enlargement run. */

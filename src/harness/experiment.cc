@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analyze/analyze.hh"
 #include "base/logging.hh"
 #include "ir/cfg.hh"
 #include "metrics/registry.hh"
@@ -145,6 +146,7 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
         metrics::ScopedTimer timer(metrics_, "host.phase.translate_ns");
         translate(image, config, translateOpts_);
     }
+    const double static_bound = analyze::staticIpcBound(image);
 
     SimOS os;
     p.workload.prepareOs(os, InputSet::Measure);
@@ -177,6 +179,16 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
         os.stdoutText() != p.refStdout) {
         fgp_panic("engine diverged from the functional VM: workload ", name,
                   " config ", config.name());
+    }
+
+    // Static/dynamic cross-check: no run may retire more nodes per cycle
+    // than the analyzer's sound bound for its translated image.
+    result.staticIpcBound = static_bound;
+    if (analyze::xcheckEnabled() &&
+        result.engine.nodesPerCycle() > static_bound * (1.0 + 1e-9)) {
+        fgp_panic("static ILP bound violated: workload ", name, " config ",
+                  config.name(), " retired ", result.engine.nodesPerCycle(),
+                  " nodes/cycle against a static bound of ", static_bound);
     }
 
     result.cycles = result.engine.cycles;

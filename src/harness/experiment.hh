@@ -57,6 +57,14 @@ struct ExperimentResult
      */
     std::uint64_t hostNs = 0;
 
+    /**
+     * Sound static upper bound on retired nodes per cycle, computed from
+     * the translated image before simulation (analyze::staticIpcBound).
+     * The harness cross-checks engine.nodesPerCycle() against it after
+     * every run when analyze::xcheckEnabled().
+     */
+    double staticIpcBound = 0.0;
+
     EngineResult engine;
 };
 

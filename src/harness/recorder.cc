@@ -36,6 +36,7 @@ RunRecorder::record(const std::vector<ExperimentResult> &results)
         point.workload = r.workload;
         point.config = r.config.name();
         point.nodesPerCycle = r.nodesPerCycle;
+        point.staticIpcBound = r.staticIpcBound;
         point.redundancy = r.engine.redundancy();
         point.cycles = r.cycles;
         point.refNodes = r.refNodes;
@@ -118,6 +119,7 @@ RunRecorder::pointLine(const PointSummary &point) const
     w.field("workload", point.workload);
     w.field("config", point.config);
     w.field("nodes_per_cycle", point.nodesPerCycle);
+    w.field("static_ipc_bound", point.staticIpcBound);
     w.field("redundancy", point.redundancy);
     w.field("cycles", point.cycles);
     w.field("ref_nodes", point.refNodes);

@@ -83,6 +83,7 @@ class RunRecorder
         std::string workload;
         std::string config;
         double nodesPerCycle = 0.0;
+        double staticIpcBound = 0.0;
         double redundancy = 0.0;
         std::uint64_t cycles = 0;
         std::uint64_t refNodes = 0;

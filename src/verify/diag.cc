@@ -1,76 +1,77 @@
 #include "verify/diag.hh"
 
 #include <sstream>
+#include <unordered_map>
 
 namespace fgp::verify {
 
 namespace {
 
-struct CodeInfo
+/**
+ * The code registry. The verifier's own families are seeded here; other
+ * families (the analyzer's AN codes) call registerCodes() from their
+ * owning TU's static initializer, so growing the catalog never edits
+ * this file. Function-local static so cross-TU initialization order
+ * cannot observe an unconstructed map.
+ */
+std::unordered_map<Code, CodeInfo> &
+codeTable()
 {
-    std::string_view id;
-    std::string_view name;
-};
+    static std::unordered_map<Code, CodeInfo> table = {
+        {Code::BlockIdMismatch, {"IMG001", "block-id-mismatch"}},
+        {Code::EmptyBlock, {"IMG002", "empty-block"}},
+        {Code::EntryMapBroken, {"IMG003", "entry-map-broken"}},
+        {Code::NonTerminalControl, {"IMG004", "non-terminal-control"}},
+        {Code::BadTerminator, {"IMG005", "bad-terminator"}},
+        {Code::DanglingBranchTarget, {"IMG006", "dangling-branch-target"}},
+        {Code::DanglingFallthrough, {"IMG007", "dangling-fallthrough"}},
+        {Code::BadFaultTarget, {"IMG008", "bad-fault-target"}},
+        {Code::RegisterOutOfRange, {"IMG009", "register-out-of-range"}},
+        {Code::OperandFormViolation, {"IMG010", "operand-form-violation"}},
+        {Code::WordPackingBroken, {"IMG011", "word-packing-broken"}},
+        {Code::NoExitPath, {"IMG012", "no-exit-path"}},
+        {Code::BlockFlagMismatch, {"IMG013", "block-flag-mismatch"}},
+        {Code::ScratchReadBeforeWrite, {"DF001", "scratch-read-before-write"}},
+        {Code::MaybeUninitRead, {"DF002", "maybe-uninit-read"}},
+        {Code::FaultOutsideEnlarged, {"BBE001", "fault-outside-enlarged"}},
+        {Code::CompanionEntryReachable,
+         {"BBE002", "companion-entry-reachable"}},
+        {Code::CompanionFaultNotMutual,
+         {"BBE003", "companion-fault-not-mutual"}},
+        {Code::InstanceCapExceeded, {"BBE004", "instance-cap-exceeded"}},
+        {Code::ChainPlanBroken, {"BBE005", "chain-plan-broken"}},
+        {Code::RegisterEffectMismatch,
+         {"EQ001", "register-effect-mismatch"}},
+        {Code::MemoryEffectMismatch, {"EQ002", "memory-effect-mismatch"}},
+        {Code::ControlEffectMismatch, {"EQ003", "control-effect-mismatch"}},
+        {Code::FaultGuardMismatch, {"EQ004", "fault-guard-mismatch"}},
+        {Code::ImageShapeMismatch, {"EQ005", "image-shape-mismatch"}},
+    };
+    return table;
+}
 
 CodeInfo
 codeInfo(Code code)
 {
-    switch (code) {
-      case Code::BlockIdMismatch:
-        return {"IMG001", "block-id-mismatch"};
-      case Code::EmptyBlock:
-        return {"IMG002", "empty-block"};
-      case Code::EntryMapBroken:
-        return {"IMG003", "entry-map-broken"};
-      case Code::NonTerminalControl:
-        return {"IMG004", "non-terminal-control"};
-      case Code::BadTerminator:
-        return {"IMG005", "bad-terminator"};
-      case Code::DanglingBranchTarget:
-        return {"IMG006", "dangling-branch-target"};
-      case Code::DanglingFallthrough:
-        return {"IMG007", "dangling-fallthrough"};
-      case Code::BadFaultTarget:
-        return {"IMG008", "bad-fault-target"};
-      case Code::RegisterOutOfRange:
-        return {"IMG009", "register-out-of-range"};
-      case Code::OperandFormViolation:
-        return {"IMG010", "operand-form-violation"};
-      case Code::WordPackingBroken:
-        return {"IMG011", "word-packing-broken"};
-      case Code::NoExitPath:
-        return {"IMG012", "no-exit-path"};
-      case Code::BlockFlagMismatch:
-        return {"IMG013", "block-flag-mismatch"};
-      case Code::ScratchReadBeforeWrite:
-        return {"DF001", "scratch-read-before-write"};
-      case Code::MaybeUninitRead:
-        return {"DF002", "maybe-uninit-read"};
-      case Code::FaultOutsideEnlarged:
-        return {"BBE001", "fault-outside-enlarged"};
-      case Code::CompanionEntryReachable:
-        return {"BBE002", "companion-entry-reachable"};
-      case Code::CompanionFaultNotMutual:
-        return {"BBE003", "companion-fault-not-mutual"};
-      case Code::InstanceCapExceeded:
-        return {"BBE004", "instance-cap-exceeded"};
-      case Code::ChainPlanBroken:
-        return {"BBE005", "chain-plan-broken"};
-      case Code::RegisterEffectMismatch:
-        return {"EQ001", "register-effect-mismatch"};
-      case Code::MemoryEffectMismatch:
-        return {"EQ002", "memory-effect-mismatch"};
-      case Code::ControlEffectMismatch:
-        return {"EQ003", "control-effect-mismatch"};
-      case Code::FaultGuardMismatch:
-        return {"EQ004", "fault-guard-mismatch"};
-      case Code::ImageShapeMismatch:
-        return {"EQ005", "image-shape-mismatch"};
-    }
-    return {"???", "unknown"};
+    const auto &table = codeTable();
+    const auto it = table.find(code);
+    return it == table.end() ? CodeInfo{"???", "unknown"} : it->second;
 }
 
 } // namespace
+
+void
+registerCodes(std::initializer_list<std::pair<Code, CodeInfo>> codes)
+{
+    auto &table = codeTable();
+    for (const auto &[code, info] : codes) {
+        const auto [it, inserted] = table.emplace(code, info);
+        fgp_assert(inserted || (it->second.id == info.id &&
+                                it->second.name == info.name),
+                   "conflicting registration for diagnostic code ",
+                   info.id);
+    }
+}
 
 std::string_view
 codeId(Code code)

@@ -11,15 +11,23 @@
 #define FGP_VERIFY_DIAG_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
 
 namespace fgp::verify {
 
-/** Stable diagnostic codes. The catalog lives in docs/VERIFIER.md. */
+/**
+ * Stable diagnostic codes. The IMG/DF/BBE/EQ catalog lives in
+ * docs/VERIFIER.md; the analyzer's AN family in docs/ANALYZER.md. Each
+ * family's (id, name) strings are registered with registerCodes() — the
+ * verifier families here in diag.cc, the AN family by src/analyze/lint.cc
+ * — so adding a family never edits a switch in diag.cc.
+ */
 enum class Code : std::uint8_t {
     // IMG — structural image invariants.
     BlockIdMismatch,        ///< IMG001 block id does not match its index
@@ -53,9 +61,32 @@ enum class Code : std::uint8_t {
     ControlEffectMismatch,  ///< EQ003 exit control effects differ
     FaultGuardMismatch,     ///< EQ004 fault guard is not the cold-arc test
     ImageShapeMismatch,     ///< EQ005 compared images differ structurally
+
+    // AN — static ILP analyzer lint (registered by src/analyze/lint.cc).
+    SerializingFalseDep,    ///< AN001 WAR the renamer can't kill is critical
+    DeadDefSurvives,        ///< AN002 dead definition survives in the block
+    UnprofitableChain,      ///< AN003 fused chain gains no dependence height
+    ForwardingDefeated,     ///< AN004 store-load pair defeats forwarding
+    UnreachableBlock,       ///< AN005 block unreachable from the entry
+    UnusedLabel,            ///< AN006 code label never targeted
 };
 
-/** Stable short id, e.g. "IMG006". */
+/** Registered strings of one code: stable id + kebab-case slug. */
+struct CodeInfo
+{
+    std::string_view id;   ///< e.g. "IMG006"
+    std::string_view name; ///< e.g. "dangling-branch-target"
+};
+
+/**
+ * Register one family's (code -> id, name) strings. Called from static
+ * initializers of the TU owning the family; re-registering a code with
+ * identical strings is a no-op, conflicting strings are fatal.
+ */
+void registerCodes(
+    std::initializer_list<std::pair<Code, CodeInfo>> codes);
+
+/** Stable short id, e.g. "IMG006" ("???" when unregistered). */
 std::string_view codeId(Code code);
 
 /** Kebab-case slug, e.g. "dangling-branch-target". */

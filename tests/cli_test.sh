@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end test of the fgpsim CLI: the paper's three-stage pipeline
-# (profile -> enlargement file -> simulation) plus asm/run on a file and
-# the static verifier (check) against its JSON schema validator.
+# (profile -> enlargement file -> simulation) plus asm/run on a file,
+# the static verifier (check) and the static ILP analyzer (analyze),
+# each against its JSON schema validator.
 set -e
 FGPSIM="$1"
 CHECK_BENCH="$2"
@@ -78,6 +79,44 @@ sh "$CHECK_BENCH" --validate-check "$TMP/check.json"
 "$FGPSIM" check grep --config dyn4/8A/single --strict --json \
     > "$TMP/check_strict.json"
 sh "$CHECK_BENCH" --validate-check "$TMP/check_strict.json"
+
+# Static ILP analyzer: human output carries the sound bound and a clean
+# lint summary on the pipeline image built from the stage-2 plan.
+"$FGPSIM" analyze grep --config dyn4/8A/enlarged --plan "$TMP/grep.plan" \
+    > "$TMP/analyze.txt"
+grep -q "static IPC bound" "$TMP/analyze.txt"
+grep -q "chain audit" "$TMP/analyze.txt"
+grep -q "analyze: 0 errors" "$TMP/analyze.txt"
+
+# analyze --json validates against the fgpsim-analyze-v1 schema.
+"$FGPSIM" analyze grep --config dyn4/8A/enlarged --plan "$TMP/grep.plan" \
+    --json > "$TMP/analyze.json"
+sh "$CHECK_BENCH" --validate-analyze "$TMP/analyze.json"
+
+# A workload with lint findings: dead code after `j` plus an untargeted
+# label. Non-strict runs exit 0 (warnings only); --strict exits nonzero.
+cat > "$TMP/lint.s" <<'ASM'
+main:   j    end
+dead:   addi r8, r8, 1
+end:    li   v0, 0
+        li   a0, 0
+        syscall
+ASM
+"$FGPSIM" analyze "$TMP/lint.s" --config dyn4/8A/single \
+    > "$TMP/lint.txt"
+grep -q "AN005" "$TMP/lint.txt"
+grep -q "AN006" "$TMP/lint.txt"
+if "$FGPSIM" analyze "$TMP/lint.s" --config dyn4/8A/single --strict \
+    > /dev/null
+then
+    echo "expected strict analyze to fail on lint findings" >&2
+    exit 1
+fi
+# The strict JSON dump still validates, with a non-empty diagnostics array.
+"$FGPSIM" analyze "$TMP/lint.s" --config dyn4/8A/single --strict --json \
+    > "$TMP/lint.json" || true
+sh "$CHECK_BENCH" --validate-analyze "$TMP/lint.json"
+grep -q '"code": "AN005"' "$TMP/lint.json"
 
 # fgpsim compare: handcrafted fgpsim-run-v1 manifests. A run compared
 # to itself is clean; an IPC drop or a wall-time blowup past tolerance

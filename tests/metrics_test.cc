@@ -53,10 +53,22 @@ operator new[](std::size_t size)
     return ::operator new(size);
 }
 
-void operator delete(void *p) noexcept { std::free(p); }
-void operator delete[](void *p) noexcept { std::free(p); }
-void operator delete(void *p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+// Kept out of line: once gcc inlines a delete body at -O2 it pairs the
+// raw free() with the replaced operator new and misfires
+// -Wmismatched-new-delete, even though every form funnels through
+// malloc/free.
+[[gnu::noinline]] void operator delete(void *p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete[](void *p) noexcept { std::free(p); }
+[[gnu::noinline]] void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+[[gnu::noinline]] void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace fgp {
 namespace {

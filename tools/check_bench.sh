@@ -23,6 +23,11 @@
 #       accounting identity — the diagnostics array must carry exactly
 #       errors + warnings entries.
 #
+#   tools/check_bench.sh --validate-analyze <dump.json>
+#       Schema-validate an `fgpsim analyze --json` dump
+#       ("fgpsim-analyze-v1"): required numeric keys plus the same
+#       diagnostic accounting identity as --validate-check.
+#
 #   tools/check_bench.sh --validate-run <manifest.jsonl>
 #       Schema-validate an fgpsim-run-v1 manifest or BENCH_history.jsonl:
 #       the first record must be a "run" line carrying the schema tag,
@@ -128,6 +133,36 @@ validate_check() {
     echo "check_bench: $dump: check schema OK (diagnostics close)"
 }
 
+validate_analyze() {
+    dump="$1"
+    if [ ! -f "$dump" ]; then
+        echo "check_bench: analyze dump $dump missing" >&2
+        exit 1
+    fi
+    if ! grep -q '"schema": "fgpsim-analyze-v1"' "$dump"; then
+        echo "check_bench: $dump: missing schema tag fgpsim-analyze-v1" >&2
+        exit 1
+    fi
+    require_numeric "$dump" mem_hit_latency blocks_analyzed nodes_analyzed \
+        crit_path_max mean_height dataflow_bound static_ipc_bound \
+        errors warnings
+    # Every lint finding appears exactly once in the diagnostics array
+    # (each entry carries one "code" key).
+    awk -F'[:,]' '
+        function num(s) { gsub(/[ \t]/, "", s); return s + 0 }
+        $1 ~ /"errors"/   { errors = num($2) }
+        $1 ~ /"warnings"/ { warnings = num($2) }
+        $1 ~ /"code"/     { codes += 1 }
+        END {
+            if (codes != errors + warnings) {
+                printf "check_bench: lint accounting broken: %d entries != %d errors + %d warnings\n",
+                       codes, errors, warnings > "/dev/stderr"
+                exit 1
+            }
+        }' "$dump"
+    echo "check_bench: $dump: analyze schema OK (diagnostics close)"
+}
+
 validate_run() {
     manifest="$1"
     if [ ! -f "$manifest" ]; then
@@ -200,6 +235,10 @@ case "${1:-}" in
         ;;
     --validate-check)
         validate_check "${2:?usage: check_bench.sh --validate-check <dump.json>}"
+        exit 0
+        ;;
+    --validate-analyze)
+        validate_analyze "${2:?usage: check_bench.sh --validate-analyze <dump.json>}"
         exit 0
         ;;
     --validate-run)

@@ -1,12 +1,15 @@
 #!/bin/sh
 # Hardened CI configuration: Debug build (post-pass verifier checks on by
 # default) with AddressSanitizer + UBSan and warnings-as-errors, then the
-# full test suite. Usage:
+# full test suite; afterwards a ThreadSanitizer build (its own tree —
+# TSan and ASan cannot share one) runs the metrics suite and a parallel
+# sweep smoke. Usage:
 #
 #   tools/ci.sh [build-dir]
 #
 # The build directory defaults to build-san, kept apart from the regular
-# `build/` tree so the two configurations never share object files.
+# `build/` tree so the two configurations never share object files; the
+# TSan stage appends -tsan to the chosen directory.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,3 +48,20 @@ sh tools/check_bench.sh --validate-run "$BUILD/perf_gate_b.jsonl"
 "$BUILD/tools/fgpsim" compare \
     "$BUILD/perf_gate_a.jsonl" "$BUILD/perf_gate_b.jsonl" \
     --tolerance 10% --wall-tolerance 75%
+
+# ThreadSanitizer stage: the harness fans sweeps out across threads
+# (harness/parallel.hh), so race coverage matters. RelWithDebInfo keeps
+# the TSan run's wall time sane; the metrics label exercises the
+# thread-safe registry paths and the sweep smoke drives the worker pool.
+echo "=== TSan stage: ctest -L metrics + parallel sweep smoke ==="
+TSAN_BUILD="$BUILD-tsan"
+cmake -B "$TSAN_BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFGP_SANITIZE=thread \
+    -DFGP_WERROR=ON
+cmake --build "$TSAN_BUILD" -j "$JOBS"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L metrics
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    FGP_SCALE="${FGP_CI_PERF_SCALE:-0.05}" FGP_JOBS=4 \
+    "$TSAN_BUILD/bench/full_sweep" > /dev/null

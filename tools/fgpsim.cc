@@ -22,6 +22,11 @@
  *                                              static verification of the
  *                                              single/enlarged/translated
  *                                              images (docs/VERIFIER.md)
+ *   fgpsim analyze <src> [--config ...] [--plan FILE] [--top N]
+ *                  [--json] [--strict]
+ *                                              static ILP bounds + workload
+ *                                              lint, no simulation
+ *                                              (docs/ANALYZER.md)
  *   fgpsim compare <A.jsonl> <B.jsonl> [--tolerance P%]
  *                  [--wall-tolerance P%] [--json]
  *                                              diff two fgpsim-run-v1
@@ -52,6 +57,8 @@
 #include "obs/json.hh"
 #include "obs/report.hh"
 #include "obs/sinks.hh"
+#include "analyze/analyze.hh"
+#include "analyze/lint.hh"
 #include "masm/assembler.hh"
 #include "tld/translate.hh"
 #include "verify/equiv.hh"
@@ -88,7 +95,7 @@ usage()
     std::cerr <<
         "usage: fgpsim <command> <src> [flags]\n"
         "  commands: asm | run | profile | bbe | sim | trace | report |\n"
-        "            check | compare\n"
+        "            check | analyze | compare\n"
         "  <src>: benchmark name (sort grep diff cpp compress) or .s file\n"
         "  common flags: --stdin FILE, --out FILE\n"
         "  bbe flags:    --profile FILE [--max-chain N] [--ratio R]\n"
@@ -99,6 +106,8 @@ usage()
         "  trace flags:  sim flags plus --out FILE (trace destination)\n"
         "  report flags: sim flags plus --top N (blocks in the table)\n"
         "  check flags:  [--config CFG] [--plan FILE] [--json] [--strict]\n"
+        "  analyze flags:[--config CFG] [--plan FILE] [--top N] [--json]\n"
+        "                [--strict] (exit 1 when lint finds anything)\n"
         "  compare:      fgpsim compare A.jsonl B.jsonl\n"
         "                [--tolerance P%] [--wall-tolerance P%] [--json]\n"
         "                (fgpsim-run-v1 manifests; exit 1 on regression)\n";
@@ -502,6 +511,209 @@ cmdCheck(const Options &opts)
     return errors ? 1 : 0;
 }
 
+/**
+ * Static ILP analysis pipeline: build the single image, replay the
+ * enlargement (when the config uses enlarged code), translate, and report
+ * the analyzer's per-block dependence heights and ILP bounds plus the
+ * workload lint's AN findings (docs/ANALYZER.md) — all without running a
+ * single simulated cycle. Exit 0 unless the lint errors, or — under
+ * --strict — finds anything at all.
+ */
+int
+cmdAnalyze(const Options &opts)
+{
+    const Source src = resolveSource(opts);
+    const MachineConfig config =
+        parseMachineConfig(opts.get("config", "dyn4/8A/enlarged"));
+    const int top = static_cast<int>(*parseInt(opts.get("top", "10")));
+
+    const CodeImage single = buildCfg(src.program);
+    CodeImage image = single;
+    EnlargePlan plan;
+    EnlargeStats estats;
+    const bool enlarged_mode = config.branch != BranchMode::Single;
+    if (enlarged_mode) {
+        if (opts.has("plan")) {
+            plan = parsePlan(readFile(opts.get("plan")));
+        } else {
+            // No enlargement file given: profile in-process (set 1).
+            SimOS os;
+            src.prepare(os, InputSet::Profile, opts);
+            Profile profile;
+            InterpOptions iopts;
+            iopts.profile = &profile;
+            interpret(src.program, os, iopts);
+            plan = planEnlargement(single, profile, {});
+        }
+        image = applyEnlargement(single, plan, &estats);
+    }
+
+    CodeImage translated = image;
+    translate(translated, config);
+
+    // Bounds come from the translated image (words are the packed bound);
+    // the lint reads the pre-translation image, where source-level
+    // anti-patterns live.
+    const int hit_latency = config.memory.hitLatency;
+    const analyze::ImageAnalysis analysis =
+        analyze::analyzeImage(translated, hit_latency);
+
+    verify::Report report;
+    analyze::LintOptions lopts;
+    lopts.memHitLatency = hit_latency;
+    if (enlarged_mode) {
+        lopts.single = &single;
+        lopts.plan = &plan;
+        analyze::lintImage(image, report, lopts, "enlarged");
+    } else {
+        analyze::lintImage(single, report, lopts, "single");
+    }
+
+    std::vector<analyze::ChainAudit> audits;
+    if (enlarged_mode)
+        audits = analyze::auditChains(single, image, plan, hit_latency);
+
+    const std::size_t errors = report.errorCount();
+    const std::size_t warnings = report.warningCount();
+
+    // Blocks ranked by dependence height for the table / JSON array.
+    std::vector<const analyze::BlockBounds *> ranked;
+    ranked.reserve(analysis.blocks.size());
+    for (const analyze::BlockBounds &b : analysis.blocks)
+        ranked.push_back(&b);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const analyze::BlockBounds *a,
+                 const analyze::BlockBounds *b) {
+                  if (a->critPath != b->critPath)
+                      return a->critPath > b->critPath;
+                  return a->block < b->block;
+              });
+    if (static_cast<int>(ranked.size()) > top)
+        ranked.resize(static_cast<std::size_t>(top));
+
+    if (opts.has("json")) {
+        obs::JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("schema", "fgpsim-analyze-v1");
+        json.field("workload", opts.source);
+        json.field("config", config.name());
+        json.field("mem_hit_latency", hit_latency);
+        json.field("blocks_analyzed",
+                   static_cast<std::uint64_t>(analysis.blocks.size()));
+        json.field("nodes_analyzed",
+                   static_cast<std::uint64_t>(analysis.totalNodes));
+        json.field("enlarged_blocks",
+                   static_cast<std::uint64_t>(analysis.enlargedBlocks));
+        json.field("companion_blocks",
+                   static_cast<std::uint64_t>(analysis.companionBlocks));
+        json.field("crit_path_max", analysis.critPathMax);
+        json.field("mean_height", analysis.meanHeight);
+        json.field("dataflow_bound", analysis.dataflowBound);
+        json.field("static_ipc_bound", analysis.staticIpcBound);
+        json.field("errors", static_cast<std::uint64_t>(errors));
+        json.field("warnings", static_cast<std::uint64_t>(warnings));
+        json.beginArray("resource_bounds");
+        for (const analyze::ResourceBound &rb : analysis.resourceBounds) {
+            json.beginObject();
+            json.field("model", rb.issueIndex);
+            json.field("width", rb.width);
+            json.field("nodes_per_cycle", rb.bound);
+            json.endObject();
+        }
+        json.endArray();
+        json.beginArray("blocks");
+        for (const analyze::BlockBounds *b : ranked) {
+            json.beginObject();
+            json.field("block", b->block);
+            json.field("entry_pc", b->entryPc);
+            json.field("block_nodes", static_cast<std::uint64_t>(b->nodes));
+            json.field("block_words", static_cast<std::uint64_t>(b->words));
+            json.field("height", b->critPath);
+            json.field("residual_height", b->critPathResidual);
+            json.field("ipc_dataflow", b->dataflowBound);
+            json.field("ipc_packed", b->packedBound);
+            json.endObject();
+        }
+        json.endArray();
+        json.beginArray("chains");
+        for (const analyze::ChainAudit &audit : audits) {
+            json.beginObject();
+            json.field("chain", static_cast<std::uint64_t>(audit.chainIndex));
+            json.field("chain_entry_pc", audit.entryPc);
+            json.field("members", static_cast<std::uint64_t>(audit.members));
+            json.field("chain_nodes", static_cast<std::uint64_t>(audit.nodes));
+            json.field("member_height_sum", audit.memberHeightSum);
+            json.field("fused_height", audit.fusedHeight);
+            json.field("height_reduction", audit.heightReduction());
+            json.endObject();
+        }
+        json.endArray();
+        json.beginArray("diagnostics");
+        for (const verify::Diagnostic &diag : report.diagnostics()) {
+            json.beginObject();
+            json.field("code", verify::codeId(diag.code));
+            json.field("name", verify::codeName(diag.code));
+            json.field("severity", verify::severityName(diag.severity));
+            json.field("stage", diag.stage);
+            json.field("block", diag.block);
+            json.field("node", diag.node);
+            json.field("orig_pc", diag.origPc);
+            json.field("message", diag.message);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        std::cout << "\n";
+    } else {
+        std::cout << "analyze " << opts.source << " (" << config.name()
+                  << ")\n"
+                  << "  blocks analyzed    " << analysis.blocks.size()
+                  << " (" << analysis.enlargedBlocks << " enlarged, "
+                  << analysis.companionBlocks << " companions)\n"
+                  << "  nodes analyzed     " << analysis.totalNodes << "\n"
+                  << "  dependence height  max " << analysis.critPathMax
+                  << ", mean " << format("%.2f", analysis.meanHeight)
+                  << "\n"
+                  << "  dataflow bound     "
+                  << format("%.3f", analysis.dataflowBound)
+                  << " nodes/cycle\n"
+                  << "  static IPC bound   "
+                  << format("%.3f", analysis.staticIpcBound)
+                  << " nodes/cycle (sound for any run)\n"
+                  << "  resource bounds\n";
+        for (const analyze::ResourceBound &rb : analysis.resourceBounds)
+            std::cout << format("    model %d (width %2d)  %.3f\n",
+                                rb.issueIndex, rb.width, rb.bound);
+        if (!ranked.empty()) {
+            std::cout << "  tallest blocks       nodes words height resid"
+                         "  ipc\n";
+            for (const analyze::BlockBounds *b : ranked)
+                std::cout << format("    block %-4d pc %-5d %5zu %5zu "
+                                    "%6d %5d %5.2f\n",
+                                    b->block, b->entryPc, b->nodes,
+                                    b->words, b->critPath,
+                                    b->critPathResidual, b->packedBound);
+        }
+        if (!audits.empty()) {
+            std::cout << "  chain audit (by predicted height reduction)\n";
+            for (const analyze::ChainAudit &audit : audits)
+                std::cout << format("    chain %-3zu pc %-5d %zu blocks: "
+                                    "height %d -> %d (%+d)\n",
+                                    audit.chainIndex, audit.entryPc,
+                                    audit.members, audit.memberHeightSum,
+                                    audit.fusedHeight,
+                                    -audit.heightReduction());
+        }
+        if (!report.diagnostics().empty())
+            std::cout << report.renderText();
+        std::cout << "analyze: " << errors << " errors, " << warnings
+                  << " warnings\n";
+    }
+    if (errors)
+        return 1;
+    return opts.has("strict") && !report.diagnostics().empty() ? 1 : 0;
+}
+
 /** "10%" or "10" -> 10.0 (percent). */
 double
 parsePercent(const std::string &text, const char *flag)
@@ -740,6 +952,8 @@ runCli(int argc, char **argv)
         return cmdSim(opts, SimMode::Report);
     if (opts.command == "check")
         return cmdCheck(opts);
+    if (opts.command == "analyze")
+        return cmdAnalyze(opts);
     if (opts.command == "compare")
         return cmdCompare(opts);
     usage();
