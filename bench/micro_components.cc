@@ -3,15 +3,22 @@
  * google-benchmark microbenchmarks of the simulator's components:
  * cache directory, branch predictor, sparse memory, assembler, the
  * functional VM and the cycle engine itself (simulation throughput in
- * nodes/second).
+ * nodes/second). The engine's allocation-free container primitives
+ * (engine/containers.hh) are benchmarked head-to-head against the std::
+ * containers they replaced, so layout regressions stay attributable.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <deque>
+#include <queue>
+#include <unordered_map>
 
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "bbe/enlarge.hh"
 #include "branch/predictor.hh"
+#include "engine/containers.hh"
 #include "engine/engine.hh"
 #include "ir/cfg.hh"
 #include "masm/assembler.hh"
@@ -58,6 +65,197 @@ BM_PredictorLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PredictorLookup);
+
+// --- Ready queue: the scheduler pushes every woken node and pops
+// oldest-first each cycle. MinHeap (flat array, clearRetain) vs the
+// std::priority_queue it replaced. The access mix models a window:
+// push a burst, pop roughly half, repeat.
+
+constexpr std::size_t kReadyBurst = 32;
+
+void
+BM_ReadyQueueMinHeap(benchmark::State &state)
+{
+    struct SeqLess
+    {
+        bool
+        operator()(std::uint64_t a, std::uint64_t b) const
+        {
+            return a < b;
+        }
+    };
+    MinHeap<std::uint64_t, SeqLess> heap;
+    Rng rng(3);
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kReadyBurst; ++i)
+            heap.push(seq + rng.below(64));
+        seq += kReadyBurst;
+        for (std::size_t i = 0; i < kReadyBurst / 2 && !heap.empty(); ++i) {
+            benchmark::DoNotOptimize(heap.top());
+            heap.pop();
+        }
+        if (heap.size() > 4096)
+            heap.clearRetain();
+    }
+}
+BENCHMARK(BM_ReadyQueueMinHeap);
+
+void
+BM_ReadyQueueStdPriorityQueue(benchmark::State &state)
+{
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<std::uint64_t>>
+        heap;
+    Rng rng(3);
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kReadyBurst; ++i)
+            heap.push(seq + rng.below(64));
+        seq += kReadyBurst;
+        for (std::size_t i = 0; i < kReadyBurst / 2 && !heap.empty(); ++i) {
+            benchmark::DoNotOptimize(heap.top());
+            heap.pop();
+        }
+        if (heap.size() > 4096)
+            heap = {};
+    }
+}
+BENCHMARK(BM_ReadyQueueStdPriorityQueue);
+
+// --- Waiter table: at issue each unready operand registers its consumer
+// with the producer; at completion the producer drains its chain. The
+// engine threads ChainPool chains through node slots; the old engine
+// kept an unordered_map<producer, vector<consumer>>.
+
+struct WaiterItem
+{
+    std::uint64_t seq;
+    std::uint32_t pos;
+    std::uint32_t slot;
+};
+
+constexpr std::size_t kWaiterProducers = 256;
+constexpr std::size_t kWaitersPerProducer = 4;
+
+void
+BM_WaiterTableChainPool(benchmark::State &state)
+{
+    ChainPool<WaiterItem> pool;
+    struct ChainRef
+    {
+        std::uint32_t head = kNilIndex;
+        std::uint32_t tail = kNilIndex;
+    };
+    std::vector<ChainRef> chains(kWaiterProducers);
+    std::uint64_t seq = 0;
+    std::uint64_t drained = 0;
+    for (auto _ : state) {
+        // Issue: append one consumer to every producer's chain.
+        for (std::size_t round = 0; round < kWaitersPerProducer; ++round) {
+            for (std::size_t p = 0; p < kWaiterProducers; ++p) {
+                const std::uint32_t idx = pool.alloc(
+                    {seq, static_cast<std::uint32_t>(seq & 0xffff),
+                     static_cast<std::uint32_t>(round)});
+                ++seq;
+                ChainRef &chain = chains[p];
+                if (chain.head == kNilIndex)
+                    chain.head = idx;
+                else
+                    pool.setNext(chain.tail, idx);
+                chain.tail = idx;
+            }
+        }
+        // Complete: drain every chain in append order.
+        for (ChainRef &chain : chains) {
+            std::uint32_t idx = chain.head;
+            while (idx != kNilIndex) {
+                const std::uint32_t nxt = pool.next(idx);
+                drained += pool.at(idx).seq;
+                pool.release(idx);
+                idx = nxt;
+            }
+            chain = {};
+        }
+    }
+    benchmark::DoNotOptimize(drained);
+}
+BENCHMARK(BM_WaiterTableChainPool);
+
+void
+BM_WaiterTableUnorderedMap(benchmark::State &state)
+{
+    std::unordered_map<std::uint64_t, std::vector<WaiterItem>> waiters;
+    std::uint64_t seq = 0;
+    std::uint64_t drained = 0;
+    for (auto _ : state) {
+        for (std::size_t round = 0; round < kWaitersPerProducer; ++round) {
+            for (std::size_t p = 0; p < kWaiterProducers; ++p) {
+                waiters[p].push_back(
+                    {seq, static_cast<std::uint32_t>(seq & 0xffff),
+                     static_cast<std::uint32_t>(round)});
+                ++seq;
+            }
+        }
+        for (std::size_t p = 0; p < kWaiterProducers; ++p) {
+            const auto it = waiters.find(p);
+            if (it == waiters.end())
+                continue;
+            for (const WaiterItem &w : it->second)
+                drained += w.seq;
+            waiters.erase(it);
+        }
+    }
+    benchmark::DoNotOptimize(drained);
+}
+BENCHMARK(BM_WaiterTableUnorderedMap);
+
+// --- Store/word queue: push at issue, pop_front at retire, pop_back on
+// squash. RingBuffer (power-of-two flat array) vs the std::deque it
+// replaced.
+
+constexpr std::size_t kRingDepth = 256;
+
+void
+BM_RingBufferQueue(benchmark::State &state)
+{
+    RingBuffer<std::uint64_t> ring;
+    std::uint64_t seq = 0;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        while (ring.size() < kRingDepth)
+            ring.push_back(seq++);
+        // Retire half from the front, squash a quarter off the back.
+        for (std::size_t i = 0; i < kRingDepth / 2; ++i) {
+            sum += ring.front();
+            ring.pop_front();
+        }
+        for (std::size_t i = 0; i < kRingDepth / 4; ++i)
+            ring.pop_back();
+    }
+    benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_RingBufferQueue);
+
+void
+BM_StdDequeQueue(benchmark::State &state)
+{
+    std::deque<std::uint64_t> ring;
+    std::uint64_t seq = 0;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        while (ring.size() < kRingDepth)
+            ring.push_back(seq++);
+        for (std::size_t i = 0; i < kRingDepth / 2; ++i) {
+            sum += ring.front();
+            ring.pop_front();
+        }
+        for (std::size_t i = 0; i < kRingDepth / 4; ++i)
+            ring.pop_back();
+    }
+    benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_StdDequeQueue);
 
 void
 BM_SparseMemoryRead32(benchmark::State &state)

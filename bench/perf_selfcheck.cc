@@ -18,16 +18,71 @@
  *                    file (BENCH_history.jsonl) — one line per run, so
  *                    the perf trajectory accumulates across commits
  *   --reduced        quarter-size slice for CI smoke runs
+ *
+ * Besides timing, this bench enforces the engine's zero-steady-state-
+ * allocation contract: a counting global operator new feeds
+ * setAllocHook(), and after the timed sweep a repeat simulation on a
+ * warmed workspace must report zero cycle-loop allocations
+ * (EngineResult::allocCycleLoop; syscall buffering is excluded). The
+ * per-run totals land in the manifest registry as engine.alloc.*.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <new>
 
 #include "base/strutil.hh"
 #include "bench/fig_common.hh"
+#include "engine/engine.hh"
 #include "metrics/manifest.hh"
+
+// Counting allocator (same pattern as tests/metrics_test.cc): every
+// operator new bumps one relaxed atomic and funnels through malloc so
+// the override composes with sanitizers.
+static std::atomic<std::uint64_t> g_allocCount{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+// Kept out of line: once gcc inlines a delete body at -O2 it pairs the
+// raw free() with the replaced operator new and misfires
+// -Wmismatched-new-delete, even though every form funnels through
+// malloc/free.
+[[gnu::noinline]] void operator delete(void *p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete[](void *p) noexcept { std::free(p); }
+[[gnu::noinline]] void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+[[gnu::noinline]] void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+static std::uint64_t
+allocNow()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
 
 using namespace fgp;
 using namespace fgp::bench;
@@ -82,6 +137,10 @@ main(int argc, char **argv)
         configs = cut;
     }
 
+    // Sample allocations around every simulation (engine.alloc.* in the
+    // manifest registry); sampling never changes a schedule.
+    setAllocHook(&allocNow);
+
     ExperimentRunner runner(scale);
 
     std::vector<SweepPoint> points;
@@ -107,6 +166,49 @@ main(int argc, char **argv)
     const auto end = std::chrono::steady_clock::now();
     recorder.record(results);
 
+    // Zero-steady-state-allocation contract: once a run has warmed this
+    // thread's pooled workspace, a repeat simulation of the same cell
+    // must allocate nothing inside the cycle loop. One cell per
+    // workload, covering both a static and a deep dynamic window.
+    std::uint64_t steady_allocs = 0;
+    std::uint64_t steady_sims = 0;
+    std::uint64_t arena_node_slots = 0;
+    std::uint64_t arena_block_slots = 0;
+    std::uint64_t arena_chain_slots = 0;
+    std::uint64_t peak_live_nodes = 0;
+    for (const std::string &workload : workloadNames()) {
+        for (const MachineConfig &config :
+             {MachineConfig{Discipline::Static, issueModel(8),
+                            memoryConfig('A'), BranchMode::Single},
+              MachineConfig{Discipline::Dyn256, issueModel(8),
+                            memoryConfig('G'), BranchMode::Single}}) {
+            runner.run(workload, config); // warm the workspace
+            const ExperimentResult repeat = runner.run(workload, config);
+            fgp_assert(repeat.engine.allocSampled,
+                       "allocation hook was not sampled");
+            if (repeat.engine.allocCycleLoop)
+                std::cout << format(
+                    "  steady-state leak: %s %s: %llu cycle-loop allocs\n",
+                    workload.c_str(), config.name().c_str(),
+                    static_cast<unsigned long long>(
+                        repeat.engine.allocCycleLoop));
+            steady_allocs += repeat.engine.allocCycleLoop;
+            ++steady_sims;
+            arena_node_slots =
+                std::max(arena_node_slots, repeat.engine.arenaNodeSlots);
+            arena_block_slots =
+                std::max(arena_block_slots, repeat.engine.arenaBlockSlots);
+            arena_chain_slots =
+                std::max(arena_chain_slots, repeat.engine.arenaChainSlots);
+            peak_live_nodes =
+                std::max(peak_live_nodes, repeat.engine.peakLiveNodes);
+        }
+    }
+    if (steady_allocs != 0)
+        fgp_fatal("engine allocated on a warmed workspace: ",
+                  steady_allocs, " cycle-loop allocations across ",
+                  steady_sims, " repeat simulations");
+
     const double wall =
         std::chrono::duration<double>(end - start).count();
     std::uint64_t sim_cycles = 0;
@@ -122,7 +224,17 @@ main(int argc, char **argv)
               << format("  sims/second      : %.2f\n", sims_per_sec)
               << format("  simulated cycles : %llu\n",
                         static_cast<unsigned long long>(sim_cycles))
-              << format("  host ns/sim cycle: %.1f\n", host_ns_per_cycle);
+              << format("  host ns/sim cycle: %.1f\n", host_ns_per_cycle)
+              << format("  steady-state heap allocations: %llu "
+                        "(%llu warmed repeat sims)\n",
+                        static_cast<unsigned long long>(steady_allocs),
+                        static_cast<unsigned long long>(steady_sims))
+              << format("  arena occupancy  : %llu node / %llu block / "
+                        "%llu chain slots, peak %llu live nodes\n",
+                        static_cast<unsigned long long>(arena_node_slots),
+                        static_cast<unsigned long long>(arena_block_slots),
+                        static_cast<unsigned long long>(arena_chain_slots),
+                        static_cast<unsigned long long>(peak_live_nodes));
 
     const std::int64_t now =
         static_cast<std::int64_t>(std::time(nullptr));
@@ -145,7 +257,20 @@ main(int argc, char **argv)
          << format("  \"sims_per_sec\": %.4f,\n", sims_per_sec)
          << format("  \"sim_cycles\": %llu,\n",
                    static_cast<unsigned long long>(sim_cycles))
-         << format("  \"host_ns_per_sim_cycle\": %.4f\n", host_ns_per_cycle)
+         << format("  \"host_ns_per_sim_cycle\": %.4f,\n",
+                   host_ns_per_cycle)
+         << format("  \"steady_state_allocs\": %llu,\n",
+                   static_cast<unsigned long long>(steady_allocs))
+         << format("  \"steady_state_checked_sims\": %llu,\n",
+                   static_cast<unsigned long long>(steady_sims))
+         << format("  \"arena_node_slots\": %llu,\n",
+                   static_cast<unsigned long long>(arena_node_slots))
+         << format("  \"arena_block_slots\": %llu,\n",
+                   static_cast<unsigned long long>(arena_block_slots))
+         << format("  \"arena_chain_slots\": %llu,\n",
+                   static_cast<unsigned long long>(arena_chain_slots))
+         << format("  \"peak_live_nodes\": %llu\n",
+                   static_cast<unsigned long long>(peak_live_nodes))
          << "}\n";
     std::cout << "\nwrote " << out_path << "\n";
 

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Allocation-free container primitives for the cycle engine's hot paths.
+ *
+ * Every simulated cycle pushes and pops queue entries, schedules
+ * completion events and probes the store-forwarding table; at millions
+ * of cycles per run the standard node-based containers (std::deque,
+ * std::map, std::unordered_map) spend most of their time in the
+ * allocator and chasing cold pointers. These replacements share three
+ * properties:
+ *
+ *  - storage is a power-of-two flat array that grows geometrically and
+ *    is never freed between runs (clearRetain()), so a warmed workspace
+ *    performs zero steady-state allocations;
+ *  - elements are plain structs laid out contiguously, so the per-cycle
+ *    working set stays inside a few cache lines;
+ *  - growth preserves logical order/identity, so holding an index or a
+ *    (pos, seq) reference across a grow is safe.
+ *
+ * bench/micro_components.cc benchmarks each primitive against its
+ * std:: counterpart so layout regressions are attributable.
+ */
+
+#ifndef FGP_ENGINE_CONTAINERS_HH
+#define FGP_ENGINE_CONTAINERS_HH
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace fgp {
+
+/** Index sentinel shared by the chain/freelist structures. */
+inline constexpr std::uint32_t kNilIndex = 0xffffffffu;
+
+/**
+ * Power-of-two ring buffer: a deque without per-chunk allocation.
+ * Supports the engine's access mix — push_back, pop_front (retire),
+ * pop_back (squash), and random logical indexing (binary search over
+ * sorted content).
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    void
+    push_back(const T &item)
+    {
+        if (count_ == buf_.size())
+            grow();
+        buf_[(head_ + count_) & mask_] = item;
+        ++count_;
+    }
+
+    T &front() { return buf_[head_ & mask_]; }
+    const T &front() const { return buf_[head_ & mask_]; }
+    T &back() { return buf_[(head_ + count_ - 1) & mask_]; }
+    const T &back() const { return buf_[(head_ + count_ - 1) & mask_]; }
+
+    /** Logical indexing: [0] is the front. */
+    T &operator[](std::size_t i) { return buf_[(head_ + i) & mask_]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    void
+    pop_front()
+    {
+        fgp_assert(count_, "pop_front on empty ring");
+        ++head_;
+        --count_;
+    }
+
+    void
+    pop_back()
+    {
+        fgp_assert(count_, "pop_back on empty ring");
+        --count_;
+    }
+
+    /** Insert before logical index @p i, shifting the back side (the
+     *  engine's sorted rings insert at or near the back). */
+    void
+    insert(std::size_t i, const T &item)
+    {
+        push_back(item);
+        for (std::size_t j = count_ - 1; j > i; --j)
+            (*this)[j] = (*this)[j - 1];
+        (*this)[i] = item;
+    }
+
+    /** Erase logical index @p i, shifting whichever side is shorter
+     *  (front erases — the retirement pattern — cost O(1)). */
+    void
+    erase(std::size_t i)
+    {
+        fgp_assert(i < count_, "ring erase out of range");
+        if (i <= count_ / 2) {
+            for (std::size_t j = i; j > 0; --j)
+                (*this)[j] = (*this)[j - 1];
+            pop_front();
+        } else {
+            for (std::size_t j = i; j + 1 < count_; ++j)
+                (*this)[j] = (*this)[j + 1];
+            pop_back();
+        }
+    }
+
+    /** Drop contents; keep the array (zero-alloc reuse). */
+    void
+    clearRetain()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t new_cap = buf_.empty() ? 64 : buf_.size() * 2;
+        std::vector<T> next(new_cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = buf_[(head_ + i) & mask_];
+        buf_ = std::move(next);
+        mask_ = new_cap - 1;
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+/**
+ * Flat binary min-heap over a reusable vector. Pop order for a strict
+ * total order is implementation-independent (always the minimum), which
+ * is what lets this replace std::priority_queue without perturbing
+ * schedules: the engine's comparators order by unique sequence numbers,
+ * and the one cycle-keyed heap (completion events) is drained per cycle
+ * and re-sorted by its caller.
+ */
+template <typename T, typename Less>
+class MinHeap
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+    const T &top() const { return heap_.front(); }
+
+    void
+    push(const T &item)
+    {
+        heap_.push_back(item);
+        std::size_t i = heap_.size() - 1;
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!less_(heap_[i], heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    pop()
+    {
+        fgp_assert(!heap_.empty(), "pop on empty heap");
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        const std::size_t n = heap_.size();
+        std::size_t i = 0;
+        for (;;) {
+            const std::size_t l = 2 * i + 1;
+            const std::size_t r = l + 1;
+            std::size_t best = i;
+            if (l < n && less_(heap_[l], heap_[best]))
+                best = l;
+            if (r < n && less_(heap_[r], heap_[best]))
+                best = r;
+            if (best == i)
+                break;
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+    }
+
+    void clearRetain() { heap_.clear(); }
+
+  private:
+    std::vector<T> heap_;
+    Less less_{};
+};
+
+/**
+ * Pooled singly-linked chains with an intrusive freelist. The engine
+ * threads consumer-wait and parked-load chains through node slots with
+ * these; a chain replaces one heap-allocated std::vector per waited-on
+ * producer. Append order is preserved (head/tail), matching the wake
+ * order the old per-producer vectors produced.
+ */
+template <typename T>
+class ChainPool
+{
+  public:
+    std::uint32_t
+    alloc(const T &item)
+    {
+        if (free_ != kNilIndex) {
+            const std::uint32_t idx = free_;
+            free_ = slots_[idx].next;
+            slots_[idx].item = item;
+            slots_[idx].next = kNilIndex;
+            return idx;
+        }
+        slots_.push_back(Slot{item, kNilIndex});
+        return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+
+    void
+    release(std::uint32_t idx)
+    {
+        slots_[idx].next = free_;
+        free_ = idx;
+    }
+
+    /** Slots ever allocated (arena high-water mark, freelist included). */
+    std::size_t size() const { return slots_.size(); }
+
+    T &at(std::uint32_t idx) { return slots_[idx].item; }
+    const T &at(std::uint32_t idx) const { return slots_[idx].item; }
+    std::uint32_t next(std::uint32_t idx) const { return slots_[idx].next; }
+    void setNext(std::uint32_t idx, std::uint32_t n) { slots_[idx].next = n; }
+
+    void
+    clearRetain()
+    {
+        slots_.clear();
+        free_ = kNilIndex;
+    }
+
+  private:
+    struct Slot
+    {
+        T item;
+        std::uint32_t next;
+    };
+    std::vector<Slot> slots_;
+    std::uint32_t free_ = kNilIndex;
+};
+
+/**
+ * Open-addressing hash map from 32-bit keys to small values: linear
+ * probing, power-of-two capacity, backward-shift deletion (no
+ * tombstones, so load factor stays honest under the store index's
+ * add/erase churn). Values must be trivially copyable.
+ */
+template <typename V>
+class FlatHashMap32
+{
+  public:
+    FlatHashMap32() { rehash(64); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Value slot for @p key, default-constructed when absent. */
+    V &
+    operator[](std::uint32_t key)
+    {
+        if ((size_ + 1) * 10 >= capacity() * 7)
+            rehash(capacity() * 2);
+        std::size_t i = slotFor(key);
+        while (used_[i]) {
+            if (keys_[i] == key) {
+                fresh_ = false;
+                return vals_[i];
+            }
+            i = (i + 1) & mask_;
+        }
+        used_[i] = 1;
+        keys_[i] = key;
+        vals_[i] = V{};
+        ++size_;
+        fresh_ = true;
+        return vals_[i];
+    }
+
+    /** Like operator[], but a fresh slot starts as @p init. */
+    V &
+    getOrInsert(std::uint32_t key, const V &init)
+    {
+        V &slot = (*this)[key];
+        if (fresh_)
+            slot = init;
+        return slot;
+    }
+
+    V *
+    find(std::uint32_t key)
+    {
+        std::size_t i = slotFor(key);
+        while (used_[i]) {
+            if (keys_[i] == key)
+                return &vals_[i];
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(std::uint32_t key) const
+    {
+        return const_cast<FlatHashMap32 *>(this)->find(key);
+    }
+
+    void
+    erase(std::uint32_t key)
+    {
+        std::size_t i = slotFor(key);
+        while (used_[i]) {
+            if (keys_[i] == key) {
+                eraseSlot(i);
+                return;
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    void
+    clearRetain()
+    {
+        std::memset(used_.data(), 0, used_.size());
+        size_ = 0;
+    }
+
+  private:
+    std::size_t capacity() const { return mask_ + 1; }
+
+    std::size_t
+    slotFor(std::uint32_t key) const
+    {
+        // Fibonacci multiplicative mix; byte addresses are sequential.
+        return (key * 0x9e3779b1u) >> shift_ & mask_;
+    }
+
+    void
+    eraseSlot(std::size_t i)
+    {
+        // Backward shift: pull every displaced follower one slot closer
+        // to its home until a hole or a home-positioned entry stops the
+        // cluster.
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (!used_[j])
+                break;
+            const std::size_t home = slotFor(keys_[j]);
+            if (((j - home) & mask_) >= ((j - i) & mask_)) {
+                keys_[i] = keys_[j];
+                vals_[i] = vals_[j];
+                i = j;
+            }
+        }
+        used_[i] = 0;
+        --size_;
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<std::uint8_t> old_used = std::move(used_);
+        std::vector<std::uint32_t> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        used_.assign(new_cap, 0);
+        keys_.resize(new_cap);
+        vals_.resize(new_cap);
+        mask_ = new_cap - 1;
+        shift_ = 0; // keep the high mix bits: shift so the mask sees them
+        while ((new_cap << (shift_ + 1)) <= (std::size_t{1} << 32))
+            ++shift_;
+        size_ = 0;
+        for (std::size_t s = 0; s < old_used.size(); ++s) {
+            if (!old_used[s])
+                continue;
+            std::size_t i = slotFor(old_keys[s]);
+            while (used_[i])
+                i = (i + 1) & mask_;
+            used_[i] = 1;
+            keys_[i] = old_keys[s];
+            vals_[i] = old_vals[s];
+            ++size_;
+        }
+    }
+
+    std::vector<std::uint8_t> used_;
+    std::vector<std::uint32_t> keys_;
+    std::vector<V> vals_;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 0;
+    std::size_t size_ = 0;
+    bool fresh_ = false; ///< did the last operator[] create its slot?
+};
+
+} // namespace fgp
+
+#endif // FGP_ENGINE_CONTAINERS_HH

@@ -1,15 +1,14 @@
 #include "engine/engine.hh"
 
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <queue>
-#include <set>
+#include <array>
+#include <atomic>
+#include <memory>
 #include <unordered_map>
 
 #include "base/logging.hh"
 #include "branch/predictor.hh"
-#include "engine/store_index.hh"
+#include "engine/workspace.hh"
 #include "memsys/memsys.hh"
 #include "metrics/registry.hh"
 #include "obs/bus.hh"
@@ -19,94 +18,54 @@ namespace fgp {
 
 namespace {
 
+std::atomic<std::uint64_t (*)()> g_allocHook{nullptr};
+
 enum class NState : std::uint8_t { Waiting, Ready, Executing, Done };
 
-constexpr int kMaxSrcs = 5; // SYSCALL reads v0, a0..a3
-
-/** One issued node instance. */
-struct NodeInst
-{
-    const Node *node = nullptr;
-    std::uint32_t nodeIdx = 0; ///< index within the image block's nodes
-    std::uint32_t instIdx = 0; ///< index within the BlockInst's insts
-    std::uint64_t seq = 0;
-    NState state = NState::Waiting;
-
-    int nSrc = 0;
-    int unresolved = 0;
-    std::uint32_t srcVal[kMaxSrcs] = {};
-    bool srcReady[kMaxSrcs] = {};
-
-    std::uint32_t value = 0;
-
-    // Memory state.
-    std::uint32_t addr = 0;
-    bool addrKnown = false;
-    std::uint8_t data[4] = {};
-    std::uint32_t len = 0;
-    bool dataKnown = false;
-};
-
-/** One in-flight basic block. */
-struct BlockInst
-{
-    std::uint64_t bseq = 0;
-    std::int32_t imageId = -1;
-    std::vector<NodeInst> insts;
-    std::size_t issuedWords = 0;
-    bool fullyIssued = false;
-    std::size_t doneCount = 0;
-
-    // Next-block decision bookkeeping.
-    bool predictionMade = false;
-    bool predictedTaken = false;
-    std::int32_t predictedTargetPc = -1; ///< for JR
-    bool resolvedEarly = false;
-    bool resolvedTaken = false;
-    std::int32_t resolvedTargetPc = -1;
-};
-
-struct Ref
-{
-    std::uint64_t bseq;
-    std::uint32_t idx;
-    std::uint64_t seq;
-};
-
-struct RefNewestFirst
-{
-    bool operator()(const Ref &a, const Ref &b) const { return a.seq > b.seq; }
-};
-
-struct WaitRef
-{
-    std::uint64_t bseq;
-    std::uint32_t idx;
-    int slot;
-};
+using NodeRef = EngineWorkspace::NodeRef;
+using BlockRec = EngineWorkspace::BlockRec;
+using ChainItem = EngineWorkspace::ChainItem;
+using ChainRef = EngineWorkspace::ChainRef;
+using ExecRec = EngineWorkspace::ExecRec;
+using MemRec = EngineWorkspace::MemRec;
+using MetaRec = EngineWorkspace::MetaRec;
 
 struct RenameEntry
 {
     bool ready = true;
     std::uint32_t value = 0;
     std::uint64_t tag = 0;
+    std::uint32_t tagPos = 0; ///< producer's node slot (tag != 0 only)
 };
 
-/** The whole machine for one simulate() call. */
+/**
+ * The whole machine for one simulate() call. All per-node and per-block
+ * state lives in the EngineWorkspace's SoA rings; a node is identified
+ * by its dense issue position `pos` (ring slot `pos & nodeMask_`) and
+ * validated by its unique sequence number — see workspace.hh and
+ * DESIGN.md ("Engine memory layout").
+ */
 class Engine
 {
   public:
-    Engine(const CodeImage &image, SimOS &os, const EngineOptions &opts)
+    Engine(const CodeImage &image, SimOS &os, const EngineOptions &opts,
+           EngineWorkspace &ws)
         : image_(image), os_(os), opts_(opts),
           bus_(opts.bus),
           memsys_(opts.config.memory),
           predictor_(opts.predictor),
+          ws_(ws),
+          mem_(ws.mem),
           windowCap_(opts.windowOverride > 0
                          ? opts.windowOverride
                          : windowBlocks(opts.config.discipline)),
           isStatic_(opts.config.discipline == Discipline::Static),
-          perfect_(opts.config.branch == BranchMode::Perfect)
+          perfect_(opts.config.branch == BranchMode::Perfect),
+          hook_(g_allocHook.load(std::memory_order_relaxed))
     {
+        ws_.beginRun();
+        nodeMask_ = ws_.nodeMask();
+        blockMask_ = ws_.blockMask();
         if (perfect_) {
             fgp_assert(opts.perfectTrace,
                        "perfect branch mode needs a committed-block trace");
@@ -117,48 +76,82 @@ class Engine
     EngineResult run();
 
   private:
-    // ---- helpers ----------------------------------------------------
+    // ---- SoA accessors ----------------------------------------------
+    std::uint64_t seqAt(std::uint32_t pos) const
+    {
+        return ws_.nodeSeq[pos & nodeMask_];
+    }
+    NState stateAt(std::uint32_t pos) const
+    {
+        return static_cast<NState>(ws_.nodeState[pos & nodeMask_]);
+    }
+    void setState(std::uint32_t pos, NState s)
+    {
+        ws_.nodeState[pos & nodeMask_] = static_cast<std::uint8_t>(s);
+    }
+    ExecRec &execAt(std::uint32_t pos)
+    {
+        return ws_.exec[pos & nodeMask_];
+    }
+    MemRec &memAt(std::uint32_t pos)
+    {
+        return ws_.memRec[pos & nodeMask_];
+    }
+    MetaRec &metaAt(std::uint32_t pos)
+    {
+        return ws_.meta[pos & nodeMask_];
+    }
+    ChainRef &waitAt(std::uint32_t pos)
+    {
+        return ws_.waitChain[pos & nodeMask_];
+    }
+    ChainRef &loadAt(std::uint32_t pos)
+    {
+        return ws_.loadChain[pos & nodeMask_];
+    }
+    BlockRec &blockAt(std::uint32_t bpos)
+    {
+        return ws_.blocks[bpos & blockMask_];
+    }
+
     /**
-     * Find the in-flight block with exactly this bseq. Sequence numbers
-     * are monotone but NOT dense (squashes leave gaps), so this is a
-     * binary search over the sorted window.
+     * Is this (pos, seq) reference a currently in-flight node? Live
+     * nodes occupy the contiguous pos range [headPos_, nextPos_);
+     * squash rewinds nextPos_ (un-reused slots fail the range check)
+     * and slot reuse changes the seq (reused slots fail the tag check),
+     * so no slot ever needs wiping.
      */
-    BlockInst *
-    blockBy(std::uint64_t bseq)
+    bool liveNode(const NodeRef &ref) const
     {
-        BlockInst *block = firstAtOrAfter(bseq);
-        return block && block->bseq == bseq ? block : nullptr;
+        return ref.pos >= headPos_ && ref.pos < nextPos_ &&
+               seqAt(ref.pos) == ref.seq;
     }
 
-    /** First in-flight block with bseq >= the argument, or nullptr. */
-    BlockInst *
-    firstAtOrAfter(std::uint64_t bseq)
+    // ---- chain plumbing ---------------------------------------------
+    void
+    chainAppend(ChainRef &chain, const ChainItem &item)
     {
-        if (window_.empty() || bseq > window_.back().bseq)
-            return nullptr;
-        const std::uint64_t front = window_.front().bseq;
-        if (bseq <= front)
-            return &window_.front();
-        // Window bseqs are strictly increasing, so slot i holds bseq >=
-        // front + i: the target sits at most (bseq - front) slots in.
-        // Squash gaps only push it left, so start there and walk back.
-        std::size_t idx = std::min(static_cast<std::size_t>(bseq - front),
-                                   window_.size() - 1);
-        while (idx > 0 && window_[idx - 1].bseq >= bseq)
-            --idx;
-        return &window_[idx];
+        const std::uint32_t idx = ws_.chains.alloc(item);
+        if (chain.head == kNilIndex)
+            chain.head = idx;
+        else
+            ws_.chains.setNext(chain.tail, idx);
+        chain.tail = idx;
     }
 
-    NodeInst *
-    instBy(const Ref &ref)
+    void
+    releaseChain(ChainRef &chain)
     {
-        BlockInst *block = blockBy(ref.bseq);
-        if (!block || ref.idx >= block->insts.size())
-            return nullptr;
-        NodeInst *inst = &block->insts[ref.idx];
-        return inst->seq == ref.seq ? inst : nullptr;
+        std::uint32_t idx = chain.head;
+        chain.head = chain.tail = kNilIndex;
+        while (idx != kNilIndex) {
+            const std::uint32_t nxt = ws_.chains.next(idx);
+            ws_.chains.release(idx);
+            idx = nxt;
+        }
     }
 
+    // ---- pipeline stages --------------------------------------------
     void processCompletions();
     void retireBlocks();
     void refreshPending();
@@ -166,14 +159,17 @@ class Engine
     void scheduleStaticWord();
     void issueCycle();
 
-    void onDataReady(BlockInst &block, std::uint32_t idx);
-    void tryStoreAgen(NodeInst &inst);
-    void completeAt(std::uint64_t cycle, const Ref &ref);
-    void executeNode(BlockInst &block, NodeInst &inst);
-    bool tryExecuteLoad(BlockInst &block, NodeInst &inst);
-    void resolveControl(BlockInst &block, NodeInst &inst);
+    void onDataReady(std::uint32_t pos);
+    void tryStoreAgen(std::uint32_t pos);
+    void completeAt(std::uint64_t cycle, std::uint64_t seq,
+                    std::uint32_t pos);
+    void executeNode(std::uint32_t pos);
+    bool tryExecuteLoad(std::uint32_t pos);
+    void resolveControl(std::uint32_t pos);
+    void parkLoad(std::uint32_t blocker_pos, std::uint64_t blocker_seq,
+                  std::uint32_t load_pos, std::uint32_t addr);
 
-    void decideNextFetch(BlockInst &block);
+    void decideNextFetch(BlockRec &block);
     void squashFrom(std::uint64_t bseq_inclusive);
     void rebuildRenameMap();
     void redirectTo(std::int32_t image_block);
@@ -184,17 +180,27 @@ class Engine
      * Speculatively read @p len bytes at @p addr as seen by sequence
      * number @p seq_limit. On failure, @p blocker (when non-null) names
      * the oldest node whose resolution must precede a retry: a store
-     * with an unknown address or unknown data, or a pending syscall.
+     * with an unknown address or unknown data, or a pending syscall;
+     * @p blocker_pos receives that node's slot for chain parking.
      */
     MergeStatus specRead(std::uint64_t seq_limit, std::uint32_t addr,
                          std::uint32_t len, std::uint8_t *out,
                          bool *forwarded,
-                         std::uint64_t *blocker = nullptr);
+                         std::uint64_t *blocker = nullptr,
+                         std::uint32_t *blocker_pos = nullptr);
 
-    /** Move loads blocked on @p seq to the retry list (event wake-up). */
-    void wakeLoadsBlockedOn(std::uint64_t seq);
+    /** Watermark fronts: oldest live entry still unresolved, with
+     *  resolved/dead entries popped lazily. Rings are pushed in issue
+     *  (= seq) order and suffix-popped on squash, so the surviving
+     *  front is exactly the old ordered-set begin(). */
+    const NodeRef *frontUnknownStoreAddr();
+    const NodeRef *frontPendingSyscall();
+    const NodeRef *frontUnknownStoreData();
 
-    void finishExit(BlockInst &block, NodeInst &inst);
+    /** Move loads blocked on slot @p pos to the retry list. */
+    void wakeLoadsBlockedOn(std::uint32_t pos);
+
+    void finishExit(std::uint32_t pos);
 
     // ---- members ----------------------------------------------------
     const CodeImage &image_;
@@ -203,11 +209,13 @@ class Engine
     obs::EventBus *bus_;
     MemorySystem memsys_;
     BranchPredictor predictor_;
-    SparseMemory mem_;
+    EngineWorkspace &ws_;
+    SparseMemory &mem_;
 
     const int windowCap_;
     const bool isStatic_;
     const bool perfect_;
+    std::uint64_t (*const hook_)(); ///< allocation sampler (may be null)
     const std::vector<std::int32_t> *trace_ = nullptr;
     std::size_t traceIdx_ = 0;
 
@@ -216,62 +224,22 @@ class Engine
     std::uint64_t seqCounter_ = 1;
     std::uint64_t bseqCounter_ = 1;
 
-    std::deque<BlockInst> window_;
+    std::uint32_t nodeMask_ = 0;
+    std::uint32_t blockMask_ = 0;
+    std::uint32_t headPos_ = 0;      ///< oldest live node pos
+    std::uint32_t nextPos_ = 0;      ///< next node pos to allocate
+    std::uint32_t headBlockPos_ = 0; ///< oldest in-flight block pos
+    std::uint32_t nextBlockPos_ = 0; ///< next block pos to allocate
+
     RenameEntry rename_[kNumRegs];
     std::uint32_t committedRegs_[kNumRegs] = {};
 
-    std::unordered_map<std::uint64_t, std::vector<WaitRef>> waiters_;
-
-    /** One scheduled completion. Kept in a flat binary heap: completions
-     *  are pushed/popped millions of times per run and a node-based
-     *  multimap spends most of that in the allocator. */
-    struct Event
-    {
-        std::uint64_t cycle;
-        Ref ref;
-    };
-    struct EventLater
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            return a.cycle > b.cycle;
-        }
-    };
-    std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-
-    std::priority_queue<Ref, std::vector<Ref>, RefNewestFirst> readyAlu_;
-    std::priority_queue<Ref, std::vector<Ref>, RefNewestFirst> readyMem_;
-    std::vector<Ref> pendingSys_;
-
-    std::deque<Ref> storeQueue_;
-    StoreIndex storeIndex_; ///< addr-indexed view of resolved stores
-    std::set<std::uint64_t> unknownStoreAddrs_;
-    std::set<std::uint64_t> pendingSyscallSeqs_;
-    /** Stores with unresolved data (maintained under conservativeLoads). */
-    std::set<std::uint64_t> unknownStoreData_;
-
-    /**
-     * Event-driven load scheduling: a load that fails disambiguation
-     * parks under the seq of the node blocking it; resolving (or
-     * squashing) that node moves the waiters to retryLoads_, drained
-     * once per cycle at the former polling point so cycle timing is
-     * identical to the polled schedule.
-     */
-    std::map<std::uint64_t, std::vector<Ref>> loadWaiters_;
-    std::vector<Ref> retryLoads_;
     /** Set when retirement/completion/squash may change syscall
-     *  eligibility; cleared after the pendingSys_ scan. */
+     *  eligibility; cleared after the pendingSys scan. */
     bool sysWake_ = true;
 
-    struct WordRef
-    {
-        std::uint64_t bseq;
-        std::size_t wordIdx;
-    };
-    std::deque<WordRef> wordQueue_; ///< static machine in-order word stream
-
-    /** Fault-target chooser (extension): entry pc -> alternate block. */
+    /** Fault-target chooser (extension): entry pc -> alternate block.
+     *  Off the hot path; only predictFaultTargets configs touch it. */
     struct FaultChoice
     {
         std::int32_t target = -1;
@@ -288,7 +256,7 @@ class Engine
     std::uint64_t wordStallCycles_ = 0;
     /** Issue slots wasted by words narrower than the machine width. */
     std::uint64_t shortWordSlots_ = 0;
-    /** Refs currently parked in loadWaiters_ (includes refs whose load
+    /** Refs currently parked on load chains (includes refs whose load
      *  was squashed while parked, until their blocker resolves). */
     std::uint64_t parkedLoads_ = 0;
 
@@ -331,59 +299,64 @@ class Engine
  * it; the store still occupies a memory port when it executes.
  */
 void
-Engine::tryStoreAgen(NodeInst &inst)
+Engine::tryStoreAgen(std::uint32_t pos)
 {
-    if (!inst.node->isStore() || inst.addrKnown || !inst.srcReady[0])
+    ExecRec &ex = execAt(pos);
+    MemRec &mr = memAt(pos);
+    if (!ex.node->isStore() || mr.addrKnown || !(ex.srcReadyMask & 1))
         return;
-    inst.addr = effectiveAddress(*inst.node, inst.srcVal[0]);
-    inst.len = accessBytes(inst.node->op);
-    inst.addrKnown = true;
-    storeIndex_.addStore(inst.seq, inst.addr, inst.len);
-    unknownStoreAddrs_.erase(inst.seq);
-    wakeLoadsBlockedOn(inst.seq);
+    mr.addr = effectiveAddress(*ex.node, ex.srcVal[0]);
+    mr.len = static_cast<std::uint8_t>(accessBytes(ex.node->op));
+    mr.addrKnown = true; // the unknown-addr watermark skips this entry now
+    ws_.storeIndex.addStore(seqAt(pos), mr.addr, mr.len, pos);
+    wakeLoadsBlockedOn(pos);
 }
 
 void
-Engine::wakeLoadsBlockedOn(std::uint64_t seq)
+Engine::wakeLoadsBlockedOn(std::uint32_t pos)
 {
-    const auto it = loadWaiters_.find(seq);
-    if (it == loadWaiters_.end())
+    ChainRef &chain = loadAt(pos);
+    std::uint32_t idx = chain.head;
+    if (idx == kNilIndex)
         return;
-    parkedLoads_ -= it->second.size();
-    if (bus_) {
-        for (const Ref &ref : it->second)
+    chain.head = chain.tail = kNilIndex;
+    while (idx != kNilIndex) {
+        const ChainItem item = ws_.chains.at(idx);
+        const std::uint32_t nxt = ws_.chains.next(idx);
+        ws_.chains.release(idx);
+        --parkedLoads_;
+        if (bus_)
             bus_->emit(obs::SimEvent{.kind = obs::EventKind::LoadWake,
                                      .cycle = cycle_,
-                                     .seq = ref.seq,
-                                     .bseq = ref.bseq});
+                                     .seq = item.seq,
+                                     .bseq = item.aux});
+        ws_.retryLoads.push_back({item.seq, item.pos});
+        idx = nxt;
     }
-    retryLoads_.insert(retryLoads_.end(), it->second.begin(),
-                       it->second.end());
-    loadWaiters_.erase(it);
 }
 
 void
-Engine::onDataReady(BlockInst &block, std::uint32_t idx)
+Engine::onDataReady(std::uint32_t pos)
 {
-    NodeInst &inst = block.insts[idx];
-    fgp_assert(inst.state == NState::Waiting, "double wakeup");
-    inst.state = NState::Ready;
+    fgp_assert(stateAt(pos) == NState::Waiting, "double wakeup");
+    setState(pos, NState::Ready);
     ++readyCount_;
     if (isStatic_)
         return; // the in-order word dispatcher polls readiness itself
 
-    const Ref ref{block.bseq, idx, inst.seq};
-    if (inst.node->isSys()) {
-        pendingSys_.push_back(ref);
+    const Node &node = *execAt(pos).node;
+    const NodeRef ref{seqAt(pos), pos};
+    if (node.isSys()) {
+        ws_.pendingSys.push_back(ref);
         sysWake_ = true;
-    } else if (inst.node->isLoad()) {
+    } else if (node.isLoad()) {
         // First attempt happens at the next refresh point, exactly when
         // the polled scheduler would have seen it.
-        retryLoads_.push_back(ref);
-    } else if (inst.node->isMem()) {
-        readyMem_.push(ref);
+        ws_.retryLoads.push_back(ref);
+    } else if (node.isMem()) {
+        ws_.readyMem.push(ref);
     } else {
-        readyAlu_.push(ref);
+        ws_.readyAlu.push(ref);
     }
 }
 
@@ -392,43 +365,87 @@ Engine::onDataReady(BlockInst &block, std::uint32_t idx)
 // ---------------------------------------------------------------------
 
 void
-Engine::completeAt(std::uint64_t done_cycle, const Ref &ref)
+Engine::completeAt(std::uint64_t done_cycle, std::uint64_t seq,
+                   std::uint32_t pos)
 {
-    events_.push(Event{done_cycle, ref});
+    ws_.events.push({done_cycle, seq, pos});
+}
+
+const NodeRef *
+Engine::frontUnknownStoreAddr()
+{
+    auto &ring = ws_.unknownStoreAddrs;
+    while (!ring.empty()) {
+        const NodeRef &r = ring.front();
+        if (liveNode(r) && !memAt(r.pos).addrKnown)
+            return &r;
+        ring.pop_front();
+    }
+    return nullptr;
+}
+
+const NodeRef *
+Engine::frontPendingSyscall()
+{
+    auto &ring = ws_.pendingSyscallSeqs;
+    while (!ring.empty()) {
+        const NodeRef &r = ring.front();
+        // A syscall stops being a barrier the moment it executes —
+        // matching the old set erasure inside the execute path.
+        if (liveNode(r) && stateAt(r.pos) < NState::Executing)
+            return &r;
+        ring.pop_front();
+    }
+    return nullptr;
+}
+
+const NodeRef *
+Engine::frontUnknownStoreData()
+{
+    auto &ring = ws_.unknownStoreData;
+    while (!ring.empty()) {
+        const NodeRef &r = ring.front();
+        if (liveNode(r) && !memAt(r.pos).dataKnown)
+            return &r;
+        ring.pop_front();
+    }
+    return nullptr;
 }
 
 Engine::MergeStatus
 Engine::specRead(std::uint64_t seq_limit, std::uint32_t addr,
                  std::uint32_t len, std::uint8_t *out, bool *forwarded,
-                 std::uint64_t *blocker)
+                 std::uint64_t *blocker, std::uint32_t *blocker_pos)
 {
     // Gate: every older store must have a known address, and no older
     // system call may still be pending (system calls write memory
-    // directly, so they are barriers for younger loads). The oldest
-    // member of each ordered set is the watermark, so the check is O(1).
-    const auto oldest_unknown = unknownStoreAddrs_.begin();
-    if (oldest_unknown != unknownStoreAddrs_.end() &&
-        *oldest_unknown < seq_limit) {
-        if (blocker)
-            *blocker = *oldest_unknown;
+    // directly, so they are barriers for younger loads). The watermark
+    // front is the oldest unresolved member, so the check is O(1).
+    if (const NodeRef *w = frontUnknownStoreAddr();
+        w && w->seq < seq_limit) {
+        if (blocker) {
+            *blocker = w->seq;
+            *blocker_pos = w->pos;
+        }
         return MergeStatus::UnknownAddr;
     }
-    const auto oldest_sys = pendingSyscallSeqs_.begin();
-    if (oldest_sys != pendingSyscallSeqs_.end() &&
-        *oldest_sys < seq_limit) {
-        if (blocker)
-            *blocker = *oldest_sys;
+    if (const NodeRef *w = frontPendingSyscall(); w && w->seq < seq_limit) {
+        if (blocker) {
+            *blocker = w->seq;
+            *blocker_pos = w->pos;
+        }
         return MergeStatus::UnknownAddr;
     }
     if (opts_.conservativeLoads) {
         // All older stores have known addresses here (gate above), so
         // "any older store still lacking data" is exactly the oldest
-        // member of the unknown-data set.
-        const auto oldest_data = unknownStoreData_.begin();
-        if (oldest_data != unknownStoreData_.end() &&
-            *oldest_data < seq_limit) {
-            if (blocker)
-                *blocker = *oldest_data;
+        // member of the unknown-data watermark.
+        if (const NodeRef *w = frontUnknownStoreData();
+            w && w->seq < seq_limit) {
+            if (blocker) {
+                *blocker = w->seq;
+                *blocker_pos = w->pos;
+            }
             return MergeStatus::NeedData;
         }
     }
@@ -437,11 +454,13 @@ Engine::specRead(std::uint64_t seq_limit, std::uint32_t addr,
     for (std::uint32_t b = 0; b < len; ++b) {
         const std::uint32_t byte_addr = addr + b;
         const StoreIndex::Lookup hit =
-            storeIndex_.lookup(byte_addr, seq_limit);
+            ws_.storeIndex.lookup(byte_addr, seq_limit);
         switch (hit.status) {
           case StoreIndex::Lookup::Status::NeedData:
-            if (blocker)
+            if (blocker) {
                 *blocker = hit.blocker;
+                *blocker_pos = hit.blockerPos;
+            }
             return MergeStatus::NeedData;
           case StoreIndex::Lookup::Status::Hit:
             out[b] = hit.value;
@@ -457,140 +476,155 @@ Engine::specRead(std::uint64_t seq_limit, std::uint32_t addr,
     return MergeStatus::Ok;
 }
 
-bool
-Engine::tryExecuteLoad(BlockInst &block, NodeInst &inst)
+void
+Engine::parkLoad(std::uint32_t blocker_pos, std::uint64_t blocker_seq,
+                 std::uint32_t load_pos, std::uint32_t addr)
 {
-    const std::uint32_t addr = effectiveAddress(*inst.node, inst.srcVal[0]);
+    const std::uint64_t bseq = blockAt(metaAt(load_pos).blockPos).bseq;
+    chainAppend(loadAt(blocker_pos),
+                {seqAt(load_pos), bseq, load_pos});
+    ++parkedLoads_;
+    OBS_EMIT(.kind = obs::EventKind::LoadBlock, .cycle = cycle_,
+             .seq = seqAt(load_pos), .bseq = bseq,
+             .node = execAt(load_pos).node, .addr = addr,
+             .blocker = blocker_seq);
+}
+
+bool
+Engine::tryExecuteLoad(std::uint32_t pos)
+{
+    ExecRec &ex = execAt(pos);
+    const std::uint32_t addr = effectiveAddress(*ex.node, ex.srcVal[0]);
     std::uint8_t bytes[4];
     bool forwarded = false;
     std::uint64_t blocked_on = 0;
-    const MergeStatus status = specRead(inst.seq, addr,
-                                        accessBytes(inst.node->op), bytes,
-                                        &forwarded, &blocked_on);
+    std::uint32_t blocked_pos = 0;
+    const MergeStatus status =
+        specRead(seqAt(pos), addr, accessBytes(ex.node->op), bytes,
+                 &forwarded, &blocked_on, &blocked_pos);
     if (status != MergeStatus::Ok) {
         if (!isStatic_) {
             fgp_assert(blocked_on != 0, "blocked load without a blocker");
-            loadWaiters_[blocked_on].push_back(
-                Ref{block.bseq, inst.instIdx, inst.seq});
-            ++parkedLoads_;
-            OBS_EMIT(.kind = obs::EventKind::LoadBlock, .cycle = cycle_,
-                     .seq = inst.seq, .bseq = block.bseq,
-                     .node = inst.node, .addr = addr,
-                     .blocker = blocked_on);
+            parkLoad(blocked_pos, blocked_on, pos, addr);
         }
         return false;
     }
 
-    inst.addr = addr;
-    inst.addrKnown = true;
-    inst.value = loadResult(inst.node->op, bytes);
-    inst.state = NState::Executing;
+    MemRec &mr = memAt(pos);
+    mr.addr = addr;
+    mr.addrKnown = true;
+    ex.value = loadResult(ex.node->op, bytes);
+    setState(pos, NState::Executing);
     --activeCount_;
     --readyCount_;
     ++result_.executedNodes;
     const int latency = memsys_.loadLatency(addr, forwarded);
+    const std::uint64_t bseq = blockAt(metaAt(pos).blockPos).bseq;
     if (bus_ && forwarded)
         bus_->emit(obs::SimEvent{.kind = obs::EventKind::StoreForward,
                                  .cycle = cycle_,
-                                 .seq = inst.seq,
-                                 .bseq = block.bseq,
-                                 .node = inst.node,
+                                 .seq = seqAt(pos),
+                                 .bseq = bseq,
+                                 .node = ex.node,
                                  .addr = addr});
     OBS_EMIT(.kind = obs::EventKind::Schedule, .cycle = cycle_,
-             .seq = inst.seq, .bseq = block.bseq, .node = inst.node,
+             .seq = seqAt(pos), .bseq = bseq, .node = ex.node,
              .addr = addr, .latency = latency, .forwarded = forwarded);
-    completeAt(cycle_ + static_cast<std::uint64_t>(latency),
-               Ref{block.bseq, inst.instIdx, inst.seq});
+    completeAt(cycle_ + static_cast<std::uint64_t>(latency), seqAt(pos),
+               pos);
     return true;
 }
 
 void
-Engine::executeNode(BlockInst &block, NodeInst &inst)
+Engine::executeNode(std::uint32_t pos)
 {
-    inst.state = NState::Executing;
+    ExecRec &ex = execAt(pos);
+    setState(pos, NState::Executing);
     --activeCount_;
     --readyCount_;
     ++result_.executedNodes;
     OBS_EMIT(.kind = obs::EventKind::Schedule, .cycle = cycle_,
-             .seq = inst.seq, .bseq = block.bseq, .node = inst.node,
+             .seq = seqAt(pos),
+             .bseq = blockAt(metaAt(pos).blockPos).bseq, .node = ex.node,
              .latency = 1);
     int latency = 1;
 
-    const Node &node = *inst.node;
+    const Node &node = *ex.node;
     switch (node.cls()) {
       case NodeClass::IntAlu:
-        inst.value = evalAlu(node, inst.srcVal[0], inst.srcVal[1]);
+        ex.value = evalAlu(node, ex.srcVal[0], ex.srcVal[1]);
         break;
       case NodeClass::Fault:
-        inst.value = evalCondition(node.op, inst.srcVal[0], inst.srcVal[1])
-                         ? 1
-                         : 0;
+        ex.value = evalCondition(node.op, ex.srcVal[0], ex.srcVal[1]) ? 1
+                                                                      : 0;
         break;
       case NodeClass::Control:
         switch (node.op) {
           case Opcode::J:
-            inst.value = 0;
+            ex.value = 0;
             break;
           case Opcode::JAL:
-            inst.value = static_cast<std::uint32_t>(node.origPc + 1);
+            ex.value = static_cast<std::uint32_t>(node.origPc + 1);
             break;
           case Opcode::JR:
-            inst.value = inst.srcVal[0];
+            ex.value = ex.srcVal[0];
             break;
           default: // conditional branch
-            inst.value =
-                evalCondition(node.op, inst.srcVal[0], inst.srcVal[1]) ? 1
-                                                                       : 0;
+            ex.value =
+                evalCondition(node.op, ex.srcVal[0], ex.srcVal[1]) ? 1 : 0;
             break;
         }
         break;
       case NodeClass::Mem: {
         fgp_assert(node.isStore(), "loads take the tryExecuteLoad path");
-        tryStoreAgen(inst); // usually already done at wakeup
-        fgp_assert(inst.addrKnown, "store executing without an address");
-        const std::uint32_t len = storeBytes(node.op, inst.srcVal[1],
-                                             inst.data);
-        fgp_assert(len == inst.len, "store width changed");
-        inst.dataKnown = true;
-        storeIndex_.setData(inst.seq, inst.data);
-        if (opts_.conservativeLoads)
-            unknownStoreData_.erase(inst.seq);
-        wakeLoadsBlockedOn(inst.seq);
+        tryStoreAgen(pos); // usually already done at wakeup
+        MemRec &mr = memAt(pos);
+        fgp_assert(mr.addrKnown, "store executing without an address");
+        const std::uint32_t len = storeBytes(node.op, ex.srcVal[1],
+                                             mr.data);
+        fgp_assert(len == mr.len, "store width changed");
+        mr.dataKnown = true; // unknown-data watermark skips this entry
+        ws_.storeIndex.setData(seqAt(pos), mr.data);
+        wakeLoadsBlockedOn(pos);
         break;
       }
       case NodeClass::Sys: {
         // Reads observe in-flight older stores; writes are immediate (the
         // block is the window's oldest and cannot be squashed).
+        const std::uint64_t seq = seqAt(pos);
         const MemPorts ports{
             [&](std::uint32_t a) {
                 std::uint8_t byte;
-                const MergeStatus st =
-                    specRead(inst.seq, a, 1, &byte, nullptr);
+                const MergeStatus st = specRead(seq, a, 1, &byte, nullptr);
                 fgp_assert(st == MergeStatus::Ok,
                            "system call read raced an incomplete store");
                 return byte;
             },
             [&](std::uint32_t a, std::uint8_t v) { mem_.write8(a, v); },
         };
+        // The syscall barrier lifts here: state is Executing, so the
+        // pending-syscall watermark now skips this entry.
+        const std::uint64_t pre_alloc = hook_ ? hook_() : 0;
         const std::uint32_t res =
-            os_.syscall(inst.srcVal[0], inst.srcVal[1], inst.srcVal[2],
-                        inst.srcVal[3], inst.srcVal[4], ports);
-        pendingSyscallSeqs_.erase(inst.seq);
-        wakeLoadsBlockedOn(inst.seq);
+            os_.syscall(ex.srcVal[0], ex.srcVal[1], ex.srcVal[2],
+                        ex.srcVal[3], ex.srcVal[4], ports);
+        if (hook_)
+            result_.allocSyscall += hook_() - pre_alloc;
+        wakeLoadsBlockedOn(pos);
         if (os_.exited()) {
-            finishExit(block, inst);
+            finishExit(pos);
             return;
         }
-        inst.value = res;
+        ex.value = res;
         break;
       }
     }
-    completeAt(cycle_ + static_cast<std::uint64_t>(latency),
-               Ref{block.bseq, inst.instIdx, inst.seq});
+    completeAt(cycle_ + static_cast<std::uint64_t>(latency), seqAt(pos),
+               pos);
 }
 
 void
-Engine::finishExit(BlockInst &block, NodeInst &inst)
+Engine::finishExit(std::uint32_t pos)
 {
     exited_ = true;
     result_.exited = true;
@@ -598,7 +632,8 @@ Engine::finishExit(BlockInst &block, NodeInst &inst)
 
     // Commit the partial block up to and including the exit node, exactly
     // like the functional VM counts it.
-    const std::uint64_t partial = inst.nodeIdx + 1;
+    const BlockRec &block = blockAt(metaAt(pos).blockPos);
+    const std::uint64_t partial = metaAt(pos).nodeIdx + 1;
     OBS_EMIT(.kind = obs::EventKind::Retire, .cycle = cycle_,
              .bseq = block.bseq, .imageId = block.imageId,
              .count = static_cast<std::uint32_t>(partial), .partial = true);
@@ -618,78 +653,93 @@ Engine::finishExit(BlockInst &block, NodeInst &inst)
 void
 Engine::processCompletions()
 {
-    std::vector<Ref> due;
-    while (!events_.empty() && events_.top().cycle <= cycle_) {
-        due.push_back(events_.top().ref);
-        events_.pop();
+    auto &due = ws_.dueScratch;
+    due.clear();
+    auto &events = ws_.events;
+    while (!events.empty() && events.top().cycle <= cycle_) {
+        due.push_back({events.top().seq, events.top().pos});
+        events.pop();
     }
     // In-order resolution priority: an older fault/mispredict must act
     // before younger control nodes completing in the same cycle.
     std::sort(due.begin(), due.end(),
-              [](const Ref &a, const Ref &b) { return a.seq < b.seq; });
+              [](const NodeRef &a, const NodeRef &b) {
+                  return a.seq < b.seq;
+              });
 
-    for (const Ref &ref : due) {
-        NodeInst *inst = instBy(ref);
-        if (!inst || inst->state != NState::Executing)
+    for (const NodeRef &ref : due) {
+        if (!liveNode(ref) || stateAt(ref.pos) != NState::Executing)
             continue; // squashed since scheduling
-        BlockInst &block = *blockBy(ref.bseq);
-        inst->state = NState::Done;
+        const std::uint32_t pos = ref.pos;
+        ExecRec &ex = execAt(pos);
+        BlockRec &block = blockAt(metaAt(pos).blockPos);
+        setState(pos, NState::Done);
         ++block.doneCount;
         sysWake_ = true; // progress in the oldest block frees syscalls
         OBS_EMIT(.kind = obs::EventKind::Complete, .cycle = cycle_,
-                 .seq = inst->seq, .bseq = block.bseq, .node = inst->node,
-                 .value = inst->value);
+                 .seq = ref.seq, .bseq = block.bseq, .node = ex.node,
+                 .value = ex.value);
 
         // Publish to the rename map.
-        const std::uint8_t dst = inst->node->dstReg();
+        const std::uint8_t dst = ex.node->dstReg();
         if (dst != kRegNone && dst != kRegZero) {
             RenameEntry &entry = rename_[dst];
-            if (!entry.ready && entry.tag == inst->seq) {
+            if (!entry.ready && entry.tag == ref.seq) {
                 entry.ready = true;
-                entry.value = inst->value;
+                entry.value = ex.value;
             }
         }
 
-        // Wake consumers.
-        if (auto wit = waiters_.find(inst->seq); wit != waiters_.end()) {
-            const std::vector<WaitRef> waiting = std::move(wit->second);
-            waiters_.erase(wit);
-            for (const WaitRef &w : waiting) {
-                BlockInst *cb = blockBy(w.bseq);
-                if (!cb || w.idx >= cb->insts.size())
-                    continue; // consumer squashed
-                NodeInst &consumer = cb->insts[w.idx];
-                if (consumer.state != NState::Waiting ||
-                    consumer.srcReady[w.slot])
-                    continue;
-                consumer.srcVal[w.slot] = inst->value;
-                consumer.srcReady[w.slot] = true;
-                if (consumer.node->isStore() && w.slot == 0)
-                    tryStoreAgen(consumer);
-                if (--consumer.unresolved == 0)
-                    onDataReady(*cb, w.idx);
-            }
+        // Wake consumers: drain the producer's wait chain in append
+        // order (the order the old per-producer vector preserved).
+        const std::uint32_t value = ex.value;
+        ChainRef &chain = waitAt(pos);
+        std::uint32_t idx = chain.head;
+        chain.head = chain.tail = kNilIndex;
+        while (idx != kNilIndex) {
+            const ChainItem item = ws_.chains.at(idx);
+            const std::uint32_t nxt = ws_.chains.next(idx);
+            ws_.chains.release(idx);
+            idx = nxt;
+            if (!liveNode({item.seq, item.pos}))
+                continue; // consumer squashed
+            if (stateAt(item.pos) != NState::Waiting)
+                continue;
+            ExecRec &consumer = execAt(item.pos);
+            const int slot = static_cast<int>(item.aux);
+            if ((consumer.srcReadyMask >> slot) & 1)
+                continue;
+            consumer.srcVal[slot] = value;
+            consumer.srcReadyMask |= 1u << slot;
+            if (consumer.node->isStore() && slot == 0)
+                tryStoreAgen(item.pos);
+            if (--consumer.unresolved == 0)
+                onDataReady(item.pos);
         }
 
-        if (inst->node->isFault() || inst->node->isControl())
-            resolveControl(block, *inst);
+        if (ex.node->isFault() || ex.node->isControl())
+            resolveControl(pos);
     }
 }
 
 void
-Engine::resolveControl(BlockInst &block, NodeInst &inst)
+Engine::resolveControl(std::uint32_t pos)
 {
-    const Node &node = *inst.node;
+    const Node &node = *execAt(pos).node;
+    const std::uint32_t value = execAt(pos).value;
+    const std::uint64_t seq = seqAt(pos);
+    BlockRec &block = blockAt(metaAt(pos).blockPos);
 
     if (node.isFault()) {
-        if (inst.value) {
+        if (value) {
             if (perfect_)
                 fgp_panic("fault node fired under perfect prediction");
             ++result_.faultsFired;
             ++result_.blockStats[block.imageId].faultsFired;
             const std::int32_t target = node.target;
+            const std::uint64_t bseq = block.bseq;
             OBS_EMIT(.kind = obs::EventKind::AssertFire, .cycle = cycle_,
-                     .seq = inst.seq, .bseq = block.bseq,
+                     .seq = seq, .bseq = bseq,
                      .imageId = block.imageId, .node = &node,
                      .target = target);
             if (opts_.predictFaultTargets) {
@@ -706,14 +756,14 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
                     choice.counter = 1;
                 }
             }
-            squashFrom(block.bseq);
+            squashFrom(bseq);
             redirectTo(target);
         }
         return;
     }
 
     if (isConditionalBranch(node.op)) {
-        const bool taken = inst.value != 0;
+        const bool taken = value != 0;
         ++result_.branchesResolved;
         if (perfect_)
             return;
@@ -725,7 +775,7 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
         }
         predictor_.recordOutcome(taken == block.predictedTaken);
         OBS_EMIT(.kind = obs::EventKind::Resolve, .cycle = cycle_,
-                 .seq = inst.seq, .bseq = block.bseq,
+                 .seq = seq, .bseq = block.bseq,
                  .imageId = block.imageId, .node = &node, .taken = taken,
                  .mispredict = taken != block.predictedTaken);
         if (taken != block.predictedTaken) {
@@ -740,7 +790,7 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
     }
 
     if (node.op == Opcode::JR) {
-        const auto actual = static_cast<std::int32_t>(inst.value);
+        const auto actual = static_cast<std::int32_t>(value);
         if (perfect_)
             return;
         predictor_.updateIndirect(node.origPc, actual);
@@ -750,9 +800,9 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
             return;
         }
         OBS_EMIT(.kind = obs::EventKind::Resolve, .cycle = cycle_,
-                 .seq = inst.seq, .bseq = block.bseq,
+                 .seq = seq, .bseq = block.bseq,
                  .imageId = block.imageId, .node = &node,
-                 .value = inst.value,
+                 .value = value,
                  .mispredict = block.predictedTargetPc >= 0 &&
                                block.predictedTargetPc != actual);
         if (block.predictedTargetPc == actual)
@@ -790,29 +840,33 @@ Engine::resolveControl(BlockInst &block, NodeInst &inst)
 void
 Engine::retireBlocks()
 {
-    while (!window_.empty()) {
-        BlockInst &front = window_.front();
-        if (!front.fullyIssued || front.doneCount != front.insts.size())
+    while (headBlockPos_ != nextBlockPos_) {
+        BlockRec &front = blockAt(headBlockPos_);
+        if (!front.fullyIssued || front.doneCount != front.count)
             break;
 
         // Commit stores in issue order (program order for aliasing pairs).
-        while (!storeQueue_.empty() &&
-               storeQueue_.front().bseq == front.bseq) {
-            NodeInst *store = instBy(storeQueue_.front());
-            fgp_assert(store && store->state == NState::Done &&
-                           store->addrKnown && store->dataKnown,
+        auto &storeQueue = ws_.storeQueue;
+        while (!storeQueue.empty() &&
+               metaAt(storeQueue.front().pos).blockPos == headBlockPos_) {
+            const NodeRef sref = storeQueue.front();
+            MemRec &mr = memAt(sref.pos);
+            fgp_assert(liveNode(sref) &&
+                           stateAt(sref.pos) == NState::Done &&
+                           mr.addrKnown && mr.dataKnown,
                        "retiring block with incomplete store");
-            mem_.writeBytes(store->addr, store->data, store->len);
-            memsys_.commitStore(store->addr, store->len);
-            storeIndex_.erase(store->seq);
-            storeQueue_.pop_front();
+            mem_.writeBytes(mr.addr, mr.data, mr.len);
+            memsys_.commitStore(mr.addr, mr.len);
+            ws_.storeIndex.erase(sref.seq);
+            storeQueue.pop_front();
         }
 
-        // Architectural register state.
-        for (const NodeInst &inst : front.insts) {
-            const std::uint8_t dst = inst.node->dstReg();
+        // Architectural register state (pos order == program order).
+        for (std::uint32_t p = front.firstPos;
+             p != front.firstPos + front.count; ++p) {
+            const std::uint8_t dst = execAt(p).node->dstReg();
             if (dst != kRegNone && dst != kRegZero)
-                committedRegs_[dst] = inst.value;
+                committedRegs_[dst] = execAt(p).value;
         }
 
         if (opts_.predictFaultTargets) {
@@ -827,15 +881,16 @@ Engine::retireBlocks()
         }
         OBS_EMIT(.kind = obs::EventKind::Retire, .cycle = cycle_,
                  .bseq = front.bseq, .imageId = front.imageId,
-                 .count = static_cast<std::uint32_t>(front.insts.size()));
+                 .count = front.count);
         BlockStat &bs = result_.blockStats[front.imageId];
         ++bs.retiredBlocks;
-        bs.retiredNodes += front.insts.size();
-        validCount_ -= static_cast<std::int64_t>(front.insts.size());
-        result_.retiredNodes += front.insts.size();
-        result_.blockSize.add(front.insts.size());
+        bs.retiredNodes += front.count;
+        validCount_ -= static_cast<std::int64_t>(front.count);
+        result_.retiredNodes += front.count;
+        result_.blockSize.add(front.count);
         ++result_.committedBlocks;
-        window_.pop_front();
+        headPos_ = front.firstPos + front.count;
+        ++headBlockPos_;
         sysWake_ = true; // the new window front may free a syscall
     }
 }
@@ -852,30 +907,27 @@ Engine::refreshPending()
     // drained here — between completion processing and scheduling — so
     // wake-ups land on exactly the cycle the per-cycle poll would have
     // found them.
-    if (!retryLoads_.empty()) {
-        std::vector<Ref> retry;
-        retry.swap(retryLoads_);
-        for (const Ref &ref : retry) {
-            NodeInst *inst = instBy(ref);
-            if (!inst || inst->state != NState::Ready)
+    if (!ws_.retryLoads.empty()) {
+        auto &retry = ws_.retryScratch;
+        retry.clear();
+        retry.swap(ws_.retryLoads);
+        for (const NodeRef &ref : retry) {
+            if (!liveNode(ref) || stateAt(ref.pos) != NState::Ready)
                 continue; // squashed (or already scheduled) meanwhile
+            ExecRec &ex = execAt(ref.pos);
             std::uint8_t scratch[4];
             std::uint64_t blocked_on = 0;
+            std::uint32_t blocked_pos = 0;
             const std::uint32_t addr =
-                effectiveAddress(*inst->node, inst->srcVal[0]);
-            if (specRead(inst->seq, addr, accessBytes(inst->node->op),
-                         scratch, nullptr, &blocked_on) ==
+                effectiveAddress(*ex.node, ex.srcVal[0]);
+            if (specRead(ref.seq, addr, accessBytes(ex.node->op),
+                         scratch, nullptr, &blocked_on, &blocked_pos) ==
                 MergeStatus::Ok) {
-                readyMem_.push(ref);
+                ws_.readyMem.push(ref);
             } else {
                 fgp_assert(blocked_on != 0,
                            "blocked load without a blocker");
-                loadWaiters_[blocked_on].push_back(ref);
-                ++parkedLoads_;
-                OBS_EMIT(.kind = obs::EventKind::LoadBlock,
-                         .cycle = cycle_, .seq = inst->seq,
-                         .bseq = ref.bseq, .node = inst->node,
-                         .addr = addr, .blocker = blocked_on);
+                parkLoad(blocked_pos, blocked_on, ref.pos, addr);
             }
         }
     }
@@ -886,25 +938,27 @@ Engine::refreshPending()
     if (!sysWake_)
         return;
     sysWake_ = false;
-    for (std::size_t i = 0; i < pendingSys_.size();) {
-        const Ref ref = pendingSys_[i];
-        NodeInst *inst = instBy(ref);
-        if (!inst || inst->state != NState::Ready) {
-            pendingSys_[i] = pendingSys_.back();
-            pendingSys_.pop_back();
+    auto &pendingSys = ws_.pendingSys;
+    for (std::size_t i = 0; i < pendingSys.size();) {
+        const NodeRef ref = pendingSys[i];
+        if (!liveNode(ref) || stateAt(ref.pos) != NState::Ready) {
+            pendingSys[i] = pendingSys.back();
+            pendingSys.pop_back();
             continue;
         }
-        BlockInst &block = *blockBy(ref.bseq);
-        bool eligible = !window_.empty() &&
-                        window_.front().bseq == block.bseq;
+        const std::uint32_t bpos = metaAt(ref.pos).blockPos;
+        bool eligible = headBlockPos_ != nextBlockPos_ &&
+                        bpos == headBlockPos_;
         if (eligible) {
-            for (std::uint32_t k = 0; k < inst->instIdx && eligible; ++k)
-                eligible = block.insts[k].state == NState::Done;
+            const BlockRec &block = blockAt(bpos);
+            for (std::uint32_t p = block.firstPos;
+                 p != ref.pos && eligible; ++p)
+                eligible = stateAt(p) == NState::Done;
         }
         if (eligible) {
-            readyAlu_.push(ref);
-            pendingSys_[i] = pendingSys_.back();
-            pendingSys_.pop_back();
+            ws_.readyAlu.push(ref);
+            pendingSys[i] = pendingSys.back();
+            pendingSys.pop_back();
             continue;
         }
         ++i;
@@ -915,44 +969,44 @@ void
 Engine::scheduleDynamic()
 {
     const IssueModel &issue = opts_.config.issue;
+    auto &readyAlu = ws_.readyAlu;
+    auto &readyMem = ws_.readyMem;
 
     if (issue.sequential) {
         // One node of any kind per cycle; oldest first.
         for (int budget = 1; budget > 0;) {
-            Ref pick{};
+            NodeRef pick{};
             bool have = false;
             bool from_mem = false;
-            while (!readyAlu_.empty()) {
-                NodeInst *inst = instBy(readyAlu_.top());
-                if (inst && inst->state == NState::Ready) {
-                    pick = readyAlu_.top();
+            while (!readyAlu.empty()) {
+                const NodeRef top = readyAlu.top();
+                if (liveNode(top) && stateAt(top.pos) == NState::Ready) {
+                    pick = top;
                     have = true;
                     break;
                 }
-                readyAlu_.pop();
+                readyAlu.pop();
             }
-            while (!readyMem_.empty()) {
-                NodeInst *inst = instBy(readyMem_.top());
-                if (inst && inst->state == NState::Ready) {
-                    if (!have || readyMem_.top().seq < pick.seq) {
-                        pick = readyMem_.top();
+            while (!readyMem.empty()) {
+                const NodeRef top = readyMem.top();
+                if (liveNode(top) && stateAt(top.pos) == NState::Ready) {
+                    if (!have || top.seq < pick.seq) {
+                        pick = top;
                         have = true;
                         from_mem = true;
                     }
                     break;
                 }
-                readyMem_.pop();
+                readyMem.pop();
             }
             if (!have)
                 break;
-            (from_mem ? readyMem_ : readyAlu_).pop();
-            NodeInst *inst = instBy(pick);
-            BlockInst &block = *blockBy(pick.bseq);
-            if (inst->node->isLoad()) {
-                if (!tryExecuteLoad(block, *inst))
+            (from_mem ? readyMem : readyAlu).pop();
+            if (execAt(pick.pos).node->isLoad()) {
+                if (!tryExecuteLoad(pick.pos))
                     continue; // parked on its blocker; next candidate
             } else {
-                executeNode(block, *inst);
+                executeNode(pick.pos);
             }
             if (exited_)
                 return;
@@ -962,31 +1016,27 @@ Engine::scheduleDynamic()
     }
 
     int mem_budget = issue.memSlots;
-    while (mem_budget > 0 && !readyMem_.empty()) {
-        const Ref ref = readyMem_.top();
-        readyMem_.pop();
-        NodeInst *inst = instBy(ref);
-        if (!inst || inst->state != NState::Ready)
+    while (mem_budget > 0 && !readyMem.empty()) {
+        const NodeRef ref = readyMem.top();
+        readyMem.pop();
+        if (!liveNode(ref) || stateAt(ref.pos) != NState::Ready)
             continue;
-        BlockInst &block = *blockBy(ref.bseq);
-        if (inst->node->isLoad()) {
-            if (!tryExecuteLoad(block, *inst))
+        if (execAt(ref.pos).node->isLoad()) {
+            if (!tryExecuteLoad(ref.pos))
                 continue; // parked on its blocker
         } else {
-            executeNode(block, *inst);
+            executeNode(ref.pos);
         }
         --mem_budget;
     }
 
     int alu_budget = issue.aluSlots;
-    while (alu_budget > 0 && !readyAlu_.empty()) {
-        const Ref ref = readyAlu_.top();
-        readyAlu_.pop();
-        NodeInst *inst = instBy(ref);
-        if (!inst || inst->state != NState::Ready)
+    while (alu_budget > 0 && !readyAlu.empty()) {
+        const NodeRef ref = readyAlu.top();
+        readyAlu.pop();
+        if (!liveNode(ref) || stateAt(ref.pos) != NState::Ready)
             continue;
-        BlockInst &block = *blockBy(ref.bseq);
-        executeNode(block, *inst);
+        executeNode(ref.pos);
         if (exited_)
             return;
         --alu_budget;
@@ -996,66 +1046,64 @@ Engine::scheduleDynamic()
 void
 Engine::scheduleStaticWord()
 {
-    while (!wordQueue_.empty() && !blockBy(wordQueue_.front().bseq))
-        wordQueue_.pop_front();
-    if (wordQueue_.empty())
+    auto &wordQueue = ws_.wordQueue;
+    while (!wordQueue.empty()) {
+        const auto &wr = wordQueue.front();
+        if (wr.blockPos >= headBlockPos_ && wr.blockPos < nextBlockPos_ &&
+            blockAt(wr.blockPos).bseq == wr.bseq)
+            break;
+        wordQueue.pop_front();
+    }
+    if (wordQueue.empty())
         return;
 
-    const WordRef wr = wordQueue_.front();
-    BlockInst &block = *blockBy(wr.bseq);
+    const auto wr = wordQueue.front();
+    BlockRec &block = blockAt(wr.blockPos);
     const ImageBlock &ib = image_.block(block.imageId);
     const Word &word = ib.words[wr.wordIdx];
-
-    // Identify the word's instances: words issue in order, so the word's
-    // instances are a contiguous run ending before later words' nodes.
-    // Find them by node index.
-    std::vector<NodeInst *> insts;
-    insts.reserve(word.size());
-    for (std::uint16_t node_idx : word) {
-        NodeInst *found = nullptr;
-        for (NodeInst &cand : block.insts) {
-            if (cand.nodeIdx == node_idx) {
-                found = &cand;
-                break;
-            }
-        }
-        if (!found)
-            return; // word not fully issued yet
-        insts.push_back(found);
-    }
+    // Words issue whole (one issueCycle call per word), so the word's
+    // instances are the contiguous pos run starting at firstInst.
+    fgp_assert(wr.firstInst + word.size() <= block.count,
+               "word queued before its nodes issued");
+    const std::uint32_t base = block.firstPos + wr.firstInst;
 
     // Full interlock: the word executes only when every node is ready.
-    for (NodeInst *inst : insts) {
-        if (inst->state != NState::Ready) {
+    for (std::size_t k = 0; k < word.size(); ++k) {
+        const std::uint32_t p = base + static_cast<std::uint32_t>(k);
+        fgp_assert(metaAt(p).nodeIdx == word[k],
+                   "static word slot mismatch");
+        if (stateAt(p) != NState::Ready) {
             ++wordStallCycles_;
             return;
         }
-        if (inst->node->isSys()) {
+        if (execAt(p).node->isSys()) {
             // Serialize: block must be oldest, all older nodes done.
-            if (window_.front().bseq != block.bseq)
+            if (wr.blockPos != headBlockPos_)
                 return;
-            for (std::uint32_t k = 0; k < inst->instIdx; ++k)
-                if (block.insts[k].state != NState::Done)
+            for (std::uint32_t q = block.firstPos; q != p; ++q)
+                if (stateAt(q) != NState::Done)
                     return;
         }
     }
 
     // Execute stores and ALU work first so same-word loads can
     // disambiguate against them, then the loads.
-    for (NodeInst *inst : insts) {
-        if (!inst->node->isLoad()) {
-            executeNode(block, *inst);
+    for (std::size_t k = 0; k < word.size(); ++k) {
+        const std::uint32_t p = base + static_cast<std::uint32_t>(k);
+        if (!execAt(p).node->isLoad()) {
+            executeNode(p);
             if (exited_)
                 return;
         }
     }
-    for (NodeInst *inst : insts) {
-        if (inst->node->isLoad()) {
-            const bool ok = tryExecuteLoad(block, *inst);
+    for (std::size_t k = 0; k < word.size(); ++k) {
+        const std::uint32_t p = base + static_cast<std::uint32_t>(k);
+        if (execAt(p).node->isLoad()) {
+            const bool ok = tryExecuteLoad(p);
             fgp_assert(ok, "in-order load failed to disambiguate");
         }
     }
-    wordQueue_.pop_front();
+    wordQueue.pop_front();
 }
 
 // ---------------------------------------------------------------------
@@ -1085,7 +1133,7 @@ Engine::redirectTo(std::int32_t image_block)
 }
 
 void
-Engine::decideNextFetch(BlockInst &block)
+Engine::decideNextFetch(BlockRec &block)
 {
     block.predictionMade = true;
 
@@ -1169,75 +1217,98 @@ Engine::issueCycle()
             ++fetchIdleCycles_;
             return;
         }
-        if (static_cast<int>(window_.size()) >= windowCap_) {
+        if (static_cast<int>(nextBlockPos_ - headBlockPos_) >= windowCap_) {
             ++issueStallWindow_;
             return;
         }
-        BlockInst block;
-        block.bseq = bseqCounter_++;
-        block.imageId = nextFetchImageBlock_;
-        window_.push_back(std::move(block));
+        if (nextBlockPos_ - headBlockPos_ == ws_.blocks.size()) {
+            ws_.growBlocks(headBlockPos_, nextBlockPos_);
+            blockMask_ = ws_.blockMask();
+        }
+        BlockRec &nb = blockAt(nextBlockPos_);
+        nb = BlockRec{};
+        nb.bseq = bseqCounter_++;
+        nb.imageId = nextFetchImageBlock_;
+        nb.firstPos = nextPos_;
+        nb.predictedTargetPc = -1;
+        nb.resolvedTargetPc = -1;
+        ++nextBlockPos_;
         fetchImageBlock_ = nextFetchImageBlock_;
-        fetchBseq_ = window_.back().bseq;
+        fetchBseq_ = nb.bseq;
         nextFetchImageBlock_ = -1;
     }
 
-    BlockInst &block = *blockBy(fetchBseq_);
+    // The block under fetch is always the window's youngest.
+    const std::uint32_t bpos = nextBlockPos_ - 1;
+    BlockRec &block = blockAt(bpos);
+    fgp_assert(block.bseq == fetchBseq_, "fetch lost its block");
     const ImageBlock &ib = image_.block(block.imageId);
     fgp_assert(!ib.words.empty(), "image block ", ib.id,
                " has no issue words (image not translated?)");
     const Word &word = ib.words[block.issuedWords];
 
     for (std::uint16_t node_idx : word) {
+        if (nextPos_ - headPos_ ==
+            static_cast<std::uint32_t>(ws_.nodeSeq.size())) {
+            ws_.growNodes(headPos_, nextPos_);
+            nodeMask_ = ws_.nodeMask();
+        }
+        const std::uint32_t pos = nextPos_++;
+        const std::uint64_t seq = seqCounter_++;
         const Node &node = ib.nodes[node_idx];
-        NodeInst inst;
-        inst.node = &node;
-        inst.nodeIdx = node_idx;
-        inst.instIdx = static_cast<std::uint32_t>(block.insts.size());
-        inst.seq = seqCounter_++;
+
+        ws_.nodeSeq[pos & nodeMask_] = seq;
+        setState(pos, NState::Waiting);
+        ExecRec &ex = execAt(pos);
+        ex.node = &node;
+        ex.value = 0;
+        ex.unresolved = 0;
+        ex.srcReadyMask = 0;
+        memAt(pos) = MemRec{};
+        metaAt(pos) = {bpos, node_idx};
+        waitAt(pos) = {kNilIndex, kNilIndex};
+        loadAt(pos) = {kNilIndex, kNilIndex};
 
         std::array<std::uint8_t, 5> srcs;
-        inst.nSrc = node.srcRegs(srcs);
-        for (int slot = 0; slot < inst.nSrc; ++slot) {
+        ex.nSrc = static_cast<std::uint8_t>(node.srcRegs(srcs));
+        for (int slot = 0; slot < ex.nSrc; ++slot) {
             const std::uint8_t reg = srcs[slot];
             if (reg == kRegNone || reg == kRegZero) {
-                inst.srcVal[slot] = 0;
-                inst.srcReady[slot] = true;
+                ex.srcVal[slot] = 0;
+                ex.srcReadyMask |= 1u << slot;
                 continue;
             }
             const RenameEntry &entry = rename_[reg];
             if (entry.ready) {
-                inst.srcVal[slot] = entry.value;
-                inst.srcReady[slot] = true;
+                ex.srcVal[slot] = entry.value;
+                ex.srcReadyMask |= 1u << slot;
             } else {
-                ++inst.unresolved;
-                waiters_[entry.tag].push_back(
-                    {block.bseq, inst.instIdx, slot});
+                ++ex.unresolved;
+                chainAppend(waitAt(entry.tagPos),
+                            {seq, static_cast<std::uint64_t>(slot), pos});
             }
         }
 
         const std::uint8_t dst = node.dstReg();
         if (dst != kRegNone && dst != kRegZero)
-            rename_[dst] = {false, 0, inst.seq};
+            rename_[dst] = {false, 0, seq, pos};
 
-        const Ref ref{block.bseq, inst.instIdx, inst.seq};
         if (node.isStore()) {
-            storeQueue_.push_back(ref);
-            unknownStoreAddrs_.insert(inst.seq);
+            ws_.storeQueue.push_back({seq, pos});
+            ws_.unknownStoreAddrs.push_back({seq, pos});
             if (opts_.conservativeLoads)
-                unknownStoreData_.insert(inst.seq);
-            tryStoreAgen(inst);
+                ws_.unknownStoreData.push_back({seq, pos});
+            tryStoreAgen(pos);
         }
         if (node.isSys())
-            pendingSyscallSeqs_.insert(inst.seq);
+            ws_.pendingSyscallSeqs.push_back({seq, pos});
 
-        const bool ready_now = inst.unresolved == 0;
-        block.insts.push_back(inst);
+        ++block.count;
         ++result_.issuedNodes;
         ++validCount_;
         ++activeCount_;
-        if (ready_now)
-            onDataReady(block, block.insts.back().instIdx);
+        if (ex.unresolved == 0)
+            onDataReady(pos);
     }
 
     OBS_EMIT(.kind = obs::EventKind::Issue, .cycle = cycle_,
@@ -1250,7 +1321,9 @@ Engine::issueCycle()
     ++result_.blockStats[block.imageId].issuedWords;
     ++issueCycles_;
     if (isStatic_)
-        wordQueue_.push_back({block.bseq, block.issuedWords});
+        ws_.wordQueue.push_back(
+            {block.bseq, bpos, block.issuedWords,
+             block.count - static_cast<std::uint32_t>(word.size())});
 
     if (++block.issuedWords == ib.words.size()) {
         block.fullyIssued = true;
@@ -1266,58 +1339,81 @@ Engine::issueCycle()
 void
 Engine::squashFrom(std::uint64_t bseq_inclusive)
 {
-    const BlockInst *first = firstAtOrAfter(bseq_inclusive);
-    if (!first) {
+    if (headBlockPos_ == nextBlockPos_ ||
+        blockAt(nextBlockPos_ - 1).bseq < bseq_inclusive) {
         // Nothing younger is in flight; still cancel any in-progress fetch.
         fetchImageBlock_ = -1;
         rebuildRenameMap();
         return;
     }
-    fgp_assert(!first->insts.empty(), "squashing an empty block");
-    const std::uint64_t seq_boundary = first->insts.front().seq;
 
-    while (!window_.empty() && window_.back().bseq >= bseq_inclusive) {
-        const BlockInst &victim = window_.back();
+    // Pop victim blocks, youngest first; the last (oldest) victim sets
+    // the pos/seq boundary for the suffix repairs below.
+    const std::uint32_t oldNextPos = nextPos_;
+    std::uint32_t boundaryPos = nextPos_;
+    std::uint64_t seqBoundary = 0;
+    while (headBlockPos_ != nextBlockPos_ &&
+           blockAt(nextBlockPos_ - 1).bseq >= bseq_inclusive) {
+        const BlockRec &victim = blockAt(nextBlockPos_ - 1);
+        fgp_assert(victim.count, "squashing an empty block");
         OBS_EMIT(.kind = obs::EventKind::Squash, .cycle = cycle_,
                  .bseq = victim.bseq, .imageId = victim.imageId,
-                 .count = static_cast<std::uint32_t>(victim.insts.size()));
+                 .count = victim.count);
         BlockStat &bs = result_.blockStats[victim.imageId];
         ++bs.squashedBlocks;
-        bs.squashedNodes += victim.insts.size();
-        for (const NodeInst &inst : victim.insts) {
+        bs.squashedNodes += victim.count;
+        for (std::uint32_t p = victim.firstPos;
+             p != victim.firstPos + victim.count; ++p) {
             --validCount_;
-            if (inst.state == NState::Waiting ||
-                inst.state == NState::Ready)
+            const NState s = stateAt(p);
+            if (s == NState::Waiting || s == NState::Ready)
                 --activeCount_;
-            if (inst.state == NState::Ready)
+            if (s == NState::Ready)
                 --readyCount_;
         }
         ++result_.squashedBlocks;
-        window_.pop_back();
+        boundaryPos = victim.firstPos;
+        seqBoundary = seqAt(victim.firstPos);
+        --nextBlockPos_;
     }
-    while (!storeQueue_.empty() &&
-           storeQueue_.back().seq >= seq_boundary)
-        storeQueue_.pop_back();
-    storeIndex_.squash(seq_boundary);
-    unknownStoreAddrs_.erase(
-        unknownStoreAddrs_.lower_bound(seq_boundary),
-        unknownStoreAddrs_.end());
-    pendingSyscallSeqs_.erase(
-        pendingSyscallSeqs_.lower_bound(seq_boundary),
-        pendingSyscallSeqs_.end());
-    unknownStoreData_.erase(
-        unknownStoreData_.lower_bound(seq_boundary),
-        unknownStoreData_.end());
-    while (!wordQueue_.empty() && wordQueue_.back().bseq >= bseq_inclusive)
-        wordQueue_.pop_back();
+    nextPos_ = boundaryPos;
 
-    // Squashed stores/syscalls can never resolve: re-attempt every load
-    // parked on one of them (surviving loads re-park on a live blocker).
-    for (auto it = loadWaiters_.lower_bound(seq_boundary);
-         it != loadWaiters_.end(); it = loadWaiters_.erase(it)) {
-        parkedLoads_ -= it->second.size();
-        retryLoads_.insert(retryLoads_.end(), it->second.begin(),
-                           it->second.end());
+    auto &storeQueue = ws_.storeQueue;
+    while (!storeQueue.empty() && storeQueue.back().seq >= seqBoundary)
+        storeQueue.pop_back();
+    ws_.storeIndex.squash(seqBoundary);
+    while (!ws_.unknownStoreAddrs.empty() &&
+           ws_.unknownStoreAddrs.back().seq >= seqBoundary)
+        ws_.unknownStoreAddrs.pop_back();
+    while (!ws_.pendingSyscallSeqs.empty() &&
+           ws_.pendingSyscallSeqs.back().seq >= seqBoundary)
+        ws_.pendingSyscallSeqs.pop_back();
+    while (!ws_.unknownStoreData.empty() &&
+           ws_.unknownStoreData.back().seq >= seqBoundary)
+        ws_.unknownStoreData.pop_back();
+    while (!ws_.wordQueue.empty() &&
+           ws_.wordQueue.back().bseq >= bseq_inclusive)
+        ws_.wordQueue.pop_back();
+
+    // Squashed nodes' chains: wait chains die with their consumers
+    // (every waiter on a squashed producer is younger, hence squashed
+    // too); load chains re-attempt every parked load, oldest blocker
+    // first — surviving loads re-park on a live blocker at the next
+    // refresh. Ascending pos is ascending blocker seq, matching the old
+    // ordered-map drain.
+    for (std::uint32_t p = boundaryPos; p != oldNextPos; ++p) {
+        releaseChain(waitAt(p));
+        ChainRef &lc = loadAt(p);
+        std::uint32_t idx = lc.head;
+        lc.head = lc.tail = kNilIndex;
+        while (idx != kNilIndex) {
+            const ChainItem item = ws_.chains.at(idx);
+            const std::uint32_t nxt = ws_.chains.next(idx);
+            ws_.chains.release(idx);
+            --parkedLoads_;
+            ws_.retryLoads.push_back({item.seq, item.pos});
+            idx = nxt;
+        }
     }
     sysWake_ = true;
 
@@ -1329,17 +1425,15 @@ void
 Engine::rebuildRenameMap()
 {
     for (std::uint8_t r = 0; r < kNumRegs; ++r)
-        rename_[r] = {true, committedRegs_[r], 0};
-    for (const BlockInst &block : window_) {
-        for (const NodeInst &inst : block.insts) {
-            const std::uint8_t dst = inst.node->dstReg();
-            if (dst == kRegNone || dst == kRegZero)
-                continue;
-            if (inst.state == NState::Done)
-                rename_[dst] = {true, inst.value, 0};
-            else
-                rename_[dst] = {false, 0, inst.seq};
-        }
+        rename_[r] = {true, committedRegs_[r], 0, 0};
+    for (std::uint32_t p = headPos_; p != nextPos_; ++p) {
+        const std::uint8_t dst = execAt(p).node->dstReg();
+        if (dst == kRegNone || dst == kRegZero)
+            continue;
+        if (stateAt(p) == NState::Done)
+            rename_[dst] = {true, execAt(p).value, 0, 0};
+        else
+            rename_[dst] = {false, 0, seqAt(p), p};
     }
 }
 
@@ -1372,6 +1466,7 @@ Engine::run()
 
     std::uint64_t last_progress = 0;
     std::uint64_t progress_marker = 0;
+    const std::uint64_t alloc_start = hook_ ? hook_() : 0;
 
     for (cycle_ = 0; cycle_ < opts_.maxCycles; ++cycle_) {
         processCompletions();
@@ -1387,7 +1482,10 @@ Engine::run()
         if (exited_)
             break;
         issueCycle();
-        result_.windowOccupancy.add(window_.size());
+        result_.windowOccupancy.add(nextBlockPos_ - headBlockPos_);
+        result_.peakLiveNodes =
+            std::max<std::uint64_t>(result_.peakLiveNodes,
+                                    nextPos_ - headPos_);
         result_.validNodes.add(static_cast<std::uint64_t>(validCount_));
         result_.activeNodes.add(static_cast<std::uint64_t>(activeCount_));
         result_.readyNodes.add(static_cast<std::uint64_t>(readyCount_));
@@ -1400,7 +1498,7 @@ Engine::run()
         StallBreakdown &st = result_.stalls;
         st.operandWaitNodeCycles +=
             static_cast<std::uint64_t>(activeCount_ - readyCount_);
-        const std::uint64_t sys_waiting = pendingSys_.size();
+        const std::uint64_t sys_waiting = ws_.pendingSys.size();
         st.memoryWaitNodeCycles += parkedLoads_;
         st.serializeWaitNodeCycles += sys_waiting;
         const std::uint64_t ready = static_cast<std::uint64_t>(readyCount_);
@@ -1424,6 +1522,15 @@ Engine::run()
     if (!exited_)
         fgp_fatal("cycle budget exceeded (", opts_.maxCycles, ") on config ",
                   opts_.config.name());
+
+    if (hook_) {
+        result_.allocSampled = true;
+        result_.allocCycleLoop =
+            hook_() - alloc_start - result_.allocSyscall;
+    }
+    result_.arenaNodeSlots = ws_.nodeSeq.size();
+    result_.arenaBlockSlots = ws_.blocks.size();
+    result_.arenaChainSlots = ws_.chains.size();
 
     predictor_.exportStats(result_.stats, "bpred.");
     memsys_.exportStats(result_.stats, "mem.");
@@ -1493,10 +1600,24 @@ Engine::run()
 
 } // namespace
 
+void
+setAllocHook(std::uint64_t (*hook)())
+{
+    g_allocHook.store(hook, std::memory_order_relaxed);
+}
+
 EngineResult
 simulate(const CodeImage &image, SimOS &os, const EngineOptions &opts)
 {
-    Engine engine{image, os, opts};
+    // A caller-provided workspace pools every arena across calls; the
+    // private fallback costs one construction but behaves identically.
+    std::unique_ptr<EngineWorkspace> local;
+    EngineWorkspace *ws = opts.workspace;
+    if (!ws) {
+        local = std::make_unique<EngineWorkspace>();
+        ws = local.get();
+    }
+    Engine engine{image, os, opts, *ws};
     EngineResult result = engine.run();
 
     // Fold the finished run into the sweep-level registry (one batch of
@@ -1514,6 +1635,20 @@ simulate(const CodeImage &image, SimOS &os, const EngineOptions &opts)
         m.add("engine.mispredicts", result.mispredicts);
         m.add("engine.faults_fired", result.faultsFired);
         m.add("engine.stall_slots", result.stalls.totalSlots());
+        if (result.allocSampled) {
+            m.add("engine.alloc.sampled_sims", 1);
+            m.add("engine.alloc.cycle_loop", result.allocCycleLoop);
+            m.add("engine.alloc.syscall", result.allocSyscall);
+        }
+        // Pooled-arena occupancy (last writer wins: capacities are
+        // monotone per workspace, so the final sim reports the
+        // high-water marks).
+        m.setGauge("engine.arena.node_slots",
+                   static_cast<double>(result.arenaNodeSlots));
+        m.setGauge("engine.arena.block_slots",
+                   static_cast<double>(result.arenaBlockSlots));
+        m.setGauge("engine.arena.chain_slots",
+                   static_cast<double>(result.arenaChainSlots));
     }
     return result;
 }

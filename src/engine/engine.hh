@@ -44,6 +44,20 @@ namespace fgp {
 namespace obs { class EventBus; }
 namespace metrics { class Registry; }
 
+struct EngineWorkspace;
+
+/**
+ * Allocation observer for the zero-steady-state-allocation self-check
+ * (bench/perf_selfcheck.cc). The hook returns a monotone count of heap
+ * allocations (typically from a counting operator new); the engine
+ * samples it at the cycle-loop boundaries and around each system call,
+ * and reports the difference in EngineResult::allocCycleLoop /
+ * allocSyscall. Null (the default) disables sampling. Install before
+ * spawning simulation threads; the pointer is read with relaxed atomic
+ * loads and never changes a schedule.
+ */
+void setAllocHook(std::uint64_t (*hook)());
+
 /** Options for one simulation. */
 struct EngineOptions
 {
@@ -102,6 +116,16 @@ struct EngineOptions
      * on the per-cycle paths, and never any effect on the schedule.
      */
     metrics::Registry *metrics = nullptr;
+
+    /**
+     * Reusable simulation state (engine/workspace.hh): node-record
+     * arenas, queues, heaps and the simulated memory, pooled across
+     * simulate() calls so repeat runs allocate nothing at steady state.
+     * Null (the default) makes the engine use a private workspace —
+     * identical schedules either way; the harness passes one workspace
+     * per worker thread.
+     */
+    EngineWorkspace *workspace = nullptr;
 };
 
 /**
@@ -224,6 +248,33 @@ struct EngineResult
 
     /** Per-static-block attribution (one entry per image block). */
     std::vector<BlockStat> blockStats;
+
+    /**
+     * Heap allocations observed via setAllocHook(): inside the cycle
+     * loop excluding system-call windows (allocCycleLoop — zero at
+     * steady state on a warmed workspace) and inside system calls
+     * (allocSyscall — SimOS buffering, excluded from the zero-alloc
+     * contract). Host-side observations only: never part of the
+     * schedule, deliberately kept out of `stats` so schedule
+     * fingerprints stay host-independent.
+     */
+    std::uint64_t allocCycleLoop = 0;
+    std::uint64_t allocSyscall = 0;
+    bool allocSampled = false;
+
+    /**
+     * Workspace arena occupancy after the run: ring capacities (node and
+     * block record rings, pooled chain slots) and the run's peak live
+     * node count. Capacities are high-water marks of the pooled
+     * workspace — they only grow, and on a warmed workspace they explain
+     * why the cycle loop allocates nothing. Host-side observations like
+     * the alloc counters: exported as engine.arena.* gauges, never part
+     * of `stats` or any schedule fingerprint.
+     */
+    std::uint64_t arenaNodeSlots = 0;
+    std::uint64_t arenaBlockSlots = 0;
+    std::uint64_t arenaChainSlots = 0;
+    std::uint64_t peakLiveNodes = 0;
 
     double
     nodesPerCycle() const

@@ -1,105 +1,155 @@
 #include "engine/store_index.hh"
 
-#include <algorithm>
-
 #include "base/logging.hh"
 
 namespace fgp {
 
+std::size_t
+StoreIndex::findExtent(std::uint64_t seq) const
+{
+    std::size_t lo = 0, hi = extents_.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (extents_[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo < extents_.size() && extents_[lo].seq == seq
+               ? lo
+               : extents_.size();
+}
+
 void
 StoreIndex::addStore(std::uint64_t seq, std::uint32_t addr,
-                     std::uint32_t len)
+                     std::uint32_t len, std::uint32_t pos)
 {
-    const bool inserted = extents_.emplace(seq, Extent{addr, len}).second;
-    fgp_assert(inserted, "store seq ", seq, " indexed twice");
+    // Stores resolve addresses out of order; keep the ring sorted. The
+    // insertion point is almost always the back.
+    std::size_t at = extents_.size();
+    while (at > 0 && extents_[at - 1].seq > seq)
+        --at;
+    fgp_assert(at == 0 || extents_[at - 1].seq != seq, "store seq ", seq,
+               " indexed twice");
+    extents_.insert(at, ExtentRec{seq, addr, len});
+
     for (std::uint32_t b = 0; b < len; ++b) {
-        std::vector<ByteVer> &vers = bytes_[addr + b];
-        // Stores resolve addresses out of order; keep the list sorted.
-        const auto pos = std::lower_bound(
-            vers.begin(), vers.end(), seq,
-            [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
-        vers.insert(pos, ByteVer{seq, 0, false});
+        const std::uint32_t idx = allocVer(ByteVer{seq, kNilIndex, pos,
+                                                   0, false});
+        std::uint32_t &head = byteHeads_.getOrInsert(addr + b, kNilIndex);
+        // Chains are seq-ascending; walk to the insertion point (chains
+        // are nearly always length 1-2).
+        if (head == kNilIndex || vers_[head].seq > seq) {
+            vers_[idx].next = head;
+            head = idx;
+            continue;
+        }
+        std::uint32_t prev = head;
+        while (vers_[prev].next != kNilIndex &&
+               vers_[vers_[prev].next].seq < seq)
+            prev = vers_[prev].next;
+        vers_[idx].next = vers_[prev].next;
+        vers_[prev].next = idx;
     }
 }
 
 void
 StoreIndex::setData(std::uint64_t seq, const std::uint8_t *data)
 {
-    const auto it = extents_.find(seq);
-    fgp_assert(it != extents_.end(), "setData on unindexed store ", seq);
-    const Extent &extent = it->second;
+    const std::size_t ext = findExtent(seq);
+    fgp_assert(ext != extents_.size(), "setData on unindexed store ", seq);
+    const ExtentRec extent = extents_[ext];
     for (std::uint32_t b = 0; b < extent.len; ++b) {
-        std::vector<ByteVer> &vers = bytes_[extent.addr + b];
-        const auto pos = std::lower_bound(
-            vers.begin(), vers.end(), seq,
-            [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
-        fgp_assert(pos != vers.end() && pos->seq == seq,
-                   "store byte version lost");
-        pos->value = data[b];
-        pos->known = true;
+        std::uint32_t *head = byteHeads_.find(extent.addr + b);
+        fgp_assert(head, "store byte list lost");
+        std::uint32_t idx = *head;
+        while (idx != kNilIndex && vers_[idx].seq != seq)
+            idx = vers_[idx].next;
+        fgp_assert(idx != kNilIndex, "store byte version lost");
+        vers_[idx].value = data[b];
+        vers_[idx].known = true;
     }
 }
 
 void
-StoreIndex::removeBytes(std::uint64_t seq, const Extent &extent)
+StoreIndex::removeBytes(std::uint64_t seq, std::uint32_t addr,
+                        std::uint32_t len)
 {
-    for (std::uint32_t b = 0; b < extent.len; ++b) {
-        const std::uint32_t byte_addr = extent.addr + b;
-        const auto vit = bytes_.find(byte_addr);
-        fgp_assert(vit != bytes_.end(), "store byte list lost");
-        std::vector<ByteVer> &vers = vit->second;
-        const auto pos = std::lower_bound(
-            vers.begin(), vers.end(), seq,
-            [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
-        fgp_assert(pos != vers.end() && pos->seq == seq,
-                   "store byte version lost");
-        vers.erase(pos);
-        if (vers.empty())
-            bytes_.erase(vit);
+    for (std::uint32_t b = 0; b < len; ++b) {
+        const std::uint32_t byte_addr = addr + b;
+        std::uint32_t *head = byteHeads_.find(byte_addr);
+        fgp_assert(head, "store byte list lost");
+        std::uint32_t idx = *head;
+        std::uint32_t prev = kNilIndex;
+        while (idx != kNilIndex && vers_[idx].seq != seq) {
+            prev = idx;
+            idx = vers_[idx].next;
+        }
+        fgp_assert(idx != kNilIndex, "store byte version lost");
+        if (prev == kNilIndex)
+            *head = vers_[idx].next;
+        else
+            vers_[prev].next = vers_[idx].next;
+        freeVer(idx);
+        if (*head == kNilIndex)
+            byteHeads_.erase(byte_addr);
     }
 }
 
 void
 StoreIndex::erase(std::uint64_t seq)
 {
-    const auto it = extents_.find(seq);
-    fgp_assert(it != extents_.end(), "erase of unindexed store ", seq);
-    removeBytes(seq, it->second);
-    extents_.erase(it);
+    const std::size_t ext = findExtent(seq);
+    fgp_assert(ext != extents_.size(), "erase of unindexed store ", seq);
+    removeBytes(seq, extents_[ext].addr, extents_[ext].len);
+    extents_.erase(ext);
 }
 
 void
 StoreIndex::squash(std::uint64_t seq_boundary)
 {
-    const auto first = extents_.lower_bound(seq_boundary);
-    for (auto it = first; it != extents_.end(); ++it)
-        removeBytes(it->first, it->second);
-    extents_.erase(first, extents_.end());
+    while (!extents_.empty() && extents_.back().seq >= seq_boundary) {
+        const ExtentRec victim = extents_.back();
+        removeBytes(victim.seq, victim.addr, victim.len);
+        extents_.pop_back();
+    }
 }
 
 StoreIndex::Lookup
 StoreIndex::lookup(std::uint32_t byte_addr, std::uint64_t seq_limit) const
 {
     Lookup result;
-    const auto vit = bytes_.find(byte_addr);
-    if (vit == bytes_.end())
+    const std::uint32_t *head = byteHeads_.find(byte_addr);
+    if (!head)
         return result;
-    const std::vector<ByteVer> &vers = vit->second;
-    // Youngest version older than the probing load.
-    const auto pos = std::lower_bound(
-        vers.begin(), vers.end(), seq_limit,
-        [](const ByteVer &v, std::uint64_t s) { return v.seq < s; });
-    if (pos == vers.begin())
+    // Youngest version older than the probing load: last chain entry
+    // with seq < limit (chains are seq-ascending).
+    std::uint32_t best = kNilIndex;
+    for (std::uint32_t idx = *head;
+         idx != kNilIndex && vers_[idx].seq < seq_limit;
+         idx = vers_[idx].next)
+        best = idx;
+    if (best == kNilIndex)
         return result;
-    const ByteVer &ver = *std::prev(pos);
+    const ByteVer &ver = vers_[best];
     if (!ver.known) {
         result.status = Lookup::Status::NeedData;
         result.blocker = ver.seq;
+        result.blockerPos = ver.pos;
         return result;
     }
     result.status = Lookup::Status::Hit;
     result.value = ver.value;
     return result;
+}
+
+void
+StoreIndex::clearRetain()
+{
+    byteHeads_.clearRetain();
+    vers_.clear();
+    freeVer_ = kNilIndex;
+    extents_.clearRetain();
 }
 
 } // namespace fgp

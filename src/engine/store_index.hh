@@ -9,8 +9,15 @@
  * dominates simulation time for large windows (dyn256 keeps hundreds of
  * stores in flight). The index maintains, per byte address, the set of
  * resolved stores covering it, sorted by sequence number, so one lookup
- * is a hash probe plus a binary search over a (nearly always tiny)
- * version list.
+ * is a flat-map probe plus a walk of a (nearly always tiny) pooled
+ * version chain.
+ *
+ * Internals are allocation-free at steady state: an open-addressing
+ * FlatHashMap32 keyed by byte address whose values head intrusive
+ * version chains in a ChainPool-style arena, plus a seq-sorted ring of
+ * extents (inserted near the back, retired from the front, squashed
+ * from the back). clearRetain() resets contents without freeing, so a
+ * pooled workspace reuses the capacity across simulations.
  *
  * Lifecycle mirrors the store queue:
  *  - addStore()  when a store's address resolves (agen);
@@ -26,9 +33,8 @@
 #define FGP_ENGINE_STORE_INDEX_HH
 
 #include <cstdint>
-#include <map>
-#include <unordered_map>
-#include <vector>
+
+#include "engine/containers.hh"
 
 namespace fgp {
 
@@ -44,12 +50,19 @@ class StoreIndex
             Hit,      ///< forwarded from the youngest covering store
         };
         Status status = Status::Miss;
-        std::uint8_t value = 0;     ///< forwarded byte (Hit only)
-        std::uint64_t blocker = 0;  ///< blocking store seq (NeedData only)
+        std::uint8_t value = 0;      ///< forwarded byte (Hit only)
+        std::uint64_t blocker = 0;   ///< blocking store seq (NeedData only)
+        std::uint32_t blockerPos = 0; ///< blocking store's node slot
     };
 
-    /** Register a store whose address just resolved. Data may follow. */
-    void addStore(std::uint64_t seq, std::uint32_t addr, std::uint32_t len);
+    /**
+     * Register a store whose address just resolved. Data may follow.
+     * @p pos is the store's engine node slot, handed back through
+     * Lookup::blockerPos so the engine can park a blocked load on the
+     * store's wait chain without a seq lookup.
+     */
+    void addStore(std::uint64_t seq, std::uint32_t addr, std::uint32_t len,
+                  std::uint32_t pos = 0);
 
     /** Attach the store's data bytes (exactly the addStore length). */
     void setData(std::uint64_t seq, const std::uint8_t *data);
@@ -70,28 +83,66 @@ class StoreIndex
     bool empty() const { return extents_.empty(); }
     std::size_t size() const { return extents_.size(); }
 
+    /** Drop contents; keep every array and pool (zero-alloc reuse). */
+    void clearRetain();
+
   private:
-    /** One resolved store's contribution to a single byte address. */
+    /** One resolved store's contribution to a single byte address,
+     *  linked into that address's seq-ascending chain. */
     struct ByteVer
     {
         std::uint64_t seq;
+        std::uint32_t next; ///< kNilIndex terminates
+        std::uint32_t pos;  ///< engine node slot of the store
         std::uint8_t value;
         bool known;
     };
 
-    struct Extent
+    struct ExtentRec
     {
+        std::uint64_t seq;
         std::uint32_t addr;
         std::uint32_t len;
     };
 
-    void removeBytes(std::uint64_t seq, const Extent &extent);
+    void removeBytes(std::uint64_t seq, std::uint32_t addr,
+                     std::uint32_t len);
 
-    /** Byte address -> covering stores, sorted by seq ascending. */
-    std::unordered_map<std::uint32_t, std::vector<ByteVer>> bytes_;
+    std::uint32_t
+    allocVer(const ByteVer &ver)
+    {
+        if (freeVer_ != kNilIndex) {
+            const std::uint32_t idx = freeVer_;
+            freeVer_ = vers_[idx].next;
+            vers_[idx] = ver;
+            return idx;
+        }
+        vers_.push_back(ver);
+        return static_cast<std::uint32_t>(vers_.size() - 1);
+    }
 
-    /** Resolved stores by seq (ordered so squash can range-erase). */
-    std::map<std::uint64_t, Extent> extents_;
+    void
+    freeVer(std::uint32_t idx)
+    {
+        vers_[idx].next = freeVer_;
+        freeVer_ = idx;
+    }
+
+    /** Logical index of @p seq in the sorted extent ring (binary
+     *  search); extents_.size() when absent. */
+    std::size_t findExtent(std::uint64_t seq) const;
+
+    /** Byte address -> head of the covering-version chain. */
+    FlatHashMap32<std::uint32_t> byteHeads_;
+
+    /** Version-chain arena with freelist. */
+    std::vector<ByteVer> vers_;
+    std::uint32_t freeVer_ = kNilIndex;
+
+    /** Resolved stores sorted by seq (squash pops the back, retirement
+     *  the front; out-of-order address resolution inserts near the
+     *  back). */
+    RingBuffer<ExtentRec> extents_;
 };
 
 } // namespace fgp

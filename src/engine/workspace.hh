@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Reusable simulation state: the engine's arenas, rings and scratch
+ * buffers, owned outside any single simulate() call.
+ *
+ * One sweep evaluates hundreds of (workload, configuration) cells; with
+ * the node records, queues and heaps pooled here, the second and every
+ * later run on a workspace performs zero steady-state allocations —
+ * beginRun() resets logical contents but never frees capacity. The
+ * harness keeps one workspace per worker thread; passing
+ * EngineOptions::workspace = nullptr makes the engine fall back to a
+ * private workspace with identical semantics (and identical schedules —
+ * the workspace only changes *where* state lives, never what it holds).
+ *
+ * Node records are structure-of-arrays at field-group granularity:
+ * parallel rings indexed by `pos & nodeMask()`, where pos is a dense
+ * per-run slot counter. Retirement advances the head, squash rewinds
+ * the tail, so live nodes always occupy a contiguous pos range and a
+ * (pos, seq) pair is a complete O(1)-checkable node reference — no
+ * hashing, no pointer chasing, no per-block vector. DESIGN.md ("Engine
+ * memory layout") documents the lifecycle and invariants.
+ */
+
+#ifndef FGP_ENGINE_WORKSPACE_HH
+#define FGP_ENGINE_WORKSPACE_HH
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "engine/containers.hh"
+#include "engine/store_index.hh"
+#include "vm/memory.hh"
+
+namespace fgp {
+
+struct Node;
+
+struct EngineWorkspace
+{
+    static constexpr int kMaxSrcs = 5; // SYSCALL reads v0, a0..a3
+
+    // ---- SoA node records (rings over pos & nodeMask()) -------------
+    /** Dataflow group: touched at issue, wakeup and execute. */
+    struct ExecRec
+    {
+        const Node *node;
+        std::uint32_t srcVal[kMaxSrcs];
+        std::uint32_t value;
+        std::uint8_t nSrc;
+        std::uint8_t unresolved;
+        std::uint8_t srcReadyMask;
+    };
+
+    /** Memory group: only loads/stores/syscalls touch it. */
+    struct MemRec
+    {
+        std::uint32_t addr;
+        std::uint8_t data[4];
+        std::uint8_t len;
+        bool addrKnown;
+        bool dataKnown;
+    };
+
+    /** Identity group: block membership and static-node index. */
+    struct MetaRec
+    {
+        std::uint32_t blockPos;
+        std::uint32_t nodeIdx;
+    };
+
+    /** Head+tail of a pooled chain (kNilIndex when empty). */
+    struct ChainRef
+    {
+        std::uint32_t head;
+        std::uint32_t tail;
+    };
+
+    std::vector<std::uint64_t> nodeSeq; ///< validity tag (unique per run)
+    std::vector<std::uint8_t> nodeState;
+    std::vector<ExecRec> exec;
+    std::vector<MemRec> memRec;
+    std::vector<MetaRec> meta;
+    std::vector<ChainRef> waitChain; ///< consumers waiting on this producer
+    std::vector<ChainRef> loadChain; ///< loads parked on this blocker
+
+    std::uint32_t nodeMask() const
+    {
+        return static_cast<std::uint32_t>(nodeSeq.size() - 1);
+    }
+
+    // ---- In-flight block records (ring over pos & blockMask()) ------
+    struct BlockRec
+    {
+        std::uint64_t bseq;
+        std::int32_t imageId;
+        std::uint32_t firstPos; ///< pos of the block's first node
+        std::uint32_t count;    ///< nodes issued so far
+        std::uint32_t issuedWords;
+        std::uint32_t doneCount;
+
+        // Next-block decision bookkeeping.
+        std::int32_t predictedTargetPc;
+        std::int32_t resolvedTargetPc;
+        bool fullyIssued;
+        bool predictionMade;
+        bool predictedTaken;
+        bool resolvedEarly;
+        bool resolvedTaken;
+    };
+    std::vector<BlockRec> blocks;
+
+    std::uint32_t blockMask() const
+    {
+        return static_cast<std::uint32_t>(blocks.size() - 1);
+    }
+
+    // ---- Chains, queues, heaps, scratch -----------------------------
+    /** One wait-chain entry. aux is the waiting slot (operand chains) or
+     *  the parked load's bseq (load chains — kept for the observability
+     *  stream, which reports the original bseq even for refs whose load
+     *  was squashed while parked). */
+    struct ChainItem
+    {
+        std::uint64_t seq;
+        std::uint64_t aux;
+        std::uint32_t pos;
+    };
+    ChainPool<ChainItem> chains;
+
+    /** A (pos, seq) node reference — the post-layout Ref. */
+    struct NodeRef
+    {
+        std::uint64_t seq;
+        std::uint32_t pos;
+    };
+
+    struct Event
+    {
+        std::uint64_t cycle;
+        std::uint64_t seq;
+        std::uint32_t pos;
+    };
+    struct EventSooner
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.cycle < b.cycle;
+        }
+    };
+    struct RefOldestFirst
+    {
+        bool
+        operator()(const NodeRef &a, const NodeRef &b) const
+        {
+            return a.seq < b.seq;
+        }
+    };
+
+    MinHeap<Event, EventSooner> events;
+    MinHeap<NodeRef, RefOldestFirst> readyAlu;
+    MinHeap<NodeRef, RefOldestFirst> readyMem;
+
+    std::vector<NodeRef> pendingSys;
+    std::vector<NodeRef> retryLoads;
+    std::vector<NodeRef> retryScratch; ///< swap partner for retryLoads
+    std::vector<NodeRef> dueScratch;   ///< completions due this cycle
+
+    RingBuffer<NodeRef> storeQueue;
+
+    struct WordRef
+    {
+        std::uint64_t bseq;
+        std::uint32_t blockPos;
+        std::uint32_t wordIdx;
+        std::uint32_t firstInst; ///< block-relative index of word node 0
+    };
+    RingBuffer<WordRef> wordQueue; ///< static machine in-order word stream
+
+    /** Watermark rings: seq-sorted (pushed in issue order), membership
+     *  resolved lazily against the node record, suffix-popped on squash.
+     *  Replace the std::set begin()/erase()/lower_bound() watermarks. */
+    RingBuffer<NodeRef> unknownStoreAddrs;
+    RingBuffer<NodeRef> pendingSyscallSeqs;
+    RingBuffer<NodeRef> unknownStoreData;
+
+    StoreIndex storeIndex;
+
+    /** Simulated flat memory; pages persist across runs (resetRetain). */
+    SparseMemory mem;
+
+    /**
+     * Reset logical contents for a new simulation without releasing any
+     * capacity. Node/block rings need no wipe: validity is established
+     * by the per-run (pos, seq) range checks, never by slot contents.
+     */
+    void
+    beginRun()
+    {
+        if (nodeSeq.empty())
+            growNodes(0, 0);
+        if (blocks.empty())
+            blocks.resize(512);
+        chains.clearRetain();
+        events.clearRetain();
+        readyAlu.clearRetain();
+        readyMem.clearRetain();
+        pendingSys.clear();
+        retryLoads.clear();
+        retryScratch.clear();
+        dueScratch.clear();
+        storeQueue.clearRetain();
+        wordQueue.clearRetain();
+        unknownStoreAddrs.clearRetain();
+        pendingSyscallSeqs.clearRetain();
+        unknownStoreData.clearRetain();
+        storeIndex.clearRetain();
+        mem.resetRetain();
+    }
+
+    /**
+     * Double the node ring, re-placing live records (pos in
+     * [head, next)) at their new masked slots. References by pos remain
+     * valid — the mapping pos -> slot changes, pos itself does not.
+     */
+    void
+    growNodes(std::uint32_t head, std::uint32_t next)
+    {
+        const std::size_t old_cap = nodeSeq.size();
+        const std::size_t new_cap = old_cap ? old_cap * 2 : 4096;
+        const std::uint32_t old_mask =
+            static_cast<std::uint32_t>(old_cap - 1);
+        const std::uint32_t new_mask =
+            static_cast<std::uint32_t>(new_cap - 1);
+
+        const auto replace = [&](auto &vec) {
+            using Vec = std::remove_reference_t<decltype(vec)>;
+            Vec grown(new_cap);
+            for (std::uint32_t pos = head; pos != next; ++pos)
+                grown[pos & new_mask] = vec[pos & old_mask];
+            vec = std::move(grown);
+        };
+        replace(nodeSeq);
+        replace(nodeState);
+        replace(exec);
+        replace(memRec);
+        replace(meta);
+        replace(waitChain);
+        replace(loadChain);
+    }
+
+    /** Same doubling scheme for the block ring. */
+    void
+    growBlocks(std::uint32_t head, std::uint32_t next)
+    {
+        const std::size_t old_cap = blocks.size();
+        const std::size_t new_cap = old_cap ? old_cap * 2 : 512;
+        const std::uint32_t old_mask =
+            static_cast<std::uint32_t>(old_cap - 1);
+        const std::uint32_t new_mask =
+            static_cast<std::uint32_t>(new_cap - 1);
+        std::vector<BlockRec> grown(new_cap);
+        for (std::uint32_t pos = head; pos != next; ++pos)
+            grown[pos & new_mask] = blocks[pos & old_mask];
+        blocks = std::move(grown);
+    }
+};
+
+} // namespace fgp
+
+#endif // FGP_ENGINE_WORKSPACE_HH

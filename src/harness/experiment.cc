@@ -4,6 +4,7 @@
 
 #include "analyze/analyze.hh"
 #include "base/logging.hh"
+#include "engine/workspace.hh"
 #include "ir/cfg.hh"
 #include "metrics/registry.hh"
 #include "tld/translate.hh"
@@ -165,6 +166,12 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
     opts.conservativeLoads = tweaks_.conservativeLoads;
 
     opts.metrics = metrics_;
+
+    // Pool the engine's arenas per worker thread: after the first run
+    // warms a thread's workspace, every later cell on that thread
+    // simulates with zero steady-state allocations.
+    static thread_local EngineWorkspace workspace;
+    opts.workspace = &workspace;
 
     ExperimentResult result;
     result.workload = name;

@@ -85,6 +85,7 @@ WriteBuffer::WriteBuffer(int lines, int line_bytes)
     : capacity_(lines), lineShift_(log2i(static_cast<std::uint32_t>(line_bytes)))
 {
     fgp_assert(lines > 0, "write buffer needs capacity");
+    lru_.reserve(static_cast<std::size_t>(lines));
 }
 
 bool
@@ -94,7 +95,7 @@ WriteBuffer::contains(std::uint32_t addr)
     const auto it = std::find(lru_.begin(), lru_.end(), line);
     if (it == lru_.end())
         return false;
-    lru_.splice(lru_.begin(), lru_, it);
+    std::rotate(lru_.begin(), it, it + 1); // move-to-front
     ++hits_;
     return true;
 }
@@ -105,16 +106,16 @@ WriteBuffer::insert(std::uint32_t addr)
     const std::uint32_t line = addr >> lineShift_;
     const auto it = std::find(lru_.begin(), lru_.end(), line);
     if (it != lru_.end()) {
-        lru_.splice(lru_.begin(), lru_, it);
+        std::rotate(lru_.begin(), it, it + 1); // move-to-front
         return -1;
     }
-    lru_.push_front(line);
-    if (static_cast<int>(lru_.size()) > capacity_) {
-        const std::uint32_t evicted = lru_.back();
+    std::int64_t evicted = -1;
+    if (static_cast<int>(lru_.size()) == capacity_) {
+        evicted = static_cast<std::int64_t>(lru_.back());
         lru_.pop_back();
-        return static_cast<std::int64_t>(evicted);
     }
-    return -1;
+    lru_.insert(lru_.begin(), line);
+    return evicted;
 }
 
 MemorySystem::MemorySystem(const MemoryConfig &config)

@@ -16,7 +16,6 @@
 #define FGP_MEMSYS_MEMSYS_HH
 
 #include <cstdint>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -83,9 +82,13 @@ class WriteBuffer
     std::uint64_t hits() const { return hits_; }
 
   private:
+    // Move-to-front vector rather than a linked list: the buffer holds a
+    // handful of lines, so the scan is one cache line, and a reserved
+    // vector never allocates after construction (the engine's
+    // zero-steady-state-allocation contract covers commitStore).
     int capacity_;
     int lineShift_;
-    std::list<std::uint32_t> lru_; ///< front = most recent; values are lines
+    std::vector<std::uint32_t> lru_; ///< front = most recent; values are lines
     std::uint64_t hits_ = 0;
 };
 

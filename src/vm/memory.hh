@@ -105,6 +105,19 @@ class SparseMemory
 
     std::size_t numPages() const { return pages_.size(); }
 
+    /**
+     * Zero the contents but keep every mapped page, so a reused memory
+     * behaves like a fresh one without re-faulting its working set —
+     * repeat simulations on a pooled engine workspace touch the same
+     * pages and allocate nothing.
+     */
+    void
+    resetRetain()
+    {
+        for (auto &[key, page] : pages_)
+            page->fill(0);
+    }
+
   private:
     using Page = std::array<std::uint8_t, kPageSize>;
 

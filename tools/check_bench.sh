@@ -198,6 +198,14 @@ validate_run() {
                 need_num("timestamp"); need_num("jobs"); need_num("scale")
                 need_num("sims"); need_num("wall_seconds")
                 need_num("sim_cycles"); need_num("host_ns_per_sim_cycle")
+                # Allocation observability (engine/engine.hh setAllocHook):
+                # when a run samples allocations, all three engine.alloc.*
+                # registry fields must land in the snapshot together.
+                if (index($0, "\"engine.alloc.")) {
+                    need_num("engine.alloc.sampled_sims")
+                    need_num("engine.alloc.cycle_loop")
+                    need_num("engine.alloc.syscall")
+                }
             } else if (index($0, "\"kind\":\"point\"")) {
                 if (records == 1)
                     die("first record must be the \"run\" header")
