@@ -24,6 +24,19 @@ main()
     ExperimentRunner runner(envScale());
     RunRecorder recorder("full_sweep", &runner);
 
+    // Opt-in interval profiling: FGP_PROFILE_WINDOW=N attaches the
+    // profiler with N-cycle windows to every point. The CSV then
+    // carries measured critical-path lengths and the manifest
+    // (FGP_RUN_MANIFEST) the per-window streams; schedules are
+    // bit-identical either way.
+    if (const char *pw = std::getenv("FGP_PROFILE_WINDOW")) {
+        if (const auto cycles = parseInt(pw); cycles && *cycles > 0) {
+            ExperimentRunner::EngineTweaks tweaks;
+            tweaks.profileWindow = static_cast<std::uint64_t>(*cycles);
+            runner.setEngineTweaks(tweaks);
+        }
+    }
+
     std::vector<MachineConfig> configs;
     if (full) {
         configs = fullConfigGrid();
@@ -60,7 +73,8 @@ main()
     std::cout << "benchmark,discipline,issue,memory,branch,nodes_per_cycle,"
                  "cycles,ref_nodes,redundancy,mispredicts,faults,"
                  "stall_fetch_redirect,stall_fetch_idle,stall_window_full,"
-                 "stall_short_word,stall_drain,static_bound\n";
+                 "stall_short_word,stall_drain,static_bound,"
+                 "crit_path_cycles\n";
     for (const ExperimentResult &r : results) {
         const MachineConfig &config = r.config;
         const StallBreakdown &st = r.engine.stalls;
@@ -76,7 +90,8 @@ main()
                   << st.fetchRedirectSlots << ',' << st.fetchIdleSlots << ','
                   << st.windowFullSlots << ',' << st.shortWordSlots << ','
                   << st.drainSlots << ','
-                  << format("%.4f", r.staticIpcBound) << '\n';
+                  << format("%.4f", r.staticIpcBound) << ','
+                  << r.profile.critPath.pathCycles << '\n';
     }
 
     // Where the sweep's issue bandwidth went, in aggregate.

@@ -34,7 +34,10 @@
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <iostream>
 #include <new>
+
+#include "base/logging.hh"
 
 #include "base/strutil.hh"
 #include "bench/fig_common.hh"
@@ -87,8 +90,8 @@ allocNow()
 using namespace fgp;
 using namespace fgp::bench;
 
-int
-main(int argc, char **argv)
+static int
+runSelfcheck(int argc, char **argv)
 {
     detail::setQuiet(true);
 
@@ -209,6 +212,41 @@ main(int argc, char **argv)
                   steady_allocs, " cycle-loop allocations across ",
                   steady_sims, " repeat simulations");
 
+    // The interval profiler must honor the same contract: its window,
+    // residency and retired-log storage is pooled (clearRetain in
+    // beginRun), so a profiled repeat on a warmed workspace also runs
+    // the cycle loop allocation-free.
+    std::uint64_t profile_steady_allocs = 0;
+    std::uint64_t profile_steady_sims = 0;
+    {
+        ExperimentRunner::EngineTweaks tweaks;
+        tweaks.profileWindow = 4096;
+        runner.setEngineTweaks(tweaks);
+        const MachineConfig config{Discipline::Dyn256, issueModel(8),
+                                   memoryConfig('G'), BranchMode::Single};
+        for (const std::string &workload : workloadNames()) {
+            runner.run(workload, config); // warm the profiler pools
+            const ExperimentResult repeat = runner.run(workload, config);
+            fgp_assert(repeat.profile.enabled &&
+                           repeat.engine.allocSampled,
+                       "profiled repeat was not sampled");
+            if (repeat.engine.allocCycleLoop)
+                std::cout << format(
+                    "  profiled steady-state leak: %s: %llu cycle-loop "
+                    "allocs\n",
+                    workload.c_str(),
+                    static_cast<unsigned long long>(
+                        repeat.engine.allocCycleLoop));
+            profile_steady_allocs += repeat.engine.allocCycleLoop;
+            ++profile_steady_sims;
+        }
+        runner.setEngineTweaks({});
+    }
+    if (profile_steady_allocs != 0)
+        fgp_fatal("interval profiler allocated on a warmed workspace: ",
+                  profile_steady_allocs, " cycle-loop allocations across ",
+                  profile_steady_sims, " profiled repeat simulations");
+
     const double wall =
         std::chrono::duration<double>(end - start).count();
     std::uint64_t sim_cycles = 0;
@@ -229,6 +267,12 @@ main(int argc, char **argv)
                         "(%llu warmed repeat sims)\n",
                         static_cast<unsigned long long>(steady_allocs),
                         static_cast<unsigned long long>(steady_sims))
+              << format("  profiled steady-state allocations: %llu "
+                        "(%llu profiled repeat sims)\n",
+                        static_cast<unsigned long long>(
+                            profile_steady_allocs),
+                        static_cast<unsigned long long>(
+                            profile_steady_sims))
               << format("  arena occupancy  : %llu node / %llu block / "
                         "%llu chain slots, peak %llu live nodes\n",
                         static_cast<unsigned long long>(arena_node_slots),
@@ -263,6 +307,10 @@ main(int argc, char **argv)
                    static_cast<unsigned long long>(steady_allocs))
          << format("  \"steady_state_checked_sims\": %llu,\n",
                    static_cast<unsigned long long>(steady_sims))
+         << format("  \"profile_steady_allocs\": %llu,\n",
+                   static_cast<unsigned long long>(profile_steady_allocs))
+         << format("  \"profile_steady_checked_sims\": %llu,\n",
+                   static_cast<unsigned long long>(profile_steady_sims))
          << format("  \"arena_node_slots\": %llu,\n",
                    static_cast<unsigned long long>(arena_node_slots))
          << format("  \"arena_block_slots\": %llu,\n",
@@ -287,4 +335,18 @@ main(int argc, char **argv)
         std::cout << "appended run record to " << history_path << "\n";
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // fgp_fatal throws; without this catch an unwritable --out/--manifest
+    // path would std::terminate instead of failing with a diagnostic and
+    // a nonzero exit (the contract CI's gates rely on).
+    try {
+        return runSelfcheck(argc, argv);
+    } catch (const fgp::FatalError &err) {
+        std::cerr << "perf_selfcheck: " << err.what() << "\n";
+        return 1;
+    }
 }

@@ -12,6 +12,7 @@
 #include "memsys/memsys.hh"
 #include "metrics/registry.hh"
 #include "obs/bus.hh"
+#include "profile/profile.hh"
 #include "vm/exec.hh"
 
 namespace fgp {
@@ -52,6 +53,7 @@ class Engine
            EngineWorkspace &ws)
         : image_(image), os_(os), opts_(opts),
           bus_(opts.bus),
+          prof_(opts.profile),
           memsys_(opts.config.memory),
           predictor_(opts.predictor),
           ws_(ws),
@@ -66,6 +68,11 @@ class Engine
         ws_.beginRun();
         nodeMask_ = ws_.nodeMask();
         blockMask_ = ws_.blockMask();
+        if (prof_) {
+            ws_.ensureProfLane();
+            prof_->beginRun(opts.config.issue.width(),
+                            image.blocks.size());
+        }
         if (perfect_) {
             fgp_assert(opts.perfectTrace,
                        "perfect branch mode needs a committed-block trace");
@@ -112,6 +119,35 @@ class Engine
     BlockRec &blockAt(std::uint32_t bpos)
     {
         return ws_.blocks[bpos & blockMask_];
+    }
+    profile::NodeProf &profAt(std::uint32_t pos)
+    {
+        return ws_.profRec[pos & nodeMask_];
+    }
+
+    /** Monotone counter totals for the interval profiler's window
+     *  folds (per-window values are deltas of these). */
+    profile::CounterSnapshot
+    profileCounters() const
+    {
+        profile::CounterSnapshot c;
+        c.issuedNodes = result_.issuedNodes;
+        c.retiredNodes = result_.retiredNodes;
+        c.executedNodes = result_.executedNodes;
+        c.committedBlocks = result_.committedBlocks;
+        c.squashedBlocks = result_.squashedBlocks;
+        c.mispredicts = result_.mispredicts;
+        c.faultsFired = result_.faultsFired;
+        c.fetchRedirectCycles = fetchRedirectCycles_;
+        c.fetchIdleCycles = fetchIdleCycles_;
+        c.windowFullCycles = issueStallWindow_;
+        c.shortWordSlots = shortWordSlots_;
+        c.operandWaitNodeCycles = result_.stalls.operandWaitNodeCycles;
+        c.memoryWaitNodeCycles = result_.stalls.memoryWaitNodeCycles;
+        c.serializeWaitNodeCycles =
+            result_.stalls.serializeWaitNodeCycles;
+        c.fuBusyNodeCycles = result_.stalls.fuBusyNodeCycles;
+        return c;
     }
 
     /**
@@ -207,6 +243,7 @@ class Engine
     SimOS &os_;
     EngineOptions opts_;
     obs::EventBus *bus_;
+    profile::IntervalProfiler *const prof_; ///< may be null (the default)
     MemorySystem memsys_;
     BranchPredictor predictor_;
     EngineWorkspace &ws_;
@@ -272,6 +309,10 @@ class Engine
     int fetchStall_ = 0;
     bool fetchIdle_ = false; ///< no known next block (exit path or JR wait)
     std::uint64_t jrWaitBseq_ = 0; ///< block whose JR fetch waits on
+
+    /** Resolving control node of the last fetch redirect; the first node
+     *  issued afterwards records it as its Branch dependence edge. */
+    std::uint64_t pendingRedirectSeq_ = 0;
 
     bool exited_ = false;
 };
@@ -341,6 +382,8 @@ Engine::onDataReady(std::uint32_t pos)
     fgp_assert(stateAt(pos) == NState::Waiting, "double wakeup");
     setState(pos, NState::Ready);
     ++readyCount_;
+    if (prof_)
+        profAt(pos).readyCycle = static_cast<std::uint32_t>(cycle_);
     if (isStatic_)
         return; // the in-order word dispatcher polls readiness itself
 
@@ -484,6 +527,11 @@ Engine::parkLoad(std::uint32_t blocker_pos, std::uint64_t blocker_seq,
     chainAppend(loadAt(blocker_pos),
                 {seqAt(load_pos), bseq, load_pos});
     ++parkedLoads_;
+    if (prof_) {
+        profile::NodeProf &pr = profAt(load_pos);
+        pr.parentSeq = blocker_seq;
+        pr.edge = profile::EdgeKind::Memory;
+    }
     OBS_EMIT(.kind = obs::EventKind::LoadBlock, .cycle = cycle_,
              .seq = seqAt(load_pos), .bseq = bseq,
              .node = execAt(load_pos).node, .addr = addr,
@@ -518,6 +566,14 @@ Engine::tryExecuteLoad(std::uint32_t pos)
     --activeCount_;
     --readyCount_;
     ++result_.executedNodes;
+    if (prof_) {
+        profile::NodeProf &pr = profAt(pos);
+        pr.schedCycle = static_cast<std::uint32_t>(cycle_);
+        // A parked load whose value arrived from the store queue was
+        // bound by the forwarding store, not by disambiguation per se.
+        if (forwarded && pr.edge == profile::EdgeKind::Memory)
+            pr.edge = profile::EdgeKind::Forward;
+    }
     const int latency = memsys_.loadLatency(addr, forwarded);
     const std::uint64_t bseq = blockAt(metaAt(pos).blockPos).bseq;
     if (bus_ && forwarded)
@@ -543,6 +599,8 @@ Engine::executeNode(std::uint32_t pos)
     --activeCount_;
     --readyCount_;
     ++result_.executedNodes;
+    if (prof_)
+        profAt(pos).schedCycle = static_cast<std::uint32_t>(cycle_);
     OBS_EMIT(.kind = obs::EventKind::Schedule, .cycle = cycle_,
              .seq = seqAt(pos),
              .bseq = blockAt(metaAt(pos).blockPos).bseq, .node = ex.node,
@@ -640,6 +698,12 @@ Engine::finishExit(std::uint32_t pos)
     BlockStat &bs = result_.blockStats[block.imageId];
     ++bs.retiredBlocks;
     bs.retiredNodes += partial;
+    if (prof_) {
+        for (std::uint32_t p = block.firstPos;
+             p != block.firstPos + static_cast<std::uint32_t>(partial); ++p)
+            prof_->appendRetired(seqAt(p), profAt(p),
+                                 static_cast<std::uint32_t>(block.imageId));
+    }
     result_.retiredNodes += partial;
     ++result_.committedBlocks;
     result_.blockSize.add(partial);
@@ -675,6 +739,8 @@ Engine::processCompletions()
         BlockRec &block = blockAt(metaAt(pos).blockPos);
         setState(pos, NState::Done);
         ++block.doneCount;
+        if (prof_)
+            profAt(pos).completeCycle = static_cast<std::uint32_t>(cycle_);
         sysWake_ = true; // progress in the oldest block frees syscalls
         OBS_EMIT(.kind = obs::EventKind::Complete, .cycle = cycle_,
                  .seq = ref.seq, .bseq = block.bseq, .node = ex.node,
@@ -711,6 +777,13 @@ Engine::processCompletions()
                 continue;
             consumer.srcVal[slot] = value;
             consumer.srcReadyMask |= 1u << slot;
+            if (prof_) {
+                // Last operand writer wins: the edge that releases the
+                // consumer is the one critical-path walks follow.
+                profile::NodeProf &pr = profAt(item.pos);
+                pr.parentSeq = ref.seq;
+                pr.edge = profile::EdgeKind::Data;
+            }
             if (consumer.node->isStore() && slot == 0)
                 tryStoreAgen(item.pos);
             if (--consumer.unresolved == 0)
@@ -758,6 +831,8 @@ Engine::resolveControl(std::uint32_t pos)
             }
             squashFrom(bseq);
             redirectTo(target);
+            if (prof_)
+                pendingRedirectSeq_ = seq;
         }
         return;
     }
@@ -785,6 +860,8 @@ Engine::resolveControl(std::uint32_t pos)
             const std::int32_t pc = taken ? node.target : ib.fallthroughPc;
             squashFrom(block.bseq + 1);
             redirectTo(mapPc(pc));
+            if (prof_)
+                pendingRedirectSeq_ = seq;
         }
         return;
     }
@@ -815,6 +892,8 @@ Engine::resolveControl(std::uint32_t pos)
             const auto it = image_.entryByPc.find(actual);
             if (it != image_.entryByPc.end()) {
                 redirectTo(it->second);
+                if (prof_)
+                    pendingRedirectSeq_ = seq;
             } else {
                 // Wrong-path JR computed a garbage target; stall fetch
                 // until an older control node repairs the path.
@@ -830,6 +909,8 @@ Engine::resolveControl(std::uint32_t pos)
             if (it != image_.entryByPc.end()) {
                 fetchIdle_ = false;
                 redirectTo(it->second);
+                if (prof_)
+                    pendingRedirectSeq_ = seq;
             }
         }
         return;
@@ -885,6 +966,13 @@ Engine::retireBlocks()
         BlockStat &bs = result_.blockStats[front.imageId];
         ++bs.retiredBlocks;
         bs.retiredNodes += front.count;
+        if (prof_) {
+            for (std::uint32_t p = front.firstPos;
+                 p != front.firstPos + front.count; ++p)
+                prof_->appendRetired(
+                    seqAt(p), profAt(p),
+                    static_cast<std::uint32_t>(front.imageId));
+        }
         validCount_ -= static_cast<std::int64_t>(front.count);
         result_.retiredNodes += front.count;
         result_.blockSize.add(front.count);
@@ -1268,6 +1356,21 @@ Engine::issueCycle()
         metaAt(pos) = {bpos, node_idx};
         waitAt(pos) = {kNilIndex, kNilIndex};
         loadAt(pos) = {kNilIndex, kNilIndex};
+        if (prof_) {
+            profile::NodeProf &pr = profAt(pos);
+            pr.issueCycle = static_cast<std::uint32_t>(cycle_);
+            pr.readyCycle = pr.schedCycle = pr.completeCycle = 0;
+            if (pendingRedirectSeq_) {
+                // First node fetched after a redirect: its enabling
+                // dependence is the resolving control node.
+                pr.parentSeq = pendingRedirectSeq_;
+                pr.edge = profile::EdgeKind::Branch;
+                pendingRedirectSeq_ = 0;
+            } else {
+                pr.parentSeq = 0;
+                pr.edge = profile::EdgeKind::Fetch;
+            }
+        }
 
         std::array<std::uint8_t, 5> srcs;
         ex.nSrc = static_cast<std::uint8_t>(node.srcRegs(srcs));
@@ -1506,6 +1609,16 @@ Engine::run()
                                    ? ready - parkedLoads_ - sys_waiting
                                    : 0;
 
+        if (prof_) {
+            prof_->noteCycle(ready, nextPos_ - headPos_,
+                             ws_.storeQueue.size(),
+                             static_cast<std::uint64_t>(
+                                 memsys_.writeBufferLines()));
+            if (prof_->windowBoundary(cycle_))
+                prof_->closeWindow(cycle_ + 1, profileCounters(),
+                                   result_.blockStats, false);
+        }
+
         // Watchdog: the machine must make progress (issue, execute or
         // retire something) regularly or the model has deadlocked.
         const std::uint64_t marker = result_.issuedNodes +
@@ -1522,6 +1635,12 @@ Engine::run()
     if (!exited_)
         fgp_fatal("cycle budget exceeded (", opts_.maxCycles, ") on config ",
                   opts_.config.name());
+
+    // Final, possibly partial window (the exit cycle's slots land here
+    // as drain, closing the per-window books against the global ones).
+    if (prof_)
+        prof_->closeWindow(result_.cycles, profileCounters(),
+                           result_.blockStats, true);
 
     if (hook_) {
         result_.allocSampled = true;
@@ -1639,6 +1758,12 @@ simulate(const CodeImage &image, SimOS &os, const EngineOptions &opts)
             m.add("engine.alloc.sampled_sims", 1);
             m.add("engine.alloc.cycle_loop", result.allocCycleLoop);
             m.add("engine.alloc.syscall", result.allocSyscall);
+        }
+        if (opts.profile) {
+            m.add("profile.sims", 1);
+            m.add("profile.windows", opts.profile->windows().size());
+            m.add("profile.retired_log_nodes",
+                  opts.profile->retiredLog().size());
         }
         // Pooled-arena occupancy (last writer wins: capacities are
         // monotone per workspace, so the final sim reports the

@@ -43,6 +43,7 @@ namespace fgp {
 
 namespace obs { class EventBus; }
 namespace metrics { class Registry; }
+namespace profile { class IntervalProfiler; }
 
 struct EngineWorkspace;
 
@@ -116,6 +117,17 @@ struct EngineOptions
      * on the per-cycle paths, and never any effect on the schedule.
      */
     metrics::Registry *metrics = nullptr;
+
+    /**
+     * Interval profiler (profile/profile.hh). When non-null the engine
+     * records per-node pipeline timestamps and dependence edges in a
+     * workspace lane, folds its counters into per-window samples at
+     * configurable simulated-cycle boundaries, and logs every retired
+     * node for critical-path extraction. Null (the default) costs one
+     * predictable branch on the hot paths; attaching a profiler never
+     * changes the schedule.
+     */
+    profile::IntervalProfiler *profile = nullptr;
 
     /**
      * Reusable simulation state (engine/workspace.hh): node-record

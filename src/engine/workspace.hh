@@ -30,6 +30,7 @@
 
 #include "engine/containers.hh"
 #include "engine/store_index.hh"
+#include "profile/record.hh"
 #include "vm/memory.hh"
 
 namespace fgp {
@@ -83,6 +84,11 @@ struct EngineWorkspace
     std::vector<MetaRec> meta;
     std::vector<ChainRef> waitChain; ///< consumers waiting on this producer
     std::vector<ChainRef> loadChain; ///< loads parked on this blocker
+
+    /** Interval-profiler lane (profile/record.hh): sized only when a
+     *  profiler is attached (ensureProfLane), so unprofiled runs carry
+     *  no extra ring and growNodes skips the lane entirely. */
+    std::vector<profile::NodeProf> profRec;
 
     std::uint32_t nodeMask() const
     {
@@ -248,6 +254,17 @@ struct EngineWorkspace
         replace(meta);
         replace(waitChain);
         replace(loadChain);
+        if (!profRec.empty())
+            replace(profRec);
+    }
+
+    /** Size the profiling lane to match the node ring (idempotent);
+     *  called once per profiled run, before any node issues. */
+    void
+    ensureProfLane()
+    {
+        if (profRec.size() != nodeSeq.size())
+            profRec.resize(nodeSeq.size());
     }
 
     /** Same doubling scheme for the block ring. */

@@ -173,6 +173,16 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
     static thread_local EngineWorkspace workspace;
     opts.workspace = &workspace;
 
+    // The interval profiler pools its window/residency/retired-log
+    // storage the same way: beginRun() clears contents but keeps
+    // capacity, so profiled repeat runs also allocate nothing at
+    // steady state.
+    static thread_local profile::IntervalProfiler profiler;
+    if (tweaks_.profileWindow > 0) {
+        profiler.setWindowCycles(tweaks_.profileWindow);
+        opts.profile = &profiler;
+    }
+
     ExperimentResult result;
     result.workload = name;
     result.config = config;
@@ -196,6 +206,17 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
         fgp_panic("static ILP bound violated: workload ", name, " config ",
                   config.name(), " retired ", result.engine.nodesPerCycle(),
                   " nodes/cycle against a static bound of ", static_bound);
+    }
+
+    if (opts.profile) {
+        result.profile.enabled = true;
+        result.profile.windowCycles = profiler.windowCycles();
+        result.profile.issueWidth = profiler.issueWidth();
+        result.profile.windows = profiler.windows();
+        result.profile.residency = profiler.residency();
+        result.profile.critPath = profile::extractCriticalPath(
+            profiler.retiredLog(), result.engine.cycles,
+            image.blocks.size());
     }
 
     result.cycles = result.engine.cycles;

@@ -26,6 +26,7 @@
 #include "arch/config.hh"
 #include "bbe/enlarge.hh"
 #include "engine/engine.hh"
+#include "profile/profile.hh"
 #include "tld/translate.hh"
 #include "vm/profile.hh"
 #include "workloads/workloads.hh"
@@ -66,6 +67,14 @@ struct ExperimentResult
     double staticIpcBound = 0.0;
 
     EngineResult engine;
+
+    /**
+     * Interval-profile copy-out (windows, per-block residency, measured
+     * critical path). Empty (enabled == false) unless the runner's
+     * EngineTweaks::profileWindow is nonzero. Profiling never changes
+     * the schedule — cycles and stalls are bit-identical either way.
+     */
+    profile::RunProfile profile;
 };
 
 /**
@@ -122,6 +131,13 @@ class ExperimentRunner
         int windowOverride = 0;
         bool conservativeLoads = false;
         DirectionPredictor direction = DirectionPredictor::TwoBitBtb;
+
+        /**
+         * Interval-profiler window in simulated cycles; 0 (the default)
+         * disables profiling. When set, every run() carries a
+         * profile::RunProfile on its ExperimentResult.
+         */
+        std::uint64_t profileWindow = 0;
     };
 
     void setEngineTweaks(const EngineTweaks &tweaks) { tweaks_ = tweaks; }

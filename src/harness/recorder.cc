@@ -44,6 +44,12 @@ RunRecorder::record(const std::vector<ExperimentResult> &results)
         point.faultsFired = r.engine.faultsFired;
         point.hostNs = r.hostNs;
         point.stalls = r.engine.stalls;
+        if (r.profile.enabled) {
+            point.profiled = true;
+            point.windowCycles = r.profile.windowCycles;
+            point.critPathCycles = r.profile.critPath.pathCycles;
+            point.windows = r.profile.windows;
+        }
         points_.push_back(std::move(point));
 
         if (std::find(workloads_.begin(), workloads_.end(), r.workload) ==
@@ -135,6 +141,46 @@ RunRecorder::pointLine(const PointSummary &point) const
     w.field("stall_memory_wait", point.stalls.memoryWaitNodeCycles);
     w.field("stall_serialize_wait", point.stalls.serializeWaitNodeCycles);
     w.field("stall_fu_busy", point.stalls.fuBusyNodeCycles);
+    w.field("crit_path_cycles", point.critPathCycles);
+    return w.str();
+}
+
+std::string
+RunRecorder::windowLine(const PointSummary &point,
+                        const profile::WindowSample &win) const
+{
+    metrics::JsonLineWriter w;
+    w.field("kind", "window");
+    w.field("workload", point.workload);
+    w.field("config", point.config);
+    w.field("index", win.index);
+    w.field("start_cycle", win.startCycle);
+    w.field("cycles", win.cycles);
+    w.field("ipc", win.ipc());
+    w.field("issued_nodes", win.issuedNodes);
+    w.field("retired_nodes", win.retiredNodes);
+    w.field("executed_nodes", win.executedNodes);
+    w.field("committed_blocks", win.committedBlocks);
+    w.field("squashed_blocks", win.squashedBlocks);
+    w.field("mispredicts", win.mispredicts);
+    w.field("faults_fired", win.faultsFired);
+    w.field("stall_fetch_redirect", win.stalls.fetchRedirectSlots);
+    w.field("stall_fetch_idle", win.stalls.fetchIdleSlots);
+    w.field("stall_window_full", win.stalls.windowFullSlots);
+    w.field("stall_short_word", win.stalls.shortWordSlots);
+    w.field("stall_drain", win.stalls.drainSlots);
+    w.field("stall_operand_wait", win.stalls.operandWaitNodeCycles);
+    w.field("stall_memory_wait", win.stalls.memoryWaitNodeCycles);
+    w.field("stall_serialize_wait", win.stalls.serializeWaitNodeCycles);
+    w.field("stall_fu_busy", win.stalls.fuBusyNodeCycles);
+    w.field("ready_mean",
+            win.cycles ? static_cast<double>(win.readySum) /
+                             static_cast<double>(win.cycles)
+                       : 0.0);
+    w.field("ready_max", win.readyMax);
+    w.field("live_max", win.liveMax);
+    w.field("store_queue_max", win.storeQueueMax);
+    w.field("write_buf_max", win.writeBufMax);
     return w.str();
 }
 
@@ -142,8 +188,11 @@ void
 RunRecorder::writeManifest(std::ostream &os)
 {
     os << headerLine() << "\n";
-    for (const PointSummary &point : points_)
+    for (const PointSummary &point : points_) {
         os << pointLine(point) << "\n";
+        for (const profile::WindowSample &win : point.windows)
+            os << windowLine(point, win) << "\n";
+    }
 }
 
 std::string

@@ -91,9 +91,21 @@ class RunRecorder
         std::uint64_t faultsFired = 0;
         std::uint64_t hostNs = 0;
         StallBreakdown stalls;
+
+        /** Interval-profile payload (tweaks_.profileWindow runs only):
+         *  the point line always carries crit_path_cycles (0 when
+         *  unprofiled), and profiled points additionally emit one
+         *  kind:"window" record per closed window after their point
+         *  record. */
+        bool profiled = false;
+        std::uint64_t windowCycles = 0;
+        std::uint64_t critPathCycles = 0;
+        std::vector<profile::WindowSample> windows;
     };
 
     std::string pointLine(const PointSummary &point) const;
+    std::string windowLine(const PointSummary &point,
+                           const profile::WindowSample &win) const;
 
     std::string bench_;
     ExperimentRunner *runner_;

@@ -81,6 +81,9 @@ class WriteBuffer
 
     std::uint64_t hits() const { return hits_; }
 
+    /** Lines currently buffered (occupancy gauge for the profiler). */
+    int size() const { return static_cast<int>(lru_.size()); }
+
   private:
     // Move-to-front vector rather than a linked list: the buffer holds a
     // handful of lines, so the scan is one cache line, and a reserved
@@ -114,6 +117,9 @@ class MemorySystem
     std::uint64_t loads() const { return loads_; }
     std::uint64_t loadMisses() const { return loadMisses_; }
     double hitRatio() const;
+
+    /** Write-buffer occupancy in lines (profiler gauge). */
+    int writeBufferLines() const { return writeBuffer_.size(); }
 
     void exportStats(StatGroup &stats, const std::string &prefix) const;
 

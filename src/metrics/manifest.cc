@@ -398,9 +398,13 @@ parseRunFile(std::istream &in, const std::string &what)
                           " (schema '", rec.str("schema"), "')");
             sawSchema = true;
             file.runs.push_back(std::move(rec));
-        } else if (kindName == "point" || kindName == "progress") {
+        } else if (kindName == "point" || kindName == "progress" ||
+                   kindName == "window") {
             if (kindName == "progress")
                 continue; // heartbeats may be interleaved into logs
+            if (kindName == "window")
+                continue; // interval-profile streams ride along; the
+                          // comparer works on point aggregates only
             RunPoint point;
             for (const auto &[key, val] : v.obj) {
                 if (val.kind == Value::Kind::Num)

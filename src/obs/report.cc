@@ -121,7 +121,8 @@ writeResultJson(std::ostream &os, const EngineResult &result,
 
 void
 printReport(std::ostream &os, const EngineResult &result,
-            const ReportMeta &meta, int topBlocks)
+            const ReportMeta &meta, int topBlocks,
+            const std::vector<double> *blockIpcBounds)
 {
     const StallBreakdown &st = result.stalls;
     const std::uint64_t totalSlots =
@@ -194,16 +195,26 @@ printReport(std::ostream &os, const EngineResult &result,
                               return acc + (bs.touched() ? 1 : 0);
                           })
        << " touched):\n";
-    Table blocks({"block", "entry_pc", "retired", "ret_nodes", "squashed",
-                  "mispred", "faults"});
+    std::vector<std::string> heads = {"block",    "entry_pc", "retired",
+                                      "ret_nodes", "squashed", "mispred",
+                                      "faults"};
+    if (blockIpcBounds)
+        heads.push_back("ipc_bound");
+    Table blocks(heads);
     for (std::size_t i : order) {
         const BlockStat &bs = result.blockStats[i];
-        blocks.addRow({std::to_string(i), std::to_string(bs.entryPc),
-                       std::to_string(bs.retiredBlocks),
-                       std::to_string(bs.retiredNodes),
-                       std::to_string(bs.squashedBlocks),
-                       std::to_string(bs.mispredicts),
-                       std::to_string(bs.faultsFired)});
+        std::vector<std::string> row = {
+            std::to_string(i),           std::to_string(bs.entryPc),
+            std::to_string(bs.retiredBlocks),
+            std::to_string(bs.retiredNodes),
+            std::to_string(bs.squashedBlocks),
+            std::to_string(bs.mispredicts),
+            std::to_string(bs.faultsFired)};
+        if (blockIpcBounds)
+            row.push_back(i < blockIpcBounds->size()
+                              ? fixed((*blockIpcBounds)[i], 3)
+                              : "-");
+        blocks.addRow(std::move(row));
     }
     blocks.print(os);
 }

@@ -9,6 +9,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace fgp {
 
@@ -35,10 +36,14 @@ void writeResultJson(std::ostream &os, const EngineResult &result,
 /**
  * Render a human-readable report: headline numbers, the issue-slot
  * breakdown with percentages, waiting-node-cycle attribution, and the
- * top @p topBlocks static blocks by retired nodes.
+ * top @p topBlocks static blocks by retired nodes. When
+ * @p blockIpcBounds is non-null (one analyzer bound per image block,
+ * analyze::analyzeImage) the block table gains an ipc_bound column so
+ * each block's static ceiling sits next to its measured stats.
  */
 void printReport(std::ostream &os, const EngineResult &result,
-                 const ReportMeta &meta, int topBlocks = 10);
+                 const ReportMeta &meta, int topBlocks = 10,
+                 const std::vector<double> *blockIpcBounds = nullptr);
 
 } // namespace obs
 } // namespace fgp

@@ -186,6 +186,15 @@ ChromeTraceSink::onRunEnd()
 }
 
 void
+ChromeTraceSink::emitCounter(std::uint64_t cycle, const std::string &name,
+                             double value)
+{
+    os_ << ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" << cycle
+        << ",\"name\":\"" << jsonEscape(name) << "\",\"args\":{\""
+        << jsonEscape(name) << "\":" << value << "}}";
+}
+
+void
 ChromeTraceSink::emitSlice(const SimEvent &ev)
 {
     // Place the slice on the first lane free at its start cycle so

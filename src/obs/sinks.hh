@@ -67,6 +67,15 @@ class ChromeTraceSink : public EventSink
     void onEvent(const SimEvent &event) override;
     void onRunEnd() override;
 
+    /**
+     * Emit a Chrome "C" (counter) sample at simulated cycle @p cycle —
+     * rendered as a stacked area track. The interval profiler rides its
+     * per-window heatmap counters (IPC, stall shares, occupancy) along
+     * this sink; counters and event slices may be freely interleaved.
+     */
+    void emitCounter(std::uint64_t cycle, const std::string &name,
+                     double value);
+
   private:
     void emitSlice(const SimEvent &event);
     void emitInstant(const SimEvent &event);

@@ -1,0 +1,123 @@
+#include "profile/critpath.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace fgp {
+namespace profile {
+
+namespace {
+
+/** Binary search the seq-ascending log for @p seq; npos when absent
+ *  (a producer that never retired — squashed wrong-path work). */
+std::size_t
+findSeq(const std::vector<RetiredNode> &log, std::uint64_t seq)
+{
+    const auto it = std::lower_bound(
+        log.begin(), log.end(), seq,
+        [](const RetiredNode &n, std::uint64_t s) { return n.seq < s; });
+    if (it != log.end() && it->seq == seq)
+        return static_cast<std::size_t>(it - log.begin());
+    return static_cast<std::size_t>(-1);
+}
+
+std::uint64_t &
+waitCause(CritPath &cp, EdgeKind edge)
+{
+    switch (edge) {
+      case EdgeKind::Data:
+        return cp.operandCycles;
+      case EdgeKind::Memory:
+        return cp.memoryCycles;
+      case EdgeKind::Forward:
+        return cp.forwardCycles;
+      case EdgeKind::Branch:
+        return cp.branchCycles;
+      case EdgeKind::Fetch:
+      case EdgeKind::None:
+        break;
+    }
+    return cp.fetchCycles;
+}
+
+} // namespace
+
+CritPath
+extractCriticalPath(const std::vector<RetiredNode> &log,
+                    std::uint64_t total_cycles, std::size_t num_blocks)
+{
+    CritPath cp;
+    cp.blockCycles.assign(num_blocks, 0);
+    if (log.empty() || total_cycles == 0)
+        return cp;
+
+    // Backward walk with a monotone time cursor: `hi` is the earliest
+    // cycle already attributed. Each visited node claims the disjoint
+    // segments of its pipeline span that lie below the cursor, plus the
+    // gap down to its enabling producer's completion (a branch edge's
+    // gap is the redirect penalty, a fetch edge's gap is in-order fetch
+    // serialization). The cursor never increases, so the attributed
+    // total — the path length — cannot exceed total_cycles; a node
+    // counts toward pathNodes only when it claimed at least one cycle,
+    // so pathNodes <= pathCycles and the path-implied IPC is <= 1.
+    std::uint64_t hi = total_cycles;
+    std::size_t idx = log.size() - 1;
+
+    while (true) {
+        const RetiredNode &n = log[idx];
+        std::uint64_t contributed = 0;
+        const auto take = [&](std::uint64_t lo, std::uint64_t seg_hi,
+                              std::uint64_t &cause) {
+            const std::uint64_t e = std::min(hi, seg_hi);
+            if (e > lo) {
+                cause += e - lo;
+                contributed += e - lo;
+                hi = lo;
+            }
+        };
+
+        // Complete-to-commit slack above this node's span (only the last
+        // retired node can leave one — every other visit enters with the
+        // cursor already at or below its completion).
+        take(n.completeCycle, hi, cp.retireCycles);
+        take(n.schedCycle, n.completeCycle, cp.executeCycles);
+        take(n.readyCycle, n.schedCycle, cp.fuBusyCycles);
+        take(n.issueCycle, n.readyCycle, waitCause(cp, n.edge));
+
+        const bool last = idx == 0 || hi == 0;
+        std::size_t next = idx ? idx - 1 : 0;
+        if (!last) {
+            // Follow the enabling edge when it names a retired producer;
+            // otherwise fall back to the previous retired node (fetch
+            // order). The gap between the cursor and that producer's
+            // completion belongs to the edge that made us wait.
+            EdgeKind gap_edge = EdgeKind::Fetch;
+            if (n.parentSeq) {
+                const std::size_t p = findSeq(log, n.parentSeq);
+                if (p != static_cast<std::size_t>(-1) && p < idx) {
+                    next = p;
+                    gap_edge = n.edge;
+                }
+            }
+            take(log[next].completeCycle, hi, waitCause(cp, gap_edge));
+        }
+
+        if (contributed) {
+            ++cp.pathNodes;
+            if (n.block < num_blocks)
+                cp.blockCycles[n.block] += contributed;
+        }
+        if (last)
+            break;
+        idx = next;
+    }
+
+    cp.pathCycles = total_cycles - hi;
+    fgp_assert(cp.causeTotal() == cp.pathCycles,
+               "critical-path attribution does not sum to the path length");
+    return cp;
+}
+
+} // namespace profile
+} // namespace fgp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dynamic critical-path extraction over the executed schedule.
+ *
+ * The interval profiler's retired-node log records, for every committed
+ * node, its pipeline timestamps (issue/ready/schedule/complete) and the
+ * dependence edge that enabled it (data wakeup, store-forward /
+ * disambiguation, branch redirect, or plain fetch order). Walking that
+ * log backward from the last retired node with a monotone time cursor
+ * yields the measured critical path: every simulated cycle on the path
+ * is attributed to exactly one cause and one static block, the path
+ * length can never exceed the run's total cycles, and the path-implied
+ * IPC (nodes on the path / path cycles) is at most 1 — hence always at
+ * or below the analyzer's staticIpcBound, which the harness
+ * cross-checks.
+ */
+
+#ifndef FGP_PROFILE_CRITPATH_HH
+#define FGP_PROFILE_CRITPATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/record.hh"
+
+namespace fgp {
+namespace profile {
+
+/** Measured critical path of one run. */
+struct CritPath
+{
+    std::uint64_t pathCycles = 0; ///< <= the run's total cycles
+    std::uint64_t pathNodes = 0;  ///< <= pathCycles
+
+    // Cycle attribution on the path; the causes sum to pathCycles.
+    std::uint64_t fetchCycles = 0;   ///< waiting on fetch order
+    std::uint64_t branchCycles = 0;  ///< redirect after mispredict/fault
+    std::uint64_t operandCycles = 0; ///< register dataflow (Data edges)
+    std::uint64_t memoryCycles = 0;  ///< disambiguation parking
+    std::uint64_t forwardCycles = 0; ///< store-forward dependences
+    std::uint64_t fuBusyCycles = 0;  ///< ready but no function unit
+    std::uint64_t executeCycles = 0; ///< actually executing
+    std::uint64_t retireCycles = 0;  ///< complete-to-commit slack
+
+    /** Cycles on the path per static block (image block id order). */
+    std::vector<std::uint64_t> blockCycles;
+
+    std::uint64_t
+    causeTotal() const
+    {
+        return fetchCycles + branchCycles + operandCycles + memoryCycles +
+               forwardCycles + fuBusyCycles + executeCycles + retireCycles;
+    }
+
+    /** Path-implied IPC: never above 1 by construction. */
+    double
+    impliedIpc() const
+    {
+        return pathCycles ? static_cast<double>(pathNodes) /
+                                static_cast<double>(pathCycles)
+                          : 0.0;
+    }
+};
+
+/**
+ * Extract the critical path from @p log (seq-ascending retired-node
+ * entries) of a run that took @p total_cycles; @p num_blocks sizes the
+ * per-block attribution. Pure function of its inputs — bit-identical
+ * across thread counts and repeat runs.
+ */
+CritPath extractCriticalPath(const std::vector<RetiredNode> &log,
+                             std::uint64_t total_cycles,
+                             std::size_t num_blocks);
+
+} // namespace profile
+} // namespace fgp
+
+#endif // FGP_PROFILE_CRITPATH_HH

@@ -1,0 +1,111 @@
+#include "profile/profile.hh"
+
+#include "base/logging.hh"
+
+namespace fgp {
+namespace profile {
+
+void
+IntervalProfiler::beginRun(int issue_width, std::size_t num_blocks)
+{
+    issueWidth_ = issue_width;
+    windows_.clear();
+    residency_.clear();
+    retired_.clear();
+    prev_ = CounterSnapshot{};
+    windowStart_ = 0;
+    prevBlockRetired_.assign(num_blocks, 0);
+    readySum_ = readyMax_ = liveMax_ = 0;
+    storeQueueMax_ = writeBufMax_ = 0;
+}
+
+void
+IntervalProfiler::closeWindow(std::uint64_t end_cycle,
+                              const CounterSnapshot &counters,
+                              const std::vector<BlockStat> &block_stats,
+                              bool final)
+{
+    // The final close can land exactly on a window boundary that was
+    // already flushed; an empty trailing window carries no information.
+    if (end_cycle == windowStart_) {
+        fgp_assert(final, "mid-run window close without elapsed cycles");
+        return;
+    }
+    fgp_assert(end_cycle > windowStart_, "window boundary moved backward");
+
+    WindowSample w;
+    w.index = windows_.size();
+    w.startCycle = windowStart_;
+    w.cycles = end_cycle - windowStart_;
+
+    const CounterSnapshot &c = counters;
+    w.issuedNodes = c.issuedNodes - prev_.issuedNodes;
+    w.retiredNodes = c.retiredNodes - prev_.retiredNodes;
+    w.executedNodes = c.executedNodes - prev_.executedNodes;
+    w.committedBlocks = c.committedBlocks - prev_.committedBlocks;
+    w.squashedBlocks = c.squashedBlocks - prev_.squashedBlocks;
+    w.mispredicts = c.mispredicts - prev_.mispredicts;
+    w.faultsFired = c.faultsFired - prev_.faultsFired;
+
+    // Slot attribution: the engine accounts exactly `width` slots on
+    // every cycle it issues on, so the per-window books close the same
+    // way the whole-run books do — the unaccounted remainder (the exit
+    // cycle's drained slots) can only appear in the final window.
+    const std::uint64_t width = static_cast<std::uint64_t>(issueWidth_);
+    StallBreakdown &st = w.stalls;
+    st.fetchRedirectSlots =
+        (c.fetchRedirectCycles - prev_.fetchRedirectCycles) * width;
+    st.fetchIdleSlots = (c.fetchIdleCycles - prev_.fetchIdleCycles) * width;
+    st.windowFullSlots =
+        (c.windowFullCycles - prev_.windowFullCycles) * width;
+    st.shortWordSlots = c.shortWordSlots - prev_.shortWordSlots;
+    const std::uint64_t total = w.cycles * width;
+    const std::uint64_t accounted = w.issuedNodes + st.fetchRedirectSlots +
+                                    st.fetchIdleSlots + st.windowFullSlots +
+                                    st.shortWordSlots;
+    fgp_assert(accounted <= total,
+               "window stall accounting overran the issue-slot budget");
+    st.drainSlots = total - accounted;
+    fgp_assert(final || st.drainSlots == 0,
+               "drained slots in a mid-run window");
+
+    st.operandWaitNodeCycles =
+        c.operandWaitNodeCycles - prev_.operandWaitNodeCycles;
+    st.memoryWaitNodeCycles =
+        c.memoryWaitNodeCycles - prev_.memoryWaitNodeCycles;
+    st.serializeWaitNodeCycles =
+        c.serializeWaitNodeCycles - prev_.serializeWaitNodeCycles;
+    st.fuBusyNodeCycles = c.fuBusyNodeCycles - prev_.fuBusyNodeCycles;
+
+    w.readySum = readySum_;
+    w.readyMax = readyMax_;
+    w.liveMax = liveMax_;
+    w.storeQueueMax = storeQueueMax_;
+    w.writeBufMax = writeBufMax_;
+
+    // Per-block residency: which static blocks retired nodes inside this
+    // window (sparse — only touched blocks get an entry).
+    w.residencyOffset = static_cast<std::uint32_t>(residency_.size());
+    fgp_assert(block_stats.size() == prevBlockRetired_.size(),
+               "block count changed mid-run");
+    for (std::size_t i = 0; i < block_stats.size(); ++i) {
+        const std::uint64_t cur = block_stats[i].retiredNodes;
+        const std::uint64_t delta = cur - prevBlockRetired_[i];
+        if (delta) {
+            residency_.push_back(
+                {static_cast<std::uint32_t>(i), delta});
+            prevBlockRetired_[i] = cur;
+        }
+    }
+    w.residencyCount =
+        static_cast<std::uint32_t>(residency_.size()) - w.residencyOffset;
+
+    windows_.push_back(w);
+    prev_ = counters;
+    windowStart_ = end_cycle;
+    readySum_ = readyMax_ = liveMax_ = 0;
+    storeQueueMax_ = writeBufMax_ = 0;
+}
+
+} // namespace profile
+} // namespace fgp

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Interval profiler: per-window telemetry folded out of the engine's
+ * existing counters, plus the retired-node log the critical-path
+ * extractor (profile/critpath.hh) walks afterwards.
+ *
+ * Zero-cost-when-off, like the obs event bus and the metrics registry:
+ * the engine holds one nullable pointer (EngineOptions::profile) and
+ * every hook is guarded by a single branch. When attached, the engine
+ * calls noteCycle() once per cycle (four gauge updates), closeWindow()
+ * once per window boundary (a counter snapshot diffed against the
+ * previous one — per-window values are exact telescoping deltas, so the
+ * PR 2 slot-closure invariant holds *per window*, not just globally),
+ * and appendRetired() once per retired node. Profiling never changes a
+ * schedule.
+ *
+ * All storage follows the workspace clearRetain idiom: beginRun() resets
+ * logical contents without freeing capacity, so a warmed profiler keeps
+ * the engine's zero-steady-state-allocation contract
+ * (EngineResult::allocCycleLoop == 0 on repeat runs — enforced by
+ * bench/perf_selfcheck.cc with profiling enabled).
+ */
+
+#ifndef FGP_PROFILE_PROFILE_HH
+#define FGP_PROFILE_PROFILE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "profile/critpath.hh"
+#include "profile/record.hh"
+
+namespace fgp {
+namespace profile {
+
+/** Default window length in simulated cycles. */
+constexpr std::uint64_t kDefaultWindowCycles = 10'000;
+
+/**
+ * Monotone counter snapshot the engine hands to closeWindow(). Cycle
+ * counters (fetchRedirectCycles...) are in cycles; the profiler scales
+ * them to issue slots when building the per-window StallBreakdown.
+ */
+struct CounterSnapshot
+{
+    std::uint64_t issuedNodes = 0;
+    std::uint64_t retiredNodes = 0;
+    std::uint64_t executedNodes = 0;
+    std::uint64_t committedBlocks = 0;
+    std::uint64_t squashedBlocks = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t faultsFired = 0;
+
+    std::uint64_t fetchRedirectCycles = 0;
+    std::uint64_t fetchIdleCycles = 0;
+    std::uint64_t windowFullCycles = 0;
+    std::uint64_t shortWordSlots = 0;
+
+    std::uint64_t operandWaitNodeCycles = 0;
+    std::uint64_t memoryWaitNodeCycles = 0;
+    std::uint64_t serializeWaitNodeCycles = 0;
+    std::uint64_t fuBusyNodeCycles = 0;
+};
+
+/** Per-block retired nodes inside one window (sparse: touched only). */
+struct ResidencyEntry
+{
+    std::uint32_t block = 0;
+    std::uint64_t retiredNodes = 0;
+};
+
+/** One closed window: exact deltas of every engine counter. */
+struct WindowSample
+{
+    std::uint64_t index = 0;
+    std::uint64_t startCycle = 0;
+    std::uint64_t cycles = 0;
+
+    std::uint64_t issuedNodes = 0;
+    std::uint64_t retiredNodes = 0;
+    std::uint64_t executedNodes = 0;
+    std::uint64_t committedBlocks = 0;
+    std::uint64_t squashedBlocks = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t faultsFired = 0;
+
+    /** Slot + node-cycle attribution for this window alone. The slot
+     *  causes close exactly: totalSlots() == cycles * width -
+     *  issuedNodes, with drainSlots zero everywhere but the final
+     *  window (issue accounts a full width every non-exit cycle). */
+    StallBreakdown stalls;
+
+    // Per-cycle gauges sampled at the engine's histogram point.
+    std::uint64_t readySum = 0;  ///< mean ready-queue depth = sum/cycles
+    std::uint64_t readyMax = 0;
+    std::uint64_t liveMax = 0;       ///< live-node high-water mark
+    std::uint64_t storeQueueMax = 0; ///< store-buffer occupancy peak
+    std::uint64_t writeBufMax = 0;   ///< write-buffer lines peak
+
+    /** Slice of IntervalProfiler::residency() for this window. */
+    std::uint32_t residencyOffset = 0;
+    std::uint32_t residencyCount = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retiredNodes) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+class IntervalProfiler
+{
+  public:
+    /** Window length in simulated cycles (>= 1; 0 keeps the default). */
+    void
+    setWindowCycles(std::uint64_t cycles)
+    {
+        windowCycles_ = cycles ? cycles : kDefaultWindowCycles;
+    }
+
+    std::uint64_t windowCycles() const { return windowCycles_; }
+
+    /** Reset for a new run; retains all capacity (clearRetain idiom). */
+    void beginRun(int issue_width, std::size_t num_blocks);
+
+    // ---- engine hot-path hooks --------------------------------------
+    /** Once per cycle, at the engine's histogram sampling point. */
+    void
+    noteCycle(std::uint64_t ready, std::uint64_t live,
+              std::uint64_t store_queue, std::uint64_t write_buf)
+    {
+        readySum_ += ready;
+        readyMax_ = std::max(readyMax_, ready);
+        liveMax_ = std::max(liveMax_, live);
+        storeQueueMax_ = std::max(storeQueueMax_, store_queue);
+        writeBufMax_ = std::max(writeBufMax_, write_buf);
+    }
+
+    /** True when @p cycle is the last cycle of the current window. */
+    bool
+    windowBoundary(std::uint64_t cycle) const
+    {
+        return (cycle + 1) % windowCycles_ == 0;
+    }
+
+    /**
+     * Close the window ending at @p end_cycle (exclusive). @p counters
+     * is the engine's monotone totals at this point; @p block_retired
+     * the per-block retired-node totals (result_.blockStats order).
+     * The final, possibly partial window passes final = true.
+     */
+    void closeWindow(std::uint64_t end_cycle,
+                     const CounterSnapshot &counters,
+                     const std::vector<BlockStat> &block_stats, bool final);
+
+    /** Log one retired node (called in retirement = seq order). The
+     *  timestamps are normalized monotone: ready >= issue, sched >=
+     *  ready, complete >= sched + 1 — nodes whose completion event
+     *  never fired (the exit syscall) still get a well-formed span. */
+    void
+    appendRetired(std::uint64_t seq, const NodeProf &prof,
+                  std::uint32_t block)
+    {
+        RetiredNode entry;
+        entry.seq = seq;
+        entry.parentSeq = prof.parentSeq;
+        entry.issueCycle = prof.issueCycle;
+        entry.readyCycle = std::max(prof.readyCycle, entry.issueCycle);
+        entry.schedCycle = std::max(prof.schedCycle, entry.readyCycle);
+        entry.completeCycle =
+            std::max(prof.completeCycle, entry.schedCycle + 1);
+        entry.block = block;
+        entry.edge = prof.edge;
+        retired_.push_back(entry);
+    }
+
+    // ---- results ----------------------------------------------------
+    int issueWidth() const { return issueWidth_; }
+    const std::vector<WindowSample> &windows() const { return windows_; }
+    const std::vector<ResidencyEntry> &residency() const
+    {
+        return residency_;
+    }
+    const std::vector<RetiredNode> &retiredLog() const { return retired_; }
+
+  private:
+    std::uint64_t windowCycles_ = kDefaultWindowCycles;
+    int issueWidth_ = 0;
+
+    std::vector<WindowSample> windows_;
+    std::vector<ResidencyEntry> residency_;
+    std::vector<RetiredNode> retired_;
+
+    /** Previous window's counter snapshot (deltas telescope). */
+    CounterSnapshot prev_;
+    std::uint64_t windowStart_ = 0;
+
+    /** Per-block retired-node totals at the previous window boundary. */
+    std::vector<std::uint64_t> prevBlockRetired_;
+
+    // Current-window gauges, reset at each close.
+    std::uint64_t readySum_ = 0;
+    std::uint64_t readyMax_ = 0;
+    std::uint64_t liveMax_ = 0;
+    std::uint64_t storeQueueMax_ = 0;
+    std::uint64_t writeBufMax_ = 0;
+};
+
+/**
+ * Copy-out of one profiled run, carried on ExperimentResult so sweep
+ * consumers (recorder, CSV, tests) never hold the live profiler.
+ */
+struct RunProfile
+{
+    bool enabled = false;
+    std::uint64_t windowCycles = 0;
+    int issueWidth = 0;
+    std::vector<WindowSample> windows;
+    std::vector<ResidencyEntry> residency;
+
+    /** Measured dynamic critical path (profile/critpath.hh). */
+    CritPath critPath;
+};
+
+} // namespace profile
+} // namespace fgp
+
+#endif // FGP_PROFILE_PROFILE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain per-node profiling records shared between the engine workspace
+ * and the interval profiler. Kept dependency-free so the workspace can
+ * embed the live-node lane without pulling in the profiler proper.
+ *
+ * Every live node carries one NodeProf record while profiling is
+ * enabled (EngineWorkspace::profRec, sized lazily by ensureProfLane so
+ * unprofiled runs pay nothing). The engine stamps the four pipeline
+ * timestamps as they happen and keeps the *last* enabling dependence
+ * edge — the event that actually released the node — so the retired log
+ * can reconstruct the executed schedule's dependence chains.
+ */
+
+#ifndef FGP_PROFILE_RECORD_HH
+#define FGP_PROFILE_RECORD_HH
+
+#include <cstdint>
+
+namespace fgp {
+namespace profile {
+
+/** What kind of dependence edge enabled a node (last writer wins). */
+enum class EdgeKind : std::uint8_t
+{
+    None = 0, ///< never profiled (defensive default)
+    Fetch,    ///< issued with all operands ready — bound by fetch order
+    Branch,   ///< first node fetched after a mispredict/fault redirect
+    Data,     ///< last register operand delivered by a producer's wakeup
+    Memory,   ///< load parked on disambiguation (unknown store/syscall)
+    Forward,  ///< load whose value came from an in-window store forward
+};
+
+/** Live-node lane record (SoA ring parallel to the node arenas). */
+struct NodeProf
+{
+    std::uint64_t parentSeq; ///< enabling producer's seq (0: none)
+    std::uint32_t issueCycle;
+    std::uint32_t readyCycle;    ///< last operand arrived
+    std::uint32_t schedCycle;    ///< won a function-unit slot
+    std::uint32_t completeCycle; ///< result published
+    EdgeKind edge;
+};
+
+/** One entry of the retired-node log (appended in seq order). */
+struct RetiredNode
+{
+    std::uint64_t seq;
+    std::uint64_t parentSeq;
+    std::uint32_t issueCycle;
+    std::uint32_t readyCycle;
+    std::uint32_t schedCycle;
+    std::uint32_t completeCycle;
+    std::uint32_t block; ///< static image block id
+    EdgeKind edge;
+};
+
+} // namespace profile
+} // namespace fgp
+
+#endif // FGP_PROFILE_RECORD_HH

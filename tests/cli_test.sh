@@ -118,6 +118,49 @@ fi
 sh "$CHECK_BENCH" --validate-analyze "$TMP/lint.json"
 grep -q '"code": "AN005"' "$TMP/lint.json"
 
+# Interval profiler: human output carries the window table and the
+# critical-path attribution; legacy `profile --out` above is untouched.
+"$FGPSIM" profile grep --config dyn4/8A/enlarged --interval 5000 \
+    --plan "$TMP/grep.plan" > "$TMP/profile.txt" 2> /dev/null
+grep -q "critical path" "$TMP/profile.txt"
+grep -q "ipc_bound" "$TMP/profile.txt"
+
+# profile --json round-trips through the fgpsim-profile-v1 validator:
+# per-window slot closure, window sums vs the run aggregates, and the
+# critical-path bounds are all checked by the awk gate.
+"$FGPSIM" profile grep --config dyn4/8A/enlarged --interval 5000 \
+    --plan "$TMP/grep.plan" --json > "$TMP/profile.jsonl" 2> /dev/null
+sh "$CHECK_BENCH" --validate-profile "$TMP/profile.jsonl"
+grep -q '"kind":"critpath"' "$TMP/profile.jsonl"
+grep -q '"kind":"critblock"' "$TMP/profile.jsonl"
+
+# Static configs profile too, and the stream still closes.
+"$FGPSIM" profile sort --config static/4A/single --interval 2000 \
+    --json > "$TMP/profile_static.jsonl" 2> /dev/null
+sh "$CHECK_BENCH" --validate-profile "$TMP/profile_static.jsonl"
+
+# profile --chrome rides the existing Chrome-trace sink: counter events
+# (ph "C") with per-window IPC and stall shares.
+"$FGPSIM" profile grep --config dyn4/8A/single --interval 5000 \
+    --chrome "$TMP/profile.trace" > /dev/null 2>&1
+grep -q '"ph":"C"' "$TMP/profile.trace"
+grep -q '"name":"ipc"' "$TMP/profile.trace"
+
+# report --top ranks blocks with their static IPC bounds alongside.
+"$FGPSIM" report grep --config dyn4/8A/enlarged --top 5 \
+    > "$TMP/report.txt" 2>&1
+grep -q "ipc_bound" "$TMP/report.txt"
+
+# fgpsim history: perf trajectory over a BENCH_history.jsonl file.
+cat > "$TMP/history.jsonl" <<'JSONL'
+{"schema":"fgpsim-run-v1","kind":"run","bench":"engine","git":"aaa1111","timestamp":1,"jobs":8,"scale":1,"sims":40,"wall_seconds":5.0,"sim_cycles":1000000,"host_ns_per_sim_cycle":800}
+{"schema":"fgpsim-run-v1","kind":"run","bench":"engine","git":"bbb2222","timestamp":2,"jobs":8,"scale":1,"sims":40,"wall_seconds":2.5,"sim_cycles":1000000,"host_ns_per_sim_cycle":400}
+JSONL
+"$FGPSIM" history "$TMP/history.jsonl" > "$TMP/history.txt"
+grep -q "aaa1111" "$TMP/history.txt"
+grep -q -- "-50.0%" "$TMP/history.txt"
+grep -q "2 runs" "$TMP/history.txt"
+
 # fgpsim compare: handcrafted fgpsim-run-v1 manifests. A run compared
 # to itself is clean; an IPC drop or a wall-time blowup past tolerance
 # exits nonzero (the CI perf gate contract).

@@ -1,0 +1,332 @@
+/**
+ * Interval-profiler and critical-path invariants: per-window closure
+ * against the run aggregates, slot closure inside every window,
+ * residency accounting, critical-path soundness bounds, determinism
+ * across sweep thread counts, and schedule invariance (profiling must
+ * never change what the engine does).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyze/analyze.hh"
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "profile/critpath.hh"
+#include "profile/profile.hh"
+
+namespace fgp {
+namespace {
+
+MachineConfig
+cfg(Discipline d, int issue, char mem, BranchMode branch)
+{
+    return {d, issueModel(issue), memoryConfig(mem), branch};
+}
+
+ExperimentRunner::EngineTweaks
+profiled(std::uint64_t window)
+{
+    ExperimentRunner::EngineTweaks tweaks;
+    tweaks.profileWindow = window;
+    return tweaks;
+}
+
+/** Sum one WindowSample field across all windows of a profile. */
+template <typename Get>
+std::uint64_t
+windowSum(const profile::RunProfile &p, Get get)
+{
+    std::uint64_t sum = 0;
+    for (const profile::WindowSample &w : p.windows)
+        sum += get(w);
+    return sum;
+}
+
+TEST(Profile, WindowsCloseAgainstAggregatesOnAllWorkloads)
+{
+    ExperimentRunner runner(0.2);
+    runner.setEngineTweaks(profiled(2000));
+    const MachineConfig config =
+        cfg(Discipline::Dyn4, 8, 'A', BranchMode::Enlarged);
+
+    for (const std::string &name : workloadNames()) {
+        SCOPED_TRACE(name);
+        const ExperimentResult r = runner.run(name, config);
+        ASSERT_TRUE(r.profile.enabled);
+        const profile::RunProfile &p = r.profile;
+        ASSERT_FALSE(p.windows.empty());
+        EXPECT_EQ(p.windowCycles, 2000u);
+        EXPECT_EQ(p.issueWidth, r.engine.issueWidth);
+
+        // Every counter telescopes: the per-window deltas sum exactly
+        // to the engine's run totals.
+        const EngineResult &e = r.engine;
+        EXPECT_EQ(windowSum(p, [](const auto &w) { return w.cycles; }),
+                  e.cycles);
+        EXPECT_EQ(windowSum(p, [](const auto &w) { return w.issuedNodes; }),
+                  e.issuedNodes);
+        EXPECT_EQ(windowSum(p, [](const auto &w) { return w.retiredNodes; }),
+                  e.retiredNodes);
+        EXPECT_EQ(windowSum(p, [](const auto &w) { return w.executedNodes; }),
+                  e.executedNodes);
+        EXPECT_EQ(
+            windowSum(p, [](const auto &w) { return w.committedBlocks; }),
+            e.committedBlocks);
+        EXPECT_EQ(windowSum(p, [](const auto &w) { return w.squashedBlocks; }),
+                  e.squashedBlocks);
+        EXPECT_EQ(windowSum(p, [](const auto &w) { return w.mispredicts; }),
+                  e.mispredicts);
+        EXPECT_EQ(windowSum(p, [](const auto &w) { return w.faultsFired; }),
+                  e.faultsFired);
+
+        // Full stall-cause breakdown, cause by cause.
+        const StallBreakdown &st = e.stalls;
+        EXPECT_EQ(windowSum(p, [](const auto &w) {
+                      return w.stalls.fetchRedirectSlots;
+                  }),
+                  st.fetchRedirectSlots);
+        EXPECT_EQ(windowSum(
+                      p, [](const auto &w) { return w.stalls.fetchIdleSlots; }),
+                  st.fetchIdleSlots);
+        EXPECT_EQ(windowSum(p, [](const auto &w) {
+                      return w.stalls.windowFullSlots;
+                  }),
+                  st.windowFullSlots);
+        EXPECT_EQ(windowSum(
+                      p, [](const auto &w) { return w.stalls.shortWordSlots; }),
+                  st.shortWordSlots);
+        EXPECT_EQ(
+            windowSum(p, [](const auto &w) { return w.stalls.drainSlots; }),
+            st.drainSlots);
+        EXPECT_EQ(windowSum(p, [](const auto &w) {
+                      return w.stalls.operandWaitNodeCycles;
+                  }),
+                  st.operandWaitNodeCycles);
+        EXPECT_EQ(windowSum(p, [](const auto &w) {
+                      return w.stalls.memoryWaitNodeCycles;
+                  }),
+                  st.memoryWaitNodeCycles);
+        EXPECT_EQ(windowSum(p, [](const auto &w) {
+                      return w.stalls.serializeWaitNodeCycles;
+                  }),
+                  st.serializeWaitNodeCycles);
+        EXPECT_EQ(windowSum(p, [](const auto &w) {
+                      return w.stalls.fuBusyNodeCycles;
+                  }),
+                  st.fuBusyNodeCycles);
+    }
+}
+
+TEST(Profile, SlotClosureHoldsPerWindow)
+{
+    ExperimentRunner runner(0.2);
+    runner.setEngineTweaks(profiled(1000));
+
+    for (const std::string &name : workloadNames()) {
+        SCOPED_TRACE(name);
+        const ExperimentResult r = runner.run(
+            name, cfg(Discipline::Dyn256, 8, 'G', BranchMode::Single));
+        const profile::RunProfile &p = r.profile;
+        ASSERT_TRUE(p.enabled);
+        const std::uint64_t width =
+            static_cast<std::uint64_t>(p.issueWidth);
+        for (std::size_t i = 0; i < p.windows.size(); ++i) {
+            const profile::WindowSample &w = p.windows[i];
+            SCOPED_TRACE("window " + std::to_string(i));
+            // PR 2's slot-closure invariant, per window: every issue
+            // slot is either a node or exactly one stall cause.
+            EXPECT_EQ(w.issuedNodes + w.stalls.totalSlots(),
+                      w.cycles * width);
+            // Drain slots exist only in the window holding the exit.
+            if (i + 1 < p.windows.size()) {
+                EXPECT_EQ(w.stalls.drainSlots, 0u);
+            }
+            // Window geometry: contiguous, full-length except the last.
+            EXPECT_EQ(w.index, i);
+            if (i > 0) {
+                EXPECT_EQ(w.startCycle, p.windows[i - 1].startCycle +
+                                            p.windows[i - 1].cycles);
+            }
+            if (i + 1 < p.windows.size()) {
+                EXPECT_EQ(w.cycles, p.windowCycles);
+            }
+            EXPECT_LE(w.readySum, w.cycles * w.readyMax);
+        }
+    }
+}
+
+TEST(Profile, ResidencySumsToRetiredNodes)
+{
+    ExperimentRunner runner(0.2);
+    runner.setEngineTweaks(profiled(2000));
+    const ExperimentResult r = runner.run(
+        "sort", cfg(Discipline::Dyn4, 8, 'A', BranchMode::Enlarged));
+    const profile::RunProfile &p = r.profile;
+    ASSERT_TRUE(p.enabled);
+
+    std::uint64_t total = 0;
+    for (const profile::WindowSample &w : p.windows) {
+        ASSERT_LE(static_cast<std::size_t>(w.residencyOffset) +
+                      w.residencyCount,
+                  p.residency.size());
+        std::uint64_t in_window = 0;
+        for (std::uint32_t i = 0; i < w.residencyCount; ++i) {
+            const profile::ResidencyEntry &entry =
+                p.residency[w.residencyOffset + i];
+            EXPECT_LT(entry.block, r.engine.blockStats.size());
+            EXPECT_GT(entry.retiredNodes, 0u);
+            in_window += entry.retiredNodes;
+        }
+        // Each window's sparse residency slice accounts for exactly the
+        // nodes that retired in that window.
+        EXPECT_EQ(in_window, w.retiredNodes);
+        total += in_window;
+    }
+    EXPECT_EQ(total, r.engine.retiredNodes);
+}
+
+TEST(Profile, CriticalPathIsSoundOnAllWorkloads)
+{
+    ExperimentRunner runner(0.2);
+    runner.setEngineTweaks(profiled(2000));
+
+    for (const std::string &name : workloadNames()) {
+        for (const MachineConfig &config :
+             {cfg(Discipline::Static, 8, 'A', BranchMode::Single),
+              cfg(Discipline::Dyn256, 8, 'G', BranchMode::Enlarged)}) {
+            SCOPED_TRACE(name + " " + config.name());
+            const ExperimentResult r = runner.run(name, config);
+            const profile::CritPath &cp = r.profile.critPath;
+
+            // A monotone cursor cannot attribute more than the run.
+            EXPECT_GT(cp.pathCycles, 0u);
+            EXPECT_LE(cp.pathCycles, r.cycles);
+            EXPECT_LE(cp.pathNodes, cp.pathCycles);
+            // Every path cycle has exactly one cause...
+            EXPECT_EQ(cp.causeTotal(), cp.pathCycles);
+            // ...and exactly one static block.
+            std::uint64_t block_total = 0;
+            for (std::uint64_t c : cp.blockCycles)
+                block_total += c;
+            EXPECT_EQ(block_total, cp.pathCycles);
+            EXPECT_EQ(cp.blockCycles.size(), r.engine.blockStats.size());
+            // Path-implied IPC <= 1 <= the analyzer's static bound.
+            EXPECT_LE(cp.impliedIpc(), 1.0);
+            EXPECT_LE(cp.impliedIpc(), r.staticIpcBound + 1e-9);
+        }
+    }
+}
+
+TEST(Profile, BitIdenticalAcrossSweepThreadCounts)
+{
+    std::vector<SweepPoint> points;
+    for (const std::string &name : workloadNames())
+        points.push_back(
+            {name, cfg(Discipline::Dyn4, 8, 'A', BranchMode::Enlarged)});
+
+    ExperimentRunner serial_runner(0.2);
+    serial_runner.setEngineTweaks(profiled(2000));
+    const std::vector<ExperimentResult> serial =
+        runSweep(serial_runner, points, 1);
+
+    ExperimentRunner parallel_runner(0.2);
+    parallel_runner.setEngineTweaks(profiled(2000));
+    const std::vector<ExperimentResult> parallel =
+        runSweep(parallel_runner, points, 8);
+
+    ASSERT_EQ(serial.size(), points.size());
+    ASSERT_EQ(parallel.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SCOPED_TRACE(points[i].workload);
+        const profile::RunProfile &a = serial[i].profile;
+        const profile::RunProfile &b = parallel[i].profile;
+        ASSERT_TRUE(a.enabled);
+        ASSERT_TRUE(b.enabled);
+        ASSERT_EQ(a.windows.size(), b.windows.size());
+        for (std::size_t w = 0; w < a.windows.size(); ++w) {
+            const profile::WindowSample &x = a.windows[w];
+            const profile::WindowSample &y = b.windows[w];
+            SCOPED_TRACE("window " + std::to_string(w));
+            EXPECT_EQ(x.startCycle, y.startCycle);
+            EXPECT_EQ(x.cycles, y.cycles);
+            EXPECT_EQ(x.issuedNodes, y.issuedNodes);
+            EXPECT_EQ(x.retiredNodes, y.retiredNodes);
+            EXPECT_EQ(x.executedNodes, y.executedNodes);
+            EXPECT_EQ(x.mispredicts, y.mispredicts);
+            EXPECT_EQ(x.stalls.fetchRedirectSlots,
+                      y.stalls.fetchRedirectSlots);
+            EXPECT_EQ(x.stalls.fetchIdleSlots, y.stalls.fetchIdleSlots);
+            EXPECT_EQ(x.stalls.windowFullSlots, y.stalls.windowFullSlots);
+            EXPECT_EQ(x.stalls.shortWordSlots, y.stalls.shortWordSlots);
+            EXPECT_EQ(x.stalls.drainSlots, y.stalls.drainSlots);
+            EXPECT_EQ(x.readySum, y.readySum);
+            EXPECT_EQ(x.readyMax, y.readyMax);
+            EXPECT_EQ(x.liveMax, y.liveMax);
+            EXPECT_EQ(x.storeQueueMax, y.storeQueueMax);
+            EXPECT_EQ(x.writeBufMax, y.writeBufMax);
+        }
+        EXPECT_EQ(a.critPath.pathCycles, b.critPath.pathCycles);
+        EXPECT_EQ(a.critPath.pathNodes, b.critPath.pathNodes);
+        EXPECT_EQ(a.critPath.blockCycles, b.critPath.blockCycles);
+    }
+}
+
+TEST(Profile, ProfilingNeverChangesTheSchedule)
+{
+    const MachineConfig config =
+        cfg(Discipline::Dyn256, 8, 'A', BranchMode::Enlarged);
+
+    ExperimentRunner plain(0.2);
+    const ExperimentResult off = plain.run("compress", config);
+    EXPECT_FALSE(off.profile.enabled);
+    EXPECT_TRUE(off.profile.windows.empty());
+
+    ExperimentRunner prof(0.2);
+    prof.setEngineTweaks(profiled(1000));
+    const ExperimentResult on = prof.run("compress", config);
+    ASSERT_TRUE(on.profile.enabled);
+
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.engine.retiredNodes, off.engine.retiredNodes);
+    EXPECT_EQ(on.engine.executedNodes, off.engine.executedNodes);
+    EXPECT_EQ(on.engine.issuedNodes, off.engine.issuedNodes);
+    EXPECT_EQ(on.engine.mispredicts, off.engine.mispredicts);
+    EXPECT_EQ(on.engine.stalls.totalSlots(), off.engine.stalls.totalSlots());
+    EXPECT_DOUBLE_EQ(on.nodesPerCycle, off.nodesPerCycle);
+}
+
+TEST(Profile, ExtractorHandlesDegenerateLogs)
+{
+    // Empty log and zero-cycle runs return an all-zero path.
+    const profile::CritPath empty =
+        profile::extractCriticalPath({}, 100, 4);
+    EXPECT_EQ(empty.pathCycles, 0u);
+    EXPECT_EQ(empty.pathNodes, 0u);
+    EXPECT_EQ(empty.causeTotal(), 0u);
+    EXPECT_EQ(empty.blockCycles.size(), 4u);
+
+    // A single node spanning the whole run claims every cycle.
+    profile::RetiredNode n;
+    n.seq = 1;
+    n.parentSeq = 0;
+    n.issueCycle = 0;
+    n.readyCycle = 2;
+    n.schedCycle = 5;
+    n.completeCycle = 9;
+    n.block = 1;
+    n.edge = profile::EdgeKind::Data;
+    const profile::CritPath one =
+        profile::extractCriticalPath({n}, 10, 4);
+    EXPECT_EQ(one.pathCycles, 10u);
+    EXPECT_EQ(one.pathNodes, 1u);
+    EXPECT_EQ(one.retireCycles, 1u);   // 9 -> 10
+    EXPECT_EQ(one.executeCycles, 4u);  // 5 -> 9
+    EXPECT_EQ(one.fuBusyCycles, 3u);   // 2 -> 5
+    EXPECT_EQ(one.operandCycles, 2u);  // 0 -> 2 (Data edge)
+    EXPECT_EQ(one.causeTotal(), one.pathCycles);
+    EXPECT_EQ(one.blockCycles[1], 10u);
+    EXPECT_LE(one.impliedIpc(), 1.0);
+}
+
+} // namespace
+} // namespace fgp

@@ -34,7 +34,17 @@
 #       every run line needs its numeric provenance fields plus a git
 #       string, every point line needs (workload, config) and its core
 #       numerics. '#' comment lines, blank lines and "progress"
-#       heartbeats are skipped.
+#       heartbeats are skipped; "window" records (interval-profile
+#       streams) are checked for their core numerics.
+#
+#   tools/check_bench.sh --validate-profile <dump.jsonl>
+#       Schema-validate an `fgpsim profile --json` stream
+#       ("fgpsim-profile-v1"): the header line, every window record's
+#       per-window slot-closure identity
+#       issued + sum(stall slots) == cycles * issue_width, the
+#       window-sum identities (retired/cycles vs the header), and the
+#       critical-path bounds crit_path_cycles <= cycles and
+#       implied IPC <= static_ipc_bound.
 #
 # Pure POSIX sh + awk so it runs anywhere the build runs.
 set -eu
@@ -213,6 +223,13 @@ validate_run() {
                 need_str("workload"); need_str("config")
                 need_num("nodes_per_cycle"); need_num("cycles")
                 need_num("host_ns")
+            } else if (index($0, "\"kind\":\"window\"")) {
+                if (records == 1)
+                    die("first record must be the \"run\" header")
+                windows += 1
+                need_str("workload"); need_str("config")
+                need_num("index"); need_num("start_cycle")
+                need_num("cycles"); need_num("retired_nodes")
             } else if (index($0, "\"kind\":\"progress\"")) {
                 next # heartbeats may be interleaved in captured logs
             } else {
@@ -227,9 +244,121 @@ validate_run() {
                     > "/dev/stderr"
                 exit 1
             }
-            printf "check_bench: %s: run schema OK (%d runs, %d points)\n",
-                   FILENAME, runs, points
+            printf "check_bench: %s: run schema OK (%d runs, %d points, %d windows)\n",
+                   FILENAME, runs, points, windows
         }' "$manifest"
+}
+
+validate_profile() {
+    dump="$1"
+    if [ ! -f "$dump" ]; then
+        echo "check_bench: profile dump $dump missing" >&2
+        exit 1
+    fi
+    awk '
+        function die(msg) {
+            printf "check_bench: %s: line %d: %s\n", FILENAME, FNR, msg \
+                > "/dev/stderr"
+            failed = 1
+            exit 1
+        }
+        function num(key,    s) {
+            if (!match($0, "\"" key "\":[ ]*[-+0-9.eE]+"))
+                die("missing numeric field \"" key "\"")
+            s = substr($0, RSTART, RLENGTH)
+            sub("\"" key "\":[ ]*", "", s)
+            return s + 0
+        }
+        /^[ \t]*$/ { next }
+        /^#/ { next }
+        {
+            records += 1
+            if (index($0, "\"kind\":\"profile\"")) {
+                if (records != 1)
+                    die("\"profile\" header must be the first record")
+                if (!index($0, "\"schema\":\"fgpsim-profile-v1\""))
+                    die("header without the fgpsim-profile-v1 schema tag")
+                width = num("issue_width")
+                cycles = num("cycles")
+                retired = num("retired_nodes")
+                bound = num("static_ipc_bound")
+                path = num("crit_path_cycles")
+                implied = num("crit_path_implied_ipc")
+                expect_windows = num("windows")
+                if (width <= 0)
+                    die("issue_width must be positive")
+                if (path > cycles)
+                    die(sprintf("crit_path_cycles %d > cycles %d", path, cycles))
+                if (implied > bound + 1e-9)
+                    die(sprintf("implied IPC %g beats the static bound %g", implied, bound))
+            } else if (index($0, "\"kind\":\"window\"")) {
+                if (!records || !width)
+                    die("window record before the profile header")
+                windows += 1
+                wcycles = num("cycles")
+                issued = num("issued_nodes")
+                stalls = num("stall_fetch_redirect") + num("stall_fetch_idle") \
+                       + num("stall_window_full") + num("stall_short_word") \
+                       + num("stall_drain")
+                # The slot-closure invariant, per window: every slot of
+                # every cycle is an issued node or exactly one cause.
+                if (issued + stalls != wcycles * width)
+                    die(sprintf("window slot closure broken: %d issued + %d stalls != %d cycles * width %d",
+                                issued, stalls, wcycles, width))
+                sum_cycles += wcycles
+                sum_retired += num("retired_nodes")
+            } else if (index($0, "\"kind\":\"residency\"")) {
+                num("window"); num("block"); num("retired_nodes")
+            } else if (index($0, "\"kind\":\"critpath\"")) {
+                if (!match($0, "\"cause\":[ ]*\""))
+                    die("critpath record without a cause")
+                cause_cycles += num("cycles")
+            } else if (index($0, "\"kind\":\"critblock\"")) {
+                num("block"); num("retired_nodes"); num("ipc_bound")
+                block_cycles += num("path_cycles")
+            } else {
+                die("unknown record kind")
+            }
+        }
+        END {
+            if (failed)
+                exit 1
+            if (!records) {
+                printf "check_bench: %s: empty profile dump\n", FILENAME \
+                    > "/dev/stderr"
+                exit 1
+            }
+            if (windows != expect_windows) {
+                printf "check_bench: %s: %d window records, header said %d\n",
+                       FILENAME, windows, expect_windows > "/dev/stderr"
+                exit 1
+            }
+            # Window streams must telescope exactly to the aggregates.
+            if (sum_cycles != cycles) {
+                printf "check_bench: %s: window cycles sum %d != run cycles %d\n",
+                       FILENAME, sum_cycles, cycles > "/dev/stderr"
+                exit 1
+            }
+            if (sum_retired != retired) {
+                printf "check_bench: %s: window retired sum %d != run retired %d\n",
+                       FILENAME, sum_retired, retired > "/dev/stderr"
+                exit 1
+            }
+            # Every critical-path cycle is attributed to exactly one
+            # cause; block residency never exceeds the path.
+            if (cause_cycles != path) {
+                printf "check_bench: %s: critpath cause sum %d != crit_path_cycles %d\n",
+                       FILENAME, cause_cycles, path > "/dev/stderr"
+                exit 1
+            }
+            if (block_cycles > path) {
+                printf "check_bench: %s: critblock cycles %d exceed the path %d\n",
+                       FILENAME, block_cycles, path > "/dev/stderr"
+                exit 1
+            }
+            printf "check_bench: %s: profile schema OK (%d windows close, path %d cycles)\n",
+                   FILENAME, windows, path
+        }' "$dump"
 }
 
 case "${1:-}" in
@@ -251,6 +380,10 @@ case "${1:-}" in
         ;;
     --validate-run)
         validate_run "${2:?usage: check_bench.sh --validate-run <manifest.jsonl>}"
+        exit 0
+        ;;
+    --validate-profile)
+        validate_profile "${2:?usage: check_bench.sh --validate-profile <dump.jsonl>}"
         exit 0
         ;;
 esac

@@ -32,6 +32,15 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$BUILD" --output-on-failure -L metrics
 
+# Interval-profiler round-trip under ASan/UBSan: the profiling
+# simulation, its fgpsim-profile-v1 stream and the stream's closure
+# identities (per-window slot closure, window sums vs aggregates,
+# critical-path bounds) must all hold in the instrumented build.
+echo "=== profile round-trip: fgpsim profile --json + validate ==="
+"$BUILD/tools/fgpsim" profile grep --config dyn4/8A/enlarged \
+    --interval 5000 --json > "$BUILD/profile_gate.jsonl" 2>/dev/null
+sh tools/check_bench.sh --validate-profile "$BUILD/profile_gate.jsonl"
+
 # Perf gate: run the reduced perf slice twice and compare the two
 # fgpsim-run-v1 manifests. IPC is deterministic, so any IPC delta is a
 # real regression; wall time is host noise on a loaded CI machine, so it
@@ -89,3 +98,17 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     FGP_SCALE="${FGP_CI_PERF_SCALE:-0.05}" FGP_JOBS=4 \
     "$TSAN_BUILD/bench/full_sweep" > /dev/null
+
+# Profiled parallel sweep under TSan: every worker thread carries its
+# own thread-local profiler, and the manifest (with interleaved
+# kind:"window" streams) must still validate.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    FGP_SCALE="${FGP_CI_PERF_SCALE:-0.05}" FGP_JOBS=4 \
+    FGP_PROFILE_WINDOW=5000 \
+    FGP_RUN_MANIFEST="$TSAN_BUILD/profile_sweep.jsonl" \
+    "$TSAN_BUILD/bench/full_sweep" > /dev/null
+sh tools/check_bench.sh --validate-run "$TSAN_BUILD/profile_sweep.jsonl"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$TSAN_BUILD/tools/fgpsim" profile grep --config dyn256/8G/single \
+    --interval 5000 --json > "$TSAN_BUILD/profile_gate.jsonl" 2>/dev/null
+sh tools/check_bench.sh --validate-profile "$TSAN_BUILD/profile_gate.jsonl"

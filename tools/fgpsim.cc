@@ -7,6 +7,15 @@
  *   fgpsim asm     <src>                       assemble + list blocks
  *   fgpsim run     <src> [--stdin FILE]        functional (VM) execution
  *   fgpsim profile <src> [--out FILE]          write a statistics file
+ *   fgpsim profile <src> --config CFG [--interval N] [--json]
+ *                  [--chrome FILE] [--top N]    interval profiler: per-window
+ *                                              IPC/stall streams plus the
+ *                                              executed schedule's dynamic
+ *                                              critical path (any of these
+ *                                              flags selects this mode;
+ *                                              without them the legacy
+ *                                              branch-arc statistics file
+ *                                              above is produced)
  *   fgpsim bbe     <src> --profile FILE [--out FILE]
  *                  [--max-chain N] [--ratio R] [--min-count N]
  *                                              create an enlargement file
@@ -33,6 +42,11 @@
  *                                              manifests; nonzero exit on
  *                                              an IPC or wall-time
  *                                              regression (CI perf gate)
+ *   fgpsim history <history.jsonl>             perf trajectory of an
+ *                                              appended run-header history
+ *                                              (BENCH_history.jsonl): git,
+ *                                              host ns/sim-cycle, delta vs
+ *                                              the previous run
  *
  * <src> is either the name of a built-in benchmark (sort, grep, diff,
  * cpp, compress — inputs are generated automatically) or a path to a
@@ -48,6 +62,7 @@
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "base/table.hh"
 #include "bbe/enlarge.hh"
 #include "engine/engine.hh"
 #include "ir/cfg.hh"
@@ -60,6 +75,7 @@
 #include "analyze/analyze.hh"
 #include "analyze/lint.hh"
 #include "masm/assembler.hh"
+#include "profile/profile.hh"
 #include "tld/translate.hh"
 #include "verify/equiv.hh"
 #include "verify/postpass.hh"
@@ -95,7 +111,7 @@ usage()
     std::cerr <<
         "usage: fgpsim <command> <src> [flags]\n"
         "  commands: asm | run | profile | bbe | sim | trace | report |\n"
-        "            check | analyze | compare\n"
+        "            check | analyze | compare | history\n"
         "  <src>: benchmark name (sort grep diff cpp compress) or .s file\n"
         "  common flags: --stdin FILE, --out FILE\n"
         "  bbe flags:    --profile FILE [--max-chain N] [--ratio R]\n"
@@ -110,7 +126,12 @@ usage()
         "                [--strict] (exit 1 when lint finds anything)\n"
         "  compare:      fgpsim compare A.jsonl B.jsonl\n"
         "                [--tolerance P%] [--wall-tolerance P%] [--json]\n"
-        "                (fgpsim-run-v1 manifests; exit 1 on regression)\n";
+        "                (fgpsim-run-v1 manifests; exit 1 on regression)\n"
+        "  profile (interval mode, any of these flags selects it):\n"
+        "                --config CFG [--interval CYCLES] [--json]\n"
+        "                [--chrome FILE] [--top N] plus the sim flags;\n"
+        "                --json emits fgpsim-profile-v1 JSONL\n"
+        "  history:      fgpsim history BENCH_history.jsonl\n";
     std::exit(2);
 }
 
@@ -211,9 +232,341 @@ cmdRun(const Options &opts)
     return r.exitCode;
 }
 
+/**
+ * Interval-profiling simulation: run <src> under the given machine
+ * configuration with the engine's interval profiler attached and report
+ * per-window IPC / stall-cause streams plus the executed schedule's
+ * dynamic critical path. Selected from `fgpsim profile` by any of
+ * --config/--interval/--json/--chrome/--top; the flagless form keeps
+ * producing the legacy branch-arc statistics file.
+ */
+int
+cmdProfileInterval(const Options &opts)
+{
+    const Source src = resolveSource(opts);
+    const MachineConfig config =
+        parseMachineConfig(opts.get("config", "dyn4/8A/single"));
+    const int top = static_cast<int>(*parseInt(opts.get("top", "10")));
+
+    CodeImage image = buildCfg(src.program);
+    if (config.branch != BranchMode::Single) {
+        EnlargePlan plan;
+        if (opts.has("plan")) {
+            plan = parsePlan(readFile(opts.get("plan")));
+        } else {
+            // No enlargement file given: profile in-process (set 1).
+            SimOS os;
+            src.prepare(os, InputSet::Profile, opts);
+            Profile profile;
+            InterpOptions iopts;
+            iopts.profile = &profile;
+            interpret(src.program, os, iopts);
+            plan = planEnlargement(image, profile, {});
+        }
+        image = applyEnlargement(buildCfg(src.program), plan, nullptr);
+    }
+
+    EngineOptions eopts;
+    eopts.config = config;
+    if (opts.has("ras"))
+        eopts.predictor.rasDepth =
+            static_cast<int>(*parseInt(opts.get("ras")));
+    if (opts.has("window"))
+        eopts.windowOverride =
+            static_cast<int>(*parseInt(opts.get("window")));
+    if (opts.has("conservative"))
+        eopts.conservativeLoads = true;
+
+    std::vector<std::int32_t> trace;
+    if (config.branch == BranchMode::Perfect) {
+        SimOS os;
+        src.prepare(os, InputSet::Measure, opts);
+        AtomicRunOptions aopts;
+        aopts.recordTrace = true;
+        trace = runAtomic(image, os, aopts).blockTrace;
+        eopts.perfectTrace = &trace;
+    }
+
+    CodeImage translated = image;
+    translate(translated, config);
+
+    // Static ceilings for the measured-vs-bound comparison.
+    const analyze::ImageAnalysis analysis =
+        analyze::analyzeImage(translated, config.memory.hitLatency);
+    std::vector<double> bounds(translated.blocks.size(), 0.0);
+    for (const analyze::BlockBounds &b : analysis.blocks)
+        if (b.block >= 0 &&
+            static_cast<std::size_t>(b.block) < bounds.size())
+            bounds[static_cast<std::size_t>(b.block)] = b.packedBound;
+
+    profile::IntervalProfiler profiler;
+    if (opts.has("interval"))
+        profiler.setWindowCycles(
+            static_cast<std::uint64_t>(*parseInt(opts.get("interval"))));
+    eopts.profile = &profiler;
+
+    SimOS os;
+    src.prepare(os, InputSet::Measure, opts);
+    const EngineResult r = simulate(translated, os, eopts);
+
+    const profile::CritPath cp = profile::extractCriticalPath(
+        profiler.retiredLog(), r.cycles, translated.blocks.size());
+
+    const auto &windows = profiler.windows();
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(profiler.issueWidth());
+
+    // Blocks ranked by critical-path residency.
+    std::vector<std::size_t> ranked;
+    for (std::size_t i = 0; i < cp.blockCycles.size(); ++i)
+        if (cp.blockCycles[i])
+            ranked.push_back(i);
+    std::sort(ranked.begin(), ranked.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (cp.blockCycles[a] != cp.blockCycles[b])
+                      return cp.blockCycles[a] > cp.blockCycles[b];
+                  return a < b;
+              });
+    const std::size_t rankedTotal = ranked.size();
+    if (ranked.size() > static_cast<std::size_t>(std::max(top, 0)))
+        ranked.resize(static_cast<std::size_t>(std::max(top, 0)));
+
+    struct Cause
+    {
+        const char *name;
+        std::uint64_t cycles;
+    };
+    const Cause causes[] = {
+        {"fetch", cp.fetchCycles},     {"branch", cp.branchCycles},
+        {"operand", cp.operandCycles}, {"memory", cp.memoryCycles},
+        {"forward", cp.forwardCycles}, {"fu_busy", cp.fuBusyCycles},
+        {"execute", cp.executeCycles}, {"retire", cp.retireCycles}};
+
+    if (opts.has("chrome")) {
+        std::ofstream chrome(opts.get("chrome"), std::ios::binary);
+        if (!chrome)
+            fgp_fatal("cannot write '", opts.get("chrome"), "'");
+        obs::ChromeTraceSink sink(chrome);
+        for (const profile::WindowSample &win : windows) {
+            const double slots =
+                static_cast<double>(win.cycles * width);
+            sink.emitCounter(win.startCycle, "ipc", win.ipc());
+            sink.emitCounter(win.startCycle, "ready_mean",
+                             win.cycles
+                                 ? static_cast<double>(win.readySum) /
+                                       static_cast<double>(win.cycles)
+                                 : 0.0);
+            sink.emitCounter(win.startCycle, "live_max",
+                             static_cast<double>(win.liveMax));
+            const Cause slotCauses[] = {
+                {"stall.fetch_redirect", win.stalls.fetchRedirectSlots},
+                {"stall.fetch_idle", win.stalls.fetchIdleSlots},
+                {"stall.window_full", win.stalls.windowFullSlots},
+                {"stall.short_word", win.stalls.shortWordSlots},
+                {"stall.operand_wait",
+                 win.stalls.operandWaitNodeCycles},
+                {"stall.memory_wait", win.stalls.memoryWaitNodeCycles},
+                {"stall.fu_busy", win.stalls.fuBusyNodeCycles}};
+            for (const Cause &c : slotCauses)
+                sink.emitCounter(win.startCycle, c.name,
+                                 slots > 0.0
+                                     ? static_cast<double>(c.cycles) /
+                                           slots
+                                     : 0.0);
+        }
+        sink.onRunEnd();
+    }
+
+    if (opts.has("json")) {
+        const auto line = [](metrics::JsonLineWriter &w) {
+            std::cout << w.str() << "\n";
+        };
+        {
+            metrics::JsonLineWriter w;
+            w.field("schema", "fgpsim-profile-v1");
+            w.field("kind", "profile");
+            w.field("workload", opts.source);
+            w.field("config", config.name());
+            w.field("window_cycles", profiler.windowCycles());
+            w.field("issue_width", width);
+            w.field("cycles", r.cycles);
+            w.field("retired_nodes", r.retiredNodes);
+            w.field("nodes_per_cycle", r.nodesPerCycle());
+            w.field("static_ipc_bound", analysis.staticIpcBound);
+            w.field("crit_path_cycles", cp.pathCycles);
+            w.field("crit_path_nodes", cp.pathNodes);
+            w.field("crit_path_implied_ipc", cp.impliedIpc());
+            w.field("windows",
+                    static_cast<std::uint64_t>(windows.size()));
+            line(w);
+        }
+        for (const profile::WindowSample &win : windows) {
+            metrics::JsonLineWriter w;
+            w.field("kind", "window");
+            w.field("index", win.index);
+            w.field("start_cycle", win.startCycle);
+            w.field("cycles", win.cycles);
+            w.field("ipc", win.ipc());
+            w.field("issued_nodes", win.issuedNodes);
+            w.field("retired_nodes", win.retiredNodes);
+            w.field("executed_nodes", win.executedNodes);
+            w.field("committed_blocks", win.committedBlocks);
+            w.field("squashed_blocks", win.squashedBlocks);
+            w.field("mispredicts", win.mispredicts);
+            w.field("faults_fired", win.faultsFired);
+            w.field("stall_fetch_redirect",
+                    win.stalls.fetchRedirectSlots);
+            w.field("stall_fetch_idle", win.stalls.fetchIdleSlots);
+            w.field("stall_window_full", win.stalls.windowFullSlots);
+            w.field("stall_short_word", win.stalls.shortWordSlots);
+            w.field("stall_drain", win.stalls.drainSlots);
+            w.field("stall_operand_wait",
+                    win.stalls.operandWaitNodeCycles);
+            w.field("stall_memory_wait",
+                    win.stalls.memoryWaitNodeCycles);
+            w.field("stall_serialize_wait",
+                    win.stalls.serializeWaitNodeCycles);
+            w.field("stall_fu_busy", win.stalls.fuBusyNodeCycles);
+            w.field("ready_mean",
+                    win.cycles ? static_cast<double>(win.readySum) /
+                                     static_cast<double>(win.cycles)
+                               : 0.0);
+            w.field("ready_max", win.readyMax);
+            w.field("live_max", win.liveMax);
+            w.field("store_queue_max", win.storeQueueMax);
+            w.field("write_buf_max", win.writeBufMax);
+            line(w);
+        }
+        for (const profile::WindowSample &win : windows) {
+            const auto &residency = profiler.residency();
+            for (std::uint32_t i = 0; i < win.residencyCount; ++i) {
+                const profile::ResidencyEntry &entry =
+                    residency[win.residencyOffset + i];
+                metrics::JsonLineWriter w;
+                w.field("kind", "residency");
+                w.field("window", win.index);
+                w.field("block",
+                        static_cast<std::uint64_t>(entry.block));
+                w.field("retired_nodes", entry.retiredNodes);
+                line(w);
+            }
+        }
+        for (const Cause &c : causes) {
+            metrics::JsonLineWriter w;
+            w.field("kind", "critpath");
+            w.field("cause", c.name);
+            w.field("cycles", c.cycles);
+            w.field("share", cp.pathCycles
+                                 ? static_cast<double>(c.cycles) /
+                                       static_cast<double>(cp.pathCycles)
+                                 : 0.0);
+            line(w);
+        }
+        for (std::size_t i : ranked) {
+            metrics::JsonLineWriter w;
+            w.field("kind", "critblock");
+            w.field("block", static_cast<std::uint64_t>(i));
+            w.field("entry_pc",
+                    static_cast<int>(r.blockStats[i].entryPc));
+            w.field("path_cycles", cp.blockCycles[i]);
+            w.field("path_share",
+                    cp.pathCycles
+                        ? static_cast<double>(cp.blockCycles[i]) /
+                              static_cast<double>(cp.pathCycles)
+                        : 0.0);
+            w.field("retired_nodes", r.blockStats[i].retiredNodes);
+            w.field("ipc_bound", bounds[i]);
+            line(w);
+        }
+        return r.exitCode;
+    }
+
+    // Human-readable report.
+    std::cout << "== fgpsim profile: " << opts.source << " on "
+              << config.name() << " ==\n\n"
+              << "cycles             " << r.cycles << "\n"
+              << "retired nodes      " << r.retiredNodes << "\n"
+              << "nodes/cycle        " << format("%.3f", r.nodesPerCycle())
+              << " (static bound " << format("%.3f", analysis.staticIpcBound)
+              << ")\n"
+              << "window cycles      " << profiler.windowCycles() << " ("
+              << windows.size() << " windows)\n"
+              << "critical path      " << cp.pathCycles << " cycles, "
+              << cp.pathNodes << " nodes (implied IPC "
+              << format("%.3f", cp.impliedIpc()) << ")\n";
+
+    std::cout << "\nWindows:\n";
+    Table wt({"idx", "start", "ipc", "retired", "squash", "mispred",
+              "top stall", "ready~", "live^"});
+    for (const profile::WindowSample &win : windows) {
+        const Cause winCauses[] = {
+            {"fetch_redirect", win.stalls.fetchRedirectSlots},
+            {"fetch_idle", win.stalls.fetchIdleSlots},
+            {"window_full", win.stalls.windowFullSlots},
+            {"short_word", win.stalls.shortWordSlots},
+            {"drain", win.stalls.drainSlots}};
+        const Cause *topCause = &winCauses[0];
+        for (const Cause &c : winCauses)
+            if (c.cycles > topCause->cycles)
+                topCause = &c;
+        wt.addRow({std::to_string(win.index),
+                   std::to_string(win.startCycle),
+                   format("%.3f", win.ipc()),
+                   std::to_string(win.retiredNodes),
+                   std::to_string(win.squashedBlocks),
+                   std::to_string(win.mispredicts),
+                   topCause->cycles ? topCause->name : "-",
+                   format("%.1f",
+                          win.cycles
+                              ? static_cast<double>(win.readySum) /
+                                    static_cast<double>(win.cycles)
+                              : 0.0),
+                   std::to_string(win.liveMax)});
+    }
+    wt.print(std::cout);
+
+    std::cout << "\nCritical path (" << cp.pathCycles << " of " << r.cycles
+              << " cycles):\n";
+    Table ct({"cause", "cycles", "share"});
+    for (const Cause &c : causes)
+        ct.addRow({c.name, std::to_string(c.cycles),
+                   cp.pathCycles
+                       ? format("%.1f%%",
+                                100.0 * static_cast<double>(c.cycles) /
+                                    static_cast<double>(cp.pathCycles))
+                       : "-"});
+    ct.print(std::cout);
+
+    std::cout << "\nTop " << ranked.size()
+              << " static blocks on the critical path (" << rankedTotal
+              << " contributing):\n";
+    Table bt({"block", "entry_pc", "path_cycles", "share", "ret_nodes",
+              "ipc_bound"});
+    for (std::size_t i : ranked) {
+        bt.addRow({std::to_string(i),
+                   std::to_string(r.blockStats[i].entryPc),
+                   std::to_string(cp.blockCycles[i]),
+                   format("%.1f%%",
+                          100.0 * static_cast<double>(cp.blockCycles[i]) /
+                              static_cast<double>(cp.pathCycles)),
+                   std::to_string(r.blockStats[i].retiredNodes),
+                   format("%.3f", bounds[i])});
+    }
+    bt.print(std::cout);
+    return r.exitCode;
+}
+
 int
 cmdProfile(const Options &opts)
 {
+    // Any interval-profiler flag switches to the simulating profiler;
+    // the flagless form stays the legacy branch-arc statistics file
+    // consumed by `fgpsim bbe`.
+    if (opts.has("config") || opts.has("interval") || opts.has("json") ||
+        opts.has("chrome") || opts.has("top")) {
+        return cmdProfileInterval(opts);
+    }
+
     const Source src = resolveSource(opts);
     SimOS os;
     src.prepare(os, InputSet::Profile, opts);
@@ -362,12 +715,24 @@ cmdSim(const Options &opts, SimMode mode = SimMode::Stats)
     const obs::ReportMeta meta{opts.source, config.name()};
     const bool json = opts.has("json");
     if (mode == SimMode::Report) {
-        if (json)
+        if (json) {
             obs::writeResultJson(std::cout, r, meta);
-        else
+        } else {
+            // Put each block's static ceiling (analyzer packed bound)
+            // next to its measured stats in the block table.
+            const analyze::ImageAnalysis analysis =
+                analyze::analyzeImage(translated, config.memory.hitLatency);
+            std::vector<double> bounds(translated.blocks.size(), 0.0);
+            for (const analyze::BlockBounds &b : analysis.blocks)
+                if (b.block >= 0 &&
+                    static_cast<std::size_t>(b.block) < bounds.size())
+                    bounds[static_cast<std::size_t>(b.block)] =
+                        b.packedBound;
             obs::printReport(std::cout, r, meta,
                              static_cast<int>(*parseInt(
-                                 opts.get("top", "10"))));
+                                 opts.get("top", "10"))),
+                             &bounds);
+        }
         return r.exitCode;
     }
     if (mode == SimMode::Stats && json)
@@ -909,6 +1274,41 @@ cmdCompare(const Options &opts)
     return regressed ? 1 : 0;
 }
 
+/**
+ * Print the perf trajectory of an appended run-header history file
+ * (RunRecorder::appendHistory, e.g. BENCH_history.jsonl): one row per
+ * run with git describe, host ns per simulated cycle and the delta
+ * against the previous run — `fgpsim compare` for the time axis.
+ */
+int
+cmdHistory(const Options &opts)
+{
+    std::ifstream in(opts.source);
+    if (!in)
+        fgp_fatal("cannot open '", opts.source, "'");
+    const metrics::RunFile file = metrics::parseRunFile(in, opts.source);
+
+    Table t({"git", "time", "bench", "sims", "wall_s", "ns/cycle",
+             "delta"});
+    double prev = 0.0;
+    for (const metrics::RunRecord &run : file.runs) {
+        const double ns = run.num("host_ns_per_sim_cycle");
+        std::string delta = "-";
+        if (prev > 0.0 && ns > 0.0)
+            delta = format("%+.1f%%", (ns - prev) / prev * 100.0);
+        if (ns > 0.0)
+            prev = ns;
+        t.addRow({run.str("git", "?"), run.str("iso_time", "?"),
+                  run.str("bench", "?"),
+                  format("%.0f", run.num("sims")),
+                  format("%.2f", run.num("wall_seconds")),
+                  format("%.1f", ns), delta});
+    }
+    t.print(std::cout);
+    std::cout << file.runs.size() << " runs\n";
+    return 0;
+}
+
 int
 runCli(int argc, char **argv)
 {
@@ -956,6 +1356,8 @@ runCli(int argc, char **argv)
         return cmdAnalyze(opts);
     if (opts.command == "compare")
         return cmdCompare(opts);
+    if (opts.command == "history")
+        return cmdHistory(opts);
     usage();
 }
 
