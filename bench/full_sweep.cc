@@ -74,7 +74,8 @@ main()
                  "cycles,ref_nodes,redundancy,mispredicts,faults,"
                  "stall_fetch_redirect,stall_fetch_idle,stall_window_full,"
                  "stall_short_word,stall_drain,static_bound,"
-                 "crit_path_cycles\n";
+                 "crit_path_cycles,disambig_fast_loads,"
+                 "disambig_probes_eliminated\n";
     for (const ExperimentResult &r : results) {
         const MachineConfig &config = r.config;
         const StallBreakdown &st = r.engine.stalls;
@@ -91,7 +92,9 @@ main()
                   << st.windowFullSlots << ',' << st.shortWordSlots << ','
                   << st.drainSlots << ','
                   << format("%.4f", r.staticIpcBound) << ','
-                  << r.profile.critPath.pathCycles << '\n';
+                  << r.profile.critPath.pathCycles << ','
+                  << r.engine.disambigFastLoads << ','
+                  << r.engine.disambigProbesEliminated << '\n';
     }
 
     // Where the sweep's issue bandwidth went, in aggregate.

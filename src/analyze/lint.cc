@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/disambig.hh"
 #include "tld/depgraph.hh"
 #include "verify/verify.hh"
 #include "vm/exec.hh"
@@ -26,6 +27,8 @@ using verify::Severity;
         {Code::ForwardingDefeated, {"AN004", "forwarding-defeated"}},
         {Code::UnreachableBlock, {"AN005", "unreachable-block"}},
         {Code::UnusedLabel, {"AN006", "unused-label"}},
+        {Code::HighMayAliasDensity, {"AN007", "high-may-alias-density"}},
+        {Code::PackedDisjointPair, {"AN008", "packed-disjoint-pair"}},
     });
     return true;
 }();
@@ -168,6 +171,62 @@ lintForwardingDefeated(const ImageBlock &block, Report &report,
     }
 }
 
+/**
+ * AN007/AN008: static-disambiguation findings, both computed from one
+ * disambigBlock() pass.
+ *
+ * AN007 fires when a block has enough classified memory pairs and most
+ * of them come out may-alias — the symbolic analysis proves almost
+ * nothing, so the run-time disambiguator carries the whole block.
+ *
+ * AN008 fires for each store/load pair proven no-alias yet packed into
+ * the same issue word: the hardware still probes the store queue for
+ * that load even though the conflict is statically impossible
+ * (FGP_STATIC_DISAMBIG drops the probe).
+ */
+void
+lintMemoryDisambig(const ImageBlock &block, Report &report,
+                   const LintOptions &opts, std::string_view stage)
+{
+    if (std::none_of(block.nodes.begin(), block.nodes.end(),
+                     [](const Node &n) { return n.isMem(); }))
+        return;
+    const BlockDisambig bd = disambigBlock(block);
+
+    if (bd.pairs.size() >= opts.minMemPairs &&
+        bd.mayDensity() >= opts.mayAliasDensity) {
+        addDiag(report, Code::HighMayAliasDensity, Severity::Warning,
+                stage, block.id, -1, block.entryPc, bd.mayAlias, " of ",
+                bd.pairs.size(),
+                " memory pairs defeat static disambiguation; run-time "
+                "disambiguation carries this block");
+    }
+
+    if (block.words.empty())
+        return;
+    std::vector<std::int32_t> word_of(block.nodes.size(), -1);
+    for (std::size_t w = 0; w < block.words.size(); ++w)
+        for (std::uint16_t n : block.words[w])
+            word_of[n] = static_cast<std::int32_t>(w);
+    for (const AliasPair &pair : bd.pairs) {
+        if (pair.cls != AliasClass::NoAlias || pair.storeStore)
+            continue;
+        if (word_of[pair.first] < 0 ||
+            word_of[pair.first] != word_of[pair.second])
+            continue;
+        const std::size_t load_idx =
+            block.nodes[pair.first].isLoad() ? pair.first : pair.second;
+        const std::size_t store_idx =
+            load_idx == pair.first ? pair.second : pair.first;
+        addDiag(report, Code::PackedDisjointPair, Severity::Warning, stage,
+                block.id, static_cast<std::int32_t>(load_idx),
+                block.nodes[load_idx].origPc,
+                "load and provably disjoint store at node ", store_idx,
+                " share word ", word_of[pair.first],
+                "; the run-time store-queue probe is unnecessary");
+    }
+}
+
 /** AN003: planned chains whose fusion buys no dependence-height. */
 void
 lintUnprofitableChains(const CodeImage &image, Report &report,
@@ -261,6 +320,7 @@ lintImage(const CodeImage &image, verify::Report &report,
         lintSerializingFalseDeps(block, report, opts, stage);
         lintDeadDefs(block, report, stage);
         lintForwardingDefeated(block, report, stage);
+        lintMemoryDisambig(block, report, opts, stage);
     }
     lintUnprofitableChains(image, report, opts, stage);
     lintUnreachableBlocks(image, report, stage);

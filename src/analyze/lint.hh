@@ -19,7 +19,14 @@
  *    that forwarding cannot fully satisfy (partial overlap);
  *  - AN005 unreachable-block: not reachable from the image entry;
  *  - AN006 unused-label: a source code label no control transfer
- *    targets.
+ *    targets;
+ *  - AN007 high-may-alias-density: most of a block's memory pairs defeat
+ *    static disambiguation (analyze/disambig.hh), leaving the run-time
+ *    disambiguator to carry the block;
+ *  - AN008 packed-disjoint-pair: a store/load pair proven no-alias is
+ *    packed into one issue word, so the store-queue probe the hardware
+ *    performs for it is provably unnecessary (FGP_STATIC_DISAMBIG
+ *    eliminates it).
  *
  * All AN findings are warnings: they flag performance anti-patterns,
  * never correctness violations (that is src/verify's job).
@@ -41,6 +48,12 @@ struct LintOptions
 {
     /** Load latency assumed on dependence heights (AN001/AN003). */
     int memHitLatency = 1;
+
+    /** AN007 fires when may-alias pairs / total pairs reaches this. */
+    double mayAliasDensity = 0.5;
+
+    /** AN007 needs at least this many classified pairs (noise floor). */
+    std::size_t minMemPairs = 4;
 
     /**
      * Pre-enlargement image + plan, enabling the chain-profitability

@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "analyze/disambig.hh"
 #include "base/logging.hh"
 #include "branch/predictor.hh"
 #include "engine/workspace.hh"
@@ -63,7 +64,10 @@ class Engine
                          : windowBlocks(opts.config.discipline)),
           isStatic_(opts.config.discipline == Discipline::Static),
           perfect_(opts.config.branch == BranchMode::Perfect),
-          hook_(g_allocHook.load(std::memory_order_relaxed))
+          hook_(g_allocHook.load(std::memory_order_relaxed)),
+          disambig_(opts.disambig),
+          disambigFast_(opts.disambig && opts.disambigFastPath),
+          disambigXcheck_(opts.disambig && opts.disambigXcheck)
     {
         ws_.beginRun();
         nodeMask_ = ws_.nodeMask();
@@ -201,6 +205,8 @@ class Engine
                     std::uint32_t pos);
     void executeNode(std::uint32_t pos);
     bool tryExecuteLoad(std::uint32_t pos);
+    bool disambigFastEligible(std::uint32_t pos);
+    void xcheckRetiringBlock(const BlockRec &front);
     void resolveControl(std::uint32_t pos);
     void parkLoad(std::uint32_t blocker_pos, std::uint64_t blocker_seq,
                   std::uint32_t load_pos, std::uint32_t addr);
@@ -253,6 +259,10 @@ class Engine
     const bool isStatic_;
     const bool perfect_;
     std::uint64_t (*const hook_)(); ///< allocation sampler (may be null)
+    /** Static no-alias facts (EngineOptions::disambig; may be null). */
+    const analyze::DisambigImage *const disambig_;
+    const bool disambigFast_;   ///< independent loads bypass the probe
+    const bool disambigXcheck_; ///< retirement re-checks no-alias pairs
     const std::vector<std::int32_t> *trace_ = nullptr;
     std::size_t traceIdx_ = 0;
 
@@ -293,6 +303,10 @@ class Engine
     std::uint64_t wordStallCycles_ = 0;
     /** Issue slots wasted by words narrower than the machine width. */
     std::uint64_t shortWordSlots_ = 0;
+    /** Static-disambiguation books (folded into result_ after the run). */
+    std::uint64_t disambigFastLoads_ = 0;
+    std::uint64_t disambigProbesEliminated_ = 0;
+    std::uint64_t disambigCheckedPairs_ = 0;
     /** Refs currently parked on load chains (includes refs whose load
      *  was squashed while parked, until their blocker resolves). */
     std::uint64_t parkedLoads_ = 0;
@@ -538,24 +552,66 @@ Engine::parkLoad(std::uint32_t blocker_pos, std::uint64_t blocker_seq,
              .blocker = blocker_seq);
 }
 
+/**
+ * Can the load at @p pos skip run-time disambiguation entirely? Requires
+ * facts proving it no-alias against every store of its block, in a window
+ * state where every older in-flight store belongs to that same dynamic
+ * block (store queue empty or fronted by it) and no older system call is
+ * pending. Older-block stores already retired are visible in memory;
+ * same-block stores are proven disjoint (so can neither forward to nor
+ * conflict with the load); younger stores never affect an older load.
+ * Facts whose shape does not match the image are stale and unusable.
+ */
+bool
+Engine::disambigFastEligible(std::uint32_t pos)
+{
+    if (!disambigFast_ || opts_.conservativeLoads)
+        return false;
+    const MetaRec &meta = metaAt(pos);
+    const BlockRec &block = blockAt(meta.blockPos);
+    const analyze::BlockDisambig &bd =
+        disambig_->blocks[static_cast<std::size_t>(block.imageId)];
+    if (bd.nodeCount != image_.block(block.imageId).nodes.size() ||
+        meta.nodeIdx >= bd.loadIndependent.size() ||
+        !bd.loadIndependent[meta.nodeIdx])
+        return false;
+    if (!ws_.storeQueue.empty() &&
+        metaAt(ws_.storeQueue.front().pos).blockPos != meta.blockPos)
+        return false;
+    if (const NodeRef *w = frontPendingSyscall(); w && w->seq < seqAt(pos))
+        return false;
+    return true;
+}
+
 bool
 Engine::tryExecuteLoad(std::uint32_t pos)
 {
     ExecRec &ex = execAt(pos);
     const std::uint32_t addr = effectiveAddress(*ex.node, ex.srcVal[0]);
+    const std::uint32_t len = accessBytes(ex.node->op);
     std::uint8_t bytes[4];
     bool forwarded = false;
-    std::uint64_t blocked_on = 0;
-    std::uint32_t blocked_pos = 0;
-    const MergeStatus status =
-        specRead(seqAt(pos), addr, accessBytes(ex.node->op), bytes,
-                 &forwarded, &blocked_on, &blocked_pos);
-    if (status != MergeStatus::Ok) {
-        if (!isStatic_) {
-            fgp_assert(blocked_on != 0, "blocked load without a blocker");
-            parkLoad(blocked_pos, blocked_on, pos, addr);
+    if (disambigFastEligible(pos)) {
+        // Statically proven independent: read memory directly, no
+        // store-queue probe and nothing to park on.
+        for (std::uint32_t b = 0; b < len; ++b)
+            bytes[b] = mem_.read8(addr + b);
+        ++disambigFastLoads_;
+        disambigProbesEliminated_ += len;
+    } else {
+        std::uint64_t blocked_on = 0;
+        std::uint32_t blocked_pos = 0;
+        const MergeStatus status =
+            specRead(seqAt(pos), addr, len, bytes, &forwarded,
+                     &blocked_on, &blocked_pos);
+        if (status != MergeStatus::Ok) {
+            if (!isStatic_) {
+                fgp_assert(blocked_on != 0,
+                           "blocked load without a blocker");
+                parkLoad(blocked_pos, blocked_on, pos, addr);
+            }
+            return false;
         }
-        return false;
     }
 
     MemRec &mr = memAt(pos);
@@ -918,6 +974,52 @@ Engine::resolveControl(std::uint32_t pos)
     // J / JAL: statically determined, nothing to verify.
 }
 
+/**
+ * Retirement-time soundness cross-check (MD family): every pair the
+ * static pass proved no-alias must have produced disjoint byte ranges in
+ * this dynamic block instance. The block is fully done here, so every
+ * memory node's effective address is known. Violations are counted and
+ * the first few recorded for the harness to render as MD001/MD002
+ * verify diagnostics.
+ */
+void
+Engine::xcheckRetiringBlock(const BlockRec &front)
+{
+    const analyze::BlockDisambig &bd =
+        disambig_->blocks[static_cast<std::size_t>(front.imageId)];
+    const ImageBlock &ib = image_.block(front.imageId);
+    const auto record = [&](const DisambigViolation &v) {
+        ++result_.disambigViolations;
+        if (result_.disambigViolationLog.size() < 16)
+            result_.disambigViolationLog.push_back(v);
+    };
+    if (bd.nodeCount != ib.nodes.size() ||
+        bd.issuePos.size() != ib.nodes.size()) {
+        record({.imageId = front.imageId, .stale = true});
+        return;
+    }
+    for (const std::uint32_t packed : bd.facts.noAliasPairs) {
+        const auto a = static_cast<std::uint16_t>(packed >> 16);
+        const auto b = static_cast<std::uint16_t>(packed & 0xffffu);
+        const std::uint32_t posA = front.firstPos + bd.issuePos[a];
+        const std::uint32_t posB = front.firstPos + bd.issuePos[b];
+        if (metaAt(posA).nodeIdx != a || metaAt(posB).nodeIdx != b) {
+            record({.imageId = front.imageId, .nodeA = a, .nodeB = b,
+                    .stale = true});
+            continue;
+        }
+        const std::uint32_t lenA = accessBytes(execAt(posA).node->op);
+        const std::uint32_t lenB = accessBytes(execAt(posB).node->op);
+        const std::uint32_t addrA = memAt(posA).addr;
+        const std::uint32_t addrB = memAt(posB).addr;
+        if (addrA < addrB + lenB && addrB < addrA + lenA)
+            record({.imageId = front.imageId, .nodeA = a, .nodeB = b,
+                    .addrA = addrA, .addrB = addrB,
+                    .lenA = lenA, .lenB = lenB});
+    }
+    disambigCheckedPairs_ += bd.facts.noAliasPairs.size();
+}
+
 void
 Engine::retireBlocks()
 {
@@ -925,6 +1027,8 @@ Engine::retireBlocks()
         BlockRec &front = blockAt(headBlockPos_);
         if (!front.fullyIssued || front.doneCount != front.count)
             break;
+        if (disambigXcheck_)
+            xcheckRetiringBlock(front);
 
         // Commit stores in issue order (program order for aliasing pairs).
         auto &storeQueue = ws_.storeQueue;
@@ -1002,6 +1106,12 @@ Engine::refreshPending()
         for (const NodeRef &ref : retry) {
             if (!liveNode(ref) || stateAt(ref.pos) != NState::Ready)
                 continue; // squashed (or already scheduled) meanwhile
+            if (disambigFastEligible(ref.pos)) {
+                // Proven independent: nothing to probe or park on, even
+                // while an own-block store address is still unknown.
+                ws_.readyMem.push(ref);
+                continue;
+            }
             ExecRec &ex = execAt(ref.pos);
             std::uint8_t scratch[4];
             std::uint64_t blocked_on = 0;
@@ -1665,6 +1775,18 @@ Engine::run()
         result_.stats.set("issue_stall_window", issueStallWindow_);
     if (wordStallCycles_)
         result_.stats.set("word_stall_cycles", wordStallCycles_);
+    result_.disambigFastLoads = disambigFastLoads_;
+    result_.disambigProbesEliminated = disambigProbesEliminated_;
+    result_.disambigCheckedPairs = disambigCheckedPairs_;
+    if (disambigFastLoads_) {
+        result_.stats.set("disambig.fast_loads", disambigFastLoads_);
+        result_.stats.set("disambig.probes_eliminated",
+                          disambigProbesEliminated_);
+    }
+    if (disambigCheckedPairs_)
+        result_.stats.set("disambig.checked_pairs", disambigCheckedPairs_);
+    if (result_.disambigViolations)
+        result_.stats.set("disambig.violations", result_.disambigViolations);
     if (issueCycles_) {
         result_.stats.setReal(
             "issue_slot_utilization",
@@ -1758,6 +1880,14 @@ simulate(const CodeImage &image, SimOS &os, const EngineOptions &opts)
             m.add("engine.alloc.sampled_sims", 1);
             m.add("engine.alloc.cycle_loop", result.allocCycleLoop);
             m.add("engine.alloc.syscall", result.allocSyscall);
+        }
+        if (result.disambigFastLoads || result.disambigCheckedPairs) {
+            m.add("engine.disambig.fast_loads", result.disambigFastLoads);
+            m.add("engine.disambig.probes_eliminated",
+                  result.disambigProbesEliminated);
+            m.add("engine.disambig.checked_pairs",
+                  result.disambigCheckedPairs);
+            m.add("engine.disambig.violations", result.disambigViolations);
         }
         if (opts.profile) {
             m.add("profile.sims", 1);

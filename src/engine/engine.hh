@@ -44,6 +44,7 @@ namespace fgp {
 namespace obs { class EventBus; }
 namespace metrics { class Registry; }
 namespace profile { class IntervalProfiler; }
+namespace analyze { struct DisambigImage; }
 
 struct EngineWorkspace;
 
@@ -92,6 +93,33 @@ struct EngineOptions
      * checking addresses at run time.
      */
     bool conservativeLoads = false;
+
+    /**
+     * Static memory-disambiguation facts for the simulated image
+     * (analyze/disambig.hh), or null — the default, with no effect on
+     * the schedule. Consulted only through the two switches below.
+     */
+    const analyze::DisambigImage *disambig = nullptr;
+
+    /**
+     * Consume the facts: a load statically proven no-alias against
+     * every store of its block bypasses the store-queue probe entirely
+     * (read straight from memory) whenever every older in-flight store
+     * belongs to the load's own dynamic block and no older system call
+     * is pending. Counted in EngineResult::disambigFastLoads /
+     * disambigProbesEliminated and the "disambig.*" stats.
+     */
+    bool disambigFastPath = false;
+
+    /**
+     * Soundness cross-check: at every full block retirement, re-check
+     * each statically proven no-alias pair against the byte ranges the
+     * run actually computed (MD001 on overlap) and the facts' shape
+     * against the image (MD002 when stale). Violations are counted and
+     * the first few recorded in EngineResult::disambigViolationLog for
+     * the harness to render as verify diagnostics.
+     */
+    bool disambigXcheck = false;
 
     /**
      * Cycles lost redirecting fetch after a misprediction or fault
@@ -218,6 +246,24 @@ struct BlockStat
     }
 };
 
+/**
+ * One retirement-time disambiguation cross-check failure
+ * (EngineOptions::disambigXcheck). nodeA/nodeB are image node indices of
+ * the offending pair; a staleness failure (facts' shape does not match
+ * the simulated image) sets stale and leaves the addresses zero.
+ */
+struct DisambigViolation
+{
+    std::int32_t imageId = -1;
+    std::int32_t nodeA = -1;
+    std::int32_t nodeB = -1;
+    std::uint32_t addrA = 0;
+    std::uint32_t addrB = 0;
+    std::uint32_t lenA = 0;
+    std::uint32_t lenB = 0;
+    bool stale = false;
+};
+
 /** Result of one simulation. */
 struct EngineResult
 {
@@ -287,6 +333,21 @@ struct EngineResult
     std::uint64_t arenaBlockSlots = 0;
     std::uint64_t arenaChainSlots = 0;
     std::uint64_t peakLiveNodes = 0;
+
+    /**
+     * Static-disambiguation consumption and cross-check books
+     * (EngineOptions::disambig; all zero when no facts are attached).
+     * fastLoads counts loads served straight from memory on proven
+     * independence; probesEliminated the store-queue byte probes those
+     * loads skipped; checkedPairs the no-alias pairs re-verified at
+     * retirement. Violations must stay zero on a sound analysis — the
+     * first few are detailed in disambigViolationLog.
+     */
+    std::uint64_t disambigFastLoads = 0;
+    std::uint64_t disambigProbesEliminated = 0;
+    std::uint64_t disambigCheckedPairs = 0;
+    std::uint64_t disambigViolations = 0;
+    std::vector<DisambigViolation> disambigViolationLog;
 
     double
     nodesPerCycle() const

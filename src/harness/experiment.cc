@@ -3,8 +3,10 @@
 #include <chrono>
 
 #include "analyze/analyze.hh"
+#include "analyze/disambig.hh"
 #include "base/logging.hh"
 #include "engine/workspace.hh"
+#include "verify/diag.hh"
 #include "ir/cfg.hh"
 #include "metrics/registry.hh"
 #include "tld/translate.hh"
@@ -145,9 +147,32 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
     CodeImage image = enlarged_image ? p.enlarged : p.single;
     {
         metrics::ScopedTimer timer(metrics_, "host.phase.translate_ns");
-        translate(image, config, translateOpts_);
+        if (analyze::staticDisambigEnabled() &&
+            !translateOpts_.disambigHook) {
+            // FGP_STATIC_DISAMBIG=1: the static scheduler consumes
+            // proven no-alias facts (hoists loads above independent
+            // stores). Off by default — schedules stay bit-identical.
+            TranslateOptions topts = translateOpts_;
+            topts.disambigHook = analyze::disambigSchedulingHook();
+            translate(image, config, topts);
+        } else {
+            translate(image, config, translateOpts_);
+        }
     }
     const double static_bound = analyze::staticIpcBound(image);
+
+    // Static memory-disambiguation facts over the translated image: the
+    // engine consumes them (probe-skipping fast path) when the feature
+    // is on, and cross-checks them at retirement when the debug-build
+    // soundness check is on. Computed fresh per point — the image is
+    // translated per configuration, so issuePos matches its words.
+    analyze::DisambigImage disambig_facts;
+    const bool disambig_fast = analyze::staticDisambigEnabled();
+    const bool disambig_xcheck = analyze::disambigXcheckEnabled();
+    if (disambig_fast || disambig_xcheck) {
+        metrics::ScopedTimer timer(metrics_, "host.phase.disambig_ns");
+        disambig_facts = analyze::disambigImage(image);
+    }
 
     SimOS os;
     p.workload.prepareOs(os, InputSet::Measure);
@@ -164,6 +189,11 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
     opts.predictFaultTargets = tweaks_.predictFaultTargets;
     opts.windowOverride = tweaks_.windowOverride;
     opts.conservativeLoads = tweaks_.conservativeLoads;
+    if (disambig_fast || disambig_xcheck) {
+        opts.disambig = &disambig_facts;
+        opts.disambigFastPath = disambig_fast;
+        opts.disambigXcheck = disambig_xcheck;
+    }
 
     opts.metrics = metrics_;
 
@@ -196,6 +226,34 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
         os.stdoutText() != p.refStdout) {
         fgp_panic("engine diverged from the functional VM: workload ", name,
                   " config ", config.name());
+    }
+
+    // Disambiguation soundness cross-check: a statically proven no-alias
+    // pair that overlapped at runtime (or stale facts) is an analysis
+    // bug. Render the recorded violations as MD diagnostics and abort.
+    if (result.engine.disambigViolations) {
+        verify::Report report;
+        for (const DisambigViolation &v :
+             result.engine.disambigViolationLog) {
+            if (v.stale) {
+                addDiag(report, verify::Code::DisambigFactsStale,
+                        verify::Severity::Error, "translated", v.imageId,
+                        v.nodeA, -1,
+                        "disambiguation facts do not match the simulated "
+                        "image");
+            } else {
+                addDiag(report, verify::Code::NoAliasViolated,
+                        verify::Severity::Error, "translated", v.imageId,
+                        v.nodeA, -1, "proven no-alias pair (", v.nodeA,
+                        ", ", v.nodeB, ") overlapped at runtime: [",
+                        v.addrA, ", +", v.lenA, ") vs [", v.addrB, ", +",
+                        v.lenB, ")");
+            }
+        }
+        fgp_panic("static disambiguation unsound: workload ", name,
+                  " config ", config.name(), " (",
+                  result.engine.disambigViolations, " violations)\n",
+                  report.renderText());
     }
 
     // Static/dynamic cross-check: no run may retire more nodes per cycle

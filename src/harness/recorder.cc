@@ -44,6 +44,9 @@ RunRecorder::record(const std::vector<ExperimentResult> &results)
         point.faultsFired = r.engine.faultsFired;
         point.hostNs = r.hostNs;
         point.stalls = r.engine.stalls;
+        point.disambigFastLoads = r.engine.disambigFastLoads;
+        point.disambigProbesEliminated = r.engine.disambigProbesEliminated;
+        point.disambigCheckedPairs = r.engine.disambigCheckedPairs;
         if (r.profile.enabled) {
             point.profiled = true;
             point.windowCycles = r.profile.windowCycles;
@@ -142,6 +145,9 @@ RunRecorder::pointLine(const PointSummary &point) const
     w.field("stall_serialize_wait", point.stalls.serializeWaitNodeCycles);
     w.field("stall_fu_busy", point.stalls.fuBusyNodeCycles);
     w.field("crit_path_cycles", point.critPathCycles);
+    w.field("disambig_fast_loads", point.disambigFastLoads);
+    w.field("disambig_probes_eliminated", point.disambigProbesEliminated);
+    w.field("disambig_checked_pairs", point.disambigCheckedPairs);
     return w.str();
 }
 

@@ -92,6 +92,12 @@ class RunRecorder
         std::uint64_t hostNs = 0;
         StallBreakdown stalls;
 
+        /** Static-disambiguation books (all zero when the feature and
+         *  its cross-check are off). */
+        std::uint64_t disambigFastLoads = 0;
+        std::uint64_t disambigProbesEliminated = 0;
+        std::uint64_t disambigCheckedPairs = 0;
+
         /** Interval-profile payload (tweaks_.profileWindow runs only):
          *  the point line always carries crit_path_cycles (0 when
          *  unprofiled), and profiled points additionally emit one

@@ -19,7 +19,8 @@ mayAlias(const Node &a, const Node &b, bool same_base_value)
 }
 
 DepGraph
-buildDepGraph(const ImageBlock &block, bool with_antideps)
+buildDepGraph(const ImageBlock &block, bool with_antideps,
+              const MemDepFacts *facts)
 {
     const std::size_t n = block.nodes.size();
     DepGraph graph;
@@ -75,6 +76,8 @@ buildDepGraph(const ImageBlock &block, bool with_antideps)
                     other.rs1 == kRegZero ? -2 : version_at[m];
                 const bool same_base =
                     other.rs1 == node.rs1 && other_version == base_version;
+                if (facts && facts->independent(m, idx))
+                    continue; // proven no-alias: ordering unnecessary
                 if (mayAlias(node, other, same_base))
                     add_edge(m, idx);
             }

@@ -16,6 +16,7 @@
 #ifndef FGP_TLD_DEPGRAPH_HH
 #define FGP_TLD_DEPGRAPH_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -35,12 +36,45 @@ struct DepGraph
 };
 
 /**
+ * Proven no-alias facts for one block, as produced by an external memory
+ * disambiguator (analyze/disambig.cc) and consumed by buildDepGraph: a
+ * memory ordering edge between two nodes in this set is provably
+ * unnecessary and is dropped. The set is a plain sorted pair list so tld
+ * does not depend on the analyzer that computes it.
+ */
+struct MemDepFacts
+{
+    /** Packed no-alias node-index pairs, (lo << 16) | hi, sorted. */
+    std::vector<std::uint32_t> noAliasPairs;
+
+    static std::uint32_t
+    packPair(std::uint16_t a, std::uint16_t b)
+    {
+        return a < b ? (static_cast<std::uint32_t>(a) << 16) | b
+                     : (static_cast<std::uint32_t>(b) << 16) | a;
+    }
+
+    bool
+    independent(std::uint16_t a, std::uint16_t b) const
+    {
+        return std::binary_search(noAliasPairs.begin(), noAliasPairs.end(),
+                                  packPair(a, b));
+    }
+
+    bool empty() const { return noAliasPairs.empty(); }
+};
+
+/**
  * Build the dependence DAG for @p block.
  *
  * @param with_antideps include WAR/WAW register edges (true for the static
  *        machine; the dynamic machine renames in hardware).
+ * @param facts optional proven no-alias pairs; memory ordering edges
+ *        between proven-independent nodes are omitted. Register and
+ *        syscall-barrier edges are never affected.
  */
-DepGraph buildDepGraph(const ImageBlock &block, bool with_antideps);
+DepGraph buildDepGraph(const ImageBlock &block, bool with_antideps,
+                       const MemDepFacts *facts = nullptr);
 
 /**
  * True when two memory nodes may reference overlapping bytes, using only

@@ -20,14 +20,15 @@ nodeLatency(const Node &node, int mem_hit_latency)
 
 void
 scheduleStatic(ImageBlock &block, const IssueModel &issue,
-               int mem_hit_latency)
+               int mem_hit_latency, const MemDepFacts *facts)
 {
     const std::size_t n = block.nodes.size();
     block.words.clear();
     if (n == 0)
         return;
 
-    const DepGraph graph = buildDepGraph(block, /*with_antideps=*/true);
+    const DepGraph graph =
+        buildDepGraph(block, /*with_antideps=*/true, facts);
 
     // Critical-path heights (latency-weighted longest path to a leaf).
     // Dependence edges always point forward in index order, so a reverse
@@ -154,7 +155,8 @@ packDynamic(ImageBlock &block, const IssueModel &issue)
 }
 
 bool
-wordsRespectModel(const ImageBlock &block, const IssueModel &issue)
+wordsRespectModel(const ImageBlock &block, const IssueModel &issue,
+                  const MemDepFacts *facts)
 {
     std::vector<int> word_of(block.nodes.size(), -1);
     for (std::size_t w = 0; w < block.words.size(); ++w) {
@@ -181,7 +183,8 @@ wordsRespectModel(const ImageBlock &block, const IssueModel &issue)
             return false;
 
     // Dependence edges must never point backwards across words.
-    const DepGraph graph = buildDepGraph(block, /*with_antideps=*/false);
+    const DepGraph graph =
+        buildDepGraph(block, /*with_antideps=*/false, facts);
     for (std::size_t i = 0; i < graph.size(); ++i)
         for (std::uint16_t succ : graph.succs[i])
             if (word_of[succ] < word_of[i])

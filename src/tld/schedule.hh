@@ -14,12 +14,18 @@
 
 #include "arch/config.hh"
 #include "ir/image.hh"
+#include "tld/depgraph.hh"
 
 namespace fgp {
 
-/** Fill @p block.words for a statically scheduled machine. */
+/**
+ * Fill @p block.words for a statically scheduled machine. With @p facts,
+ * proven no-alias memory pairs place no ordering edge, so the scheduler
+ * may hoist a load above an independent store; null keeps the
+ * conservative §2.1 disambiguation rule bit-identical.
+ */
 void scheduleStatic(ImageBlock &block, const IssueModel &issue,
-                    int mem_hit_latency);
+                    int mem_hit_latency, const MemDepFacts *facts = nullptr);
 
 /** Fill @p block.words for a dynamically scheduled machine. */
 void packDynamic(ImageBlock &block, const IssueModel &issue);
@@ -27,9 +33,12 @@ void packDynamic(ImageBlock &block, const IssueModel &issue);
 /**
  * True when @p block.words is a valid packing: every node in exactly one
  * word, slot shapes respected, and (for static schedules) all dependence
- * edges point to the same or a later word. Used by tests.
+ * edges point to the same or a later word. A schedule produced with
+ * no-alias @p facts must be held against the same facts. Used by tests
+ * and the structural verifier.
  */
-bool wordsRespectModel(const ImageBlock &block, const IssueModel &issue);
+bool wordsRespectModel(const ImageBlock &block, const IssueModel &issue,
+                       const MemDepFacts *facts = nullptr);
 
 } // namespace fgp
 

@@ -19,10 +19,19 @@ translate(CodeImage &image, const MachineConfig &config,
         if (opts.optimizeAll || (opts.optimizeEnlarged && block.enlarged))
             stats.mergeFrom(optimizeBlock(block, opts.optimizer));
 
-        if (config.discipline == Discipline::Static)
-            scheduleStatic(block, config.issue, config.memory.hitLatency);
-        else
+        if (config.discipline == Discipline::Static) {
+            if (opts.disambigHook) {
+                const MemDepFacts facts = opts.disambigHook(block);
+                scheduleStatic(block, config.issue,
+                               config.memory.hitLatency,
+                               facts.empty() ? nullptr : &facts);
+            } else {
+                scheduleStatic(block, config.issue,
+                               config.memory.hitLatency);
+            }
+        } else {
             packDynamic(block, config.issue);
+        }
     }
     validateImage(image);
     if (check)

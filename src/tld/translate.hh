@@ -9,8 +9,11 @@
 #ifndef FGP_TLD_TRANSLATE_HH
 #define FGP_TLD_TRANSLATE_HH
 
+#include <functional>
+
 #include "arch/config.hh"
 #include "ir/image.hh"
+#include "tld/depgraph.hh"
 #include "tld/optimizer.hh"
 
 namespace fgp {
@@ -31,6 +34,17 @@ struct TranslateOptions
     bool optimizeAll = false;
 
     OptimizerOptions optimizer = {};
+
+    /**
+     * Optional memory-disambiguation hook, invoked per block after
+     * optimization and before static scheduling. The returned no-alias
+     * facts let the scheduler hoist loads above provably independent
+     * stores. Default none: schedules stay bit-identical to the
+     * conservative baseline. Installed by the harness when
+     * FGP_STATIC_DISAMBIG=1 (analyze::disambigSchedulingHook); tld itself
+     * never computes facts, keeping the layering acyclic.
+     */
+    std::function<MemDepFacts(const ImageBlock &)> disambigHook;
 };
 
 /**

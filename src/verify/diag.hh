@@ -69,6 +69,12 @@ enum class Code : std::uint8_t {
     ForwardingDefeated,     ///< AN004 store-load pair defeats forwarding
     UnreachableBlock,       ///< AN005 block unreachable from the entry
     UnusedLabel,            ///< AN006 code label never targeted
+    HighMayAliasDensity,    ///< AN007 block dominated by may-alias pairs
+    PackedDisjointPair,     ///< AN008 disjoint store/load packed in one word
+
+    // MD — static memory disambiguation (src/analyze/disambig.cc).
+    NoAliasViolated,        ///< MD001 proven no-alias pair conflicted at runtime
+    DisambigFactsStale,     ///< MD002 facts do not match the simulated image
 };
 
 /** Registered strings of one code: stable id + kebab-case slug. */

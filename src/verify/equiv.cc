@@ -1,200 +1,21 @@
 #include "verify/equiv.hh"
 
-#include <algorithm>
 #include <array>
-#include <unordered_map>
 
 #include "base/logging.hh"
+#include "verify/symexpr.hh"
 #include "vm/exec.hh"
 
 namespace fgp::verify {
 
 namespace {
 
-using ExprId = std::int32_t;
-
-enum class Kind : std::uint8_t {
-    Init,   ///< live-in value of a register (value = register index)
-    Const,  ///< known 32-bit constant (value)
-    Alu,    ///< op(a, b) with op in register-register root form
-    Load,   ///< load of width op from address a at memory version aux
-    Opaque, ///< syscall result (aux = origPc, value = per-state serial)
-};
-
-struct Expr
-{
-    Kind kind;
-    Opcode op = Opcode::ADD;
-    std::uint32_t value = 0;
-    ExprId a = -1;
-    ExprId b = -1;
-    std::int32_t aux = 0;
-
-    bool operator==(const Expr &other) const = default;
-};
-
-struct ExprHash
-{
-    std::size_t
-    operator()(const Expr &expr) const
-    {
-        std::size_t h = static_cast<std::size_t>(expr.kind);
-        auto mix = [&h](std::size_t v) { h = h * 1000003u ^ v; };
-        mix(static_cast<std::size_t>(expr.op));
-        mix(expr.value);
-        mix(static_cast<std::size_t>(expr.a + 1));
-        mix(static_cast<std::size_t>(expr.b + 1) << 4);
-        mix(static_cast<std::size_t>(expr.aux));
-        return h;
-    }
-};
-
-/** Register-register root of a register-immediate ALU opcode. */
-Opcode
-rriRoot(Opcode op)
-{
-    switch (op) {
-      case Opcode::ADDI: return Opcode::ADD;
-      case Opcode::ANDI: return Opcode::AND;
-      case Opcode::ORI: return Opcode::OR;
-      case Opcode::XORI: return Opcode::XOR;
-      case Opcode::SLLI: return Opcode::SLL;
-      case Opcode::SRLI: return Opcode::SRL;
-      case Opcode::SRAI: return Opcode::SRA;
-      case Opcode::SLTI: return Opcode::SLT;
-      case Opcode::SLTIU: return Opcode::SLTU;
-      default:
-        fgp_panic("rriRoot on ", mnemonic(op));
-    }
-}
-
-bool
-isCommutativeRoot(Opcode op)
-{
-    return op == Opcode::ADD || op == Opcode::AND || op == Opcode::OR ||
-           op == Opcode::XOR;
-}
-
-/**
- * Hash-consing arena. Canonicalization mirrors the optimizer's algebra so
- * that an optimized block interns to the same expressions as its source:
- * full constant folding through evalAlu, SUB-by-constant as ADD of the
- * negation, ADD-zero collapse (copies), and operand ordering for the
- * commutative opcodes the optimizer swaps.
- */
-class Arena
-{
-  public:
-    ExprId
-    intern(const Expr &expr)
-    {
-        const auto [it, inserted] =
-            ids_.try_emplace(expr, static_cast<ExprId>(exprs_.size()));
-        if (inserted)
-            exprs_.push_back(expr);
-        return it->second;
-    }
-
-    Expr at(ExprId id) const { return exprs_[static_cast<std::size_t>(id)]; }
-
-    ExprId
-    constant(std::uint32_t value)
-    {
-        Expr expr{Kind::Const};
-        expr.value = value;
-        return intern(expr);
-    }
-
-    ExprId
-    init(std::uint8_t reg)
-    {
-        Expr expr{Kind::Init};
-        expr.value = reg;
-        return intern(expr);
-    }
-
-    ExprId
-    load(Opcode op, ExprId addr, std::int32_t mem_version)
-    {
-        Expr expr{Kind::Load};
-        expr.op = op;
-        expr.a = addr;
-        expr.aux = mem_version;
-        return intern(expr);
-    }
-
-    ExprId
-    opaque(std::int32_t orig_pc, std::uint32_t serial)
-    {
-        Expr expr{Kind::Opaque};
-        expr.aux = orig_pc;
-        expr.value = serial;
-        return intern(expr);
-    }
-
-    ExprId
-    makeAlu(Opcode root, ExprId a, ExprId b)
-    {
-        const Expr ea = at(a);
-        const Expr eb = at(b);
-        if (ea.kind == Kind::Const && eb.kind == Kind::Const) {
-            Node synth;
-            synth.op = root;
-            return constant(evalAlu(synth, ea.value, eb.value));
-        }
-        if (root == Opcode::SUB && eb.kind == Kind::Const)
-            return makeAlu(Opcode::ADD, a, constant(0u - eb.value));
-        if (root == Opcode::ADD) {
-            if (ea.kind == Kind::Const && ea.value == 0)
-                return b;
-            if (eb.kind == Kind::Const && eb.value == 0)
-                return a;
-        }
-        if (isCommutativeRoot(root) && b < a)
-            std::swap(a, b);
-        Expr expr{Kind::Alu};
-        expr.op = root;
-        expr.a = a;
-        expr.b = b;
-        return intern(expr);
-    }
-
-    /** Compact rendering for diagnostics, depth-capped. */
-    std::string
-    render(ExprId id, int depth = 4) const
-    {
-        if (id < 0)
-            return "<none>";
-        const Expr expr = at(id);
-        switch (expr.kind) {
-          case Kind::Init:
-            return detail::composeMessage("r", expr.value, "@in");
-          case Kind::Const:
-            return detail::composeMessage(
-                static_cast<std::int32_t>(expr.value));
-          case Kind::Alu:
-            if (depth <= 0)
-                return "...";
-            return detail::composeMessage(
-                mnemonic(expr.op), "(", render(expr.a, depth - 1), ", ",
-                render(expr.b, depth - 1), ")");
-          case Kind::Load:
-            if (depth <= 0)
-                return "...";
-            return detail::composeMessage(
-                mnemonic(expr.op), "[", render(expr.a, depth - 1), "]@m",
-                expr.aux);
-          case Kind::Opaque:
-            return detail::composeMessage("sys@", expr.aux, "#",
-                                          expr.value);
-        }
-        return "?";
-    }
-
-  private:
-    std::vector<Expr> exprs_;
-    std::unordered_map<Expr, ExprId, ExprHash> ids_;
-};
+// The expression algebra lives in verify/symexpr.{hh,cc}; the analyzer's
+// memory disambiguator shares it, which is what makes its alias facts
+// consistent with the equivalence checker's view of addresses.
+using sym::Arena;
+using sym::ExprId;
+using sym::rriRoot;
 
 /** One store or syscall, in program order. */
 struct SideEffect
@@ -326,46 +147,6 @@ class SymState
             arena_.constant(static_cast<std::uint32_t>(node.imm)));
     }
 
-    struct AddrParts
-    {
-        ExprId base; ///< -1 for absolute (constant) addresses
-        std::int32_t off;
-    };
-
-    AddrParts
-    decompose(ExprId addr) const
-    {
-        const Expr expr = arena_.at(addr);
-        if (expr.kind == Kind::Const)
-            return {-1, static_cast<std::int32_t>(expr.value)};
-        if (expr.kind == Kind::Alu && expr.op == Opcode::ADD) {
-            const Expr ea = arena_.at(expr.a);
-            const Expr eb = arena_.at(expr.b);
-            if (eb.kind == Kind::Const)
-                return {expr.a, static_cast<std::int32_t>(eb.value)};
-            if (ea.kind == Kind::Const)
-                return {expr.b, static_cast<std::int32_t>(ea.value)};
-        }
-        return {addr, 0};
-    }
-
-    /**
-     * True when two accesses provably touch disjoint bytes: same
-     * symbolic base, non-overlapping offset ranges (exactly the aliasing
-     * rule the optimizer's load elimination uses).
-     */
-    bool
-    definitelyDisjoint(ExprId addr_a, std::uint32_t len_a, ExprId addr_b,
-                       std::uint32_t len_b) const
-    {
-        const AddrParts pa = decompose(addr_a);
-        const AddrParts pb = decompose(addr_b);
-        if (pa.base != pb.base)
-            return false;
-        return !(pa.off < pb.off + static_cast<std::int32_t>(len_b) &&
-                 pb.off < pa.off + static_cast<std::int32_t>(len_a));
-    }
-
     ExprId
     loadValue(Opcode op, ExprId addr)
     {
@@ -375,8 +156,8 @@ class SymState
             if (it->addr == addr && it->op == Opcode::SW &&
                 op == Opcode::LW)
                 return it->value; // store-to-load forwarding
-            if (definitelyDisjoint(addr, accessBytes(op), it->addr,
-                                   accessBytes(it->op)))
+            if (sym::definitelyDisjoint(arena_, addr, accessBytes(op),
+                                        it->addr, accessBytes(it->op)))
                 continue;
             return arena_.load(op, addr, it->versionAfter);
         }

@@ -1,0 +1,173 @@
+#include "verify/symexpr.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "vm/exec.hh"
+
+namespace fgp::verify::sym {
+
+Opcode
+rriRoot(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADDI: return Opcode::ADD;
+      case Opcode::ANDI: return Opcode::AND;
+      case Opcode::ORI: return Opcode::OR;
+      case Opcode::XORI: return Opcode::XOR;
+      case Opcode::SLLI: return Opcode::SLL;
+      case Opcode::SRLI: return Opcode::SRL;
+      case Opcode::SRAI: return Opcode::SRA;
+      case Opcode::SLTI: return Opcode::SLT;
+      case Opcode::SLTIU: return Opcode::SLTU;
+      default:
+        fgp_panic("rriRoot on ", mnemonic(op));
+    }
+}
+
+bool
+isCommutativeRoot(Opcode op)
+{
+    return op == Opcode::ADD || op == Opcode::AND || op == Opcode::OR ||
+           op == Opcode::XOR;
+}
+
+ExprId
+Arena::intern(const Expr &expr)
+{
+    const auto [it, inserted] =
+        ids_.try_emplace(expr, static_cast<ExprId>(exprs_.size()));
+    if (inserted)
+        exprs_.push_back(expr);
+    return it->second;
+}
+
+ExprId
+Arena::constant(std::uint32_t value)
+{
+    Expr expr{Kind::Const};
+    expr.value = value;
+    return intern(expr);
+}
+
+ExprId
+Arena::init(std::uint8_t reg)
+{
+    Expr expr{Kind::Init};
+    expr.value = reg;
+    return intern(expr);
+}
+
+ExprId
+Arena::load(Opcode op, ExprId addr, std::int32_t mem_version)
+{
+    Expr expr{Kind::Load};
+    expr.op = op;
+    expr.a = addr;
+    expr.aux = mem_version;
+    return intern(expr);
+}
+
+ExprId
+Arena::opaque(std::int32_t orig_pc, std::uint32_t serial)
+{
+    Expr expr{Kind::Opaque};
+    expr.aux = orig_pc;
+    expr.value = serial;
+    return intern(expr);
+}
+
+ExprId
+Arena::makeAlu(Opcode root, ExprId a, ExprId b)
+{
+    const Expr ea = at(a);
+    const Expr eb = at(b);
+    if (ea.kind == Kind::Const && eb.kind == Kind::Const) {
+        Node synth;
+        synth.op = root;
+        return constant(evalAlu(synth, ea.value, eb.value));
+    }
+    if (root == Opcode::SUB && eb.kind == Kind::Const)
+        return makeAlu(Opcode::ADD, a, constant(0u - eb.value));
+    if (root == Opcode::ADD) {
+        if (ea.kind == Kind::Const && ea.value == 0)
+            return b;
+        if (eb.kind == Kind::Const && eb.value == 0)
+            return a;
+    }
+    if (isCommutativeRoot(root) && b < a)
+        std::swap(a, b);
+    Expr expr{Kind::Alu};
+    expr.op = root;
+    expr.a = a;
+    expr.b = b;
+    return intern(expr);
+}
+
+std::string
+Arena::render(ExprId id, int depth) const
+{
+    if (id < 0)
+        return "<none>";
+    const Expr expr = at(id);
+    switch (expr.kind) {
+      case Kind::Init:
+        return detail::composeMessage("r", expr.value, "@in");
+      case Kind::Const:
+        return detail::composeMessage(static_cast<std::int32_t>(expr.value));
+      case Kind::Alu:
+        if (depth <= 0)
+            return "...";
+        return detail::composeMessage(
+            mnemonic(expr.op), "(", render(expr.a, depth - 1), ", ",
+            render(expr.b, depth - 1), ")");
+      case Kind::Load:
+        if (depth <= 0)
+            return "...";
+        return detail::composeMessage(
+            mnemonic(expr.op), "[", render(expr.a, depth - 1), "]@m",
+            expr.aux);
+      case Kind::Opaque:
+        return detail::composeMessage("sys@", expr.aux, "#", expr.value);
+    }
+    return "?";
+}
+
+AddrParts
+decompose(const Arena &arena, ExprId addr)
+{
+    const Expr expr = arena.at(addr);
+    if (expr.kind == Kind::Const)
+        return {-1, static_cast<std::int32_t>(expr.value)};
+    if (expr.kind == Kind::Alu && expr.op == Opcode::ADD) {
+        const Expr ea = arena.at(expr.a);
+        const Expr eb = arena.at(expr.b);
+        if (eb.kind == Kind::Const)
+            return {expr.a, static_cast<std::int32_t>(eb.value)};
+        if (ea.kind == Kind::Const)
+            return {expr.b, static_cast<std::int32_t>(ea.value)};
+    }
+    return {addr, 0};
+}
+
+bool
+definitelyDisjoint(const Arena &arena, ExprId addr_a, std::uint32_t len_a,
+                   ExprId addr_b, std::uint32_t len_b)
+{
+    const AddrParts pa = decompose(arena, addr_a);
+    const AddrParts pb = decompose(arena, addr_b);
+    if (pa.base != pb.base)
+        return false;
+    return !(pa.off < pb.off + static_cast<std::int32_t>(len_b) &&
+             pb.off < pa.off + static_cast<std::int32_t>(len_a));
+}
+
+bool
+definitelySame(ExprId addr_a, std::uint32_t len_a, ExprId addr_b,
+               std::uint32_t len_b)
+{
+    // Hash-consing makes expression equality an id comparison.
+    return addr_a == addr_b && len_a == len_b;
+}
+
+} // namespace fgp::verify::sym

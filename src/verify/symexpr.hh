@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Hash-consed symbolic value expressions shared by the verifier's
+ * equivalence checker (verify/equiv.cc) and the static memory
+ * disambiguator (analyze/disambig.cc). The canonicalization mirrors the
+ * tld optimizer's algebra — full constant folding, SUB-by-constant as
+ * ADD of the negation, ADD-zero collapse, commutative operand ordering —
+ * so that an optimized block interns to the same expressions as its
+ * source, and two addresses that the optimizer would treat as equal
+ * intern to the same id.
+ */
+
+#ifndef FGP_VERIFY_SYMEXPR_HH
+#define FGP_VERIFY_SYMEXPR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/node.hh"
+
+namespace fgp::verify::sym {
+
+using ExprId = std::int32_t;
+
+enum class Kind : std::uint8_t {
+    Init,   ///< live-in value of a register (value = register index)
+    Const,  ///< known 32-bit constant (value)
+    Alu,    ///< op(a, b) with op in register-register root form
+    Load,   ///< load of width op from address a at memory version aux
+    Opaque, ///< syscall result (aux = origPc, value = per-state serial)
+};
+
+struct Expr
+{
+    Kind kind;
+    Opcode op = Opcode::ADD;
+    std::uint32_t value = 0;
+    ExprId a = -1;
+    ExprId b = -1;
+    std::int32_t aux = 0;
+
+    bool operator==(const Expr &other) const = default;
+};
+
+struct ExprHash
+{
+    std::size_t
+    operator()(const Expr &expr) const
+    {
+        std::size_t h = static_cast<std::size_t>(expr.kind);
+        auto mix = [&h](std::size_t v) { h = h * 1000003u ^ v; };
+        mix(static_cast<std::size_t>(expr.op));
+        mix(expr.value);
+        mix(static_cast<std::size_t>(expr.a + 1));
+        mix(static_cast<std::size_t>(expr.b + 1) << 4);
+        mix(static_cast<std::size_t>(expr.aux));
+        return h;
+    }
+};
+
+/** Register-register root of a register-immediate ALU opcode. */
+Opcode rriRoot(Opcode op);
+
+bool isCommutativeRoot(Opcode op);
+
+/** Hash-consing arena over canonicalized expressions. */
+class Arena
+{
+  public:
+    ExprId intern(const Expr &expr);
+
+    Expr at(ExprId id) const { return exprs_[static_cast<std::size_t>(id)]; }
+
+    ExprId constant(std::uint32_t value);
+    ExprId init(std::uint8_t reg);
+    ExprId load(Opcode op, ExprId addr, std::int32_t mem_version);
+    ExprId opaque(std::int32_t orig_pc, std::uint32_t serial);
+    ExprId makeAlu(Opcode root, ExprId a, ExprId b);
+
+    /** Compact rendering for diagnostics, depth-capped. */
+    std::string render(ExprId id, int depth = 4) const;
+
+  private:
+    std::vector<Expr> exprs_;
+    std::unordered_map<Expr, ExprId, ExprHash> ids_;
+};
+
+/** An address split into a symbolic base and a constant byte offset. */
+struct AddrParts
+{
+    ExprId base; ///< -1 for absolute (constant) addresses
+    std::int32_t off;
+};
+
+/**
+ * Split @p addr into base + constant offset: a constant address has no
+ * base, an ADD with one constant operand splits at that constant, and
+ * anything else is its own base at offset 0.
+ */
+AddrParts decompose(const Arena &arena, ExprId addr);
+
+/**
+ * True when two accesses provably touch disjoint bytes: same symbolic
+ * base, non-overlapping offset ranges (exactly the aliasing rule the
+ * optimizer's load elimination uses).
+ */
+bool definitelyDisjoint(const Arena &arena, ExprId addr_a,
+                        std::uint32_t len_a, ExprId addr_b,
+                        std::uint32_t len_b);
+
+/**
+ * True when the two accesses provably touch the very same bytes: equal
+ * canonical address expressions and equal widths.
+ */
+bool definitelySame(ExprId addr_a, std::uint32_t len_a, ExprId addr_b,
+                    std::uint32_t len_b);
+
+} // namespace fgp::verify::sym
+
+#endif // FGP_VERIFY_SYMEXPR_HH

@@ -145,9 +145,10 @@ checkBlockControl(const CodeImage &image, const ImageBlock &block,
 
 /** Issue-word packing: every node in exactly one word, model respected. */
 void
-checkWords(const ImageBlock &block, const IssueModel *issue, Report &report,
-           std::string_view stage)
+checkWords(const ImageBlock &block, const VerifyOptions &opts,
+           Report &report, std::string_view stage)
 {
+    const IssueModel *issue = opts.issue;
     if (block.words.empty())
         return; // untranslated image; the packer has not run yet
     std::vector<int> seen(block.nodes.size(), 0);
@@ -173,11 +174,21 @@ checkWords(const ImageBlock &block, const IssueModel *issue, Report &report,
                     block.id, static_cast<std::int32_t>(i),
                     block.nodes[i].origPc, "node appears in ", seen[i],
                     " issue words (expected exactly 1)");
-    if (issue && !wordsRespectModel(block, *issue))
-        addDiag(report, Code::WordPackingBroken, Severity::Error, stage,
-                block.id, -1, block.entryPc,
-                "packing violates the issue model (slot shapes or "
-                "dependence order)");
+    if (issue) {
+        bool ok;
+        if (opts.memFacts) {
+            const MemDepFacts facts = opts.memFacts(block);
+            ok = wordsRespectModel(block, *issue,
+                                   facts.empty() ? nullptr : &facts);
+        } else {
+            ok = wordsRespectModel(block, *issue);
+        }
+        if (!ok)
+            addDiag(report, Code::WordPackingBroken, Severity::Error, stage,
+                    block.id, -1, block.entryPc,
+                    "packing violates the issue model (slot shapes or "
+                    "dependence order)");
+    }
 }
 
 /** Plan-free BBE invariants: fault placement and mutual fault edges. */
@@ -459,7 +470,7 @@ verifyImageInto(const CodeImage &image, Report &report,
         for (std::size_t i = 0; i < block.nodes.size(); ++i)
             checkNodeOperands(image, block, i, report, stage);
         checkBlockControl(image, block, report, stage);
-        checkWords(block, opts.issue, report, stage);
+        checkWords(block, opts, report, stage);
     }
 
     checkEntryMap(image, report, stage);

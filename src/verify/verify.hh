@@ -16,8 +16,11 @@
 #ifndef FGP_VERIFY_VERIFY_HH
 #define FGP_VERIFY_VERIFY_HH
 
+#include <functional>
+
 #include "arch/config.hh"
 #include "ir/image.hh"
+#include "tld/depgraph.hh"
 #include "verify/diag.hh"
 
 namespace fgp::verify {
@@ -39,6 +42,16 @@ struct VerifyOptions
      * unintended).
      */
     bool strictUninit = false;
+
+    /**
+     * Per-block no-alias facts provider for the dependence-order packing
+     * check. A schedule produced under a disambiguation hook
+     * (TranslateOptions::disambigHook) legally hoists loads above proven
+     * independent stores; the packing check must judge it against the
+     * same facts or report false WordPackingBroken findings. Default
+     * none: the conservative dependence rule applies.
+     */
+    std::function<MemDepFacts(const ImageBlock &)> memFacts;
 };
 
 /**

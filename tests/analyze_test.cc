@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analyze/analyze.hh"
+#include "analyze/disambig.hh"
 #include "analyze/lint.hh"
 #include "arch/config.hh"
 #include "bbe/enlarge.hh"
@@ -28,6 +30,17 @@ namespace {
 
 using verify::Code;
 using verify::Report;
+
+// Force the full disambiguation pipeline on for every run this binary
+// makes: the scheduler consumes no-alias facts, the engine takes the
+// fast-load path, and retirement re-checks every proven pair (MD001/
+// MD002 panics on unsoundness). Must happen before any ExperimentRunner
+// use — the enable predicates cache their first read.
+[[maybe_unused]] const bool g_disambig_forced = [] {
+    setenv("FGP_STATIC_DISAMBIG", "1", 1);
+    setenv("FGP_DISAMBIG_XCHECK", "1", 1);
+    return true;
+}();
 
 // ---------------------------------------------------------------------------
 // Node/block fixture helpers.
@@ -455,6 +468,241 @@ TEST(AnalyzeChains, HeightRankingHookPreservesTheChainSet)
 }
 
 // ---------------------------------------------------------------------------
+// Static memory disambiguation: the classification lattice on hand-built
+// pairs, scratch-register value tracking, scheduler integration, and the
+// AN007/AN008 lints.
+
+TEST(AnalyzeDisambig, SameBaseDisjointOffsetsAreNoAlias)
+{
+    const ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), load(Opcode::LW, 11, 4, 8)});
+    const analyze::BlockDisambig bd = analyze::disambigBlock(block);
+    ASSERT_EQ(bd.pairs.size(), 1u);
+    EXPECT_EQ(bd.pairs[0].cls, analyze::AliasClass::NoAlias);
+    EXPECT_FALSE(bd.pairs[0].storeStore);
+    EXPECT_EQ(bd.noAlias, 1u);
+    // The load is no-alias against every store, so it never needs the
+    // store queue; the facts carry the packed pair for the scheduler.
+    EXPECT_EQ(bd.independentLoads, 1u);
+    EXPECT_TRUE(bd.loadIndependent[1]);
+    EXPECT_TRUE(bd.facts.independent(0, 1));
+}
+
+TEST(AnalyzeDisambig, SameAddressSameWidthIsMustAlias)
+{
+    const ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 16), load(Opcode::LW, 11, 4, 16)});
+    const analyze::BlockDisambig bd = analyze::disambigBlock(block);
+    ASSERT_EQ(bd.pairs.size(), 1u);
+    EXPECT_EQ(bd.pairs[0].cls, analyze::AliasClass::MustAlias);
+    EXPECT_EQ(bd.independentLoads, 0u);
+    EXPECT_TRUE(bd.facts.noAliasPairs.empty());
+}
+
+TEST(AnalyzeDisambig, UnknownBasesStayMayAlias)
+{
+    const ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), load(Opcode::LW, 11, 6, 0)});
+    const analyze::BlockDisambig bd = analyze::disambigBlock(block);
+    ASSERT_EQ(bd.pairs.size(), 1u);
+    EXPECT_EQ(bd.pairs[0].cls, analyze::AliasClass::MayAlias);
+    EXPECT_EQ(bd.independentLoads, 0u);
+}
+
+TEST(AnalyzeDisambig, ScratchRegisterTrackingProvesDisjoint)
+{
+    // r5 = r4 + 8, so 0(r5) and 0..3(r4) are provably disjoint even
+    // though the base registers differ — the symbolic walker canonizes
+    // both addresses over the same live-in.
+    const ImageBlock block = blockOf({rri(Opcode::ADDI, 5, 4, 8),
+                                      store(Opcode::SW, 10, 4, 0),
+                                      load(Opcode::LW, 11, 5, 0)});
+    const analyze::BlockDisambig bd = analyze::disambigBlock(block);
+    ASSERT_EQ(bd.pairs.size(), 1u);
+    EXPECT_EQ(bd.pairs[0].cls, analyze::AliasClass::NoAlias);
+    EXPECT_TRUE(bd.facts.independent(1, 2));
+    EXPECT_EQ(bd.independentLoads, 1u);
+}
+
+TEST(AnalyzeDisambig, StoreStorePairsAreClassified)
+{
+    const ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), store(Opcode::SW, 11, 4, 0)});
+    const analyze::BlockDisambig bd = analyze::disambigBlock(block);
+    ASSERT_EQ(bd.pairs.size(), 1u);
+    EXPECT_TRUE(bd.pairs[0].storeStore);
+    EXPECT_EQ(bd.pairs[0].cls, analyze::AliasClass::MustAlias);
+}
+
+TEST(AnalyzeDisambig, LoadPairsAreNotClassified)
+{
+    // Loads commute; only load/store and store/store pairs matter.
+    const ImageBlock block = blockOf(
+        {load(Opcode::LW, 10, 4, 0), load(Opcode::LW, 11, 4, 0)});
+    const analyze::BlockDisambig bd = analyze::disambigBlock(block);
+    EXPECT_TRUE(bd.pairs.empty());
+}
+
+TEST(AnalyzeDisambig, SyscallExcludesLoadIndependence)
+{
+    // The pair classification survives (addresses are unaffected), but
+    // no load in a syscall block may bypass the store queue: the
+    // syscall writes memory the symbolic store log cannot see.
+    ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), load(Opcode::LW, 11, 4, 8)});
+    block.hasSyscall = true;
+    const analyze::BlockDisambig bd = analyze::disambigBlock(block);
+    ASSERT_EQ(bd.pairs.size(), 1u);
+    EXPECT_EQ(bd.pairs[0].cls, analyze::AliasClass::NoAlias);
+    EXPECT_EQ(bd.independentLoads, 0u);
+    EXPECT_FALSE(bd.loadIndependent[1]);
+}
+
+TEST(AnalyzeDisambig, EmptyFactsScheduleIsBitIdentical)
+{
+    // The facts plumbing itself must not perturb scheduling: a hook
+    // returning no facts yields byte-for-byte the baseline words. This
+    // is the FGP_STATIC_DISAMBIG=0 guarantee in unit form.
+    const MachineConfig config{Discipline::Static, issueModel(8),
+                               memoryConfig('A'), BranchMode::Single};
+    CodeImage baseline = buildCfg(loopProgram());
+    CodeImage hooked = buildCfg(loopProgram());
+    translate(baseline, config);
+    TranslateOptions topts;
+    topts.disambigHook = [](const ImageBlock &) { return MemDepFacts{}; };
+    translate(hooked, config, topts);
+    ASSERT_EQ(baseline.blocks.size(), hooked.blocks.size());
+    for (std::size_t b = 0; b < baseline.blocks.size(); ++b)
+        EXPECT_EQ(baseline.blocks[b].words, hooked.blocks[b].words);
+}
+
+TEST(AnalyzeDisambig, FactsHoistLoadAboveIndependentStore)
+{
+    // The store's data arrives late; the load the facts prove disjoint
+    // (through the r5 = r4 + 8 copy the baseline scheduler cannot see
+    // through) no longer waits for it.
+    const Program prog = assemble(R"(
+main:   la   r4, buf
+        addi r5, r4, 8
+        add  r10, r2, r3
+        add  r10, r10, r10
+        add  r10, r10, r10
+        sw   r10, 0(r4)
+        lw   r11, 0(r5)
+        li   v0, 0
+        li   a0, 0
+        syscall
+        .data
+buf:    .space 16
+)");
+    const MachineConfig config{Discipline::Static, issueModel(8),
+                               memoryConfig('A'), BranchMode::Single};
+    CodeImage baseline = buildCfg(prog);
+    CodeImage hooked = buildCfg(prog);
+    translate(baseline, config);
+    TranslateOptions topts;
+    topts.disambigHook = analyze::disambigSchedulingHook();
+    translate(hooked, config, topts);
+
+    const auto wordOf = [](const ImageBlock &block, std::uint16_t node) {
+        for (std::size_t w = 0; w < block.words.size(); ++w)
+            for (std::uint16_t idx : block.words[w])
+                if (idx == node)
+                    return w;
+        return block.words.size();
+    };
+    // Node 6 is the lw; la/addi feed its address in the first words.
+    ASSERT_TRUE(baseline.blocks[0].nodes[6].isLoad());
+    EXPECT_LT(wordOf(hooked.blocks[0], 6), wordOf(baseline.blocks[0], 6));
+}
+
+TEST(AnalyzeDisambig, ImageSummaryCloses)
+{
+    const MachineConfig config{Discipline::Dyn4, issueModel(8),
+                               memoryConfig('A'), BranchMode::Single};
+    CodeImage image = buildCfg(loopProgram());
+    translate(image, config);
+    const analyze::DisambigImage di = analyze::disambigImage(image);
+    ASSERT_EQ(di.blocks.size(), image.blocks.size());
+    EXPECT_EQ(di.pairsTotal,
+              di.noAliasTotal + di.mustAliasTotal + di.mayAliasTotal);
+    std::size_t pairs = 0;
+    for (const analyze::BlockDisambig &b : di.blocks) {
+        pairs += b.pairs.size();
+        // issuePos covers a translated block node-for-node.
+        EXPECT_EQ(b.issuePos.size(),
+                  image.blocks[static_cast<std::size_t>(b.block)]
+                      .nodes.size());
+    }
+    EXPECT_EQ(di.pairsTotal, pairs);
+}
+
+TEST(AnalyzeLint, HighMayAliasDensityFires)
+{
+    // Four unknown bases: all five pairs stay may-alias.
+    const ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), store(Opcode::SW, 11, 5, 0),
+         load(Opcode::LW, 12, 6, 0), load(Opcode::LW, 13, 7, 0)});
+    const Report report = lintBlock(block);
+    EXPECT_TRUE(report.hasCode(Code::HighMayAliasDensity))
+        << report.renderText();
+}
+
+TEST(AnalyzeLint, HighMayAliasDensitySilentWhenProven)
+{
+    // Same shape, one base: every pair is provably disjoint.
+    const ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), store(Opcode::SW, 11, 4, 8),
+         load(Opcode::LW, 12, 4, 16), load(Opcode::LW, 13, 4, 24)});
+    const Report report = lintBlock(block);
+    EXPECT_FALSE(report.hasCode(Code::HighMayAliasDensity))
+        << report.renderText();
+}
+
+TEST(AnalyzeLint, HighMayAliasDensityRespectsNoiseFloor)
+{
+    // One may-alias pair is 100% density but below the pair floor.
+    const ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), load(Opcode::LW, 11, 6, 0)});
+    const Report report = lintBlock(block);
+    EXPECT_FALSE(report.hasCode(Code::HighMayAliasDensity))
+        << report.renderText();
+}
+
+TEST(AnalyzeLint, PackedDisjointPairFires)
+{
+    ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), load(Opcode::LW, 11, 4, 8)});
+    block.words = {{0, 1}};
+    const Report report = lintBlock(block);
+    ASSERT_TRUE(report.hasCode(Code::PackedDisjointPair))
+        << report.renderText();
+    // The diagnostic anchors on the load.
+    EXPECT_EQ(report.diagnostics()[0].node, 1);
+}
+
+TEST(AnalyzeLint, PackedDisjointPairSilentAcrossWords)
+{
+    ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), load(Opcode::LW, 11, 4, 8)});
+    block.words = {{0}, {1}};
+    const Report report = lintBlock(block);
+    EXPECT_FALSE(report.hasCode(Code::PackedDisjointPair))
+        << report.renderText();
+}
+
+TEST(AnalyzeLint, PackedMayAliasPairIsNotFlagged)
+{
+    // Unproven pairs are the run-time disambiguator's job, not AN008's.
+    ImageBlock block = blockOf(
+        {store(Opcode::SW, 10, 4, 0), load(Opcode::LW, 11, 6, 0)});
+    block.words = {{0, 1}};
+    const Report report = lintBlock(block);
+    EXPECT_FALSE(report.hasCode(Code::PackedDisjointPair))
+        << report.renderText();
+}
+
+// ---------------------------------------------------------------------------
 // The machine-checked oracle: static bound >= dynamic IPC, every cell.
 
 TEST(AnalyzeSweep, StaticBoundDominatesMeasuredIpc)
@@ -480,6 +728,43 @@ TEST(AnalyzeSweep, StaticBoundDominatesMeasuredIpc)
                 << r.staticIpcBound;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The disambiguator's own machine-checked soundness proof: with facts
+// consumed (scheduling + fast loads) and the retirement cross-check
+// armed (see g_disambig_forced), every workload on every issue model
+// must retire with zero MD001/MD002 violations — the harness panics on
+// any, and the counters prove the check actually ran.
+
+TEST(DisambigXcheck, NoAliasFactsSoundOnAllWorkloads)
+{
+    ASSERT_TRUE(analyze::staticDisambigEnabled());
+    ASSERT_TRUE(analyze::disambigXcheckEnabled());
+
+    ExperimentRunner runner(0.05);
+    std::uint64_t checked = 0;
+    std::size_t workloads_with_fast_loads = 0;
+    for (const std::string &workload : workloadNames()) {
+        std::uint64_t fast = 0;
+        for (const IssueModel &issue : allIssueModels()) {
+            const MachineConfig config{Discipline::Dyn256, issue,
+                                       memoryConfig('A'),
+                                       BranchMode::Enlarged};
+            const ExperimentResult r = runner.run(workload, config);
+            EXPECT_EQ(r.engine.disambigViolations, 0u)
+                << workload << " " << config.name();
+            checked += r.engine.disambigCheckedPairs;
+            fast += r.engine.disambigFastLoads;
+        }
+        if (fast > 0)
+            ++workloads_with_fast_loads;
+    }
+    // The cross-check must have exercised real pairs, and the fast path
+    // must pay off broadly (the issue's acceptance bar: probes
+    // eliminated on at least 3 of the 5 workloads).
+    EXPECT_GT(checked, 0u);
+    EXPECT_GE(workloads_with_fast_loads, 3u);
 }
 
 } // namespace

@@ -161,6 +161,16 @@ grep -q "aaa1111" "$TMP/history.txt"
 grep -q -- "-50.0%" "$TMP/history.txt"
 grep -q "2 runs" "$TMP/history.txt"
 
+# A missing or empty history file is the normal fresh-checkout state,
+# not an error: both exit 0 and say how to start accumulating runs.
+"$FGPSIM" history "$TMP/no_such_history.jsonl" > "$TMP/history_missing.txt"
+grep -q "no history file" "$TMP/history_missing.txt"
+grep -q -- "--append" "$TMP/history_missing.txt"
+: > "$TMP/empty_history.jsonl"
+"$FGPSIM" history "$TMP/empty_history.jsonl" > "$TMP/history_empty.txt"
+grep -q "no run records yet" "$TMP/history_empty.txt"
+grep -q -- "--append" "$TMP/history_empty.txt"
+
 # fgpsim compare: handcrafted fgpsim-run-v1 manifests. A run compared
 # to itself is clean; an IPC drop or a wall-time blowup past tolerance
 # exits nonzero (the CI perf gate contract).

@@ -1,0 +1,256 @@
+/**
+ * Engine container primitives (src/engine/containers.hh): whitebox
+ * probe-chain fixtures and a model-based churn test for FlatHashMap32's
+ * backward-shift deletion, plus ChainPool freelist-reuse edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/containers.hh"
+
+namespace fgp {
+namespace {
+
+// Mirror of FlatHashMap32::slotFor at its initial capacity (64 slots,
+// shift 25): lets the fixtures place keys into chosen probe clusters.
+// Kept in sync with containers.hh by ClusterKeysShareAHomeSlot below.
+std::size_t
+homeSlot64(std::uint32_t key)
+{
+    return (key * 0x9e3779b1u) >> 25 & 63;
+}
+
+/** First @p n keys whose home is exactly @p slot (ascending). */
+std::vector<std::uint32_t>
+keysWithHome(std::size_t slot, std::size_t n)
+{
+    std::vector<std::uint32_t> keys;
+    for (std::uint32_t k = 1; keys.size() < n && k < 1u << 20; ++k)
+        if (homeSlot64(k) == slot)
+            keys.push_back(k);
+    return keys;
+}
+
+TEST(FlatHashMap, ClusterKeysShareAHomeSlot)
+{
+    // Guard for the whitebox mirror: three same-home keys inserted into
+    // a fresh map occupy adjacent probe slots, so erasing the first one
+    // must backward-shift the others (covered next). If slotFor ever
+    // changes, this test fails first and points at homeSlot64.
+    const std::vector<std::uint32_t> keys = keysWithHome(7, 3);
+    ASSERT_EQ(keys.size(), 3u);
+    for (std::uint32_t k : keys)
+        EXPECT_EQ(homeSlot64(k), 7u);
+}
+
+TEST(FlatHashMap, EraseInsideAProbeChainKeepsFollowersReachable)
+{
+    const std::vector<std::uint32_t> keys = keysWithHome(11, 4);
+    ASSERT_EQ(keys.size(), 4u);
+    FlatHashMap32<int> map;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        map[keys[i]] = static_cast<int>(i + 1);
+
+    // Erase the head of the cluster: every follower was displaced and
+    // must be pulled back toward its home, or find() would stop at the
+    // hole and lose them (the classic tombstone-free deletion bug).
+    map.erase(keys[0]);
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(map.find(keys[0]), nullptr);
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        ASSERT_NE(map.find(keys[i]), nullptr) << "lost key " << keys[i];
+        EXPECT_EQ(*map.find(keys[i]), static_cast<int>(i + 1));
+    }
+
+    // Erasing from the middle leaves the outer entries intact.
+    map.erase(keys[2]);
+    EXPECT_EQ(map.find(keys[2]), nullptr);
+    ASSERT_NE(map.find(keys[1]), nullptr);
+    ASSERT_NE(map.find(keys[3]), nullptr);
+    EXPECT_EQ(*map.find(keys[3]), 4);
+}
+
+TEST(FlatHashMap, ProbeChainWrapsAroundTheTable)
+{
+    // Home the cluster at the last slot so the probe chain wraps to
+    // slot 0; the backward shift's (j - home) & mask distance math must
+    // treat the wrap correctly or the shift stops early.
+    const std::vector<std::uint32_t> keys = keysWithHome(63, 4);
+    ASSERT_EQ(keys.size(), 4u);
+    FlatHashMap32<int> map;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        map[keys[i]] = static_cast<int>(100 + i);
+
+    map.erase(keys[1]);
+    map.erase(keys[0]);
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(keys[2]), nullptr);
+    EXPECT_EQ(*map.find(keys[2]), 102);
+    ASSERT_NE(map.find(keys[3]), nullptr);
+    EXPECT_EQ(*map.find(keys[3]), 103);
+}
+
+TEST(FlatHashMap, ReinsertAfterEraseStartsFresh)
+{
+    FlatHashMap32<int> map;
+    map[42] = 7;
+    map.erase(42);
+    EXPECT_EQ(map.find(42), nullptr);
+
+    // operator[] recreates the slot default-constructed...
+    EXPECT_EQ(map[42], 0);
+    map.erase(42);
+    // ...and getOrInsert re-applies its init value on the fresh slot.
+    EXPECT_EQ(map.getOrInsert(42, 9), 9);
+    // A second getOrInsert sees the existing slot and keeps its value.
+    EXPECT_EQ(map.getOrInsert(42, 5), 9);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, EraseOfAbsentKeyIsANoOp)
+{
+    FlatHashMap32<int> map;
+    map[1] = 1;
+    map.erase(2);
+    EXPECT_EQ(map.size(), 1u);
+    ASSERT_NE(map.find(1), nullptr);
+}
+
+TEST(FlatHashMap, ChurnMatchesReferenceModel)
+{
+    // Fixed-seed mixed insert/erase/find churn over a small key domain,
+    // driven well past the rehash threshold and checked against
+    // std::unordered_map after every operation. Clusters, wraps and
+    // backward shifts all occur organically at this density.
+    FlatHashMap32<std::uint32_t> map;
+    std::unordered_map<std::uint32_t, std::uint32_t> model;
+    std::uint32_t rng = 0x1234567u;
+    const auto next = [&rng] {
+        rng = rng * 1664525u + 1013904223u;
+        return rng >> 8;
+    };
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint32_t key = next() % 512;
+        switch (next() % 3) {
+          case 0:
+            map[key] = model[key] = next();
+            break;
+          case 1:
+            map.erase(key);
+            model.erase(key);
+            break;
+          default:
+            break;
+        }
+        const auto it = model.find(key);
+        const std::uint32_t *found = map.find(key);
+        if (it == model.end()) {
+            EXPECT_EQ(found, nullptr) << "op " << op << " key " << key;
+        } else {
+            ASSERT_NE(found, nullptr) << "op " << op << " key " << key;
+            EXPECT_EQ(*found, it->second) << "op " << op;
+        }
+        ASSERT_EQ(map.size(), model.size()) << "op " << op;
+    }
+}
+
+TEST(FlatHashMap, ClearRetainEmptiesButStaysUsable)
+{
+    FlatHashMap32<int> map;
+    for (std::uint32_t k = 0; k < 100; ++k)
+        map[k] = static_cast<int>(k);
+    map.clearRetain();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(5), nullptr);
+    map[5] = 50;
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.find(5), 50);
+}
+
+// ---------------------------------------------------------------------------
+// ChainPool freelist reuse.
+
+TEST(ChainPool, AllocGrowsThenFreelistReusesLifo)
+{
+    ChainPool<int> pool;
+    const std::uint32_t a = pool.alloc(1);
+    const std::uint32_t b = pool.alloc(2);
+    const std::uint32_t c = pool.alloc(3);
+    EXPECT_EQ(pool.size(), 3u);
+
+    pool.release(b);
+    pool.release(a);
+    // LIFO reuse: the most recently released slot comes back first, and
+    // the arena high-water mark does not move.
+    EXPECT_EQ(pool.alloc(20), a);
+    EXPECT_EQ(pool.alloc(10), b);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.at(a), 20);
+    EXPECT_EQ(pool.at(b), 10);
+    EXPECT_EQ(pool.at(c), 3);
+
+    // Freelist exhausted: the next alloc extends the arena.
+    EXPECT_EQ(pool.alloc(4), 3u);
+    EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ChainPool, ReusedSlotStartsUnlinked)
+{
+    // The freelist threads through the same next fields the chains use;
+    // a recycled slot must come back with next == kNilIndex or a stale
+    // freelist link would corrupt the chain it joins.
+    ChainPool<int> pool;
+    const std::uint32_t a = pool.alloc(1);
+    const std::uint32_t b = pool.alloc(2);
+    pool.setNext(a, b);
+    pool.release(b);
+    pool.release(a); // a's next now points into the freelist (b)
+
+    const std::uint32_t r = pool.alloc(3);
+    EXPECT_EQ(r, a);
+    EXPECT_EQ(pool.next(r), kNilIndex);
+}
+
+TEST(ChainPool, ChainWalkSurvivesInterleavedReuse)
+{
+    // Build chain x -> y -> z, release an unrelated slot, alloc a new
+    // element into the recycled slot, and verify the original chain is
+    // untouched while the new slot links cleanly elsewhere.
+    ChainPool<int> pool;
+    const std::uint32_t spare = pool.alloc(0);
+    const std::uint32_t x = pool.alloc(10);
+    const std::uint32_t y = pool.alloc(11);
+    const std::uint32_t z = pool.alloc(12);
+    pool.setNext(x, y);
+    pool.setNext(y, z);
+    pool.release(spare);
+
+    const std::uint32_t w = pool.alloc(13);
+    EXPECT_EQ(w, spare);
+    int sum = 0;
+    for (std::uint32_t i = x; i != kNilIndex; i = pool.next(i))
+        sum += pool.at(i);
+    EXPECT_EQ(sum, 33);
+    EXPECT_EQ(pool.next(w), kNilIndex);
+}
+
+TEST(ChainPool, ClearRetainResetsArenaAndFreelist)
+{
+    ChainPool<int> pool;
+    pool.alloc(1);
+    const std::uint32_t b = pool.alloc(2);
+    pool.release(b);
+    pool.clearRetain();
+    EXPECT_EQ(pool.size(), 0u);
+    // A cleared pool must not hand out stale freelist indices into the
+    // emptied arena.
+    EXPECT_EQ(pool.alloc(5), 0u);
+    EXPECT_EQ(pool.at(0), 5);
+}
+
+} // namespace
+} // namespace fgp

@@ -25,7 +25,9 @@
 #
 #   tools/check_bench.sh --validate-analyze <dump.json>
 #       Schema-validate an `fgpsim analyze --json` dump
-#       ("fgpsim-analyze-v1"): required numeric keys plus the same
+#       ("fgpsim-analyze-v1"): required numeric keys, the memory
+#       disambiguation section (pair counts must close:
+#       pairs == no_alias + must_alias + may_alias), plus the same
 #       diagnostic accounting identity as --validate-check.
 #
 #   tools/check_bench.sh --validate-run <manifest.jsonl>
@@ -156,6 +158,30 @@ validate_analyze() {
     require_numeric "$dump" mem_hit_latency blocks_analyzed nodes_analyzed \
         crit_path_max mean_height dataflow_bound static_ipc_bound \
         errors warnings
+    # The static memory-disambiguation section: aggregate counts plus
+    # the lattice-closure identity (every classified pair lands on
+    # exactly one of the three lattice points).
+    if ! grep -q '"memory":' "$dump"; then
+        echo "check_bench: $dump: missing \"memory\" disambiguation section" >&2
+        exit 1
+    fi
+    require_numeric "$dump" pairs no_alias must_alias may_alias \
+        independent_loads enlarged_no_alias
+    awk -F'[:,]' '
+        function num(s) { gsub(/[ \t]/, "", s); return s + 0 }
+        # First occurrence wins: the aggregate "memory" object precedes
+        # the per-block "mem_blocks" ranking in the dump.
+        $1 ~ /"pairs"/      && !saw_p { pairs = num($2); saw_p = 1 }
+        $1 ~ /"no_alias"/   && !saw_n { no = num($2); saw_n = 1 }
+        $1 ~ /"must_alias"/ && !saw_m { must = num($2); saw_m = 1 }
+        $1 ~ /"may_alias"/  && !saw_y { may = num($2); saw_y = 1 }
+        END {
+            if (pairs != no + must + may) {
+                printf "check_bench: alias lattice broken: %d pairs != %d no + %d must + %d may\n",
+                       pairs, no, must, may > "/dev/stderr"
+                exit 1
+            }
+        }' "$dump"
     # Every lint finding appears exactly once in the diagnostics array
     # (each entry carries one "code" key).
     awk -F'[:,]' '
@@ -170,7 +196,7 @@ validate_analyze() {
                 exit 1
             }
         }' "$dump"
-    echo "check_bench: $dump: analyze schema OK (diagnostics close)"
+    echo "check_bench: $dump: analyze schema OK (lattice and diagnostics close)"
 }
 
 validate_run() {
@@ -216,6 +242,15 @@ validate_run() {
                     need_num("engine.alloc.cycle_loop")
                     need_num("engine.alloc.syscall")
                 }
+                # Static disambiguation observability: when any
+                # engine.disambig.* counter folds into the snapshot, the
+                # whole family must land together.
+                if (index($0, "\"engine.disambig.")) {
+                    need_num("engine.disambig.fast_loads")
+                    need_num("engine.disambig.probes_eliminated")
+                    need_num("engine.disambig.checked_pairs")
+                    need_num("engine.disambig.violations")
+                }
             } else if (index($0, "\"kind\":\"point\"")) {
                 if (records == 1)
                     die("first record must be the \"run\" header")
@@ -223,6 +258,14 @@ validate_run() {
                 need_str("workload"); need_str("config")
                 need_num("nodes_per_cycle"); need_num("cycles")
                 need_num("host_ns")
+                # Point records written since the disambiguation pass
+                # carry its books unconditionally (zeros when off); the
+                # presence of any implies all three.
+                if (index($0, "\"disambig_")) {
+                    need_num("disambig_fast_loads")
+                    need_num("disambig_probes_eliminated")
+                    need_num("disambig_checked_pairs")
+                }
             } else if (index($0, "\"kind\":\"window\"")) {
                 if (records == 1)
                     die("first record must be the \"run\" header")

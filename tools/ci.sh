@@ -20,8 +20,22 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DFGP_SANITIZE=address,undefined \
-    -DFGP_WERROR=ON
+    -DFGP_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$JOBS"
+
+# Static analysis: the curated .clang-tidy profile (bugprone-*,
+# performance-*, modernize-use-override; warnings-as-errors) over every
+# src/ translation unit, using the compile database exported above.
+# Skipped when the toolchain ships no clang-tidy — the sanitizer and
+# test stages below still gate the build.
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== clang-tidy: src/ (warnings-as-errors) ==="
+    find src -name '*.cc' -print | xargs -P "$JOBS" -n 4 \
+        clang-tidy -p "$BUILD" --quiet
+else
+    echo "clang-tidy not found; skipping the static-analysis stage" >&2
+fi
 
 # Make UBSan findings fatal so ctest reports them as failures.
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
@@ -31,6 +45,13 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
 # label explicitly so a filtered "$@" invocation cannot silently skip it.
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$BUILD" --output-on-failure -L metrics
+
+# Likewise the analyzer suite: it carries the static-disambiguation
+# soundness cross-check (analyze_test forces FGP_STATIC_DISAMBIG and
+# FGP_DISAMBIG_XCHECK on, so every workload x issue model retires under
+# the MD001/MD002 retirement check — here with ASan/UBSan watching).
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$BUILD" --output-on-failure -L analyze
 
 # Interval-profiler round-trip under ASan/UBSan: the profiling
 # simulation, its fgpsim-profile-v1 stream and the stream's closure
@@ -82,6 +103,22 @@ sh tools/check_bench.sh --validate-run "$REL_BUILD/perf_gate_b.jsonl"
     "$REL_BUILD/perf_gate_a.jsonl" "$REL_BUILD/perf_gate_b.jsonl" \
     --tolerance 10% --wall-tolerance 40%
 
+# Same release gate with static disambiguation consuming its facts:
+# schedules change (loads hoist above proven-independent stores), so
+# these manifests are compared against each other, not the baseline —
+# the feature must stay deterministic and inside the same wall gate.
+echo "=== Release perf gate: FGP_STATIC_DISAMBIG=1 ==="
+FGP_STATIC_DISAMBIG=1 FGP_SCALE="$PERF_SCALE" \
+    FGP_RUN_MANIFEST="$REL_BUILD/perf_gate_sd_a.jsonl" \
+    "$REL_BUILD/bench/perf_selfcheck" --reduced --out "$REL_BUILD/perf_gate_sd_a.json"
+FGP_STATIC_DISAMBIG=1 FGP_SCALE="$PERF_SCALE" \
+    FGP_RUN_MANIFEST="$REL_BUILD/perf_gate_sd_b.jsonl" \
+    "$REL_BUILD/bench/perf_selfcheck" --reduced --out "$REL_BUILD/perf_gate_sd_b.json"
+sh tools/check_bench.sh --validate-run "$REL_BUILD/perf_gate_sd_a.jsonl"
+"$REL_BUILD/tools/fgpsim" compare \
+    "$REL_BUILD/perf_gate_sd_a.jsonl" "$REL_BUILD/perf_gate_sd_b.jsonl" \
+    --tolerance 10% --wall-tolerance 40%
+
 # ThreadSanitizer stage: the harness fans sweeps out across threads
 # (harness/parallel.hh), so race coverage matters. RelWithDebInfo keeps
 # the TSan run's wall time sane; the metrics label exercises the
@@ -95,6 +132,11 @@ cmake -B "$TSAN_BUILD" -S . \
 cmake --build "$TSAN_BUILD" -j "$JOBS"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L metrics
+# The disambiguation soundness cross-check again, now under TSan: the
+# analyzer sweep fans out over the worker pool with facts + fast loads +
+# retirement checks enabled in every cell.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L analyze
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     FGP_SCALE="${FGP_CI_PERF_SCALE:-0.05}" FGP_JOBS=4 \
     "$TSAN_BUILD/bench/full_sweep" > /dev/null

@@ -73,6 +73,7 @@
 #include "obs/report.hh"
 #include "obs/sinks.hh"
 #include "analyze/analyze.hh"
+#include "analyze/disambig.hh"
 #include "analyze/lint.hh"
 #include "masm/assembler.hh"
 #include "profile/profile.hh"
@@ -124,6 +125,8 @@ usage()
         "  check flags:  [--config CFG] [--plan FILE] [--json] [--strict]\n"
         "  analyze flags:[--config CFG] [--plan FILE] [--top N] [--json]\n"
         "                [--strict] (exit 1 when lint finds anything)\n"
+        "                [--mem] (memory-disambiguation table: per-block\n"
+        "                alias classes ranked by may-alias density)\n"
         "  compare:      fgpsim compare A.jsonl B.jsonl\n"
         "                [--tolerance P%] [--wall-tolerance P%] [--json]\n"
         "                (fgpsim-run-v1 manifests; exit 1 on regression)\n"
@@ -814,9 +817,20 @@ cmdCheck(const Options &opts)
     }
 
     CodeImage translated = image;
-    translate(translated, config);
+    if (analyze::staticDisambigEnabled()) {
+        // Replicate the harness: schedule with the no-alias facts, and
+        // hand the same facts to the packing check so hoisted loads are
+        // not flagged as IMG011.
+        TranslateOptions txopts;
+        txopts.disambigHook = analyze::disambigSchedulingHook();
+        translate(translated, config, txopts);
+    } else {
+        translate(translated, config);
+    }
     verify::VerifyOptions topts = vopts;
     topts.issue = &config.issue;
+    if (analyze::staticDisambigEnabled())
+        topts.memFacts = analyze::disambigSchedulingHook();
     verify::verifyImageInto(translated, report, topts, "translated");
     verify::checkTranslationSoundness(image, translated, report,
                                       "translated");
@@ -938,6 +952,27 @@ cmdAnalyze(const Options &opts)
     if (enlarged_mode)
         audits = analyze::auditChains(single, image, plan, hit_latency);
 
+    // Static memory disambiguation over the translated image: the JSON
+    // always carries the aggregate "memory" section plus the per-block
+    // ranking; the human table is opt-in via --mem.
+    const analyze::DisambigImage disambig =
+        analyze::disambigImage(translated);
+    std::vector<const analyze::BlockDisambig *> mem_ranked;
+    for (const analyze::BlockDisambig &b : disambig.blocks)
+        if (!b.pairs.empty())
+            mem_ranked.push_back(&b);
+    std::sort(mem_ranked.begin(), mem_ranked.end(),
+              [](const analyze::BlockDisambig *a,
+                 const analyze::BlockDisambig *b) {
+                  if (a->mayDensity() != b->mayDensity())
+                      return a->mayDensity() > b->mayDensity();
+                  if (a->mayAlias != b->mayAlias)
+                      return a->mayAlias > b->mayAlias;
+                  return a->block < b->block;
+              });
+    if (static_cast<int>(mem_ranked.size()) > top)
+        mem_ranked.resize(static_cast<std::size_t>(top));
+
     const std::size_t errors = report.errorCount();
     const std::size_t warnings = report.warningCount();
 
@@ -1013,6 +1048,41 @@ cmdAnalyze(const Options &opts)
             json.endObject();
         }
         json.endArray();
+        json.beginObject("memory");
+        json.field("pairs",
+                   static_cast<std::uint64_t>(disambig.pairsTotal));
+        json.field("no_alias",
+                   static_cast<std::uint64_t>(disambig.noAliasTotal));
+        json.field("must_alias",
+                   static_cast<std::uint64_t>(disambig.mustAliasTotal));
+        json.field("may_alias",
+                   static_cast<std::uint64_t>(disambig.mayAliasTotal));
+        json.field("independent_loads",
+                   static_cast<std::uint64_t>(
+                       disambig.independentLoadsTotal));
+        json.field("enlarged_no_alias",
+                   static_cast<std::uint64_t>(disambig.enlargedNoAlias));
+        json.endObject();
+        json.beginArray("mem_blocks");
+        for (const analyze::BlockDisambig *b : mem_ranked) {
+            json.beginObject();
+            json.field("block", b->block);
+            json.field("entry_pc", b->entryPc);
+            json.field("loads", static_cast<std::uint64_t>(b->loads));
+            json.field("stores", static_cast<std::uint64_t>(b->stores));
+            json.field("pairs",
+                       static_cast<std::uint64_t>(b->pairs.size()));
+            json.field("no_alias", static_cast<std::uint64_t>(b->noAlias));
+            json.field("must_alias",
+                       static_cast<std::uint64_t>(b->mustAlias));
+            json.field("may_alias",
+                       static_cast<std::uint64_t>(b->mayAlias));
+            json.field("independent_loads",
+                       static_cast<std::uint64_t>(b->independentLoads));
+            json.field("may_density", b->mayDensity());
+            json.endObject();
+        }
+        json.endArray();
         json.beginArray("diagnostics");
         for (const verify::Diagnostic &diag : report.diagnostics()) {
             json.beginObject();
@@ -1068,6 +1138,26 @@ cmdAnalyze(const Options &opts)
                                     audit.members, audit.memberHeightSum,
                                     audit.fusedHeight,
                                     -audit.heightReduction());
+        }
+        if (opts.has("mem")) {
+            std::cout << "  memory disambiguation  "
+                      << disambig.pairsTotal << " pairs: "
+                      << disambig.noAliasTotal << " no-alias, "
+                      << disambig.mustAliasTotal << " must-alias, "
+                      << disambig.mayAliasTotal << " may-alias; "
+                      << disambig.independentLoadsTotal
+                      << " independent loads\n";
+            if (!mem_ranked.empty()) {
+                std::cout << "  densest may-alias blocks  ld  st pairs  "
+                             "no must  may density\n";
+                for (const analyze::BlockDisambig *b : mem_ranked)
+                    std::cout << format(
+                        "    block %-4d pc %-5d %3zu %3zu %5zu %3zu "
+                        "%4zu %4zu %7.2f\n",
+                        b->block, b->entryPc, b->loads, b->stores,
+                        b->pairs.size(), b->noAlias, b->mustAlias,
+                        b->mayAlias, b->mayDensity());
+            }
         }
         if (!report.diagnostics().empty())
             std::cout << report.renderText();
@@ -1284,9 +1374,32 @@ int
 cmdHistory(const Options &opts)
 {
     std::ifstream in(opts.source);
-    if (!in)
-        fgp_fatal("cannot open '", opts.source, "'");
+    if (!in) {
+        // A missing history file is the normal state of a fresh checkout,
+        // not an error: say how to start one and exit cleanly.
+        std::cout << "history: no history file at '" << opts.source
+                  << "'\nAppend runs with: build/bench/perf_selfcheck "
+                     "--append " << opts.source << "\n";
+        return 0;
+    }
+    // parseRunFile treats a record-less file as fatal (a manifest with no
+    // run header is corrupt for `compare`), but an empty history is just a
+    // history nobody has appended to yet — check before parsing.
+    if (in.peek() == std::ifstream::traits_type::eof()) {
+        std::cout << "history: '" << opts.source
+                  << "' contains no run records yet\nAppend runs with: "
+                     "build/bench/perf_selfcheck --append " << opts.source
+                  << "\n";
+        return 0;
+    }
     const metrics::RunFile file = metrics::parseRunFile(in, opts.source);
+    if (file.runs.empty()) {
+        std::cout << "history: '" << opts.source
+                  << "' contains no run records yet\nAppend runs with: "
+                     "build/bench/perf_selfcheck --append " << opts.source
+                  << "\n";
+        return 0;
+    }
 
     Table t({"git", "time", "bench", "sims", "wall_s", "ns/cycle",
              "delta"});
@@ -1327,7 +1440,8 @@ runCli(int argc, char **argv)
             continue;
         }
         arg = arg.substr(2);
-        if (arg == "conservative" || arg == "json" || arg == "strict") {
+        if (arg == "conservative" || arg == "json" || arg == "strict" ||
+            arg == "mem") {
             opts.flags[arg] = "1";
         } else {
             if (i + 1 >= argc)
