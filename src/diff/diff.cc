@@ -1,0 +1,391 @@
+#include "diff/diff.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "base/logging.hh"
+
+namespace fgp::diff {
+
+const char *
+divergenceLevelName(Divergence::Level level)
+{
+    switch (level) {
+      case Divergence::Level::None:
+        return "none";
+      case Divergence::Level::Identical:
+        return "identical";
+      case Divergence::Level::Run:
+        return "run";
+      case Divergence::Level::Window:
+        return "window";
+      case Divergence::Level::Node:
+        return "node";
+    }
+    return "?";
+}
+
+WindowedLog
+buildWindowedLog(const std::vector<profile::RetiredNode> &log,
+                 const std::vector<std::uint64_t> &window_retired)
+{
+    WindowedLog wl;
+    wl.log = &log;
+    std::uint64_t hash = profile::kFnvOffsetBasis;
+    std::size_t idx = 0;
+    const auto advance = [&](std::size_t end) {
+        end = std::min(end, log.size());
+        for (; idx < end; ++idx)
+            hash = profile::fnvRetired(hash, log[idx]);
+        wl.windowEnds.push_back(idx);
+        wl.windowHashes.push_back(hash);
+    };
+    if (window_retired.empty()) {
+        advance(log.size());
+        return wl;
+    }
+    std::size_t end = 0;
+    for (const std::uint64_t count : window_retired) {
+        end += static_cast<std::size_t>(count);
+        advance(end);
+    }
+    // Any log tail beyond the declared windows still gets hashed, so
+    // truncated window lists cannot hide a divergence in the tail.
+    if (idx < log.size())
+        advance(log.size());
+    return wl;
+}
+
+namespace {
+
+/** First divergent retired node in [start_a, ...) x [start_b, ...). */
+void
+scanNodes(const WindowedLog &a, const WindowedLog &b, std::size_t start,
+          Divergence &out)
+{
+    const auto &la = *a.log;
+    const auto &lb = *b.log;
+    std::size_t i = std::min(start, std::min(la.size(), lb.size()));
+    for (; i < la.size() && i < lb.size(); ++i) {
+        const profile::RetiredNode &x = la[i];
+        const profile::RetiredNode &y = lb[i];
+        struct FieldRef
+        {
+            const char *name;
+            std::uint64_t a, b;
+        };
+        const FieldRef fields[] = {
+            {"seq", x.seq, y.seq},
+            {"parent_seq", x.parentSeq, y.parentSeq},
+            {"issue_cycle", x.issueCycle, y.issueCycle},
+            {"ready_cycle", x.readyCycle, y.readyCycle},
+            {"sched_cycle", x.schedCycle, y.schedCycle},
+            {"complete_cycle", x.completeCycle, y.completeCycle},
+            {"block", x.block, y.block},
+            {"edge", static_cast<std::uint64_t>(x.edge),
+             static_cast<std::uint64_t>(y.edge)},
+        };
+        for (const FieldRef &f : fields) {
+            if (f.a != f.b) {
+                out.level = Divergence::Level::Node;
+                out.seq = x.seq;
+                out.logIndex = i;
+                out.field = f.name;
+                out.valueA = f.a;
+                out.valueB = f.b;
+                return;
+            }
+        }
+    }
+    if (la.size() != lb.size()) {
+        // Common prefix identical; the divergence is the missing tail.
+        out.level = Divergence::Level::Node;
+        out.truncated = true;
+        out.logIndex = std::min(la.size(), lb.size());
+        out.seq = la.size() > lb.size() ? la[out.logIndex].seq
+                                        : lb[out.logIndex].seq;
+        out.field = "log_length";
+        out.valueA = la.size();
+        out.valueB = lb.size();
+    }
+}
+
+} // namespace
+
+Divergence
+pinpointDivergence(const WindowedLog &a, const WindowedLog &b)
+{
+    Divergence out;
+    const std::size_t common =
+        std::min(a.windowHashes.size(), b.windowHashes.size());
+
+    // Cumulative hashes are monotone-divergent: equal at window i means
+    // the logs agree through i, unequal stays unequal afterwards. So
+    // the first divergent window is the lower bound of "hashes differ".
+    std::size_t lo = 0, hi = common;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (a.windowHashes[mid] != b.windowHashes[mid])
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+
+    if (lo == common) {
+        // No mismatch in the common prefix; differing log lengths (a
+        // longer run, or extra tail windows) are still a divergence.
+        if (a.log->size() == b.log->size() &&
+            a.windowHashes.size() == b.windowHashes.size()) {
+            out.level = Divergence::Level::Identical;
+            return out;
+        }
+        out.firstWindow = common;
+        out.truncated = true;
+    } else {
+        out.firstWindow = lo;
+        out.hashA = a.windowHashes[lo];
+        out.hashB = b.windowHashes[lo];
+    }
+
+    // Scan for the exact node starting at the identical prefix's end.
+    const std::size_t start =
+        out.firstWindow == 0
+            ? 0
+            : std::min(a.windowEnds[out.firstWindow - 1],
+                       b.windowEnds[out.firstWindow - 1]);
+    const Divergence::Level window_level = Divergence::Level::Window;
+    out.level = window_level;
+    scanNodes(a, b, start, out);
+    if (out.level == window_level && start > 0) {
+        // Hash mismatch but no field mismatch in the slice — only
+        // possible if the prefix hashes collided; rescan everything.
+        scanNodes(a, b, 0, out);
+    }
+    return out;
+}
+
+namespace {
+
+void
+diffWindows(const CellStream &a, const CellStream &b, CellDiff &out)
+{
+    const std::size_t common =
+        std::min(a.windows.size(), b.windows.size());
+    out.windowsTruncated = a.windows.size() != b.windows.size();
+    out.windows.reserve(common);
+    for (std::size_t i = 0; i < common; ++i) {
+        const CellWindow &x = a.windows[i];
+        const CellWindow &y = b.windows[i];
+        WindowDelta d;
+        d.index = x.index;
+        d.cyclesA = x.cycles;
+        d.cyclesB = y.cycles;
+        d.issuedA = x.issuedNodes;
+        d.issuedB = y.issuedNodes;
+        d.retiredA = x.retiredNodes;
+        d.retiredB = y.retiredNodes;
+        d.slotsA = x.cycles * a.issueWidth;
+        d.slotsB = y.cycles * b.issueWidth;
+        for (std::size_t c = 0; c < kSlotCauseCount; ++c)
+            d.dSlots[c] = static_cast<std::int64_t>(y.slots[c]) -
+                          static_cast<std::int64_t>(x.slots[c]);
+        for (std::size_t c = 0; c < kWaitCount; ++c)
+            d.dWaits[c] = static_cast<std::int64_t>(y.waits[c]) -
+                          static_cast<std::int64_t>(x.waits[c]);
+        d.ipcA = x.cycles ? static_cast<double>(x.retiredNodes) /
+                                static_cast<double>(x.cycles)
+                          : 0.0;
+        d.ipcB = y.cycles ? static_cast<double>(y.retiredNodes) /
+                                static_cast<double>(y.cycles)
+                          : 0.0;
+        out.windows.push_back(d);
+    }
+}
+
+void
+diffCauses(const CellStream &a, const CellStream &b, CellDiff &out)
+{
+    // Canonical CritCause order first, then any unknown names either
+    // stream carried (future-proofing against new causes).
+    std::vector<std::string> order;
+    for (std::size_t c = 0; c < profile::kCritCauseCount; ++c)
+        order.push_back(profile::critCauseName(
+            static_cast<profile::CritCause>(c)));
+    for (const auto *cell : {&a, &b})
+        for (const auto &[name, cycles] : cell->causeCycles)
+            if (std::find(order.begin(), order.end(), name) ==
+                order.end())
+                order.push_back(name);
+
+    for (const std::string &name : order) {
+        const auto ia = a.causeCycles.find(name);
+        const auto ib = b.causeCycles.find(name);
+        if (ia == a.causeCycles.end() && ib == b.causeCycles.end())
+            continue;
+        CauseDelta d;
+        d.cause = name;
+        d.a = ia == a.causeCycles.end() ? 0 : ia->second;
+        d.b = ib == b.causeCycles.end() ? 0 : ib->second;
+        out.causes.push_back(std::move(d));
+    }
+}
+
+void
+diffBlocks(const CellStream &a, const CellStream &b, CellDiff &out)
+{
+    std::set<std::uint32_t> ids;
+    for (const auto &[id, block] : a.blocks)
+        ids.insert(id);
+    for (const auto &[id, block] : b.blocks)
+        ids.insert(id);
+
+    for (const std::uint32_t id : ids) {
+        const auto ia = a.blocks.find(id);
+        const auto ib = b.blocks.find(id);
+        BlockDelta d;
+        d.block = id;
+        if (ia != a.blocks.end()) {
+            d.entryPc = ia->second.entryPc;
+            d.a = ia->second.pathCycles;
+        }
+        if (ib != b.blocks.end()) {
+            if (d.entryPc < 0)
+                d.entryPc = ib->second.entryPc;
+            d.b = ib->second.pathCycles;
+        }
+        const bool causesA = ia == a.blocks.end() || ia->second.hasCauses;
+        const bool causesB = ib == b.blocks.end() || ib->second.hasCauses;
+        if (causesA && causesB &&
+            (ia != a.blocks.end() || ib != b.blocks.end())) {
+            d.hasCauses = true;
+            for (std::size_t c = 0; c < profile::kCritCauseCount; ++c) {
+                d.causesA[c] =
+                    ia == a.blocks.end() ? 0 : ia->second.causes[c];
+                d.causesB[c] =
+                    ib == b.blocks.end() ? 0 : ib->second.causes[c];
+            }
+        }
+        if (d.a || d.b)
+            out.blocks.push_back(d);
+    }
+
+    // "Blocks that paid" ranking: largest absolute path-cycle swing
+    // first, ties broken by block id for determinism.
+    std::sort(out.blocks.begin(), out.blocks.end(),
+              [](const BlockDelta &x, const BlockDelta &y) {
+                  const std::int64_t ax = std::llabs(x.delta());
+                  const std::int64_t ay = std::llabs(y.delta());
+                  if (ax != ay)
+                      return ax > ay;
+                  return x.block < y.block;
+              });
+}
+
+std::vector<std::uint64_t>
+windowRetired(const CellStream &cell)
+{
+    std::vector<std::uint64_t> counts;
+    counts.reserve(cell.windows.size());
+    for (const CellWindow &w : cell.windows)
+        counts.push_back(w.retiredNodes);
+    return counts;
+}
+
+void
+diffDivergence(const CellStream &a, const CellStream &b, CellDiff &out)
+{
+    // Best evidence first: full retired logs give the exact node.
+    if (!a.retired.empty() && !b.retired.empty()) {
+        const WindowedLog wa =
+            buildWindowedLog(a.retired, windowRetired(a));
+        const WindowedLog wb =
+            buildWindowedLog(b.retired, windowRetired(b));
+        out.divergence = pinpointDivergence(wa, wb);
+        return;
+    }
+
+    // Next: per-window fingerprints narrow to the first window.
+    const std::size_t common =
+        std::min(a.windows.size(), b.windows.size());
+    bool hashed = common > 0;
+    for (std::size_t i = 0; i < common; ++i)
+        if (!a.windows[i].hasHash || !b.windows[i].hasHash)
+            hashed = false;
+    if (hashed) {
+        std::size_t lo = 0, hi = common;
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (a.windows[mid].schedHash != b.windows[mid].schedHash)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        if (lo < common) {
+            out.divergence.level = Divergence::Level::Window;
+            out.divergence.firstWindow = a.windows[lo].index;
+            out.divergence.hashA = a.windows[lo].schedHash;
+            out.divergence.hashB = b.windows[lo].schedHash;
+        } else if (a.windows.size() != b.windows.size()) {
+            out.divergence.level = Divergence::Level::Window;
+            out.divergence.firstWindow = common;
+            out.divergence.truncated = true;
+        } else {
+            out.divergence.level = Divergence::Level::Identical;
+        }
+        return;
+    }
+
+    // Last resort: whole-run fingerprints say same/different only.
+    if (a.hasSchedHash && b.hasSchedHash) {
+        out.divergence.level = a.schedHash == b.schedHash
+                                   ? Divergence::Level::Identical
+                                   : Divergence::Level::Run;
+        out.divergence.hashA = a.schedHash;
+        out.divergence.hashB = b.schedHash;
+    }
+}
+
+} // namespace
+
+CellDiff
+diffCells(const CellStream &a, const CellStream &b)
+{
+    CellDiff out;
+    out.workload = a.workload;
+    out.config = a.config;
+    out.cyclesA = a.cycles;
+    out.cyclesB = b.cycles;
+    out.retiredA = a.retiredNodes;
+    out.retiredB = b.retiredNodes;
+    out.ipcA = a.ipc();
+    out.ipcB = b.ipc();
+    out.critPathA = a.critPathCycles;
+    out.critPathB = b.critPathCycles;
+    diffWindows(a, b, out);
+    diffCauses(a, b, out);
+    diffBlocks(a, b, out);
+    diffDivergence(a, b, out);
+    return out;
+}
+
+DiffResult
+diffStreams(const Stream &a, const Stream &b)
+{
+    DiffResult out;
+    for (const CellStream &cell : a.cells) {
+        const CellStream *other = b.find(cell.key());
+        if (!other) {
+            out.onlyA.push_back(cell.key());
+            continue;
+        }
+        out.cells.push_back(diffCells(cell, *other));
+    }
+    for (const CellStream &cell : b.cells)
+        if (!a.find(cell.key()))
+            out.onlyB.push_back(cell.key());
+    return out;
+}
+
+} // namespace fgp::diff

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Differential observability core: align two loaded streams cell by
+ * cell and window by window, and decompose every per-window IPC delta
+ * into the PR 2 stall-slot breakdown.
+ *
+ * The attribution is exact by construction. Each side closes its own
+ * slot books per window (issued + sum(slot causes) == cycles * width),
+ * so for any aligned window pair the identity
+ *
+ *   (slots_b - slots_a) == (issued_b - issued_a) + sum_c d_slots[c]
+ *
+ * holds unconditionally — even across different issue widths — and the
+ * residual is zero on every window, which `fgpsim diff --json` emits
+ * and check_bench.sh --validate-diff re-derives.
+ *
+ * Schedule-divergence pinpointing rides on the cumulative FNV-1a
+ * fingerprints the profiler stamps at each window close: once two runs
+ * diverge, every later window's hash differs too, so the first
+ * divergent window is found by binary search, and the exact retired
+ * node by a field-wise scan inside that window's slice of the logs.
+ */
+
+#ifndef FGP_DIFF_DIFF_HH
+#define FGP_DIFF_DIFF_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diff/stream.hh"
+
+namespace fgp::diff {
+
+/** One aligned window pair (by index) with its exact slot attribution. */
+struct WindowDelta
+{
+    std::uint64_t index = 0;
+    std::uint64_t cyclesA = 0, cyclesB = 0;
+    std::uint64_t issuedA = 0, issuedB = 0;
+    std::uint64_t retiredA = 0, retiredB = 0;
+    std::uint64_t slotsA = 0, slotsB = 0; ///< cycles * issue_width
+    std::array<std::int64_t, kSlotCauseCount> dSlots{};
+    std::array<std::int64_t, kWaitCount> dWaits{};
+    double ipcA = 0.0, ipcB = 0.0;
+
+    std::int64_t
+    dRetired() const
+    {
+        return static_cast<std::int64_t>(retiredB) -
+               static_cast<std::int64_t>(retiredA);
+    }
+
+    /** Slot-closure residual — identically zero (see file comment). */
+    std::int64_t
+    residual() const
+    {
+        std::int64_t causes = 0;
+        for (const std::int64_t d : dSlots)
+            causes += d;
+        return (static_cast<std::int64_t>(slotsB) -
+                static_cast<std::int64_t>(slotsA)) -
+               (static_cast<std::int64_t>(issuedB) -
+                static_cast<std::int64_t>(issuedA)) -
+               causes;
+    }
+};
+
+/** Critical-path cause delta (whole-run attribution). */
+struct CauseDelta
+{
+    std::string cause;
+    std::uint64_t a = 0, b = 0;
+
+    std::int64_t
+    delta() const
+    {
+        return static_cast<std::int64_t>(b) -
+               static_cast<std::int64_t>(a);
+    }
+};
+
+/** Critical-path block delta — "which blocks paid for the regression". */
+struct BlockDelta
+{
+    std::uint32_t block = 0;
+    std::int64_t entryPc = -1;
+    std::uint64_t a = 0, b = 0; ///< path cycles per side
+    /** Per-cause refinement; valid iff hasCauses (both sides carried
+     *  critedge rows). */
+    std::array<std::uint64_t, profile::kCritCauseCount> causesA{};
+    std::array<std::uint64_t, profile::kCritCauseCount> causesB{};
+    bool hasCauses = false;
+
+    std::int64_t
+    delta() const
+    {
+        return static_cast<std::int64_t>(b) -
+               static_cast<std::int64_t>(a);
+    }
+
+    std::int64_t
+    dCause(std::size_t c) const
+    {
+        return static_cast<std::int64_t>(causesB[c]) -
+               static_cast<std::int64_t>(causesA[c]);
+    }
+};
+
+/** Where two schedules first part ways. */
+struct Divergence
+{
+    enum class Level
+    {
+        None,      ///< no fingerprints on either stream
+        Identical, ///< fingerprints present and equal throughout
+        Run,       ///< final hashes differ; no per-window data
+        Window,    ///< first divergent window known (binary search)
+        Node,      ///< exact first divergent retired node known
+    };
+
+    Level level = Level::None;
+    std::uint64_t firstWindow = 0; ///< Window/Node levels
+    /** True when one stream ended before any hash mismatch — the
+     *  divergence is the missing tail, not a differing record. */
+    bool truncated = false;
+
+    // Node level only.
+    std::uint64_t seq = 0;      ///< seq of the first divergent node
+    std::uint64_t logIndex = 0; ///< its index in the retired log
+    std::string field;          ///< first differing field name
+    std::uint64_t valueA = 0, valueB = 0;
+    std::uint64_t hashA = 0, hashB = 0; ///< window hashes that differed
+
+    bool
+    diverged() const
+    {
+        return level == Level::Run || level == Level::Window ||
+               level == Level::Node;
+    }
+};
+
+const char *divergenceLevelName(Divergence::Level level);
+
+/** Full differential report for one (workload, config) cell. */
+struct CellDiff
+{
+    std::string workload;
+    std::string config;
+
+    std::uint64_t cyclesA = 0, cyclesB = 0;
+    std::uint64_t retiredA = 0, retiredB = 0;
+    double ipcA = 0.0, ipcB = 0.0;
+    std::uint64_t critPathA = 0, critPathB = 0;
+
+    std::vector<WindowDelta> windows; ///< aligned prefix, by index
+    bool windowsTruncated = false;    ///< window counts differed
+
+    std::vector<CauseDelta> causes; ///< canonical CritCause order
+    std::vector<BlockDelta> blocks; ///< ranked by |delta|, descending
+
+    Divergence divergence;
+
+    double
+    ipcDelta() const
+    {
+        return ipcB - ipcA;
+    }
+};
+
+/** Whole-diff result: aligned cells plus the unmatched keys. */
+struct DiffResult
+{
+    std::vector<CellDiff> cells;
+    std::vector<std::string> onlyA, onlyB; ///< "workload config" keys
+
+    bool
+    anyDivergence() const
+    {
+        for (const CellDiff &cell : cells)
+            if (cell.divergence.diverged())
+                return true;
+        return false;
+    }
+};
+
+/** Diff one aligned cell pair. */
+CellDiff diffCells(const CellStream &a, const CellStream &b);
+
+/** Align two streams on (workload, config), in A's cell order. */
+DiffResult diffStreams(const Stream &a, const Stream &b);
+
+/**
+ * A retired-node log cut at window boundaries, with the cumulative
+ * FNV-1a fingerprint recomputed at each cut — so perturbed or
+ * synthesized logs get honest hashes, independent of what any stream
+ * claimed.
+ */
+struct WindowedLog
+{
+    const std::vector<profile::RetiredNode> *log = nullptr;
+    std::vector<std::size_t> windowEnds;       ///< exclusive log index
+    std::vector<std::uint64_t> windowHashes;   ///< cumulative at each end
+};
+
+/**
+ * Cut @p log at window boundaries given each window's retired-node
+ * count (CellWindow::retiredNodes order). An empty @p window_retired
+ * treats the whole log as one window.
+ */
+WindowedLog buildWindowedLog(
+    const std::vector<profile::RetiredNode> &log,
+    const std::vector<std::uint64_t> &window_retired);
+
+/**
+ * Pinpoint the first divergent window (binary search over cumulative
+ * window hashes) and retired node (field-wise scan inside it).
+ */
+Divergence pinpointDivergence(const WindowedLog &a, const WindowedLog &b);
+
+} // namespace fgp::diff
+
+#endif // FGP_DIFF_DIFF_HH

@@ -1,0 +1,76 @@
+#include "diff/flame.hh"
+
+#include "base/strutil.hh"
+
+namespace fgp::diff {
+
+namespace {
+
+std::string
+blockFrame(const BlockDelta &block)
+{
+    std::string frame = format("block_%u", block.block);
+    if (block.entryPc >= 0)
+        frame += format("@pc%lld",
+                        static_cast<long long>(block.entryPc));
+    return frame;
+}
+
+} // namespace
+
+std::size_t
+writeFoldedDiff(std::ostream &os, const CellDiff &cell)
+{
+    const std::string prefix = cell.workload + ";" + cell.config;
+    std::size_t lines = 0;
+
+    bool joint = !cell.blocks.empty();
+    for (const BlockDelta &block : cell.blocks)
+        if (!block.hasCauses)
+            joint = false;
+
+    if (joint) {
+        for (const BlockDelta &block : cell.blocks) {
+            for (std::size_t c = 0; c < profile::kCritCauseCount; ++c) {
+                if (!block.causesA[c] && !block.causesB[c])
+                    continue;
+                os << prefix << ";" << blockFrame(block) << ";"
+                   << profile::critCauseName(
+                          static_cast<profile::CritCause>(c))
+                   << " " << block.causesA[c] << " " << block.causesB[c]
+                   << "\n";
+                ++lines;
+            }
+        }
+        return lines;
+    }
+
+    if (!cell.blocks.empty()) {
+        for (const BlockDelta &block : cell.blocks) {
+            os << prefix << ";" << blockFrame(block) << " " << block.a
+               << " " << block.b << "\n";
+            ++lines;
+        }
+        return lines;
+    }
+
+    for (const CauseDelta &cause : cell.causes) {
+        if (!cause.a && !cause.b)
+            continue;
+        os << prefix << ";" << cause.cause << " " << cause.a << " "
+           << cause.b << "\n";
+        ++lines;
+    }
+    return lines;
+}
+
+std::size_t
+writeFoldedDiff(std::ostream &os, const DiffResult &result)
+{
+    std::size_t lines = 0;
+    for (const CellDiff &cell : result.cells)
+        lines += writeFoldedDiff(os, cell);
+    return lines;
+}
+
+} // namespace fgp::diff

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Differential folded-stack export. Each line is a semicolon-joined
+ * stack followed by the A and B critical-path cycle counts:
+ *
+ *   <workload>;<config>;block_<id>@pc<pc>;<cause> <count_a> <count_b>
+ *
+ * which is exactly the two-column folded format flamegraph difference
+ * tooling (difffolded.pl / inferno-diff-folded) consumes. The deepest
+ * frame is the block x cause joint cell when both streams carried
+ * critedge rows; older streams fall back to block-level and then to
+ * cause-level stacks, so the export never comes back empty for a
+ * stream that had any critical-path attribution at all.
+ */
+
+#ifndef FGP_DIFF_FLAME_HH
+#define FGP_DIFF_FLAME_HH
+
+#include <ostream>
+
+#include "diff/diff.hh"
+
+namespace fgp::diff {
+
+/** Write the folded-stack diff for one cell; returns lines written. */
+std::size_t writeFoldedDiff(std::ostream &os, const CellDiff &cell);
+
+/** writeFoldedDiff() over every cell of a diff result. */
+std::size_t writeFoldedDiff(std::ostream &os, const DiffResult &result);
+
+} // namespace fgp::diff
+
+#endif // FGP_DIFF_FLAME_HH

@@ -1,0 +1,263 @@
+#include "diff/stream.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "metrics/manifest.hh"
+
+namespace fgp::diff {
+
+std::uint64_t
+parseHash(const std::string &text)
+{
+    return std::strtoull(text.c_str(), nullptr, 16);
+}
+
+std::string
+hashText(std::uint64_t hash)
+{
+    return format("0x%016llx", static_cast<unsigned long long>(hash));
+}
+
+const CellStream *
+Stream::find(const std::string &key) const
+{
+    for (const CellStream &cell : cells)
+        if (cell.key() == key)
+            return &cell;
+    return nullptr;
+}
+
+namespace {
+
+std::uint64_t
+u64(const metrics::GenericRecord &rec, const char *key)
+{
+    const double v = rec.num(key);
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+profile::EdgeKind
+edgeFromName(const std::string &name)
+{
+    for (int e = 0; e <= static_cast<int>(profile::EdgeKind::Forward);
+         ++e) {
+        const auto kind = static_cast<profile::EdgeKind>(e);
+        if (name == profile::edgeKindName(kind))
+            return kind;
+    }
+    return profile::EdgeKind::None;
+}
+
+int
+causeIndex(const std::string &name)
+{
+    for (std::size_t c = 0; c < profile::kCritCauseCount; ++c)
+        if (name == profile::critCauseName(
+                        static_cast<profile::CritCause>(c)))
+            return static_cast<int>(c);
+    return -1;
+}
+
+/** Fill the window fields shared by profile-v1 and run-v1 records. */
+void
+readWindow(CellWindow &win, const metrics::GenericRecord &rec)
+{
+    win.index = u64(rec, "index");
+    win.startCycle = u64(rec, "start_cycle");
+    win.cycles = u64(rec, "cycles");
+    win.issuedNodes = u64(rec, "issued_nodes");
+    win.retiredNodes = u64(rec, "retired_nodes");
+    win.mispredicts = u64(rec, "mispredicts");
+    for (std::size_t c = 0; c < kSlotCauseCount; ++c)
+        win.slots[c] = u64(rec, kSlotCauseKeys[c]);
+    for (std::size_t c = 0; c < kWaitCount; ++c)
+        win.waits[c] = u64(rec, kWaitKeys[c]);
+    if (rec.strs.count("sched_hash")) {
+        win.hasHash = true;
+        win.schedHash = parseHash(rec.str("sched_hash"));
+    }
+}
+
+} // namespace
+
+Stream
+loadStream(std::istream &in, const std::string &what)
+{
+    Stream stream;
+    // Cell being filled by trailing window/crit records. profile-v1
+    // streams have exactly one; run-v1 windows name their cell, so the
+    // loader re-targets by (workload, config) as records arrive.
+    CellStream *current = nullptr;
+
+    const auto cellFor = [&stream](const std::string &workload,
+                                   const std::string &config) {
+        for (CellStream &cell : stream.cells)
+            if (cell.workload == workload && cell.config == config)
+                return &cell;
+        stream.cells.emplace_back();
+        stream.cells.back().workload = workload;
+        stream.cells.back().config = config;
+        return &stream.cells.back();
+    };
+
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string_view trimmed = trim(line);
+        if (trimmed.empty() || trimmed.front() == '#')
+            continue;
+        const std::string where =
+            format("%s:%zu", what.c_str(), lineno);
+        const metrics::GenericRecord rec =
+            metrics::parseJsonRecord(trimmed, where);
+        const std::string kind = rec.str("kind");
+
+        if (kind == "profile") {
+            if (rec.str("schema") != "fgpsim-profile-v1")
+                fgp_fatal(where, ": profile record is not ",
+                          "fgpsim-profile-v1 (schema '",
+                          rec.str("schema"), "')");
+            stream.schema = "fgpsim-profile-v1";
+            current = cellFor(rec.str("workload"), rec.str("config"));
+            current->issueWidth = u64(rec, "issue_width");
+            current->windowCycles = u64(rec, "window_cycles");
+            current->cycles = u64(rec, "cycles");
+            current->issuedNodes = u64(rec, "issued_nodes");
+            current->retiredNodes = u64(rec, "retired_nodes");
+            current->nodesPerCycle = rec.num("nodes_per_cycle");
+            current->staticIpcBound = rec.num("static_ipc_bound");
+            current->critPathCycles = u64(rec, "crit_path_cycles");
+            current->critPathNodes = u64(rec, "crit_path_nodes");
+            if (rec.strs.count("sched_hash")) {
+                current->hasSchedHash = true;
+                current->schedHash = parseHash(rec.str("sched_hash"));
+            }
+        } else if (kind == "run") {
+            if (rec.str("schema") != metrics::kRunSchema)
+                fgp_fatal(where, ": run record is not ",
+                          metrics::kRunSchema, " (schema '",
+                          rec.str("schema"), "')");
+            stream.schema = metrics::kRunSchema;
+        } else if (kind == "point") {
+            CellStream *cell =
+                cellFor(rec.str("workload"), rec.str("config"));
+            cell->cycles = u64(rec, "cycles");
+            cell->issuedNodes = u64(rec, "issued_nodes");
+            cell->issueWidth = u64(rec, "issue_width");
+            cell->nodesPerCycle = rec.num("nodes_per_cycle");
+            cell->retiredNodes = static_cast<std::uint64_t>(
+                rec.num("nodes_per_cycle") *
+                    static_cast<double>(cell->cycles) +
+                0.5);
+            cell->staticIpcBound = rec.num("static_ipc_bound");
+            cell->critPathCycles = u64(rec, "crit_path_cycles");
+            for (std::size_t c = 0; c < kSlotCauseCount; ++c)
+                cell->aggSlots[c] = u64(rec, kSlotCauseKeys[c]);
+            for (std::size_t c = 0; c < kWaitCount; ++c)
+                cell->aggWaits[c] = u64(rec, kWaitKeys[c]);
+            cell->hasAgg = cell->issueWidth > 0;
+        } else if (kind == "window") {
+            CellStream *cell = current;
+            if (rec.strs.count("workload"))
+                cell = cellFor(rec.str("workload"), rec.str("config"));
+            if (!cell)
+                fgp_fatal(where, ": window record before any header");
+            cell->windows.emplace_back();
+            readWindow(cell->windows.back(), rec);
+        } else if (kind == "critpath") {
+            if (!current)
+                fgp_fatal(where, ": critpath record before any header");
+            current->causeCycles[rec.str("cause")] = u64(rec, "cycles");
+        } else if (kind == "critblock" || kind == "critedge") {
+            if (!current)
+                fgp_fatal(where, ": ", kind,
+                          " record before any header");
+            CellBlock &block = current->blocks[static_cast<std::uint32_t>(
+                u64(rec, "block"))];
+            block.entryPc = static_cast<std::int64_t>(
+                rec.num("entry_pc", -1.0));
+            if (kind == "critblock") {
+                block.pathCycles = u64(rec, "path_cycles");
+                block.retiredNodes = u64(rec, "retired_nodes");
+            } else {
+                const int c = causeIndex(rec.str("cause"));
+                if (c < 0)
+                    fgp_fatal(where, ": unknown critedge cause '",
+                              rec.str("cause"), "'");
+                block.causes[static_cast<std::size_t>(c)] =
+                    u64(rec, "cycles");
+                block.hasCauses = true;
+            }
+        } else if (kind == "retired") {
+            if (!current)
+                fgp_fatal(where, ": retired record before any header");
+            profile::RetiredNode n;
+            n.seq = u64(rec, "seq");
+            n.parentSeq = u64(rec, "parent_seq");
+            n.issueCycle =
+                static_cast<std::uint32_t>(u64(rec, "issue_cycle"));
+            n.readyCycle =
+                static_cast<std::uint32_t>(u64(rec, "ready_cycle"));
+            n.schedCycle =
+                static_cast<std::uint32_t>(u64(rec, "sched_cycle"));
+            n.completeCycle =
+                static_cast<std::uint32_t>(u64(rec, "complete_cycle"));
+            n.block = static_cast<std::uint32_t>(u64(rec, "block"));
+            n.edge = edgeFromName(rec.str("edge"));
+            current->retired.push_back(n);
+        } else if (kind == "residency" || kind == "progress") {
+            // Residency refines windows the differ already has; progress
+            // heartbeats may be interleaved into captured logs.
+        } else {
+            fgp_fatal(where, ": unknown record kind '", kind, "'");
+        }
+    }
+
+    if (stream.schema.empty())
+        fgp_fatal(what, ": no fgpsim-profile-v1 or ", metrics::kRunSchema,
+                  " header record found");
+    if (stream.cells.empty())
+        fgp_fatal(what, ": stream has no (workload, config) cells");
+
+    // A critblock marginal can arrive without critedge rows (older
+    // streams); when critedge rows exist, derive the marginal from them
+    // so both views agree no matter which records the stream carried.
+    for (CellStream &cell : stream.cells) {
+        for (auto &[id, block] : cell.blocks) {
+            if (!block.hasCauses)
+                continue;
+            std::uint64_t row = 0;
+            for (const std::uint64_t c : block.causes)
+                row += c;
+            block.pathCycles = row;
+        }
+        // Manifest cells without per-window records still diff with a
+        // zero-residual breakdown: the run totals are one big window.
+        if (cell.windows.empty() && cell.hasAgg) {
+            CellWindow win;
+            win.index = 0;
+            win.cycles = cell.cycles;
+            win.issuedNodes = cell.issuedNodes;
+            win.retiredNodes = cell.retiredNodes;
+            win.slots = cell.aggSlots;
+            win.waits = cell.aggWaits;
+            cell.windows.push_back(win);
+        }
+    }
+    return stream;
+}
+
+Stream
+loadStreamFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fgp_fatal("cannot read '", path, "'");
+    return loadStream(in, path);
+}
+
+} // namespace fgp::diff

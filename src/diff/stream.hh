@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Stream loader for `fgpsim diff`: reads an `fgpsim-profile-v1` stream
+ * (one cell, from `fgpsim profile --json`) or an `fgpsim-run-v1`
+ * manifest (many cells, from a recorded sweep) into a uniform
+ * cell-per-(workload, config) shape the differ aligns pairwise.
+ *
+ * The loader is schema-tolerant by design: it keys on record "kind" and
+ * reads only the fields the differ needs, so streams from older
+ * binaries (no sched_hash, no critedge records) still load — the differ
+ * simply degrades to coarser divergence pinpointing for those inputs.
+ */
+
+#ifndef FGP_DIFF_STREAM_HH
+#define FGP_DIFF_STREAM_HH
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profile/critpath.hh"
+#include "profile/record.hh"
+
+namespace fgp::diff {
+
+/** Issue-slot stall causes, in `stall_*` JSON key order. These five
+ *  close against the slot budget: per window,
+ *  issued + sum(slots) == cycles * issue_width. */
+inline constexpr std::size_t kSlotCauseCount = 5;
+inline constexpr const char *kSlotCauseKeys[kSlotCauseCount] = {
+    "stall_fetch_redirect", "stall_fetch_idle", "stall_window_full",
+    "stall_short_word", "stall_drain"};
+
+/** Node-cycle wait counters (diagnostic; not part of slot closure). */
+inline constexpr std::size_t kWaitCount = 4;
+inline constexpr const char *kWaitKeys[kWaitCount] = {
+    "stall_operand_wait", "stall_memory_wait", "stall_serialize_wait",
+    "stall_fu_busy"};
+
+/** One profiling window of one cell. */
+struct CellWindow
+{
+    std::uint64_t index = 0;
+    std::uint64_t startCycle = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t issuedNodes = 0;
+    std::uint64_t retiredNodes = 0;
+    std::uint64_t mispredicts = 0;
+    std::array<std::uint64_t, kSlotCauseCount> slots{};
+    std::array<std::uint64_t, kWaitCount> waits{};
+    bool hasHash = false;
+    std::uint64_t schedHash = 0; ///< cumulative retired-log fingerprint
+};
+
+/** Per-block critical-path attribution of one cell. */
+struct CellBlock
+{
+    std::int64_t entryPc = -1;
+    std::uint64_t pathCycles = 0;
+    std::uint64_t retiredNodes = 0;
+    /** Joint block x cause row (critedge records); valid iff hasCauses. */
+    std::array<std::uint64_t, profile::kCritCauseCount> causes{};
+    bool hasCauses = false;
+};
+
+/** One (workload, config) cell of a loaded stream. */
+struct CellStream
+{
+    std::string workload;
+    std::string config;
+
+    std::uint64_t issueWidth = 0;
+    std::uint64_t windowCycles = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t issuedNodes = 0;
+    std::uint64_t retiredNodes = 0;
+    double nodesPerCycle = 0.0;
+    double staticIpcBound = 0.0;
+    std::uint64_t critPathCycles = 0;
+    std::uint64_t critPathNodes = 0;
+
+    /** Whole-run critical-path cause attribution (critpath records). */
+    std::map<std::string, std::uint64_t> causeCycles;
+    /** Blocks on the critical path, by image block id. */
+    std::map<std::uint32_t, CellBlock> blocks;
+
+    std::vector<CellWindow> windows;
+
+    /** Retired-node log (profile --retired streams only). */
+    std::vector<profile::RetiredNode> retired;
+
+    bool hasSchedHash = false;
+    std::uint64_t schedHash = 0; ///< final cumulative fingerprint
+
+    /** Whole-run stall totals (run-v1 point records). When a manifest
+     *  carries no per-window records, the loader synthesizes one
+     *  run-spanning window from these — the PR 2 slot identity holds
+     *  globally too, so aggregate diffs still close with zero
+     *  residual. */
+    std::array<std::uint64_t, kSlotCauseCount> aggSlots{};
+    std::array<std::uint64_t, kWaitCount> aggWaits{};
+    bool hasAgg = false;
+
+    std::string key() const { return workload + " " + config; }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retiredNodes) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** A whole loaded stream: one cell per (workload, config). */
+struct Stream
+{
+    std::string schema; ///< fgpsim-profile-v1 or fgpsim-run-v1
+    std::vector<CellStream> cells;
+
+    const CellStream *find(const std::string &key) const;
+};
+
+/**
+ * Load a JSONL stream; @p what names the source in diagnostics. Throws
+ * FatalError on malformed JSON, an unrecognized schema, or a stream
+ * with no cells.
+ */
+Stream loadStream(std::istream &in, const std::string &what);
+
+/** loadStream() over a file path. */
+Stream loadStreamFile(const std::string &path);
+
+/** Parse a "0x..." hex fingerprint (the JSON-safe hash encoding). */
+std::uint64_t parseHash(const std::string &text);
+
+/** Render a fingerprint the way the streams carry it ("0x%016llx"). */
+std::string hashText(std::uint64_t hash);
+
+} // namespace fgp::diff
+
+#endif // FGP_DIFF_STREAM_HH

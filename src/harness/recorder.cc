@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "base/logging.hh"
+#include "base/strutil.hh"
 #include "harness/parallel.hh"
 #include "metrics/manifest.hh"
 
@@ -39,6 +40,8 @@ RunRecorder::record(const std::vector<ExperimentResult> &results)
         point.staticIpcBound = r.staticIpcBound;
         point.redundancy = r.engine.redundancy();
         point.cycles = r.cycles;
+        point.issuedNodes = r.engine.issuedNodes;
+        point.issueWidth = r.engine.issueWidth;
         point.refNodes = r.refNodes;
         point.mispredicts = r.engine.mispredicts;
         point.faultsFired = r.engine.faultsFired;
@@ -131,6 +134,8 @@ RunRecorder::pointLine(const PointSummary &point) const
     w.field("static_ipc_bound", point.staticIpcBound);
     w.field("redundancy", point.redundancy);
     w.field("cycles", point.cycles);
+    w.field("issued_nodes", point.issuedNodes);
+    w.field("issue_width", point.issueWidth);
     w.field("ref_nodes", point.refNodes);
     w.field("mispredicts", point.mispredicts);
     w.field("faults_fired", point.faultsFired);
@@ -187,6 +192,11 @@ RunRecorder::windowLine(const PointSummary &point,
     w.field("live_max", win.liveMax);
     w.field("store_queue_max", win.storeQueueMax);
     w.field("write_buf_max", win.writeBufMax);
+    // Hex string, not a number: JSON readers parse numbers as doubles,
+    // which cannot hold all 64 fingerprint bits.
+    w.field("sched_hash", format("0x%016llx",
+                                 static_cast<unsigned long long>(
+                                     win.schedHash)));
     return w.str();
 }
 

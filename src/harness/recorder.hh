@@ -86,6 +86,8 @@ class RunRecorder
         double staticIpcBound = 0.0;
         double redundancy = 0.0;
         std::uint64_t cycles = 0;
+        std::uint64_t issuedNodes = 0;
+        int issueWidth = 0;
         std::uint64_t refNodes = 0;
         std::uint64_t mispredicts = 0;
         std::uint64_t faultsFired = 0;

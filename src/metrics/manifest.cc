@@ -94,6 +94,14 @@ JsonLineWriter::field(std::string_view key, std::uint64_t value)
 }
 
 JsonLineWriter &
+JsonLineWriter::field(std::string_view key, std::int64_t value)
+{
+    keyPrefix(key);
+    body_ += format("%lld", static_cast<long long>(value));
+    return *this;
+}
+
+JsonLineWriter &
 JsonLineWriter::raw(std::string_view key, std::string_view json)
 {
     keyPrefix(key);
@@ -341,6 +349,48 @@ class Parser
 };
 
 } // namespace
+
+GenericRecord
+parseJsonRecord(std::string_view line, const std::string &what)
+{
+    const Value v = Parser(line, what).parseDocument();
+    if (v.kind != Value::Kind::Obj)
+        fgp_fatal(what, ": expected a JSON object per line");
+
+    GenericRecord rec;
+    const auto fold = [&rec](const std::string &key, const Value &val) {
+        switch (val.kind) {
+          case Value::Kind::Num:
+            rec.nums[key] = val.num;
+            break;
+          case Value::Kind::Bool:
+            rec.nums[key] = val.b ? 1.0 : 0.0;
+            break;
+          case Value::Kind::Str:
+            rec.strs[key] = val.str;
+            break;
+          case Value::Kind::Arr: {
+            std::vector<std::string> items;
+            for (const Value &e : val.arr)
+                if (e.kind == Value::Kind::Str)
+                    items.push_back(e.str);
+            rec.strs[key] = join(items, ",");
+            break;
+          }
+          default:
+            break;
+        }
+    };
+    for (const auto &[key, val] : v.obj) {
+        if (val.kind == Value::Kind::Obj) {
+            for (const auto &[sub, sv] : val.obj)
+                fold(key + "." + sub, sv);
+        } else {
+            fold(key, val);
+        }
+    }
+    return rec;
+}
 
 RunFile
 parseRunFile(std::istream &in, const std::string &what)

@@ -56,10 +56,11 @@ class JsonLineWriter
     }
     JsonLineWriter &field(std::string_view key, double value);
     JsonLineWriter &field(std::string_view key, std::uint64_t value);
+    JsonLineWriter &field(std::string_view key, std::int64_t value);
     JsonLineWriter &
     field(std::string_view key, int value)
     {
-        return field(key, static_cast<std::uint64_t>(value));
+        return field(key, static_cast<std::int64_t>(value));
     }
     /** Pre-rendered JSON value (object, array, number...). */
     JsonLineWriter &raw(std::string_view key, std::string_view json);
@@ -119,6 +120,47 @@ struct RunFile
     std::vector<RunRecord> runs;
     std::vector<RunPoint> points;
 };
+
+/**
+ * One schema-agnostic JSONL record: every scalar keyed by name, with
+ * one-level sub-objects flattened as "parent.child". Booleans land in
+ * nums (0/1), string arrays join with ','. This is how consumers that
+ * know their own schema (the `fgpsim diff` stream loader) read the
+ * fgpsim-profile-v1 / fgpsim-run-v1 families without this module
+ * having to enumerate every record kind.
+ */
+struct GenericRecord
+{
+    std::map<std::string, double> nums;
+    std::map<std::string, std::string> strs;
+
+    double
+    num(const std::string &key, double fallback = 0.0) const
+    {
+        const auto it = nums.find(key);
+        return it == nums.end() ? fallback : it->second;
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback = "") const
+    {
+        const auto it = strs.find(key);
+        return it == strs.end() ? fallback : it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return nums.count(key) != 0 || strs.count(key) != 0;
+    }
+};
+
+/**
+ * Parse one JSON object line into a GenericRecord. Throws FatalError
+ * (naming @p what) on malformed JSON or a non-object document.
+ */
+GenericRecord parseJsonRecord(std::string_view line,
+                              const std::string &what);
 
 /**
  * Parse an fgpsim-run-v1 JSONL stream. Blank lines and '#' comment

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <string>
 
+#include "base/strutil.hh"
 #include "ir/printer.hh"
 #include "obs/json.hh"
 
@@ -162,12 +163,16 @@ JsonlSink::onEvent(const SimEvent &ev)
 // ChromeTraceSink
 // ---------------------------------------------------------------------
 
-ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
+ChromeTraceSink::ChromeTraceSink(std::ostream &os,
+                                 const std::string &process_name, int pid)
+    : os_(os), pid_(pid)
 {
     os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
-        << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
-           "\"args\":{\"name\":\"fgpsim\"}}";
+        << "{\"ph\":\"M\",\"pid\":" << pid_
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+        << jsonEscape(process_name) << "\"}}";
     first_ = false;
+    emitThreadName(pid_, 0, "events");
 }
 
 ChromeTraceSink::~ChromeTraceSink()
@@ -189,9 +194,33 @@ void
 ChromeTraceSink::emitCounter(std::uint64_t cycle, const std::string &name,
                              double value)
 {
-    os_ << ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" << cycle
-        << ",\"name\":\"" << jsonEscape(name) << "\",\"args\":{\""
-        << jsonEscape(name) << "\":" << value << "}}";
+    emitCounter(pid_, cycle, name, value);
+}
+
+void
+ChromeTraceSink::emitCounter(int pid, std::uint64_t cycle,
+                             const std::string &name, double value)
+{
+    os_ << ",\n{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"ts\":"
+        << cycle << ",\"name\":\"" << jsonEscape(name)
+        << "\",\"args\":{\"" << jsonEscape(name) << "\":" << value
+        << "}}";
+}
+
+void
+ChromeTraceSink::emitProcessName(int pid, const std::string &name)
+{
+    os_ << ",\n{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+        << jsonEscape(name) << "\"}}";
+}
+
+void
+ChromeTraceSink::emitThreadName(int pid, int tid, const std::string &name)
+{
+    os_ << ",\n{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << jsonEscape(name) << "\"}}";
 }
 
 void
@@ -204,11 +233,16 @@ ChromeTraceSink::emitSlice(const SimEvent &ev)
     std::size_t lane = 0;
     while (lane < laneFreeAt_.size() && laneFreeAt_[lane] > ts)
         ++lane;
-    if (lane == laneFreeAt_.size())
+    if (lane == laneFreeAt_.size()) {
         laneFreeAt_.push_back(0);
+        // Name the lane on first use so the viewer shows "fu lane N"
+        // instead of bare thread ids.
+        emitThreadName(pid_, static_cast<int>(lane) + 1,
+                       format("fu lane %zu", lane));
+    }
     laneFreeAt_[lane] = ts + dur;
 
-    os_ << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << lane + 1
+    os_ << ",\n{\"ph\":\"X\",\"pid\":" << pid_ << ",\"tid\":" << lane + 1
         << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"name\":\""
         << jsonEscape(mnemonic(ev.node->op))
         << "\",\"args\":{\"seq\":" << ev.seq << ",\"bseq\":" << ev.bseq
@@ -218,7 +252,8 @@ ChromeTraceSink::emitSlice(const SimEvent &ev)
 void
 ChromeTraceSink::emitInstant(const SimEvent &ev)
 {
-    os_ << ",\n{\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":"
+    os_ << ",\n{\"ph\":\"i\",\"s\":\"g\",\"pid\":" << pid_
+        << ",\"tid\":0,\"ts\":"
         << ev.cycle << ",\"name\":\"" << eventKindName(ev.kind) << " b#"
         << ev.bseq << "\",\"args\":{\"bseq\":" << ev.bseq
         << ",\"image\":" << ev.imageId << ",\"nodes\":" << ev.count

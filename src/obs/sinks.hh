@@ -61,7 +61,16 @@ class JsonlSink : public EventSink
 class ChromeTraceSink : public EventSink
 {
   public:
-    explicit ChromeTraceSink(std::ostream &os);
+    /**
+     * @param process_name name shown for @p pid in the trace viewer's
+     *        process selector (metadata "M" event, emitted up front).
+     * @param pid process id events carry; `fgpsim diff --chrome` maps
+     *        run A to pid 1 and run B to pid 2 so both runs overlay on
+     *        one timeline while staying separately selectable.
+     */
+    explicit ChromeTraceSink(std::ostream &os,
+                             const std::string &process_name = "fgpsim",
+                             int pid = 0);
     ~ChromeTraceSink() override;
 
     void onEvent(const SimEvent &event) override;
@@ -76,11 +85,22 @@ class ChromeTraceSink : public EventSink
     void emitCounter(std::uint64_t cycle, const std::string &name,
                      double value);
 
+    /** emitCounter() under an explicit pid (multi-run overlays). */
+    void emitCounter(int pid, std::uint64_t cycle,
+                     const std::string &name, double value);
+
+    /** Name an additional process (for multi-run overlay traces). */
+    void emitProcessName(int pid, const std::string &name);
+
+    /** Name one thread lane of @p pid. */
+    void emitThreadName(int pid, int tid, const std::string &name);
+
   private:
     void emitSlice(const SimEvent &event);
     void emitInstant(const SimEvent &event);
 
     std::ostream &os_;
+    int pid_ = 0;
     std::vector<std::uint64_t> laneFreeAt_; ///< lane -> first free cycle
     bool first_ = true;
     bool closed_ = false;

@@ -7,6 +7,30 @@
 namespace fgp {
 namespace profile {
 
+const char *
+critCauseName(CritCause cause)
+{
+    switch (cause) {
+      case CritCause::Fetch:
+        return "fetch";
+      case CritCause::Branch:
+        return "branch";
+      case CritCause::Operand:
+        return "operand";
+      case CritCause::Memory:
+        return "memory";
+      case CritCause::Forward:
+        return "forward";
+      case CritCause::FuBusy:
+        return "fu_busy";
+      case CritCause::Execute:
+        return "execute";
+      case CritCause::Retire:
+        return "retire";
+    }
+    return "?";
+}
+
 namespace {
 
 /** Binary search the seq-ascending log for @p seq; npos when absent
@@ -22,23 +46,23 @@ findSeq(const std::vector<RetiredNode> &log, std::uint64_t seq)
     return static_cast<std::size_t>(-1);
 }
 
-std::uint64_t &
-waitCause(CritPath &cp, EdgeKind edge)
+CritCause
+waitCause(EdgeKind edge)
 {
     switch (edge) {
       case EdgeKind::Data:
-        return cp.operandCycles;
+        return CritCause::Operand;
       case EdgeKind::Memory:
-        return cp.memoryCycles;
+        return CritCause::Memory;
       case EdgeKind::Forward:
-        return cp.forwardCycles;
+        return CritCause::Forward;
       case EdgeKind::Branch:
-        return cp.branchCycles;
+        return CritCause::Branch;
       case EdgeKind::Fetch:
       case EdgeKind::None:
         break;
     }
-    return cp.fetchCycles;
+    return CritCause::Fetch;
 }
 
 } // namespace
@@ -49,6 +73,7 @@ extractCriticalPath(const std::vector<RetiredNode> &log,
 {
     CritPath cp;
     cp.blockCycles.assign(num_blocks, 0);
+    cp.blockCauses.assign(num_blocks, {});
     if (log.empty() || total_cycles == 0)
         return cp;
 
@@ -67,11 +92,14 @@ extractCriticalPath(const std::vector<RetiredNode> &log,
     while (true) {
         const RetiredNode &n = log[idx];
         std::uint64_t contributed = 0;
+        std::array<std::uint64_t, kCritCauseCount> node_causes{};
         const auto take = [&](std::uint64_t lo, std::uint64_t seg_hi,
-                              std::uint64_t &cause) {
+                              CritCause cause) {
             const std::uint64_t e = std::min(hi, seg_hi);
             if (e > lo) {
-                cause += e - lo;
+                const std::size_t c = static_cast<std::size_t>(cause);
+                cp.causeCycles[c] += e - lo;
+                node_causes[c] += e - lo;
                 contributed += e - lo;
                 hi = lo;
             }
@@ -80,10 +108,10 @@ extractCriticalPath(const std::vector<RetiredNode> &log,
         // Complete-to-commit slack above this node's span (only the last
         // retired node can leave one — every other visit enters with the
         // cursor already at or below its completion).
-        take(n.completeCycle, hi, cp.retireCycles);
-        take(n.schedCycle, n.completeCycle, cp.executeCycles);
-        take(n.readyCycle, n.schedCycle, cp.fuBusyCycles);
-        take(n.issueCycle, n.readyCycle, waitCause(cp, n.edge));
+        take(n.completeCycle, hi, CritCause::Retire);
+        take(n.schedCycle, n.completeCycle, CritCause::Execute);
+        take(n.readyCycle, n.schedCycle, CritCause::FuBusy);
+        take(n.issueCycle, n.readyCycle, waitCause(n.edge));
 
         const bool last = idx == 0 || hi == 0;
         std::size_t next = idx ? idx - 1 : 0;
@@ -100,13 +128,16 @@ extractCriticalPath(const std::vector<RetiredNode> &log,
                     gap_edge = n.edge;
                 }
             }
-            take(log[next].completeCycle, hi, waitCause(cp, gap_edge));
+            take(log[next].completeCycle, hi, waitCause(gap_edge));
         }
 
         if (contributed) {
             ++cp.pathNodes;
-            if (n.block < num_blocks)
+            if (n.block < num_blocks) {
                 cp.blockCycles[n.block] += contributed;
+                for (std::size_t c = 0; c < kCritCauseCount; ++c)
+                    cp.blockCauses[n.block][c] += node_causes[c];
+            }
         }
         if (last)
             break;

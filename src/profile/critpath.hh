@@ -18,6 +18,7 @@
 #ifndef FGP_PROFILE_CRITPATH_HH
 #define FGP_PROFILE_CRITPATH_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -26,30 +27,61 @@
 namespace fgp {
 namespace profile {
 
+/**
+ * Why a cycle sits on the critical path. Dense-indexable so consumers
+ * (the profile JSON stream, `fgpsim diff`'s cause-delta tables, the
+ * folded flamegraph export) can iterate the attribution uniformly.
+ */
+enum class CritCause : std::uint8_t
+{
+    Fetch = 0, ///< waiting on fetch order
+    Branch,    ///< redirect after mispredict/fault
+    Operand,   ///< register dataflow (Data edges)
+    Memory,    ///< disambiguation parking
+    Forward,   ///< store-forward dependences
+    FuBusy,    ///< ready but no function unit
+    Execute,   ///< actually executing
+    Retire,    ///< complete-to-commit slack
+};
+
+inline constexpr std::size_t kCritCauseCount = 8;
+
+/** Stable lower-case name ("fetch", "fu_busy", ...) of one cause. */
+const char *critCauseName(CritCause cause);
+
 /** Measured critical path of one run. */
 struct CritPath
 {
     std::uint64_t pathCycles = 0; ///< <= the run's total cycles
     std::uint64_t pathNodes = 0;  ///< <= pathCycles
 
-    // Cycle attribution on the path; the causes sum to pathCycles.
-    std::uint64_t fetchCycles = 0;   ///< waiting on fetch order
-    std::uint64_t branchCycles = 0;  ///< redirect after mispredict/fault
-    std::uint64_t operandCycles = 0; ///< register dataflow (Data edges)
-    std::uint64_t memoryCycles = 0;  ///< disambiguation parking
-    std::uint64_t forwardCycles = 0; ///< store-forward dependences
-    std::uint64_t fuBusyCycles = 0;  ///< ready but no function unit
-    std::uint64_t executeCycles = 0; ///< actually executing
-    std::uint64_t retireCycles = 0;  ///< complete-to-commit slack
+    /** Cycle attribution on the path, indexed by CritCause; the eight
+     *  entries sum to pathCycles. */
+    std::array<std::uint64_t, kCritCauseCount> causeCycles{};
 
-    /** Cycles on the path per static block (image block id order). */
+    /** Cycles on the path per static block (image block id order);
+     *  sums to pathCycles — every path cycle has exactly one block. */
     std::vector<std::uint64_t> blockCycles;
+
+    /** Joint block x cause attribution (blockCycles indexing): each
+     *  row sums to its blockCycles entry, so the matrix refines both
+     *  marginals. This is what the differential folded-stack export
+     *  ("block;cause count_a count_b") is built from. */
+    std::vector<std::array<std::uint64_t, kCritCauseCount>> blockCauses;
+
+    std::uint64_t
+    cause(CritCause c) const
+    {
+        return causeCycles[static_cast<std::size_t>(c)];
+    }
 
     std::uint64_t
     causeTotal() const
     {
-        return fetchCycles + branchCycles + operandCycles + memoryCycles +
-               forwardCycles + fuBusyCycles + executeCycles + retireCycles;
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : causeCycles)
+            total += c;
+        return total;
     }
 
     /** Path-implied IPC: never above 1 by construction. */

@@ -12,6 +12,7 @@ IntervalProfiler::beginRun(int issue_width, std::size_t num_blocks)
     windows_.clear();
     residency_.clear();
     retired_.clear();
+    schedHash_ = kFnvOffsetBasis;
     prev_ = CounterSnapshot{};
     windowStart_ = 0;
     prevBlockRetired_.assign(num_blocks, 0);
@@ -82,6 +83,7 @@ IntervalProfiler::closeWindow(std::uint64_t end_cycle,
     w.liveMax = liveMax_;
     w.storeQueueMax = storeQueueMax_;
     w.writeBufMax = writeBufMax_;
+    w.schedHash = schedHash_;
 
     // Per-block residency: which static blocks retired nodes inside this
     // window (sparse — only touched blocks get an entry).

@@ -103,6 +103,12 @@ struct WindowSample
     std::uint32_t residencyOffset = 0;
     std::uint32_t residencyCount = 0;
 
+    /** Cumulative FNV-1a fingerprint of the retired-node log at this
+     *  window's close (fnvRetired over every entry so far). Cumulative
+     *  on purpose: once two runs diverge, every later window's hash
+     *  differs too, so the first divergent window is binary-searchable. */
+    std::uint64_t schedHash = kFnvOffsetBasis;
+
     double
     ipc() const
     {
@@ -175,6 +181,7 @@ class IntervalProfiler
             std::max(prof.completeCycle, entry.schedCycle + 1);
         entry.block = block;
         entry.edge = prof.edge;
+        schedHash_ = fnvRetired(schedHash_, entry);
         retired_.push_back(entry);
     }
 
@@ -187,6 +194,9 @@ class IntervalProfiler
     }
     const std::vector<RetiredNode> &retiredLog() const { return retired_; }
 
+    /** Cumulative schedule fingerprint over the whole retired log. */
+    std::uint64_t schedHash() const { return schedHash_; }
+
   private:
     std::uint64_t windowCycles_ = kDefaultWindowCycles;
     int issueWidth_ = 0;
@@ -194,6 +204,7 @@ class IntervalProfiler
     std::vector<WindowSample> windows_;
     std::vector<ResidencyEntry> residency_;
     std::vector<RetiredNode> retired_;
+    std::uint64_t schedHash_ = kFnvOffsetBasis;
 
     /** Previous window's counter snapshot (deltas telescope). */
     CounterSnapshot prev_;

@@ -42,6 +42,27 @@ struct NodeProf
     EdgeKind edge;
 };
 
+/** Stable lower-case name ("data", "forward", ...) of one edge kind. */
+constexpr const char *
+edgeKindName(EdgeKind edge)
+{
+    switch (edge) {
+      case EdgeKind::None:
+        return "none";
+      case EdgeKind::Fetch:
+        return "fetch";
+      case EdgeKind::Branch:
+        return "branch";
+      case EdgeKind::Data:
+        return "data";
+      case EdgeKind::Memory:
+        return "memory";
+      case EdgeKind::Forward:
+        return "forward";
+    }
+    return "?";
+}
+
 /** One entry of the retired-node log (appended in seq order). */
 struct RetiredNode
 {
@@ -54,6 +75,39 @@ struct RetiredNode
     std::uint32_t block; ///< static image block id
     EdgeKind edge;
 };
+
+/** FNV-1a offset basis — the same fingerprint family the engine's
+ *  schedule-parity goldens use, so hashes are comparable idiomatically
+ *  across the observability surface. */
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/** Fold the eight bytes of @p v into the running FNV-1a hash @p h. */
+constexpr std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Fold one retired-node record (every field) into @p h. The cumulative
+ *  hash over a retired log is the schedule fingerprint `fgpsim diff`
+ *  binary-searches to pinpoint the first divergent window and node. */
+constexpr std::uint64_t
+fnvRetired(std::uint64_t h, const RetiredNode &n)
+{
+    h = fnvMix(h, n.seq);
+    h = fnvMix(h, n.parentSeq);
+    h = fnvMix(h, n.issueCycle);
+    h = fnvMix(h, n.readyCycle);
+    h = fnvMix(h, n.schedCycle);
+    h = fnvMix(h, n.completeCycle);
+    h = fnvMix(h, n.block);
+    h = fnvMix(h, static_cast<std::uint64_t>(n.edge));
+    return h;
+}
 
 } // namespace profile
 } // namespace fgp

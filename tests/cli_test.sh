@@ -211,6 +211,116 @@ fi
 grep -q '"schema": "fgpsim-compare-v1"' "$TMP/compare.json"
 grep -q '"regressed": false' "$TMP/compare.json"
 
+# Mismatched cell sets are a distinct failure (exit 3, not the
+# regression exit 1): the unmatched keys are named on stderr.
+grep -v '"workload":"grep"' "$TMP/run_a.jsonl" > "$TMP/run_short.jsonl"
+set +e
+"$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_short.jsonl" \
+    > /dev/null 2> "$TMP/mismatch.err"
+rc=$?
+set -e
+test "$rc" = 3
+grep -q "only in A" "$TMP/mismatch.err"
+grep -q "grep dyn4/8A/enlarged" "$TMP/mismatch.err"
+grep -q "MISMATCHED cell sets" "$TMP/mismatch.err"
+# The JSON mode reports the same verdict machine-readably.
+set +e
+"$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_short.jsonl" --json \
+    > "$TMP/mismatch.json"
+rc=$?
+set -e
+test "$rc" = 3
+grep -q '"mismatched": true' "$TMP/mismatch.json"
+grep -q '"grep dyn4/8A/enlarged"' "$TMP/mismatch.json"
+
+# A failing IPC gate prints per-cell differential attribution inline.
+set +e
+"$FGPSIM" compare "$TMP/run_a.jsonl" "$TMP/run_ipc.jsonl" \
+    > "$TMP/compare_fail.txt" 2>&1
+set -e
+grep -q "Differential attribution" "$TMP/compare_fail.txt"
+grep -q "== sort dyn4/8A/enlarged ==" "$TMP/compare_fail.txt"
+
+# fgpsim diff: the tentpole round-trip. Profile the same workload twice
+# (baseline vs conservative loads — genuinely different schedules), diff
+# the streams, and push the fgpsim-diff-v1 output through the validator:
+# every aligned window's IPC delta must decompose into the stall-slot
+# breakdown with zero residual, recomputed independently by the awk gate.
+"$FGPSIM" profile grep --config dyn4/8A/enlarged --interval 5000 \
+    --plan "$TMP/grep.plan" --conservative --json \
+    > "$TMP/profile_cons.jsonl" 2> /dev/null
+"$FGPSIM" diff "$TMP/profile.jsonl" "$TMP/profile_cons.jsonl" --json \
+    > "$TMP/diff.jsonl"
+sh "$CHECK_BENCH" --validate-diff "$TMP/diff.jsonl"
+grep -q '"kind":"wdelta"' "$TMP/diff.jsonl"
+grep -q '"kind":"dcause"' "$TMP/diff.jsonl"
+grep -q '"kind":"divergence"' "$TMP/diff.jsonl"
+
+# Human output names the cell and the schedule verdict.
+"$FGPSIM" diff "$TMP/profile.jsonl" "$TMP/profile_cons.jsonl" \
+    > "$TMP/diff.txt"
+grep -q "== grep dyn4/8A/enlarged ==" "$TMP/diff.txt"
+grep -q "Windows that moved most" "$TMP/diff.txt"
+
+# A stream diffed against itself is clean: identical fingerprints.
+"$FGPSIM" diff "$TMP/profile.jsonl" "$TMP/profile.jsonl" \
+    | grep -q "identical"
+
+# --retired streams carry the full retired-node log (validator-checked:
+# record count must equal the header's retired_nodes; critedge rows must
+# sum exactly to the critical path).
+"$FGPSIM" profile sort --config static/4A/single --interval 2000 \
+    --json --retired > "$TMP/profile_ret.jsonl" 2> /dev/null
+sh "$CHECK_BENCH" --validate-profile "$TMP/profile_ret.jsonl"
+grep -q '"kind":"retired"' "$TMP/profile_ret.jsonl"
+grep -q '"kind":"critedge"' "$TMP/profile_ret.jsonl"
+
+# Seed a one-node perturbation into the retired log: diff must pinpoint
+# the exact window, node and field, at node level.
+awk 'BEGIN{n=0}
+     /"kind":"retired"/{n++; if (n==100)
+         sub(/"sched_cycle":[0-9]+/, "\"sched_cycle\":54321")}
+     {print}' "$TMP/profile_ret.jsonl" > "$TMP/profile_ret_b.jsonl"
+"$FGPSIM" diff "$TMP/profile_ret.jsonl" "$TMP/profile_ret_b.jsonl" --json \
+    > "$TMP/diff_ret.jsonl"
+sh "$CHECK_BENCH" --validate-diff "$TMP/diff_ret.jsonl"
+grep -q '"level":"node"' "$TMP/diff_ret.jsonl"
+grep -q '"log_index":99,' "$TMP/diff_ret.jsonl"
+grep -q '"field":"sched_cycle"' "$TMP/diff_ret.jsonl"
+grep -q '"value_b":54321' "$TMP/diff_ret.jsonl"
+"$FGPSIM" diff "$TMP/profile_ret.jsonl" "$TMP/profile_ret_b.jsonl" \
+    | grep -q "DIVERGED"
+
+# --folded writes the two-column folded-stack file flamegraph diff
+# tooling consumes; --chrome writes an A/B overlay (two named pids).
+"$FGPSIM" diff "$TMP/profile.jsonl" "$TMP/profile_cons.jsonl" \
+    --folded "$TMP/diff.folded" --chrome "$TMP/diff.trace" > /dev/null
+grep -q "^grep;dyn4/8A/enlarged;" "$TMP/diff.folded"
+# Two trailing count columns (A and B) after the semicolon-joined stack.
+awk '{ if (NF != 3) exit 1 }' "$TMP/diff.folded"
+grep -q '"pid":1' "$TMP/diff.trace"
+grep -q '"pid":2' "$TMP/diff.trace"
+grep -q '"name":"process_name"' "$TMP/diff.trace"
+
+# Manifests diff too: whole-run stall totals become one synthesized
+# window per cell, and the residual still recomputes to zero.
+"$FGPSIM" diff "$TMP/run_a.jsonl" "$TMP/run_ipc.jsonl" --json \
+    > "$TMP/diff_run.jsonl"
+sh "$CHECK_BENCH" --validate-diff "$TMP/diff_run.jsonl"
+
+# fgpsim history grows per-point IPC columns when the run records carry
+# the engine metrics: +20% retired nodes at equal cycles is +20.0% IPC.
+cat > "$TMP/history_ipc.jsonl" <<'JSONL'
+{"schema":"fgpsim-run-v1","kind":"run","bench":"engine","git":"ccc3333","timestamp":3,"jobs":8,"scale":1,"sims":40,"wall_seconds":5.0,"sim_cycles":1000000,"host_ns_per_sim_cycle":800,"engine.retired_nodes":2000000}
+{"schema":"fgpsim-run-v1","kind":"run","bench":"engine","git":"ddd4444","timestamp":4,"jobs":8,"scale":1,"sims":40,"wall_seconds":2.5,"sim_cycles":1000000,"host_ns_per_sim_cycle":400,"engine.retired_nodes":2400000}
+JSONL
+"$FGPSIM" history "$TMP/history_ipc.jsonl" > "$TMP/history_ipc.txt"
+grep -q "2.000" "$TMP/history_ipc.txt"
+grep -q "2.400" "$TMP/history_ipc.txt"
+grep -q -- "+20.0%" "$TMP/history_ipc.txt"
+# Records without the engine metrics still render (dash columns).
+grep -q "d_ipc" "$TMP/history.txt"
+
 # Bad inputs fail cleanly.
 if "$FGPSIM" sim grep --config bogus 2> /dev/null; then
     echo "expected failure on bogus config" >&2
@@ -218,6 +328,10 @@ if "$FGPSIM" sim grep --config bogus 2> /dev/null; then
 fi
 if "$FGPSIM" compare "$TMP/run_a.jsonl" 2> /dev/null; then
     echo "expected failure on compare with one file" >&2
+    exit 1
+fi
+if "$FGPSIM" diff "$TMP/profile.jsonl" 2> /dev/null; then
+    echo "expected failure on diff with one file" >&2
     exit 1
 fi
 echo "cli test ok"

@@ -1,0 +1,360 @@
+/**
+ * Differential-observability invariants (src/diff): the zero-residual
+ * slot attribution of every aligned window pair on real runs of all
+ * workloads, exact schedule-divergence pinpointing on seeded
+ * perturbations, the folded-stack export golden, and stream
+ * loading/joining semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diff/diff.hh"
+#include "diff/flame.hh"
+#include "diff/stream.hh"
+#include "harness/experiment.hh"
+#include "profile/profile.hh"
+#include "profile/record.hh"
+
+namespace fgp {
+namespace {
+
+MachineConfig
+cfg(Discipline d, int issue, char mem, BranchMode branch)
+{
+    return {d, issueModel(issue), memoryConfig(mem), branch};
+}
+
+/** Fold one profiled run into the differ's cell shape. */
+diff::CellStream
+toCell(const std::string &workload, const std::string &config,
+       const ExperimentResult &r)
+{
+    diff::CellStream cell;
+    cell.workload = workload;
+    cell.config = config;
+    cell.issueWidth = static_cast<std::uint64_t>(r.engine.issueWidth);
+    cell.windowCycles = r.profile.windowCycles;
+    cell.cycles = r.engine.cycles;
+    cell.issuedNodes = r.engine.issuedNodes;
+    cell.retiredNodes = r.engine.retiredNodes;
+    cell.critPathCycles = r.profile.critPath.pathCycles;
+    for (const profile::WindowSample &w : r.profile.windows) {
+        diff::CellWindow win;
+        win.index = w.index;
+        win.startCycle = w.startCycle;
+        win.cycles = w.cycles;
+        win.issuedNodes = w.issuedNodes;
+        win.retiredNodes = w.retiredNodes;
+        win.mispredicts = w.mispredicts;
+        win.slots = {w.stalls.fetchRedirectSlots, w.stalls.fetchIdleSlots,
+                     w.stalls.windowFullSlots, w.stalls.shortWordSlots,
+                     w.stalls.drainSlots};
+        win.waits = {w.stalls.operandWaitNodeCycles,
+                     w.stalls.memoryWaitNodeCycles,
+                     w.stalls.serializeWaitNodeCycles,
+                     w.stalls.fuBusyNodeCycles};
+        win.hasHash = true;
+        win.schedHash = w.schedHash;
+        cell.windows.push_back(win);
+    }
+    return cell;
+}
+
+/**
+ * The tentpole identity on real runs: diff a baseline against a
+ * conservative-loads run of every workload and require each aligned
+ * window's IPC delta to decompose into the stall-slot breakdown with
+ * zero residual. Holds even though B's schedule (and window count)
+ * genuinely differs — the identity telescopes per side.
+ */
+TEST(Diff, AttributionClosesOnAllWorkloads)
+{
+    const MachineConfig config =
+        cfg(Discipline::Dyn4, 8, 'A', BranchMode::Enlarged);
+
+    ExperimentRunner::EngineTweaks base;
+    base.profileWindow = 2000;
+    ExperimentRunner::EngineTweaks conservative = base;
+    conservative.conservativeLoads = true;
+
+    for (const std::string &name : workloadNames()) {
+        SCOPED_TRACE(name);
+        ExperimentRunner runner_a(0.2);
+        runner_a.setEngineTweaks(base);
+        const ExperimentResult ra = runner_a.run(name, config);
+        ExperimentRunner runner_b(0.2);
+        runner_b.setEngineTweaks(conservative);
+        const ExperimentResult rb = runner_b.run(name, config);
+        ASSERT_TRUE(ra.profile.enabled);
+        ASSERT_TRUE(rb.profile.enabled);
+
+        const diff::CellStream a = toCell(name, "dyn4/8A/enlarged", ra);
+        const diff::CellStream b = toCell(name, "dyn4/8A/enlarged", rb);
+        const diff::CellDiff d = diff::diffCells(a, b);
+
+        ASSERT_FALSE(d.windows.empty());
+        std::int64_t d_issued = 0, d_slots = 0, d_causes = 0;
+        for (const diff::WindowDelta &w : d.windows) {
+            EXPECT_EQ(w.residual(), 0)
+                << "window " << w.index << " residual";
+            d_issued += static_cast<std::int64_t>(w.issuedB) -
+                        static_cast<std::int64_t>(w.issuedA);
+            d_slots += static_cast<std::int64_t>(w.slotsB) -
+                       static_cast<std::int64_t>(w.slotsA);
+            for (const std::int64_t c : w.dSlots)
+                d_causes += c;
+        }
+        // The per-window identities telescope to the aligned prefix.
+        EXPECT_EQ(d_slots, d_issued + d_causes);
+
+        // Different schedules: the hashes must say so (conservative
+        // loads serialize memory, so B cannot match A).
+        EXPECT_TRUE(d.divergence.diverged());
+    }
+}
+
+/** A deterministic synthetic retired log: seq-ordered, windowed. */
+std::vector<profile::RetiredNode>
+syntheticLog(std::size_t n)
+{
+    std::vector<profile::RetiredNode> log;
+    log.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        profile::RetiredNode node;
+        node.seq = i + 1;
+        node.parentSeq = i / 3;
+        node.issueCycle = static_cast<std::uint32_t>(i / 4);
+        node.readyCycle = static_cast<std::uint32_t>(i / 4 + 1);
+        node.schedCycle = static_cast<std::uint32_t>(i / 4 + 2);
+        node.completeCycle = static_cast<std::uint32_t>(i / 4 + 3);
+        node.block = static_cast<std::uint32_t>(i % 7);
+        node.edge = static_cast<profile::EdgeKind>(i % 6);
+        log.push_back(node);
+    }
+    return log;
+}
+
+TEST(Diff, PinpointsSeededSingleNodeDivergence)
+{
+    const std::vector<profile::RetiredNode> a = syntheticLog(1000);
+    // 10 windows of 100 retired nodes each.
+    const std::vector<std::uint64_t> cuts(10, 100);
+
+    std::vector<profile::RetiredNode> b = a;
+    b[537].schedCycle += 11; // seed: one node, one field, window 5
+
+    const diff::WindowedLog wa = diff::buildWindowedLog(a, cuts);
+    const diff::WindowedLog wb = diff::buildWindowedLog(b, cuts);
+    ASSERT_EQ(wa.windowEnds.size(), 10u);
+
+    const diff::Divergence div = diff::pinpointDivergence(wa, wb);
+    EXPECT_EQ(div.level, diff::Divergence::Level::Node);
+    EXPECT_EQ(div.firstWindow, 5u);
+    EXPECT_EQ(div.logIndex, 537u);
+    EXPECT_EQ(div.seq, 538u);
+    EXPECT_EQ(div.field, "sched_cycle");
+    EXPECT_EQ(div.valueA, a[537].schedCycle);
+    EXPECT_EQ(div.valueB, b[537].schedCycle);
+    EXPECT_FALSE(div.truncated);
+    EXPECT_NE(div.hashA, div.hashB);
+
+    // The binary search is symmetric in its verdict.
+    const diff::Divergence rev = diff::pinpointDivergence(wb, wa);
+    EXPECT_EQ(rev.level, diff::Divergence::Level::Node);
+    EXPECT_EQ(rev.logIndex, 537u);
+    EXPECT_EQ(rev.field, "sched_cycle");
+}
+
+TEST(Diff, IdenticalLogsReportIdentical)
+{
+    const std::vector<profile::RetiredNode> a = syntheticLog(250);
+    const std::vector<std::uint64_t> cuts = {100, 100, 50};
+    const diff::WindowedLog wa = diff::buildWindowedLog(a, cuts);
+    const diff::WindowedLog wb = diff::buildWindowedLog(a, cuts);
+    const diff::Divergence div = diff::pinpointDivergence(wa, wb);
+    EXPECT_EQ(div.level, diff::Divergence::Level::Identical);
+    EXPECT_FALSE(div.diverged());
+}
+
+TEST(Diff, TruncatedLogIsReportedAsTruncation)
+{
+    const std::vector<profile::RetiredNode> a = syntheticLog(300);
+    std::vector<profile::RetiredNode> b(a.begin(), a.begin() + 210);
+    const diff::WindowedLog wa =
+        diff::buildWindowedLog(a, {100, 100, 100});
+    const diff::WindowedLog wb = diff::buildWindowedLog(b, {100, 100, 10});
+    const diff::Divergence div = diff::pinpointDivergence(wa, wb);
+    EXPECT_EQ(div.level, diff::Divergence::Level::Node);
+    EXPECT_TRUE(div.truncated);
+    EXPECT_EQ(div.field, "log_length");
+    EXPECT_EQ(div.firstWindow, 2u);
+}
+
+TEST(Diff, FirstDivergentNodeBeatsLaterOnes)
+{
+    const std::vector<profile::RetiredNode> a = syntheticLog(400);
+    std::vector<profile::RetiredNode> b = a;
+    b[42].block += 1;
+    b[301].completeCycle += 5; // later drift must not win
+    const diff::WindowedLog wa = diff::buildWindowedLog(a, {200, 200});
+    const diff::WindowedLog wb = diff::buildWindowedLog(b, {200, 200});
+    const diff::Divergence div = diff::pinpointDivergence(wa, wb);
+    EXPECT_EQ(div.level, diff::Divergence::Level::Node);
+    EXPECT_EQ(div.logIndex, 42u);
+    EXPECT_EQ(div.field, "block");
+    EXPECT_EQ(div.firstWindow, 0u);
+}
+
+/** Hand-built cell: two blocks with joint causes, stable golden. */
+TEST(Diff, FoldedStackExportGolden)
+{
+    diff::CellDiff cell;
+    cell.workload = "sort";
+    cell.config = "dyn4/8A/enlarged";
+
+    diff::BlockDelta b0;
+    b0.block = 3;
+    b0.entryPc = 19;
+    b0.hasCauses = true;
+    b0.causesA[static_cast<std::size_t>(profile::CritCause::Operand)] = 40;
+    b0.causesB[static_cast<std::size_t>(profile::CritCause::Operand)] = 55;
+    b0.causesA[static_cast<std::size_t>(profile::CritCause::Memory)] = 7;
+    b0.causesB[static_cast<std::size_t>(profile::CritCause::Memory)] = 7;
+    diff::BlockDelta b1;
+    b1.block = 9;
+    b1.entryPc = -1; // no pc known: frame stays block_9
+    b1.hasCauses = true;
+    b1.causesA[static_cast<std::size_t>(profile::CritCause::Fetch)] = 12;
+    b1.causesB[static_cast<std::size_t>(profile::CritCause::Fetch)] = 3;
+    cell.blocks = {b0, b1};
+
+    std::ostringstream out;
+    const std::size_t lines = diff::writeFoldedDiff(out, cell);
+    EXPECT_EQ(lines, 3u);
+    EXPECT_EQ(out.str(),
+              "sort;dyn4/8A/enlarged;block_3@pc19;operand 40 55\n"
+              "sort;dyn4/8A/enlarged;block_3@pc19;memory 7 7\n"
+              "sort;dyn4/8A/enlarged;block_9;fetch 12 3\n");
+}
+
+TEST(Diff, FoldedStackFallsBackWithoutJointCauses)
+{
+    diff::CellDiff cell;
+    cell.workload = "w";
+    cell.config = "c";
+    diff::BlockDelta blk;
+    blk.block = 2;
+    blk.entryPc = 5;
+    blk.a = 10;
+    blk.b = 12;
+    blk.hasCauses = false;
+    cell.blocks = {blk};
+    diff::CauseDelta cause;
+    cause.cause = "operand";
+    cause.a = 30;
+    cause.b = 31;
+    cell.causes = {cause};
+
+    // Block-level stacks win over cause-level when blocks exist.
+    std::ostringstream out;
+    EXPECT_EQ(diff::writeFoldedDiff(out, cell), 1u);
+    EXPECT_EQ(out.str(), "w;c;block_2@pc5 10 12\n");
+
+    cell.blocks.clear();
+    std::ostringstream causes_only;
+    EXPECT_EQ(diff::writeFoldedDiff(causes_only, cell), 1u);
+    EXPECT_EQ(causes_only.str(), "w;c;operand 30 31\n");
+}
+
+/** Minimal textual streams drive the loader + join end to end. */
+TEST(Diff, StreamJoinReportsUnmatchedCells)
+{
+    const std::string a_text =
+        "{\"schema\":\"fgpsim-run-v1\",\"kind\":\"run\",\"bench\":\"x\"}\n"
+        "{\"kind\":\"point\",\"workload\":\"sort\",\"config\":\"c1\","
+        "\"cycles\":100,\"issued_nodes\":300,\"issue_width\":4,"
+        "\"nodes_per_cycle\":2.0,\"stall_fetch_redirect\":20,"
+        "\"stall_fetch_idle\":30,\"stall_window_full\":25,"
+        "\"stall_short_word\":15,\"stall_drain\":10}\n"
+        "{\"kind\":\"point\",\"workload\":\"grep\",\"config\":\"c1\","
+        "\"cycles\":50,\"issued_nodes\":120,\"issue_width\":4,"
+        "\"nodes_per_cycle\":1.5,\"stall_fetch_redirect\":30,"
+        "\"stall_fetch_idle\":20,\"stall_window_full\":10,"
+        "\"stall_short_word\":15,\"stall_drain\":5}\n";
+    const std::string b_text =
+        "{\"schema\":\"fgpsim-run-v1\",\"kind\":\"run\",\"bench\":\"x\"}\n"
+        "{\"kind\":\"point\",\"workload\":\"sort\",\"config\":\"c1\","
+        "\"cycles\":120,\"issued_nodes\":310,\"issue_width\":4,"
+        "\"nodes_per_cycle\":1.8,\"stall_fetch_redirect\":40,"
+        "\"stall_fetch_idle\":50,\"stall_window_full\":35,"
+        "\"stall_short_word\":25,\"stall_drain\":20}\n"
+        "{\"kind\":\"point\",\"workload\":\"cpp\",\"config\":\"c1\","
+        "\"cycles\":10,\"issued_nodes\":30,\"issue_width\":4,"
+        "\"nodes_per_cycle\":1.0,\"stall_fetch_redirect\":4,"
+        "\"stall_fetch_idle\":3,\"stall_window_full\":2,"
+        "\"stall_short_word\":1,\"stall_drain\":0}\n";
+
+    std::istringstream ia(a_text), ib(b_text);
+    const diff::Stream a = diff::loadStream(ia, "a");
+    const diff::Stream b = diff::loadStream(ib, "b");
+    ASSERT_EQ(a.cells.size(), 2u);
+    ASSERT_EQ(b.cells.size(), 2u);
+
+    const diff::DiffResult result = diff::diffStreams(a, b);
+    ASSERT_EQ(result.cells.size(), 1u);
+    EXPECT_EQ(result.cells[0].workload, "sort");
+    ASSERT_EQ(result.onlyA.size(), 1u);
+    EXPECT_EQ(result.onlyA[0], "grep c1");
+    ASSERT_EQ(result.onlyB.size(), 1u);
+    EXPECT_EQ(result.onlyB[0], "cpp c1");
+
+    // Manifests carry no windows, so the loader synthesizes one
+    // run-spanning window per cell from the whole-run stall totals —
+    // and the differential slot identity must close on it too:
+    // A: 300 issued + 100 stalls == 100 cycles * width 4;
+    // B: 310 issued + 170 stalls == 120 cycles * width 4.
+    const diff::CellDiff &sort_cell = result.cells[0];
+    ASSERT_EQ(sort_cell.windows.size(), 1u);
+    EXPECT_EQ(sort_cell.windows[0].residual(), 0);
+    EXPECT_EQ(sort_cell.windows[0].slotsA, 400u);
+    EXPECT_EQ(sort_cell.windows[0].slotsB, 480u);
+}
+
+TEST(Diff, ProfileStreamHashesReachDivergence)
+{
+    // Two single-window profile streams whose hashes differ: without
+    // retired logs the differ must still flag run-level divergence via
+    // the window fingerprints.
+    const char *fmt =
+        "{\"schema\":\"fgpsim-profile-v1\",\"kind\":\"profile\","
+        "\"workload\":\"sort\",\"config\":\"c\",\"issue_width\":4,"
+        "\"window_cycles\":100,\"cycles\":100,\"issued_nodes\":300,"
+        "\"retired_nodes\":200,\"nodes_per_cycle\":2.0,"
+        "\"crit_path_cycles\":80,\"sched_hash\":\"%s\"}\n"
+        "{\"kind\":\"window\",\"index\":0,\"start_cycle\":0,"
+        "\"cycles\":100,\"issued_nodes\":300,\"retired_nodes\":200,"
+        "\"stall_fetch_redirect\":40,\"stall_fetch_idle\":30,"
+        "\"stall_window_full\":20,\"stall_short_word\":10,"
+        "\"stall_drain\":0,\"sched_hash\":\"%s\"}\n";
+    char a_text[1024], b_text[1024];
+    std::snprintf(a_text, sizeof a_text, fmt, "0xaaaaaaaaaaaaaaaa",
+                  "0xaaaaaaaaaaaaaaaa");
+    std::snprintf(b_text, sizeof b_text, fmt, "0xbbbbbbbbbbbbbbbb",
+                  "0xbbbbbbbbbbbbbbbb");
+
+    std::istringstream ia{std::string(a_text)}, ib{std::string(b_text)};
+    const diff::Stream a = diff::loadStream(ia, "a");
+    const diff::Stream b = diff::loadStream(ib, "b");
+    const diff::CellDiff d = diff::diffCells(a.cells[0], b.cells[0]);
+    EXPECT_EQ(d.divergence.level, diff::Divergence::Level::Window);
+    EXPECT_EQ(d.divergence.firstWindow, 0u);
+    ASSERT_EQ(d.windows.size(), 1u);
+    EXPECT_EQ(d.windows[0].residual(), 0);
+}
+
+} // namespace
+} // namespace fgp

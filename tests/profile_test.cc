@@ -210,6 +210,15 @@ TEST(Profile, CriticalPathIsSoundOnAllWorkloads)
                 block_total += c;
             EXPECT_EQ(block_total, cp.pathCycles);
             EXPECT_EQ(cp.blockCycles.size(), r.engine.blockStats.size());
+            // The joint block x cause matrix refines both marginals:
+            // each row sums to its block's path cycles.
+            ASSERT_EQ(cp.blockCauses.size(), cp.blockCycles.size());
+            for (std::size_t b = 0; b < cp.blockCauses.size(); ++b) {
+                std::uint64_t row = 0;
+                for (std::uint64_t c : cp.blockCauses[b])
+                    row += c;
+                EXPECT_EQ(row, cp.blockCycles[b]);
+            }
             // Path-implied IPC <= 1 <= the analyzer's static bound.
             EXPECT_LE(cp.impliedIpc(), 1.0);
             EXPECT_LE(cp.impliedIpc(), r.staticIpcBound + 1e-9);
@@ -264,6 +273,7 @@ TEST(Profile, BitIdenticalAcrossSweepThreadCounts)
             EXPECT_EQ(x.liveMax, y.liveMax);
             EXPECT_EQ(x.storeQueueMax, y.storeQueueMax);
             EXPECT_EQ(x.writeBufMax, y.writeBufMax);
+            EXPECT_EQ(x.schedHash, y.schedHash);
         }
         EXPECT_EQ(a.critPath.pathCycles, b.critPath.pathCycles);
         EXPECT_EQ(a.critPath.pathNodes, b.critPath.pathNodes);
@@ -319,12 +329,18 @@ TEST(Profile, ExtractorHandlesDegenerateLogs)
         profile::extractCriticalPath({n}, 10, 4);
     EXPECT_EQ(one.pathCycles, 10u);
     EXPECT_EQ(one.pathNodes, 1u);
-    EXPECT_EQ(one.retireCycles, 1u);   // 9 -> 10
-    EXPECT_EQ(one.executeCycles, 4u);  // 5 -> 9
-    EXPECT_EQ(one.fuBusyCycles, 3u);   // 2 -> 5
-    EXPECT_EQ(one.operandCycles, 2u);  // 0 -> 2 (Data edge)
+    EXPECT_EQ(one.cause(profile::CritCause::Retire), 1u);  // 9 -> 10
+    EXPECT_EQ(one.cause(profile::CritCause::Execute), 4u); // 5 -> 9
+    EXPECT_EQ(one.cause(profile::CritCause::FuBusy), 3u);  // 2 -> 5
+    EXPECT_EQ(one.cause(profile::CritCause::Operand),
+              2u); // 0 -> 2 (Data edge)
     EXPECT_EQ(one.causeTotal(), one.pathCycles);
     EXPECT_EQ(one.blockCycles[1], 10u);
+    ASSERT_EQ(one.blockCauses.size(), 4u);
+    std::uint64_t row = 0;
+    for (const std::uint64_t c : one.blockCauses[1])
+        row += c;
+    EXPECT_EQ(row, one.blockCycles[1]);
     EXPECT_LE(one.impliedIpc(), 1.0);
 }
 

@@ -46,7 +46,20 @@
 #       issued + sum(stall slots) == cycles * issue_width, the
 #       window-sum identities (retired/cycles vs the header), and the
 #       critical-path bounds crit_path_cycles <= cycles and
-#       implied IPC <= static_ipc_bound.
+#       implied IPC <= static_ipc_bound. "critedge" (joint block x
+#       cause) records must sum exactly to crit_path_cycles; "retired"
+#       records (--retired streams) are schema-checked and counted
+#       against the header's retired_nodes.
+#
+#   tools/check_bench.sh --validate-diff <dump.jsonl>
+#       Schema-validate an `fgpsim diff --json` stream
+#       ("fgpsim-diff-v1"): the header line, and for every "wdelta"
+#       record the differential slot-closure identity — the recomputed
+#       residual (slots_b - slots_a) - (issued_b - issued_a)
+#       - sum(d_stall_<slot causes>) must be zero and must equal the
+#       record's own residual field. "dcause"/"dblock" deltas must
+#       equal b - a; "divergence" records must carry a level and, at
+#       node level, the pinpointed seq/log_index/field.
 #
 # Pure POSIX sh + awk so it runs anywhere the build runs.
 set -eu
@@ -359,6 +372,22 @@ validate_profile() {
             } else if (index($0, "\"kind\":\"critblock\"")) {
                 num("block"); num("retired_nodes"); num("ipc_bound")
                 block_cycles += num("path_cycles")
+            } else if (index($0, "\"kind\":\"critedge\"")) {
+                # Joint block x cause cells: unlike the top-N critblock
+                # ranking these are exhaustive, so they must telescope
+                # exactly to the whole path (checked in END).
+                num("block")
+                if (!match($0, "\"cause\":[ ]*\""))
+                    die("critedge record without a cause")
+                edge_records += 1
+                edge_cycles += num("cycles")
+            } else if (index($0, "\"kind\":\"retired\"")) {
+                num("seq"); num("parent_seq"); num("issue_cycle")
+                num("ready_cycle"); num("sched_cycle")
+                num("complete_cycle"); num("block"); num("window")
+                if (!match($0, "\"edge\":[ ]*\""))
+                    die("retired record without an edge kind")
+                retired_records += 1
             } else {
                 die("unknown record kind")
             }
@@ -399,8 +428,118 @@ validate_profile() {
                        FILENAME, block_cycles, path > "/dev/stderr"
                 exit 1
             }
+            # The joint block x cause table partitions the path exactly:
+            # every critical-path cycle lands on one (block, cause) cell.
+            if (edge_records && edge_cycles != path) {
+                printf "check_bench: %s: critedge cycles sum %d != crit_path_cycles %d\n",
+                       FILENAME, edge_cycles, path > "/dev/stderr"
+                exit 1
+            }
+            if (retired_records && retired_records != retired) {
+                printf "check_bench: %s: %d retired records, header said %d retired nodes\n",
+                       FILENAME, retired_records, retired > "/dev/stderr"
+                exit 1
+            }
             printf "check_bench: %s: profile schema OK (%d windows close, path %d cycles)\n",
                    FILENAME, windows, path
+        }' "$dump"
+}
+
+validate_diff() {
+    dump="$1"
+    if [ ! -f "$dump" ]; then
+        echo "check_bench: diff dump $dump missing" >&2
+        exit 1
+    fi
+    awk '
+        function die(msg) {
+            printf "check_bench: %s: line %d: %s\n", FILENAME, FNR, msg \
+                > "/dev/stderr"
+            failed = 1
+            exit 1
+        }
+        function num(key,    s) {
+            if (!match($0, "\"" key "\":[ ]*[-+0-9.eE]+"))
+                die("missing numeric field \"" key "\"")
+            s = substr($0, RSTART, RLENGTH)
+            sub("\"" key "\":[ ]*", "", s)
+            return s + 0
+        }
+        /^[ \t]*$/ { next }
+        /^#/ { next }
+        {
+            records += 1
+            if (index($0, "\"kind\":\"diff\"")) {
+                if (records != 1)
+                    die("\"diff\" header must be the first record")
+                if (!index($0, "\"schema\":\"fgpsim-diff-v1\""))
+                    die("header without the fgpsim-diff-v1 schema tag")
+                expect_cells = num("cells")
+            } else if (index($0, "\"kind\":\"cell\"")) {
+                if (!records)
+                    die("cell record before the diff header")
+                cells += 1
+                num("cycles_a"); num("cycles_b")
+                num("retired_a"); num("retired_b")
+                num("ipc_a"); num("ipc_b")
+            } else if (index($0, "\"kind\":\"wdelta\"")) {
+                wdeltas += 1
+                # The differential slot-closure identity: recompute the
+                # residual from the record itself and require both the
+                # recomputation and the emitted field to be zero. This
+                # is the zero-residual attribution gate — any engine
+                # accounting drift between runs A and B surfaces here.
+                resid = (num("slots_b") - num("slots_a")) \
+                      - (num("issued_b") - num("issued_a")) \
+                      - num("d_stall_fetch_redirect") \
+                      - num("d_stall_fetch_idle") \
+                      - num("d_stall_window_full") \
+                      - num("d_stall_short_word") \
+                      - num("d_stall_drain")
+                if (resid != 0)
+                    die(sprintf("wdelta residual recomputes to %d, not 0", resid))
+                if (num("residual") != 0)
+                    die("wdelta carries a nonzero residual field")
+            } else if (index($0, "\"kind\":\"dcause\"")) {
+                if (!match($0, "\"cause\":[ ]*\""))
+                    die("dcause record without a cause")
+                if (num("delta") != num("cycles_b") - num("cycles_a"))
+                    die("dcause delta != cycles_b - cycles_a")
+            } else if (index($0, "\"kind\":\"dblock\"")) {
+                num("block")
+                if (num("delta") != num("path_cycles_b") - num("path_cycles_a"))
+                    die("dblock delta != path_cycles_b - path_cycles_a")
+            } else if (index($0, "\"kind\":\"divergence\"")) {
+                if (!match($0, "\"level\":[ ]*\""))
+                    die("divergence record without a level")
+                divergences += 1
+                if (index($0, "\"level\":\"node\"")) {
+                    num("first_window"); num("seq"); num("log_index")
+                    num("value_a"); num("value_b")
+                    if (!match($0, "\"field\":[ ]*\""))
+                        die("node-level divergence without a field name")
+                } else if (index($0, "\"level\":\"window\"")) {
+                    num("first_window")
+                }
+            } else {
+                die("unknown record kind")
+            }
+        }
+        END {
+            if (failed)
+                exit 1
+            if (!records) {
+                printf "check_bench: %s: empty diff dump\n", FILENAME \
+                    > "/dev/stderr"
+                exit 1
+            }
+            if (cells != expect_cells) {
+                printf "check_bench: %s: %d cell records, header said %d\n",
+                       FILENAME, cells, expect_cells > "/dev/stderr"
+                exit 1
+            }
+            printf "check_bench: %s: diff schema OK (%d cells, %d wdeltas close, %d divergence records)\n",
+                   FILENAME, cells, wdeltas, divergences
         }' "$dump"
 }
 
@@ -427,6 +566,10 @@ case "${1:-}" in
         ;;
     --validate-profile)
         validate_profile "${2:?usage: check_bench.sh --validate-profile <dump.jsonl>}"
+        exit 0
+        ;;
+    --validate-diff)
+        validate_diff "${2:?usage: check_bench.sh --validate-diff <dump.jsonl>}"
         exit 0
         ;;
 esac

@@ -62,6 +62,20 @@ echo "=== profile round-trip: fgpsim profile --json + validate ==="
     --interval 5000 --json > "$BUILD/profile_gate.jsonl" 2>/dev/null
 sh tools/check_bench.sh --validate-profile "$BUILD/profile_gate.jsonl"
 
+# Differential round-trip under ASan/UBSan: profile the same workload
+# with and without static disambiguation, diff the two streams, and
+# validate the fgpsim-diff-v1 output — every aligned window's IPC delta
+# must decompose into the stall-slot breakdown with zero residual
+# (check_bench recomputes the residual independently of the differ).
+echo "=== diff round-trip: fgpsim diff --json + validate ==="
+FGP_STATIC_DISAMBIG=1 "$BUILD/tools/fgpsim" profile grep \
+    --config dyn4/8A/enlarged --interval 5000 --json \
+    > "$BUILD/profile_gate_sd.jsonl" 2>/dev/null
+"$BUILD/tools/fgpsim" diff \
+    "$BUILD/profile_gate.jsonl" "$BUILD/profile_gate_sd.jsonl" \
+    --json > "$BUILD/diff_gate.jsonl"
+sh tools/check_bench.sh --validate-diff "$BUILD/diff_gate.jsonl"
+
 # Perf gate: run the reduced perf slice twice and compare the two
 # fgpsim-run-v1 manifests. IPC is deterministic, so any IPC delta is a
 # real regression; wall time is host noise on a loaded CI machine, so it
@@ -75,9 +89,16 @@ FGP_SCALE="$PERF_SCALE" FGP_RUN_MANIFEST="$BUILD/perf_gate_b.jsonl" \
     "$BUILD/bench/perf_selfcheck" --reduced --out "$BUILD/perf_gate_b.json"
 sh tools/check_bench.sh --validate-run "$BUILD/perf_gate_a.jsonl"
 sh tools/check_bench.sh --validate-run "$BUILD/perf_gate_b.jsonl"
+# compare prints per-cell diff attribution itself when an IPC gate
+# fails; the explicit fgpsim diff fallback also covers wall-time and
+# cell-set failures before the stage exits nonzero.
 "$BUILD/tools/fgpsim" compare \
     "$BUILD/perf_gate_a.jsonl" "$BUILD/perf_gate_b.jsonl" \
-    --tolerance 10% --wall-tolerance 75%
+    --tolerance 10% --wall-tolerance 75% || {
+    "$BUILD/tools/fgpsim" diff \
+        "$BUILD/perf_gate_a.jsonl" "$BUILD/perf_gate_b.jsonl" || true
+    exit 1
+}
 
 # Release perf gate: the sanitizer gate above proves determinism, but
 # its instrumented wall times say nothing about real speed. This stage
@@ -101,7 +122,12 @@ sh tools/check_bench.sh --validate-run "$REL_BUILD/perf_gate_a.jsonl"
 sh tools/check_bench.sh --validate-run "$REL_BUILD/perf_gate_b.jsonl"
 "$REL_BUILD/tools/fgpsim" compare \
     "$REL_BUILD/perf_gate_a.jsonl" "$REL_BUILD/perf_gate_b.jsonl" \
-    --tolerance 10% --wall-tolerance 40%
+    --tolerance 10% --wall-tolerance 40% || {
+    "$REL_BUILD/tools/fgpsim" diff \
+        "$REL_BUILD/perf_gate_a.jsonl" "$REL_BUILD/perf_gate_b.jsonl" \
+        || true
+    exit 1
+}
 
 # Same release gate with static disambiguation consuming its facts:
 # schedules change (loads hoist above proven-independent stores), so
@@ -117,7 +143,22 @@ FGP_STATIC_DISAMBIG=1 FGP_SCALE="$PERF_SCALE" \
 sh tools/check_bench.sh --validate-run "$REL_BUILD/perf_gate_sd_a.jsonl"
 "$REL_BUILD/tools/fgpsim" compare \
     "$REL_BUILD/perf_gate_sd_a.jsonl" "$REL_BUILD/perf_gate_sd_b.jsonl" \
-    --tolerance 10% --wall-tolerance 40%
+    --tolerance 10% --wall-tolerance 40% || {
+    "$REL_BUILD/tools/fgpsim" diff \
+        "$REL_BUILD/perf_gate_sd_a.jsonl" "$REL_BUILD/perf_gate_sd_b.jsonl" \
+        || true
+    exit 1
+}
+
+# Cross-config differential attribution over the manifests themselves:
+# baseline vs static-disambiguation runs of the same reduced slice.
+# Run-v1 manifests carry whole-run stall totals per cell, so the differ
+# synthesizes one run-spanning window per cell — the slot identity holds
+# globally, and the validator recomputes every residual to zero.
+"$REL_BUILD/tools/fgpsim" diff \
+    "$REL_BUILD/perf_gate_a.jsonl" "$REL_BUILD/perf_gate_sd_a.jsonl" \
+    --json > "$REL_BUILD/diff_gate_sd.jsonl"
+sh tools/check_bench.sh --validate-diff "$REL_BUILD/diff_gate_sd.jsonl"
 
 # ThreadSanitizer stage: the harness fans sweeps out across threads
 # (harness/parallel.hh), so race coverage matters. RelWithDebInfo keeps
@@ -154,3 +195,17 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "$TSAN_BUILD/tools/fgpsim" profile grep --config dyn256/8G/single \
     --interval 5000 --json > "$TSAN_BUILD/profile_gate.jsonl" 2>/dev/null
 sh tools/check_bench.sh --validate-profile "$TSAN_BUILD/profile_gate.jsonl"
+
+# Diff round-trip under TSan: same FGP_STATIC_DISAMBIG pair as the ASan
+# stage, including the retired-node log so the schedule-divergence
+# pinpointing path (per-window FNV fingerprints + binary search) runs
+# under the race detector too.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" FGP_STATIC_DISAMBIG=1 \
+    "$TSAN_BUILD/tools/fgpsim" profile grep --config dyn256/8G/single \
+    --interval 5000 --json --retired \
+    > "$TSAN_BUILD/profile_gate_sd.jsonl" 2>/dev/null
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$TSAN_BUILD/tools/fgpsim" diff \
+    "$TSAN_BUILD/profile_gate.jsonl" "$TSAN_BUILD/profile_gate_sd.jsonl" \
+    --json > "$TSAN_BUILD/diff_gate.jsonl"
+sh tools/check_bench.sh --validate-diff "$TSAN_BUILD/diff_gate.jsonl"

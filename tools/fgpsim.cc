@@ -54,16 +54,21 @@
  * run/simulate on input set 2, exactly like the paper's protocol.
  */
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
 #include "base/table.hh"
 #include "bbe/enlarge.hh"
+#include "diff/diff.hh"
+#include "diff/flame.hh"
+#include "diff/stream.hh"
 #include "engine/engine.hh"
 #include "ir/cfg.hh"
 #include "ir/printer.hh"
@@ -112,7 +117,7 @@ usage()
     std::cerr <<
         "usage: fgpsim <command> <src> [flags]\n"
         "  commands: asm | run | profile | bbe | sim | trace | report |\n"
-        "            check | analyze | compare | history\n"
+        "            check | analyze | compare | diff | history\n"
         "  <src>: benchmark name (sort grep diff cpp compress) or .s file\n"
         "  common flags: --stdin FILE, --out FILE\n"
         "  bbe flags:    --profile FILE [--max-chain N] [--ratio R]\n"
@@ -129,11 +134,23 @@ usage()
         "                alias classes ranked by may-alias density)\n"
         "  compare:      fgpsim compare A.jsonl B.jsonl\n"
         "                [--tolerance P%] [--wall-tolerance P%] [--json]\n"
-        "                (fgpsim-run-v1 manifests; exit 1 on regression)\n"
+        "                (fgpsim-run-v1 manifests; exit 1 on regression,\n"
+        "                3 on mismatched cell sets)\n"
+        "  diff:         fgpsim diff A.jsonl B.jsonl [--top N] [--json]\n"
+        "                [--folded FILE] [--chrome FILE]\n"
+        "                (fgpsim-profile-v1 or fgpsim-run-v1 streams;\n"
+        "                per-window stall-slot attribution of the IPC\n"
+        "                delta, critical-path cause/block deltas, and\n"
+        "                schedule-divergence pinpointing; --json emits\n"
+        "                fgpsim-diff-v1, --folded writes a two-column\n"
+        "                folded-stack file for flamegraph diffing,\n"
+        "                --chrome writes an A/B overlay trace)\n"
         "  profile (interval mode, any of these flags selects it):\n"
         "                --config CFG [--interval CYCLES] [--json]\n"
-        "                [--chrome FILE] [--top N] plus the sim flags;\n"
-        "                --json emits fgpsim-profile-v1 JSONL\n"
+        "                [--chrome FILE] [--top N] [--retired] plus the\n"
+        "                sim flags; --json emits fgpsim-profile-v1 JSONL;\n"
+        "                --retired appends the retired-node log (exact\n"
+        "                divergence pinpointing in fgpsim diff)\n"
         "  history:      fgpsim history BENCH_history.jsonl\n";
     std::exit(2);
 }
@@ -291,7 +308,16 @@ cmdProfileInterval(const Options &opts)
     }
 
     CodeImage translated = image;
-    translate(translated, config);
+    if (analyze::staticDisambigEnabled()) {
+        // Replicate the harness: FGP_STATIC_DISAMBIG feeds proven
+        // no-alias facts to the static scheduler, so profiled runs see
+        // the same schedules the sweeps measure.
+        TranslateOptions txopts;
+        txopts.disambigHook = analyze::disambigSchedulingHook();
+        translate(translated, config, txopts);
+    } else {
+        translate(translated, config);
+    }
 
     // Static ceilings for the measured-vs-bound comparison.
     const analyze::ImageAnalysis analysis =
@@ -301,6 +327,16 @@ cmdProfileInterval(const Options &opts)
         if (b.block >= 0 &&
             static_cast<std::size_t>(b.block) < bounds.size())
             bounds[static_cast<std::size_t>(b.block)] = b.packedBound;
+
+    analyze::DisambigImage disambig_facts;
+    const bool disambig_fast = analyze::staticDisambigEnabled();
+    const bool disambig_xcheck = analyze::disambigXcheckEnabled();
+    if (disambig_fast || disambig_xcheck) {
+        disambig_facts = analyze::disambigImage(translated);
+        eopts.disambig = &disambig_facts;
+        eopts.disambigFastPath = disambig_fast;
+        eopts.disambigXcheck = disambig_xcheck;
+    }
 
     profile::IntervalProfiler profiler;
     if (opts.has("interval"))
@@ -339,11 +375,11 @@ cmdProfileInterval(const Options &opts)
         const char *name;
         std::uint64_t cycles;
     };
-    const Cause causes[] = {
-        {"fetch", cp.fetchCycles},     {"branch", cp.branchCycles},
-        {"operand", cp.operandCycles}, {"memory", cp.memoryCycles},
-        {"forward", cp.forwardCycles}, {"fu_busy", cp.fuBusyCycles},
-        {"execute", cp.executeCycles}, {"retire", cp.retireCycles}};
+    std::vector<Cause> causes;
+    for (std::size_t c = 0; c < profile::kCritCauseCount; ++c)
+        causes.push_back(
+            {profile::critCauseName(static_cast<profile::CritCause>(c)),
+             cp.causeCycles[c]});
 
     if (opts.has("chrome")) {
         std::ofstream chrome(opts.get("chrome"), std::ios::binary);
@@ -393,6 +429,7 @@ cmdProfileInterval(const Options &opts)
             w.field("window_cycles", profiler.windowCycles());
             w.field("issue_width", width);
             w.field("cycles", r.cycles);
+            w.field("issued_nodes", r.issuedNodes);
             w.field("retired_nodes", r.retiredNodes);
             w.field("nodes_per_cycle", r.nodesPerCycle());
             w.field("static_ipc_bound", analysis.staticIpcBound);
@@ -401,6 +438,9 @@ cmdProfileInterval(const Options &opts)
             w.field("crit_path_implied_ipc", cp.impliedIpc());
             w.field("windows",
                     static_cast<std::uint64_t>(windows.size()));
+            w.field("sched_hash",
+                    format("0x%016llx", static_cast<unsigned long long>(
+                                            profiler.schedHash())));
             line(w);
         }
         for (const profile::WindowSample &win : windows) {
@@ -438,6 +478,9 @@ cmdProfileInterval(const Options &opts)
             w.field("live_max", win.liveMax);
             w.field("store_queue_max", win.storeQueueMax);
             w.field("write_buf_max", win.writeBufMax);
+            w.field("sched_hash",
+                    format("0x%016llx", static_cast<unsigned long long>(
+                                            win.schedHash)));
             line(w);
         }
         for (const profile::WindowSample &win : windows) {
@@ -480,6 +523,61 @@ cmdProfileInterval(const Options &opts)
             w.field("retired_nodes", r.blockStats[i].retiredNodes);
             w.field("ipc_bound", bounds[i]);
             line(w);
+        }
+        // Full joint block x cause attribution — every nonzero cell,
+        // not top-N, so the critedge records sum exactly to the path
+        // length (the differential folded-stack export's raw material).
+        for (std::size_t i = 0; i < cp.blockCauses.size(); ++i) {
+            for (std::size_t c = 0; c < profile::kCritCauseCount; ++c) {
+                if (!cp.blockCauses[i][c])
+                    continue;
+                metrics::JsonLineWriter w;
+                w.field("kind", "critedge");
+                w.field("block", static_cast<std::uint64_t>(i));
+                w.field("entry_pc",
+                        static_cast<int>(r.blockStats[i].entryPc));
+                w.field("cause",
+                        profile::critCauseName(
+                            static_cast<profile::CritCause>(c)));
+                w.field("cycles", cp.blockCauses[i][c]);
+                line(w);
+            }
+        }
+        if (opts.has("retired")) {
+            // Stream the retired-node log itself so `fgpsim diff` can
+            // pinpoint the exact first divergent node, not just the
+            // window. Each node carries its window index (windows are
+            // closed in retirement order, so a cumulative count walk
+            // assigns them exactly).
+            const auto &log = profiler.retiredLog();
+            std::size_t win_idx = 0;
+            std::uint64_t win_end =
+                windows.empty() ? log.size() : windows[0].retiredNodes;
+            for (std::size_t i = 0; i < log.size(); ++i) {
+                while (win_idx + 1 < windows.size() &&
+                       static_cast<std::uint64_t>(i) >= win_end) {
+                    ++win_idx;
+                    win_end += windows[win_idx].retiredNodes;
+                }
+                const profile::RetiredNode &n = log[i];
+                metrics::JsonLineWriter w;
+                w.field("kind", "retired");
+                w.field("seq", n.seq);
+                w.field("parent_seq", n.parentSeq);
+                w.field("issue_cycle",
+                        static_cast<std::uint64_t>(n.issueCycle));
+                w.field("ready_cycle",
+                        static_cast<std::uint64_t>(n.readyCycle));
+                w.field("sched_cycle",
+                        static_cast<std::uint64_t>(n.schedCycle));
+                w.field("complete_cycle",
+                        static_cast<std::uint64_t>(n.completeCycle));
+                w.field("block", static_cast<std::uint64_t>(n.block));
+                w.field("edge", profile::edgeKindName(n.edge));
+                w.field("window",
+                        static_cast<std::uint64_t>(win_idx));
+                line(w);
+            }
         }
         return r.exitCode;
     }
@@ -1184,12 +1282,368 @@ parsePercent(const std::string &text, const char *flag)
     return value;
 }
 
+/** Render one signed delta with its percent-of-A movement. */
+std::string
+deltaText(std::int64_t delta, std::uint64_t base)
+{
+    if (!base)
+        return format("%+lld", static_cast<long long>(delta));
+    return format("%+lld (%+.2f%%)", static_cast<long long>(delta),
+                  100.0 * static_cast<double>(delta) /
+                      static_cast<double>(base));
+}
+
+void
+printCellDiff(const diff::CellDiff &cell, int top)
+{
+    std::cout << "\n== " << cell.workload << " " << cell.config
+              << " ==\n"
+              << format("  cycles       %llu -> %llu  %s\n",
+                        static_cast<unsigned long long>(cell.cyclesA),
+                        static_cast<unsigned long long>(cell.cyclesB),
+                        deltaText(static_cast<std::int64_t>(cell.cyclesB) -
+                                      static_cast<std::int64_t>(
+                                          cell.cyclesA),
+                                  cell.cyclesA)
+                            .c_str())
+              << format("  IPC          %.4f -> %.4f  (%+.2f%%)\n",
+                        cell.ipcA, cell.ipcB,
+                        cell.ipcA > 0.0
+                            ? (cell.ipcB - cell.ipcA) / cell.ipcA * 100.0
+                            : 0.0)
+              << format("  crit path    %llu -> %llu cycles\n",
+                        static_cast<unsigned long long>(cell.critPathA),
+                        static_cast<unsigned long long>(cell.critPathB));
+
+    const diff::Divergence &div = cell.divergence;
+    switch (div.level) {
+      case diff::Divergence::Level::None:
+        std::cout << "  schedule     no fingerprints in the streams\n";
+        break;
+      case diff::Divergence::Level::Identical:
+        std::cout << "  schedule     identical (fingerprints match)\n";
+        break;
+      case diff::Divergence::Level::Run:
+        std::cout << format("  schedule     DIVERGED (run hashes %s vs "
+                            "%s; no per-window data)\n",
+                            diff::hashText(div.hashA).c_str(),
+                            diff::hashText(div.hashB).c_str());
+        break;
+      case diff::Divergence::Level::Window:
+        std::cout << format(
+            "  schedule     DIVERGED at window %llu%s\n",
+            static_cast<unsigned long long>(div.firstWindow),
+            div.truncated ? " (one stream ends there)" : "");
+        break;
+      case diff::Divergence::Level::Node:
+        if (div.field == "log_length") {
+            std::cout << format(
+                "  schedule     DIVERGED at window %llu: retired logs "
+                "share a prefix, lengths %llu vs %llu (first extra "
+                "seq=%llu)\n",
+                static_cast<unsigned long long>(div.firstWindow),
+                static_cast<unsigned long long>(div.valueA),
+                static_cast<unsigned long long>(div.valueB),
+                static_cast<unsigned long long>(div.seq));
+        } else {
+            std::cout << format(
+                "  schedule     DIVERGED at window %llu, node seq=%llu "
+                "(log index %llu): %s %llu -> %llu\n",
+                static_cast<unsigned long long>(div.firstWindow),
+                static_cast<unsigned long long>(div.seq),
+                static_cast<unsigned long long>(div.logIndex),
+                div.field.c_str(),
+                static_cast<unsigned long long>(div.valueA),
+                static_cast<unsigned long long>(div.valueB));
+        }
+        break;
+    }
+
+    if (!cell.causes.empty()) {
+        std::cout << "\n  Critical-path causes:\n";
+        Table ct({"cause", "A", "B", "delta"});
+        for (const diff::CauseDelta &c : cell.causes) {
+            if (!c.a && !c.b)
+                continue;
+            ct.addRow({c.cause, std::to_string(c.a), std::to_string(c.b),
+                       deltaText(c.delta(), c.a)});
+        }
+        ct.print(std::cout);
+    }
+
+    if (!cell.blocks.empty()) {
+        const std::size_t limit = std::min(
+            cell.blocks.size(),
+            static_cast<std::size_t>(std::max(top, 0)));
+        std::cout << "\n  Blocks that paid (top " << limit << " of "
+                  << cell.blocks.size() << " by |path delta|):\n";
+        Table bt({"block", "entry_pc", "A", "B", "delta"});
+        for (std::size_t i = 0; i < limit; ++i) {
+            const diff::BlockDelta &b = cell.blocks[i];
+            bt.addRow({std::to_string(b.block),
+                       b.entryPc >= 0 ? std::to_string(b.entryPc) : "-",
+                       std::to_string(b.a), std::to_string(b.b),
+                       deltaText(b.delta(), b.a)});
+        }
+        bt.print(std::cout);
+    }
+
+    if (!cell.windows.empty()) {
+        // Windows that moved most: ranked by |slot delta - issue delta|
+        // (the stall movement), which is exactly the sum of the
+        // per-cause slot deltas — zero residual by the slot identity.
+        std::vector<const diff::WindowDelta *> ranked;
+        for (const diff::WindowDelta &w : cell.windows)
+            ranked.push_back(&w);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const diff::WindowDelta *x,
+                     const diff::WindowDelta *y) {
+                      const double dx = std::abs(x->ipcB - x->ipcA);
+                      const double dy = std::abs(y->ipcB - y->ipcA);
+                      if (dx != dy)
+                          return dx > dy;
+                      return x->index < y->index;
+                  });
+        const std::size_t limit = std::min(
+            ranked.size(), static_cast<std::size_t>(std::max(top, 0)));
+        std::cout << "\n  Windows that moved most (top " << limit
+                  << " of " << cell.windows.size() << " by |IPC delta|"
+                  << (cell.windowsTruncated
+                          ? ", window counts differ — common prefix only"
+                          : "")
+                  << "):\n";
+        Table wt({"idx", "ipc A", "ipc B", "d_redirect", "d_idle",
+                  "d_winfull", "d_shortword", "d_drain", "d_issued",
+                  "resid"});
+        for (std::size_t i = 0; i < limit; ++i) {
+            const diff::WindowDelta &w = *ranked[i];
+            wt.addRow({std::to_string(w.index), format("%.3f", w.ipcA),
+                       format("%.3f", w.ipcB),
+                       format("%+lld",
+                              static_cast<long long>(w.dSlots[0])),
+                       format("%+lld",
+                              static_cast<long long>(w.dSlots[1])),
+                       format("%+lld",
+                              static_cast<long long>(w.dSlots[2])),
+                       format("%+lld",
+                              static_cast<long long>(w.dSlots[3])),
+                       format("%+lld",
+                              static_cast<long long>(w.dSlots[4])),
+                       format("%+lld",
+                              static_cast<long long>(
+                                  static_cast<std::int64_t>(w.issuedB) -
+                                  static_cast<std::int64_t>(w.issuedA))),
+                       std::to_string(w.residual())});
+        }
+        wt.print(std::cout);
+    }
+}
+
+void
+emitDiffJson(const std::string &path_a, const std::string &path_b,
+             const diff::DiffResult &result)
+{
+    const auto line = [](metrics::JsonLineWriter &w) {
+        std::cout << w.str() << "\n";
+    };
+    {
+        metrics::JsonLineWriter w;
+        w.field("schema", "fgpsim-diff-v1");
+        w.field("kind", "diff");
+        w.field("a", path_a);
+        w.field("b", path_b);
+        w.field("cells", static_cast<std::uint64_t>(result.cells.size()));
+        w.strings("cells_only_a", result.onlyA);
+        w.strings("cells_only_b", result.onlyB);
+        line(w);
+    }
+    for (const diff::CellDiff &cell : result.cells) {
+        {
+            metrics::JsonLineWriter w;
+            w.field("kind", "cell");
+            w.field("workload", cell.workload);
+            w.field("config", cell.config);
+            w.field("cycles_a", cell.cyclesA);
+            w.field("cycles_b", cell.cyclesB);
+            w.field("retired_a", cell.retiredA);
+            w.field("retired_b", cell.retiredB);
+            w.field("ipc_a", cell.ipcA);
+            w.field("ipc_b", cell.ipcB);
+            w.field("crit_path_a", cell.critPathA);
+            w.field("crit_path_b", cell.critPathB);
+            w.field("windows",
+                    static_cast<std::uint64_t>(cell.windows.size()));
+            w.field("windows_truncated",
+                    static_cast<std::uint64_t>(cell.windowsTruncated));
+            line(w);
+        }
+        for (const diff::WindowDelta &win : cell.windows) {
+            metrics::JsonLineWriter w;
+            w.field("kind", "wdelta");
+            w.field("workload", cell.workload);
+            w.field("config", cell.config);
+            w.field("index", win.index);
+            w.field("cycles_a", win.cyclesA);
+            w.field("cycles_b", win.cyclesB);
+            w.field("issued_a", win.issuedA);
+            w.field("issued_b", win.issuedB);
+            w.field("retired_a", win.retiredA);
+            w.field("retired_b", win.retiredB);
+            w.field("slots_a", win.slotsA);
+            w.field("slots_b", win.slotsB);
+            for (std::size_t c = 0; c < diff::kSlotCauseCount; ++c)
+                w.field(std::string("d_") + diff::kSlotCauseKeys[c],
+                        win.dSlots[c]);
+            for (std::size_t c = 0; c < diff::kWaitCount; ++c)
+                w.field(std::string("d_") + diff::kWaitKeys[c],
+                        win.dWaits[c]);
+            w.field("d_retired", win.dRetired());
+            w.field("ipc_a", win.ipcA);
+            w.field("ipc_b", win.ipcB);
+            w.field("residual", win.residual());
+            line(w);
+        }
+        for (const diff::CauseDelta &cause : cell.causes) {
+            if (!cause.a && !cause.b)
+                continue;
+            metrics::JsonLineWriter w;
+            w.field("kind", "dcause");
+            w.field("workload", cell.workload);
+            w.field("config", cell.config);
+            w.field("cause", cause.cause);
+            w.field("cycles_a", cause.a);
+            w.field("cycles_b", cause.b);
+            w.field("delta", cause.delta());
+            line(w);
+        }
+        for (const diff::BlockDelta &block : cell.blocks) {
+            metrics::JsonLineWriter w;
+            w.field("kind", "dblock");
+            w.field("workload", cell.workload);
+            w.field("config", cell.config);
+            w.field("block", static_cast<std::uint64_t>(block.block));
+            w.field("entry_pc", block.entryPc);
+            w.field("path_cycles_a", block.a);
+            w.field("path_cycles_b", block.b);
+            w.field("delta", block.delta());
+            line(w);
+        }
+        {
+            const diff::Divergence &div = cell.divergence;
+            metrics::JsonLineWriter w;
+            w.field("kind", "divergence");
+            w.field("workload", cell.workload);
+            w.field("config", cell.config);
+            w.field("level", diff::divergenceLevelName(div.level));
+            w.field("first_window", div.firstWindow);
+            w.field("truncated",
+                    static_cast<std::uint64_t>(div.truncated));
+            if (div.level == diff::Divergence::Level::Node) {
+                w.field("seq", div.seq);
+                w.field("log_index", div.logIndex);
+                w.field("field", div.field);
+                w.field("value_a", div.valueA);
+                w.field("value_b", div.valueB);
+            }
+            if (div.hashA || div.hashB) {
+                w.field("hash_a", diff::hashText(div.hashA));
+                w.field("hash_b", diff::hashText(div.hashB));
+            }
+            line(w);
+        }
+    }
+}
+
+void
+writeDiffChrome(const std::string &path, const std::string &path_a,
+                const std::string &path_b,
+                const diff::DiffResult &result)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fgp_fatal("cannot write '", path, "'");
+    // A/B overlay: run A is pid 1, run B pid 2, so the trace viewer
+    // shows both runs' per-window counter tracks on one timeline.
+    obs::ChromeTraceSink sink(out, "A: " + path_a, 1);
+    sink.emitProcessName(2, "B: " + path_b);
+    const bool multi = result.cells.size() > 1;
+    for (const diff::CellDiff &cell : result.cells) {
+        const std::string prefix =
+            multi ? cell.workload + " " + cell.config + " " : "";
+        std::uint64_t start_a = 0, start_b = 0;
+        for (const diff::WindowDelta &win : cell.windows) {
+            sink.emitCounter(1, start_a, prefix + "ipc", win.ipcA);
+            sink.emitCounter(2, start_b, prefix + "ipc", win.ipcB);
+            sink.emitCounter(1, start_a, prefix + "retired",
+                             static_cast<double>(win.retiredA));
+            sink.emitCounter(2, start_b, prefix + "retired",
+                             static_cast<double>(win.retiredB));
+            start_a += win.cyclesA;
+            start_b += win.cyclesB;
+        }
+    }
+    sink.onRunEnd();
+}
+
+/**
+ * Differential observability: align two fgpsim-profile-v1 streams (or
+ * fgpsim-run-v1 manifests) cell by cell and window by window, decompose
+ * every IPC delta into the exact stall-slot breakdown, rank the blocks
+ * that paid, and pinpoint where the schedules first diverge.
+ */
+int
+cmdDiff(const Options &opts)
+{
+    if (opts.extra.size() != 1)
+        fgp_fatal("diff needs exactly two stream files");
+    const std::string path_a = opts.source;
+    const std::string path_b = opts.extra[0];
+    const int top = static_cast<int>(*parseInt(opts.get("top", "10")));
+
+    const diff::Stream a = diff::loadStreamFile(path_a);
+    const diff::Stream b = diff::loadStreamFile(path_b);
+    const diff::DiffResult result = diff::diffStreams(a, b);
+
+    if (opts.has("folded")) {
+        std::ofstream out(opts.get("folded"), std::ios::binary);
+        if (!out)
+            fgp_fatal("cannot write '", opts.get("folded"), "'");
+        diff::writeFoldedDiff(out, result);
+    }
+    if (opts.has("chrome"))
+        writeDiffChrome(opts.get("chrome"), path_a, path_b, result);
+
+    if (opts.has("json")) {
+        emitDiffJson(path_a, path_b, result);
+        return 0;
+    }
+
+    std::cout << "== fgpsim diff ==\n"
+              << "A: " << path_a << " (" << a.schema << ")\n"
+              << "B: " << path_b << " (" << b.schema << ")\n"
+              << format("cells: %zu compared", result.cells.size());
+    if (!result.onlyA.empty() || !result.onlyB.empty())
+        std::cout << format(" (%zu only in A, %zu only in B)",
+                            result.onlyA.size(), result.onlyB.size());
+    std::cout << "\n";
+    for (const std::string &key : result.onlyA)
+        std::cout << "  only in A: " << key << "\n";
+    for (const std::string &key : result.onlyB)
+        std::cout << "  only in B: " << key << "\n";
+    for (const diff::CellDiff &cell : result.cells)
+        printCellDiff(cell, top);
+    return 0;
+}
+
 /**
  * Diff two fgpsim-run-v1 manifests: join the per-point records on
  * (workload, configuration), gate per-point nodes/cycle against
  * --tolerance and the runs' wall time against --wall-tolerance, and
  * summarize the IPC / redundancy / stall / host-speed movement. Exit 1
  * when B regresses past a gate relative to A — the CI perf gate.
+ * Mismatched cell sets exit 3 after naming the unmatched keys; a
+ * failing gate prints `fgpsim diff` attribution for the regressed
+ * cells before exiting.
  */
 int
 cmdCompare(const Options &opts)
@@ -1233,11 +1687,11 @@ cmdCompare(const Options &opts)
         double ipcPct = 0.0; ///< (b-a)/a in percent; negative = slower
     };
     std::vector<PointDelta> joined;
-    std::size_t unmatched = 0;
+    std::vector<std::string> only_a, only_b;
     for (const RunPoint &p : a.points) {
         const auto it = b_points.find({p.workload, p.config});
         if (it == b_points.end()) {
-            ++unmatched;
+            only_a.push_back(p.workload + " " + p.config);
             continue;
         }
         PointDelta d;
@@ -1248,7 +1702,63 @@ cmdCompare(const Options &opts)
         d.ipcPct = ipc_a > 0.0 ? (ipc_b - ipc_a) / ipc_a * 100.0 : 0.0;
         joined.push_back(d);
     }
-    unmatched += b.points.size() - joined.size();
+    {
+        std::set<std::pair<std::string, std::string>> a_keys;
+        for (const RunPoint &p : a.points)
+            a_keys.insert({p.workload, p.config});
+        for (const RunPoint &p : b.points)
+            if (!a_keys.count({p.workload, p.config}))
+                only_b.push_back(p.workload + " " + p.config);
+    }
+    const std::size_t unmatched = only_a.size() + only_b.size();
+
+    if (unmatched) {
+        // Mismatched cell sets are not comparable — the aggregate gates
+        // would silently mix different workload populations. Name the
+        // offending cells and take a distinct exit path (3) so CI can
+        // tell "incomparable manifests" from "regression" (1).
+        if (opts.has("json")) {
+            obs::JsonWriter json(std::cout);
+            json.beginObject();
+            json.field("schema", "fgpsim-compare-v1");
+            json.field("a", path_a);
+            json.field("b", path_b);
+            json.field("points_compared",
+                       static_cast<std::uint64_t>(joined.size()));
+            json.field("points_unmatched",
+                       static_cast<std::uint64_t>(unmatched));
+            json.beginArray("cells_only_a");
+            for (const std::string &key : only_a)
+                json.element(key);
+            json.endArray();
+            json.beginArray("cells_only_b");
+            for (const std::string &key : only_b)
+                json.element(key);
+            json.endArray();
+            json.field("mismatched", true);
+            json.endObject();
+            std::cout << "\n";
+            return 3;
+        }
+        constexpr std::size_t kShow = 5;
+        const auto show = [&](const char *side,
+                              const std::vector<std::string> &keys) {
+            if (keys.empty())
+                return;
+            std::cerr << "compare: " << keys.size() << " cell(s) only in "
+                      << side << ":";
+            for (std::size_t i = 0; i < std::min(keys.size(), kShow); ++i)
+                std::cerr << (i ? ", " : " ") << keys[i];
+            if (keys.size() > kShow)
+                std::cerr << ", ...";
+            std::cerr << "\n";
+        };
+        show("A", only_a);
+        show("B", only_b);
+        std::cerr << "compare: MISMATCHED cell sets (" << joined.size()
+                  << " joined, " << unmatched << " unmatched)\n";
+        return 3;
+    }
 
     // Gates.
     std::vector<const PointDelta *> ipc_regressions;
@@ -1361,6 +1871,22 @@ cmdCompare(const Options &opts)
                             "(tolerance %.1f%%)\n",
                             wall_pct, wall_tol);
     std::cout << (regressed ? "compare: REGRESSED\n" : "compare: ok\n");
+    if (!ipc_regressions.empty()) {
+        // Gate failed: auto-invoke the differential attribution for the
+        // regressed cells, so the CI log answers "which windows, which
+        // stall causes, which blocks" without a second command.
+        std::cout << "\nDifferential attribution (fgpsim diff " << path_a
+                  << " " << path_b << "):\n";
+        const diff::Stream da = diff::loadStreamFile(path_a);
+        const diff::Stream db = diff::loadStreamFile(path_b);
+        const diff::DiffResult dr = diff::diffStreams(da, db);
+        std::set<std::string> bad;
+        for (const PointDelta *d : ipc_regressions)
+            bad.insert(d->a->workload + " " + d->a->config);
+        for (const diff::CellDiff &cell : dr.cells)
+            if (bad.count(cell.workload + " " + cell.config))
+                printCellDiff(cell, 5);
+    }
     return regressed ? 1 : 0;
 }
 
@@ -1402,8 +1928,9 @@ cmdHistory(const Options &opts)
     }
 
     Table t({"git", "time", "bench", "sims", "wall_s", "ns/cycle",
-             "delta"});
+             "delta", "ipc", "d_ipc"});
     double prev = 0.0;
+    double prev_ipc = 0.0;
     for (const metrics::RunRecord &run : file.runs) {
         const double ns = run.num("host_ns_per_sim_cycle");
         std::string delta = "-";
@@ -1411,11 +1938,25 @@ cmdHistory(const Options &opts)
             delta = format("%+.1f%%", (ns - prev) / prev * 100.0);
         if (ns > 0.0)
             prev = ns;
+        // Simulated IPC of the benchmark run, when the record carries
+        // the engine metrics (older history lines may not).
+        const double cyc = run.num("sim_cycles");
+        const double ret = run.num("engine.retired_nodes");
+        const double ipc = cyc > 0.0 ? ret / cyc : 0.0;
+        std::string ipc_txt = "-";
+        std::string d_ipc = "-";
+        if (ipc > 0.0) {
+            ipc_txt = format("%.3f", ipc);
+            if (prev_ipc > 0.0)
+                d_ipc = format("%+.1f%%",
+                               (ipc - prev_ipc) / prev_ipc * 100.0);
+            prev_ipc = ipc;
+        }
         t.addRow({run.str("git", "?"), run.str("iso_time", "?"),
                   run.str("bench", "?"),
                   format("%.0f", run.num("sims")),
                   format("%.2f", run.num("wall_seconds")),
-                  format("%.1f", ns), delta});
+                  format("%.1f", ns), delta, ipc_txt, d_ipc});
     }
     t.print(std::cout);
     std::cout << file.runs.size() << " runs\n";
@@ -1433,15 +1974,15 @@ runCli(int argc, char **argv)
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
         if (!startsWith(arg, "--")) {
-            // Only compare takes extra positionals (its second manifest).
-            if (opts.command != "compare")
+            // compare and diff take an extra positional (their B file).
+            if (opts.command != "compare" && opts.command != "diff")
                 fgp_fatal("unexpected argument '", arg, "'");
             opts.extra.push_back(std::move(arg));
             continue;
         }
         arg = arg.substr(2);
         if (arg == "conservative" || arg == "json" || arg == "strict" ||
-            arg == "mem") {
+            arg == "mem" || arg == "retired") {
             opts.flags[arg] = "1";
         } else {
             if (i + 1 >= argc)
@@ -1470,6 +2011,8 @@ runCli(int argc, char **argv)
         return cmdAnalyze(opts);
     if (opts.command == "compare")
         return cmdCompare(opts);
+    if (opts.command == "diff")
+        return cmdDiff(opts);
     if (opts.command == "history")
         return cmdHistory(opts);
     usage();
