@@ -14,12 +14,8 @@ namespace fgp::analyze {
 
 namespace {
 
-/** Scheduling latency of one node (the scheduler's cache-hit assumption). */
-int
-nodeLatency(const Node &node, int mem_hit_latency)
-{
-    return node.isLoad() ? mem_hit_latency : 1;
-}
+// nodeLatency comes from tld/depgraph.hh: one latency model shared with
+// the greedy scheduler and the exact-schedule oracle.
 
 /** Latency-weighted critical path (max finish time) of @p graph. */
 int

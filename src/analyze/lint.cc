@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analyze/disambig.hh"
+#include "analyze/oracle.hh"
 #include "tld/depgraph.hh"
 #include "verify/verify.hh"
 #include "vm/exec.hh"
@@ -29,6 +30,8 @@ using verify::Severity;
         {Code::UnusedLabel, {"AN006", "unused-label"}},
         {Code::HighMayAliasDensity, {"AN007", "high-may-alias-density"}},
         {Code::PackedDisjointPair, {"AN008", "packed-disjoint-pair"}},
+        {Code::GreedyScheduleGap, {"AN009", "greedy-schedule-gap"}},
+        {Code::OracleBudgetExhausted, {"AN010", "oracle-budget-exhausted"}},
     });
     return true;
 }();
@@ -246,6 +249,44 @@ lintUnprofitableChains(const CodeImage &image, Report &report,
     }
 }
 
+/**
+ * AN009/AN010: exact-schedule oracle findings, read off a precomputed
+ * ImageOracle (opts.oracle; the CLI computes one under --oracle).
+ *
+ * AN009 fires when a hot block's greedy schedule is provably at least
+ * oracleGapCycles longer than optimal — real cycles the list scheduler
+ * leaves on the table every iteration. AN010 fires when the search
+ * budget ran out, so the gap on that block is only bracketed by the
+ * certified interval, never proven.
+ */
+void
+lintOracleGaps(Report &report, const LintOptions &opts,
+               std::string_view stage)
+{
+    if (opts.oracle == nullptr)
+        return;
+    for (const BlockOracle &b : opts.oracle->blocks) {
+        if (!b.exact) {
+            addDiag(report, Code::OracleBudgetExhausted, Severity::Warning,
+                    stage, b.block, -1, b.entryPc,
+                    "oracle budget exhausted after ", b.statesExplored,
+                    " states; schedule length certified in [",
+                    b.lowerBound, ", ", b.upperBound, "] (greedy ",
+                    b.greedyLength, ")");
+            continue;
+        }
+        const bool hot = b.enlarged || b.nodes >= opts.oracleHotNodes;
+        if (hot && b.gap() >= opts.oracleGapCycles) {
+            addDiag(report, Code::GreedyScheduleGap, Severity::Warning,
+                    stage, b.block, -1, b.entryPc,
+                    "greedy schedule is ", b.gap(),
+                    " cycles over optimal (greedy ", b.greedyLength,
+                    ", oracle ", b.upperBound,
+                    "); FGP_ORACLE_SCHED adopts the shorter schedule");
+        }
+    }
+}
+
 /** AN005: blocks the CFG cannot reach from the image entry. */
 void
 lintUnreachableBlocks(const CodeImage &image, Report &report,
@@ -325,6 +366,7 @@ lintImage(const CodeImage &image, verify::Report &report,
     lintUnprofitableChains(image, report, opts, stage);
     lintUnreachableBlocks(image, report, stage);
     lintUnusedLabels(image, report, stage);
+    lintOracleGaps(report, opts, stage);
 }
 
 } // namespace fgp::analyze

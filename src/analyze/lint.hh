@@ -26,7 +26,13 @@
  *  - AN008 packed-disjoint-pair: a store/load pair proven no-alias is
  *    packed into one issue word, so the store-queue probe the hardware
  *    performs for it is provably unnecessary (FGP_STATIC_DISAMBIG
- *    eliminates it).
+ *    eliminates it);
+ *  - AN009 greedy-schedule-gap: the exact-schedule oracle proved the
+ *    greedy list schedule of a hot block at least N cycles longer than
+ *    optimal (FGP_ORACLE_SCHED adopts the shorter schedule);
+ *  - AN010 oracle-budget-exhausted: the oracle's search budget ran out
+ *    on a block, so only the certified interval
+ *    [critical-path height, greedy length] is known.
  *
  * All AN findings are warnings: they flag performance anti-patterns,
  * never correctness violations (that is src/verify's job).
@@ -42,6 +48,8 @@
 #include "verify/diag.hh"
 
 namespace fgp::analyze {
+
+struct ImageOracle;
 
 /** Lint knobs and optional cross-stage context. */
 struct LintOptions
@@ -61,6 +69,21 @@ struct LintOptions
      */
     const CodeImage *single = nullptr;
     const EnlargePlan *plan = nullptr;
+
+    /**
+     * Exact-schedule oracle results over the *translated* image
+     * (analyze/oracle.hh), enabling AN009/AN010. Null: both skipped.
+     */
+    const ImageOracle *oracle = nullptr;
+
+    /**
+     * AN009 fires when a hot block's proven greedy-over-oracle gap
+     * reaches this many cycles. Hot: enlarged, or at least
+     * oracleHotNodes nodes (a 1:1 single block that large dominates
+     * its loop the same way).
+     */
+    int oracleGapCycles = 2;
+    std::size_t oracleHotNodes = 16;
 };
 
 /**

@@ -42,8 +42,11 @@ namespace fgp {
  * planEnlargement returns them. applyEnlargement consumes chains in plan
  * order and an earlier chain consumes the entry pcs of any later chain it
  * overlaps, so ordering decides which chains win conflicts. The analyzer
- * installs a hook ranking chains by predicted dependence-height reduction
- * (analyze::heightRankingHook); the default pipeline installs none, so
+ * provides two hooks: analyze::heightRankingHook ranks chains by
+ * predicted dependence-height reduction, and analyze::oracleRankingHook
+ * ranks by exact (oracle-measured) makespan reduction under a concrete
+ * issue model — comparing the two quantifies how often the height
+ * heuristic mis-orders chains. The default pipeline installs none, so
  * built schedules are unchanged unless a caller opts in.
  */
 using PlanAuditHook =

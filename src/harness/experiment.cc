@@ -4,6 +4,7 @@
 
 #include "analyze/analyze.hh"
 #include "analyze/disambig.hh"
+#include "analyze/oracle.hh"
 #include "base/logging.hh"
 #include "engine/workspace.hh"
 #include "verify/diag.hh"
@@ -147,17 +148,17 @@ ExperimentRunner::run(const std::string &name, const MachineConfig &config)
     CodeImage image = enlarged_image ? p.enlarged : p.single;
     {
         metrics::ScopedTimer timer(metrics_, "host.phase.translate_ns");
-        if (analyze::staticDisambigEnabled() &&
-            !translateOpts_.disambigHook) {
-            // FGP_STATIC_DISAMBIG=1: the static scheduler consumes
-            // proven no-alias facts (hoists loads above independent
-            // stores). Off by default — schedules stay bit-identical.
-            TranslateOptions topts = translateOpts_;
+        TranslateOptions topts = translateOpts_;
+        // FGP_STATIC_DISAMBIG=1: the static scheduler consumes proven
+        // no-alias facts (hoists loads above independent stores).
+        if (analyze::staticDisambigEnabled() && !topts.disambigHook)
             topts.disambigHook = analyze::disambigSchedulingHook();
-            translate(image, config, topts);
-        } else {
-            translate(image, config, translateOpts_);
-        }
+        // FGP_ORACLE_SCHED=1: small blocks adopt exact oracle schedules
+        // when provably shorter (FGP_ORACLE_BUDGET caps the search).
+        // Both default off — schedules stay bit-identical.
+        if (analyze::oracleSchedEnabled() && !topts.oracleHook)
+            topts.oracleHook = analyze::oracleAdoptionHook();
+        translate(image, config, topts);
     }
     const double static_bound = analyze::staticIpcBound(image);
 

@@ -24,6 +24,18 @@
 
 namespace fgp {
 
+/**
+ * Scheduling latency of one node: the cache-hit assumption every static
+ * consumer of the dependence DAG shares — the greedy list scheduler, the
+ * analyzer's dependence heights and the exact-schedule oracle
+ * (analyze/oracle.hh). One definition so the models cannot drift.
+ */
+inline int
+nodeLatency(const Node &node, int mem_hit_latency)
+{
+    return node.isLoad() ? mem_hit_latency : 1;
+}
+
 /** Dependence DAG over the nodes of one block. */
 struct DepGraph
 {

@@ -1,22 +1,11 @@
 #include "tld/schedule.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "base/logging.hh"
 #include "tld/depgraph.hh"
 
 namespace fgp {
-
-namespace {
-
-int
-nodeLatency(const Node &node, int mem_hit_latency)
-{
-    return node.isLoad() ? mem_hit_latency : 1;
-}
-
-} // namespace
 
 void
 scheduleStatic(ImageBlock &block, const IssueModel &issue,
@@ -53,7 +42,10 @@ scheduleStatic(ImageBlock &block, const IssueModel &issue,
         if (preds_left[i] == 0)
             ready.push_back(static_cast<std::uint16_t>(i));
 
-    std::map<int, Word> schedule; // cycle -> word
+    // Cycle keys are dense and start at 0, so a flat vector indexed by
+    // cycle replaces the former ordered map; cycles that issue nothing
+    // stay empty and are skipped when flattening into block.words.
+    std::vector<Word> schedule;
     std::size_t scheduled = 0;
     int cycle = 0;
 
@@ -106,15 +98,17 @@ scheduleStatic(ImageBlock &block, const IssueModel &issue,
 
         if (!word.empty()) {
             std::sort(word.begin(), word.end());
-            schedule.emplace(cycle, std::move(word));
+            schedule.resize(static_cast<std::size_t>(cycle) + 1);
+            schedule[static_cast<std::size_t>(cycle)] = std::move(word);
         }
         ++cycle;
         fgp_assert(cycle < static_cast<int>(4 * n + 64),
                    "static scheduler failed to converge");
     }
 
-    for (auto &[c, word] : schedule)
-        block.words.push_back(std::move(word));
+    for (Word &word : schedule)
+        if (!word.empty())
+            block.words.push_back(std::move(word));
 }
 
 void

@@ -20,15 +20,16 @@ translate(CodeImage &image, const MachineConfig &config,
             stats.mergeFrom(optimizeBlock(block, opts.optimizer));
 
         if (config.discipline == Discipline::Static) {
-            if (opts.disambigHook) {
-                const MemDepFacts facts = opts.disambigHook(block);
-                scheduleStatic(block, config.issue,
-                               config.memory.hitLatency,
-                               facts.empty() ? nullptr : &facts);
-            } else {
-                scheduleStatic(block, config.issue,
-                               config.memory.hitLatency);
-            }
+            const MemDepFacts facts =
+                opts.disambigHook ? opts.disambigHook(block)
+                                  : MemDepFacts{};
+            const MemDepFacts *facts_ptr =
+                facts.empty() ? nullptr : &facts;
+            scheduleStatic(block, config.issue, config.memory.hitLatency,
+                           facts_ptr);
+            if (opts.oracleHook)
+                opts.oracleHook(block, config.issue,
+                                config.memory.hitLatency, facts_ptr);
         } else {
             packDynamic(block, config.issue);
         }

@@ -45,6 +45,22 @@ struct TranslateOptions
      * never computes facts, keeping the layering acyclic.
      */
     std::function<MemDepFacts(const ImageBlock &)> disambigHook;
+
+    /**
+     * Optional exact-schedule adoption hook, invoked per block after
+     * static scheduling with the issue model, hit latency and the same
+     * facts the greedy schedule was built with. It may replace
+     * block.words with a provably shorter schedule obeying the same
+     * packing rules. Default none: schedules stay bit-identical to the
+     * greedy baseline. Installed by the harness when FGP_ORACLE_SCHED=1
+     * (analyze::oracleAdoptionHook); like the disambig hook, tld never
+     * computes the schedules itself, keeping the layering acyclic. The
+     * post-translation verifier re-proves adopted images
+     * effect-equivalent as for any other translation.
+     */
+    std::function<void(ImageBlock &, const IssueModel &, int,
+                       const MemDepFacts *)>
+        oracleHook;
 };
 
 /**

@@ -71,6 +71,8 @@ enum class Code : std::uint8_t {
     UnusedLabel,            ///< AN006 code label never targeted
     HighMayAliasDensity,    ///< AN007 block dominated by may-alias pairs
     PackedDisjointPair,     ///< AN008 disjoint store/load packed in one word
+    GreedyScheduleGap,      ///< AN009 greedy schedule beats oracle by >= N
+    OracleBudgetExhausted,  ///< AN010 oracle budget out, interval reported
 
     // MD — static memory disambiguation (src/analyze/disambig.cc).
     NoAliasViolated,        ///< MD001 proven no-alias pair conflicted at runtime

@@ -15,11 +15,13 @@
 #include "analyze/analyze.hh"
 #include "analyze/disambig.hh"
 #include "analyze/lint.hh"
+#include "analyze/oracle.hh"
 #include "arch/config.hh"
 #include "bbe/enlarge.hh"
 #include "harness/experiment.hh"
 #include "ir/cfg.hh"
 #include "masm/assembler.hh"
+#include "tld/schedule.hh"
 #include "tld/translate.hh"
 #include "verify/diag.hh"
 #include "vm/interp.hh"
@@ -765,6 +767,263 @@ TEST(DisambigXcheck, NoAliasFactsSoundOnAllWorkloads)
     // eliminated on at least 3 of the 5 workloads).
     EXPECT_GT(checked, 0u);
     EXPECT_GE(workloads_with_fast_loads, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Exact-schedule oracle: unit fixtures, a provable greedy gap, budget
+// semantics, lint integration, schedule adoption, and the five-workload
+// sandwich height <= oracle <= greedy.
+
+/**
+ * Six unit-latency ALU nodes on a 2-ALU machine (issue model 3) where
+ * tallest-first greedy provably loses a cycle: 0, 1, 2 are independent
+ * roots, 3 and 4 need {0, 2}, 5 needs {1, 2}. Greedy issues the three
+ * height-2 roots over two cycles ({0,1} then {2}), leaving all of 3, 4,
+ * 5 for cycles 2-3: four cycles total. Optimal issues {0,2}, {1,3},
+ * {4,5}: three. Found by exhaustive search over 6-node DAGs.
+ */
+ImageBlock
+gapFixture()
+{
+    return blockOf({rrr(Opcode::ADD, 10, 1, 2), rrr(Opcode::ADD, 11, 1, 2),
+                    rrr(Opcode::ADD, 12, 1, 2), rrr(Opcode::ADD, 13, 10, 12),
+                    rrr(Opcode::ADD, 14, 10, 12),
+                    rrr(Opcode::ADD, 15, 11, 12)});
+}
+
+TEST(AnalyzeOracle, EmptyBlockIsExactZero)
+{
+    const analyze::BlockOracle r =
+        analyze::oracleBlock(blockOf({}), issueModel(8), 1);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.greedyLength, 0);
+    EXPECT_EQ(r.lowerBound, 0);
+    EXPECT_EQ(r.upperBound, 0);
+    EXPECT_EQ(r.gap(), 0);
+    EXPECT_TRUE(r.words.empty());
+}
+
+TEST(AnalyzeOracle, SingleNodeMakespanIsItsLatency)
+{
+    const ImageBlock alu = blockOf({rrr(Opcode::ADD, 10, 1, 2)});
+    const analyze::BlockOracle ra = analyze::oracleBlock(alu, issueModel(8), 3);
+    EXPECT_TRUE(ra.exact);
+    EXPECT_EQ(ra.upperBound, 1);
+    EXPECT_EQ(ra.greedyLength, 1);
+
+    const ImageBlock mem = blockOf({load(Opcode::LW, 10, 4, 0)});
+    const analyze::BlockOracle rm = analyze::oracleBlock(mem, issueModel(8), 3);
+    EXPECT_TRUE(rm.exact);
+    EXPECT_EQ(rm.height, 3);
+    EXPECT_EQ(rm.upperBound, 3);
+    EXPECT_EQ(rm.greedyLength, 3);
+}
+
+TEST(AnalyzeOracle, GreedyIsOptimalOnAChain)
+{
+    // A pure dependent chain leaves greedy no choices: oracle == greedy
+    // == height, no gap, and no shorter schedule to adopt.
+    const ImageBlock block = blockOf(
+        {rrr(Opcode::ADD, 10, 1, 2), rrr(Opcode::ADD, 11, 10, 2),
+         rrr(Opcode::ADD, 12, 11, 2), rrr(Opcode::ADD, 13, 12, 2)});
+    const analyze::BlockOracle r =
+        analyze::oracleBlock(block, issueModel(8), 1);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.height, 4);
+    EXPECT_EQ(r.upperBound, 4);
+    EXPECT_EQ(r.greedyLength, 4);
+    EXPECT_EQ(r.gap(), 0);
+    EXPECT_TRUE(r.words.empty());
+}
+
+TEST(AnalyzeOracle, DetectsGreedyOvershoot)
+{
+    const analyze::BlockOracle r =
+        analyze::oracleBlock(gapFixture(), issueModel(3), 1);
+    ASSERT_TRUE(r.exact);
+    EXPECT_EQ(r.height, 2);
+    EXPECT_EQ(r.greedyLength, 4);
+    EXPECT_EQ(r.upperBound, 3);
+    EXPECT_EQ(r.lowerBound, 3);
+    EXPECT_EQ(r.gap(), 1);
+
+    // The shorter schedule is materialized, packs legally (<= 2 ALU
+    // nodes per word), and replays to the claimed makespan.
+    ASSERT_FALSE(r.words.empty());
+    ImageBlock adopted = gapFixture();
+    adopted.words = r.words;
+    std::size_t packed = 0;
+    for (const Word &word : adopted.words) {
+        EXPECT_LE(word.size(), 2u);
+        packed += word.size();
+    }
+    EXPECT_EQ(packed, adopted.nodes.size());
+    EXPECT_EQ(analyze::packedMakespan(adopted, 1), 3);
+}
+
+TEST(AnalyzeOracle, StateBudgetExhaustionCertifiesInterval)
+{
+    analyze::OracleOptions opts;
+    opts.maxStates = 1;
+    const analyze::BlockOracle r =
+        analyze::oracleBlock(gapFixture(), issueModel(3), 1, opts);
+    EXPECT_FALSE(r.exact);
+    EXPECT_GE(r.lowerBound, r.height);
+    EXPECT_EQ(r.upperBound, r.greedyLength);
+    EXPECT_LE(r.lowerBound, r.upperBound);
+    EXPECT_EQ(r.gap(), 0);
+    EXPECT_TRUE(r.words.empty());
+}
+
+TEST(AnalyzeOracle, NodeBudgetSkipsTheSearch)
+{
+    analyze::OracleOptions opts;
+    opts.maxNodes = 2;
+    const analyze::BlockOracle r =
+        analyze::oracleBlock(gapFixture(), issueModel(3), 1, opts);
+    EXPECT_FALSE(r.exact);
+    EXPECT_EQ(r.statesExplored, 0u);
+    EXPECT_GE(r.lowerBound, r.height);
+    EXPECT_EQ(r.upperBound, r.greedyLength);
+}
+
+TEST(AnalyzeOracle, LintGapAndBudgetCodes)
+{
+    EXPECT_EQ(verify::codeId(Code::GreedyScheduleGap), "AN009");
+    EXPECT_EQ(verify::codeId(Code::OracleBudgetExhausted), "AN010");
+
+    CodeImage image;
+    image.blocks.push_back(gapFixture());
+    image.entryBlock = -1;
+    const MachineConfig config{Discipline::Static, issueModel(3),
+                               memoryConfig('A'), BranchMode::Single};
+
+    // Exact solve with a 1-cycle threshold: the proven gap fires AN009.
+    const analyze::ImageOracle oracle = analyze::oracleImage(image, config);
+    analyze::LintOptions lopts;
+    lopts.oracle = &oracle;
+    lopts.oracleGapCycles = 1;
+    lopts.oracleHotNodes = 6;
+    Report report;
+    analyze::lintImage(image, report, lopts);
+    EXPECT_TRUE(report.hasCode(Code::GreedyScheduleGap))
+        << report.renderText();
+    EXPECT_FALSE(report.hasCode(Code::OracleBudgetExhausted))
+        << report.renderText();
+
+    // Default thresholds (gap >= 2, hot >= 16 nodes): the same 1-cycle
+    // gap on a small block stays silent.
+    Report quiet;
+    analyze::LintOptions defaults;
+    defaults.oracle = &oracle;
+    analyze::lintImage(image, quiet, defaults);
+    EXPECT_FALSE(quiet.hasCode(Code::GreedyScheduleGap))
+        << quiet.renderText();
+
+    // Budget exhaustion on any block fires AN010 instead.
+    analyze::OracleOptions oopts;
+    oopts.maxStates = 1;
+    const analyze::ImageOracle starved =
+        analyze::oracleImage(image, config, oopts);
+    analyze::LintOptions slopts;
+    slopts.oracle = &starved;
+    Report sreport;
+    analyze::lintImage(image, sreport, slopts);
+    EXPECT_TRUE(sreport.hasCode(Code::OracleBudgetExhausted))
+        << sreport.renderText();
+}
+
+TEST(AnalyzeOracle, AdoptionHookInstallsTheShorterSchedule)
+{
+    // The hook is opt-in: this binary never sets FGP_ORACLE_SCHED.
+    EXPECT_FALSE(analyze::oracleSchedEnabled());
+
+    ImageBlock block = gapFixture();
+    scheduleStatic(block, issueModel(3), 1);
+    EXPECT_EQ(analyze::packedMakespan(block, 1), 4);
+
+    const auto hook = analyze::oracleAdoptionHook();
+    hook(block, issueModel(3), 1, nullptr);
+    EXPECT_EQ(analyze::packedMakespan(block, 1), 3);
+}
+
+TEST(AnalyzeOracle, AdoptionHookKeepsOptimalGreedySchedules)
+{
+    // When greedy already matches the oracle the words are untouched —
+    // with the hook never installed (the FGP_ORACLE_SCHED=0 default)
+    // translation is bit-identical by construction.
+    ImageBlock block = blockOf(
+        {rrr(Opcode::ADD, 10, 1, 2), rrr(Opcode::ADD, 11, 10, 2),
+         rrr(Opcode::ADD, 12, 11, 2)});
+    scheduleStatic(block, issueModel(3), 1);
+    const std::vector<Word> greedy = block.words;
+    const auto hook = analyze::oracleAdoptionHook();
+    hook(block, issueModel(3), 1, nullptr);
+    EXPECT_EQ(block.words, greedy);
+}
+
+TEST(AnalyzeChains, OracleRankingHookPreservesTheChainSet)
+{
+    const Program &prog = loopProgram();
+    const CodeImage single = buildCfg(prog);
+    const Profile profile = profileOf(prog);
+
+    EnlargeOptions opts;
+    opts.auditHook = analyze::oracleRankingHook(issueModel(8), 1);
+    const EnlargePlan ranked = planEnlargement(single, profile, opts);
+    const EnlargePlan plain = planEnlargement(single, profile);
+    ASSERT_EQ(ranked.chains.size(), plain.chains.size());
+
+    const CodeImage enlarged = applyEnlargement(single, ranked);
+    EXPECT_GT(enlarged.blocks.size(), single.blocks.size());
+}
+
+TEST(AnalyzeOracle, SandwichHoldsOnAllWorkloads)
+{
+    // oracleImage() itself asserts height <= upper and upper <= greedy
+    // on every block (a violation panics); this re-checks the interval
+    // invariants from outside and demands full exactness at the default
+    // budget on every workload under three machine shapes.
+    const std::vector<std::string> configs = {
+        "static/4A/enlarged", "dyn4/8A/enlarged", "static/8A/single"};
+    for (const std::string &name : workloadNames()) {
+        const Workload workload = makeWorkload(name);
+        const Program &prog = workload.program();
+        const CodeImage single = buildCfg(prog);
+
+        Profile profile;
+        SimOS os;
+        workload.prepareOs(os, InputSet::Profile);
+        InterpOptions iopts;
+        iopts.profile = &profile;
+        interpret(prog, os, iopts);
+
+        for (const std::string &cfg : configs) {
+            const MachineConfig config = parseMachineConfig(cfg);
+            CodeImage image = config.branch == BranchMode::Single
+                                  ? buildCfg(prog)
+                                  : applyEnlargement(
+                                        single,
+                                        planEnlargement(single, profile));
+            translate(image, config);
+
+            const analyze::ImageOracle oracle =
+                analyze::oracleImage(image, config);
+            ASSERT_EQ(oracle.blocks.size(), image.blocks.size())
+                << name << " " << cfg;
+            EXPECT_EQ(oracle.exactBlocks, oracle.blocks.size())
+                << name << " " << cfg;
+            EXPECT_EQ(oracle.exhaustedBlocks, 0u) << name << " " << cfg;
+            EXPECT_LE(oracle.oracleCycles, oracle.greedyCycles)
+                << name << " " << cfg;
+            for (const analyze::BlockOracle &b : oracle.blocks) {
+                EXPECT_LE(b.height, b.upperBound) << name << " " << cfg;
+                EXPECT_LE(b.lowerBound, b.upperBound) << name << " " << cfg;
+                EXPECT_LE(b.upperBound, b.greedyLength) << name << " " << cfg;
+                EXPECT_GE(b.gap(), 0) << name << " " << cfg;
+            }
+        }
+    }
 }
 
 } // namespace

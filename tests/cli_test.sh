@@ -118,6 +118,50 @@ fi
 sh "$CHECK_BENCH" --validate-analyze "$TMP/lint.json"
 grep -q '"code": "AN005"' "$TMP/lint.json"
 
+# Exact-schedule oracle: summary line in the human output, and the JSON
+# extension passes both the schema validator and the oracle sandwich
+# gate (height <= lower <= upper <= greedy recomputed per block).
+"$FGPSIM" analyze grep --config static/4A/enlarged --plan "$TMP/grep.plan" \
+    --oracle > "$TMP/oracle.txt"
+grep -q "exact-schedule oracle" "$TMP/oracle.txt"
+"$FGPSIM" analyze grep --config static/4A/enlarged --plan "$TMP/grep.plan" \
+    --oracle --json > "$TMP/oracle.json"
+sh "$CHECK_BENCH" --validate-analyze "$TMP/oracle.json"
+sh "$CHECK_BENCH" --validate-oracle "$TMP/oracle.json"
+grep -q '"oracle_blocks"' "$TMP/oracle.json"
+
+# A starved state budget degrades to certified intervals: AN010 warns,
+# the gap table marks the block, plain runs still exit 0 and --strict
+# exits 1 (the lint-finding class, not the bound-violation class).
+"$FGPSIM" analyze grep --config static/4A/enlarged --plan "$TMP/grep.plan" \
+    --oracle --oracle-budget 1 > "$TMP/oracle_budget.txt"
+grep -q "AN010" "$TMP/oracle_budget.txt"
+grep -q "budget out" "$TMP/oracle_budget.txt"
+set +e
+"$FGPSIM" analyze grep --config static/4A/enlarged --plan "$TMP/grep.plan" \
+    --oracle --oracle-budget 1 --strict > /dev/null
+rc=$?
+set -e
+test "$rc" = 1
+
+# Starved runs are deterministic: byte-identical JSON across repeats.
+"$FGPSIM" analyze grep --config static/4A/enlarged --plan "$TMP/grep.plan" \
+    --oracle --oracle-budget 1 --json > "$TMP/oracle_b1.json"
+"$FGPSIM" analyze grep --config static/4A/enlarged --plan "$TMP/grep.plan" \
+    --oracle --oracle-budget 1 --json > "$TMP/oracle_b2.json"
+cmp "$TMP/oracle_b1.json" "$TMP/oracle_b2.json"
+
+# A broken sandwich is a distinct failure class: exit 4 even without
+# --strict. Sound code cannot produce one, so FGP_ORACLE_XFAIL=1
+# injects a synthetic violation to cover the path.
+set +e
+FGP_ORACLE_XFAIL=1 "$FGPSIM" analyze grep --config static/4A/enlarged \
+    --plan "$TMP/grep.plan" --oracle > "$TMP/oracle_xfail.txt"
+rc=$?
+set -e
+test "$rc" = 4
+grep -q "ORACLE BOUND VIOLATION" "$TMP/oracle_xfail.txt"
+
 # Interval profiler: human output carries the window table and the
 # critical-path attribution; legacy `profile --out` above is untouched.
 "$FGPSIM" profile grep --config dyn4/8A/enlarged --interval 5000 \

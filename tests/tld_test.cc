@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 #include "base/rng.hh"
@@ -536,6 +538,67 @@ main:   li   r1, 1
             EXPECT_GT(word_of[succ], word_of[i]);
         }
     }
+}
+
+TEST(Schedule, EmptyBlockSchedulesToNoWords)
+{
+    ImageBlock block;
+    block.id = 0;
+    block.entryPc = 0;
+    scheduleStatic(block, issueModel(8), 1);
+    EXPECT_TRUE(block.words.empty());
+}
+
+TEST(Schedule, SingleNodeBlockIsOneWord)
+{
+    Program prog = assemble(R"(
+main:   li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = buildCfg(prog);
+    ImageBlock block;
+    block.id = 0;
+    block.entryPc = 0;
+    block.nodes.push_back(image.blocks[0].nodes[0]);
+    scheduleStatic(block, issueModel(8), 1);
+    ASSERT_EQ(block.words.size(), 1u);
+    ASSERT_EQ(block.words[0].size(), 1u);
+    EXPECT_EQ(block.words[0][0], 0u);
+}
+
+TEST(Schedule, FactsDroppingAllMemEdgesFlattensTheBlock)
+{
+    // Two stores and two loads on unrelated (to the scheduler: unknown)
+    // bases serialize under the conservative memory order. Facts that
+    // prove every memory pair disjoint remove all four cross edges, so
+    // the whole block fits one wide word.
+    Program prog = assemble(R"(
+main:   sw   r10, 0(r4)
+        sw   r11, 0(r5)
+        lw   r12, 0(r6)
+        lw   r13, 0(r7)
+        li   v0, 0
+        li   a0, 0
+        syscall
+)");
+    CodeImage image = buildCfg(prog);
+    ImageBlock conservative = image.blocks[0];
+    conservative.nodes.resize(4); // drop the exit sequence
+    ImageBlock proven = conservative;
+
+    scheduleStatic(conservative, issueModel(8), 1);
+    EXPECT_GT(conservative.words.size(), 1u);
+
+    MemDepFacts facts;
+    for (std::uint16_t a = 0; a < 4; ++a)
+        for (std::uint16_t b = static_cast<std::uint16_t>(a + 1); b < 4;
+             ++b)
+            facts.noAliasPairs.push_back(MemDepFacts::packPair(a, b));
+    std::sort(facts.noAliasPairs.begin(), facts.noAliasPairs.end());
+    scheduleStatic(proven, issueModel(8), 1, &facts);
+    ASSERT_EQ(proven.words.size(), 1u);
+    EXPECT_EQ(proven.words[0].size(), 4u);
 }
 
 TEST(Translate, SingleBlocksAreIdentity)

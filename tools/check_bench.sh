@@ -30,6 +30,16 @@
 #       pairs == no_alias + must_alias + may_alias), plus the same
 #       diagnostic accounting identity as --validate-check.
 #
+#   tools/check_bench.sh --validate-oracle <dump.json>
+#       Validate the exact-schedule oracle extension of an
+#       `fgpsim analyze --oracle --json` dump: every oracle_blocks
+#       entry must satisfy the certification sandwich
+#       height <= lower_bound <= upper_bound <= greedy_length, the gap
+#       arithmetic gap == greedy_length - upper_bound, exact blocks a
+#       tight interval (lower == upper), exhausted blocks the greedy
+#       fallback (upper == greedy) — and the per-block sums must
+#       reproduce the aggregate "oracle" object exactly.
+#
 #   tools/check_bench.sh --validate-run <manifest.jsonl>
 #       Schema-validate an fgpsim-run-v1 manifest or BENCH_history.jsonl:
 #       the first record must be a "run" line carrying the schema tag,
@@ -210,6 +220,95 @@ validate_analyze() {
             }
         }' "$dump"
     echo "check_bench: $dump: analyze schema OK (lattice and diagnostics close)"
+}
+
+validate_oracle() {
+    dump="$1"
+    if [ ! -f "$dump" ]; then
+        echo "check_bench: oracle dump $dump missing" >&2
+        exit 1
+    fi
+    if ! grep -q '"schema": "fgpsim-analyze-v1"' "$dump"; then
+        echo "check_bench: $dump: missing schema tag fgpsim-analyze-v1" >&2
+        exit 1
+    fi
+    if ! grep -q '"oracle_blocks"' "$dump"; then
+        echo "check_bench: $dump: missing oracle_blocks (run analyze --oracle --json)" >&2
+        exit 1
+    fi
+    require_numeric "$dump" blocks_exact blocks_exhausted greedy_cycles \
+        oracle_cycles max_gap bound_violations
+    # Recompute the certification invariants over every oracle_blocks
+    # entry: the sandwich height <= lower <= upper <= greedy, the gap
+    # arithmetic gap == greedy - upper, exact blocks carry a tight
+    # interval, exhausted blocks fall back to the greedy upper bound —
+    # and the per-block sums must reproduce the aggregate totals.
+    awk -F'[:,]' '
+        function die(msg) {
+            printf "check_bench: oracle block %d: %s\n", blk, msg \
+                > "/dev/stderr"
+            failed = 1
+            exit 1
+        }
+        function num(s) { gsub(/[ \t]/, "", s); return s + 0 }
+        $1 ~ /"blocks_exact"/     && !saw_e { agg_exact = num($2); saw_e = 1 }
+        $1 ~ /"blocks_exhausted"/ && !saw_x { agg_exh = num($2); saw_x = 1 }
+        $1 ~ /"greedy_cycles"/    && !saw_g { agg_greedy = num($2); saw_g = 1 }
+        $1 ~ /"oracle_cycles"/    && !saw_o { agg_oracle = num($2); saw_o = 1 }
+        $1 ~ /"max_gap"/          && !saw_m { agg_gap = num($2); saw_m = 1 }
+        $1 ~ /"oracle_blocks"/ { in_blocks = 1 }
+        $1 ~ /"diagnostics"/   { in_blocks = 0 }
+        in_blocks && $1 ~ /"block"/ && $1 !~ /nodes/ { blk = num($2) }
+        in_blocks && $1 ~ /"block_nodes"/   { nodes = num($2) }
+        in_blocks && $1 ~ /"height"/        { height = num($2) }
+        in_blocks && $1 ~ /"greedy_length"/ { greedy = num($2) }
+        in_blocks && $1 ~ /"lower_bound"/   { lo = num($2) }
+        in_blocks && $1 ~ /"upper_bound"/   { up = num($2) }
+        in_blocks && $1 ~ /"exact"/         { exact = num($2) }
+        in_blocks && $1 ~ /"gap"/ {
+            gap = num($2)
+            blocks += 1
+            sum_greedy += greedy
+            sum_oracle += up
+            if (exact) n_exact += 1; else n_exh += 1
+            if (gap > widest) widest = gap
+            if (nodes > 0 && height > up)
+                die(sprintf("height %d above upper bound %d", height, up))
+            if (lo > up)
+                die(sprintf("lower bound %d above upper bound %d", lo, up))
+            if (up > greedy)
+                die(sprintf("upper bound %d above greedy %d", up, greedy))
+            if (gap != greedy - up)
+                die(sprintf("gap %d != greedy %d - upper %d", gap, greedy, up))
+            if (exact && lo != up)
+                die(sprintf("exact block with loose interval %d-%d", lo, up))
+            if (!exact && up != greedy)
+                die(sprintf("exhausted block upper %d != greedy %d", up, greedy))
+        }
+        END {
+            if (failed)
+                exit 1
+            if (blocks == 0) {
+                print "check_bench: no oracle_blocks entries" > "/dev/stderr"
+                exit 1
+            }
+            if (n_exact != agg_exact || n_exh != agg_exh) {
+                printf "check_bench: oracle exact accounting broken: %d/%d blocks vs %d/%d aggregate\n",
+                       n_exact, n_exh, agg_exact, agg_exh > "/dev/stderr"
+                exit 1
+            }
+            if (sum_greedy != agg_greedy || sum_oracle != agg_oracle) {
+                printf "check_bench: oracle cycle sums broken: %d/%d vs %d/%d aggregate\n",
+                       sum_greedy, sum_oracle, agg_greedy, agg_oracle > "/dev/stderr"
+                exit 1
+            }
+            if (widest != agg_gap) {
+                printf "check_bench: max_gap %d != widest per-block gap %d\n",
+                       agg_gap, widest > "/dev/stderr"
+                exit 1
+            }
+        }' "$dump"
+    echo "check_bench: $dump: oracle schema OK (sandwich certified on every block)"
 }
 
 validate_run() {
@@ -558,6 +657,10 @@ case "${1:-}" in
         ;;
     --validate-analyze)
         validate_analyze "${2:?usage: check_bench.sh --validate-analyze <dump.json>}"
+        exit 0
+        ;;
+    --validate-oracle)
+        validate_oracle "${2:?usage: check_bench.sh --validate-oracle <dump.json>}"
         exit 0
         ;;
     --validate-run)

@@ -76,6 +76,24 @@ FGP_STATIC_DISAMBIG=1 "$BUILD/tools/fgpsim" profile grep \
     --json > "$BUILD/diff_gate.jsonl"
 sh tools/check_bench.sh --validate-diff "$BUILD/diff_gate.jsonl"
 
+# Exact-schedule oracle round-trip under ASan/UBSan: solve every block
+# to optimality, then have check_bench recompute the certification
+# sandwich height <= lower <= upper <= greedy from the oracle_blocks
+# dump. A second pair of runs starves the state budget to one state —
+# the certified-interval fallback must be deterministic (byte-identical
+# JSON across repeats) or cached lint output would flap in CI.
+echo "=== oracle round-trip: fgpsim analyze --oracle --json + validate ==="
+"$BUILD/tools/fgpsim" analyze diff --config static/4A/enlarged \
+    --oracle --json > "$BUILD/oracle_gate.json"
+sh tools/check_bench.sh --validate-analyze "$BUILD/oracle_gate.json"
+sh tools/check_bench.sh --validate-oracle "$BUILD/oracle_gate.json"
+"$BUILD/tools/fgpsim" analyze diff --config static/4A/enlarged \
+    --oracle --oracle-budget 1 --json > "$BUILD/oracle_gate_b1.json"
+"$BUILD/tools/fgpsim" analyze diff --config static/4A/enlarged \
+    --oracle --oracle-budget 1 --json > "$BUILD/oracle_gate_b2.json"
+cmp "$BUILD/oracle_gate_b1.json" "$BUILD/oracle_gate_b2.json"
+sh tools/check_bench.sh --validate-oracle "$BUILD/oracle_gate_b1.json"
+
 # Perf gate: run the reduced perf slice twice and compare the two
 # fgpsim-run-v1 manifests. IPC is deterministic, so any IPC delta is a
 # real regression; wall time is host noise on a loaded CI machine, so it

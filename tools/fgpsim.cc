@@ -55,6 +55,7 @@
  */
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -80,6 +81,7 @@
 #include "analyze/analyze.hh"
 #include "analyze/disambig.hh"
 #include "analyze/lint.hh"
+#include "analyze/oracle.hh"
 #include "masm/assembler.hh"
 #include "profile/profile.hh"
 #include "tld/translate.hh"
@@ -132,6 +134,11 @@ usage()
         "                [--strict] (exit 1 when lint finds anything)\n"
         "                [--mem] (memory-disambiguation table: per-block\n"
         "                alias classes ranked by may-alias density)\n"
+        "                [--oracle] [--oracle-budget STATES]\n"
+        "                (exact-schedule oracle: certified optimal block\n"
+        "                lengths and the greedy gap; exit 4 when the\n"
+        "                height <= oracle <= greedy sandwich breaks —\n"
+        "                distinct from exit 1 for lint findings)\n"
         "  compare:      fgpsim compare A.jsonl B.jsonl\n"
         "                [--tolerance P%] [--wall-tolerance P%] [--json]\n"
         "                (fgpsim-run-v1 manifests; exit 1 on regression,\n"
@@ -308,15 +315,17 @@ cmdProfileInterval(const Options &opts)
     }
 
     CodeImage translated = image;
-    if (analyze::staticDisambigEnabled()) {
+    {
         // Replicate the harness: FGP_STATIC_DISAMBIG feeds proven
-        // no-alias facts to the static scheduler, so profiled runs see
+        // no-alias facts to the static scheduler and FGP_ORACLE_SCHED
+        // adopts proven-shorter oracle schedules, so profiled runs see
         // the same schedules the sweeps measure.
         TranslateOptions txopts;
-        txopts.disambigHook = analyze::disambigSchedulingHook();
+        if (analyze::staticDisambigEnabled())
+            txopts.disambigHook = analyze::disambigSchedulingHook();
+        if (analyze::oracleSchedEnabled())
+            txopts.oracleHook = analyze::oracleAdoptionHook();
         translate(translated, config, txopts);
-    } else {
-        translate(translated, config);
     }
 
     // Static ceilings for the measured-vs-bound comparison.
@@ -915,15 +924,17 @@ cmdCheck(const Options &opts)
     }
 
     CodeImage translated = image;
-    if (analyze::staticDisambigEnabled()) {
-        // Replicate the harness: schedule with the no-alias facts, and
-        // hand the same facts to the packing check so hoisted loads are
-        // not flagged as IMG011.
+    {
+        // Replicate the harness: schedule with the no-alias facts (so
+        // hoisted loads are not flagged as IMG011) and adopt oracle
+        // schedules under FGP_ORACLE_SCHED, so check proves exactly the
+        // image the sweeps measure.
         TranslateOptions txopts;
-        txopts.disambigHook = analyze::disambigSchedulingHook();
+        if (analyze::staticDisambigEnabled())
+            txopts.disambigHook = analyze::disambigSchedulingHook();
+        if (analyze::oracleSchedEnabled())
+            txopts.oracleHook = analyze::oracleAdoptionHook();
         translate(translated, config, txopts);
-    } else {
-        translate(translated, config);
     }
     verify::VerifyOptions topts = vopts;
     topts.issue = &config.issue;
@@ -993,8 +1004,13 @@ cmdCheck(const Options &opts)
  * enlargement (when the config uses enlarged code), translate, and report
  * the analyzer's per-block dependence heights and ILP bounds plus the
  * workload lint's AN findings (docs/ANALYZER.md) — all without running a
- * single simulated cycle. Exit 0 unless the lint errors, or — under
- * --strict — finds anything at all.
+ * single simulated cycle. --oracle adds the exact-schedule oracle's
+ * certified per-block optimal lengths and the greedy gap.
+ *
+ * Exit codes: 0 clean; 1 lint errors, or — under --strict — any lint
+ * finding at all; 4 oracle bound violation (the soundness sandwich
+ * height <= oracle <= greedy broke on some block — an analyzer bug,
+ * reported regardless of --strict).
  */
 int
 cmdAnalyze(const Options &opts)
@@ -1035,9 +1051,38 @@ cmdAnalyze(const Options &opts)
     const analyze::ImageAnalysis analysis =
         analyze::analyzeImage(translated, hit_latency);
 
+    // Exact-schedule oracle (--oracle): certified optimal-length
+    // intervals per block plus the greedy gap, with the soundness
+    // sandwich height <= oracle <= greedy cross-checked on every block
+    // (a violation is an analyzer bug and exits 4).
+    const bool oracle_mode = opts.has("oracle");
+    analyze::ImageOracle oracle;
+    std::size_t bound_violations = 0;
+    if (oracle_mode) {
+        analyze::OracleOptions oopts;
+        if (opts.has("oracle-budget"))
+            oopts.maxStates = static_cast<std::size_t>(
+                *parseInt(opts.get("oracle-budget")));
+        oracle = analyze::oracleImage(translated, config, oopts);
+        for (const analyze::BlockOracle &b : oracle.blocks) {
+            if (b.nodes == 0)
+                continue;
+            if (b.height > b.upperBound ||
+                b.upperBound > b.greedyLength ||
+                b.lowerBound > b.upperBound)
+                ++bound_violations;
+        }
+        // Test-only injection so the exit-4 path stays covered without
+        // requiring a genuine soundness bug (tests/cli_test.sh).
+        if (const char *env = std::getenv("FGP_ORACLE_XFAIL"))
+            bound_violations += env[0] == '1';
+    }
+
     verify::Report report;
     analyze::LintOptions lopts;
     lopts.memHitLatency = hit_latency;
+    if (oracle_mode)
+        lopts.oracle = &oracle;
     if (enlarged_mode) {
         lopts.single = &single;
         lopts.plan = &plan;
@@ -1088,6 +1133,24 @@ cmdAnalyze(const Options &opts)
               });
     if (static_cast<int>(ranked.size()) > top)
         ranked.resize(static_cast<std::size_t>(top));
+
+    // Human oracle table: widest proven gaps first, budget-exhausted
+    // blocks next (their gap is unproven), ties by block id.
+    std::vector<const analyze::BlockOracle *> oracle_ranked;
+    for (const analyze::BlockOracle &b : oracle.blocks)
+        if (b.nodes > 0 && (b.gap() > 0 || !b.exact))
+            oracle_ranked.push_back(&b);
+    std::sort(oracle_ranked.begin(), oracle_ranked.end(),
+              [](const analyze::BlockOracle *a,
+                 const analyze::BlockOracle *b) {
+                  if (a->gap() != b->gap())
+                      return a->gap() > b->gap();
+                  if (a->exact != b->exact)
+                      return !a->exact; // unproven (exhausted) first
+                  return a->block < b->block;
+              });
+    if (static_cast<int>(oracle_ranked.size()) > top)
+        oracle_ranked.resize(static_cast<std::size_t>(top));
 
     if (opts.has("json")) {
         obs::JsonWriter json(std::cout);
@@ -1181,6 +1244,42 @@ cmdAnalyze(const Options &opts)
             json.endObject();
         }
         json.endArray();
+        if (oracle_mode) {
+            json.beginObject("oracle");
+            json.field("blocks_exact",
+                       static_cast<std::uint64_t>(oracle.exactBlocks));
+            json.field("blocks_exhausted",
+                       static_cast<std::uint64_t>(
+                           oracle.exhaustedBlocks));
+            json.field("greedy_cycles",
+                       static_cast<std::int64_t>(oracle.greedyCycles));
+            json.field("oracle_cycles",
+                       static_cast<std::int64_t>(oracle.oracleCycles));
+            json.field("max_gap", oracle.maxGap);
+            json.field("bound_violations",
+                       static_cast<std::uint64_t>(bound_violations));
+            json.endObject();
+            // All blocks, not top-N: check_bench.sh --validate-oracle
+            // recomputes the sandwich invariant over every entry.
+            json.beginArray("oracle_blocks");
+            for (const analyze::BlockOracle &b : oracle.blocks) {
+                json.beginObject();
+                json.field("block", b.block);
+                json.field("entry_pc", b.entryPc);
+                json.field("block_nodes",
+                           static_cast<std::uint64_t>(b.nodes));
+                json.field("height", b.height);
+                json.field("greedy_length", b.greedyLength);
+                json.field("lower_bound", b.lowerBound);
+                json.field("upper_bound", b.upperBound);
+                json.field("exact", static_cast<std::uint64_t>(b.exact));
+                json.field("states",
+                           static_cast<std::uint64_t>(b.statesExplored));
+                json.field("gap", b.gap());
+                json.endObject();
+            }
+            json.endArray();
+        }
         json.beginArray("diagnostics");
         for (const verify::Diagnostic &diag : report.diagnostics()) {
             json.beginObject();
@@ -1237,6 +1336,34 @@ cmdAnalyze(const Options &opts)
                                     audit.fusedHeight,
                                     -audit.heightReduction());
         }
+        if (oracle_mode) {
+            std::cout << "  exact-schedule oracle  "
+                      << oracle.exactBlocks << " blocks exact, "
+                      << oracle.exhaustedBlocks
+                      << " budget-exhausted; greedy "
+                      << oracle.greedyCycles << " cycles vs oracle "
+                      << oracle.oracleCycles << " (max gap "
+                      << oracle.maxGap << ")\n";
+            if (!oracle_ranked.empty()) {
+                std::cout << "  widest schedule gaps   nodes height "
+                             "greedy bound   gap\n";
+                for (const analyze::BlockOracle *b : oracle_ranked)
+                    std::cout << format(
+                        "    block %-4d pc %-5d %5zu %6d %6d %s %5d%s\n",
+                        b->block, b->entryPc, b->nodes, b->height,
+                        b->greedyLength,
+                        b->exact
+                            ? format("%5d", b->upperBound).c_str()
+                            : format("%2d-%-2d", b->lowerBound,
+                                     b->upperBound)
+                                  .c_str(),
+                        b->gap(), b->exact ? "" : " (budget out)");
+            }
+            if (bound_violations)
+                std::cout << "  ORACLE BOUND VIOLATION: "
+                          << bound_violations
+                          << " blocks break height <= oracle <= greedy\n";
+        }
         if (opts.has("mem")) {
             std::cout << "  memory disambiguation  "
                       << disambig.pairsTotal << " pairs: "
@@ -1262,6 +1389,12 @@ cmdAnalyze(const Options &opts)
         std::cout << "analyze: " << errors << " errors, " << warnings
                   << " warnings\n";
     }
+    // Distinct exit codes (mirroring compare's exit-3 convention for a
+    // separate failure class): 4 = oracle bound violation (soundness
+    // bug, reported regardless of --strict); 1 = lint errors or, under
+    // --strict, any lint finding at all.
+    if (bound_violations)
+        return 4;
     if (errors)
         return 1;
     return opts.has("strict") && !report.diagnostics().empty() ? 1 : 0;
@@ -1982,7 +2115,7 @@ runCli(int argc, char **argv)
         }
         arg = arg.substr(2);
         if (arg == "conservative" || arg == "json" || arg == "strict" ||
-            arg == "mem" || arg == "retired") {
+            arg == "mem" || arg == "retired" || arg == "oracle") {
             opts.flags[arg] = "1";
         } else {
             if (i + 1 >= argc)
